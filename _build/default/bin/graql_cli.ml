@@ -1,0 +1,402 @@
+(* The GraQL command-line client: the simplest of the GEMS "clients"
+   (Sec. III). Subcommands: run, check, ir, gen-berlin, berlin, repl. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  doc
+
+let parse_param s =
+  match String.index_opt s '=' with
+  | Some i ->
+      let name = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      let value =
+        match int_of_string_opt v with
+        | Some i -> Graql.Value.Int i
+        | None -> (
+            match float_of_string_opt v with
+            | Some f -> Graql.Value.Float f
+            | None -> (
+                match Graql.Date.of_string_opt v with
+                | Some d -> Graql.Value.Date d
+                | None -> Graql.Value.Str v))
+      in
+      Ok (name, value)
+  | None -> Error (`Msg (Printf.sprintf "bad parameter %S (want name=value)" s))
+
+let param_conv = Arg.conv (parse_param, fun ppf (n, _) -> Format.fprintf ppf "%s" n)
+
+let params_arg =
+  Arg.(
+    value & opt_all param_conv []
+    & info [ "p"; "param" ] ~docv:"NAME=VALUE"
+        ~doc:"Bind query parameter %NAME% to VALUE (repeatable).")
+
+let domains_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Backend parallelism (number of domains). Default: cores, max 8.")
+
+let seq_arg =
+  Arg.(
+    value & flag
+    & info [ "seq" ] ~doc:"Disable parallel statement scheduling.")
+
+let data_dir_arg =
+  Arg.(
+    value & opt (some dir) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:"Directory ingest file names are resolved against.")
+
+let script_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
+
+let make_session ?domains ?(params = []) () =
+  let pool =
+    Some (Graql.Domain_pool.create ?domains ())
+  in
+  let session = Graql.create_session ?pool () in
+  List.iter (fun (n, v) -> Graql.Db.set_param (Graql.Session.db session) n v) params;
+  session
+
+let loader_for data_dir name =
+  let path =
+    match data_dir with Some d -> Filename.concat d name | None -> name
+  in
+  read_file path
+
+let print_outcomes results =
+  List.iter
+    (fun (stmt, outcome) ->
+      (match stmt with
+      | Graql.Ast.Select_graph _ | Graql.Ast.Select_table _ ->
+          print_endline (Graql.outcome_to_string outcome)
+      | _ -> print_endline (Graql.outcome_to_string outcome));
+      print_newline ())
+    results
+
+let report_diags diags =
+  List.iter
+    (fun d -> prerr_endline (Graql.Diag.to_string d))
+    diags
+
+let dump_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dump" ] ~docv:"DIR"
+        ~doc:"After the script runs, export every table as CSV plus a \
+              reload script (schema.graql) into DIR.")
+
+let run_cmd =
+  let action script params domains seq data_dir dump =
+    let session = make_session ?domains ~params () in
+    let source = read_file script in
+    match
+      Graql.run ~loader:(loader_for data_dir) ~parallel:(not seq) session
+        source
+    with
+    | results ->
+        report_diags (Graql.Session.last_diagnostics session);
+        print_outcomes results;
+        (match dump with
+        | Some dir ->
+            Graql.Db_io.export (Graql.Session.db session) ~dir;
+            Printf.printf "exported database to %s/\n" dir
+        | None -> ());
+        `Ok ()
+    | exception Graql.Session.Rejected diags ->
+        report_diags diags;
+        `Error (false, "script rejected by static analysis")
+    | exception Graql.Loc.Syntax_error (loc, msg) ->
+        `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
+    | exception Graql.Script_exec.Script_error (loc, msg) ->
+        `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a GraQL script")
+    Term.(
+      ret (const action $ script_arg $ params_arg $ domains_arg $ seq_arg
+           $ data_dir_arg $ dump_arg))
+
+let check_cmd =
+  let action script params =
+    let session = make_session ~params () in
+    let source = read_file script in
+    match Graql.check session source with
+    | diags ->
+        report_diags diags;
+        if Graql.Diag.has_errors diags then
+          `Error (false, "static analysis found errors")
+        else begin
+          Printf.printf "ok: %d warning(s)\n"
+            (List.length (Graql.Diag.warnings diags));
+          `Ok ()
+        end
+    | exception Graql.Loc.Syntax_error (loc, msg) ->
+        `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Static query analysis only (catalog metadata, no execution)")
+    Term.(ret (const action $ script_arg $ params_arg))
+
+let ir_cmd =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write IR bytes to FILE.")
+  in
+  let decode_arg =
+    Arg.(
+      value & flag
+      & info [ "decode" ]
+          ~doc:"Treat SCRIPT as an IR file; decode and pretty-print it.")
+  in
+  let action script out decode =
+    if decode then begin
+      let blob = Bytes.of_string (read_file script) in
+      match Graql.Ir.decode_script blob with
+      | ast ->
+          print_endline (Graql.Pretty.script_to_string ast);
+          `Ok ()
+      | exception Graql_ir.Wire.Corrupt msg ->
+          `Error (false, "corrupt IR: " ^ msg)
+    end
+    else
+      match Graql.Parser.parse_script (read_file script) with
+      | ast -> (
+          let blob = Graql.Ir.encode_script ast in
+          match out with
+          | Some path ->
+              let oc = open_out_bin path in
+              output_bytes oc blob;
+              close_out oc;
+              Printf.printf "wrote %d bytes to %s\n" (Bytes.length blob) path;
+              `Ok ()
+          | None ->
+              Printf.printf "%d statements, %d IR bytes\n" (List.length ast)
+                (Bytes.length blob);
+              `Ok ())
+      | exception Graql.Loc.Syntax_error (loc, msg) ->
+          `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
+  in
+  Cmd.v
+    (Cmd.info "ir" ~doc:"Compile a script to the binary IR (or decode one)")
+    Term.(ret (const action $ script_arg $ out_arg $ decode_arg))
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "scale" ] ~docv:"N" ~doc:"Dataset scale factor (1 = 100 products).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let gen_berlin_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "berlin-data"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let action scale seed out =
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let files = Graql.Berlin.Gen.csv_files ~seed ~scale () in
+    List.iter
+      (fun (name, doc) ->
+        let oc = open_out_bin (Filename.concat out name) in
+        output_string oc doc;
+        close_out oc)
+      files;
+    let ddl =
+      Graql.Berlin.Schema_ddl.full_ddl ^ "\n"
+      ^ Graql.Berlin.Schema_ddl.ingest_script Graql.Berlin.Gen.table_files
+    in
+    let oc = open_out (Filename.concat out "berlin.graql") in
+    output_string oc ddl;
+    output_char oc (Char.chr 10);
+    close_out oc;
+    Printf.printf "wrote %d CSV files + berlin.graql to %s/\n"
+      (List.length files) out
+  in
+  Cmd.v
+    (Cmd.info "gen-berlin"
+       ~doc:"Generate a Berlin (BSBM-style) dataset and its GraQL DDL")
+    Term.(const action $ scale_arg $ seed_arg $ out_arg)
+
+let berlin_cmd =
+  let query_arg =
+    Arg.(
+      value & opt string "q2"
+      & info [ "query" ] ~docv:"NAME"
+          ~doc:"One of: q1, q2, fig9_type_matching, fig10_regex, \
+                fig11_subgraph_capture, fig12_seeded, fig13_into_table, \
+                eq12_structural, all.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Also print the catalog and per-edge-type degree statistics.")
+  in
+  let action scale seed query domains params stats =
+    let session = make_session ?domains ~params () in
+    Graql.Berlin.Gen.ingest_all ~seed ~scale session;
+    if stats then begin
+      (* Build the views first so the catalog shows real sizes. *)
+      let degrees = Graql.Session.degree_report session in
+      print_endline
+        (Graql_util.Text_table.render ~header:[ "kind"; "name"; "size" ]
+           (Graql.Session.catalog_rows session));
+      print_endline
+        (Graql_util.Text_table.render
+           ~header:[ "edge type"; "out-degrees"; "in-degrees" ]
+           degrees)
+    end;
+    let db = Graql.Session.db session in
+    (* Sensible defaults for the paper's parameters when not provided. *)
+    let default name value =
+      if Graql.Db.find_param db name = None then
+        Graql.Db.set_param db name value
+    in
+    default "Product1"
+      (Graql.Value.Str (Graql.Berlin.Reference.most_offered_product ~seed ~scale ()));
+    default "Country1" (Graql.Value.Str "US");
+    default "Country2" (Graql.Value.Str "DE");
+    let queries =
+      if query = "all" then Graql.Berlin.Queries.all
+      else
+        match List.assoc_opt query Graql.Berlin.Queries.all with
+        | Some q -> [ (query, q) ]
+        | None -> []
+    in
+    if queries = [] then `Error (false, Printf.sprintf "unknown query %S" query)
+    else begin
+      List.iter
+        (fun (name, q) ->
+          Printf.printf "--- %s ---\n" name;
+          print_outcomes (Graql.run session q))
+        queries;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "berlin" ~doc:"Generate, load and query the Berlin scenario")
+    Term.(
+      ret (const action $ scale_arg $ seed_arg $ query_arg $ domains_arg
+           $ params_arg $ stats_arg))
+
+let repl_cmd =
+  let action domains params =
+    let session = make_session ?domains ~params () in
+    print_endline
+      "GraQL repl — end statements with ';' on their own line, Ctrl-D quits.";
+    let buf = Buffer.create 256 in
+    (try
+       while true do
+         print_string (if Buffer.length buf = 0 then "graql> " else "  ...> ");
+         flush stdout;
+         let line = input_line stdin in
+         if String.trim line = ";" || (String.trim line <> "" && String.length (String.trim line) > 0 && (let t = String.trim line in t.[String.length t - 1] = ';')) then begin
+           Buffer.add_string buf line;
+           let source = Buffer.contents buf in
+           Buffer.clear buf;
+           (try print_outcomes (Graql.run session source) with
+           | Graql.Session.Rejected diags -> report_diags diags
+           | Graql.Loc.Syntax_error (loc, msg) ->
+               Printf.eprintf "%s: %s\n%!" (Graql.Loc.to_string loc) msg
+           | Graql.Script_exec.Script_error (loc, msg) ->
+               Printf.eprintf "%s: %s\n%!" (Graql.Loc.to_string loc) msg)
+         end
+         else begin
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n'
+         end
+       done
+     with End_of_file -> print_newline ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive GraQL session")
+    Term.(ret (const action $ domains_arg $ params_arg))
+
+let explain_cmd =
+  let action script params domains data_dir =
+    let session = make_session ?domains ~params () in
+    let db = Graql.Session.db session in
+    let source = read_file script in
+    match Graql.Parser.parse_script source with
+    | ast ->
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Graql.Ast.Select_graph { sg_path; _ } ->
+                print_endline
+                  (Graql.Pretty.stmt_to_string stmt);
+                List.iter
+                  (fun plan ->
+                    print_endline (Graql.Explain.to_string plan);
+                    print_newline ())
+                  (Graql.Explain.explain_multipath ~db
+                     ~params:(fun p -> Graql.Db.find_param db p)
+                     sg_path)
+            | _ ->
+                (* DDL / ingest / set establish the state plans need. *)
+                ignore
+                  (Graql.Script_exec.exec_stmt
+                     ~loader:(loader_for data_dir) db stmt))
+          ast;
+        `Ok ()
+    | exception Graql.Loc.Syntax_error (loc, msg) ->
+        `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the dynamic query plan (direction, seed strategy, \
+             cardinality estimates) for each graph query in a script")
+    Term.(ret (const action $ script_arg $ params_arg $ domains_arg $ data_dir_arg))
+
+let cluster_plan_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let mem_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "mem-gb" ] ~docv:"GB" ~doc:"DRAM capacity per node, in GB.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards-per-table" ] ~docv:"K" ~doc:"Row-range shards per table.")
+  in
+  let action scale seed nodes mem_gb shards =
+    let session = make_session () in
+    Graql.Berlin.Gen.ingest_all ~seed ~scale session;
+    let plan =
+      Graql.Cluster.plan ~shards_per_table:shards ~nodes
+        ~mem_per_node:(int_of_float (mem_gb *. 1e9))
+        (Graql.Session.db session)
+    in
+    print_endline (Graql.Cluster.report plan);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "cluster-plan"
+       ~doc:"Estimate the Berlin database's DRAM footprint and place its \
+             shards over a simulated cluster")
+    Term.(
+      ret (const action $ scale_arg $ seed_arg $ nodes_arg $ mem_arg $ shards_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "graql" ~version:"1.0.0"
+       ~doc:"GraQL attributed graph database (GEMS reproduction)")
+    [ run_cmd; check_cmd; ir_cmd; gen_berlin_cmd; berlin_cmd; repl_cmd;
+      explain_cmd; cluster_plan_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/berlin_bi.ml: Array Graql Graql_util List Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/berlin_bi.mli:

@@ -1,0 +1,1 @@
+examples/bio_pathways.ml: Array Buffer Graql Graql_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+examples/cybersec_flows.ml: Array Buffer Graql Graql_util List Printf

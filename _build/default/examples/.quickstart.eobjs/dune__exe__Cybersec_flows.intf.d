@@ -1,0 +1,1 @@
+examples/cybersec_flows.mli:

@@ -1,0 +1,1 @@
+examples/ops_console.ml: Graql List Printf String

@@ -1,0 +1,170 @@
+(* Computational biology: pathway graphs (the paper's second motivating
+   domain — "modeling of biological pathways which represent the flow of
+   molecular signals inside a cell").
+
+   Synthetic scenario: genes encode proteins; proteins interact
+   (activation/inhibition with confidence scores); proteins belong to
+   pathways. Queries:
+     1. the activation cascade downstream of a receptor (regex, 1+ hops
+        over high-confidence activations),
+     2. proteins sharing a pathway with a target (Q2-shaped similarity),
+     3. pathway sizes (relational),
+     4. genes whose proteins inhibit anything in the apoptosis pathway
+        (multi-step path with and-composition).
+
+   Run with: dune exec examples/bio_pathways.exe *)
+
+module Rng = Graql_util.Rng
+
+let n_genes = 80
+let n_pathways = 8
+let n_interactions = 400
+
+let gen_genes rng =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "id,symbol,chromosome\n";
+  for i = 0 to n_genes - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "g%d,GENE%d,chr%d\n" i i (1 + Rng.int rng 22))
+  done;
+  Buffer.contents buf
+
+let gen_proteins () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "id,gene,kind\n";
+  for i = 0 to n_genes - 1 do
+    let kind =
+      if i mod 10 = 0 then "receptor"
+      else if i mod 10 = 1 then "kinase"
+      else "effector"
+    in
+    Buffer.add_string buf (Printf.sprintf "pr%d,g%d,%s\n" i i kind)
+  done;
+  Buffer.contents buf
+
+let gen_interactions rng =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "id,src,dst,mode,confidence\n";
+  for i = 0 to n_interactions - 1 do
+    (* Signal flows "downhill": sources biased toward receptors/kinases. *)
+    let s = Rng.zipf rng ~n:n_genes ~s:0.9 in
+    let d = (s + 1 + Rng.int rng (n_genes - 1)) mod n_genes in
+    let mode = if Rng.int rng 4 = 0 then "inhibits" else "activates" in
+    let confidence = 0.3 +. Rng.float rng 0.7 in
+    Buffer.add_string buf
+      (Printf.sprintf "i%d,pr%d,pr%d,%s,%.3f\n" i s d mode confidence)
+  done;
+  Buffer.contents buf
+
+let gen_memberships rng =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "protein,pathway\n";
+  for i = 0 to n_genes - 1 do
+    let k = 1 + Rng.int rng 3 in
+    let seen = Hashtbl.create 4 in
+    for _ = 1 to k do
+      let p = Rng.zipf rng ~n:n_pathways ~s:0.8 in
+      if not (Hashtbl.mem seen p) then begin
+        Hashtbl.replace seen p ();
+        Buffer.add_string buf (Printf.sprintf "pr%d,pw%d\n" i p)
+      end
+    done
+  done;
+  Buffer.contents buf
+
+let gen_pathways () =
+  let names =
+    [| "apoptosis"; "glycolysis"; "mapk"; "wnt"; "p53"; "cellcycle"; "jak"; "notch" |]
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "id,name\n";
+  Array.iteri
+    (fun i n -> Buffer.add_string buf (Printf.sprintf "pw%d,%s\n" i n))
+    names;
+  Buffer.contents buf
+
+let schema =
+  {|
+create table Genes(id varchar(10), symbol varchar(12), chromosome varchar(8))
+create table Proteins(id varchar(10), gene varchar(10), kind varchar(10))
+create table Interactions(id varchar(10), src varchar(10), dst varchar(10), mode varchar(10), confidence float)
+create table Pathways(id varchar(10), name varchar(16))
+create table Memberships(protein varchar(10), pathway varchar(10))
+
+create vertex GeneVtx(id) from table Genes
+create vertex ProteinVtx(id) from table Proteins
+create vertex PathwayVtx(id) from table Pathways
+
+create edge encodes with vertices (GeneVtx, ProteinVtx)
+  where ProteinVtx.gene = GeneVtx.id
+
+create edge interacts with vertices (ProteinVtx as A, ProteinVtx as B)
+  from table Interactions
+  where Interactions.src = A.id and Interactions.dst = B.id
+
+create edge memberOf with vertices (ProteinVtx, PathwayVtx)
+  from table Memberships
+  where Memberships.protein = ProteinVtx.id and Memberships.pathway = PathwayVtx.id
+
+ingest table Genes genes.csv
+ingest table Proteins proteins.csv
+ingest table Interactions interactions.csv
+ingest table Pathways pathways.csv
+ingest table Memberships memberships.csv
+|}
+
+let queries =
+  [
+    ( "signal cascade downstream of receptor pr0 (confident activations)",
+      {|select * from graph
+          ProteinVtx (id = 'pr0')
+          ( --interacts(mode = 'activates' and confidence > 0.6)--> [ ] )+
+        into subgraph cascade|} );
+    ( "proteins sharing a pathway with pr0, by shared-pathway count",
+      {|select y.id from graph
+          ProteinVtx (id = 'pr0')
+          --memberOf--> def w: PathwayVtx ( )
+          <--memberOf-- def y: ProteinVtx (id != 'pr0')
+        into table Shared
+
+        select top 5 id, count(*) as pathways from table Shared
+        group by id order by pathways desc|} );
+    ( "pathway sizes",
+      {|select pathway, count(*) as members from table Memberships
+          group by pathway order by members desc|} );
+    ( "genes encoding inhibitors of apoptosis members",
+      {|select GeneVtx.symbol as gene from graph
+          GeneVtx ( ) --encodes--> foreach p: ProteinVtx ( )
+        and
+          (p --interacts(mode = 'inhibits')--> ProteinVtx ( )
+             --memberOf--> PathwayVtx (name = 'apoptosis'))
+        into table Inhibitors
+
+        select distinct gene from table Inhibitors order by gene|} );
+  ]
+
+let () =
+  let rng = Rng.make 11 in
+  let loader = function
+    | "genes.csv" -> gen_genes (Rng.split rng)
+    | "proteins.csv" -> gen_proteins ()
+    | "interactions.csv" -> gen_interactions (Rng.split rng)
+    | "pathways.csv" -> gen_pathways ()
+    | "memberships.csv" -> gen_memberships (Rng.split rng)
+    | f -> raise (Sys_error ("no such file: " ^ f))
+  in
+  let session = Graql.create_session () in
+  ignore (Graql.run ~loader session schema);
+  List.iter
+    (fun (title, q) ->
+      Printf.printf "=== %s ===\n" title;
+      List.iter
+        (fun (_, outcome) ->
+          match outcome with
+          | Graql.O_table t ->
+              print_endline (Graql.Table.to_display_string ~max_rows:10 t)
+          | Graql.O_subgraph sg -> print_endline (Graql.Subgraph.summary sg)
+          | Graql.O_message m -> print_endline m)
+        (Graql.run session q);
+      print_newline ())
+    queries

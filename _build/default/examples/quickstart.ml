@@ -1,0 +1,53 @@
+(* Quickstart: a 40-line GraQL session over an org chart.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let people_csv =
+  "id,name,dept,boss\n\
+   e1,Ada,Research,\n\
+   e2,Grace,Research,e1\n\
+   e3,Alan,Research,e1\n\
+   e4,Edsger,Systems,e2\n\
+   e5,Barbara,Systems,e2\n\
+   e6,Donald,Systems,e3\n"
+
+let script =
+  {|
+create table People(id varchar(10), name varchar(20), dept varchar(20), boss varchar(10))
+
+// Vertices are *views* over the table (Eq. 1 of the paper)...
+create vertex PersonVtx(id) from table People
+
+// ...and edges join view attributes (Eq. 2).
+create edge reportsTo with vertices (PersonVtx as A, PersonVtx as B)
+  where A.boss = B.id
+
+ingest table People people.csv
+
+// Who is in Ada's reporting tree, one or more levels down?
+select A.name as report from graph
+  def A: PersonVtx ( ) --reportsTo--> PersonVtx (name = 'Ada')
+
+// Two levels down via a path regex:
+select A.name as grandreport from graph
+  def A: PersonVtx ( ) ( --reportsTo--> [ ] ){2}
+
+// And the relational side: headcount per department.
+select dept, count(*) as headcount from table People
+  group by dept order by headcount desc
+|}
+
+let () =
+  let session = Graql.create_session () in
+  let loader = function
+    | "people.csv" -> people_csv
+    | f -> raise (Sys_error ("no such file: " ^ f))
+  in
+  let results = Graql.run ~loader session script in
+  List.iter
+    (fun (_, outcome) ->
+      match outcome with
+      | Graql.O_table t -> print_endline (Graql.Table.to_display_string t)
+      | Graql.O_subgraph sg -> print_endline (Graql.Subgraph.summary sg)
+      | Graql.O_message _ -> ())
+    results

@@ -1,0 +1,1 @@
+lib/analysis/meta.ml: Graql_storage Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/analysis/meta.mli: Graql_storage

@@ -1,0 +1,1 @@
+lib/analysis/typecheck.ml: Array Diag Graql_lang Graql_storage Hashtbl List Meta Option Printf String

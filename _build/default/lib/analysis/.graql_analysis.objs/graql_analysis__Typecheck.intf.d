@@ -1,0 +1,1 @@
+lib/analysis/typecheck.mli: Diag Graql_lang Meta

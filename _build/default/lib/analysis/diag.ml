@@ -1,0 +1,15 @@
+type severity = Error | Warning
+
+type t = { severity : severity; loc : Graql_lang.Loc.t; message : string }
+
+let errors l = List.filter (fun d -> d.severity = Error) l
+let warnings l = List.filter (fun d -> d.severity = Warning) l
+let has_errors l = List.exists (fun d -> d.severity = Error) l
+
+let to_string d =
+  Printf.sprintf "%s: %s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    (Graql_lang.Loc.to_string d.loc)
+    d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -1,0 +1,11 @@
+(** Diagnostics produced by static query analysis. *)
+
+type severity = Error | Warning
+
+type t = { severity : severity; loc : Graql_lang.Loc.t; message : string }
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val has_errors : t list -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/berlin/berlin_gen.ml: Berlin_schema Buffer Graql_gems Graql_storage Graql_util Hashtbl List Printf String

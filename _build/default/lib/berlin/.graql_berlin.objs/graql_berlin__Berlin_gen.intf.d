@@ -1,0 +1,1 @@
+lib/berlin/berlin_gen.mli: Graql_gems

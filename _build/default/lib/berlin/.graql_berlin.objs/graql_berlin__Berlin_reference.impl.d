@@ -1,0 +1,1 @@
+lib/berlin/berlin_reference.ml: Berlin_gen Graql_storage Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/berlin/berlin_schema.ml: List Printf String

@@ -1,0 +1,287 @@
+module Rng = Graql_util.Rng
+module Date = Graql_storage.Date
+
+type counts = {
+  n_types : int;
+  n_features : int;
+  n_producers : int;
+  n_products : int;
+  n_vendors : int;
+  n_offers : int;
+  n_persons : int;
+  n_reviews : int;
+  n_product_types : int;
+  n_product_features : int;
+}
+
+let counts ~scale =
+  let scale = max 1 scale in
+  let p = 100 * scale in
+  {
+    n_types = max 8 (p / 20);
+    n_features = max 12 (p / 4);
+    n_producers = max 5 (p / 20);
+    n_products = p;
+    n_vendors = max 5 (p / 20);
+    n_offers = p * 4;
+    n_persons = max 8 (p / 10);
+    n_reviews = p * 2;
+    n_product_types = 0 (* filled by generation *);
+    n_product_features = 0;
+  }
+
+let countries =
+  [| "US"; "IT"; "FR"; "DE"; "CN"; "CA"; "JP"; "UK"; "ES"; "RU" |]
+
+let words =
+  [|
+    "alpha"; "bravo"; "delta"; "echo"; "fox"; "golf"; "hotel"; "india";
+    "kilo"; "lima"; "mike"; "nova"; "oscar"; "papa"; "quebec"; "romeo";
+    "sierra"; "tango"; "ultra"; "victor"; "whisky"; "xray"; "yankee"; "zulu";
+  |]
+
+let word rng = Rng.pick rng words
+
+let date_between rng lo hi = Date.to_string (Rng.int_in rng lo hi)
+
+let d2007 = Date.of_ymd 2007 1 1
+let d2008_end = Date.of_ymd 2008 12 31
+
+(* CSV building: all generated fields are alphanumeric, so plain
+   concatenation is safe; Csv.write_string would also work but this is the
+   generator hot path. *)
+let doc header rows =
+  let buf = Buffer.create (1024 * (1 + List.length rows)) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun fields ->
+      Buffer.add_string buf (String.concat "," fields);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let csv_files ?(seed = 42) ~scale () =
+  let c = counts ~scale in
+  let rng = Rng.make seed in
+  let r_types = Rng.split rng in
+  let r_features = Rng.split rng in
+  let r_producers = Rng.split rng in
+  let r_products = Rng.split rng in
+  let r_vendors = Rng.split rng in
+  let r_offers = Rng.split rng in
+  let r_persons = Rng.split rng in
+  let r_reviews = Rng.split rng in
+  let r_ptypes = Rng.split rng in
+  let r_pfeatures = Rng.split rng in
+
+  (* Types: a forest rooted at t0; each later type subclasses an earlier
+     one, biased toward low ids, giving a shallow, wide hierarchy. *)
+  let types =
+    List.init c.n_types (fun i ->
+        let parent =
+          if i = 0 then "" else Printf.sprintf "t%d" (Rng.zipf r_types ~n:i ~s:1.2)
+        in
+        [
+          Printf.sprintf "t%d" i;
+          "ProductType";
+          word r_types ^ "-type";
+          parent;
+          "pub" ^ string_of_int (Rng.int r_types 5);
+          date_between r_types d2007 d2008_end;
+        ])
+  in
+  let features =
+    List.init c.n_features (fun i ->
+        [
+          Printf.sprintf "f%d" i;
+          "ProductFeature";
+          word r_features;
+          word r_features ^ " feature";
+          "pub" ^ string_of_int (Rng.int r_features 5);
+          date_between r_features d2007 d2008_end;
+        ])
+  in
+  let producers =
+    List.init c.n_producers (fun i ->
+        [
+          Printf.sprintf "m%d" i;
+          "Producer";
+          word r_producers ^ "-corp";
+          "maker of things";
+          Printf.sprintf "http-m%d" i;
+          Rng.pick r_producers countries;
+          "pub" ^ string_of_int (Rng.int r_producers 5);
+          date_between r_producers d2007 d2008_end;
+        ])
+  in
+  let products =
+    List.init c.n_products (fun i ->
+        [
+          Printf.sprintf "p%d" i;
+          "Product";
+          word r_products ^ string_of_int i;
+          "a fine product";
+          Printf.sprintf "m%d" (Rng.zipf r_products ~n:c.n_producers ~s:1.1);
+          string_of_int (Rng.int_in r_products 1 2000);
+          string_of_int (Rng.int_in r_products 1 2000);
+          string_of_int (Rng.int_in r_products 1 2000);
+          string_of_int (Rng.int_in r_products 1 2000);
+          string_of_int (Rng.int_in r_products 1 2000);
+          word r_products;
+          word r_products;
+          word r_products;
+          word r_products;
+          word r_products;
+          "pub" ^ string_of_int (Rng.int r_products 5);
+          date_between r_products d2007 d2008_end;
+        ])
+  in
+  let vendors =
+    List.init c.n_vendors (fun i ->
+        [
+          Printf.sprintf "v%d" i;
+          "Vendor";
+          word r_vendors ^ "-shop";
+          "sells things";
+          Printf.sprintf "http-v%d" i;
+          Rng.pick r_vendors countries;
+          "pub" ^ string_of_int (Rng.int r_vendors 5);
+          date_between r_vendors d2007 d2008_end;
+        ])
+  in
+  let offers =
+    List.init c.n_offers (fun i ->
+        let from = Rng.int_in r_offers d2007 d2008_end in
+        [
+          Printf.sprintf "o%d" i;
+          "Offer";
+          Printf.sprintf "p%d" (Rng.zipf r_offers ~n:c.n_products ~s:0.8);
+          Printf.sprintf "v%d" (Rng.int r_offers c.n_vendors);
+          Printf.sprintf "%.2f" (5.0 +. Rng.float r_offers 9995.0);
+          Date.to_string from;
+          Date.to_string (Date.add_days from (Rng.int_in r_offers 10 180));
+          string_of_int (Rng.int_in r_offers 1 14);
+          Printf.sprintf "http-o%d" i;
+          "pub" ^ string_of_int (Rng.int r_offers 5);
+          date_between r_offers d2007 d2008_end;
+        ])
+  in
+  let persons =
+    List.init c.n_persons (fun i ->
+        [
+          Printf.sprintf "u%d" i;
+          "Person";
+          word r_persons ^ string_of_int i;
+          Printf.sprintf "u%d@mail" i;
+          Rng.pick r_persons countries;
+          "pub" ^ string_of_int (Rng.int r_persons 5);
+          date_between r_persons d2007 d2008_end;
+        ])
+  in
+  let reviews =
+    List.init c.n_reviews (fun i ->
+        let rating () =
+          (* Occasional missing rating, exercising Null columns. *)
+          if Rng.int r_reviews 10 = 0 then ""
+          else string_of_int (Rng.int_in r_reviews 1 10)
+        in
+        [
+          Printf.sprintf "r%d" i;
+          "Review";
+          Printf.sprintf "p%d" (Rng.zipf r_reviews ~n:c.n_products ~s:0.9);
+          Printf.sprintf "u%d" (Rng.zipf r_reviews ~n:c.n_persons ~s:0.7);
+          date_between r_reviews d2007 d2008_end;
+          word r_reviews ^ " review";
+          "quite good";
+          rating ();
+          rating ();
+          rating ();
+          rating ();
+          "pub" ^ string_of_int (Rng.int r_reviews 5);
+          date_between r_reviews d2007 d2008_end;
+        ])
+  in
+  (* Each product: 1-2 types, 4-12 distinct features. *)
+  let product_types =
+    List.concat
+      (List.init c.n_products (fun i ->
+           let n = 1 + Rng.int r_ptypes 2 in
+           let t1 = Rng.int r_ptypes c.n_types in
+           let t2 = (t1 + 1 + Rng.int r_ptypes (c.n_types - 1)) mod c.n_types in
+           List.map
+             (fun t ->
+               [ Printf.sprintf "p%d" i; Printf.sprintf "t%d" t ])
+             (if n = 1 then [ t1 ] else [ t1; t2 ])))
+  in
+  let product_features =
+    List.concat
+      (List.init c.n_products (fun i ->
+           let n = Rng.int_in r_pfeatures 4 12 in
+           let chosen = Hashtbl.create n in
+           let rec pick k acc =
+             if k = 0 then acc
+             else begin
+               let f = Rng.zipf r_pfeatures ~n:c.n_features ~s:0.6 in
+               if Hashtbl.mem chosen f then pick k acc
+               else begin
+                 Hashtbl.replace chosen f ();
+                 pick (k - 1)
+                   ([ Printf.sprintf "p%d" i; Printf.sprintf "f%d" f ] :: acc)
+               end
+             end
+           in
+           pick (min n c.n_features) []))
+  in
+  [
+    ( "types.csv",
+      doc "id,type,comment,subclassOf,publisher,date" types );
+    ("features.csv", doc "id,type,label,comment,publisher,date" features);
+    ( "producers.csv",
+      doc "id,type,label,comment,homepage,country,publisher,date" producers );
+    ( "products.csv",
+      doc
+        "id,type,label,comment,producer,propertyNumeric_1,propertyNumeric_2,propertyNumeric_3,propertyNumeric_4,propertyNumeric_5,propertyText_1,propertyText_2,propertyText_3,propertyText_4,propertyText_5,publisher,date"
+        products );
+    ( "vendors.csv",
+      doc "id,type,label,comment,homepage,country,publisher,date" vendors );
+    ( "offers.csv",
+      doc
+        "id,type,product,vendor,price,validFrom,validTo,deliveryDays,offerWebPage,publisher,date"
+        offers );
+    ("persons.csv", doc "id,type,name,mailbox,country,publisher,date" persons);
+    ( "reviews.csv",
+      doc
+        "id,type,reviewFor,reviewer,reviewDate,title,text,ratings_1,ratings_2,ratings_3,ratings_4,publisher,date"
+        reviews );
+    ("producttypes.csv", doc "product,type" product_types);
+    ("productfeatures.csv", doc "product,feature" product_features);
+  ]
+
+let table_files =
+  [
+    ("Types", "types.csv");
+    ("Features", "features.csv");
+    ("Producers", "producers.csv");
+    ("Products", "products.csv");
+    ("Vendors", "vendors.csv");
+    ("Offers", "offers.csv");
+    ("Persons", "persons.csv");
+    ("Reviews", "reviews.csv");
+    ("ProductTypes", "producttypes.csv");
+    ("ProductFeatures", "productfeatures.csv");
+  ]
+
+let loader ?seed ~scale () =
+  let files = csv_files ?seed ~scale () in
+  fun name ->
+    match List.assoc_opt (String.lowercase_ascii name) files with
+    | Some doc -> doc
+    | None -> raise (Sys_error (Printf.sprintf "no generated file %S" name))
+
+let ingest_all ?seed ~scale session =
+  let loader = loader ?seed ~scale () in
+  let script =
+    Berlin_schema.full_ddl ^ "\n" ^ Berlin_schema.ingest_script table_files
+  in
+  ignore (Graql_gems.Session.run_script ~loader session script)

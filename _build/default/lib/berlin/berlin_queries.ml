@@ -1,0 +1,192 @@
+(* Fig. 6. The paper's figure body is partially garbled in the published
+   text; this is the query as described: "select the top 10 products most
+   similar to Product 1, rated by the count of features they have in
+   common", with the first select producing "a table of product ids, with
+   each id repeated for each feature the product has in common". *)
+let q2 =
+  {|
+select y.id from graph
+  ProductVtx (id = %Product1%)
+  --feature--> def x: FeatureVtx ( )
+  <--feature-- def y: ProductVtx (id != %Product1%)
+into table T1
+
+select top 10 id, count(*) as groupCount
+from table T1
+group by id order by groupCount desc
+|}
+
+(* Fig. 7, with the reviewFor edge step the figure's text omits between
+   ReviewVtx and ProductVtx. *)
+let q1 =
+  {|
+select TypeVtx.id from graph
+  PersonVtx (country = %Country2%)
+  <--reviewer-- ReviewVtx
+  --reviewFor--> foreach y: ProductVtx
+  --producer--> ProducerVtx (country = %Country1%)
+and
+  (y --type--> TypeVtx ( ))
+into table T1
+
+select top 10 id, count(*) as groupCount
+from table T1
+group by id order by groupCount desc
+|}
+
+(* Fig. 9: all reviews and offers of a product — both reviewFor and
+   product edges arrive at ProductVtx, so a type-matching in-step
+   captures OfferVtx and ReviewVtx instances at once. *)
+let fig9_type_matching =
+  {|
+select * from graph
+  ProductVtx (id = %Product1%) <--[ ]-- [ ]
+into subgraph productContext
+|}
+
+(* Fig. 10: variable-length traversal with regular-expression steps. *)
+let fig10_regex =
+  {|
+select * from graph
+  ProductVtx (id = %Product1%) ( --[ ]--> [ ] )+
+into subgraph reachPlus
+
+select * from graph
+  ProductVtx (id = %Product1%) ( --[ ]--> [ ] ){2}
+into subgraph reachTwo
+|}
+
+(* Fig. 11: full subgraph capture vs. endpoint capture. *)
+let fig11_subgraph_capture =
+  {|
+select * from graph
+  OfferVtx ( ) --product--> ProductVtx (id = %Product1%)
+into subgraph resultsG
+
+select OfferVtx, ProductVtx from graph
+  OfferVtx ( ) --product--> ProductVtx (id = %Product1%)
+into subgraph resultsBE
+|}
+
+(* Fig. 12: the result of one query seeds the next. *)
+let fig12_seeded =
+  {|
+select VendorVtx from graph
+  OfferVtx ( ) --vendor--> VendorVtx (country = %Country1%)
+into subgraph resQ1
+
+select * from graph
+  resQ1.VendorVtx ( ) <--vendor-- OfferVtx --product--> ProductVtx
+into subgraph resQ2
+|}
+
+(* Fig. 13: path match flattened into a table, post-processed with the
+   relational operators of Table I. *)
+let fig13_into_table =
+  {|
+select * from graph
+  ReviewVtx ( ) --reviewFor--> ProductVtx (id = %Product1%)
+into table resultsT
+
+select count(*) as reviews, avg(ReviewVtx.ratings_1) as avgRating
+from table resultsT
+|}
+
+(* Eq. 12: type-independent structural pattern — an edge between two
+   vertices of the same type. *)
+let eq12_structural =
+  {|
+select * from graph
+  def X: [ ] --[ ]--> X
+into subgraph sameTypeHops
+|}
+
+let all =
+  [
+    ("q1", q1);
+    ("q2", q2);
+    ("fig9_type_matching", fig9_type_matching);
+    ("fig10_regex", fig10_regex);
+    ("fig11_subgraph_capture", fig11_subgraph_capture);
+    ("fig12_seeded", fig12_seeded);
+    ("fig13_into_table", fig13_into_table);
+    ("eq12_structural", eq12_structural);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Extended BI mix                                                     *)
+
+let bi3_top_vendors =
+  {|
+select VendorVtx.id as vendor, ProductVtx.id as product from graph
+  VendorVtx ( ) <--vendor-- OfferVtx ( ) --product--> ProductVtx ( )
+into table VendorProducts
+
+select distinct vendor, product from table VendorProducts into table VP
+
+select top 10 vendor, count(*) as products
+from table VP group by vendor order by products desc
+|}
+
+let bi4_rating_by_country =
+  {|
+select ProducerVtx.country as country, ReviewVtx.ratings_1 as rating
+from graph
+  ReviewVtx ( ) --reviewFor--> ProductVtx ( ) --producer--> ProducerVtx ( )
+into table CountryRatings
+
+select country, count(*) as reviews, avg(rating) as avgRating
+from table CountryRatings
+group by country order by avgRating desc
+|}
+
+let bi5_delivery_pricing =
+  {|
+select deliveryDays, count(*) as offers, min(price) as cheapest,
+       avg(price) as typical, max(price) as steepest
+from table Offers
+group by deliveryDays order by deliveryDays asc
+|}
+
+let bi6_similar_cheaper =
+  {|
+select y.id as product, OfferVtx.price as price from graph
+  (ProductVtx (id = %Product1%)
+   --feature--> FeatureVtx ( )
+   <--feature-- def y: ProductVtx (id != %Product1%))
+and
+  (OfferVtx (price < %MaxPrice%) --product--> y)
+into table SimilarCheaper
+
+select distinct product from table SimilarCheaper order by product
+|}
+
+let bi7_top_reviewers =
+  {|
+select PersonVtx.id as reviewer, ReviewVtx.ratings_1 as rating from graph
+  PersonVtx ( ) <--reviewer-- ReviewVtx ( )
+into table ReviewerRatings
+
+select top 10 reviewer, count(*) as reviews, avg(rating) as avgRating
+from table ReviewerRatings
+group by reviewer order by reviews desc
+|}
+
+let bi8_product_reach =
+  {|
+select VendorVtx.country as country from graph
+  ProductVtx (id = %Product1%) <--product-- OfferVtx ( ) --vendor--> VendorVtx ( )
+into table ReachT
+
+select distinct country from table ReachT order by country
+|}
+
+let bi_all =
+  [
+    ("bi3_top_vendors", bi3_top_vendors);
+    ("bi4_rating_by_country", bi4_rating_by_country);
+    ("bi5_delivery_pricing", bi5_delivery_pricing);
+    ("bi6_similar_cheaper", bi6_similar_cheaper);
+    ("bi7_top_reviewers", bi7_top_reviewers);
+    ("bi8_product_reach", bi8_product_reach);
+  ]

@@ -1,0 +1,65 @@
+(** The paper's queries as GraQL text, parameterized the way the figures
+    write them ([%Product1%], [%Country1%], [%Country2%]). *)
+
+val q2 : string
+(** Fig. 6 — Berlin Query 2: the top 10 products most similar to
+    [%Product1%], rated by the count of features in common. Produces
+    table [T1] then the top-10 summary. *)
+
+val q1 : string
+(** Fig. 7 — Berlin Query 1: the top 10 most discussed product categories
+    of products from [%Country1%], based on reviews from reviewers in
+    [%Country2%]. *)
+
+val fig9_type_matching : string
+(** Fig. 9 — the subgraph of all reviews and offers of [%Product1%] via
+    type-matching [ ] steps. *)
+
+val fig10_regex : string
+(** Fig. 10-style reachability: everything connected to [%Product1%]
+    within one-or-more hops of any edge type. *)
+
+val fig11_subgraph_capture : string
+(** Fig. 11 — capture full and endpoint subgraphs of a path. *)
+
+val fig12_seeded : string
+(** Fig. 12 — use a query's result subgraph to seed a follow-up query. *)
+
+val fig13_into_table : string
+(** Fig. 13 — flatten a path match into a table and post-process it
+    relationally. *)
+
+val eq12_structural : string
+(** Eq. 12 — the purely structural one-hop cycle-shaped query
+    [def X: \[ \] --\[ \]--> X]. *)
+
+val all : (string * string) list
+(** (name, text) of every query above. *)
+
+(** {1 Extended BI mix}
+
+    The paper uses a subset of the Berlin business-intelligence use case;
+    these round it out with the remaining query shapes that exercise the
+    language (multipath with shared labels over offers, graph→table
+    aggregation pipelines, pure relational reporting). *)
+
+val bi3_top_vendors : string
+(** Vendors ranked by distinct products on offer. *)
+
+val bi4_rating_by_country : string
+(** Average first rating of reviews, grouped by producer country. *)
+
+val bi5_delivery_pricing : string
+(** Offer price statistics per delivery-days class (pure Table I). *)
+
+val bi6_similar_cheaper : string
+(** Products sharing a feature with [%Product1%] that have an offer below
+    [%MaxPrice%] — an [and]-composition over a shared product label. *)
+
+val bi7_top_reviewers : string
+(** Most active reviewers with their average rating. *)
+
+val bi8_product_reach : string
+(** Countries of vendors offering [%Product1%]. *)
+
+val bi_all : (string * string) list

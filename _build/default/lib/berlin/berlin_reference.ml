@@ -1,0 +1,194 @@
+module Csv = Graql_storage.Csv
+
+let rows ?seed ~scale file =
+  let files = Berlin_gen.csv_files ?seed ~scale () in
+  match Csv.parse_string (List.assoc file files) with
+  | _header :: rows -> rows
+  | [] -> []
+
+let field row i = List.nth row i
+
+let q2_oracle ?seed ~scale ~product () =
+  let pf = rows ?seed ~scale "productfeatures.csv" in
+  let features_of p =
+    List.filter_map
+      (fun r -> if field r 0 = p then Some (field r 1) else None)
+      pf
+  in
+  let target = features_of product in
+  let shared = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let p = field r 0 and f = field r 1 in
+      if p <> product && List.mem f target then
+        Hashtbl.replace shared p
+          (1 + Option.value ~default:0 (Hashtbl.find_opt shared p)))
+    pf;
+  let l = Hashtbl.fold (fun p c acc -> (p, c) :: acc) shared [] in
+  List.sort (fun (pa, ca) (pb, cb) -> if ca <> cb then compare cb ca else compare pa pb) l
+
+let q1_oracle ?seed ~scale ~c1 ~c2 () =
+  let persons = rows ?seed ~scale "persons.csv" in
+  let producers = rows ?seed ~scale "producers.csv" in
+  let products = rows ?seed ~scale "products.csv" in
+  let reviews = rows ?seed ~scale "reviews.csv" in
+  let ptypes = rows ?seed ~scale "producttypes.csv" in
+  let person_country = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace person_country (field r 0) (field r 4)) persons;
+  let producer_country = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace producer_country (field r 0) (field r 5)) producers;
+  let product_producer = Hashtbl.create 256 in
+  List.iter (fun r -> Hashtbl.replace product_producer (field r 0) (field r 4)) products;
+  let types_of = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      let p = field r 0 in
+      Hashtbl.replace types_of p
+        (field r 1 :: Option.value ~default:[] (Hashtbl.find_opt types_of p)))
+    ptypes;
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let product = field r 2 and person = field r 3 in
+      let person_ok =
+        match Hashtbl.find_opt person_country person with
+        | Some c -> c = c2
+        | None -> false
+      in
+      let producer_ok =
+        match Hashtbl.find_opt product_producer product with
+        | Some m -> (
+            match Hashtbl.find_opt producer_country m with
+            | Some c -> c = c1
+            | None -> false)
+        | None -> false
+      in
+      if person_ok && producer_ok then
+        List.iter
+          (fun t ->
+            Hashtbl.replace counts t
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts t)))
+          (Option.value ~default:[] (Hashtbl.find_opt types_of product)))
+    reviews;
+  let l = Hashtbl.fold (fun t c acc -> (t, c) :: acc) counts [] in
+  List.sort (fun (ta, ca) (tb, cb) -> if ca <> cb then compare cb ca else compare ta tb) l
+
+let export_pairs ?seed ~scale () =
+  let producers = rows ?seed ~scale "producers.csv" in
+  let vendors = rows ?seed ~scale "vendors.csv" in
+  let products = rows ?seed ~scale "products.csv" in
+  let offers = rows ?seed ~scale "offers.csv" in
+  let producer_country = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace producer_country (field r 0) (field r 5)) producers;
+  let vendor_country = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace vendor_country (field r 0) (field r 5)) vendors;
+  let product_producer = Hashtbl.create 256 in
+  List.iter (fun r -> Hashtbl.replace product_producer (field r 0) (field r 4)) products;
+  let pairs = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let product = field r 2 and vendor = field r 3 in
+      match
+        ( Option.bind
+            (Hashtbl.find_opt product_producer product)
+            (Hashtbl.find_opt producer_country),
+          Hashtbl.find_opt vendor_country vendor )
+      with
+      | Some pc, Some vc when pc <> vc -> Hashtbl.replace pairs (pc, vc) ()
+      | _ -> ())
+    offers;
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) pairs [])
+
+let product_context ?seed ~scale ~product () =
+  let offers = rows ?seed ~scale "offers.csv" in
+  let reviews = rows ?seed ~scale "reviews.csv" in
+  let n_offers =
+    List.length (List.filter (fun r -> field r 2 = product) offers)
+  in
+  let n_reviews =
+    List.length (List.filter (fun r -> field r 2 = product) reviews)
+  in
+  (n_offers, n_reviews)
+
+let most_offered_product ?seed ~scale () =
+  let offers = rows ?seed ~scale "offers.csv" in
+  let counts = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      let p = field r 2 in
+      Hashtbl.replace counts p
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts p)))
+    offers;
+  let best = ref ("p0", -1) in
+  Hashtbl.iter
+    (fun p c ->
+      let bp, bc = !best in
+      if c > bc || (c = bc && p < bp) then best := (p, c))
+    counts;
+  fst !best
+
+let bi4_oracle ?seed ~scale () =
+  let producers = rows ?seed ~scale "producers.csv" in
+  let products = rows ?seed ~scale "products.csv" in
+  let reviews = rows ?seed ~scale "reviews.csv" in
+  let producer_country = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace producer_country (field r 0) (field r 5)) producers;
+  let product_producer = Hashtbl.create 256 in
+  List.iter (fun r -> Hashtbl.replace product_producer (field r 0) (field r 4)) products;
+  (* country -> (review rows incl. null ratings, rating sum, non-null count) *)
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match
+        Option.bind
+          (Hashtbl.find_opt product_producer (field r 2))
+          (Hashtbl.find_opt producer_country)
+      with
+      | None -> ()
+      | Some country ->
+          let n, sum, nn =
+            Option.value ~default:(0, 0, 0) (Hashtbl.find_opt acc country)
+          in
+          let rating = field r 7 in
+          let sum, nn =
+            if rating = "" then (sum, nn) else (sum + int_of_string rating, nn + 1)
+          in
+          Hashtbl.replace acc country (n + 1, sum, nn))
+    reviews;
+  let l =
+    Hashtbl.fold
+      (fun country (n, sum, nn) out ->
+        let avg = if nn = 0 then nan else float_of_int sum /. float_of_int nn in
+        (country, n, avg) :: out)
+      acc []
+  in
+  List.sort
+    (fun (ca, _, aa) (cb, _, ab) ->
+      if aa <> ab then compare ab aa else compare ca cb)
+    l
+
+let bi6_oracle ?seed ~scale ~product ~max_price () =
+  let shared = List.map fst (q2_oracle ?seed ~scale ~product ()) in
+  let offers = rows ?seed ~scale "offers.csv" in
+  let cheap = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      if float_of_string (field r 4) < max_price then
+        Hashtbl.replace cheap (field r 2) ())
+    offers;
+  List.sort compare (List.filter (Hashtbl.mem cheap) shared)
+
+let bi8_oracle ?seed ~scale ~product () =
+  let offers = rows ?seed ~scale "offers.csv" in
+  let vendors = rows ?seed ~scale "vendors.csv" in
+  let vendor_country = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace vendor_country (field r 0) (field r 5)) vendors;
+  let out = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if field r 2 = product then
+        match Hashtbl.find_opt vendor_country (field r 3) with
+        | Some c -> Hashtbl.replace out c ()
+        | None -> ())
+    offers;
+  List.sort compare (Hashtbl.fold (fun c () acc -> c :: acc) out [])

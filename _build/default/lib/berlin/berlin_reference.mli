@@ -1,0 +1,45 @@
+(** Independent oracle implementations of the paper's queries, computed
+    directly from the generated CSV text with plain OCaml data structures
+    — no engine code involved. Tests compare engine results against
+    these. *)
+
+val q2_oracle :
+  ?seed:int -> scale:int -> product:string -> unit -> (string * int) list
+(** All products sharing at least one feature with [product], with the
+    number of shared features, sorted by count descending then id. *)
+
+val q1_oracle :
+  ?seed:int -> scale:int -> c1:string -> c2:string -> unit ->
+  (string * int) list
+(** Type-id discussion counts: for each review written by a person from
+    [c2] about a product produced in [c1], every (product, type) entry of
+    that product contributes one. Sorted by count desc then id. *)
+
+val export_pairs : ?seed:int -> scale:int -> unit -> (string * string) list
+(** Distinct (producer country, vendor country) pairs with an offer
+    linking them, producer country <> vendor country — the Fig. 4/5
+    [export] edges. Sorted. *)
+
+val product_context :
+  ?seed:int -> scale:int -> product:string -> unit -> int * int
+(** (number of offers, number of reviews) of a product — the Fig. 9
+    subgraph's expected composition. *)
+
+val most_offered_product : ?seed:int -> scale:int -> unit -> string
+(** A product that definitely has offers and reviews (the most offered
+    one) — a convenient %Product1% for tests. *)
+
+val bi4_oracle :
+  ?seed:int -> scale:int -> unit -> (string * int * float) list
+(** (producer country, review count, average ratings_1 skipping nulls),
+    sorted by average descending then country. *)
+
+val bi6_oracle :
+  ?seed:int -> scale:int -> product:string -> max_price:float -> unit ->
+  string list
+(** Sorted product ids sharing a feature with [product] and having an
+    offer strictly below [max_price]. *)
+
+val bi8_oracle :
+  ?seed:int -> scale:int -> product:string -> unit -> string list
+(** Sorted distinct vendor countries offering [product]. *)

@@ -1,0 +1,194 @@
+(* Appendix A of the paper, verbatim modulo comment syntax. *)
+let tables_ddl =
+  {|
+create table Types(
+  id varchar(10),
+  type varchar(10), // ProductType
+  comment varchar(255),
+  subclassOf varchar(10), // Types.id [1..N]
+  publisher varchar(10),
+  date date
+)
+
+create table Features(
+  id varchar(10),
+  type varchar(10), // ProductFeatures
+  label varchar(10),
+  comment varchar(255),
+  publisher varchar(10),
+  date date
+)
+
+create table Producers(
+  id varchar(10),
+  type varchar(10), // Producer
+  label varchar(10),
+  comment varchar(255),
+  homepage varchar(10),
+  country varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Products(
+  id varchar(10),
+  type varchar(10), // Product
+  label varchar(10),
+  comment varchar(255),
+  producer varchar(10), // Producers.id
+  propertyNumeric_1 integer,
+  propertyNumeric_2 integer,
+  propertyNumeric_3 integer,
+  propertyNumeric_4 integer,
+  propertyNumeric_5 integer,
+  propertyText_1 varchar(10),
+  propertyText_2 varchar(10),
+  propertyText_3 varchar(10),
+  propertyText_4 varchar(10),
+  propertyText_5 varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Vendors(
+  id varchar(10),
+  type varchar(10), // Vendor
+  label varchar(10),
+  comment varchar(255),
+  homepage varchar(10),
+  country varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Offers(
+  id varchar(10),
+  type varchar(10), // Offer
+  product varchar(10), // Products.id
+  vendor varchar(10), // Vendors.id
+  price float,
+  validFrom date,
+  validTo date,
+  deliveryDays integer,
+  offerWebPage varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Persons(
+  id varchar(10),
+  type varchar(10), // Person
+  name varchar(10),
+  mailbox varchar(10),
+  country varchar(10),
+  publisher varchar(10),
+  date date
+)
+
+create table Reviews(
+  id varchar(10),
+  type varchar(10), // Review
+  reviewFor varchar(10), // Products.id
+  reviewer varchar(10), // Persons.id
+  reviewDate date,
+  title varchar(10),
+  text varchar(10),
+  ratings_1 integer,
+  ratings_2 integer,
+  ratings_3 integer,
+  ratings_4 integer,
+  publisher varchar(10),
+  date date
+)
+
+create table ProductTypes(
+  product varchar(10), // Products.id
+  type varchar(10) // Types.id
+)
+
+create table ProductFeatures(
+  product varchar(10), // Products.id
+  feature varchar(10) // Features.id
+)
+|}
+
+(* Fig. 2. *)
+let vertices_ddl =
+  {|
+create vertex TypeVtx(id) from table Types
+create vertex FeatureVtx(id) from table Features
+create vertex ProducerVtx(id) from table Producers
+create vertex ProductVtx(id) from table Products
+create vertex VendorVtx(id) from table Vendors
+create vertex OfferVtx(id) from table Offers
+create vertex PersonVtx(id) from table Persons
+create vertex ReviewVtx(id) from table Reviews
+|}
+
+(* Fig. 3. *)
+let edges_ddl =
+  {|
+create edge subclass with
+vertices (TypeVtx as A, TypeVtx as B)
+where A.subclassOf = B.id
+
+create edge producer with
+vertices (ProductVtx, ProducerVtx)
+where ProductVtx.producer = ProducerVtx.id
+
+create edge type with
+vertices (ProductVtx, TypeVtx)
+from table ProductTypes
+where ProductTypes.product = ProductVtx.id
+and ProductTypes.type = TypeVtx.id
+
+create edge feature with
+vertices (ProductVtx, FeatureVtx)
+from table ProductFeatures
+where ProductFeatures.product = ProductVtx.id
+and ProductFeatures.feature = FeatureVtx.id
+
+create edge product with
+vertices (OfferVtx, ProductVtx)
+where OfferVtx.product = ProductVtx.id
+
+create edge vendor with
+vertices (OfferVtx, VendorVtx)
+where OfferVtx.vendor = VendorVtx.id
+
+create edge reviewFor with
+vertices (ReviewVtx, ProductVtx)
+where ReviewVtx.reviewFor = ProductVtx.id
+
+create edge reviewer with
+vertices (ReviewVtx, PersonVtx)
+where ReviewVtx.reviewer = PersonVtx.id
+|}
+
+(* Fig. 4 (the paper shows these declarations partially; reconstructed per
+   the described semantics: a vertex per unique country code and an edge
+   per product produced in one country and offered by a vendor in
+   another). *)
+let country_ddl =
+  {|
+create vertex ProducerCountry(country) from table Producers
+create vertex VendorCountry(country) from table Vendors
+
+create edge export with
+vertices (ProducerCountry as A, VendorCountry as B)
+where Products.producer = Producers.id
+and Offers.product = Products.id
+and Offers.vendor = Vendors.id
+and A.country = Producers.country
+and B.country = Vendors.country
+and Producers.country != Vendors.country
+|}
+
+let full_ddl =
+  String.concat "\n" [ tables_ddl; vertices_ddl; edges_ddl; country_ddl ]
+
+let ingest_script files =
+  String.concat "\n"
+    (List.map
+       (fun (table, file) -> Printf.sprintf "ingest table %s %s" table file)
+       files)

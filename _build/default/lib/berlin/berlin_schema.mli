@@ -1,0 +1,24 @@
+(** The Berlin (BSBM) business-intelligence schema used throughout the
+    paper: Appendix A table declarations, Fig. 2 vertex declarations,
+    Fig. 3 edge declarations, and the Fig. 4 many-to-one country
+    vertices + export edge. *)
+
+val tables_ddl : string
+(** Appendix A, verbatim GraQL. *)
+
+val vertices_ddl : string
+(** Fig. 2. *)
+
+val edges_ddl : string
+(** Fig. 3. *)
+
+val country_ddl : string
+(** Fig. 4: [ProducerCountry], [VendorCountry] and the [export] edge
+    (reconstructed: the paper shows the declarations partially). *)
+
+val full_ddl : string
+(** All of the above, in order. *)
+
+val ingest_script : (string * string) list -> string
+(** [ingest_script files] — one [ingest table T file.csv] line per (table,
+    filename) pair. *)

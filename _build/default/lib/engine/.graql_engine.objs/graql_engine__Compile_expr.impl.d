@@ -1,0 +1,1 @@
+lib/engine/compile_expr.ml: Graql_lang Graql_relational Graql_storage Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/engine/compile_expr.mli: Graql_lang Graql_relational Graql_storage

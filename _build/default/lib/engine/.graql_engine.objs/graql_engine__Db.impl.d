@@ -1,0 +1,1 @@
+lib/engine/db.ml: Fun Graql_analysis Graql_graph Graql_lang Graql_parallel Graql_storage Hashtbl List Mutex Option String

@@ -1,0 +1,1 @@
+lib/engine/db.mli: Graql_analysis Graql_graph Graql_lang Graql_parallel Graql_storage

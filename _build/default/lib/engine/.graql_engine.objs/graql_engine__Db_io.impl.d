@@ -1,0 +1,1 @@
+lib/engine/db_io.ml: Buffer Db Filename Graql_lang Graql_storage List Printf String Sys

@@ -1,0 +1,1 @@
+lib/engine/db_io.mli: Db

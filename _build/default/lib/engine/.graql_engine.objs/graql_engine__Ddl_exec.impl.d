@@ -1,0 +1,1 @@
+lib/engine/ddl_exec.ml: Array Compile_expr Db Fun Graql_graph Graql_lang Graql_relational Graql_storage Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/engine/ddl_exec.mli: Db Graql_graph Graql_lang

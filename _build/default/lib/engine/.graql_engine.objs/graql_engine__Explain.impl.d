@@ -1,0 +1,1 @@
+lib/engine/explain.ml: Array Compile_expr Db Float Format Graql_graph Graql_lang Graql_storage Graql_util List Pack Path_exec Printf String

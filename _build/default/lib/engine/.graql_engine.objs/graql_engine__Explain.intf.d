@@ -1,0 +1,1 @@
+lib/engine/explain.mli: Db Format Graql_lang Graql_storage

@@ -1,0 +1,1 @@
+lib/engine/pack.ml: Array Graql_graph Hashtbl List String

@@ -1,0 +1,1 @@
+lib/engine/pack.mli: Graql_graph Hashtbl

@@ -1,0 +1,1 @@
+lib/engine/path_exec.ml: Array Compile_expr Db Fun Graql_graph Graql_lang Graql_parallel Graql_storage Graql_util Hashtbl List Option Pack Printf Step_cond String

@@ -1,0 +1,1 @@
+lib/engine/path_exec.mli: Db Graql_lang Graql_storage Pack

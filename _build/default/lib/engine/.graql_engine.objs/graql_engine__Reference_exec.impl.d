@@ -1,0 +1,1 @@
+lib/engine/reference_exec.ml: Array Db Graql_graph Graql_lang Graql_storage Hashtbl List Pack Printf Step_cond String

@@ -1,0 +1,1 @@
+lib/engine/reference_exec.mli: Db Graql_lang Graql_storage

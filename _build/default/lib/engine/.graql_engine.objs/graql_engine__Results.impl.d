@@ -1,0 +1,1 @@
+lib/engine/results.ml: Array Compile_expr Fun Graql_graph Graql_lang Graql_relational Graql_storage Hashtbl List Option Pack Path_exec Printf String

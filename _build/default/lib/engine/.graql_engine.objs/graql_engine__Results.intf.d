@@ -1,0 +1,1 @@
+lib/engine/results.mli: Graql_graph Graql_lang Graql_storage Path_exec

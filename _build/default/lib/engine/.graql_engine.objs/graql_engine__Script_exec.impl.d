@@ -1,0 +1,1 @@
+lib/engine/script_exec.ml: Array Compile_expr Db Ddl_exec Fun Graql_graph Graql_lang Graql_parallel Graql_storage List Option Path_exec Printf Results String Table_exec

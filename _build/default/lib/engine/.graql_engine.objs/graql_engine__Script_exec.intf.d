@@ -1,0 +1,1 @@
+lib/engine/script_exec.mli: Db Graql_graph Graql_lang Graql_storage

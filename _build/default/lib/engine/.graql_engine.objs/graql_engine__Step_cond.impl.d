@@ -1,0 +1,1 @@
+lib/engine/step_cond.ml: Array Compile_expr Graql_graph Graql_lang Graql_relational Graql_storage List Pack Printf String

@@ -1,0 +1,1 @@
+lib/engine/step_cond.mli: Graql_graph Graql_lang Graql_storage Pack

@@ -1,0 +1,1 @@
+lib/engine/table_exec.ml: Compile_expr Db Fun Graql_lang Graql_relational Graql_storage List Option Printf String

@@ -1,0 +1,1 @@
+lib/engine/table_exec.mli: Db Graql_lang Graql_storage

@@ -1,0 +1,117 @@
+module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
+module Row_expr = Graql_relational.Row_expr
+module Value = Graql_storage.Value
+module Dtype = Graql_storage.Dtype
+module Date = Graql_storage.Date
+
+exception Compile_error of Loc.t * string
+
+type col_ref = { cr_index : int; cr_dtype : Dtype.t }
+type binder = qual:string option -> attr:string -> Loc.t -> col_ref
+
+let error loc fmt =
+  Printf.ksprintf (fun msg -> raise (Compile_error (loc, msg))) fmt
+
+let value_of_lit = function
+  | Ast.L_int i -> Value.Int i
+  | Ast.L_float f -> Value.Float f
+  | Ast.L_string s -> Value.Str s
+  | Ast.L_bool b -> Value.Bool b
+  | Ast.L_null -> Value.Null
+
+let binop_cmp = function
+  | Ast.Eq -> Some Row_expr.Eq
+  | Ast.Ne -> Some Row_expr.Ne
+  | Ast.Lt -> Some Row_expr.Lt
+  | Ast.Le -> Some Row_expr.Le
+  | Ast.Gt -> Some Row_expr.Gt
+  | Ast.Ge -> Some Row_expr.Ge
+  | _ -> None
+
+let binop_arith = function
+  | Ast.Add -> Some Row_expr.Add
+  | Ast.Sub -> Some Row_expr.Sub
+  | Ast.Mul -> Some Row_expr.Mul
+  | Ast.Div -> Some Row_expr.Div
+  | Ast.Mod -> Some Row_expr.Mod
+  | _ -> None
+
+(* Dtype of an already-lowered expression when statically evident. *)
+let rec dtype_of binder_types = function
+  | Row_expr.Col i -> binder_types i
+  | Row_expr.Const v -> Value.dtype_of v
+  | Row_expr.Arith (_, a, b) -> (
+      match (dtype_of binder_types a, dtype_of binder_types b) with
+      | Some Dtype.Date, _ | _, Some Dtype.Date -> Some Dtype.Date
+      | Some Dtype.Float, _ | _, Some Dtype.Float -> Some Dtype.Float
+      | t, _ -> t)
+  | _ -> None
+
+(* Coerce a string constant to a date when compared against a date-typed
+   expression: the concrete syntax writes dates as '2008-01-01'. *)
+let coerce_for_cmp binder_types a b =
+  let coerce target other =
+    match (dtype_of binder_types target, other) with
+    | Some Dtype.Date, Row_expr.Const (Value.Str s) -> (
+        match Date.of_string_opt s with
+        | Some d -> Some (Row_expr.Const (Value.Date d))
+        | None -> None)
+    | _ -> None
+  in
+  match coerce a b with
+  | Some b' -> (a, b')
+  | None -> (
+      match coerce b a with
+      | Some a' -> (a', b)
+      | None -> (a, b))
+
+let compile ?(params = fun _ -> None) (binder : binder) expr =
+  (* Track column dtypes so comparisons can coerce constants. *)
+  let col_types = Hashtbl.create 8 in
+  let binder_types i = Hashtbl.find_opt col_types i in
+  let bind ~qual ~attr loc =
+    let cr = binder ~qual ~attr loc in
+    Hashtbl.replace col_types cr.cr_index cr.cr_dtype;
+    Row_expr.Col cr.cr_index
+  in
+  let rec go = function
+    | Ast.E_lit (l, _) -> Row_expr.Const (value_of_lit l)
+    | Ast.E_param (name, loc) -> (
+        match params name with
+        | Some v -> Row_expr.Const v
+        | None -> error loc "unbound parameter %%%s%%" name)
+    | Ast.E_attr (qual, attr, loc) -> bind ~qual ~attr loc
+    | Ast.E_binop (op, a, b, loc) -> (
+        let la = go a and lb = go b in
+        match binop_cmp op with
+        | Some cmp ->
+            let la, lb = coerce_for_cmp binder_types la lb in
+            Row_expr.Cmp (cmp, la, lb)
+        | None -> (
+            match binop_arith op with
+            | Some arith -> Row_expr.Arith (arith, la, lb)
+            | None -> (
+                match op with
+                | Ast.And -> Row_expr.And (la, lb)
+                | Ast.Or -> Row_expr.Or (la, lb)
+                | Ast.Like -> (
+                    match lb with
+                    | Row_expr.Const (Value.Str pattern) ->
+                        Row_expr.Like (la, pattern)
+                    | _ -> error loc "like pattern must be a string literal")
+                | _ -> assert false)))
+    | Ast.E_unop (Ast.Not, a, _) -> Row_expr.Not (go a)
+    | Ast.E_unop (Ast.Neg, a, _) ->
+        Row_expr.Arith (Row_expr.Sub, Row_expr.Const (Value.Int 0), go a)
+    | Ast.E_is_null (a, negated, _) ->
+        let e = Row_expr.IsNull (go a) in
+        if negated then Row_expr.Not e else e
+    | Ast.E_call (f, _, loc) ->
+        error loc "aggregate %s() cannot appear in a condition" f
+  in
+  go expr
+
+let rec conjuncts = function
+  | Ast.E_binop (Ast.And, a, b, _) -> conjuncts a @ conjuncts b
+  | e -> [ e ]

@@ -1,0 +1,26 @@
+(** Lowering of GraQL condition/target expressions to executable
+    {!Graql_relational.Row_expr} over a concrete column layout. *)
+
+module Ast = Graql_lang.Ast
+module Row_expr = Graql_relational.Row_expr
+module Value = Graql_storage.Value
+module Dtype = Graql_storage.Dtype
+
+exception Compile_error of Graql_lang.Loc.t * string
+
+type col_ref = { cr_index : int; cr_dtype : Dtype.t }
+
+type binder = qual:string option -> attr:string -> Graql_lang.Loc.t -> col_ref
+(** Maps an attribute reference to a column of the evaluation row. Raise
+    {!Compile_error} for unknown references. *)
+
+val value_of_lit : Ast.lit -> Value.t
+
+val compile :
+  ?params:(string -> Value.t option) -> binder -> Ast.expr -> Row_expr.t
+(** Raises {!Compile_error} on unbound parameters, aggregate calls, or
+    binder failures. String constants compared against date columns are
+    coerced to dates at compile time. *)
+
+val conjuncts : Ast.expr -> Ast.expr list
+(** Flatten top-level [and]s — used by the edge-declaration join planner. *)

@@ -1,0 +1,213 @@
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Table_catalog = Graql_storage.Table_catalog
+module Schema = Graql_storage.Schema
+module Graph_store = Graql_graph.Graph_store
+module Subgraph = Graql_graph.Subgraph
+module Vset = Graql_graph.Vset
+module Eset = Graql_graph.Eset
+module Meta = Graql_analysis.Meta
+module Ast = Graql_lang.Ast
+
+type vertex_def = {
+  vd_name : string;
+  vd_key : string list;
+  vd_from : string;
+  vd_where : Ast.expr option;
+}
+
+type edge_def = {
+  ed_name : string;
+  ed_src : Ast.vertex_endpoint;
+  ed_dst : Ast.vertex_endpoint;
+  ed_from : string option;
+  ed_where : Ast.expr option;
+}
+
+type t = {
+  tables : Table_catalog.t;
+  mutable vertex_defs : vertex_def list; (* reversed *)
+  mutable edge_defs : edge_def list; (* reversed *)
+  mutable built : Graph_store.t option;
+  (* Previous build kept for selective view reuse, plus the (table,
+     version) dependency fingerprint each view was built against. *)
+  mutable last_built : Graph_store.t option;
+  mutable view_fingerprints : (string * (string * int) list) list;
+  table_versions : (string, int) Hashtbl.t;
+  mutable builder : (t -> Graph_store.t) option;
+  subgraphs : (string, Subgraph.t) Hashtbl.t;
+  mutable subgraph_order : string list;
+  params : (string, Value.t) Hashtbl.t;
+  pool : Graql_parallel.Domain_pool.t option;
+  mutex : Mutex.t;
+}
+
+let create ?pool () =
+  {
+    tables = Table_catalog.create ();
+    vertex_defs = [];
+    edge_defs = [];
+    built = None;
+    last_built = None;
+    view_fingerprints = [];
+    table_versions = Hashtbl.create 16;
+    builder = None;
+    subgraphs = Hashtbl.create 8;
+    subgraph_order = [];
+    params = Hashtbl.create 8;
+    pool;
+    mutex = Mutex.create ();
+  }
+
+let pool t = t.pool
+let tables t = t.tables
+let add_table t table = Table_catalog.add t.tables table
+let find_table t name = Table_catalog.find t.tables name
+let find_table_exn t name = Table_catalog.find_exn t.tables name
+
+let invalidate_graph t =
+  (match t.built with Some g -> t.last_built <- Some g | None -> ());
+  t.built <- None
+
+let table_version t name =
+  Option.value ~default:0
+    (Hashtbl.find_opt t.table_versions (String.lowercase_ascii name))
+
+let touch_table t name =
+  Hashtbl.replace t.table_versions
+    (String.lowercase_ascii name)
+    (table_version t name + 1);
+  invalidate_graph t
+
+let last_built t = t.last_built
+let view_fingerprints t = t.view_fingerprints
+let set_view_fingerprints t fps = t.view_fingerprints <- fps
+
+let add_vertex_def t vd =
+  t.vertex_defs <- vd :: t.vertex_defs;
+  invalidate_graph t
+
+let add_edge_def t ed =
+  t.edge_defs <- ed :: t.edge_defs;
+  invalidate_graph t
+
+let vertex_defs t = List.rev t.vertex_defs
+let edge_defs t = List.rev t.edge_defs
+
+let set_builder t f = t.builder <- Some f
+
+let graph t =
+  match t.built with
+  | Some g -> g
+  | None -> (
+      match t.builder with
+      | None -> failwith "Db.graph: no view builder installed"
+      | Some build ->
+          let g = build t in
+          t.built <- Some g;
+          g)
+
+let norm = String.lowercase_ascii
+
+let add_subgraph t sg =
+  let key = norm (Subgraph.name sg) in
+  if not (Hashtbl.mem t.subgraphs key) then
+    t.subgraph_order <- key :: t.subgraph_order;
+  Hashtbl.replace t.subgraphs key sg
+
+let find_subgraph t name = Hashtbl.find_opt t.subgraphs (norm name)
+
+let subgraph_names t =
+  List.rev_map
+    (fun key -> Subgraph.name (Hashtbl.find t.subgraphs key))
+    t.subgraph_order
+
+let set_param t name v = Hashtbl.replace t.params name v
+let find_param t name = Hashtbl.find_opt t.params name
+
+let register_result_table t table = Table_catalog.replace t.tables table
+
+let meta t =
+  let m = Meta.create () in
+  List.iter
+    (fun name ->
+      let table = Table_catalog.find_exn t.tables name in
+      Meta.add_table m name (Table.schema table);
+      Meta.set_size m name (Table.nrows table))
+    (Table_catalog.names t.tables);
+  (* Prefer built views (real sizes + one-to-one attribute visibility); fall
+     back to definitions when the graph has not been built yet. *)
+  (match t.built with
+  | Some g ->
+      List.iter
+        (fun vname ->
+          let v = Graph_store.find_vset_exn g vname in
+          Meta.add_vertex m
+            {
+              Meta.vm_name = vname;
+              vm_key = Vset.key_schema v;
+              vm_attrs = Vset.attr_schema v;
+              vm_source = Table.name (Vset.source_table v);
+              vm_size = Some (Vset.size v);
+            })
+        (Graph_store.vset_names g);
+      List.iter
+        (fun ename ->
+          let e = Graph_store.find_eset_exn g ename in
+          Meta.add_edge m
+            {
+              Meta.em_name = ename;
+              em_src = Eset.src_type e;
+              em_dst = Eset.dst_type e;
+              em_attrs = Option.map Table.schema (Eset.attr_table e);
+              em_size = Some (Eset.size e);
+            })
+        (Graph_store.eset_names g)
+  | None ->
+      List.iter
+        (fun vd ->
+          match Table_catalog.find t.tables vd.vd_from with
+          | Some table ->
+              let schema = Table.schema table in
+              let key_cols =
+                List.filter_map
+                  (fun k ->
+                    Option.map
+                      (fun i ->
+                        { Schema.name = k; dtype = Schema.col_dtype schema i })
+                      (Schema.find schema k))
+                  vd.vd_key
+              in
+              Meta.add_vertex m
+                {
+                  Meta.vm_name = vd.vd_name;
+                  vm_key = Schema.make key_cols;
+                  vm_attrs = schema;
+                  vm_source = vd.vd_from;
+                  vm_size = None;
+                }
+          | None -> ())
+        (vertex_defs t);
+      List.iter
+        (fun ed ->
+          Meta.add_edge m
+            {
+              Meta.em_name = ed.ed_name;
+              em_src = ed.ed_src.Ast.ve_type;
+              em_dst = ed.ed_dst.Ast.ve_type;
+              em_attrs =
+                Option.bind ed.ed_from (fun tn ->
+                    Option.map Table.schema (Table_catalog.find t.tables tn));
+              em_size = None;
+            })
+        (edge_defs t));
+  List.iter
+    (fun sgname ->
+      let sg = Hashtbl.find t.subgraphs (norm sgname) in
+      Meta.add_subgraph m sgname (Subgraph.vtypes sg))
+    (subgraph_names t);
+  m
+
+let lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f

@@ -1,0 +1,88 @@
+(** Backend database state: tables, graph views, result subgraphs, query
+    parameters.
+
+    Vertex/edge declarations are retained as *definitions*; built views are
+    (re)generated from table data on demand. This implements the paper's
+    ingest semantics — "data ingest triggers not only the population of
+    rows in the table, but also the generation of associated vertex and
+    edge instances derived from the table" — by invalidating the graph on
+    ingest and rebuilding it before the next graph query. *)
+
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Ast = Graql_lang.Ast
+
+type vertex_def = {
+  vd_name : string;
+  vd_key : string list;
+  vd_from : string;
+  vd_where : Ast.expr option;
+}
+
+type edge_def = {
+  ed_name : string;
+  ed_src : Ast.vertex_endpoint;
+  ed_dst : Ast.vertex_endpoint;
+  ed_from : string option;
+  ed_where : Ast.expr option;
+}
+
+type t
+
+val create : ?pool:Graql_parallel.Domain_pool.t -> unit -> t
+val pool : t -> Graql_parallel.Domain_pool.t option
+
+val tables : t -> Graql_storage.Table_catalog.t
+val add_table : t -> Table.t -> unit
+val find_table : t -> string -> Table.t option
+val find_table_exn : t -> string -> Table.t
+
+val add_vertex_def : t -> vertex_def -> unit
+val add_edge_def : t -> edge_def -> unit
+val vertex_defs : t -> vertex_def list
+val edge_defs : t -> edge_def list
+
+val invalidate_graph : t -> unit
+(** Drop the built graph; it rebuilds lazily on next access. The previous
+    build is retained so unchanged views can be reused. *)
+
+val touch_table : t -> string -> unit
+(** Record that a table's contents changed (ingest does this). Bumps the
+    table's version and invalidates the graph; on the next access only
+    views depending on touched tables rebuild. *)
+
+val table_version : t -> string -> int
+
+val last_built : t -> Graql_graph.Graph_store.t option
+(** The most recent complete build, for selective reuse by the builder. *)
+
+val view_fingerprints : t -> (string * (string * int) list) list
+(** Per view: the (table, version) dependencies it was built against. *)
+
+val set_view_fingerprints : t -> (string * (string * int) list) list -> unit
+
+val graph : t -> Graql_graph.Graph_store.t
+(** The built graph; rebuilds from definitions if invalidated. Raises
+    [Failure] if a definition cannot be built (the static checker should
+    have caught it). The builder is injected by {!set_builder} (wired up
+    by [Ddl_exec] to avoid a dependency cycle). *)
+
+val set_builder : t -> (t -> Graql_graph.Graph_store.t) -> unit
+
+val add_subgraph : t -> Graql_graph.Subgraph.t -> unit
+val find_subgraph : t -> string -> Graql_graph.Subgraph.t option
+val subgraph_names : t -> string list
+
+val set_param : t -> string -> Value.t -> unit
+val find_param : t -> string -> Value.t option
+
+val register_result_table : t -> Table.t -> unit
+(** [into table] result registration: replaces any previous table with the
+    same name (results may be overwritten across runs). *)
+
+val meta : t -> Graql_analysis.Meta.t
+(** Metadata snapshot of the current state, with sizes — what the GEMS
+    front-end catalog would serve. *)
+
+val lock : t -> (unit -> 'a) -> 'a
+(** Serialize result registration during parallel statement execution. *)

@@ -1,0 +1,91 @@
+module Table = Graql_storage.Table
+module Schema = Graql_storage.Schema
+module Dtype = Graql_storage.Dtype
+module Csv = Graql_storage.Csv
+module Table_catalog = Graql_storage.Table_catalog
+module Pretty = Graql_lang.Pretty
+module Ast = Graql_lang.Ast
+
+let csv_name table = String.lowercase_ascii (Table.name table) ^ ".csv"
+
+let create_table_stmt table =
+  let schema = Table.schema table in
+  let cols =
+    List.init (Schema.arity schema) (fun i ->
+        Printf.sprintf "%s %s" (Schema.col_name schema i)
+          (Dtype.to_string (Schema.col_dtype schema i)))
+  in
+  Printf.sprintf "create table %s (%s)" (Table.name table)
+    (String.concat ", " cols)
+
+let vertex_stmt (vd : Db.vertex_def) =
+  let where =
+    match vd.Db.vd_where with
+    | Some e -> Printf.sprintf " where %s" (Pretty.expr_to_string e)
+    | None -> ""
+  in
+  Printf.sprintf "create vertex %s(%s) from table %s%s" vd.Db.vd_name
+    (String.concat ", " vd.Db.vd_key)
+    vd.Db.vd_from where
+
+let edge_stmt (ed : Db.edge_def) =
+  let endpoint (e : Ast.vertex_endpoint) =
+    match e.Ast.ve_alias with
+    | Some a -> Printf.sprintf "%s as %s" e.Ast.ve_type a
+    | None -> e.Ast.ve_type
+  in
+  let from =
+    match ed.Db.ed_from with
+    | Some t -> Printf.sprintf " from table %s" t
+    | None -> ""
+  in
+  let where =
+    match ed.Db.ed_where with
+    | Some e -> Printf.sprintf " where %s" (Pretty.expr_to_string e)
+    | None -> ""
+  in
+  Printf.sprintf "create edge %s with vertices (%s, %s)%s%s" ed.Db.ed_name
+    (endpoint ed.Db.ed_src) (endpoint ed.Db.ed_dst) from where
+
+let ddl_of_db db =
+  let tables =
+    List.map (Table_catalog.find_exn (Db.tables db)) (Table_catalog.names (Db.tables db))
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun t ->
+      Buffer.add_string buf (create_table_stmt t);
+      Buffer.add_char buf '\n')
+    tables;
+  List.iter
+    (fun vd ->
+      Buffer.add_string buf (vertex_stmt vd);
+      Buffer.add_char buf '\n')
+    (Db.vertex_defs db);
+  List.iter
+    (fun ed ->
+      Buffer.add_string buf (edge_stmt ed);
+      Buffer.add_char buf '\n')
+    (Db.edge_defs db);
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "ingest table %s %s\n" (Table.name t) (csv_name t)))
+    tables;
+  Buffer.contents buf
+
+let export_files db =
+  let tables =
+    List.map (Table_catalog.find_exn (Db.tables db)) (Table_catalog.names (Db.tables db))
+  in
+  ("schema.graql", ddl_of_db db)
+  :: List.map (fun t -> (csv_name t, Csv.table_to_csv t)) tables
+
+let export db ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, contents) ->
+      let oc = open_out_bin (Filename.concat dir name) in
+      output_string oc contents;
+      close_out oc)
+    (export_files db)

@@ -1,0 +1,18 @@
+(** Saving a database back to files: the paper's data sources "reside on a
+    high performance parallel filesystem ... for purposes of data ingest
+    and eventual output to files". Export writes one CSV per table plus a
+    [schema.graql] that reconstructs the DDL and re-ingests the data, so a
+    dump can be reloaded with [graql run schema.graql --data-dir DIR]. *)
+
+val ddl_of_db : Db.t -> string
+(** The create table / create vertex / create edge statements describing
+    the database, in dependency order, followed by ingest statements. *)
+
+val export : Db.t -> dir:string -> unit
+(** Write every table as [<name>.csv] (header row included) plus
+    [schema.graql] into [dir] (created if missing). Result subgraphs are
+    views and are not persisted — re-run their queries after reload. *)
+
+val export_files : Db.t -> (string * string) list
+(** The same content as {!export}, as (filename, contents) pairs — used by
+    tests and in-memory round-trips. *)

@@ -1,0 +1,243 @@
+module Ast = Graql_lang.Ast
+module Value = Graql_storage.Value
+module Schema = Graql_storage.Schema
+module Vset = Graql_graph.Vset
+module Eset = Graql_graph.Eset
+module Csr = Graql_graph.Csr
+module Subgraph = Graql_graph.Subgraph
+module Bitset = Graql_util.Bitset
+
+type seed_strategy =
+  | Seed_key_lookup of string
+  | Seed_scan_filtered
+  | Seed_scan_full
+  | Seed_subgraph of string
+  | Seed_all_types
+
+type step_plan = { sp_label : string; sp_fanout : float; sp_estimate : float }
+
+type plan = {
+  pl_direction : [ `Forward | `Backward ];
+  pl_seed : seed_strategy;
+  pl_seed_estimate : float;
+  pl_steps : step_plan list;
+}
+
+let norm = String.lowercase_ascii
+
+(* Selectivity guesses mirror the executor's planner: key equality -> one
+   row; any other condition -> 10%. *)
+let cond_selectivity = 0.1
+
+let seed_of ~db u (v : Ast.vstep) ~params =
+  match v.Ast.v_kind with
+  | Ast.V_any ->
+      let total =
+        Array.fold_left (fun acc vs -> acc + Vset.size vs) 0 u.Pack.vtypes
+      in
+      (Seed_all_types, float_of_int total)
+  | Ast.V_seeded (sg, vt) ->
+      let size =
+        match Db.find_subgraph db sg with
+        | Some sub -> (
+            match Subgraph.vertices sub ~vtype:vt with
+            | Some bits -> Bitset.cardinal bits
+            | None -> 0)
+        | None -> 0
+      in
+      let est =
+        match v.Ast.v_cond with
+        | Some _ -> float_of_int size *. cond_selectivity
+        | None -> float_of_int size
+      in
+      (Seed_subgraph sg, est)
+  | Ast.V_named n -> (
+      match Pack.vtype_index u n with
+      | None -> (Seed_scan_full, 0.0) (* label head: sized by the other path *)
+      | Some tidx -> (
+          let vset = u.Pack.vtypes.(tidx) in
+          let size = float_of_int (Vset.size vset) in
+          match v.Ast.v_cond with
+          | None -> (Seed_scan_full, size)
+          | Some cond ->
+              let key_schema = Vset.key_schema vset in
+              let key_eq =
+                if Schema.arity key_schema <> 1 then None
+                else
+                  let kname = norm (Schema.col_name key_schema 0) in
+                  let value_of = function
+                    | Ast.E_lit (l, _) -> Some (Compile_expr.value_of_lit l)
+                    | Ast.E_param (p, _) -> params p
+                    | _ -> None
+                  in
+                  List.find_map
+                    (function
+                      | Ast.E_binop (Ast.Eq, Ast.E_attr (_, a, _), rhs, _)
+                        when norm a = kname ->
+                          value_of rhs
+                      | Ast.E_binop (Ast.Eq, lhs, Ast.E_attr (_, a, _), _)
+                        when norm a = kname ->
+                          value_of lhs
+                      | _ -> None)
+                    (Compile_expr.conjuncts cond)
+              in
+              (match key_eq with
+              | Some v -> (Seed_key_lookup (Value.to_string v), 1.0)
+              | None -> (Seed_scan_filtered, Float.max 1.0 (size *. cond_selectivity)))))
+
+(* Fan-out of one traversal step from a set of possible source types. *)
+let step_stats u (e : Ast.estep) ~from_types ~(to_spec : Ast.vstep) =
+  let to_name =
+    match to_spec.Ast.v_kind with
+    | Ast.V_named n when Pack.vtype_index u n <> None -> Some (norm n)
+    | Ast.V_seeded (_, vt) -> Some (norm vt)
+    | _ -> None
+  in
+  let esets = ref [] in
+  Array.iter
+    (fun eset ->
+      let name_ok =
+        match e.Ast.e_kind with
+        | Ast.E_named n -> norm n = norm (Eset.name eset)
+        | Ast.E_any -> true
+      in
+      if name_ok then begin
+        let src = norm (Eset.src_type eset) and dst = norm (Eset.dst_type eset) in
+        let from_t, to_t =
+          match e.Ast.e_dir with Ast.Out -> (src, dst) | Ast.In -> (dst, src)
+        in
+        let from_ok =
+          match from_types with None -> true | Some ts -> List.mem from_t ts
+        in
+        let to_ok = match to_name with None -> true | Some t -> t = to_t in
+        if from_ok && to_ok then esets := eset :: !esets
+      end)
+    u.Pack.etypes;
+  let fanout =
+    List.fold_left
+      (fun acc eset ->
+        let csr =
+          match e.Ast.e_dir with
+          | Ast.Out -> Eset.forward eset
+          | Ast.In -> Eset.reverse eset
+        in
+        acc +. Csr.avg_degree csr)
+      0.0 !esets
+  in
+  let names =
+    match !esets with
+    | [] -> "(no matching edge type)"
+    | l -> String.concat "+" (List.rev_map Eset.name l)
+  in
+  let targets =
+    match to_name with Some t -> t | None -> "[ ]"
+  in
+  let dir = match e.Ast.e_dir with Ast.Out -> "-->" | Ast.In -> "<--" in
+  (Printf.sprintf "%s %s %s" dir names targets, fanout)
+
+let reverse_if_needed ~db ~params p =
+  match Path_exec.chosen_direction p ~db ~params with
+  | `Forward -> (`Forward, p)
+  | `Backward ->
+      (* Mirror the executor: explain the reversed path. *)
+      let flip (e : Ast.estep) =
+        {
+          e with
+          Ast.e_dir = (match e.Ast.e_dir with Ast.Out -> Ast.In | Ast.In -> Ast.Out);
+        }
+      in
+      let steps =
+        List.map
+          (function
+            | Ast.Seg_step (e, v) -> (e, v)
+            | Ast.Seg_regex _ -> assert false)
+          p.Ast.segments
+      in
+      let vertices = p.Ast.head :: List.map snd steps in
+      let edges = List.map fst steps in
+      let rev_vertices = List.rev vertices in
+      let rev_edges = List.rev_map flip edges in
+      (match rev_vertices with
+      | [] -> (`Forward, p)
+      | head :: rest ->
+          let segments = List.map2 (fun e v -> Ast.Seg_step (e, v)) rev_edges rest in
+          (`Backward, { Ast.head; segments }))
+
+let explain_path ~db ~params (p : Ast.path) =
+  let u = Pack.universe (Db.graph db) in
+  let direction, p = reverse_if_needed ~db ~params p in
+  let seed, seed_est = seed_of ~db u p.Ast.head ~params in
+  let head_types =
+    match p.Ast.head.Ast.v_kind with
+    | Ast.V_named n when Pack.vtype_index u n <> None -> Some [ norm n ]
+    | Ast.V_seeded (_, vt) -> Some [ norm vt ]
+    | _ -> None
+  in
+  let steps = ref [] in
+  let est = ref seed_est in
+  let types = ref head_types in
+  List.iter
+    (fun seg ->
+      match seg with
+      | Ast.Seg_step (e, v) ->
+          let label, fanout = step_stats u e ~from_types:!types ~to_spec:v in
+          let sel = match v.Ast.v_cond with Some _ -> cond_selectivity | None -> 1.0 in
+          est := !est *. fanout *. sel;
+          steps := { sp_label = label; sp_fanout = fanout; sp_estimate = !est } :: !steps;
+          types :=
+            (match v.Ast.v_kind with
+            | Ast.V_named n when Pack.vtype_index u n <> None -> Some [ norm n ]
+            | Ast.V_seeded (_, vt) -> Some [ norm vt ]
+            | _ -> None)
+      | Ast.Seg_regex (body, op, _) ->
+          (* Crude: a closure step can reach anything; report the body
+             fan-out and stop refining types. *)
+          let fanout =
+            List.fold_left
+              (fun acc (e, v) ->
+                let _, f = step_stats u e ~from_types:None ~to_spec:v in
+                acc +. f)
+              0.0 body
+          in
+          let opname =
+            match op with
+            | Ast.Rx_star -> "*"
+            | Ast.Rx_plus -> "+"
+            | Ast.Rx_count n -> Printf.sprintf "{%d}" n
+          in
+          est := !est *. Float.max 1.0 fanout;
+          steps :=
+            {
+              sp_label = Printf.sprintf "( regex )%s" opname;
+              sp_fanout = fanout;
+              sp_estimate = !est;
+            }
+            :: !steps;
+          types := None)
+    p.Ast.segments;
+  { pl_direction = direction; pl_seed = seed; pl_seed_estimate = seed_est;
+    pl_steps = List.rev !steps }
+
+let rec explain_multipath ~db ~params = function
+  | Ast.M_path p -> [ explain_path ~db ~params p ]
+  | Ast.M_and (a, b) | Ast.M_or (a, b) ->
+      explain_multipath ~db ~params a @ explain_multipath ~db ~params b
+
+let seed_string = function
+  | Seed_key_lookup v -> Printf.sprintf "key index lookup (= %s)" v
+  | Seed_scan_filtered -> "type scan with filter"
+  | Seed_scan_full -> "full type scan"
+  | Seed_subgraph sg -> Printf.sprintf "subgraph seed (%s)" sg
+  | Seed_all_types -> "all vertex types"
+
+let pp ppf plan =
+  Format.fprintf ppf "direction: %s@\nseed: %s (est. %.1f)"
+    (match plan.pl_direction with `Forward -> "forward" | `Backward -> "backward (reversed via reverse index)")
+    (seed_string plan.pl_seed) plan.pl_seed_estimate;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@\nstep: %-36s fanout %6.2f   est. frontier %10.1f"
+        s.sp_label s.sp_fanout s.sp_estimate)
+    plan.pl_steps
+
+let to_string plan = Format.asprintf "%a" pp plan

@@ -1,0 +1,37 @@
+(** Query plan explanation: what the dynamic analysis of Sec. III-B decides
+    for a path query, derived from catalog statistics (entity sizes, degree
+    distributions) — evaluation direction, seed strategy, and estimated
+    frontier cardinality per step. *)
+
+module Ast = Graql_lang.Ast
+module Value = Graql_storage.Value
+
+type seed_strategy =
+  | Seed_key_lookup of string  (** key index probe with this literal *)
+  | Seed_scan_filtered  (** type scan with a compiled condition *)
+  | Seed_scan_full  (** unfiltered type scan *)
+  | Seed_subgraph of string  (** seeded from a named result subgraph *)
+  | Seed_all_types  (** [ ] head: every vertex *)
+
+type step_plan = {
+  sp_label : string;  (** printable traversal description *)
+  sp_fanout : float;  (** average degree of the index used *)
+  sp_estimate : float;  (** estimated frontier size after this step *)
+}
+
+type plan = {
+  pl_direction : [ `Forward | `Backward ];
+  pl_seed : seed_strategy;
+  pl_seed_estimate : float;
+  pl_steps : step_plan list;  (** in execution order *)
+}
+
+val explain_path :
+  db:Db.t -> params:(string -> Value.t option) -> Ast.path -> plan
+
+val explain_multipath :
+  db:Db.t -> params:(string -> Value.t option) -> Ast.multipath -> plan list
+(** One plan per simple path, left to right. *)
+
+val to_string : plan -> string
+val pp : Format.formatter -> plan -> unit

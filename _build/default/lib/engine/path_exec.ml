@@ -1,0 +1,1035 @@
+module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
+module Value = Graql_storage.Value
+module Schema = Graql_storage.Schema
+module Vset = Graql_graph.Vset
+module Eset = Graql_graph.Eset
+module Subgraph = Graql_graph.Subgraph
+module Bitset = Graql_util.Bitset
+module Pool = Graql_parallel.Domain_pool
+
+type mode = Keep_all | Keep_minimal of string list
+
+type slot = {
+  s_kind : [ `V | `E ];
+  s_label : string option;
+  s_type_name : string option;
+  s_step : int;
+}
+
+type component = { slots : slot array; rows : int array array }
+
+type result = {
+  comps : component list;
+  universe : Pack.universe;
+  regex_edges : int list;
+}
+
+exception Exec_error of Loc.t * string
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Exec_error (loc, msg))) fmt
+let norm = String.lowercase_ascii
+
+(* ------------------------------------------------------------------ *)
+(* Execution state for one path                                        *)
+
+type env = (string, (int, unit) Hashtbl.t) Hashtbl.t
+(* Label-value sets exported by earlier operands of an [and]. *)
+
+type pstate = {
+  db : Db.t;
+  params : string -> Value.t option;
+  u : Pack.universe;
+  mode : mode;
+  max_cells : int;
+  env : env;
+  mutable slots : slot list;
+  mutable rows : int array list;
+  mutable vstep_count : int; (* vertex steps placed so far *)
+  (* label name (normalized) -> element-wise? *)
+  label_kinds : (string, bool) Hashtbl.t;
+  regex_edges : (int, unit) Hashtbl.t;
+  (* s_step assignment: maps execution vstep index to display order *)
+  step_code_v : int -> int;
+  step_code_e : int -> int; (* edge arriving at exec vstep k *)
+}
+
+let nslots st = List.length st.slots
+
+(* The paper names "the possibility of obtaining large intermediate
+   results" among the core challenges: rather than exhausting memory, the
+   executor enforces a cell budget on the binding relation and fails with
+   a diagnosable error. *)
+let check_budget st loc =
+  let width = max 1 (nslots st) in
+  if List.length st.rows * width > st.max_cells then
+    error loc
+      "intermediate result exceeds the configured budget (%d cells); add \
+       conditions or labels to make the query more selective"
+      st.max_cells
+
+let slot_of_label st name =
+  let name = norm name in
+  let rec go i = function
+    | [] -> None
+    | s :: rest ->
+        if (match s.s_label with Some l -> norm l = name | None -> false) then
+          Some (i, s.s_kind)
+        else go (i + 1) rest
+  in
+  go 0 st.slots
+
+let vertex_slot_of_label st name =
+  match slot_of_label st name with Some (i, `V) -> Some i | _ -> None
+
+let slot_lookup st : Step_cond.slot_lookup =
+  { Step_cond.find_slot = (fun name -> slot_of_label st name) }
+
+(* Keep policy: the current (last) slot always stays; labeled slots stay;
+   in minimal mode everything else is projected away and rows deduped. *)
+let retain st =
+  match st.mode with
+  | Keep_all -> ()
+  | Keep_minimal keep ->
+      let keep = List.map norm keep in
+      let n = nslots st in
+      let keep_flags =
+        List.mapi
+          (fun i s ->
+            i = n - 1
+            || Option.is_some s.s_label
+            || (match s.s_type_name with
+               | Some t -> List.mem (norm t) keep
+               | None -> false))
+          st.slots
+      in
+      if List.for_all Fun.id keep_flags then begin
+        (* No projection; still dedupe for set semantics. *)
+        st.rows <- List.sort_uniq compare st.rows
+      end
+      else begin
+        let kept_idx =
+          List.filteri (fun i _ -> List.nth keep_flags i) (List.init n Fun.id)
+        in
+        let kept_idx = Array.of_list kept_idx in
+        st.slots <-
+          List.filteri (fun i _ -> List.nth keep_flags i) st.slots;
+        st.rows <-
+          List.sort_uniq compare
+            (List.map
+               (fun row -> Array.map (fun i -> row.(i)) kept_idx)
+               st.rows)
+      end
+
+let register_label st (v : Ast.vstep) =
+  match v.Ast.v_label with
+  | None -> ()
+  | Some label ->
+      let name = Ast.label_name label in
+      Hashtbl.replace st.label_kinds (norm name)
+        (match label with Ast.Each_label _ -> true | Ast.Set_label _ -> false)
+
+let label_of_vstep (v : Ast.vstep) =
+  Option.map Ast.label_name v.Ast.v_label
+
+(* ------------------------------------------------------------------ *)
+(* Head seeding                                                        *)
+
+(* Detect [key = constant] to seed from the key index instead of a scan. *)
+let key_seed st vset (cond : Ast.expr option) =
+  match cond with
+  | None -> None
+  | Some cond ->
+      let key_schema = Vset.key_schema vset in
+      if Schema.arity key_schema <> 1 then None
+      else begin
+        let kname = norm (Schema.col_name key_schema 0) in
+        let value_of = function
+          | Ast.E_lit (l, _) -> Some (Compile_expr.value_of_lit l)
+          | Ast.E_param (p, _) -> st.params p
+          | _ -> None
+        in
+        let rec find = function
+          | [] -> None
+          | Ast.E_binop (Ast.Eq, Ast.E_attr (q, a, _), rhs, _) :: rest
+            when norm a = kname
+                 && (match q with
+                    | None -> true
+                    | Some q -> norm q = norm (Vset.name vset)) -> (
+              match value_of rhs with Some v -> Some v | None -> find rest)
+          | Ast.E_binop (Ast.Eq, lhs, Ast.E_attr (q, a, _), _) :: rest
+            when norm a = kname
+                 && (match q with
+                    | None -> true
+                    | Some q -> norm q = norm (Vset.name vset)) -> (
+              match value_of lhs with Some v -> Some v | None -> find rest)
+          | _ :: rest -> find rest
+        in
+        find (Compile_expr.conjuncts cond)
+      end
+
+let compile_vcond st vset cond ~self_names =
+  Option.map
+    (fun c ->
+      try
+        Step_cond.compile_vertex ~params:st.params ~universe:st.u
+          ~slots:(slot_lookup st) ~self_names ~vset c
+      with Compile_expr.Compile_error (loc, msg) -> error loc "%s" msg)
+    cond
+
+let seed_vertices_of_type st ~tidx ~(cond : Ast.expr option) ~self_names ~sub =
+  let vset = st.u.Pack.vtypes.(tidx) in
+  let compiled = compile_vcond st vset cond ~self_names in
+  let accept v =
+    (match sub with Some bits -> Bitset.mem bits v | None -> true)
+    && (match compiled with
+       | Some c -> Step_cond.eval_vertex c ~row:[||] ~vertex:v
+       | None -> true)
+  in
+  match key_seed st vset cond with
+  | Some key -> (
+      match Vset.find_by_key vset [ key ] with
+      | Some v when accept v -> [ Pack.pack ~tidx ~id:v ]
+      | _ -> [])
+  | None ->
+      let out = ref [] in
+      for v = Vset.size vset - 1 downto 0 do
+        if accept v then out := Pack.pack ~tidx ~id:v :: !out
+      done;
+      !out
+
+let head_seeds st (v : Ast.vstep) : int list * string option * string option =
+  (* Returns seeds, the declared type name (if any), and the referenced
+     cross-path label (if the head names one) — the slot must carry that
+     label so [and] composition can join on it. *)
+  match v.Ast.v_kind with
+  | Ast.V_any ->
+      if v.Ast.v_cond <> None then
+        error v.Ast.v_loc "conditions are not allowed on [ ] steps";
+      let out = ref [] in
+      Array.iteri
+        (fun tidx vset ->
+          for id = Vset.size vset - 1 downto 0 do
+            out := Pack.pack ~tidx ~id :: !out
+          done)
+        st.u.Pack.vtypes;
+      (!out, None, None)
+  | Ast.V_named n -> (
+      match Hashtbl.find_opt st.env (norm n) with
+      | Some set ->
+          (* Cross-path label reference as head. *)
+          let seeds = Hashtbl.fold (fun cell () acc -> cell :: acc) set [] in
+          let seeds = List.sort compare seeds in
+          let seeds =
+            match v.Ast.v_cond with
+            | None -> seeds
+            | Some cond ->
+                List.filter
+                  (fun cell ->
+                    let vset = Pack.vset_of st.u cell in
+                    let c =
+                      compile_vcond st vset (Some cond) ~self_names:[ n ]
+                    in
+                    match c with
+                    | Some c ->
+                        Step_cond.eval_vertex c ~row:[||] ~vertex:(Pack.id cell)
+                    | None -> true)
+                  seeds
+          in
+          (seeds, None, Some n)
+      | None -> (
+          match Pack.vtype_index st.u n with
+          | Some tidx ->
+              ( seed_vertices_of_type st ~tidx ~cond:v.Ast.v_cond
+                  ~self_names:
+                    (n :: (match label_of_vstep v with Some l -> [ l ] | None -> []))
+                  ~sub:None,
+                Some n,
+                None )
+          | None -> error v.Ast.v_loc "no such vertex type or label %S" n))
+  | Ast.V_seeded (sg, vt) -> (
+      match Db.find_subgraph st.db sg with
+      | None -> error v.Ast.v_loc "no such subgraph %S" sg
+      | Some sub -> (
+          match Pack.vtype_index st.u vt with
+          | None -> error v.Ast.v_loc "no such vertex type %S" vt
+          | Some tidx ->
+              let bits = Subgraph.vertices sub ~vtype:vt in
+              let seeds =
+                match bits with
+                | None -> []
+                | Some bits ->
+                    seed_vertices_of_type st ~tidx ~cond:v.Ast.v_cond
+                      ~self_names:[ vt ] ~sub:(Some bits)
+              in
+              (seeds, Some vt, None)))
+
+(* ------------------------------------------------------------------ *)
+(* Step expansion                                                      *)
+
+type target =
+  | T_type of int option  (** required vertex type index; None = any *)
+  | T_label_each of int  (** slot position *)
+  | T_label_set of int * (int, unit) Hashtbl.t
+      (** label slot position and its current value set; the landing vertex
+          must be in the set *and* share the row's bound type — a label on a
+          type-matching step binds its type at matching time (Sec. II-B4) *)
+  | T_env of (int, unit) Hashtbl.t
+  | T_seeded of int * Bitset.t
+
+(* Traversals applicable from a given left vertex type: which edge set,
+   which CSR direction, and the type of the landing vertex. *)
+type traversal = { tr_eidx : int; tr_out : bool; tr_other : int }
+
+let traversals_for st (e : Ast.estep) ~ltidx ~(required_other : int option) =
+  let lname = norm (Vset.name st.u.Pack.vtypes.(ltidx)) in
+  let consider eidx eset acc =
+    let src = norm (Eset.src_type eset) and dst = norm (Eset.dst_type eset) in
+    let name_ok =
+      match e.Ast.e_kind with
+      | Ast.E_named n -> norm n = norm (Eset.name eset)
+      | Ast.E_any -> true
+    in
+    if not name_ok then acc
+    else
+      match e.Ast.e_dir with
+      | Ast.Out ->
+          if src = lname then
+            let other = Pack.vtype_index st.u (Eset.dst_type eset) in
+            match other with
+            | Some o
+              when (match required_other with Some r -> r = o | None -> true) ->
+                { tr_eidx = eidx; tr_out = true; tr_other = o } :: acc
+            | _ -> acc
+          else acc
+      | Ast.In ->
+          if dst = lname then
+            let other = Pack.vtype_index st.u (Eset.src_type eset) in
+            match other with
+            | Some o
+              when (match required_other with Some r -> r = o | None -> true) ->
+                { tr_eidx = eidx; tr_out = false; tr_other = o } :: acc
+            | _ -> acc
+          else acc
+  in
+  let acc = ref [] in
+  Array.iteri (fun eidx eset -> acc := consider eidx eset !acc) st.u.Pack.etypes;
+  List.rev !acc
+
+let distinct_types_in_rows rows pos =
+  let seen = Hashtbl.create 8 in
+  List.iter (fun row -> Hashtbl.replace seen (Pack.tidx row.(pos)) ()) rows;
+  Hashtbl.fold (fun t () acc -> t :: acc) seen []
+
+let expand_step st (e : Ast.estep) (v : Ast.vstep) =
+  let cur_pos = nslots st - 1 in
+  (* Resolve the landing-step target. *)
+  let target, declared_type, ref_label =
+    match v.Ast.v_kind with
+    | Ast.V_any ->
+        if v.Ast.v_cond <> None then
+          error v.Ast.v_loc "conditions are not allowed on [ ] steps";
+        (T_type None, None, None)
+    | Ast.V_named n -> (
+        match vertex_slot_of_label st n with
+        | Some pos ->
+            let each =
+              match Hashtbl.find_opt st.label_kinds (norm n) with
+              | Some e -> e
+              | None -> false
+            in
+            if each then (T_label_each pos, None, None)
+            else begin
+              let set = Hashtbl.create 64 in
+              List.iter (fun row -> Hashtbl.replace set row.(pos) ()) st.rows;
+              (T_label_set (pos, set), None, None)
+            end
+        | None -> (
+            match Hashtbl.find_opt st.env (norm n) with
+            | Some set -> (T_env set, None, Some n)
+            | None -> (
+                match Pack.vtype_index st.u n with
+                | Some tidx -> (T_type (Some tidx), Some n, None)
+                | None -> error v.Ast.v_loc "no such vertex type or label %S" n)))
+    | Ast.V_seeded (sg, vt) -> (
+        match (Db.find_subgraph st.db sg, Pack.vtype_index st.u vt) with
+        | Some sub, Some tidx -> (
+            match Subgraph.vertices sub ~vtype:vt with
+            | Some bits -> (T_seeded (tidx, bits), Some vt, None)
+            | None -> (T_seeded (tidx, Bitset.create 0), Some vt, None))
+        | None, _ -> error v.Ast.v_loc "no such subgraph %S" sg
+        | _, None -> error v.Ast.v_loc "no such vertex type %S" vt)
+  in
+  let required_other =
+    match target with
+    | T_type req -> req
+    | T_seeded (tidx, _) -> Some tidx
+    | T_label_each _ | T_label_set _ | T_env _ -> None
+  in
+  (* Pre-compute traversals and compiled conditions for every left type in
+     the frontier, so the per-row loop is read-only (parallel-safe). *)
+  let ltypes = distinct_types_in_rows st.rows cur_pos in
+  let trav_cache = Hashtbl.create 8 in
+  List.iter
+    (fun ltidx ->
+      Hashtbl.replace trav_cache ltidx
+        (traversals_for st e ~ltidx ~required_other))
+    ltypes;
+  let econd_cache = Hashtbl.create 8 in
+  let vcond_cache = Hashtbl.create 8 in
+  let self_names =
+    (match declared_type with Some n -> [ n ] | None -> [])
+    @ (match label_of_vstep v with Some l -> [ l ] | None -> [])
+    @ (match v.Ast.v_kind with Ast.V_named n -> [ n ] | _ -> [])
+  in
+  let arriving_edge_label = Option.map Ast.label_name e.Ast.e_label in
+  let vcond_slots =
+    let base = slot_lookup st in
+    let width = nslots st in
+    {
+      Step_cond.find_slot =
+        (fun name ->
+          match base.Step_cond.find_slot name with
+          | Some _ as hit -> hit
+          | None -> (
+              match arriving_edge_label with
+              | Some l when norm l = name -> Some (width, `E)
+              | _ -> None));
+    }
+  in
+  List.iter
+    (fun ltidx ->
+      List.iter
+        (fun tr ->
+          (match (e.Ast.e_cond, Hashtbl.mem econd_cache tr.tr_eidx) with
+          | Some c, false ->
+              let eset = st.u.Pack.etypes.(tr.tr_eidx) in
+              let compiled =
+                try
+                  Step_cond.compile_edge ~params:st.params ~universe:st.u
+                    ~slots:(slot_lookup st)
+                    ~self_names:
+                      ((match e.Ast.e_kind with
+                       | Ast.E_named n -> [ n ]
+                       | Ast.E_any -> [])
+                      @
+                      match e.Ast.e_label with
+                      | Some l -> [ Ast.label_name l ]
+                      | None -> [])
+                    ~eset c
+                with Compile_expr.Compile_error (loc, msg) -> error loc "%s" msg
+              in
+              Hashtbl.replace econd_cache tr.tr_eidx compiled
+          | _ -> ());
+          match (v.Ast.v_cond, Hashtbl.mem vcond_cache tr.tr_other) with
+          | Some c, false ->
+              let vset = st.u.Pack.vtypes.(tr.tr_other) in
+              let compiled =
+                try
+                  Step_cond.compile_vertex ~params:st.params ~universe:st.u
+                    ~slots:vcond_slots ~self_names ~vset c
+                with Compile_expr.Compile_error (loc, msg) -> error loc "%s" msg
+              in
+              Hashtbl.replace vcond_cache tr.tr_other compiled
+          | _ -> ())
+        (Hashtbl.find trav_cache ltidx))
+    ltypes;
+  let expand_row row out =
+    let cur = row.(cur_pos) in
+    let travs =
+      match Hashtbl.find_opt trav_cache (Pack.tidx cur) with
+      | Some t -> t
+      | None -> []
+    in
+    List.iter
+      (fun tr ->
+        let eset = st.u.Pack.etypes.(tr.tr_eidx) in
+        let csr = if tr.tr_out then Eset.forward eset else Eset.reverse eset in
+        Graql_graph.Csr.iter_neighbors csr (Pack.id cur) (fun ~dst:nbr ~eid ->
+            let edge_ok =
+              match Hashtbl.find_opt econd_cache tr.tr_eidx with
+              | Some c -> Step_cond.eval_edge c ~row ~edge:eid
+              | None -> true
+            in
+            if edge_ok then begin
+              let ncell = Pack.pack ~tidx:tr.tr_other ~id:nbr in
+              let target_ok =
+                match target with
+                | T_type _ -> true (* filtered via required_other *)
+                | T_label_each pos -> ncell = row.(pos)
+                | T_label_set (pos, set) ->
+                    Hashtbl.mem set ncell
+                    && Pack.tidx ncell = Pack.tidx row.(pos)
+                | T_env set -> Hashtbl.mem set ncell
+                | T_seeded (_, bits) -> Bitset.mem bits nbr
+              in
+              if target_ok then begin
+                let n = Array.length row in
+                let row' = Array.make (n + 2) 0 in
+                Array.blit row 0 row' 0 n;
+                row'.(n) <- Pack.pack ~tidx:tr.tr_eidx ~id:eid;
+                row'.(n + 1) <- ncell;
+                let vertex_ok =
+                  match Hashtbl.find_opt vcond_cache tr.tr_other with
+                  | Some c -> Step_cond.eval_vertex c ~row:row' ~vertex:nbr
+                  | None -> true
+                in
+                if vertex_ok then out := row' :: !out
+              end
+            end))
+      travs
+  in
+  let rows = Array.of_list st.rows in
+  let nrows = Array.length rows in
+  let pool = Db.pool st.db in
+  let new_rows =
+    match pool with
+    | Some pool when nrows >= 2048 ->
+        let acc =
+          Pool.parallel_reduce pool
+            ~init:(fun () -> ref [])
+            ~body:(fun out i -> expand_row rows.(i) out)
+            ~merge:(fun a b ->
+              a := List.rev_append (List.rev !b) !a;
+              a)
+            ~lo:0 ~hi:nrows
+        in
+        List.rev !acc
+    | _ ->
+        let out = ref [] in
+        Array.iter (fun row -> expand_row row out) rows;
+        List.rev !out
+  in
+  let k = st.vstep_count in
+  let eslot =
+    {
+      s_kind = `E;
+      s_label = Option.map Ast.label_name e.Ast.e_label;
+      s_type_name =
+        (match e.Ast.e_kind with Ast.E_named n -> Some n | Ast.E_any -> None);
+      s_step = st.step_code_e k;
+    }
+  in
+  let vslot =
+    {
+      s_kind = `V;
+      s_label =
+        (match label_of_vstep v with Some l -> Some l | None -> ref_label);
+      s_type_name = declared_type;
+      s_step = st.step_code_v k;
+    }
+  in
+  st.slots <- st.slots @ [ eslot; vslot ];
+  st.rows <- new_rows;
+  st.vstep_count <- k + 1;
+  register_label st v;
+  check_budget st v.Ast.v_loc;
+  retain st
+
+(* ------------------------------------------------------------------ *)
+(* Regex segments                                                      *)
+
+(* One traversal of the group body from a single cell. Returns the cells
+   reached and the packed edges used. Conditions inside the body may only
+   reference the step's own attributes. *)
+let regex_round st (body : (Ast.estep * Ast.vstep) list) =
+  let no_slots : Step_cond.slot_lookup = { Step_cond.find_slot = (fun _ -> None) } in
+  let vcond_cache : (int * int, Step_cond.t option) Hashtbl.t = Hashtbl.create 8 in
+  let econd_cache : (int * int, Step_cond.t option) Hashtbl.t = Hashtbl.create 8 in
+  let step_one bi ((e : Ast.estep), (v : Ast.vstep)) cells =
+    if v.Ast.v_label <> None then
+      error v.Ast.v_loc "labels are not supported inside path regexes";
+    if e.Ast.e_label <> None then
+      error e.Ast.e_loc "labels are not supported inside path regexes";
+    let required_other =
+      match v.Ast.v_kind with
+      | Ast.V_named n -> (
+          match Pack.vtype_index st.u n with
+          | Some t -> Some t
+          | None -> error v.Ast.v_loc "no such vertex type %S" n)
+      | Ast.V_any -> None
+      | Ast.V_seeded _ ->
+          error v.Ast.v_loc "subgraph seeds are not allowed inside regexes"
+    in
+    let out = ref [] in
+    List.iter
+      (fun (cell, edges) ->
+        let travs =
+          traversals_for st e ~ltidx:(Pack.tidx cell) ~required_other
+        in
+        List.iter
+          (fun tr ->
+            let eset = st.u.Pack.etypes.(tr.tr_eidx) in
+            let econd =
+              match e.Ast.e_cond with
+              | None -> None
+              | Some c -> (
+                  match Hashtbl.find_opt econd_cache (bi, tr.tr_eidx) with
+                  | Some cached -> cached
+                  | None ->
+                      let compiled =
+                        try
+                          Some
+                            (Step_cond.compile_edge ~params:st.params
+                               ~universe:st.u ~slots:no_slots
+                               ~self_names:
+                                 (match e.Ast.e_kind with
+                                 | Ast.E_named n -> [ n ]
+                                 | Ast.E_any -> [])
+                               ~eset c)
+                        with Compile_expr.Compile_error (loc, msg) ->
+                          error loc "%s" msg
+                      in
+                      Hashtbl.replace econd_cache (bi, tr.tr_eidx) compiled;
+                      compiled)
+            in
+            let vcond =
+              match v.Ast.v_cond with
+              | None -> None
+              | Some c -> (
+                  match Hashtbl.find_opt vcond_cache (bi, tr.tr_other) with
+                  | Some cached -> cached
+                  | None ->
+                      let vset = st.u.Pack.vtypes.(tr.tr_other) in
+                      let compiled =
+                        try
+                          Some
+                            (Step_cond.compile_vertex ~params:st.params
+                               ~universe:st.u ~slots:no_slots
+                               ~self_names:
+                                 (match v.Ast.v_kind with
+                                 | Ast.V_named n -> [ n ]
+                                 | _ -> [])
+                               ~vset c)
+                        with Compile_expr.Compile_error (loc, msg) ->
+                          error loc "%s" msg
+                      in
+                      Hashtbl.replace vcond_cache (bi, tr.tr_other) compiled;
+                      compiled)
+            in
+            let csr = if tr.tr_out then Eset.forward eset else Eset.reverse eset in
+            Graql_graph.Csr.iter_neighbors csr (Pack.id cell)
+              (fun ~dst:nbr ~eid ->
+                let eok =
+                  match econd with
+                  | Some c -> Step_cond.eval_edge c ~row:[||] ~edge:eid
+                  | None -> true
+                in
+                if eok then begin
+                  let vok =
+                    match vcond with
+                    | Some c -> Step_cond.eval_vertex c ~row:[||] ~vertex:nbr
+                    | None -> true
+                  in
+                  if vok then
+                    out :=
+                      ( Pack.pack ~tidx:tr.tr_other ~id:nbr,
+                        Pack.pack ~tidx:tr.tr_eidx ~id:eid :: edges )
+                      :: !out
+                end))
+          travs)
+      cells;
+    !out
+  in
+  fun start ->
+    let cells = ref [ (start, []) ] in
+    List.iteri (fun bi pair -> cells := step_one bi pair !cells) body;
+    !cells
+
+let expand_regex st (body : (Ast.estep * Ast.vstep) list) (op : Ast.rx_op) loc =
+  let round = regex_round st body in
+  let memo : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let note_edges edges = List.iter (fun e -> Hashtbl.replace st.regex_edges e ()) edges in
+  let closure ~include_start start =
+    match Hashtbl.find_opt memo ((if include_start then 1 else 0) + (start * 2)) with
+    | Some cached -> cached
+    | None ->
+        let visited = Hashtbl.create 32 in
+        if include_start then Hashtbl.replace visited start ();
+        let frontier = ref [ start ] in
+        let first = ref true in
+        while !frontier <> [] do
+          let next = ref [] in
+          List.iter
+            (fun cell ->
+              List.iter
+                (fun (endpoint, edges) ->
+                  note_edges edges;
+                  if not (Hashtbl.mem visited endpoint) then begin
+                    Hashtbl.replace visited endpoint ();
+                    next := endpoint :: !next
+                  end)
+                (round cell))
+            !frontier;
+          ignore !first;
+          first := false;
+          frontier := !next
+        done;
+        let endpoints = Hashtbl.fold (fun c () acc -> c :: acc) visited [] in
+        let endpoints = List.sort compare endpoints in
+        Hashtbl.replace memo ((if include_start then 1 else 0) + (start * 2)) endpoints;
+        endpoints
+  in
+  let exact_n n start =
+    match Hashtbl.find_opt memo ((start * 2) + 4 + n) with
+    | Some cached -> cached
+    | None ->
+        (* Level BFS: levels.(k) = cells at exactly k rounds; edge lists
+           per level, pruned backward so only edges on full-length paths
+           are reported. *)
+        let levels = Array.make (n + 1) [] in
+        let level_edges = Array.make (max n 1) [] in
+        levels.(0) <- [ start ];
+        for k = 0 to n - 1 do
+          let seen = Hashtbl.create 32 in
+          let next = ref [] in
+          List.iter
+            (fun cell ->
+              List.iter
+                (fun (endpoint, edges) ->
+                  level_edges.(k) <- (cell, endpoint, edges) :: level_edges.(k);
+                  if not (Hashtbl.mem seen endpoint) then begin
+                    Hashtbl.replace seen endpoint ();
+                    next := endpoint :: !next
+                  end)
+                (round cell))
+            levels.(k);
+          levels.(k + 1) <- !next
+        done;
+        (* Backward prune: an edge at level k survives if its endpoint is
+           kept at level k+1. *)
+        let kept = Array.make (n + 1) (Hashtbl.create 1) in
+        let tail = Hashtbl.create 32 in
+        List.iter (fun c -> Hashtbl.replace tail c ()) levels.(n);
+        kept.(n) <- tail;
+        for k = n - 1 downto 0 do
+          let keep_k = Hashtbl.create 32 in
+          List.iter
+            (fun (from, endpoint, edges) ->
+              if Hashtbl.mem kept.(k + 1) endpoint then begin
+                Hashtbl.replace keep_k from ();
+                note_edges edges
+              end)
+            level_edges.(k);
+          kept.(k) <- keep_k
+        done;
+        let endpoints = List.sort_uniq compare levels.(n) in
+        Hashtbl.replace memo ((start * 2) + 4 + n) endpoints;
+        endpoints
+  in
+  let reach start =
+    match op with
+    | Ast.Rx_star -> closure ~include_start:true start
+    | Ast.Rx_plus ->
+        (* At least one round: expand once, then the star closure of each
+           result (a reached vertex may loop further). *)
+        let after_one = round start in
+        let acc = Hashtbl.create 32 in
+        List.iter
+          (fun (endpoint, edges) ->
+            note_edges edges;
+            List.iter
+              (fun c -> Hashtbl.replace acc c ())
+              (closure ~include_start:true endpoint))
+          after_one;
+        List.sort compare (Hashtbl.fold (fun c () l -> c :: l) acc [])
+    | Ast.Rx_count n ->
+        if n < 0 then error loc "negative repetition count"
+        else exact_n n start
+  in
+  let new_rows = ref [] in
+  List.iter
+    (fun row ->
+      let cur = row.(Array.length row - 1) in
+      List.iter
+        (fun endpoint ->
+          let n = Array.length row in
+          let row' = Array.make (n + 1) 0 in
+          Array.blit row 0 row' 0 n;
+          row'.(n) <- endpoint;
+          new_rows := row' :: !new_rows)
+        (reach cur))
+    st.rows;
+  let k = st.vstep_count in
+  st.slots <-
+    st.slots
+    @ [ { s_kind = `V; s_label = None; s_type_name = None; s_step = st.step_code_v k } ];
+  st.rows <- List.rev !new_rows;
+  st.vstep_count <- k + 1;
+  check_budget st loc;
+  retain st
+
+(* ------------------------------------------------------------------ *)
+(* Planner: direction choice (Sec. III-B)                              *)
+
+let vstep_count_of_path (p : Ast.path) =
+  1
+  + List.fold_left
+      (fun acc -> function
+        | Ast.Seg_step _ -> acc + 1
+        | Ast.Seg_regex _ -> acc + 1)
+      0 p.Ast.segments
+
+let rec path_has_labels (p : Ast.path) =
+  let vstep_labelled (v : Ast.vstep) = v.Ast.v_label <> None in
+  vstep_labelled p.Ast.head
+  || List.exists
+       (function
+         | Ast.Seg_step (_, v) -> vstep_labelled v
+         | Ast.Seg_regex (body, _, _) -> List.exists (fun (_, v) -> vstep_labelled v) body)
+       p.Ast.segments
+  || path_references_names p
+
+(* Conservative: any V_named that is not a known vertex type might be a
+   label reference; treated during planning only. *)
+and path_references_names _ = false
+
+let path_has_regex (p : Ast.path) =
+  List.exists
+    (function Ast.Seg_regex _ -> true | Ast.Seg_step _ -> false)
+    p.Ast.segments
+
+let last_vstep (p : Ast.path) =
+  match List.rev p.Ast.segments with
+  | [] -> p.Ast.head
+  | Ast.Seg_step (_, v) :: _ -> v
+  | Ast.Seg_regex (body, _, _) :: _ -> (
+      match List.rev body with
+      | (_, v) :: _ -> v
+      | [] -> p.Ast.head)
+
+let estimate_seed ~db ~params u (v : Ast.vstep) =
+  match v.Ast.v_kind with
+  | Ast.V_any ->
+      Array.fold_left (fun acc vs -> acc + Vset.size vs) 0 u.Pack.vtypes
+  | Ast.V_seeded (sg, vt) -> (
+      match Db.find_subgraph db sg with
+      | Some sub -> (
+          match Subgraph.vertices sub ~vtype:vt with
+          | Some bits -> Bitset.cardinal bits
+          | None -> 0)
+      | None -> 0)
+  | Ast.V_named n -> (
+      match Pack.vtype_index u n with
+      | None -> max_int (* label or unknown: avoid reversal *)
+      | Some tidx -> (
+          let size = Vset.size u.Pack.vtypes.(tidx) in
+          match v.Ast.v_cond with
+          | None -> size
+          | Some cond ->
+              let key_schema = Vset.key_schema u.Pack.vtypes.(tidx) in
+              let kname =
+                if Schema.arity key_schema = 1 then
+                  Some (norm (Schema.col_name key_schema 0))
+                else None
+              in
+              let is_key_eq =
+                List.exists
+                  (function
+                    | Ast.E_binop (Ast.Eq, Ast.E_attr (_, a, _), (Ast.E_lit _ | Ast.E_param _), _)
+                    | Ast.E_binop (Ast.Eq, (Ast.E_lit _ | Ast.E_param _), Ast.E_attr (_, a, _), _)
+                      -> (
+                        match kname with Some k -> norm a = k | None -> false)
+                    | _ -> false)
+                  (Compile_expr.conjuncts cond)
+              in
+              ignore params;
+              if is_key_eq then 1 else max 1 (size / 10)))
+
+let reverse_path (p : Ast.path) : Ast.path =
+  (* Only called on regex-free paths. *)
+  let flip (e : Ast.estep) =
+    { e with Ast.e_dir = (match e.Ast.e_dir with Ast.Out -> Ast.In | Ast.In -> Ast.Out) }
+  in
+  let steps =
+    List.map
+      (function
+        | Ast.Seg_step (e, v) -> (e, v)
+        | Ast.Seg_regex _ -> assert false)
+      p.Ast.segments
+  in
+  (* vertices: v0 e1 v1 e2 v2 ... en vn  =>  vn en' v(n-1) ... e1' v0 *)
+  let vertices = p.Ast.head :: List.map snd steps in
+  let edges = List.map fst steps in
+  let rev_vertices = List.rev vertices in
+  let rev_edges = List.rev_map flip edges in
+  match rev_vertices with
+  | [] -> p
+  | head :: rest ->
+      let segments =
+        List.map2 (fun e v -> Ast.Seg_step (e, v)) rev_edges rest
+      in
+      { Ast.head; segments }
+
+let chosen_direction (p : Ast.path) ~db ~params =
+  let u = Pack.universe (Db.graph db) in
+  if path_has_labels p || path_has_regex p then `Forward
+  else
+    let head_est = estimate_seed ~db ~params u p.Ast.head in
+    let tail_est = estimate_seed ~db ~params u (last_vstep p) in
+    if tail_est < head_est then `Backward else `Forward
+
+(* ------------------------------------------------------------------ *)
+(* Path / multipath orchestration                                      *)
+
+let default_max_cells = 50_000_000
+
+let run_path ~db ~params ~u ~mode ~max_cells ~env ~regex_edges ~auto_reverse
+    (p : Ast.path) : component * (string, bool) Hashtbl.t =
+  let n = vstep_count_of_path p - 1 in
+  let reversed =
+    auto_reverse && chosen_direction p ~db ~params = `Backward
+  in
+  let p = if reversed then reverse_path p else p in
+  let step_code_v k = if reversed then 2 * (n - k) else 2 * k in
+  let step_code_e k = if reversed then (2 * (n - k)) + 1 else (2 * k) - 1 in
+  let st =
+    {
+      db;
+      params;
+      u;
+      mode;
+      max_cells;
+      env;
+      slots = [];
+      rows = [];
+      vstep_count = 0;
+      label_kinds = Hashtbl.create 4;
+      regex_edges;
+      step_code_v;
+      step_code_e;
+    }
+  in
+  (* Head *)
+  let seeds, declared, ref_label = head_seeds st p.Ast.head in
+  st.slots <-
+    [
+      {
+        s_kind = `V;
+        s_label =
+          (match label_of_vstep p.Ast.head with
+          | Some l -> Some l
+          | None -> ref_label);
+        s_type_name = declared;
+        s_step = step_code_v 0;
+      };
+    ];
+  st.rows <- List.map (fun cell -> [| cell |]) seeds;
+  st.vstep_count <- 1;
+  register_label st p.Ast.head;
+  retain st;
+  List.iter
+    (fun seg ->
+      match seg with
+      | Ast.Seg_step (e, v) -> expand_step st e v
+      | Ast.Seg_regex (body, op, loc) -> expand_regex st body op loc)
+    p.Ast.segments;
+  ( { slots = Array.of_list st.slots; rows = Array.of_list st.rows },
+    st.label_kinds )
+
+let label_positions (c : component) =
+  List.filter_map
+    (fun i ->
+      match c.slots.(i).s_label with
+      | Some l -> Some (norm l, i)
+      | None -> None)
+    (List.init (Array.length c.slots) Fun.id)
+
+let join_components (a : component) (b : component) loc : component =
+  let apos = label_positions a and bpos = label_positions b in
+  let shared =
+    List.filter (fun (l, _) -> List.mem_assoc l bpos) apos
+  in
+  if shared = [] then
+    error loc "'and' composition requires a shared label between the operands";
+  let a_keys = List.map snd shared in
+  let b_keys = List.map (fun (l, _) -> List.assoc l bpos) shared in
+  let b_drop = b_keys in
+  let b_keep =
+    List.filter (fun i -> not (List.mem i b_drop)) (List.init (Array.length b.slots) Fun.id)
+  in
+  let index = Hashtbl.create (max 16 (Array.length b.rows)) in
+  Array.iter
+    (fun row ->
+      let key = List.map (fun i -> row.(i)) b_keys in
+      Hashtbl.add index key row)
+    b.rows;
+  let out = ref [] in
+  Array.iter
+    (fun arow ->
+      let key = List.map (fun i -> arow.(i)) a_keys in
+      List.iter
+        (fun brow ->
+          let extra = List.map (fun i -> brow.(i)) b_keep in
+          out := Array.append arow (Array.of_list extra) :: !out)
+        (List.rev (Hashtbl.find_all index key)))
+    a.rows;
+  let slots =
+    Array.append a.slots (Array.of_list (List.map (fun i -> b.slots.(i)) b_keep))
+  in
+  { slots; rows = Array.of_list (List.rev !out) }
+
+let compatible_layout (a : component) (b : component) =
+  Array.length a.slots = Array.length b.slots
+  && Array.for_all2
+       (fun x y ->
+         x.s_kind = y.s_kind
+         && Option.map norm x.s_label = Option.map norm y.s_label
+         && Option.map norm x.s_type_name = Option.map norm y.s_type_name)
+       a.slots b.slots
+
+let mp_loc = function
+  | Ast.M_path p -> p.Ast.head.Ast.v_loc
+  | Ast.M_and _ | Ast.M_or _ -> Loc.dummy
+
+let run_multipath ~db ~params ~mode ?(auto_reverse = true)
+    ?(max_cells = default_max_cells) mp =
+  let u = Pack.universe (Db.graph db) in
+  let regex_edges = Hashtbl.create 16 in
+  let rec go env = function
+    | Ast.M_path p ->
+        let comp, _ =
+          run_path ~db ~params ~u ~mode ~max_cells ~env ~regex_edges
+            ~auto_reverse p
+        in
+        [ comp ]
+    | Ast.M_and (a, b) -> (
+        let ca = go env a in
+        match ca with
+        | [ comp_a ] ->
+            (* Export comp_a's label sets to the right operand. *)
+            let env' = Hashtbl.copy env in
+            List.iter
+              (fun (lname, pos) ->
+                let set = Hashtbl.create 64 in
+                Array.iter (fun row -> Hashtbl.replace set row.(pos) ()) comp_a.rows;
+                Hashtbl.replace env' lname set)
+              (label_positions comp_a);
+            let cb = go env' b in
+            (match cb with
+            | [ comp_b ] -> [ join_components comp_a comp_b (mp_loc b) ]
+            | _ ->
+                error (mp_loc b)
+                  "'and' composition over 'or' alternatives is not supported; \
+                   distribute the 'and'")
+        | _ ->
+            error (mp_loc a)
+              "'and' composition over 'or' alternatives is not supported; \
+               distribute the 'and'")
+    | Ast.M_or (a, b) -> (
+        let ca = go env a and cb = go env b in
+        match (ca, cb) with
+        | [ x ], [ y ] when compatible_layout x y ->
+            let rows =
+              List.sort_uniq compare
+                (Array.to_list x.rows @ Array.to_list y.rows)
+            in
+            [ { slots = x.slots; rows = Array.of_list rows } ]
+        | _ -> ca @ cb)
+  in
+  let comps = go (Hashtbl.create 4) mp in
+  {
+    comps;
+    universe = u;
+    regex_edges = Hashtbl.fold (fun e () acc -> e :: acc) regex_edges [];
+  }

@@ -1,0 +1,72 @@
+(** The path-query executor: forward frontier expansion over a binding
+    relation (Sec. II-B semantics).
+
+    A query's intermediate state is a relation whose columns ("slots") are
+    the vertex/edge instances matched at tracked steps; each row is one
+    partial match. Stepping expands every row along the requested edge
+    type(s) through the CSR indices, applying compiled step conditions.
+
+    - [def X:] (set label, Eq. 6): a later reference filters candidates by
+      membership in the set of X-values across live rows — forward-culled,
+      exactly the σ(Vi)-culled set of Eq. 7.
+    - [foreach x:] (element-wise, Eq. 8): a later reference requires the
+      candidate to equal the row's own x binding.
+    - Rows that cannot extend die; surviving rows at the end are full
+      matches, which realizes the backward culling of Eq. 5 for every
+      reported step set.
+    - [and] composition joins operand relations on shared label columns;
+      [or] composition unions compatible relations (and merges per-type
+      sets for subgraph output).
+    - Path regexes (Fig. 10) expand per-row via memoized BFS over the
+      group body; [*] includes the trivial traversal, [+] at least one,
+      [{n}] exactly n rounds.
+
+    The executor picks the evaluation direction using both edge indices
+    (Sec. III-B): when a path carries no labels or seeds, it is run
+    backwards if the tail's estimated seed cardinality is smaller. *)
+
+module Ast = Graql_lang.Ast
+module Value = Graql_storage.Value
+
+type mode =
+  | Keep_all  (** table output / [select *]: every step stays a column *)
+  | Keep_minimal of string list
+      (** subgraph output: keep labels + the named steps (normalized),
+          project the rest away and dedupe rows (set semantics) *)
+
+type slot = {
+  s_kind : [ `V | `E ];
+  s_label : string option;
+  s_type_name : string option;  (** declared type, if the step was named *)
+  s_step : int;
+}
+
+type component = { slots : slot array; rows : int array array }
+
+type result = {
+  comps : component list;  (** >1 only for [or] of incompatible layouts *)
+  universe : Pack.universe;
+  regex_edges : int list;  (** packed edge cells traversed inside regexes *)
+}
+
+exception Exec_error of Graql_lang.Loc.t * string
+
+val default_max_cells : int
+
+val run_multipath :
+  db:Db.t ->
+  params:(string -> Value.t option) ->
+  mode:mode ->
+  ?auto_reverse:bool ->
+  ?max_cells:int ->
+  Ast.multipath ->
+  result
+(** Raises {!Exec_error} on unresolvable names (the static checker should
+    reject these earlier) and when the binding relation exceeds
+    [max_cells] (default {!default_max_cells}) — the paper's "large
+    intermediate results" are surfaced as a diagnosable failure instead of
+    memory exhaustion. [auto_reverse] defaults to [true]. *)
+
+val chosen_direction : Ast.path -> db:Db.t -> params:(string -> Value.t option)
+  -> [ `Forward | `Backward ]
+(** Planner decision exposure, for tests and the planner-ablation bench. *)

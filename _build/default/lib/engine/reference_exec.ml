@@ -1,0 +1,189 @@
+module Ast = Graql_lang.Ast
+module Value = Graql_storage.Value
+module Vset = Graql_graph.Vset
+module Eset = Graql_graph.Eset
+
+exception Unsupported of string
+
+let norm = String.lowercase_ascii
+
+(* Partial match: packed vertex cells of the vertex steps matched so far,
+   most recent first. *)
+type partial = int list
+
+type label_info = { li_pos : int (* vstep index *); li_each : bool }
+
+let run_path ~db ~params (p : Ast.path) =
+  let u = Pack.universe (Db.graph db) in
+  let labels : (string, label_info) Hashtbl.t = Hashtbl.create 4 in
+  let no_slots = { Step_cond.find_slot = (fun _ -> None) } in
+  (* Conditions may reference labels; resolve label refs by evaluating
+     against the partial tuple. We reuse Step_cond with a slot lookup that
+     maps label names to positions in the tuple-so-far (vstep indices). *)
+  let slots_for_step nmatched =
+    {
+      Step_cond.find_slot =
+        (fun name ->
+          match Hashtbl.find_opt labels (norm name) with
+          | Some li when li.li_pos < nmatched -> Some (li.li_pos, `V)
+          | _ -> None);
+    }
+  in
+  ignore no_slots;
+  let row_of (partial : partial) nmatched =
+    (* Step_cond reads label slots by position within the row array. *)
+    let arr = Array.make nmatched 0 in
+    List.iteri (fun i cell -> arr.(nmatched - 1 - i) <- cell) partial;
+    arr
+  in
+  let vertex_ok (v : Ast.vstep) ~step_idx ~partial ~cell =
+    match v.Ast.v_cond with
+    | None -> true
+    | Some cond ->
+        let vset = Pack.vset_of u cell in
+        let self_names =
+          (match v.Ast.v_kind with Ast.V_named n -> [ n ] | _ -> [])
+          @ (match v.Ast.v_label with Some l -> [ Ast.label_name l ] | None -> [])
+        in
+        let compiled =
+          Step_cond.compile_vertex ~params ~universe:u
+            ~slots:(slots_for_step step_idx) ~self_names ~vset cond
+        in
+        Step_cond.eval_vertex compiled
+          ~row:(row_of partial step_idx)
+          ~vertex:(Pack.id cell)
+  in
+  let edge_ok (e : Ast.estep) ~step_idx ~partial ~eidx ~eid =
+    match e.Ast.e_cond with
+    | None -> true
+    | Some cond ->
+        let eset = u.Pack.etypes.(eidx) in
+        let compiled =
+          Step_cond.compile_edge ~params ~universe:u
+            ~slots:(slots_for_step step_idx)
+            ~self_names:
+              (match e.Ast.e_kind with Ast.E_named n -> [ n ] | Ast.E_any -> [])
+            ~eset cond
+        in
+        Step_cond.eval_edge compiled ~row:(row_of partial step_idx) ~edge:eid
+  in
+  let register_label (v : Ast.vstep) idx =
+    match v.Ast.v_label with
+    | Some l ->
+        Hashtbl.replace labels
+          (norm (Ast.label_name l))
+          { li_pos = idx; li_each = (match l with Ast.Each_label _ -> true | _ -> false) }
+    | None -> ()
+  in
+  (* Head candidates. *)
+  let head = p.Ast.head in
+  let head_cells =
+    match head.Ast.v_kind with
+    | Ast.V_any ->
+        List.concat
+          (List.init (Array.length u.Pack.vtypes) (fun tidx ->
+               List.init (Vset.size u.Pack.vtypes.(tidx)) (fun id ->
+                   Pack.pack ~tidx ~id)))
+    | Ast.V_named n -> (
+        match Pack.vtype_index u n with
+        | Some tidx ->
+            List.init (Vset.size u.Pack.vtypes.(tidx)) (fun id ->
+                Pack.pack ~tidx ~id)
+        | None -> raise (Unsupported (Printf.sprintf "unknown head %S" n)))
+    | Ast.V_seeded _ -> raise (Unsupported "seeded steps")
+  in
+  register_label head 0;
+  let partials =
+    List.filter_map
+      (fun cell ->
+        if vertex_ok head ~step_idx:0 ~partial:[] ~cell then Some [ cell ]
+        else None)
+      head_cells
+  in
+  (* Step through segments; the label-value set for set-references is the
+     set of values at the label position across current partials (the
+     forward-culled set — same definition as the engine's). *)
+  let step (partials : partial list) vstep_idx (e : Ast.estep) (v : Ast.vstep)
+      : partial list =
+    let target_spec =
+      match v.Ast.v_kind with
+      | Ast.V_any -> `Any
+      | Ast.V_seeded _ -> raise (Unsupported "seeded steps")
+      | Ast.V_named n -> (
+          match Hashtbl.find_opt labels (norm n) with
+          | Some li when li.li_pos < vstep_idx ->
+              if li.li_each then `Each li.li_pos
+              else begin
+                let set = Hashtbl.create 32 in
+                List.iter
+                  (fun partial ->
+                    let arr = row_of partial vstep_idx in
+                    Hashtbl.replace set arr.(li.li_pos) ())
+                  partials;
+                `Set (li.li_pos, set)
+              end
+          | _ -> (
+              match Pack.vtype_index u n with
+              | Some tidx -> `Type tidx
+              | None -> raise (Unsupported (Printf.sprintf "unknown step %S" n))))
+    in
+    let out = ref [] in
+    List.iter
+      (fun partial ->
+        let cur = List.hd partial in
+        let arr = row_of partial vstep_idx in
+        Array.iteri
+          (fun eidx eset ->
+            let name_ok =
+              match e.Ast.e_kind with
+              | Ast.E_named n -> norm n = norm (Eset.name eset)
+              | Ast.E_any -> true
+            in
+            if name_ok then
+              (* Scan every edge of the type: the baseline has no index. *)
+              for eid = 0 to Eset.size eset - 1 do
+                let src_t = Pack.vtype_index u (Eset.src_type eset) in
+                let dst_t = Pack.vtype_index u (Eset.dst_type eset) in
+                match (src_t, dst_t) with
+                | Some st, Some dt ->
+                    let scell = Pack.pack ~tidx:st ~id:(Eset.src eset eid) in
+                    let dcell = Pack.pack ~tidx:dt ~id:(Eset.dst eset eid) in
+                    let from_cell, to_cell =
+                      match e.Ast.e_dir with
+                      | Ast.Out -> (scell, dcell)
+                      | Ast.In -> (dcell, scell)
+                    in
+                    if from_cell = cur then begin
+                      let type_ok =
+                        match target_spec with
+                        | `Any -> true
+                        | `Type t -> Pack.tidx to_cell = t
+                        | `Each pos -> to_cell = arr.(pos)
+                        | `Set (pos, set) ->
+                            Hashtbl.mem set to_cell
+                            && Pack.tidx to_cell = Pack.tidx arr.(pos)
+                      in
+                      if
+                        type_ok
+                        && edge_ok e ~step_idx:vstep_idx ~partial ~eidx ~eid
+                        && vertex_ok v ~step_idx:vstep_idx ~partial
+                             ~cell:to_cell
+                      then out := (to_cell :: partial) :: !out
+                    end
+                | _ -> ()
+              done)
+          u.Pack.etypes)
+      partials;
+    register_label v vstep_idx;
+    List.rev !out
+  in
+  let final =
+    List.fold_left
+      (fun (partials, idx) seg ->
+        match seg with
+        | Ast.Seg_step (e, v) -> (step partials idx e v, idx + 1)
+        | Ast.Seg_regex _ -> raise (Unsupported "regex segments"))
+      (partials, 1) p.Ast.segments
+    |> fst
+  in
+  List.map (fun partial -> Array.of_list (List.rev partial)) final

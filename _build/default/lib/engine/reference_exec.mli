@@ -1,0 +1,25 @@
+(** Brute-force reference implementation of simple path queries.
+
+    This is the baseline a CSR-indexed engine is measured against, and the
+    oracle the optimized executor is property-tested against: no edge
+    indices (adjacency by scanning the whole edge array), no planner, no
+    projection/dedup, no parallelism. Supports named and [ ] steps in both
+    directions, vertex/edge conditions, and set/element-wise labels — the
+    full single-path language minus regexes and subgraph seeds.
+
+    Complexity is O(paths × edges) per step; use on small graphs only. *)
+
+module Ast = Graql_lang.Ast
+module Value = Graql_storage.Value
+
+exception Unsupported of string
+
+val run_path :
+  db:Db.t ->
+  params:(string -> Value.t option) ->
+  Ast.path ->
+  int array list
+(** All match tuples, bag semantics. Each tuple holds the packed vertex
+    cell of every vertex step, in lexical path order (edges contribute
+    multiplicity but are not reported). Raises {!Unsupported} on regex
+    segments or seeded steps. *)

@@ -1,0 +1,316 @@
+module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
+module Table = Graql_storage.Table
+module Schema = Graql_storage.Schema
+module Value = Graql_storage.Value
+module Dtype = Graql_storage.Dtype
+module Vset = Graql_graph.Vset
+module Eset = Graql_graph.Eset
+module Subgraph = Graql_graph.Subgraph
+module Row_expr = Graql_relational.Row_expr
+
+exception Result_error of Loc.t * string
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Result_error (loc, msg))) fmt
+let norm = String.lowercase_ascii
+
+(* ------------------------------------------------------------------ *)
+(* Subgraph capture                                                    *)
+
+let slot_matches_name (s : Path_exec.slot) name =
+  (match s.Path_exec.s_label with Some l -> norm l = norm name | None -> false)
+  || match s.Path_exec.s_type_name with
+     | Some t -> norm t = norm name
+     | None -> false
+
+let to_subgraph ~name ~targets ~loc (res : Path_exec.result) =
+  let u = res.Path_exec.universe in
+  let sg = Subgraph.empty name in
+  let star = List.exists (fun t -> t = Ast.T_star) targets in
+  let wanted_names =
+    List.filter_map
+      (function
+        | Ast.T_star -> None
+        | Ast.T_expr (Ast.E_attr (None, n, _), None) -> Some n
+        | Ast.T_expr (e, _) ->
+            error (Ast.expr_loc e)
+              "subgraph output selects steps or labels, not expressions")
+      targets
+  in
+  let add_cell_v seen cell =
+    if not (Hashtbl.mem seen cell) then begin
+      Hashtbl.replace seen cell ();
+      let vset = u.Pack.vtypes.(Pack.tidx cell) in
+      Subgraph.add_vertex_list sg ~vtype:(Vset.name vset) [ Pack.id cell ]
+        ~size:(Vset.size vset)
+    end
+  in
+  let add_cell_e seen cell =
+    if not (Hashtbl.mem seen cell) then begin
+      Hashtbl.replace seen cell ();
+      let eset = u.Pack.etypes.(Pack.tidx cell) in
+      Subgraph.add_edges sg ~etype:(Eset.name eset) [ Pack.id cell ]
+    end
+  in
+  let seen_v = Hashtbl.create 1024 and seen_e = Hashtbl.create 1024 in
+  List.iter
+    (fun (comp : Path_exec.component) ->
+      Array.iteri
+        (fun i (slot : Path_exec.slot) ->
+          let wanted =
+            star
+            || List.exists (slot_matches_name slot) wanted_names
+          in
+          if wanted then
+            match slot.Path_exec.s_kind with
+            | `V ->
+                Array.iter (fun row -> add_cell_v seen_v row.(i)) comp.Path_exec.rows
+            | `E ->
+                if star then
+                  Array.iter (fun row -> add_cell_e seen_e row.(i)) comp.Path_exec.rows)
+        comp.Path_exec.slots)
+    res.Path_exec.comps;
+  if star then List.iter (add_cell_e seen_e) res.Path_exec.regex_edges;
+  ignore loc;
+  sg
+
+(* ------------------------------------------------------------------ *)
+(* Table capture                                                       *)
+
+(* Attribute of a packed cell, by name; Null when absent. *)
+let cell_attr u (kind : [ `V | `E ]) cell attr =
+  match kind with
+  | `V -> (
+      let vset = u.Pack.vtypes.(Pack.tidx cell) in
+      match Schema.find (Vset.attr_schema vset) attr with
+      | Some col -> Vset.attr vset ~vertex:(Pack.id cell) ~col
+      | None -> Value.Null)
+  | `E -> (
+      let eset = u.Pack.etypes.(Pack.tidx cell) in
+      match Eset.attr_table eset with
+      | Some table -> (
+          match Schema.find (Table.schema table) attr with
+          | Some col ->
+              Table.get table ~row:(Eset.attr_row eset (Pack.id cell)) ~col
+          | None -> Value.Null)
+      | None -> Value.Null)
+
+(* Positions of slots matching a qualifier; labels take precedence. *)
+let resolve_qualifier (comp : Path_exec.component) qual loc =
+  let slots = comp.Path_exec.slots in
+  let by_label =
+    List.filter
+      (fun i ->
+        match slots.(i).Path_exec.s_label with
+        | Some l -> norm l = norm qual
+        | None -> false)
+      (List.init (Array.length slots) Fun.id)
+  in
+  match by_label with
+  | [ i ] -> i
+  | _ :: _ -> error loc "label %S is bound to several columns" qual
+  | [] -> (
+      let by_type =
+        List.filter
+          (fun i ->
+            match slots.(i).Path_exec.s_type_name with
+            | Some t -> norm t = norm qual
+            | None -> false)
+          (List.init (Array.length slots) Fun.id)
+      in
+      match by_type with
+      | [ i ] -> i
+      | [] -> error loc "%S does not name a step or label of this query" qual
+      | _ ->
+          error loc
+            "%S appears at several steps; label the one you mean (def %s:)"
+            qual qual)
+
+(* Static dtype of slot.attr when the slot is single-typed. *)
+let slot_attr_dtype u (slot : Path_exec.slot) attr =
+  match (slot.Path_exec.s_kind, slot.Path_exec.s_type_name) with
+  | `V, Some t -> (
+      match Pack.vtype_index u t with
+      | Some tidx -> (
+          let schema = Vset.attr_schema u.Pack.vtypes.(tidx) in
+          match Schema.find schema attr with
+          | Some i -> Some (Schema.col_dtype schema i)
+          | None -> None)
+      | None -> None)
+  | `E, Some t -> (
+      match Pack.etype_index u t with
+      | Some tidx -> (
+          match Eset.attr_table u.Pack.etypes.(tidx) with
+          | Some table -> (
+              let schema = Table.schema table in
+              match Schema.find schema attr with
+              | Some i -> Some (Schema.col_dtype schema i)
+              | None -> None)
+          | None -> None)
+      | None -> None)
+  | _, None -> None
+
+(* Compile a target expression against a component layout. Sources are
+   (slot position, attr name) pairs resolved per row. *)
+let compile_target u (comp : Path_exec.component) ~params expr =
+  let sources = ref [] in
+  let nsources = ref 0 in
+  let add src =
+    sources := src :: !sources;
+    incr nsources;
+    !nsources - 1
+  in
+  let binder ~qual ~attr loc : Compile_expr.col_ref =
+    match qual with
+    | None ->
+        raise
+          (Compile_expr.Compile_error
+             ( loc,
+               Printf.sprintf
+                 "attribute %S must be qualified by a step type or label" attr ))
+    | Some q ->
+        let pos = resolve_qualifier comp q loc in
+        let dtype =
+          match slot_attr_dtype u comp.Path_exec.slots.(pos) attr with
+          | Some t -> t
+          | None -> Dtype.Varchar 255
+        in
+        { Compile_expr.cr_index = add (pos, attr); cr_dtype = dtype }
+  in
+  let lowered = Compile_expr.compile ~params binder expr in
+  let sources = Array.of_list (List.rev !sources) in
+  fun (row : int array) ->
+    let get i =
+      let pos, attr = sources.(i) in
+      let slot = comp.Path_exec.slots.(pos) in
+      cell_attr u slot.Path_exec.s_kind row.(pos) attr
+    in
+    Row_expr.eval get lowered
+
+(* Columns for [select *]: every slot, in display (s_step) order, expanded
+   to its full attribute schema, prefixed by label or type name. *)
+let star_columns u (comp : Path_exec.component) loc =
+  let slots = comp.Path_exec.slots in
+  let order =
+    List.sort
+      (fun a b -> compare slots.(a).Path_exec.s_step slots.(b).Path_exec.s_step)
+      (List.init (Array.length slots) Fun.id)
+  in
+  let used = Hashtbl.create 16 in
+  let unique base =
+    let rec go n =
+      let candidate = if n = 0 then base else Printf.sprintf "%s%d" base (n + 1) in
+      if Hashtbl.mem used (norm candidate) then go (n + 1)
+      else begin
+        Hashtbl.replace used (norm candidate) ();
+        candidate
+      end
+    in
+    go 0
+  in
+  List.concat_map
+    (fun pos ->
+      let slot = slots.(pos) in
+      let display =
+        match (slot.Path_exec.s_label, slot.Path_exec.s_type_name) with
+        | Some l, _ -> l
+        | None, Some t -> t
+        | None, None ->
+            error loc
+              "select * into table is not supported over type-matching [ ] \
+               steps; name the outputs instead"
+      in
+      let schema =
+        match (slot.Path_exec.s_kind, slot.Path_exec.s_type_name) with
+        | `V, Some t ->
+            Vset.attr_schema
+              u.Pack.vtypes.(Option.get (Pack.vtype_index u t))
+        | `E, Some t -> (
+            match
+              Eset.attr_table u.Pack.etypes.(Option.get (Pack.etype_index u t))
+            with
+            | Some table -> Table.schema table
+            | None -> Schema.make [])
+        | _, None -> error loc "select * over unnamed steps is not supported"
+      in
+      let prefix = unique display in
+      List.map
+        (fun i ->
+          ( pos,
+            Schema.col_name schema i,
+            {
+              Schema.name = prefix ^ "." ^ Schema.col_name schema i;
+              dtype = Schema.col_dtype schema i;
+            } ))
+        (List.init (Schema.arity schema) Fun.id))
+    order
+
+let single_component ~loc (res : Path_exec.result) =
+  match res.Path_exec.comps with
+  | [ comp ] -> comp
+  | [] -> error loc "query produced no result component"
+  | _ ->
+      error loc
+        "'or' alternatives with different shapes cannot be captured into a \
+         table; capture a subgraph instead"
+
+let to_table ~name ~targets ~params ~loc (res : Path_exec.result) =
+  let u = res.Path_exec.universe in
+  let comp = single_component ~loc res in
+  if List.exists (fun t -> t = Ast.T_star) targets then begin
+    let cols = star_columns u comp loc in
+    let schema = Schema.make (List.map (fun (_, _, c) -> c) cols) in
+    let out = Table.create ~name schema in
+    Array.iter
+      (fun row ->
+        let values =
+          List.map
+            (fun (pos, attr, _) ->
+              let slot = comp.Path_exec.slots.(pos) in
+              cell_attr u slot.Path_exec.s_kind row.(pos) attr)
+            cols
+        in
+        Table.append_row out values)
+      comp.Path_exec.rows;
+    out
+  end
+  else begin
+    let specs =
+      List.map
+        (function
+          | Ast.T_star -> assert false
+          | Ast.T_expr (e, alias) ->
+              let cname =
+                match (alias, e) with
+                | Some a, _ -> a
+                | None, Ast.E_attr (_, a, _) -> a
+                | None, _ ->
+                    error (Ast.expr_loc e)
+                      "computed select target needs an 'as' alias"
+              in
+              let dtype =
+                match e with
+                | Ast.E_attr (Some q, a, l) -> (
+                    let pos = resolve_qualifier comp q l in
+                    match slot_attr_dtype u comp.Path_exec.slots.(pos) a with
+                    | Some t -> t
+                    | None -> Dtype.Varchar 255)
+                | _ -> Dtype.Varchar 255
+              in
+              let eval =
+                try compile_target u comp ~params e
+                with Compile_expr.Compile_error (l, msg) -> error l "%s" msg
+              in
+              (cname, dtype, eval))
+        targets
+    in
+    let schema =
+      Schema.make (List.map (fun (n, t, _) -> { Schema.name = n; dtype = t }) specs)
+    in
+    let out = Table.create ~name schema in
+    Array.iter
+      (fun row ->
+        Table.append_row out (List.map (fun (_, _, eval) -> eval row) specs))
+      comp.Path_exec.rows;
+    out
+  end

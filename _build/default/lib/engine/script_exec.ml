@@ -1,0 +1,306 @@
+module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Csv = Graql_storage.Csv
+module Subgraph = Graql_graph.Subgraph
+module Pool = Graql_parallel.Domain_pool
+
+type outcome =
+  | O_table of Table.t
+  | O_subgraph of Subgraph.t
+  | O_message of string
+
+exception Script_error of Loc.t * string
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Script_error (loc, msg))) fmt
+let norm = String.lowercase_ascii
+
+let default_loader path =
+  let ic = open_in_bin path in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  doc
+
+let params_of db name = Db.find_param db name
+
+(* ------------------------------------------------------------------ *)
+(* Single statements                                                   *)
+
+let exec_ingest ~loader db ~table ~file ~loc =
+  let target =
+    match Db.find_table db table with
+    | Some t -> t
+    | None -> error loc "ingest: no such table %S" table
+  in
+  let doc =
+    try loader file
+    with Sys_error msg -> error loc "ingest: cannot read %S: %s" file msg
+  in
+  let before = Table.nrows target in
+  (* Parse into a staging table first so a malformed file cannot leave the
+     target half-ingested: ingest is atomic w.r.t. queries (Sec. II-A2). *)
+  let staged =
+    try Csv.table_of_csv ~name:table (Table.schema target) doc
+    with Failure msg -> error loc "ingest %s: %s" file msg
+  in
+  Table.iter_rows
+    (fun r -> Table.append_row_array target (Table.row staged r))
+    staged;
+  Db.touch_table db table;
+  O_message
+    (Printf.sprintf "ingested %d rows into %s (now %d rows)"
+       (Table.nrows staged) table
+       (before + Table.nrows staged))
+
+let mode_of_graph_select (sg : Ast.select_graph) =
+  match sg.Ast.sg_into with
+  | Ast.Into_subgraph _ ->
+      if List.exists (fun t -> t = Ast.T_star) sg.Ast.sg_targets then
+        Path_exec.Keep_all
+      else
+        Path_exec.Keep_minimal
+          (List.filter_map
+             (function
+               | Ast.T_expr (Ast.E_attr (None, n, _), None) -> Some n
+               | _ -> None)
+             sg.Ast.sg_targets)
+  | Ast.Into_table _ | Ast.Into_nothing -> Path_exec.Keep_all
+
+let exec_select_graph db (sg : Ast.select_graph) =
+  let params = params_of db in
+  let mode = mode_of_graph_select sg in
+  let res = Path_exec.run_multipath ~db ~params ~mode sg.Ast.sg_path in
+  match sg.Ast.sg_into with
+  | Ast.Into_subgraph name ->
+      let sub =
+        Results.to_subgraph ~name ~targets:sg.Ast.sg_targets ~loc:sg.Ast.sg_loc
+          res
+      in
+      Db.lock db (fun () -> Db.add_subgraph db sub);
+      O_subgraph sub
+  | Ast.Into_table name ->
+      let table =
+        Results.to_table ~name ~targets:sg.Ast.sg_targets ~params
+          ~loc:sg.Ast.sg_loc res
+      in
+      Db.lock db (fun () -> Db.register_result_table db table);
+      O_table table
+  | Ast.Into_nothing ->
+      let table =
+        Results.to_table ~name:"result" ~targets:sg.Ast.sg_targets ~params
+          ~loc:sg.Ast.sg_loc res
+      in
+      O_table table
+
+let exec_select_table db (st : Ast.select_table) =
+  let params = params_of db in
+  let name =
+    match st.Ast.st_into with Ast.Into_table n -> n | _ -> "result"
+  in
+  let table = Table_exec.exec ~db ~params ~name st in
+  (match st.Ast.st_into with
+  | Ast.Into_table _ -> Db.lock db (fun () -> Db.register_result_table db table)
+  | Ast.Into_subgraph _ ->
+      error st.Ast.st_loc "a table select cannot produce a subgraph"
+  | Ast.Into_nothing -> ());
+  O_table table
+
+let exec_stmt ?(loader = default_loader) db stmt =
+  match stmt with
+  | Ast.Create_table { ct_name; ct_cols; ct_loc } ->
+      (try Ddl_exec.exec_create_table db ~name:ct_name ~cols:ct_cols ~loc:ct_loc
+       with Ddl_exec.Ddl_error (l, m) -> error l "%s" m);
+      O_message (Printf.sprintf "created table %s" ct_name)
+  | Ast.Create_vertex { cv_name; cv_key; cv_from; cv_where; _ } ->
+      Ddl_exec.exec_create_vertex db
+        {
+          Db.vd_name = cv_name;
+          vd_key = cv_key;
+          vd_from = cv_from;
+          vd_where = cv_where;
+        };
+      O_message (Printf.sprintf "created vertex type %s" cv_name)
+  | Ast.Create_edge { ce_name; ce_src; ce_dst; ce_from; ce_where; _ } ->
+      Ddl_exec.exec_create_edge db
+        {
+          Db.ed_name = ce_name;
+          ed_src = ce_src;
+          ed_dst = ce_dst;
+          ed_from = ce_from;
+          ed_where = ce_where;
+        };
+      O_message (Printf.sprintf "created edge type %s" ce_name)
+  | Ast.Ingest { ing_table; ing_file; ing_loc } ->
+      exec_ingest ~loader db ~table:ing_table ~file:ing_file ~loc:ing_loc
+  | Ast.Set_param { sp_name; sp_value; _ } ->
+      Db.set_param db sp_name (Compile_expr.value_of_lit sp_value);
+      O_message (Printf.sprintf "set %%%s%%" sp_name)
+  | Ast.Select_graph sg -> (
+      try exec_select_graph db sg with
+      | Path_exec.Exec_error (l, m) | Results.Result_error (l, m) ->
+          error l "%s" m
+      | Ddl_exec.Ddl_error (l, m) -> error l "%s" m)
+  | Ast.Select_table st -> (
+      try exec_select_table db st
+      with Table_exec.Table_error (l, m) -> error l "%s" m)
+
+(* ------------------------------------------------------------------ *)
+(* Dependence analysis (Sec. III-B1)                                   *)
+
+let graph_entity = "__graph__"
+
+let rec expr_names acc = function
+  | Ast.E_attr (Some q, _, _) -> norm q :: acc
+  | Ast.E_attr (None, _, _) | Ast.E_lit _ -> acc
+  | Ast.E_param (p, _) -> ("%" ^ norm p) :: acc
+  | Ast.E_binop (_, a, b, _) -> expr_names (expr_names acc a) b
+  | Ast.E_unop (_, a, _) | Ast.E_is_null (a, _, _) -> expr_names acc a
+  | Ast.E_call (_, args, _) ->
+      List.fold_left
+        (fun acc -> function
+          | Ast.A_expr e -> expr_names acc e
+          | Ast.A_star -> acc)
+        acc args
+
+let vstep_names acc (v : Ast.vstep) =
+  let acc =
+    match v.Ast.v_kind with
+    | Ast.V_named n -> norm n :: acc
+    | Ast.V_any -> acc
+    | Ast.V_seeded (sg, vt) -> norm sg :: norm vt :: acc
+  in
+  match v.Ast.v_cond with Some c -> expr_names acc c | None -> acc
+
+let estep_names acc (e : Ast.estep) =
+  let acc =
+    match e.Ast.e_kind with Ast.E_named n -> norm n :: acc | Ast.E_any -> acc
+  in
+  match e.Ast.e_cond with Some c -> expr_names acc c | None -> acc
+
+let rec multipath_names acc = function
+  | Ast.M_path { head; segments } ->
+      let acc = vstep_names acc head in
+      List.fold_left
+        (fun acc -> function
+          | Ast.Seg_step (e, v) -> vstep_names (estep_names acc e) v
+          | Ast.Seg_regex (body, _, _) ->
+              List.fold_left
+                (fun acc (e, v) -> vstep_names (estep_names acc e) v)
+                acc body)
+        acc segments
+  | Ast.M_and (a, b) | Ast.M_or (a, b) ->
+      multipath_names (multipath_names acc a) b
+
+let refs stmt =
+  match stmt with
+  | Ast.Create_table _ -> []
+  | Ast.Create_vertex { cv_from; cv_where; _ } ->
+      norm cv_from
+      :: (match cv_where with Some c -> expr_names [] c | None -> [])
+  | Ast.Create_edge { ce_src; ce_dst; ce_from; ce_where; _ } ->
+      (norm ce_src.Ast.ve_type :: norm ce_dst.Ast.ve_type
+       :: (match ce_from with Some t -> [ norm t ] | None -> []))
+      @ (match ce_where with Some c -> expr_names [] c | None -> [])
+  | Ast.Ingest { ing_table; _ } -> [ norm ing_table ]
+  | Ast.Set_param _ -> []
+  | Ast.Select_graph { sg_path; sg_targets; _ } ->
+      graph_entity :: multipath_names [] sg_path
+      @ List.concat_map
+          (function
+            | Ast.T_star -> []
+            | Ast.T_expr (e, _) -> expr_names [] e)
+          sg_targets
+  | Ast.Select_table st -> (
+      let sources =
+        match st.Ast.st_from with
+        | Ast.From_table (n, _) -> [ norm n ]
+        | Ast.From_join (srcs, w) ->
+            List.map (fun (n, _) -> norm n) srcs
+            @ (match w with Some w -> expr_names [] w | None -> [])
+      in
+      sources
+      @ (match st.Ast.st_where with Some w -> expr_names [] w | None -> [])
+      @ List.concat_map
+          (function
+            | Ast.T_star -> []
+            | Ast.T_expr (e, _) -> expr_names [] e)
+          st.Ast.st_targets)
+
+let defs stmt =
+  match stmt with
+  | Ast.Create_vertex { cv_name; _ } -> [ norm cv_name; graph_entity ]
+  | Ast.Create_edge { ce_name; _ } -> [ norm ce_name; graph_entity ]
+  | Ast.Ingest { ing_table; _ } -> [ norm ing_table; graph_entity ]
+  | Ast.Set_param { sp_name; _ } -> [ "%" ^ norm sp_name ]
+  | Ast.Create_table { ct_name; _ } -> [ norm ct_name ]
+  | Ast.Select_graph _ | Ast.Select_table _ -> (
+      match Ast.stmt_defines stmt with Some n -> [ norm n ] | None -> [])
+
+let dependence_edges script =
+  let stmts = Array.of_list script in
+  let n = Array.length stmts in
+  let refs_a = Array.map refs stmts and defs_a = Array.map defs stmts in
+  let intersects a b = List.exists (fun x -> List.mem x b) a in
+  let edges = ref [] in
+  for j = 1 to n - 1 do
+    for i = 0 to j - 1 do
+      (* RAW: j reads what i defines. WAW: both define the same name.
+         WAR: j redefines what i reads. *)
+      if
+        intersects defs_a.(i) refs_a.(j)
+        || intersects defs_a.(i) defs_a.(j)
+        || intersects refs_a.(i) defs_a.(j)
+      then edges := (i, j) :: !edges
+    done
+  done;
+  List.rev !edges
+
+let exec_script ?(loader = default_loader) ?parallel db script =
+  let stmts = Array.of_list script in
+  let n = Array.length stmts in
+  let parallel =
+    match parallel with Some p -> p | None -> Db.pool db <> None
+  in
+  let outcomes = Array.make n None in
+  if (not parallel) || n <= 1 || Db.pool db = None then
+    Array.iteri
+      (fun i stmt -> outcomes.(i) <- Some (exec_stmt ~loader db stmt))
+      stmts
+  else begin
+    let pool = Option.get (Db.pool db) in
+    let edges = dependence_edges script in
+    let preds = Array.make n [] in
+    List.iter (fun (i, j) -> preds.(j) <- i :: preds.(j)) edges;
+    let done_ = Array.make n false in
+    let remaining = ref (List.init n Fun.id) in
+    while !remaining <> [] do
+      let ready, blocked =
+        List.partition
+          (fun j -> List.for_all (fun i -> done_.(i)) preds.(j))
+          !remaining
+      in
+      if ready = [] then
+        failwith "Script_exec: dependence cycle (impossible for i<j edges)";
+      (* Wave: run all ready statements concurrently. Errors surface after
+         the wave completes, earliest statement first. *)
+      let errors = Array.make n None in
+      Pool.run_tasks pool
+        (List.map
+           (fun j () ->
+             try outcomes.(j) <- Some (exec_stmt ~loader db stmts.(j))
+             with e -> errors.(j) <- Some e)
+           ready);
+      Array.iteri
+        (fun _ e -> match e with Some exn -> raise exn | None -> ())
+        errors;
+      List.iter (fun j -> done_.(j) <- true) ready;
+      remaining := blocked
+    done
+  end;
+  List.mapi
+    (fun i stmt ->
+      match outcomes.(i) with
+      | Some o -> (stmt, o)
+      | None -> (stmt, O_message "skipped"))
+    (Array.to_list (Array.map Fun.id stmts))

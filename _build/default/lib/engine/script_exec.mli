@@ -1,0 +1,33 @@
+(** Statement and script execution, including multi-statement dependence
+    scheduling (Sec. III-B1): independent statements run in parallel on
+    the domain pool; statements ordered by def/use of named entities (and
+    by graph (in)validation) run in sequence. *)
+
+module Ast = Graql_lang.Ast
+module Table = Graql_storage.Table
+
+type outcome =
+  | O_table of Table.t
+  | O_subgraph of Graql_graph.Subgraph.t
+  | O_message of string
+
+exception Script_error of Graql_lang.Loc.t * string
+
+val exec_stmt : ?loader:(string -> string) -> Db.t -> Ast.stmt -> outcome
+(** Execute one statement against the database. [loader] maps an ingest
+    file name to CSV text (defaults to reading the file system). *)
+
+val dependence_edges : Ast.script -> (int * int) list
+(** [(i, j)] with [i < j]: statement [j] must wait for statement [i].
+    Conservative def/use analysis over entity names, parameters, and the
+    derived graph. *)
+
+val exec_script :
+  ?loader:(string -> string) ->
+  ?parallel:bool ->
+  Db.t ->
+  Ast.script ->
+  (Ast.stmt * outcome) list
+(** Run a whole script. With [parallel] (default true when the db has a
+    pool), independent statements execute concurrently in dependence-DAG
+    waves; outcomes are reported in statement order regardless. *)

@@ -1,0 +1,484 @@
+module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
+module Table = Graql_storage.Table
+module Schema = Graql_storage.Schema
+module Value = Graql_storage.Value
+module Dtype = Graql_storage.Dtype
+module Row_expr = Graql_relational.Row_expr
+module Relop = Graql_relational.Relop
+module Join = Graql_relational.Join
+module Aggregate = Graql_relational.Aggregate
+
+exception Table_error of Loc.t * string
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Table_error (loc, msg))) fmt
+let norm = String.lowercase_ascii
+
+(* A source relation with the qualifiers it answers to and its column
+   offset in the working (possibly joined) table. *)
+type src = { names : string list; table : Table.t; base : int }
+
+let resolve_col srcs ~qual ~attr loc =
+  match qual with
+  | Some q -> (
+      match List.find_opt (fun s -> List.mem (norm q) s.names) srcs with
+      | Some s -> (
+          match Schema.find (Table.schema s.table) attr with
+          | Some i -> s.base + i
+          | None -> error loc "table %s has no column %S" (List.hd s.names) attr)
+      | None -> (
+          (* Flattened path-result tables name columns "Step.attr"
+             (Fig. 13); accept the dotted spelling as a plain column. *)
+          let dotted = q ^ "." ^ attr in
+          let hits =
+            List.filter_map
+              (fun s ->
+                Option.map
+                  (fun i -> s.base + i)
+                  (Schema.find (Table.schema s.table) dotted))
+              srcs
+          in
+          match hits with
+          | [ i ] -> i
+          | _ -> error loc "unknown qualifier %S" q))
+  | None -> (
+      let hits =
+        List.filter_map
+          (fun s ->
+            Option.map (fun i -> s.base + i) (Schema.find (Table.schema s.table) attr))
+          srcs
+      in
+      match hits with
+      | [ i ] -> i
+      | [] -> error loc "unknown column %S" attr
+      | _ -> error loc "ambiguous column %S (qualify it)" attr)
+
+let binder_of srcs working : Compile_expr.binder =
+ fun ~qual ~attr loc ->
+  match resolve_col srcs ~qual ~attr loc with
+  | i ->
+      {
+        Compile_expr.cr_index = i;
+        cr_dtype = Schema.col_dtype (Table.schema working) i;
+      }
+  | exception Table_error (l, m) -> raise (Compile_expr.Compile_error (l, m))
+
+(* Build the working table: single source, or left-deep equi-join driven by
+   the cross-table equality conjuncts of the where clause. *)
+let build_working ~db ~params (st : Ast.select_table) =
+  let loc = st.Ast.st_loc in
+  let lookup name =
+    match Db.find_table db name with
+    | Some t -> t
+    | None -> error loc "no such table %S" name
+  in
+  match st.Ast.st_from with
+  | Ast.From_table (name, alias) ->
+      let table = lookup name in
+      let names =
+        norm name :: (match alias with Some a -> [ norm a ] | None -> [])
+      in
+      let srcs = [ { names; table; base = 0 } ] in
+      let filtered =
+        match st.Ast.st_where with
+        | None -> table
+        | Some w ->
+            let pred =
+              try Compile_expr.compile ~params (binder_of srcs table) w
+              with Compile_expr.Compile_error (l, m) -> error l "%s" m
+            in
+            Relop.select ?pool:(Db.pool db) ~name table pred
+      in
+      (filtered, [ { names; table = filtered; base = 0 } ])
+  | Ast.From_join (sources, where) ->
+      let rels =
+        List.map
+          (fun (name, alias) ->
+            let table = lookup name in
+            let names =
+              norm name :: (match alias with Some a -> [ norm a ] | None -> [])
+            in
+            (names, table))
+          sources
+      in
+      let conjs =
+        match where with Some w -> Compile_expr.conjuncts w | None -> []
+      in
+      (* Cross-relation equality conjuncts become join atoms. *)
+      let rel_of_qual q =
+        List.find_opt (fun (names, _) -> List.mem (norm q) names) rels
+      in
+      let rel_of_attr a =
+        let hits =
+          List.filter
+            (fun (_, t) -> Schema.find (Table.schema t) a <> None)
+            rels
+        in
+        match hits with [ r ] -> Some r | _ -> None
+      in
+      let rel_key (names, _) = List.hd names in
+      let atoms = ref [] and residuals = ref [] in
+      List.iter
+        (fun conj ->
+          match conj with
+          | Ast.E_binop
+              (Ast.Eq, Ast.E_attr (qa, aa, la), Ast.E_attr (qb, ab, lb), _) -> (
+              let ra =
+                match qa with Some q -> rel_of_qual q | None -> rel_of_attr aa
+              in
+              let rb =
+                match qb with Some q -> rel_of_qual q | None -> rel_of_attr ab
+              in
+              match (ra, rb) with
+              | Some ra, Some rb when rel_key ra <> rel_key rb ->
+                  atoms := (ra, aa, la, rb, ab, lb) :: !atoms
+              | _ -> residuals := conj :: !residuals)
+          | _ -> residuals := conj :: !residuals)
+        conjs;
+      let atoms = List.rev !atoms and residuals = List.rev !residuals in
+      (match rels with
+      | [] -> error loc "empty from clause"
+      | first :: rest ->
+          let srcs =
+            ref [ { names = fst first; table = snd first; base = 0 } ]
+          in
+          let working = ref (snd first) in
+          let remaining = ref rest in
+          let joined_key r = List.exists (fun s -> s.names = fst r) !srcs in
+          while !remaining <> [] do
+            let pick =
+              List.find_opt
+                (fun r ->
+                  List.exists
+                    (fun (ra, _, _, rb, _, _) ->
+                      (rel_key ra = rel_key r && joined_key rb)
+                      || (rel_key rb = rel_key r && joined_key ra))
+                    atoms)
+                !remaining
+            in
+            match pick with
+            | None ->
+                error loc
+                  "from-clause tables are not connected by join conditions"
+            | Some r ->
+                let col_in_src s attr l =
+                  match Schema.find (Table.schema s.table) attr with
+                  | Some i -> s.base + i
+                  | None ->
+                      error l "table %s has no column %S" (List.hd s.names) attr
+                in
+                let on =
+                  List.filter_map
+                    (fun (ra, aa, la, rb, ab, lb) ->
+                      if rel_key ra = rel_key r && joined_key rb then
+                        let s = List.find (fun s -> s.names = fst rb) !srcs in
+                        let right_col =
+                          match Schema.find (Table.schema (snd r)) aa with
+                          | Some i -> i
+                          | None ->
+                              error la "table %s has no column %S" (rel_key r) aa
+                        in
+                        Some (col_in_src s ab lb, right_col)
+                      else if rel_key rb = rel_key r && joined_key ra then
+                        let s = List.find (fun s -> s.names = fst ra) !srcs in
+                        let right_col =
+                          match Schema.find (Table.schema (snd r)) ab with
+                          | Some i -> i
+                          | None ->
+                              error lb "table %s has no column %S" (rel_key r) ab
+                        in
+                        Some (col_in_src s aa la, right_col)
+                      else None)
+                    atoms
+                in
+                let base = Table.arity !working in
+                working :=
+                  Join.hash_join ~name:"join" ~left:!working ~right:(snd r) ~on ();
+                srcs := !srcs @ [ { names = fst r; table = snd r; base } ];
+                remaining := List.filter (fun x -> fst x <> fst r) !remaining
+          done;
+          let srcs = !srcs in
+          let filtered =
+            match residuals with
+            | [] -> !working
+            | _ ->
+                let pred =
+                  List.fold_left
+                    (fun acc conj ->
+                      let e =
+                        try
+                          Compile_expr.compile ~params
+                            (binder_of srcs !working) conj
+                        with Compile_expr.Compile_error (l, m) -> error l "%s" m
+                      in
+                      match acc with
+                      | None -> Some e
+                      | Some a -> Some (Row_expr.And (a, e)))
+                    None residuals
+                in
+                (match pred with
+                | Some pred -> Relop.select ?pool:(Db.pool db) !working pred
+                | None -> !working)
+          in
+          (filtered, List.map (fun s -> { s with table = s.table }) srcs))
+
+(* Output column name for a target. *)
+let target_name ?(idx = 0) = function
+  | Ast.T_star -> Printf.sprintf "col%d" idx
+  | Ast.T_expr (e, alias) -> (
+      match (alias, e) with
+      | Some a, _ -> a
+      | None, Ast.E_attr (_, a, _) -> a
+      | None, Ast.E_call (f, _, _) -> f
+      | None, _ -> Printf.sprintf "col%d" idx)
+
+let is_agg_call = function
+  | Ast.T_expr (Ast.E_call _, _) -> true
+  | Ast.T_expr _ | Ast.T_star -> false
+
+let exec ~db ~params ~name (st : Ast.select_table) =
+  let loc = st.Ast.st_loc in
+  let working, srcs = build_working ~db ~params st in
+  let binder = binder_of srcs working in
+  let compile e =
+    try Compile_expr.compile ~params binder e
+    with Compile_expr.Compile_error (l, m) -> error l "%s" m
+  in
+  let grouped = st.Ast.st_group_by <> [] in
+  let has_aggs = List.exists is_agg_call st.Ast.st_targets in
+  let working_schema = Table.schema working in
+  let rec dtype_of_expr e =
+    match e with
+    | Ast.E_attr (q, a, l) ->
+        Schema.col_dtype working_schema (resolve_col srcs ~qual:q ~attr:a l)
+    | Ast.E_lit (Ast.L_int _, _) -> Dtype.Int
+    | Ast.E_lit (Ast.L_float _, _) -> Dtype.Float
+    | Ast.E_lit (Ast.L_string _, _) -> Dtype.Varchar 255
+    | Ast.E_lit (Ast.L_bool _, _) -> Dtype.Bool
+    | Ast.E_lit (Ast.L_null, _) -> Dtype.Varchar 255
+    | Ast.E_binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), a, b, _)
+      -> (
+        match (dtype_of_expr a, dtype_of_expr b) with
+        | Dtype.Int, Dtype.Int -> Dtype.Int
+        | Dtype.Date, Dtype.Int | Dtype.Int, Dtype.Date -> Dtype.Date
+        | Dtype.Varchar _, Dtype.Varchar _ -> Dtype.Varchar 255
+        | _ -> Dtype.Float)
+    | Ast.E_binop
+        ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And
+         | Ast.Or | Ast.Like), _, _, _)
+    | Ast.E_unop (Ast.Not, _, _)
+    | Ast.E_is_null _ ->
+        Dtype.Bool
+    | Ast.E_unop (Ast.Neg, a, _) -> dtype_of_expr a
+    | Ast.E_param _ | Ast.E_call _ -> Dtype.Float
+  in
+  let projected =
+    if grouped || has_aggs then begin
+      (* Stage 1: working columns = group keys ++ aggregate arguments. *)
+      let key_specs =
+        List.map
+          (fun (q, c) ->
+            let i = resolve_col srcs ~qual:q ~attr:c loc in
+            (c, Schema.col_dtype working_schema i, Row_expr.Col i))
+          st.Ast.st_group_by
+      in
+      let agg_targets =
+        List.filter_map
+          (function
+            | Ast.T_expr (Ast.E_call (f, args, l), alias) ->
+                Some (f, args, l, alias)
+            | _ -> None)
+          st.Ast.st_targets
+      in
+      let agg_arg_specs =
+        List.mapi
+          (fun i (f, args, l, _) ->
+            match args with
+            | [ Ast.A_star ] ->
+                if f <> "count" then error l "%s(*) is not valid" f;
+                None
+            | [ Ast.A_expr e ] ->
+                Some (Printf.sprintf "__agg%d" i, dtype_of_expr e, compile e)
+            | _ -> error l "aggregate %s takes exactly one argument" f)
+          agg_targets
+      in
+      let stage1_specs = key_specs @ List.filter_map Fun.id agg_arg_specs in
+      let stage1 =
+        Relop.project_named ~name:"stage1" working stage1_specs
+      in
+      let nkeys = List.length key_specs in
+      (* Aggregate column index per agg target within stage1. *)
+      let _, agg_descrs =
+        List.fold_left2
+          (fun (next, acc) (f, _, l, alias) arg ->
+            let agg =
+              match (f, arg) with
+              | "count", None -> Aggregate.Count_star
+              | "count", Some _ -> Aggregate.Count next
+              | "sum", Some _ -> Aggregate.Sum next
+              | "avg", Some _ -> Aggregate.Avg next
+              | "min", Some _ -> Aggregate.Min next
+              | "max", Some _ -> Aggregate.Max next
+              | _ -> error l "unknown aggregate %S" f
+            in
+            let cname = match alias with Some a -> a | None -> f in
+            let next = if arg = None then next else next + 1 in
+            (next, acc @ [ (agg, cname) ]))
+          (nkeys, []) agg_targets
+          agg_arg_specs
+      in
+      let aggregated =
+        Aggregate.group_by ~name:"grouped" stage1
+          ~keys:(List.init nkeys Fun.id)
+          ~aggs:agg_descrs
+      in
+      (* Stage 2: order output columns per the select-target order. *)
+      let gschema = Table.schema aggregated in
+      let out_cols =
+        List.map
+          (fun t ->
+            match t with
+            | Ast.T_star -> error loc "select * cannot be combined with group by"
+            | Ast.T_expr (Ast.E_call _, _) as t -> (
+                let cname = target_name t in
+                match Schema.find gschema cname with
+                | Some i -> i
+                | None -> error loc "internal: lost aggregate column %s" cname)
+            | Ast.T_expr (Ast.E_attr (_, a, l), alias) -> (
+                let cname = match alias with Some x -> x | None -> a in
+                ignore cname;
+                match Schema.find gschema a with
+                | Some i -> i
+                | None -> error l "column %S must appear in group by" a)
+            | Ast.T_expr (e, _) ->
+                error (Ast.expr_loc e)
+                  "grouped select targets must be grouping columns or \
+                   aggregates")
+          st.Ast.st_targets
+      in
+      (* Renaming pass to apply aliases. *)
+      let out_specs =
+        List.map2
+          (fun t i ->
+            ( target_name t,
+              Schema.col_dtype gschema i,
+              Row_expr.Col i ))
+          st.Ast.st_targets out_cols
+      in
+      Relop.project_named ~name aggregated out_specs
+    end
+    else if List.exists (fun t -> t = Ast.T_star) st.Ast.st_targets then
+      Table.rename working name
+    else begin
+      let specs =
+        List.mapi
+          (fun i t ->
+            match t with
+            | Ast.T_star -> assert false
+            | Ast.T_expr (e, _) ->
+                (target_name ~idx:i t, dtype_of_expr e, compile e))
+          st.Ast.st_targets
+      in
+      Relop.project_named ~name working specs
+    end
+  in
+  let projected =
+    if st.Ast.st_distinct then Relop.distinct ~name projected else projected
+  in
+  (* Order keys resolve against the output schema first (aliases, grouped
+     columns); an ungrouped, non-distinct select may also order by source
+     columns or expressions not in the output — those are carried as
+     hidden sort columns and projected away afterwards. *)
+  let out_schema = Table.schema projected in
+  let find_in_output e =
+    match e with
+    | Ast.E_attr (None, a, _) -> Schema.find out_schema a
+    | Ast.E_attr (Some q, a, _) -> (
+        match Schema.find out_schema (q ^ "." ^ a) with
+        | Some i -> Some i
+        | None -> Schema.find out_schema a)
+    | _ -> None
+  in
+  let may_hide = (not grouped) && (not has_aggs) && not st.Ast.st_distinct in
+  let resolutions =
+    List.map
+      (fun (e, dir) ->
+        let dir = match dir with Ast.Asc -> Relop.Asc | Ast.Desc -> Relop.Desc in
+        match find_in_output e with
+        | Some i -> (`Out i, dir)
+        | None ->
+            if may_hide then (`Hidden (dtype_of_expr e, compile e), dir)
+            else
+              error (Ast.expr_loc e)
+                "order by: not an output column (grouped/distinct selects \
+                 sort by output columns only)")
+      st.Ast.st_order_by
+  in
+  let hidden =
+    List.filter_map
+      (function `Hidden (t, e), _ -> Some (t, e) | `Out _, _ -> None)
+      resolutions
+  in
+  let projected, order_keys, visible =
+    if hidden = [] then
+      ( projected,
+        List.map
+          (fun (r, d) ->
+            match r with `Out i -> (i, d) | `Hidden _ -> assert false)
+          resolutions,
+        None )
+    else begin
+      (* Rebuild the projection with hidden sort columns appended. The
+         visible columns must be re-evaluated against the same working
+         rows, so recompute their specs. *)
+      let visible_specs =
+        if List.exists (fun t -> t = Ast.T_star) st.Ast.st_targets then
+          List.init (Table.arity working) (fun i ->
+              ( Schema.col_name working_schema i,
+                Schema.col_dtype working_schema i,
+                Row_expr.Col i ))
+        else
+          List.mapi
+            (fun i t ->
+              match t with
+              | Ast.T_star -> assert false
+              | Ast.T_expr (e, _) ->
+                  (target_name ~idx:i t, dtype_of_expr e, compile e))
+            st.Ast.st_targets
+      in
+      let nvisible = List.length visible_specs in
+      let hidden_specs =
+        List.mapi
+          (fun i (t, e) -> (Printf.sprintf "__ord%d" i, t, e))
+          hidden
+      in
+      let widened =
+        Relop.project_named ~name working (visible_specs @ hidden_specs)
+      in
+      let next_hidden = ref (nvisible - 1) in
+      let keys =
+        List.map
+          (fun (r, d) ->
+            match r with
+            | `Out i -> (i, d)
+            | `Hidden _ ->
+                incr next_hidden;
+                (!next_hidden, d))
+          resolutions
+      in
+      (widened, keys, Some nvisible)
+    end
+  in
+  let sorted =
+    match (st.Ast.st_top, order_keys) with
+    | Some n, (_ :: _ as keys) -> Relop.top_n ~name projected ~n ~keys
+    | Some n, [] -> Relop.limit ~name projected n
+    | None, (_ :: _ as keys) -> Relop.order_by ~name projected keys
+    | None, [] -> projected
+  in
+  let sorted =
+    match visible with
+    | Some nvisible -> Relop.project ~name sorted (List.init nvisible Fun.id)
+    | None -> sorted
+  in
+  Table.rename sorted name

@@ -1,0 +1,19 @@
+(** Execution of relational [select ... from table ...] statements —
+    the Table I operation set: selection/projection, where filters,
+    group by with count/sum/avg/min/max, order by, distinct, top n,
+    aliases, and implicit joins over several tables. *)
+
+module Ast = Graql_lang.Ast
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+
+exception Table_error of Graql_lang.Loc.t * string
+
+val exec :
+  db:Db.t ->
+  params:(string -> Value.t option) ->
+  name:string ->
+  Ast.select_table ->
+  Table.t
+(** Evaluate the statement; the result table is named [name] (the [into]
+    target or a temporary display name). *)

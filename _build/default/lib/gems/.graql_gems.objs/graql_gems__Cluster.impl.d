@@ -1,0 +1,1 @@
+lib/gems/cluster.ml: Array Graql_engine Graql_graph Graql_storage Graql_util List Printf

@@ -1,0 +1,1 @@
+lib/gems/cluster.mli: Graql_engine

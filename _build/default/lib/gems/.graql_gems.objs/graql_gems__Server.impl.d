@@ -1,0 +1,1 @@
+lib/gems/server.ml: Graql_lang Hashtbl List Printf Session

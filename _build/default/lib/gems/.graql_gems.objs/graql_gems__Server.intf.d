@@ -1,0 +1,1 @@
+lib/gems/server.mli: Graql_engine Graql_lang Graql_parallel Session

@@ -1,0 +1,1 @@
+lib/gems/session.ml: Bytes Graql_analysis Graql_engine Graql_graph Graql_ir Graql_lang List Unix

@@ -1,0 +1,1 @@
+lib/gems/session.mli: Graql_analysis Graql_engine Graql_lang Graql_parallel

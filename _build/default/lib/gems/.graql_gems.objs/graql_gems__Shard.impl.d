@@ -1,0 +1,1 @@
+lib/gems/shard.ml: Array Graql_parallel Graql_relational Graql_storage Graql_util List

@@ -1,0 +1,1 @@
+lib/gems/shard.mli: Graql_parallel Graql_relational Graql_storage

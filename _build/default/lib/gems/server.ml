@@ -1,0 +1,93 @@
+module Ast = Graql_lang.Ast
+
+type role = Admin | Analyst
+
+type account = {
+  acc_role : role;
+  mutable acc_executed : int;
+  mutable acc_denied : int;
+}
+
+type t = {
+  session : Session.t;
+  users : (string, account) Hashtbl.t;
+  mutable audit : (string * string) list; (* reversed *)
+  mutable audit_len : int;
+}
+
+type connection = { conn_server : t; conn_user : string; conn_account : account }
+
+exception Permission_denied of string
+exception Unknown_user of string
+
+let create ?pool () =
+  {
+    session = Session.create ?pool ();
+    users = Hashtbl.create 8;
+    audit = [];
+    audit_len = 0;
+  }
+
+let session t = t.session
+
+let add_user t ~name ~role =
+  if Hashtbl.mem t.users name then
+    failwith (Printf.sprintf "user %S already exists" name);
+  Hashtbl.add t.users name { acc_role = role; acc_executed = 0; acc_denied = 0 }
+
+let connect t ~user =
+  match Hashtbl.find_opt t.users user with
+  | Some account ->
+      { conn_server = t; conn_user = user; conn_account = account }
+  | None -> raise (Unknown_user user)
+
+let user c = c.conn_user
+let role c = c.conn_account.acc_role
+
+let writes_data = function
+  | Ast.Create_table _ | Ast.Create_vertex _ | Ast.Create_edge _
+  | Ast.Ingest _ ->
+      true
+  | Ast.Select_graph _ | Ast.Select_table _ | Ast.Set_param _ -> false
+
+let audit t user stmt =
+  t.audit <- (user, Graql_lang.Pretty.stmt_to_string stmt) :: t.audit;
+  t.audit_len <- t.audit_len + 1;
+  if t.audit_len > 1000 then begin
+    t.audit <- List.filteri (fun i _ -> i < 1000) t.audit;
+    t.audit_len <- 1000
+  end
+
+let run ?loader c source =
+  let t = c.conn_server in
+  let ast = Graql_lang.Parser.parse_script source in
+  (* All-or-nothing authorization, before any side effect. *)
+  (match c.conn_account.acc_role with
+  | Admin -> ()
+  | Analyst ->
+      List.iter
+        (fun stmt ->
+          if writes_data stmt then begin
+            c.conn_account.acc_denied <- c.conn_account.acc_denied + 1;
+            raise
+              (Permission_denied
+                 (Printf.sprintf
+                    "user %S (analyst) may not run: %s" c.conn_user
+                    (Graql_lang.Pretty.stmt_to_string stmt)))
+          end)
+        ast);
+  let results = Session.run_script ?loader t.session source in
+  List.iter
+    (fun (stmt, _) ->
+      c.conn_account.acc_executed <- c.conn_account.acc_executed + 1;
+      audit t c.conn_user stmt)
+    results;
+  results
+
+let audit_log t = List.rev t.audit
+
+let user_stats t =
+  List.sort compare
+    (Hashtbl.fold
+       (fun name acc out -> (name, acc.acc_executed, acc.acc_denied) :: out)
+       t.users [])

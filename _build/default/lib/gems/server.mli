@@ -1,0 +1,48 @@
+(** The GEMS front-end server (Sec. III, component 2): "the server
+    centralizes access to the database system in order to provide access
+    control, distinct user accounts, as well as a central metadata
+    repository (catalog)".
+
+    One server owns one database session; clients connect under a user
+    account and submit scripts. Admins may run anything; analysts are
+    read-only (selects and parameter bindings — no DDL, no ingest). Every
+    accepted statement is recorded in an audit log alongside per-user
+    counters. *)
+
+type role = Admin | Analyst
+
+type t
+type connection
+
+exception Permission_denied of string
+exception Unknown_user of string
+
+val create : ?pool:Graql_parallel.Domain_pool.t -> unit -> t
+val session : t -> Session.t
+(** The underlying session (the catalog/metadata repository). *)
+
+val add_user : t -> name:string -> role:role -> unit
+(** Raises [Failure] on duplicate user names. *)
+
+val connect : t -> user:string -> connection
+(** Raises {!Unknown_user}. *)
+
+val user : connection -> string
+val role : connection -> role
+
+val run :
+  ?loader:(string -> string) ->
+  connection ->
+  string ->
+  (Graql_lang.Ast.stmt * Graql_engine.Script_exec.outcome) list
+(** Parse, authorize every statement against the connection's role, then
+    execute through the normal session pipeline. Raises
+    {!Permission_denied} before anything executes if any statement exceeds
+    the role — authorization is all-or-nothing per script. *)
+
+val audit_log : t -> (string * string) list
+(** (user, statement) pairs in submission order, most recent last; capped
+    at 1000 entries. *)
+
+val user_stats : t -> (string * int * int) list
+(** Per user: (name, statements executed, scripts denied). *)

@@ -1,0 +1,136 @@
+module Ast = Graql_lang.Ast
+module Diag = Graql_analysis.Diag
+module Db = Graql_engine.Db
+module Script_exec = Graql_engine.Script_exec
+
+type phase_times = {
+  mutable t_parse : float;
+  mutable t_check : float;
+  mutable t_encode : float;
+  mutable t_decode : float;
+  mutable t_execute : float;
+}
+
+type t = {
+  db : Db.t;
+  strict : bool;
+  mutable diags : Diag.t list;
+  times : phase_times;
+  mutable ir_bytes : int;
+}
+
+exception Rejected of Diag.t list
+
+let create ?pool ?(strict = true) () =
+  let db = Db.create ?pool () in
+  Graql_engine.Ddl_exec.install db;
+  {
+    db;
+    strict;
+    diags = [];
+    times =
+      { t_parse = 0.0; t_check = 0.0; t_encode = 0.0; t_decode = 0.0; t_execute = 0.0 };
+    ir_bytes = 0;
+  }
+
+let db t = t.db
+let last_diagnostics t = t.diags
+let phase_times t = t.times
+let ir_bytes_shipped t = t.ir_bytes
+
+let timed cell f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  cell (Unix.gettimeofday () -. t0);
+  r
+
+let params_for_check t =
+  (* Previously-set session parameters participate in type checking. *)
+  let m = Db.meta t.db in
+  ignore m;
+  []
+
+let check t source =
+  let ast =
+    timed (fun d -> t.times.t_parse <- t.times.t_parse +. d) (fun () ->
+        Graql_lang.Parser.parse_script source)
+  in
+  let meta = Db.meta t.db in
+  let diags =
+    timed (fun d -> t.times.t_check <- t.times.t_check +. d) (fun () ->
+        Graql_analysis.Typecheck.check_script ~params:(params_for_check t) meta
+          ast)
+  in
+  t.diags <- diags;
+  diags
+
+let run_ir ?loader ?parallel t blob =
+  let ast =
+    timed (fun d -> t.times.t_decode <- t.times.t_decode +. d) (fun () ->
+        Graql_ir.Codec.decode_script blob)
+  in
+  timed (fun d -> t.times.t_execute <- t.times.t_execute +. d) (fun () ->
+      Script_exec.exec_script ?loader ?parallel t.db ast)
+
+let run_script ?loader ?parallel t source =
+  let ast =
+    timed (fun d -> t.times.t_parse <- t.times.t_parse +. d) (fun () ->
+        Graql_lang.Parser.parse_script source)
+  in
+  let meta = Db.meta t.db in
+  let diags =
+    timed (fun d -> t.times.t_check <- t.times.t_check +. d) (fun () ->
+        Graql_analysis.Typecheck.check_script ~params:(params_for_check t) meta
+          ast)
+  in
+  t.diags <- diags;
+  if t.strict && Diag.has_errors diags then raise (Rejected diags);
+  (* Front-end -> backend hop: compile to binary IR and decode it on the
+     other side, exactly as the paper's architecture moves queries. *)
+  let blob =
+    timed (fun d -> t.times.t_encode <- t.times.t_encode +. d) (fun () ->
+        Graql_ir.Codec.encode_script ast)
+  in
+  t.ir_bytes <- t.ir_bytes + Bytes.length blob;
+  run_ir ?loader ?parallel t blob
+
+let catalog_rows t =
+  let meta = Db.meta t.db in
+  List.map
+    (fun name ->
+      match Graql_analysis.Meta.find meta name with
+      | Some (Graql_analysis.Meta.M_table (_, size)) ->
+          [ "table"; name; (match size with Some n -> string_of_int n | None -> "?") ]
+      | Some (Graql_analysis.Meta.M_vertex vm) ->
+          [
+            "vertex";
+            name;
+            (match vm.Graql_analysis.Meta.vm_size with
+            | Some n -> string_of_int n
+            | None -> "?");
+          ]
+      | Some (Graql_analysis.Meta.M_edge em) ->
+          [
+            "edge";
+            name;
+            (match em.Graql_analysis.Meta.em_size with
+            | Some n -> string_of_int n
+            | None -> "?");
+          ]
+      | Some (Graql_analysis.Meta.M_subgraph _) -> [ "subgraph"; name; "-" ]
+      | None -> [ "?"; name; "?" ])
+    (Graql_analysis.Meta.names meta)
+
+let degree_report t =
+  let g = Db.graph t.db in
+  List.map
+    (fun name ->
+      let e = Graql_graph.Graph_store.find_eset_exn g name in
+      [
+        name;
+        Graql_graph.Degree_stats.to_string
+          (Graql_graph.Degree_stats.of_csr (Graql_graph.Eset.forward e));
+        Graql_graph.Degree_stats.to_string
+          (Graql_graph.Degree_stats.of_csr (Graql_graph.Eset.reverse e));
+      ])
+    (Graql_graph.Graph_store.eset_names g)

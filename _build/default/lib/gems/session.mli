@@ -1,0 +1,60 @@
+(** The full GEMS pipeline for one client session (Sec. III):
+
+    parse → static analysis against the catalog (front-end server) →
+    compile to binary IR → "ship" to the backend (encode + decode) →
+    dynamic planning and execution on the backend → results.
+
+    Timings of each phase are recorded, so benchmarks can report front-end
+    vs. backend cost separately. *)
+
+module Ast = Graql_lang.Ast
+
+type phase_times = {
+  mutable t_parse : float;
+  mutable t_check : float;
+  mutable t_encode : float;
+  mutable t_decode : float;
+  mutable t_execute : float;
+}
+
+type t
+
+val create : ?pool:Graql_parallel.Domain_pool.t -> ?strict:bool -> unit -> t
+(** [strict] (default true) refuses to execute scripts with static
+    analysis errors. Warnings never block. *)
+
+val db : t -> Graql_engine.Db.t
+val last_diagnostics : t -> Graql_analysis.Diag.t list
+val phase_times : t -> phase_times
+val ir_bytes_shipped : t -> int
+(** Total IR bytes moved front-end → backend so far. *)
+
+exception Rejected of Graql_analysis.Diag.t list
+(** Raised in strict mode when static analysis finds errors. *)
+
+val check : t -> string -> Graql_analysis.Diag.t list
+(** Static analysis only — catalog metadata, no data access. *)
+
+val run_script :
+  ?loader:(string -> string) ->
+  ?parallel:bool ->
+  t ->
+  string ->
+  (Ast.stmt * Graql_engine.Script_exec.outcome) list
+(** The full pipeline on GraQL source text. *)
+
+val run_ir :
+  ?loader:(string -> string) ->
+  ?parallel:bool ->
+  t ->
+  bytes ->
+  (Ast.stmt * Graql_engine.Script_exec.outcome) list
+(** Backend entry point: execute an already-compiled IR blob. *)
+
+val catalog_rows : t -> string list list
+(** Server catalog listing: kind, name, size — what clients can browse. *)
+
+val degree_report : t -> string list list
+(** Per edge type: name, out-degree and in-degree distribution summaries —
+    the dynamic statistics of Sec. III-B the planner consults. Forces the
+    graph views to be built. *)

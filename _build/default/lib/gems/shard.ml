@@ -1,0 +1,76 @@
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Row_expr = Graql_relational.Row_expr
+module Pool = Graql_parallel.Domain_pool
+module Int_vec = Graql_util.Int_vec
+
+type t = { nshards : int; pool : Pool.t }
+
+let create ?shards pool =
+  let nshards = match shards with Some n -> max 1 n | None -> Pool.size pool in
+  { nshards; pool }
+
+let shards t = t.nshards
+let pool t = t.pool
+
+let ranges t table =
+  let n = Table.nrows table in
+  let per = (n + t.nshards - 1) / t.nshards in
+  List.init t.nshards (fun s ->
+      let lo = min n (s * per) in
+      let hi = min n (lo + per) in
+      (lo, hi))
+
+let parallel_scan t table ~init ~row ~merge =
+  let rs = Array.of_list (ranges t table) in
+  let results = Array.make (Array.length rs) None in
+  let tasks =
+    Array.to_list
+      (Array.mapi
+         (fun i (lo, hi) () ->
+           let acc = init () in
+           for r = lo to hi - 1 do
+             row acc r
+           done;
+           results.(i) <- Some acc)
+         rs)
+  in
+  Pool.run_tasks t.pool tasks;
+  let get i = match results.(i) with Some a -> a | None -> init () in
+  let acc = ref (get 0) in
+  for i = 1 to Array.length rs - 1 do
+    acc := merge !acc (get i)
+  done;
+  !acc
+
+let parallel_select t table pred =
+  let row_test =
+    match Graql_relational.Fast_pred.compile table pred with
+    | Some fast -> fast
+    | None ->
+        fun r ->
+          let get c = Table.get table ~row:r ~col:c in
+          Row_expr.eval_bool get pred
+  in
+  let acc =
+    parallel_scan t table
+      ~init:(fun () -> Int_vec.create ())
+      ~row:(fun out r -> if row_test r then Int_vec.push out r)
+      ~merge:(fun a b ->
+        Int_vec.append a b;
+        a)
+  in
+  Int_vec.to_array acc
+
+let parallel_count t table pred =
+  let acc =
+    parallel_scan t table
+      ~init:(fun () -> ref 0)
+      ~row:(fun c r ->
+        let get col = Table.get table ~row:r ~col in
+        if Row_expr.eval_bool get pred then incr c)
+      ~merge:(fun a b ->
+        a := !a + !b;
+        a)
+  in
+  !acc

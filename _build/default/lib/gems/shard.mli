@@ -1,0 +1,40 @@
+(** Simulated cluster backend: range-partitioned table shards executed by
+    domains.
+
+    GEMS holds tables in the aggregated DRAM of cluster nodes and runs
+    scans/joins node-parallel. Here, a {!t} assigns each table a list of
+    row ranges ("shards"); operations run one task per shard on the domain
+    pool and merge per-shard results in shard order, so results are
+    deterministic for any shard count. *)
+
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+
+type t
+
+val create : ?shards:int -> Graql_parallel.Domain_pool.t -> t
+(** [shards] defaults to the pool size. *)
+
+val shards : t -> int
+val pool : t -> Graql_parallel.Domain_pool.t
+
+val ranges : t -> Table.t -> (int * int) list
+(** The row ranges ([lo, hi)) composing the table, one per shard; empty
+    shards included so placement is stable. *)
+
+val parallel_select :
+  t -> Table.t -> Graql_relational.Row_expr.t -> int array
+(** Shard-parallel filter; row ids in ascending order. *)
+
+val parallel_count :
+  t -> Table.t -> Graql_relational.Row_expr.t -> int
+
+val parallel_scan :
+  t ->
+  Table.t ->
+  init:(unit -> 'acc) ->
+  row:('acc -> int -> unit) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  'acc
+(** General sharded fold: [row] feeds each row id of a shard into that
+    shard's private accumulator; accumulators merge in shard order. *)

@@ -1,0 +1,1 @@
+lib/graph/builder.ml: Array Eset Graql_relational Graql_storage Graql_util Hashtbl List Vset

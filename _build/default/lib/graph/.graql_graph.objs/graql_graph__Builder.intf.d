@@ -1,0 +1,1 @@
+lib/graph/builder.mli: Eset Graql_parallel Graql_relational Graql_storage Vset

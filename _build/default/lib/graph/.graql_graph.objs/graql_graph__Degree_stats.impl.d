@@ -1,0 +1,1 @@
+lib/graph/degree_stats.ml: Array Csr Float Format Printf

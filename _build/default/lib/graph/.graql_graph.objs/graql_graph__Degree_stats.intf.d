@@ -1,0 +1,1 @@
+lib/graph/degree_stats.mli: Csr Format

@@ -1,0 +1,1 @@
+lib/graph/eset.ml: Array Csr Graql_storage Printf

@@ -1,0 +1,1 @@
+lib/graph/eset.mli: Csr Graql_storage

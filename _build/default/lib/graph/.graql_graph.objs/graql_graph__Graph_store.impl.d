@@ -1,0 +1,1 @@
+lib/graph/graph_store.ml: Csr Eset Hashtbl List Printf String Vset

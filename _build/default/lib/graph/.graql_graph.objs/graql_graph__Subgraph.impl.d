@@ -1,0 +1,1 @@
+lib/graph/subgraph.ml: Graql_util Hashtbl List Printf String

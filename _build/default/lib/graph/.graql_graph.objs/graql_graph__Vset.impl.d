@@ -1,0 +1,1 @@
+lib/graph/vset.ml: Array Graql_storage Hashtbl String

@@ -1,0 +1,1 @@
+lib/graph/vset.mli: Graql_storage Hashtbl

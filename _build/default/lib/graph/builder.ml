@@ -1,0 +1,100 @@
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Schema = Graql_storage.Schema
+module Row_expr = Graql_relational.Row_expr
+module Relop = Graql_relational.Relop
+module Int_vec = Graql_util.Int_vec
+
+let build_vertices ?pool ~name ~source ~key_cols ?cond () =
+  let rows =
+    match cond with
+    | None -> Array.init (Table.nrows source) (fun i -> i)
+    | Some cond -> Relop.select_indices ?pool source cond
+  in
+  let key_cols_arr = Array.of_list key_cols in
+  let schema = Table.schema source in
+  let key_schema =
+    Schema.make
+      (List.map
+         (fun c ->
+           { Schema.name = Schema.col_name schema c; dtype = Schema.col_dtype schema c })
+         key_cols)
+  in
+  let key_index = Hashtbl.create (max 16 (Array.length rows)) in
+  let keys = ref [] in
+  let nkeys = ref 0 in
+  let first_row = Int_vec.create () in
+  let duplicated = ref false in
+  Array.iter
+    (fun r ->
+      let kvals =
+        Array.map (fun c -> Table.get source ~row:r ~col:c) key_cols_arr
+      in
+      if not (Array.exists (fun v -> v = Value.Null) kvals) then begin
+        let key = Vset.key_of_values kvals in
+        match Hashtbl.find_opt key_index key with
+        | Some _ -> duplicated := true
+        | None ->
+            Hashtbl.add key_index key !nkeys;
+            keys := kvals :: !keys;
+            Int_vec.push first_row r;
+            incr nkeys
+      end)
+    rows;
+  let keys = Array.of_list (List.rev !keys) in
+  if not !duplicated then
+    (* One-to-one mapping: every instance is one source row, so the whole
+       source row is attribute-visible. *)
+    Vset.make ~name ~key_schema ~keys ~key_index ~attr_table:source
+      ~attr_rows:(Int_vec.to_array first_row) ~one_to_one:true
+      ~source_table:source
+  else begin
+    (* Many-to-one: only the key columns are well-defined per instance. *)
+    let attr_table = Table.create ~name key_schema in
+    Array.iter (fun kvals -> Table.append_row_array attr_table kvals) keys;
+    Vset.make ~name ~key_schema ~keys ~key_index ~attr_table
+      ~attr_rows:(Array.init (Array.length keys) (fun i -> i))
+      ~one_to_one:false ~source_table:source
+  end
+
+let build_edges ?pool ~name ~src ~dst ~driving ~src_key ~dst_key ?cond
+    ?(dedupe = false) ?(keep_attrs = true) () =
+  let rows =
+    match cond with
+    | None -> Array.init (Table.nrows driving) (fun i -> i)
+    | Some cond -> Relop.select_indices ?pool driving cond
+  in
+  let src_key = Array.of_list src_key and dst_key = Array.of_list dst_key in
+  let key_of cols r =
+    let kvals = Array.map (fun c -> Table.get driving ~row:r ~col:c) cols in
+    if Array.exists (fun v -> v = Value.Null) kvals then None
+    else Some (Vset.key_of_values kvals)
+  in
+  let srcs = Int_vec.create () and dsts = Int_vec.create () in
+  let attr_rows = Int_vec.create () in
+  let seen = Hashtbl.create (if dedupe then 256 else 1) in
+  Array.iter
+    (fun r ->
+      match (key_of src_key r, key_of dst_key r) with
+      | Some sk, Some dk -> (
+          match (Vset.find_by_key_string src sk, Vset.find_by_key_string dst dk) with
+          | Some s, Some d ->
+              let fresh = (not dedupe) || not (Hashtbl.mem seen (s, d)) in
+              if fresh then begin
+                if dedupe then Hashtbl.add seen (s, d) ();
+                Int_vec.push srcs s;
+                Int_vec.push dsts d;
+                Int_vec.push attr_rows r
+              end
+          | _ -> () (* endpoint filtered out of the vertex view: no edge *))
+      | _ -> () (* Null key: no edge *))
+    rows;
+  let attr_rows = Int_vec.to_array attr_rows in
+  let attr_table, attr_rows =
+    if keep_attrs && Table.arity driving > 0 then (Some driving, attr_rows)
+    else (None, Array.map (fun _ -> 0) attr_rows)
+  in
+  Eset.make ~name ~src_type:(Vset.name src) ~dst_type:(Vset.name dst)
+    ~n_src_vertices:(Vset.size src) ~n_dst_vertices:(Vset.size dst)
+    ~src:(Int_vec.to_array srcs) ~dst:(Int_vec.to_array dsts) ~attr_table
+    ~attr_rows

@@ -1,0 +1,42 @@
+(** Constructing vertex and edge views from tables — the executable form
+    of Eq. 1 (vertex creation) and Eq. 2 (edge creation). *)
+
+module Table = Graql_storage.Table
+module Schema = Graql_storage.Schema
+module Row_expr = Graql_relational.Row_expr
+
+val build_vertices :
+  ?pool:Graql_parallel.Domain_pool.t ->
+  name:string ->
+  source:Table.t ->
+  key_cols:int list ->
+  ?cond:Row_expr.t ->
+  unit ->
+  Vset.t
+(** Eq. 1: σ over the source, then one vertex per distinct key tuple.
+    Rows with any Null key column produce no vertex. If every selected key
+    tuple is unique, the type is one-to-one and all source columns become
+    attributes; otherwise many-to-one with key-only attributes. *)
+
+val build_edges :
+  ?pool:Graql_parallel.Domain_pool.t ->
+  name:string ->
+  src:Vset.t ->
+  dst:Vset.t ->
+  driving:Table.t ->
+  src_key:int list ->
+  dst_key:int list ->
+  ?cond:Row_expr.t ->
+  ?dedupe:bool ->
+  ?keep_attrs:bool ->
+  unit ->
+  Eset.t
+(** Eq. 2 in its general form. [driving] is the relation enumerating
+    candidate edges — the associated table when a [from table] clause is
+    present, or a join the caller prepared (vertex-table join, or the
+    many-to-one multi-way join of Fig. 4/5). [src_key]/[dst_key] are the
+    driving columns holding the endpoint keys; rows whose key does not
+    identify an existing endpoint vertex are dropped. [dedupe] (default
+    false) collapses duplicate (src, dst) pairs — the Fig. 5 many-to-one
+    semantics. [keep_attrs] (default true) retains the driving relation as
+    the edge attribute table. *)

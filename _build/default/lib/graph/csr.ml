@@ -1,0 +1,63 @@
+type t = {
+  nvertices : int;
+  offsets : int array; (* length nvertices + 1 *)
+  nbr : int array; (* length nedges: destination vertex *)
+  eid : int array; (* length nedges: edge id *)
+}
+
+let build ~nvertices ~src ~dst =
+  let nedges = Array.length src in
+  if Array.length dst <> nedges then invalid_arg "Csr.build: length mismatch";
+  let counts = Array.make (nvertices + 1) 0 in
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= nvertices then invalid_arg "Csr.build: vertex out of range";
+      counts.(s + 1) <- counts.(s + 1) + 1)
+    src;
+  for i = 1 to nvertices do
+    counts.(i) <- counts.(i) + counts.(i - 1)
+  done;
+  let offsets = Array.copy counts in
+  let nbr = Array.make nedges 0 and eid = Array.make nedges 0 in
+  (* counts now doubles as the write cursor per vertex. *)
+  for e = 0 to nedges - 1 do
+    let s = src.(e) in
+    let pos = counts.(s) in
+    nbr.(pos) <- dst.(e);
+    eid.(pos) <- e;
+    counts.(s) <- pos + 1
+  done;
+  { nvertices; offsets; nbr; eid }
+
+let nvertices t = t.nvertices
+let nedges t = Array.length t.nbr
+
+let degree t v =
+  if v < 0 || v >= t.nvertices then invalid_arg "Csr.degree";
+  t.offsets.(v + 1) - t.offsets.(v)
+
+let iter_neighbors t v f =
+  if v < 0 || v >= t.nvertices then invalid_arg "Csr.iter_neighbors";
+  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f ~dst:(Array.unsafe_get t.nbr i) ~eid:(Array.unsafe_get t.eid i)
+  done
+
+let fold_neighbors t v f init =
+  let acc = ref init in
+  iter_neighbors t v (fun ~dst ~eid -> acc := f !acc ~dst ~eid);
+  !acc
+
+let neighbors t v =
+  let lo = t.offsets.(v) and hi = t.offsets.(v + 1) in
+  Array.init (hi - lo) (fun i -> (t.nbr.(lo + i), t.eid.(lo + i)))
+
+let max_degree t =
+  let m = ref 0 in
+  for v = 0 to t.nvertices - 1 do
+    m := max !m (degree t v)
+  done;
+  !m
+
+let avg_degree t =
+  if t.nvertices = 0 then 0.0
+  else float_of_int (nedges t) /. float_of_int t.nvertices

@@ -1,0 +1,24 @@
+(** Compressed-sparse-row adjacency: the paper's "edge index"
+    (Sec. III-B). One CSR is built per edge type per direction; the
+    planner exploits having both. *)
+
+type t
+
+val build : nvertices:int -> src:int array -> dst:int array -> t
+(** [build ~nvertices ~src ~dst] indexes edge [i] as [src.(i) -> dst.(i)];
+    neighbors of a vertex are grouped; edge ids are retained. *)
+
+val nvertices : t -> int
+val nedges : t -> int
+val degree : t -> int -> int
+
+val iter_neighbors : t -> int -> (dst:int -> eid:int -> unit) -> unit
+(** Visit all out-entries of a vertex (in edge-id order). *)
+
+val fold_neighbors : t -> int -> ('a -> dst:int -> eid:int -> 'a) -> 'a -> 'a
+
+val neighbors : t -> int -> (int * int) array
+(** [(dst, eid)] pairs; fresh array. *)
+
+val max_degree : t -> int
+val avg_degree : t -> float

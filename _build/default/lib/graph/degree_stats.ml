@@ -1,0 +1,49 @@
+type t = {
+  ds_vertices : int;
+  ds_edges : int;
+  ds_min : int;
+  ds_max : int;
+  ds_avg : float;
+  ds_p50 : int;
+  ds_p90 : int;
+  ds_p99 : int;
+  ds_isolated : int;
+}
+
+let of_csr csr =
+  let n = Csr.nvertices csr in
+  if n = 0 then
+    {
+      ds_vertices = 0; ds_edges = 0; ds_min = 0; ds_max = 0; ds_avg = 0.0;
+      ds_p50 = 0; ds_p90 = 0; ds_p99 = 0; ds_isolated = 0;
+    }
+  else begin
+    let degrees = Array.init n (Csr.degree csr) in
+    Array.sort compare degrees;
+    let pct p =
+      (* Nearest-rank percentile over the sorted degrees. *)
+      let rank = int_of_float (Float.of_int n *. p /. 100.0 +. 0.5) in
+      degrees.(min (n - 1) (max 0 (rank - 1)))
+    in
+    let isolated = ref 0 in
+    Array.iter (fun d -> if d = 0 then incr isolated) degrees;
+    {
+      ds_vertices = n;
+      ds_edges = Csr.nedges csr;
+      ds_min = degrees.(0);
+      ds_max = degrees.(n - 1);
+      ds_avg = Csr.avg_degree csr;
+      ds_p50 = pct 50.0;
+      ds_p90 = pct 90.0;
+      ds_p99 = pct 99.0;
+      ds_isolated = !isolated;
+    }
+  end
+
+let to_string s =
+  Printf.sprintf
+    "V=%d E=%d degree min/avg/max %d/%.2f/%d p50/p90/p99 %d/%d/%d isolated %d"
+    s.ds_vertices s.ds_edges s.ds_min s.ds_avg s.ds_max s.ds_p50 s.ds_p90
+    s.ds_p99 s.ds_isolated
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

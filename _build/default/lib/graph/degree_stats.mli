@@ -1,0 +1,23 @@
+(** Degree-distribution summaries — the dynamic catalog statistics of
+    Sec. III-B: "statistical properties of the degree distribution of a
+    vertex type with respect to an edge type (e.g. how many outgoing edges
+    of type Ei are there for instances of vertex type Vj)". The planner's
+    cardinality estimates and capacity planning both read these. *)
+
+type t = {
+  ds_vertices : int;
+  ds_edges : int;
+  ds_min : int;
+  ds_max : int;
+  ds_avg : float;
+  ds_p50 : int;
+  ds_p90 : int;
+  ds_p99 : int;
+  ds_isolated : int;  (** vertices with degree 0 *)
+}
+
+val of_csr : Csr.t -> t
+(** Out-degree stats of a forward CSR; pass a reverse CSR for in-degrees. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+
+type t = {
+  name : string;
+  src_type : string;
+  dst_type : string;
+  src : int array;
+  dst : int array;
+  forward : Csr.t;
+  reverse : Csr.t;
+  attr_table : Table.t option;
+  attr_rows : int array;
+}
+
+let make ~name ~src_type ~dst_type ~n_src_vertices ~n_dst_vertices ~src ~dst
+    ~attr_table ~attr_rows =
+  let forward = Csr.build ~nvertices:n_src_vertices ~src ~dst in
+  let reverse = Csr.build ~nvertices:n_dst_vertices ~src:dst ~dst:src in
+  { name; src_type; dst_type; src; dst; forward; reverse; attr_table; attr_rows }
+
+let name t = t.name
+let src_type t = t.src_type
+let dst_type t = t.dst_type
+let size t = Array.length t.src
+let src t e = t.src.(e)
+let dst t e = t.dst.(e)
+let forward t = t.forward
+let reverse t = t.reverse
+let attr_table t = t.attr_table
+let attr_row t e = t.attr_rows.(e)
+
+let attr t ~edge ~col =
+  match t.attr_table with
+  | Some table -> Table.get table ~row:t.attr_rows.(edge) ~col
+  | None -> invalid_arg (Printf.sprintf "edge type %s has no attributes" t.name)
+
+let attr_by_name t ~edge name =
+  match t.attr_table with
+  | Some table -> Table.get_by_name table ~row:t.attr_rows.(edge) name
+  | None -> invalid_arg (Printf.sprintf "edge type %s has no attributes" t.name)

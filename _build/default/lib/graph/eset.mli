@@ -1,0 +1,43 @@
+(** A built edge type (Eq. 2): directed edges between two vertex types,
+    with both forward and reverse CSR indices (Sec. III-B) and optional
+    attributes drawn from the driving relation that created the edges. *)
+
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+
+type t
+
+val name : t -> string
+val src_type : t -> string
+(** Name of the source vertex type. *)
+
+val dst_type : t -> string
+val size : t -> int
+val src : t -> int -> int
+(** Source vertex id of edge [e]. *)
+
+val dst : t -> int -> int
+val forward : t -> Csr.t
+(** Index over source vertices: follow the edge lexically. *)
+
+val reverse : t -> Csr.t
+(** Index over destination vertices: traverse against edge direction. *)
+
+val attr_table : t -> Table.t option
+val attr_row : t -> int -> int
+val attr : t -> edge:int -> col:int -> Value.t
+(** Raises [Invalid_argument] when the edge type carries no attributes. *)
+
+val attr_by_name : t -> edge:int -> string -> Value.t
+
+val make :
+  name:string ->
+  src_type:string ->
+  dst_type:string ->
+  n_src_vertices:int ->
+  n_dst_vertices:int ->
+  src:int array ->
+  dst:int array ->
+  attr_table:Table.t option ->
+  attr_rows:int array ->
+  t

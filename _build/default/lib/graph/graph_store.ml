@@ -1,0 +1,88 @@
+type t = {
+  vsets : (string, Vset.t) Hashtbl.t;
+  esets : (string, Eset.t) Hashtbl.t;
+  mutable vorder : string list; (* reversed insertion order *)
+  mutable eorder : string list;
+}
+
+let norm = String.lowercase_ascii
+
+let create () =
+  { vsets = Hashtbl.create 16; esets = Hashtbl.create 16; vorder = []; eorder = [] }
+
+let check_free t name =
+  let key = norm name in
+  if Hashtbl.mem t.vsets key || Hashtbl.mem t.esets key then
+    failwith (Printf.sprintf "graph entity %S already exists" name)
+
+let add_vset t v =
+  check_free t (Vset.name v);
+  Hashtbl.add t.vsets (norm (Vset.name v)) v;
+  t.vorder <- norm (Vset.name v) :: t.vorder
+
+let add_eset t e =
+  check_free t (Eset.name e);
+  Hashtbl.add t.esets (norm (Eset.name e)) e;
+  t.eorder <- norm (Eset.name e) :: t.eorder
+
+let find_vset t name = Hashtbl.find_opt t.vsets (norm name)
+
+let find_vset_exn t name =
+  match find_vset t name with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "no such vertex type: %s" name)
+
+let find_eset t name = Hashtbl.find_opt t.esets (norm name)
+
+let find_eset_exn t name =
+  match find_eset t name with
+  | Some e -> e
+  | None -> failwith (Printf.sprintf "no such edge type: %s" name)
+
+let vset_names t =
+  List.rev_map (fun k -> Vset.name (Hashtbl.find t.vsets k)) t.vorder
+
+let eset_names t =
+  List.rev_map (fun k -> Eset.name (Hashtbl.find t.esets k)) t.eorder
+
+let esets_filtered t pred =
+  List.filter pred
+    (List.rev_map (fun k -> Hashtbl.find t.esets k) t.eorder)
+
+let esets_between t ~src ~dst =
+  esets_filtered t (fun e ->
+      norm (Eset.src_type e) = norm src && norm (Eset.dst_type e) = norm dst)
+
+let esets_from t ~src =
+  esets_filtered t (fun e -> norm (Eset.src_type e) = norm src)
+
+let esets_into t ~dst =
+  esets_filtered t (fun e -> norm (Eset.dst_type e) = norm dst)
+
+let total_vertices t =
+  Hashtbl.fold (fun _ v acc -> acc + Vset.size v) t.vsets 0
+
+let total_edges t = Hashtbl.fold (fun _ e acc -> acc + Eset.size e) t.esets 0
+
+let stats_row t =
+  let vrows =
+    List.rev_map
+      (fun k ->
+        let v = Hashtbl.find t.vsets k in
+        [ "vertex"; Vset.name v; string_of_int (Vset.size v); "-" ])
+      t.vorder
+  in
+  let erows =
+    List.rev_map
+      (fun k ->
+        let e = Hashtbl.find t.esets k in
+        [
+          "edge";
+          Printf.sprintf "%s (%s -> %s)" (Eset.name e) (Eset.src_type e)
+            (Eset.dst_type e);
+          string_of_int (Eset.size e);
+          Printf.sprintf "%.2f" (Csr.avg_degree (Eset.forward e));
+        ])
+      t.eorder
+  in
+  vrows @ erows

@@ -1,0 +1,32 @@
+(** The overall graph G = (V, E): vertex types partition V, edge types
+    partition E (Sec. II-A1). Central registry used by the planner and the
+    path executor. *)
+
+type t
+
+val create : unit -> t
+val add_vset : t -> Vset.t -> unit
+(** Raises [Failure] on duplicate name (vertex and edge namespaces are
+    shared, matching the catalog's single entity namespace). *)
+
+val add_eset : t -> Eset.t -> unit
+val find_vset : t -> string -> Vset.t option
+val find_vset_exn : t -> string -> Vset.t
+val find_eset : t -> string -> Eset.t option
+val find_eset_exn : t -> string -> Eset.t
+val vset_names : t -> string list
+val eset_names : t -> string list
+
+val esets_between : t -> src:string -> dst:string -> Eset.t list
+(** All edge types with the given source and destination vertex types —
+    the ⋃ⱼ Eⱼ(Va, Vb) of Sec. II-A1, used by variant steps. *)
+
+val esets_from : t -> src:string -> Eset.t list
+val esets_into : t -> dst:string -> Eset.t list
+
+val total_vertices : t -> int
+val total_edges : t -> int
+
+val stats_row : t -> string list list
+(** One row per entity type: kind, name, size, avg degree — the catalog
+    metadata of Sec. III. *)

@@ -1,0 +1,79 @@
+module Bitset = Graql_util.Bitset
+
+type t = {
+  name : string;
+  vsets : (string, Bitset.t) Hashtbl.t;
+  esets : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let norm = String.lowercase_ascii
+
+let empty name = { name; vsets = Hashtbl.create 8; esets = Hashtbl.create 8 }
+let name t = t.name
+
+let add_vertices t ~vtype bits =
+  let key = norm vtype in
+  match Hashtbl.find_opt t.vsets key with
+  | Some existing ->
+      if Bitset.length existing <> Bitset.length bits then
+        invalid_arg "Subgraph.add_vertices: domain mismatch";
+      Bitset.union_into existing bits
+  | None -> Hashtbl.add t.vsets key (Bitset.copy bits)
+
+let add_vertex_list t ~vtype ids ~size =
+  add_vertices t ~vtype (Bitset.of_list size ids)
+
+let add_edges t ~etype ids =
+  let key = norm etype in
+  let set =
+    match Hashtbl.find_opt t.esets key with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 64 in
+        Hashtbl.add t.esets key s;
+        s
+  in
+  List.iter (fun e -> Hashtbl.replace set e ()) ids
+
+let vertices t ~vtype = Hashtbl.find_opt t.vsets (norm vtype)
+
+let vertex_list t ~vtype =
+  match vertices t ~vtype with
+  | Some bits -> Bitset.to_list bits
+  | None -> []
+
+let edges t ~etype =
+  match Hashtbl.find_opt t.esets (norm etype) with
+  | Some set -> List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) set [])
+  | None -> []
+
+let vtypes t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.vsets [])
+
+let etypes t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.esets [])
+
+let total_vertices t =
+  Hashtbl.fold (fun _ bits acc -> acc + Bitset.cardinal bits) t.vsets 0
+
+let total_edges t = Hashtbl.fold (fun _ set acc -> acc + Hashtbl.length set) t.esets 0
+
+let union ~name a b =
+  let out = empty name in
+  let add_from src =
+    Hashtbl.iter (fun vtype bits -> add_vertices out ~vtype bits) src.vsets;
+    Hashtbl.iter
+      (fun etype set ->
+        add_edges out ~etype (Hashtbl.fold (fun e () acc -> e :: acc) set []))
+      src.esets
+  in
+  add_from a;
+  add_from b;
+  out
+
+let summary t =
+  Printf.sprintf "subgraph %s: %d vertices (%s), %d edges (%s)" t.name
+    (total_vertices t)
+    (String.concat ", " (vtypes t))
+    (total_edges t)
+    (String.concat ", " (etypes t))

@@ -1,0 +1,27 @@
+(** Query results as (possibly disconnected) subgraphs (Sec. II-C):
+    per-vertex-type sets of vertex ids and per-edge-type sets of edge ids
+    of an underlying {!Graph_store}. *)
+
+type t
+
+val empty : string -> t
+(** [empty name] — a named, empty subgraph. *)
+
+val name : t -> string
+val add_vertices : t -> vtype:string -> Graql_util.Bitset.t -> unit
+(** Union the ids into the subgraph's set for that vertex type. *)
+
+val add_vertex_list : t -> vtype:string -> int list -> size:int -> unit
+val add_edges : t -> etype:string -> int list -> unit
+val vertices : t -> vtype:string -> Graql_util.Bitset.t option
+val vertex_list : t -> vtype:string -> int list
+val edges : t -> etype:string -> int list
+val vtypes : t -> string list
+val etypes : t -> string list
+val total_vertices : t -> int
+val total_edges : t -> int
+
+val union : name:string -> t -> t -> t
+(** Or-composition of query results (Sec. II-B3). *)
+
+val summary : t -> string

@@ -1,0 +1,47 @@
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Schema = Graql_storage.Schema
+
+type t = {
+  name : string;
+  key_schema : Schema.t;
+  keys : Value.t array array; (* vertex id -> key tuple *)
+  key_index : (string, int) Hashtbl.t;
+  attr_table : Table.t;
+  attr_rows : int array; (* vertex id -> row in attr_table *)
+  one_to_one : bool;
+  source_table : Table.t;
+}
+
+let make ~name ~key_schema ~keys ~key_index ~attr_table ~attr_rows ~one_to_one
+    ~source_table =
+  { name; key_schema; keys; key_index; attr_table; attr_rows; one_to_one; source_table }
+
+let name t = t.name
+let size t = Array.length t.keys
+let key_schema t = t.key_schema
+let one_to_one t = t.one_to_one
+let source_table t = t.source_table
+let attr_table t = t.attr_table
+let attr_schema t = Table.schema t.attr_table
+let attr_row t v = t.attr_rows.(v)
+
+let attr t ~vertex ~col = Table.get t.attr_table ~row:t.attr_rows.(vertex) ~col
+
+let attr_by_name t ~vertex name =
+  Table.get_by_name t.attr_table ~row:t.attr_rows.(vertex) name
+
+let key_values t v = t.keys.(v)
+
+let key_of_values kvals =
+  String.concat "\x00" (Array.to_list (Array.map Value.to_string kvals))
+
+let key_string t v =
+  let kvals = t.keys.(v) in
+  if Array.length kvals = 1 then Value.to_string kvals.(0)
+  else "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string kvals)) ^ ")"
+
+let find_by_key_string t key = Hashtbl.find_opt t.key_index key
+
+let find_by_key t values =
+  find_by_key_string t (key_of_values (Array.of_list values))

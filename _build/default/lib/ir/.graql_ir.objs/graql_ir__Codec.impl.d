@@ -1,0 +1,1 @@
+lib/ir/codec.ml: Char Graql_lang Graql_storage List Printf String Wire

@@ -1,0 +1,1 @@
+lib/ir/codec.mli: Graql_lang

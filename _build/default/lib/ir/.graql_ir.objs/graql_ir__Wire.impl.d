@@ -1,0 +1,1 @@
+lib/ir/wire.ml: Buffer Bytes Char Int64 Printf String

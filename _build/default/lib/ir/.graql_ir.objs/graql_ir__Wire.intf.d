@@ -1,0 +1,1 @@
+lib/ir/wire.mli:

@@ -1,0 +1,602 @@
+module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
+module Dtype = Graql_storage.Dtype
+
+let magic = "GRQL"
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let w_loc w (l : Loc.t) =
+  Wire.varint w l.line;
+  Wire.varint w l.col
+
+let w_option w f = function
+  | None -> Wire.tag w 0
+  | Some x ->
+      Wire.tag w 1;
+      f x
+
+let w_list w f l =
+  Wire.varint w (List.length l);
+  List.iter f l
+
+let binop_code = function
+  | Ast.Eq -> 0
+  | Ast.Ne -> 1
+  | Ast.Lt -> 2
+  | Ast.Le -> 3
+  | Ast.Gt -> 4
+  | Ast.Ge -> 5
+  | Ast.Add -> 6
+  | Ast.Sub -> 7
+  | Ast.Mul -> 8
+  | Ast.Div -> 9
+  | Ast.Mod -> 10
+  | Ast.And -> 11
+  | Ast.Or -> 12
+  | Ast.Like -> 13
+
+let binop_of_code = function
+  | 0 -> Ast.Eq
+  | 1 -> Ast.Ne
+  | 2 -> Ast.Lt
+  | 3 -> Ast.Le
+  | 4 -> Ast.Gt
+  | 5 -> Ast.Ge
+  | 6 -> Ast.Add
+  | 7 -> Ast.Sub
+  | 8 -> Ast.Mul
+  | 9 -> Ast.Div
+  | 10 -> Ast.Mod
+  | 11 -> Ast.And
+  | 12 -> Ast.Or
+  | 13 -> Ast.Like
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad binop code %d" n))
+
+let w_lit w = function
+  | Ast.L_int i ->
+      Wire.tag w 0;
+      Wire.zigzag w i
+  | Ast.L_float f ->
+      Wire.tag w 1;
+      Wire.float64 w f
+  | Ast.L_string s ->
+      Wire.tag w 2;
+      Wire.string w s
+  | Ast.L_bool b ->
+      Wire.tag w 3;
+      Wire.bool w b
+  | Ast.L_null -> Wire.tag w 4
+
+let r_lit r =
+  match Wire.read_tag r with
+  | 0 -> Ast.L_int (Wire.read_zigzag r)
+  | 1 -> Ast.L_float (Wire.read_float64 r)
+  | 2 -> Ast.L_string (Wire.read_string r)
+  | 3 -> Ast.L_bool (Wire.read_bool r)
+  | 4 -> Ast.L_null
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad literal tag %d" n))
+
+let rec w_expr w = function
+  | Ast.E_lit (l, loc) ->
+      Wire.tag w 0;
+      w_lit w l;
+      w_loc w loc
+  | Ast.E_param (p, loc) ->
+      Wire.tag w 1;
+      Wire.string w p;
+      w_loc w loc
+  | Ast.E_attr (q, a, loc) ->
+      Wire.tag w 2;
+      w_option w (Wire.string w) q;
+      Wire.string w a;
+      w_loc w loc
+  | Ast.E_binop (op, a, b, loc) ->
+      Wire.tag w 3;
+      Wire.tag w (binop_code op);
+      w_expr w a;
+      w_expr w b;
+      w_loc w loc
+  | Ast.E_unop (Ast.Not, a, loc) ->
+      Wire.tag w 4;
+      w_expr w a;
+      w_loc w loc
+  | Ast.E_unop (Ast.Neg, a, loc) ->
+      Wire.tag w 5;
+      w_expr w a;
+      w_loc w loc
+  | Ast.E_is_null (a, negated, loc) ->
+      Wire.tag w 6;
+      Wire.bool w negated;
+      w_expr w a;
+      w_loc w loc
+  | Ast.E_call (f, args, loc) ->
+      Wire.tag w 7;
+      Wire.string w f;
+      w_list w
+        (function
+          | Ast.A_star -> Wire.tag w 0
+          | Ast.A_expr e ->
+              Wire.tag w 1;
+              w_expr w e)
+        args;
+      w_loc w loc
+
+let r_loc r =
+  let line = Wire.read_varint r in
+  let col = Wire.read_varint r in
+  { Loc.line; col }
+
+let r_option r f =
+  match Wire.read_tag r with
+  | 0 -> None
+  | 1 -> Some (f ())
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad option tag %d" n))
+
+let r_list r f =
+  let n = Wire.read_varint r in
+  List.init n (fun _ -> f ())
+
+let rec r_expr r =
+  match Wire.read_tag r with
+  | 0 ->
+      let l = r_lit r in
+      Ast.E_lit (l, r_loc r)
+  | 1 ->
+      let p = Wire.read_string r in
+      Ast.E_param (p, r_loc r)
+  | 2 ->
+      let q = r_option r (fun () -> Wire.read_string r) in
+      let a = Wire.read_string r in
+      Ast.E_attr (q, a, r_loc r)
+  | 3 ->
+      let op = binop_of_code (Wire.read_tag r) in
+      let a = r_expr r in
+      let b = r_expr r in
+      Ast.E_binop (op, a, b, r_loc r)
+  | 4 ->
+      let a = r_expr r in
+      Ast.E_unop (Ast.Not, a, r_loc r)
+  | 5 ->
+      let a = r_expr r in
+      Ast.E_unop (Ast.Neg, a, r_loc r)
+  | 6 ->
+      let negated = Wire.read_bool r in
+      let a = r_expr r in
+      Ast.E_is_null (a, negated, r_loc r)
+  | 7 ->
+      let f = Wire.read_string r in
+      let args =
+        r_list r (fun () ->
+            match Wire.read_tag r with
+            | 0 -> Ast.A_star
+            | 1 -> Ast.A_expr (r_expr r)
+            | n -> raise (Wire.Corrupt (Printf.sprintf "bad call arg tag %d" n)))
+      in
+      Ast.E_call (f, args, r_loc r)
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad expr tag %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+
+let w_label w = function
+  | Ast.Set_label n ->
+      Wire.tag w 0;
+      Wire.string w n
+  | Ast.Each_label n ->
+      Wire.tag w 1;
+      Wire.string w n
+
+let r_label r =
+  match Wire.read_tag r with
+  | 0 -> Ast.Set_label (Wire.read_string r)
+  | 1 -> Ast.Each_label (Wire.read_string r)
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad label tag %d" n))
+
+let w_vstep w (v : Ast.vstep) =
+  (match v.v_kind with
+  | Ast.V_named n ->
+      Wire.tag w 0;
+      Wire.string w n
+  | Ast.V_any -> Wire.tag w 1
+  | Ast.V_seeded (g, vt) ->
+      Wire.tag w 2;
+      Wire.string w g;
+      Wire.string w vt);
+  w_option w (w_label w) v.v_label;
+  w_option w (w_expr w) v.v_cond;
+  w_loc w v.v_loc
+
+let r_vstep r =
+  let v_kind =
+    match Wire.read_tag r with
+    | 0 -> Ast.V_named (Wire.read_string r)
+    | 1 -> Ast.V_any
+    | 2 ->
+        let g = Wire.read_string r in
+        let vt = Wire.read_string r in
+        Ast.V_seeded (g, vt)
+    | n -> raise (Wire.Corrupt (Printf.sprintf "bad vstep tag %d" n))
+  in
+  let v_label = r_option r (fun () -> r_label r) in
+  let v_cond = r_option r (fun () -> r_expr r) in
+  let v_loc = r_loc r in
+  { Ast.v_kind; v_label; v_cond; v_loc }
+
+let w_estep w (e : Ast.estep) =
+  (match e.e_kind with
+  | Ast.E_named n ->
+      Wire.tag w 0;
+      Wire.string w n
+  | Ast.E_any -> Wire.tag w 1);
+  Wire.tag w (match e.e_dir with Ast.Out -> 0 | Ast.In -> 1);
+  w_option w (w_label w) e.e_label;
+  w_option w (w_expr w) e.e_cond;
+  w_loc w e.e_loc
+
+let r_estep r =
+  let e_kind =
+    match Wire.read_tag r with
+    | 0 -> Ast.E_named (Wire.read_string r)
+    | 1 -> Ast.E_any
+    | n -> raise (Wire.Corrupt (Printf.sprintf "bad estep tag %d" n))
+  in
+  let e_dir =
+    match Wire.read_tag r with
+    | 0 -> Ast.Out
+    | 1 -> Ast.In
+    | n -> raise (Wire.Corrupt (Printf.sprintf "bad direction tag %d" n))
+  in
+  let e_label = r_option r (fun () -> r_label r) in
+  let e_cond = r_option r (fun () -> r_expr r) in
+  let e_loc = r_loc r in
+  { Ast.e_kind; e_dir; e_label; e_cond; e_loc }
+
+let w_segment w = function
+  | Ast.Seg_step (e, v) ->
+      Wire.tag w 0;
+      w_estep w e;
+      w_vstep w v
+  | Ast.Seg_regex (body, op, loc) ->
+      Wire.tag w 1;
+      w_list w
+        (fun (e, v) ->
+          w_estep w e;
+          w_vstep w v)
+        body;
+      (match op with
+      | Ast.Rx_star -> Wire.tag w 0
+      | Ast.Rx_plus -> Wire.tag w 1
+      | Ast.Rx_count n ->
+          Wire.tag w 2;
+          Wire.varint w n);
+      w_loc w loc
+
+let r_segment r =
+  match Wire.read_tag r with
+  | 0 ->
+      let e = r_estep r in
+      let v = r_vstep r in
+      Ast.Seg_step (e, v)
+  | 1 ->
+      let body =
+        r_list r (fun () ->
+            let e = r_estep r in
+            let v = r_vstep r in
+            (e, v))
+      in
+      let op =
+        match Wire.read_tag r with
+        | 0 -> Ast.Rx_star
+        | 1 -> Ast.Rx_plus
+        | 2 -> Ast.Rx_count (Wire.read_varint r)
+        | n -> raise (Wire.Corrupt (Printf.sprintf "bad regex op tag %d" n))
+      in
+      let loc = r_loc r in
+      Ast.Seg_regex (body, op, loc)
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad segment tag %d" n))
+
+let w_path w (p : Ast.path) =
+  w_vstep w p.head;
+  w_list w (w_segment w) p.segments
+
+let r_path r =
+  let head = r_vstep r in
+  let segments = r_list r (fun () -> r_segment r) in
+  { Ast.head; segments }
+
+let rec w_multipath w = function
+  | Ast.M_path p ->
+      Wire.tag w 0;
+      w_path w p
+  | Ast.M_and (a, b) ->
+      Wire.tag w 1;
+      w_multipath w a;
+      w_multipath w b
+  | Ast.M_or (a, b) ->
+      Wire.tag w 2;
+      w_multipath w a;
+      w_multipath w b
+
+let rec r_multipath r =
+  match Wire.read_tag r with
+  | 0 -> Ast.M_path (r_path r)
+  | 1 ->
+      let a = r_multipath r in
+      let b = r_multipath r in
+      Ast.M_and (a, b)
+  | 2 ->
+      let a = r_multipath r in
+      let b = r_multipath r in
+      Ast.M_or (a, b)
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad multipath tag %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let w_dtype w = function
+  | Dtype.Bool -> Wire.tag w 0
+  | Dtype.Int -> Wire.tag w 1
+  | Dtype.Float -> Wire.tag w 2
+  | Dtype.Date -> Wire.tag w 3
+  | Dtype.Varchar n ->
+      Wire.tag w 4;
+      Wire.varint w n
+
+let r_dtype r =
+  match Wire.read_tag r with
+  | 0 -> Dtype.Bool
+  | 1 -> Dtype.Int
+  | 2 -> Dtype.Float
+  | 3 -> Dtype.Date
+  | 4 -> Dtype.Varchar (Wire.read_varint r)
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad dtype tag %d" n))
+
+let w_into w = function
+  | Ast.Into_table n ->
+      Wire.tag w 0;
+      Wire.string w n
+  | Ast.Into_subgraph n ->
+      Wire.tag w 1;
+      Wire.string w n
+  | Ast.Into_nothing -> Wire.tag w 2
+
+let r_into r =
+  match Wire.read_tag r with
+  | 0 -> Ast.Into_table (Wire.read_string r)
+  | 1 -> Ast.Into_subgraph (Wire.read_string r)
+  | 2 -> Ast.Into_nothing
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad into tag %d" n))
+
+let w_target w = function
+  | Ast.T_star -> Wire.tag w 0
+  | Ast.T_expr (e, alias) ->
+      Wire.tag w 1;
+      w_expr w e;
+      w_option w (Wire.string w) alias
+
+let r_target r =
+  match Wire.read_tag r with
+  | 0 -> Ast.T_star
+  | 1 ->
+      let e = r_expr r in
+      let alias = r_option r (fun () -> Wire.read_string r) in
+      Ast.T_expr (e, alias)
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad target tag %d" n))
+
+let w_endpoint w (e : Ast.vertex_endpoint) =
+  Wire.string w e.ve_type;
+  w_option w (Wire.string w) e.ve_alias
+
+let r_endpoint r =
+  let ve_type = Wire.read_string r in
+  let ve_alias = r_option r (fun () -> Wire.read_string r) in
+  { Ast.ve_type; ve_alias }
+
+let w_stmt w = function
+  | Ast.Create_table { ct_name; ct_cols; ct_loc } ->
+      Wire.tag w 0;
+      Wire.string w ct_name;
+      w_list w
+        (fun (c : Ast.col_decl) ->
+          Wire.string w c.cd_name;
+          w_dtype w c.cd_type;
+          w_loc w c.cd_loc)
+        ct_cols;
+      w_loc w ct_loc
+  | Ast.Create_vertex { cv_name; cv_key; cv_from; cv_where; cv_loc } ->
+      Wire.tag w 1;
+      Wire.string w cv_name;
+      w_list w (Wire.string w) cv_key;
+      Wire.string w cv_from;
+      w_option w (w_expr w) cv_where;
+      w_loc w cv_loc
+  | Ast.Create_edge { ce_name; ce_src; ce_dst; ce_from; ce_where; ce_loc } ->
+      Wire.tag w 2;
+      Wire.string w ce_name;
+      w_endpoint w ce_src;
+      w_endpoint w ce_dst;
+      w_option w (Wire.string w) ce_from;
+      w_option w (w_expr w) ce_where;
+      w_loc w ce_loc
+  | Ast.Ingest { ing_table; ing_file; ing_loc } ->
+      Wire.tag w 3;
+      Wire.string w ing_table;
+      Wire.string w ing_file;
+      w_loc w ing_loc
+  | Ast.Select_graph { sg_targets; sg_path; sg_into; sg_loc } ->
+      Wire.tag w 4;
+      w_list w (w_target w) sg_targets;
+      w_multipath w sg_path;
+      w_into w sg_into;
+      w_loc w sg_loc
+  | Ast.Select_table st ->
+      Wire.tag w 5;
+      Wire.bool w st.st_distinct;
+      w_option w (Wire.varint w) st.st_top;
+      w_list w (w_target w) st.st_targets;
+      (match st.st_from with
+      | Ast.From_table (n, alias) ->
+          Wire.tag w 0;
+          Wire.string w n;
+          w_option w (Wire.string w) alias
+      | Ast.From_join (srcs, where) ->
+          Wire.tag w 1;
+          w_list w
+            (fun (n, alias) ->
+              Wire.string w n;
+              w_option w (Wire.string w) alias)
+            srcs;
+          w_option w (w_expr w) where);
+      w_option w (w_expr w) st.st_where;
+      w_list w
+        (fun (q, c) ->
+          w_option w (Wire.string w) q;
+          Wire.string w c)
+        st.st_group_by;
+      w_list w
+        (fun (e, d) ->
+          w_expr w e;
+          Wire.tag w (match d with Ast.Asc -> 0 | Ast.Desc -> 1))
+        st.st_order_by;
+      w_into w st.st_into;
+      w_loc w st.st_loc
+  | Ast.Set_param { sp_name; sp_value; sp_loc } ->
+      Wire.tag w 6;
+      Wire.string w sp_name;
+      w_lit w sp_value;
+      w_loc w sp_loc
+
+let r_stmt r =
+  match Wire.read_tag r with
+  | 0 ->
+      let ct_name = Wire.read_string r in
+      let ct_cols =
+        r_list r (fun () ->
+            let cd_name = Wire.read_string r in
+            let cd_type = r_dtype r in
+            let cd_loc = r_loc r in
+            { Ast.cd_name; cd_type; cd_loc })
+      in
+      Ast.Create_table { ct_name; ct_cols; ct_loc = r_loc r }
+  | 1 ->
+      let cv_name = Wire.read_string r in
+      let cv_key = r_list r (fun () -> Wire.read_string r) in
+      let cv_from = Wire.read_string r in
+      let cv_where = r_option r (fun () -> r_expr r) in
+      Ast.Create_vertex { cv_name; cv_key; cv_from; cv_where; cv_loc = r_loc r }
+  | 2 ->
+      let ce_name = Wire.read_string r in
+      let ce_src = r_endpoint r in
+      let ce_dst = r_endpoint r in
+      let ce_from = r_option r (fun () -> Wire.read_string r) in
+      let ce_where = r_option r (fun () -> r_expr r) in
+      Ast.Create_edge { ce_name; ce_src; ce_dst; ce_from; ce_where; ce_loc = r_loc r }
+  | 3 ->
+      let ing_table = Wire.read_string r in
+      let ing_file = Wire.read_string r in
+      Ast.Ingest { ing_table; ing_file; ing_loc = r_loc r }
+  | 4 ->
+      let sg_targets = r_list r (fun () -> r_target r) in
+      let sg_path = r_multipath r in
+      let sg_into = r_into r in
+      Ast.Select_graph { sg_targets; sg_path; sg_into; sg_loc = r_loc r }
+  | 5 ->
+      let st_distinct = Wire.read_bool r in
+      let st_top = r_option r (fun () -> Wire.read_varint r) in
+      let st_targets = r_list r (fun () -> r_target r) in
+      let st_from =
+        match Wire.read_tag r with
+        | 0 ->
+            let n = Wire.read_string r in
+            let alias = r_option r (fun () -> Wire.read_string r) in
+            Ast.From_table (n, alias)
+        | 1 ->
+            let srcs =
+              r_list r (fun () ->
+                  let n = Wire.read_string r in
+                  let alias = r_option r (fun () -> Wire.read_string r) in
+                  (n, alias))
+            in
+            let where = r_option r (fun () -> r_expr r) in
+            Ast.From_join (srcs, where)
+        | n -> raise (Wire.Corrupt (Printf.sprintf "bad from tag %d" n))
+      in
+      let st_where = r_option r (fun () -> r_expr r) in
+      let st_group_by =
+        r_list r (fun () ->
+            let q = r_option r (fun () -> Wire.read_string r) in
+            let c = Wire.read_string r in
+            (q, c))
+      in
+      let st_order_by =
+        r_list r (fun () ->
+            let e = r_expr r in
+            let d =
+              match Wire.read_tag r with
+              | 0 -> Ast.Asc
+              | 1 -> Ast.Desc
+              | n -> raise (Wire.Corrupt (Printf.sprintf "bad order tag %d" n))
+            in
+            (e, d))
+      in
+      let st_into = r_into r in
+      let st_loc = r_loc r in
+      Ast.Select_table
+        {
+          st_distinct;
+          st_top;
+          st_targets;
+          st_from;
+          st_where;
+          st_group_by;
+          st_order_by;
+          st_into;
+          st_loc;
+        }
+  | 6 ->
+      let sp_name = Wire.read_string r in
+      let sp_value = r_lit r in
+      Ast.Set_param { sp_name; sp_value; sp_loc = r_loc r }
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad statement tag %d" n))
+
+(* ------------------------------------------------------------------ *)
+
+let encode_script script =
+  let w = Wire.writer () in
+  String.iter (fun c -> Wire.tag w (Char.code c)) magic;
+  Wire.varint w version;
+  Wire.varint w (List.length script);
+  List.iter (w_stmt w) script;
+  Wire.contents w
+
+let check_header r =
+  String.iter
+    (fun c ->
+      if Wire.read_tag r <> Char.code c then
+        raise (Wire.Corrupt "bad IR magic"))
+    magic;
+  let v = Wire.read_varint r in
+  if v <> version then
+    raise (Wire.Corrupt (Printf.sprintf "unsupported IR version %d" v))
+
+let decode_script data =
+  let r = Wire.reader data in
+  check_header r;
+  let n = Wire.read_varint r in
+  let stmts = List.init n (fun _ -> r_stmt r) in
+  if not (Wire.at_end r) then raise (Wire.Corrupt "trailing bytes in IR");
+  stmts
+
+let encode_expr e =
+  let w = Wire.writer () in
+  w_expr w e;
+  Wire.contents w
+
+let decode_expr data =
+  let r = Wire.reader data in
+  let e = r_expr r in
+  if not (Wire.at_end r) then raise (Wire.Corrupt "trailing bytes in IR");
+  e

@@ -1,0 +1,18 @@
+(** The binary intermediate representation (Sec. III): "a GraQL script is
+    parsed and compiled into a high-level binary IR that is a convenient
+    mechanism for moving the query script from the front-end portion of
+    the GEMS system to the backend for execution."
+
+    The IR is a compact, versioned, self-describing binary encoding of the
+    checked script. [decode (encode s) = s] is property-tested. *)
+
+val magic : string
+val version : int
+
+val encode_script : Graql_lang.Ast.script -> bytes
+val decode_script : bytes -> Graql_lang.Ast.script
+(** Raises {!Wire.Corrupt} on malformed input, including bad magic or an
+    unsupported version. *)
+
+val encode_expr : Graql_lang.Ast.expr -> bytes
+val decode_expr : bytes -> Graql_lang.Ast.expr

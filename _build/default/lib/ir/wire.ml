@@ -1,0 +1,84 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents w = Buffer.to_bytes w
+
+let tag w t =
+  if t < 0 || t > 255 then invalid_arg "Wire.tag";
+  Buffer.add_char w (Char.chr t)
+
+let varint w n =
+  if n < 0 then invalid_arg "Wire.varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char w (Char.chr n)
+    else begin
+      Buffer.add_char w (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let zigzag w n =
+  let u = if n >= 0 then n lsl 1 else ((-n) lsl 1) - 1 in
+  varint w u
+
+let float64 w f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char w
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let string w s =
+  varint w (String.length s);
+  Buffer.add_string w s
+
+let bool w b = tag w (if b then 1 else 0)
+
+type reader = { data : bytes; mutable pos : int }
+
+exception Corrupt of string
+
+let reader data = { data; pos = 0 }
+let at_end r = r.pos >= Bytes.length r.data
+
+let byte r =
+  if at_end r then raise (Corrupt "unexpected end of IR");
+  let c = Char.code (Bytes.get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  c
+
+let read_tag = byte
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 62 then raise (Corrupt "varint too long");
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let read_zigzag r =
+  let u = read_varint r in
+  if u land 1 = 0 then u lsr 1 else -((u + 1) lsr 1)
+
+let read_float64 r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let read_string r =
+  let len = read_varint r in
+  if r.pos + len > Bytes.length r.data then raise (Corrupt "string overruns IR");
+  let s = Bytes.sub_string r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_bool r =
+  match read_tag r with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Corrupt (Printf.sprintf "invalid bool byte %d" n))

@@ -1,0 +1,32 @@
+(** Low-level binary encoding primitives for the GraQL IR: LEB128-style
+    varints, length-prefixed strings, tag bytes. *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> bytes
+val tag : writer -> int -> unit
+(** One byte, 0..255. *)
+
+val varint : writer -> int -> unit
+(** Unsigned LEB128; requires non-negative. *)
+
+val zigzag : writer -> int -> unit
+(** Signed values (zigzag + varint). *)
+
+val float64 : writer -> float -> unit
+val string : writer -> string -> unit
+val bool : writer -> bool -> unit
+
+type reader
+
+exception Corrupt of string
+
+val reader : bytes -> reader
+val at_end : reader -> bool
+val read_tag : reader -> int
+val read_varint : reader -> int
+val read_zigzag : reader -> int
+val read_float64 : reader -> float
+val read_string : reader -> string
+val read_bool : reader -> bool

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer List Loc String Token

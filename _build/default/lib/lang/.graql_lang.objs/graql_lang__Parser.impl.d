@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Buffer Graql_storage Lexer List Loc String Token

@@ -1,0 +1,185 @@
+(** Abstract syntax of GraQL scripts. Produced by {!Parser}, consumed by
+    the static analyzer and the IR compiler. *)
+
+module Dtype = Graql_storage.Dtype
+
+type binop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Like
+
+type unop = Not | Neg
+
+type lit =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_bool of bool
+  | L_null
+
+type expr =
+  | E_lit of lit * Loc.t
+  | E_param of string * Loc.t  (** [%Name%] *)
+  | E_attr of string option * string * Loc.t  (** [qualifier.]attribute *)
+  | E_binop of binop * expr * expr * Loc.t
+  | E_unop of unop * expr * Loc.t
+  | E_is_null of expr * bool * Loc.t  (** [x is null] / [x is not null] *)
+  | E_call of string * call_arg list * Loc.t  (** count(...), sum(...), ... *)
+
+and call_arg = A_star | A_expr of expr
+
+let expr_loc = function
+  | E_lit (_, l)
+  | E_param (_, l)
+  | E_attr (_, _, l)
+  | E_binop (_, _, _, l)
+  | E_unop (_, _, l)
+  | E_is_null (_, _, l)
+  | E_call (_, _, l) ->
+      l
+
+(** Step labels (Sec. II-B2). *)
+type label =
+  | Set_label of string  (** [def X:] — set semantics, Eq. 6 *)
+  | Each_label of string  (** [foreach x:] — element-wise, Eq. 8 *)
+
+let label_name = function Set_label n | Each_label n -> n
+
+(** Vertex step head. [V_named] covers both vertex-type names and label
+    references — resolution needs the catalog and label environment, so it
+    happens in analysis, not parsing. *)
+type vertex_kind =
+  | V_named of string
+  | V_any  (** [\[ \]] type-matching metavariable *)
+  | V_seeded of string * string  (** [result.VertexType] — Fig. 12 *)
+
+type vstep = {
+  v_kind : vertex_kind;
+  v_label : label option;
+  v_cond : expr option;  (** [( )] and absence both mean no filter *)
+  v_loc : Loc.t;
+}
+
+type edge_kind = E_named of string | E_any
+
+type direction = Out | In
+(** [--e--> ] is [Out]; [<--e--] is [In] (traverse the edge backwards). *)
+
+type estep = {
+  e_kind : edge_kind;
+  e_dir : direction;
+  e_label : label option;
+      (** labels name edges too (Sec. II-B2): [--def E: feature-->] *)
+  e_cond : expr option;
+  e_loc : Loc.t;
+}
+
+type rx_op = Rx_star | Rx_plus | Rx_count of int
+
+(** A path is a head vertex step followed by segments. *)
+type segment =
+  | Seg_step of estep * vstep
+  | Seg_regex of (estep * vstep) list * rx_op * Loc.t
+      (** [( --\[ \]--> \[ \] )+] — Fig. 10 *)
+
+type path = { head : vstep; segments : segment list }
+
+(** Multi-path composition (Sec. II-B3). *)
+type multipath =
+  | M_path of path
+  | M_and of multipath * multipath
+  | M_or of multipath * multipath
+
+type into =
+  | Into_table of string
+  | Into_subgraph of string
+  | Into_nothing  (** print / return to client *)
+
+type target = T_star | T_expr of expr * string option  (** expr [as alias] *)
+
+type order_dir = Asc | Desc
+
+type table_source =
+  | From_table of string * string option  (** name [as alias] *)
+  | From_join of (string * string option) list * expr option
+      (** [from table a, b where ...] implicit join *)
+
+type select_table = {
+  st_distinct : bool;
+  st_top : int option;
+  st_targets : target list;
+  st_from : table_source;
+  st_where : expr option;
+  st_group_by : (string option * string) list;  (** qualified column refs *)
+  st_order_by : (expr * order_dir) list;
+  st_into : into;
+  st_loc : Loc.t;
+}
+
+type select_graph = {
+  sg_targets : target list;
+  sg_path : multipath;
+  sg_into : into;
+  sg_loc : Loc.t;
+}
+
+type col_decl = { cd_name : string; cd_type : Dtype.t; cd_loc : Loc.t }
+
+type vertex_endpoint = { ve_type : string; ve_alias : string option }
+
+type stmt =
+  | Create_table of { ct_name : string; ct_cols : col_decl list; ct_loc : Loc.t }
+  | Create_vertex of {
+      cv_name : string;
+      cv_key : string list;
+      cv_from : string;
+      cv_where : expr option;
+      cv_loc : Loc.t;
+    }
+  | Create_edge of {
+      ce_name : string;
+      ce_src : vertex_endpoint;
+      ce_dst : vertex_endpoint;
+      ce_from : string option;  (** [from table T] associated table *)
+      ce_where : expr option;
+      ce_loc : Loc.t;
+    }
+  | Ingest of { ing_table : string; ing_file : string; ing_loc : Loc.t }
+  | Select_graph of select_graph
+  | Select_table of select_table
+  | Set_param of { sp_name : string; sp_value : lit; sp_loc : Loc.t }
+
+type script = stmt list
+
+let stmt_loc = function
+  | Create_table { ct_loc; _ } -> ct_loc
+  | Create_vertex { cv_loc; _ } -> cv_loc
+  | Create_edge { ce_loc; _ } -> ce_loc
+  | Ingest { ing_loc; _ } -> ing_loc
+  | Select_graph { sg_loc; _ } -> sg_loc
+  | Select_table { st_loc; _ } -> st_loc
+  | Set_param { sp_loc; _ } -> sp_loc
+
+(** Name of the entity a statement defines, if any — used by the
+    dependence scheduler (Sec. III-B1). *)
+let stmt_defines = function
+  | Create_table { ct_name; _ } -> Some ct_name
+  | Create_vertex { cv_name; _ } -> Some cv_name
+  | Create_edge { ce_name; _ } -> Some ce_name
+  | Select_graph { sg_into = Into_table n | Into_subgraph n; _ } -> Some n
+  | Select_table { st_into = Into_table n | Into_subgraph n; _ } -> Some n
+  | Ingest _ | Set_param _
+  | Select_graph { sg_into = Into_nothing; _ }
+  | Select_table { st_into = Into_nothing; _ } ->
+      None

@@ -1,0 +1,206 @@
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let loc cur = { Loc.line = cur.line; col = cur.pos - cur.bol + 1 }
+
+let peek cur k =
+  let i = cur.pos + k in
+  if i < String.length cur.src then Some cur.src.[i] else None
+
+let advance cur n =
+  for _ = 1 to n do
+    (match peek cur 0 with
+    | Some '\n' ->
+        cur.line <- cur.line + 1;
+        cur.bol <- cur.pos + 1
+    | _ -> ());
+    cur.pos <- cur.pos + 1
+  done
+
+let lex_string cur quote =
+  let start = loc cur in
+  advance cur 1;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur 0 with
+    | None -> Loc.error start "unterminated string literal"
+    | Some c when c = quote ->
+        (* Doubled quote escapes itself, SQL-style. *)
+        if peek cur 1 = Some quote then begin
+          Buffer.add_char buf quote;
+          advance cur 2;
+          go ()
+        end
+        else advance cur 1
+    | Some '\\' -> (
+        match peek cur 1 with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance cur 2; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance cur 2; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance cur 2; go ()
+        | Some c when c = quote -> Buffer.add_char buf c; advance cur 2; go ()
+        | _ -> Buffer.add_char buf '\\'; advance cur 1; go ())
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cur 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_number cur =
+  let start = cur.pos in
+  let startloc = loc cur in
+  while (match peek cur 0 with Some c -> is_digit c | None -> false) do
+    advance cur 1
+  done;
+  let is_float =
+    match (peek cur 0, peek cur 1) with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance cur 1;
+    while (match peek cur 0 with Some c -> is_digit c | None -> false) do
+      advance cur 1
+    done;
+    (match peek cur 0 with
+    | Some ('e' | 'E') ->
+        advance cur 1;
+        (match peek cur 0 with
+        | Some ('+' | '-') -> advance cur 1
+        | _ -> ());
+        while (match peek cur 0 with Some c -> is_digit c | None -> false) do
+          advance cur 1
+        done
+    | _ -> ());
+    let text = String.sub cur.src start (cur.pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Token.FLOAT f
+    | None -> Loc.error startloc "malformed float literal %S" text
+  end
+  else begin
+    let text = String.sub cur.src start (cur.pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Token.INT i
+    | None -> Loc.error startloc "malformed integer literal %S" text
+  end
+
+let lex_param cur =
+  (* %Name% — caller verified the shape. *)
+  let startloc = loc cur in
+  advance cur 1;
+  let start = cur.pos in
+  while (match peek cur 0 with Some c -> is_ident_char c | None -> false) do
+    advance cur 1
+  done;
+  let name = String.sub cur.src start (cur.pos - start) in
+  match peek cur 0 with
+  | Some '%' ->
+      advance cur 1;
+      Token.PARAM name
+  | _ -> Loc.error startloc "unterminated parameter %%%s" name
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; bol = 0 } in
+  let out = ref [] in
+  let emit tok l = out := (tok, l) :: !out in
+  let rec go () =
+    match peek cur 0 with
+    | None -> emit Token.EOF (loc cur)
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance cur 1;
+        go ()
+    | Some '/' when peek cur 1 = Some '/' ->
+        while peek cur 0 <> None && peek cur 0 <> Some '\n' do
+          advance cur 1
+        done;
+        go ()
+    | Some '/' when peek cur 1 = Some '*' ->
+        let startloc = loc cur in
+        advance cur 2;
+        let rec skip () =
+          match (peek cur 0, peek cur 1) with
+          | Some '*', Some '/' -> advance cur 2
+          | None, _ -> Loc.error startloc "unterminated block comment"
+          | _ -> advance cur 1; skip ()
+        in
+        skip ();
+        go ()
+    | Some c when is_ident_start c ->
+        let l = loc cur in
+        let start = cur.pos in
+        while (match peek cur 0 with Some c -> is_ident_char c | None -> false) do
+          advance cur 1
+        done;
+        emit (Token.IDENT (String.sub cur.src start (cur.pos - start))) l;
+        go ()
+    | Some c when is_digit c ->
+        let l = loc cur in
+        emit (lex_number cur) l;
+        go ()
+    | Some ('\'' | '"') ->
+        let l = loc cur in
+        let quote = (match peek cur 0 with Some q -> q | None -> assert false) in
+        emit (Token.STRING (lex_string cur quote)) l;
+        go ()
+    | Some '%' when (match peek cur 1 with Some c -> is_ident_start c | None -> false) ->
+        (* Disambiguate parameter %X% from modulo: require a closing '%'. *)
+        let save_pos = cur.pos and save_line = cur.line and save_bol = cur.bol in
+        let l = loc cur in
+        (try
+           let tok = lex_param cur in
+           emit tok l
+         with Loc.Syntax_error _ ->
+           cur.pos <- save_pos;
+           cur.line <- save_line;
+           cur.bol <- save_bol;
+           advance cur 1;
+           emit Token.PERCENT l);
+        go ()
+    | Some c ->
+        let l = loc cur in
+        let simple tok n =
+          advance cur n;
+          emit tok l
+        in
+        (match (c, peek cur 1, peek cur 2) with
+        | '-', Some '-', Some '>' -> simple Token.DASHDASHGT 3
+        | '-', Some '-', _ -> simple Token.DASHDASH 2
+        | '<', Some '-', Some '-' -> simple Token.LTDASHDASH 3
+        | '<', Some '=', _ -> simple Token.LE 2
+        | '<', Some '>', _ -> simple Token.NE 2
+        | '<', _, _ -> simple Token.LT 1
+        | '>', Some '=', _ -> simple Token.GE 2
+        | '>', _, _ -> simple Token.GT 1
+        | '!', Some '=', _ -> simple Token.NE 2
+        | '=', _, _ -> simple Token.EQ 1
+        | '(', _, _ -> simple Token.LPAREN 1
+        | ')', _, _ -> simple Token.RPAREN 1
+        | '[', _, _ -> simple Token.LBRACKET 1
+        | ']', _, _ -> simple Token.RBRACKET 1
+        | '{', _, _ -> simple Token.LBRACE 1
+        | '}', _, _ -> simple Token.RBRACE 1
+        | ',', _, _ -> simple Token.COMMA 1
+        | '.', _, _ -> simple Token.DOT 1
+        | ':', _, _ -> simple Token.COLON 1
+        | ';', _, _ -> simple Token.SEMI 1
+        | '*', _, _ -> simple Token.STAR 1
+        | '+', _, _ -> simple Token.PLUS 1
+        | '-', _, _ -> simple Token.MINUS 1
+        | '/', _, _ -> simple Token.SLASH 1
+        | '%', _, _ -> simple Token.PERCENT 1
+        | _ -> Loc.error l "unexpected character %C" c);
+        go ()
+  in
+  go ();
+  List.rev !out

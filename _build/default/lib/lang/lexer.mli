@@ -1,0 +1,13 @@
+(** Hand-rolled lexer for GraQL.
+
+    Notable choices, matching the paper's figures:
+    - [--], [-->], [<--] are dedicated arrow tokens; a lone [-] is minus.
+    - [%Name%] is a query parameter token.
+    - [//] starts a line comment (used in the paper's Appendix A), and
+      [/* .. */] block comments are accepted as a convenience.
+    - Identifiers are [[A-Za-z_][A-Za-z0-9_]*]; keywords are not
+      distinguished at the lexical level (the parser matches identifier
+      spellings case-insensitively). *)
+
+val tokenize : string -> (Token.t * Loc.t) list
+(** Ends with [(EOF, loc)]. Raises {!Loc.Syntax_error} on lexical errors. *)

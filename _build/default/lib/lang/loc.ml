@@ -1,0 +1,9 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let to_string t = Printf.sprintf "line %d, column %d" t.line t.col
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+exception Syntax_error of t * string
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Syntax_error (loc, msg))) fmt

@@ -1,0 +1,13 @@
+(** Source positions for diagnostics. *)
+
+type t = { line : int; col : int }
+
+val dummy : t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+exception Syntax_error of t * string
+(** Raised by the lexer and parser; carries position + message. *)
+
+val error : t -> ('a, unit, string, 'b) format4 -> 'a
+(** [error loc fmt ...] raises {!Syntax_error} with a formatted message. *)

@@ -1,0 +1,695 @@
+module Dtype = Graql_storage.Dtype
+
+type state = { toks : (Token.t * Loc.t) array; mutable pos : int }
+
+let current st = fst st.toks.(st.pos)
+let current_loc st = snd st.toks.(st.pos)
+let lookahead st k =
+  let i = st.pos + k in
+  if i < Array.length st.toks then fst st.toks.(i) else Token.EOF
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st fmt = Loc.error (current_loc st) fmt
+
+let expect st tok =
+  if current st = tok then advance st
+  else
+    fail st "expected %s, found %s" (Token.describe tok)
+      (Token.describe (current st))
+
+(* ------------------------------------------------------------------ *)
+(* Contextual keywords                                                 *)
+
+let kw_eq word = function
+  | Token.IDENT s -> String.lowercase_ascii s = word
+  | _ -> false
+
+let at_kw st word = kw_eq word (current st)
+
+let eat_kw st word =
+  if at_kw st word then (advance st; true) else false
+
+let expect_kw st word =
+  if not (eat_kw st word) then
+    fail st "expected keyword %S, found %s" word (Token.describe (current st))
+
+let reserved =
+  [
+    "select"; "create"; "ingest"; "set"; "from"; "where"; "group"; "order";
+    "into"; "and"; "or"; "not"; "like"; "is"; "null"; "top"; "distinct";
+    "as"; "by"; "asc"; "desc"; "def"; "foreach"; "graph"; "table";
+    "subgraph"; "vertex"; "edge"; "vertices"; "with"; "true"; "false";
+  ]
+
+let is_reserved s = List.mem (String.lowercase_ascii s) reserved
+
+let ident st =
+  match current st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> fail st "expected identifier, found %s" (Token.describe t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if at_kw st "or" then begin
+    let l = current_loc st in
+    advance st;
+    let rhs = parse_or st in
+    Ast.E_binop (Ast.Or, lhs, rhs, l)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if at_kw st "and" then begin
+    let l = current_loc st in
+    advance st;
+    let rhs = parse_and st in
+    Ast.E_binop (Ast.And, lhs, rhs, l)
+  end
+  else lhs
+
+and parse_not st =
+  if at_kw st "not" then begin
+    let l = current_loc st in
+    advance st;
+    Ast.E_unop (Ast.Not, parse_not st, l)
+  end
+  else parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_additive st in
+  let l = current_loc st in
+  match current st with
+  | Token.EQ -> advance st; Ast.E_binop (Ast.Eq, lhs, parse_additive st, l)
+  | Token.NE -> advance st; Ast.E_binop (Ast.Ne, lhs, parse_additive st, l)
+  | Token.LT -> advance st; Ast.E_binop (Ast.Lt, lhs, parse_additive st, l)
+  | Token.LE -> advance st; Ast.E_binop (Ast.Le, lhs, parse_additive st, l)
+  | Token.GT -> advance st; Ast.E_binop (Ast.Gt, lhs, parse_additive st, l)
+  | Token.GE -> advance st; Ast.E_binop (Ast.Ge, lhs, parse_additive st, l)
+  | Token.IDENT s when String.lowercase_ascii s = "like" ->
+      advance st;
+      Ast.E_binop (Ast.Like, lhs, parse_additive st, l)
+  | Token.IDENT s when String.lowercase_ascii s = "is" ->
+      advance st;
+      let negated = eat_kw st "not" in
+      expect_kw st "null";
+      Ast.E_is_null (lhs, negated, l)
+  | _ -> lhs
+
+and parse_additive st =
+  let rec go lhs =
+    let l = current_loc st in
+    match current st with
+    | Token.PLUS -> advance st; go (Ast.E_binop (Ast.Add, lhs, parse_multiplicative st, l))
+    | Token.MINUS -> advance st; go (Ast.E_binop (Ast.Sub, lhs, parse_multiplicative st, l))
+    | _ -> lhs
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go lhs =
+    let l = current_loc st in
+    match current st with
+    | Token.STAR -> advance st; go (Ast.E_binop (Ast.Mul, lhs, parse_unary st, l))
+    | Token.SLASH -> advance st; go (Ast.E_binop (Ast.Div, lhs, parse_unary st, l))
+    | Token.PERCENT -> advance st; go (Ast.E_binop (Ast.Mod, lhs, parse_unary st, l))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match current st with
+  | Token.MINUS ->
+      let l = current_loc st in
+      advance st;
+      Ast.E_unop (Ast.Neg, parse_unary st, l)
+  | _ -> parse_primary st
+
+and parse_call_args st =
+  (* Caller consumed the LPAREN. *)
+  if current st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else if current st = Token.STAR then begin
+    advance st;
+    expect st Token.RPAREN;
+    [ Ast.A_star ]
+  end
+  else begin
+    let rec go acc =
+      let arg = Ast.A_expr (parse_or st) in
+      if current st = Token.COMMA then begin
+        advance st;
+        go (arg :: acc)
+      end
+      else begin
+        expect st Token.RPAREN;
+        List.rev (arg :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  let l = current_loc st in
+  match current st with
+  | Token.INT i -> advance st; Ast.E_lit (Ast.L_int i, l)
+  | Token.FLOAT f -> advance st; Ast.E_lit (Ast.L_float f, l)
+  | Token.STRING s -> advance st; Ast.E_lit (Ast.L_string s, l)
+  | Token.PARAM p -> advance st; Ast.E_param (p, l)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_or st in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT s when String.lowercase_ascii s = "true" ->
+      advance st;
+      Ast.E_lit (Ast.L_bool true, l)
+  | Token.IDENT s when String.lowercase_ascii s = "false" ->
+      advance st;
+      Ast.E_lit (Ast.L_bool false, l)
+  | Token.IDENT s when String.lowercase_ascii s = "null" ->
+      advance st;
+      Ast.E_lit (Ast.L_null, l)
+  | Token.IDENT s when not (is_reserved s) -> (
+      advance st;
+      match current st with
+      | Token.DOT ->
+          advance st;
+          let attr = ident st in
+          Ast.E_attr (Some s, attr, l)
+      | Token.LPAREN ->
+          advance st;
+          Ast.E_call (String.lowercase_ascii s, parse_call_args st, l)
+      | _ -> Ast.E_attr (None, s, l))
+  | t -> fail st "expected expression, found %s" (Token.describe t)
+
+let parse_expr_state = parse_or
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+
+(* A condition group "( expr )" or "( )" directly after a vertex or edge
+   name. The empty parens mean "no filter" (the paper's "( )"). *)
+let parse_cond_group st =
+  if current st <> Token.LPAREN then None
+  else begin
+    advance st;
+    if current st = Token.RPAREN then begin
+      advance st;
+      None
+    end
+    else begin
+      let e = parse_expr_state st in
+      expect st Token.RPAREN;
+      Some e
+    end
+  end
+
+let parse_label st =
+  if at_kw st "def" then begin
+    advance st;
+    let name = ident st in
+    expect st Token.COLON;
+    Some (Ast.Set_label name)
+  end
+  else if at_kw st "foreach" then begin
+    advance st;
+    let name = ident st in
+    expect st Token.COLON;
+    Some (Ast.Each_label name)
+  end
+  else None
+
+(* Is the LPAREN at the current position a regex group (as opposed to a
+   condition or a parenthesized sub-path)? Regex groups start with an
+   arrow. *)
+let lparen_starts_regex st =
+  current st = Token.LPAREN
+  && (match lookahead st 1 with
+     | Token.DASHDASH | Token.LTDASHDASH -> true
+     | _ -> false)
+
+let parse_vertex_head st =
+  let l = current_loc st in
+  match current st with
+  | Token.LBRACKET ->
+      advance st;
+      expect st Token.RBRACKET;
+      (Ast.V_any, l)
+  | Token.IDENT s when not (is_reserved s) ->
+      advance st;
+      if current st = Token.DOT then begin
+        advance st;
+        let vtype = ident st in
+        (Ast.V_seeded (s, vtype), l)
+      end
+      else (Ast.V_named s, l)
+  | t -> fail st "expected vertex step, found %s" (Token.describe t)
+
+let parse_vstep st =
+  let label = parse_label st in
+  let kind, l = parse_vertex_head st in
+  (* Guard: "( --" after a vertex is a regex group, not a condition. *)
+  let cond = if lparen_starts_regex st then None else parse_cond_group st in
+  { Ast.v_kind = kind; v_label = label; v_cond = cond; v_loc = l }
+
+let parse_edge_name st =
+  match current st with
+  | Token.LBRACKET ->
+      advance st;
+      expect st Token.RBRACKET;
+      Ast.E_any
+  | Token.IDENT s when not (is_reserved s) ->
+      advance st;
+      Ast.E_named s
+  | t -> fail st "expected edge type or [ ], found %s" (Token.describe t)
+
+let parse_estep st =
+  let l = current_loc st in
+  match current st with
+  | Token.DASHDASH ->
+      advance st;
+      let label = parse_label st in
+      let kind = parse_edge_name st in
+      let cond = parse_cond_group st in
+      expect st Token.DASHDASHGT;
+      { Ast.e_kind = kind; e_dir = Ast.Out; e_label = label; e_cond = cond; e_loc = l }
+  | Token.LTDASHDASH ->
+      advance st;
+      let label = parse_label st in
+      let kind = parse_edge_name st in
+      let cond = parse_cond_group st in
+      expect st Token.DASHDASH;
+      { Ast.e_kind = kind; e_dir = Ast.In; e_label = label; e_cond = cond; e_loc = l }
+  | t -> fail st "expected --edge--> or <--edge--, found %s" (Token.describe t)
+
+let at_arrow st =
+  match current st with
+  | Token.DASHDASH | Token.LTDASHDASH -> true
+  | _ -> false
+
+let parse_rx_op st =
+  match current st with
+  | Token.STAR -> advance st; Ast.Rx_star
+  | Token.PLUS -> advance st; Ast.Rx_plus
+  | Token.LBRACE -> (
+      advance st;
+      match current st with
+      | Token.INT n ->
+          advance st;
+          expect st Token.RBRACE;
+          Ast.Rx_count n
+      | t -> fail st "expected repetition count, found %s" (Token.describe t))
+  | t -> fail st "expected *, + or {n} after regex group, found %s" (Token.describe t)
+
+let rec parse_segments st acc =
+  if at_arrow st then begin
+    let e = parse_estep st in
+    let v = parse_vstep st in
+    parse_segments st (Ast.Seg_step (e, v) :: acc)
+  end
+  else if lparen_starts_regex st then begin
+    let l = current_loc st in
+    advance st;
+    let rec pairs acc =
+      let e = parse_estep st in
+      let v = parse_vstep st in
+      let acc = (e, v) :: acc in
+      if at_arrow st then pairs acc else List.rev acc
+    in
+    let body = pairs [] in
+    expect st Token.RPAREN;
+    let op = parse_rx_op st in
+    parse_segments st (Ast.Seg_regex (body, op, l) :: acc)
+  end
+  else List.rev acc
+
+let parse_path st =
+  let head = parse_vstep st in
+  let segments = parse_segments st [] in
+  { Ast.head; segments }
+
+let rec parse_multipath st = parse_mp_or st
+
+and parse_mp_or st =
+  let lhs = parse_mp_and st in
+  if at_kw st "or" then begin
+    advance st;
+    Ast.M_or (lhs, parse_mp_or st)
+  end
+  else lhs
+
+and parse_mp_and st =
+  let lhs = parse_mp_atom st in
+  if at_kw st "and" then begin
+    advance st;
+    Ast.M_and (lhs, parse_mp_and st)
+  end
+  else lhs
+
+and parse_mp_atom st =
+  if current st = Token.LPAREN && not (lparen_starts_regex st) then begin
+    advance st;
+    let mp = parse_multipath st in
+    expect st Token.RPAREN;
+    mp
+  end
+  else Ast.M_path (parse_path st)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let parse_dtype st =
+  let l = current_loc st in
+  let name = String.lowercase_ascii (ident st) in
+  match name with
+  | "integer" | "int" -> Dtype.Int
+  | "float" | "double" | "real" -> Dtype.Float
+  | "date" -> Dtype.Date
+  | "boolean" | "bool" -> Dtype.Bool
+  | "varchar" | "char" | "text" ->
+      if current st = Token.LPAREN then begin
+        advance st;
+        match current st with
+        | Token.INT n ->
+            advance st;
+            expect st Token.RPAREN;
+            Dtype.Varchar n
+        | t -> fail st "expected varchar width, found %s" (Token.describe t)
+      end
+      else Dtype.Varchar 255
+  | other -> Loc.error l "unknown type %S" other
+
+let parse_create_table st l =
+  let name = ident st in
+  expect st Token.LPAREN;
+  let rec cols acc =
+    let cl = current_loc st in
+    let cname = ident st in
+    let ctype = parse_dtype st in
+    let acc = { Ast.cd_name = cname; cd_type = ctype; cd_loc = cl } :: acc in
+    if current st = Token.COMMA then begin
+      advance st;
+      cols acc
+    end
+    else begin
+      expect st Token.RPAREN;
+      List.rev acc
+    end
+  in
+  Ast.Create_table { ct_name = name; ct_cols = cols []; ct_loc = l }
+
+let parse_create_vertex st l =
+  let name = ident st in
+  expect st Token.LPAREN;
+  let rec keys acc =
+    let k = ident st in
+    if current st = Token.COMMA then begin
+      advance st;
+      keys (k :: acc)
+    end
+    else begin
+      expect st Token.RPAREN;
+      List.rev (k :: acc)
+    end
+  in
+  let key = keys [] in
+  expect_kw st "from";
+  expect_kw st "table";
+  let from = ident st in
+  let where = if eat_kw st "where" then Some (parse_expr_state st) else None in
+  Ast.Create_vertex { cv_name = name; cv_key = key; cv_from = from; cv_where = where; cv_loc = l }
+
+let parse_endpoint st =
+  let ve_type = ident st in
+  let ve_alias = if eat_kw st "as" then Some (ident st) else None in
+  { Ast.ve_type; ve_alias }
+
+let parse_create_edge st l =
+  let name = ident st in
+  expect_kw st "with";
+  expect_kw st "vertices";
+  expect st Token.LPAREN;
+  let src = parse_endpoint st in
+  expect st Token.COMMA;
+  let dst = parse_endpoint st in
+  expect st Token.RPAREN;
+  let from =
+    if at_kw st "from" then begin
+      advance st;
+      expect_kw st "table";
+      Some (ident st)
+    end
+    else None
+  in
+  let where = if eat_kw st "where" then Some (parse_expr_state st) else None in
+  Ast.Create_edge
+    { ce_name = name; ce_src = src; ce_dst = dst; ce_from = from; ce_where = where; ce_loc = l }
+
+let parse_filename st =
+  match current st with
+  | Token.STRING s ->
+      advance st;
+      s
+  | Token.IDENT _ ->
+      (* Bare filename like products.csv — rebuild the dotted name. *)
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf (ident st);
+      let rec go () =
+        if current st = Token.DOT then begin
+          advance st;
+          Buffer.add_char buf '.';
+          Buffer.add_string buf (ident st);
+          go ()
+        end
+      in
+      go ();
+      Buffer.contents buf
+  | t -> fail st "expected file name, found %s" (Token.describe t)
+
+let parse_ingest st l =
+  expect_kw st "table";
+  let table = ident st in
+  let file = parse_filename st in
+  Ast.Ingest { ing_table = table; ing_file = file; ing_loc = l }
+
+let parse_literal st =
+  let l = current_loc st in
+  match current st with
+  | Token.INT i -> advance st; Ast.L_int i
+  | Token.FLOAT f -> advance st; Ast.L_float f
+  | Token.STRING s -> advance st; Ast.L_string s
+  | Token.MINUS -> (
+      advance st;
+      match current st with
+      | Token.INT i -> advance st; Ast.L_int (-i)
+      | Token.FLOAT f -> advance st; Ast.L_float (-.f)
+      | t -> fail st "expected number after -, found %s" (Token.describe t))
+  | Token.IDENT s when String.lowercase_ascii s = "true" -> advance st; Ast.L_bool true
+  | Token.IDENT s when String.lowercase_ascii s = "false" -> advance st; Ast.L_bool false
+  | Token.IDENT s when String.lowercase_ascii s = "null" -> advance st; Ast.L_null
+  | t -> Loc.error l "expected literal, found %s" (Token.describe t)
+
+let parse_set st l =
+  match current st with
+  | Token.PARAM name ->
+      advance st;
+      expect st Token.EQ;
+      let v = parse_literal st in
+      Ast.Set_param { sp_name = name; sp_value = v; sp_loc = l }
+  | t -> fail st "expected %%parameter%% after set, found %s" (Token.describe t)
+
+let parse_targets st =
+  if current st = Token.STAR then begin
+    advance st;
+    [ Ast.T_star ]
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr_state st in
+      let alias = if eat_kw st "as" then Some (ident st) else None in
+      let acc = Ast.T_expr (e, alias) :: acc in
+      if current st = Token.COMMA then begin
+        advance st;
+        go acc
+      end
+      else List.rev acc
+    in
+    go []
+  end
+
+let parse_into st =
+  if at_kw st "into" then begin
+    advance st;
+    if eat_kw st "table" then Ast.Into_table (ident st)
+    else if eat_kw st "subgraph" then Ast.Into_subgraph (ident st)
+    else fail st "expected 'table' or 'subgraph' after into"
+  end
+  else Ast.Into_nothing
+
+let parse_qualified st =
+  let a = ident st in
+  if current st = Token.DOT then begin
+    advance st;
+    let b = ident st in
+    (Some a, b)
+  end
+  else (None, a)
+
+let parse_group_by st =
+  if at_kw st "group" then begin
+    advance st;
+    expect_kw st "by";
+    let rec go acc =
+      let q = parse_qualified st in
+      if current st = Token.COMMA then begin
+        advance st;
+        go (q :: acc)
+      end
+      else List.rev (q :: acc)
+    in
+    go []
+  end
+  else []
+
+let parse_order_by st =
+  if at_kw st "order" then begin
+    advance st;
+    expect_kw st "by";
+    let rec go acc =
+      let e = parse_expr_state st in
+      let dir =
+        if eat_kw st "desc" then Ast.Desc
+        else begin
+          ignore (eat_kw st "asc");
+          Ast.Asc
+        end
+      in
+      if current st = Token.COMMA then begin
+        advance st;
+        go ((e, dir) :: acc)
+      end
+      else List.rev ((e, dir) :: acc)
+    in
+    go []
+  end
+  else []
+
+let parse_select st l =
+  let distinct = eat_kw st "distinct" in
+  let top =
+    if at_kw st "top" then begin
+      advance st;
+      match current st with
+      | Token.INT n ->
+          advance st;
+          Some n
+      | t -> fail st "expected count after top, found %s" (Token.describe t)
+    end
+    else None
+  in
+  let targets = parse_targets st in
+  expect_kw st "from";
+  if eat_kw st "graph" then begin
+    let path = parse_multipath st in
+    let into = parse_into st in
+    if distinct then Loc.error l "distinct is not supported on graph queries";
+    if top <> None then
+      Loc.error l "top is not supported on graph queries; post-process the result table";
+    Ast.Select_graph { sg_targets = targets; sg_path = path; sg_into = into; sg_loc = l }
+  end
+  else begin
+    ignore (eat_kw st "table");
+    let rec sources acc =
+      let name = ident st in
+      let alias = if eat_kw st "as" then Some (ident st) else None in
+      let acc = (name, alias) :: acc in
+      if current st = Token.COMMA then begin
+        advance st;
+        ignore (eat_kw st "table");
+        sources acc
+      end
+      else List.rev acc
+    in
+    let srcs = sources [] in
+    let where = if eat_kw st "where" then Some (parse_expr_state st) else None in
+    let group_by = parse_group_by st in
+    let order_by = parse_order_by st in
+    let into = parse_into st in
+    let from =
+      match srcs with
+      | [ (name, alias) ] ->
+          (* single-table: where clause stays as a filter *)
+          ignore alias;
+          Ast.From_table (name, alias)
+      | many -> Ast.From_join (many, where)
+    in
+    let st_where = match from with Ast.From_join _ -> None | _ -> where in
+    Ast.Select_table
+      {
+        st_distinct = distinct;
+        st_top = top;
+        st_targets = targets;
+        st_from = from;
+        st_where;
+        st_group_by = group_by;
+        st_order_by = order_by;
+        st_into = into;
+        st_loc = l;
+      }
+  end
+
+let parse_stmt st =
+  let l = current_loc st in
+  if eat_kw st "create" then begin
+    if eat_kw st "table" then parse_create_table st l
+    else if eat_kw st "vertex" then parse_create_vertex st l
+    else if eat_kw st "edge" then parse_create_edge st l
+    else fail st "expected table, vertex or edge after create"
+  end
+  else if eat_kw st "ingest" then parse_ingest st l
+  else if eat_kw st "set" then parse_set st l
+  else if eat_kw st "select" then parse_select st l
+  else fail st "expected statement, found %s" (Token.describe (current st))
+
+let skip_semis st =
+  while current st = Token.SEMI do
+    advance st
+  done
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+
+let parse_script src =
+  let st = make_state src in
+  let rec go acc =
+    skip_semis st;
+    if current st = Token.EOF then List.rev acc
+    else begin
+      let stmt = parse_stmt st in
+      go (stmt :: acc)
+    end
+  in
+  go []
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expr_state st in
+  if current st <> Token.EOF then
+    fail st "trailing input after expression: %s" (Token.describe (current st));
+  e
+
+let parse_statement src =
+  let st = make_state src in
+  let stmt = parse_stmt st in
+  skip_semis st;
+  if current st <> Token.EOF then
+    fail st "trailing input after statement: %s" (Token.describe (current st));
+  stmt

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for GraQL scripts.
+
+    Keywords are contextual and case-insensitive (SQL style); vertex/edge
+    arrows [--e-->], [<--e--], type metavariables [\[ \]], labels
+    [def X:] / [foreach x:], path regexes [( --\[ \]--> \[ \] )+],
+    and the [select ... from graph ... into ...] form are parsed exactly
+    as the paper's figures write them. *)
+
+val parse_script : string -> Ast.script
+(** Raises {!Loc.Syntax_error} on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Entry point for tests: parse a single expression. *)
+
+val parse_statement : string -> Ast.stmt
+(** Parse exactly one statement (plus optional trailing [;]). *)

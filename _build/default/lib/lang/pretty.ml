@@ -1,0 +1,186 @@
+open Ast
+
+let binop_str = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | And -> "and"
+  | Or -> "or"
+  | Like -> "like"
+
+let lit ppf = function
+  | L_int i -> Format.pp_print_int ppf i
+  | L_float f -> Format.fprintf ppf "%g" f
+  | L_string s -> Format.fprintf ppf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | L_bool b -> Format.pp_print_bool ppf b
+  | L_null -> Format.pp_print_string ppf "null"
+
+let rec expr ppf = function
+  | E_lit (l, _) -> lit ppf l
+  | E_param (p, _) -> Format.fprintf ppf "%%%s%%" p
+  | E_attr (None, a, _) -> Format.pp_print_string ppf a
+  | E_attr (Some q, a, _) -> Format.fprintf ppf "%s.%s" q a
+  | E_binop (op, a, b, _) ->
+      Format.fprintf ppf "(%a %s %a)" expr a (binop_str op) expr b
+  | E_unop (Not, a, _) -> Format.fprintf ppf "(not %a)" expr a
+  | E_unop (Neg, a, _) -> Format.fprintf ppf "(- %a)" expr a
+  | E_is_null (a, false, _) -> Format.fprintf ppf "(%a is null)" expr a
+  | E_is_null (a, true, _) -> Format.fprintf ppf "(%a is not null)" expr a
+  | E_call (f, args, _) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf -> function
+             | A_star -> Format.pp_print_string ppf "*"
+             | A_expr e -> expr ppf e))
+        args
+
+let label ppf = function
+  | Set_label n -> Format.fprintf ppf "def %s: " n
+  | Each_label n -> Format.fprintf ppf "foreach %s: " n
+
+let vstep ppf v =
+  Option.iter (label ppf) v.v_label;
+  (match v.v_kind with
+  | V_named n -> Format.pp_print_string ppf n
+  | V_any -> Format.pp_print_string ppf "[ ]"
+  | V_seeded (g, vt) -> Format.fprintf ppf "%s.%s" g vt);
+  match v.v_cond with
+  | Some c -> Format.fprintf ppf " (%a)" expr c
+  | None -> ()
+
+let edge_name ppf = function
+  | E_named n -> Format.pp_print_string ppf n
+  | E_any -> Format.pp_print_string ppf "[ ]"
+
+let estep ppf e =
+  let lbl ppf = Option.iter (label ppf) e.e_label in
+  let cond ppf =
+    match e.e_cond with
+    | Some c -> Format.fprintf ppf "(%a)" expr c
+    | None -> ()
+  in
+  match e.e_dir with
+  | Out -> Format.fprintf ppf "--%t%a%t-->" lbl edge_name e.e_kind cond
+  | In -> Format.fprintf ppf "<--%t%a%t--" lbl edge_name e.e_kind cond
+
+let rx_op ppf = function
+  | Rx_star -> Format.pp_print_string ppf "*"
+  | Rx_plus -> Format.pp_print_string ppf "+"
+  | Rx_count n -> Format.fprintf ppf "{%d}" n
+
+let segment ppf = function
+  | Seg_step (e, v) -> Format.fprintf ppf " %a %a" estep e vstep v
+  | Seg_regex (body, op, _) ->
+      Format.fprintf ppf " (";
+      List.iter (fun (e, v) -> Format.fprintf ppf " %a %a" estep e vstep v) body;
+      Format.fprintf ppf " )%a" rx_op op
+
+let path ppf p =
+  vstep ppf p.head;
+  List.iter (segment ppf) p.segments
+
+let rec multipath ppf = function
+  | M_path p -> path ppf p
+  | M_and (a, b) -> Format.fprintf ppf "(%a) and (%a)" multipath a multipath b
+  | M_or (a, b) -> Format.fprintf ppf "(%a) or (%a)" multipath a multipath b
+
+let target ppf = function
+  | T_star -> Format.pp_print_string ppf "*"
+  | T_expr (e, None) -> expr ppf e
+  | T_expr (e, Some a) -> Format.fprintf ppf "%a as %s" expr e a
+
+let targets ppf ts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    target ppf ts
+
+let into ppf = function
+  | Into_table n -> Format.fprintf ppf " into table %s" n
+  | Into_subgraph n -> Format.fprintf ppf " into subgraph %s" n
+  | Into_nothing -> ()
+
+let dtype ppf t = Format.pp_print_string ppf (Graql_storage.Dtype.to_string t)
+
+let stmt ppf = function
+  | Create_table { ct_name; ct_cols; _ } ->
+      Format.fprintf ppf "create table %s (%a)" ct_name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf c -> Format.fprintf ppf "%s %a" c.cd_name dtype c.cd_type))
+        ct_cols
+  | Create_vertex { cv_name; cv_key; cv_from; cv_where; _ } ->
+      Format.fprintf ppf "create vertex %s(%s) from table %s" cv_name
+        (String.concat ", " cv_key) cv_from;
+      Option.iter (Format.fprintf ppf " where %a" expr) cv_where
+  | Create_edge { ce_name; ce_src; ce_dst; ce_from; ce_where; _ } ->
+      let endpoint ppf e =
+        Format.pp_print_string ppf e.ve_type;
+        Option.iter (Format.fprintf ppf " as %s") e.ve_alias
+      in
+      Format.fprintf ppf "create edge %s with vertices (%a, %a)" ce_name
+        endpoint ce_src endpoint ce_dst;
+      Option.iter (Format.fprintf ppf " from table %s") ce_from;
+      Option.iter (Format.fprintf ppf " where %a" expr) ce_where
+  | Ingest { ing_table; ing_file; _ } ->
+      Format.fprintf ppf "ingest table %s '%s'" ing_table ing_file
+  | Select_graph { sg_targets; sg_path; sg_into; _ } ->
+      Format.fprintf ppf "select %a from graph %a%a" targets sg_targets
+        multipath sg_path into sg_into
+  | Select_table t ->
+      Format.fprintf ppf "select ";
+      if t.st_distinct then Format.fprintf ppf "distinct ";
+      Option.iter (Format.fprintf ppf "top %d ") t.st_top;
+      Format.fprintf ppf "%a from table " targets t.st_targets;
+      (match t.st_from with
+      | From_table (n, alias) ->
+          Format.pp_print_string ppf n;
+          Option.iter (Format.fprintf ppf " as %s") alias
+      | From_join (srcs, where) ->
+          Format.pp_print_string ppf
+            (String.concat ", "
+               (List.map
+                  (fun (n, a) ->
+                    match a with Some a -> n ^ " as " ^ a | None -> n)
+                  srcs));
+          Option.iter (Format.fprintf ppf " where %a" expr) where);
+      Option.iter (Format.fprintf ppf " where %a" expr) t.st_where;
+      (match t.st_group_by with
+      | [] -> ()
+      | cols ->
+          Format.fprintf ppf " group by %s"
+            (String.concat ", "
+               (List.map
+                  (fun (q, c) ->
+                    match q with Some q -> q ^ "." ^ c | None -> c)
+                  cols)));
+      (match t.st_order_by with
+      | [] -> ()
+      | keys ->
+          Format.fprintf ppf " order by ";
+          Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+            (fun ppf (e, d) ->
+              Format.fprintf ppf "%a %s" expr e
+                (match d with Asc -> "asc" | Desc -> "desc"))
+            ppf keys);
+      into ppf t.st_into
+  | Set_param { sp_name; sp_value; _ } ->
+      Format.fprintf ppf "set %%%s%% = %a" sp_name lit sp_value
+
+let script ppf stmts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@\n")
+    stmt ppf stmts
+
+let expr_to_string e = Format.asprintf "%a" expr e
+let stmt_to_string s = Format.asprintf "%a" stmt s
+let script_to_string s = Format.asprintf "%a" script s

@@ -1,0 +1,11 @@
+(** Pretty-printing of GraQL ASTs back to concrete syntax. The printed
+    form re-parses to an equal AST (round-trip property tested). *)
+
+val expr : Format.formatter -> Ast.expr -> unit
+val path : Format.formatter -> Ast.path -> unit
+val multipath : Format.formatter -> Ast.multipath -> unit
+val stmt : Format.formatter -> Ast.stmt -> unit
+val script : Format.formatter -> Ast.script -> unit
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val script_to_string : Ast.script -> string

@@ -1,0 +1,72 @@
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | PARAM of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | DOT
+  | COLON
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | DASHDASH
+  | DASHDASHGT
+  | LTDASHDASH
+  | EOF
+
+let to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> Printf.sprintf "%g" f
+  | STRING s -> Printf.sprintf "%S" s
+  | PARAM s -> Printf.sprintf "%%%s%%" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | DOT -> "."
+  | COLON -> ":"
+  | SEMI -> ";"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | DASHDASH -> "--"
+  | DASHDASHGT -> "-->"
+  | LTDASHDASH -> "<--"
+  | EOF -> "<eof>"
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT _ -> "integer literal"
+  | FLOAT _ -> "float literal"
+  | STRING _ -> "string literal"
+  | PARAM s -> Printf.sprintf "parameter %%%s%%" s
+  | EOF -> "end of input"
+  | t -> Printf.sprintf "%S" (to_string t)

@@ -1,0 +1,39 @@
+(** GraQL lexical tokens. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** quoted with single or double quotes *)
+  | PARAM of string  (** [%Name%] query parameter *)
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | DOT
+  | COLON
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  (* path arrows *)
+  | DASHDASH  (** [--] opening an out-edge step *)
+  | DASHDASHGT  (** [-->] closing an out-edge step *)
+  | LTDASHDASH  (** [<--] opening an in-edge step *)
+  | EOF
+
+val to_string : t -> string
+val describe : t -> string
+(** Human form for error messages, e.g. ["identifier"] for [IDENT _]. *)

@@ -1,0 +1,199 @@
+type task = unit -> unit
+
+type t = {
+  size : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else if Queue.is_empty t.queue then begin
+        Condition.wait t.nonempty t.mutex;
+        wait ()
+      end
+      else begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        Some task
+      end
+    in
+    match wait () with
+    | None -> ()
+    | Some task ->
+        (try task () with _ -> () (* exceptions surfaced via the latch *));
+        next ()
+  in
+  next ()
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some n -> max 1 n
+    | None -> min 8 (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  p
+
+(* A countdown latch that also captures the first exception raised by any
+   task, to be re-raised on the submitting domain. *)
+type latch = {
+  mutable remaining : int;
+  mutable error : exn option;
+  lmutex : Mutex.t;
+  done_ : Condition.t;
+}
+
+let run_tasks t tasks =
+  let n = List.length tasks in
+  if n = 0 then ()
+  else begin
+    let latch =
+      { remaining = n; error = None; lmutex = Mutex.create (); done_ = Condition.create () }
+    in
+    let wrap task () =
+      (try task ()
+       with e ->
+         Mutex.lock latch.lmutex;
+         if latch.error = None then latch.error <- Some e;
+         Mutex.unlock latch.lmutex);
+      Mutex.lock latch.lmutex;
+      latch.remaining <- latch.remaining - 1;
+      if latch.remaining = 0 then Condition.broadcast latch.done_;
+      Mutex.unlock latch.lmutex
+    in
+    let wrapped = List.map wrap tasks in
+    (* Keep one task for the calling domain: a single-domain pool still
+       makes progress, and the caller is never idle. *)
+    (match wrapped with
+    | [] -> ()
+    | first :: rest ->
+        Mutex.lock t.mutex;
+        List.iter (fun task -> Queue.push task t.queue) rest;
+        Condition.broadcast t.nonempty;
+        Mutex.unlock t.mutex;
+        first ();
+        (* Help drain the queue while waiting. *)
+        let rec help () =
+          Mutex.lock t.mutex;
+          let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+          Mutex.unlock t.mutex;
+          match task with
+          | Some task ->
+              task ();
+              help ()
+          | None -> ()
+        in
+        help ());
+    Mutex.lock latch.lmutex;
+    while latch.remaining > 0 do
+      Condition.wait latch.done_ latch.lmutex
+    done;
+    let err = latch.error in
+    Mutex.unlock latch.lmutex;
+    match err with Some e -> raise e | None -> ()
+  end
+
+let chunks ?chunk t ~lo ~hi =
+  let n = hi - lo in
+  if n <= 0 then []
+  else
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (4 * t.size))
+    in
+    let rec go acc start =
+      if start >= hi then List.rev acc
+      else
+        let stop = min hi (start + chunk) in
+        go ((start, stop) :: acc) stop
+    in
+    go [] lo
+
+let parallel_for_chunks t ?chunk ~lo ~hi f =
+  match chunks ?chunk t ~lo ~hi with
+  | [] -> ()
+  | [ (clo, chi) ] -> f clo chi
+  | cs -> run_tasks t (List.map (fun (clo, chi) () -> f clo chi) cs)
+
+let parallel_for t ?chunk ~lo ~hi f =
+  parallel_for_chunks t ?chunk ~lo ~hi (fun clo chi ->
+      for i = clo to chi - 1 do f i done)
+
+let parallel_map_array t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f a.(0)) in
+    (* Index 0 already computed above to seed the output array. *)
+    parallel_for t ~lo:1 ~hi:n (fun i -> out.(i) <- f a.(i));
+    out
+  end
+
+let parallel_reduce t ~init ~body ~merge ~lo ~hi =
+  let cs = Array.of_list (chunks t ~lo ~hi) in
+  let n = Array.length cs in
+  if n = 0 then init ()
+  else begin
+    let results = Array.make n None in
+    let tasks =
+      Array.to_list
+        (Array.mapi
+           (fun idx (clo, chi) () ->
+             let acc = init () in
+             for i = clo to chi - 1 do body acc i done;
+             results.(idx) <- Some acc)
+           cs)
+    in
+    run_tasks t tasks;
+    let get i = match results.(i) with Some a -> a | None -> assert false in
+    let acc = ref (get 0) in
+    for i = 1 to n - 1 do acc := merge !acc (get i) done;
+    !acc
+  end

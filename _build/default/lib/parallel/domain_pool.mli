@@ -1,0 +1,46 @@
+(** Persistent fork-join pool over OCaml 5 domains.
+
+    This is the "backend cluster" substrate: GEMS executes scans, joins and
+    traversals shard-parallel across compute nodes; here the same roles are
+    played by domains in one address space. The pool is created once and
+    reused — spawning domains per operation would dominate query times. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] starts [domains - 1] worker domains (the caller
+    counts as one). Defaults to [Domain.recommended_domain_count ()],
+    capped at 8. *)
+
+val size : t -> int
+(** Total parallelism including the calling domain. *)
+
+val shutdown : t -> unit
+(** Join all workers. The pool must not be used afterwards. *)
+
+val default : unit -> t
+(** Lazily-created process-wide pool. *)
+
+val run_tasks : t -> (unit -> unit) list -> unit
+(** Run the tasks to completion, in parallel; re-raises the first exception
+    observed (after all tasks finish). *)
+
+val parallel_for : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] applies [f] to every index in [lo, hi).
+    [chunk] bounds scheduling overhead; default splits into ~4 chunks per
+    worker. *)
+
+val parallel_for_chunks :
+  t -> ?chunk:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for_chunks pool ~lo ~hi f] invokes [f clo chi] on disjoint
+    subranges covering [lo, hi); each call runs on one worker, letting the
+    caller keep per-chunk accumulators. *)
+
+val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val parallel_reduce :
+  t -> init:(unit -> 'acc) -> body:('acc -> int -> unit) ->
+  merge:('acc -> 'acc -> 'acc) -> lo:int -> hi:int -> 'acc
+(** Chunked reduction: each chunk folds into a private accumulator created
+    by [init]; accumulators are merged in chunk order, so the result is
+    deterministic whenever [merge] is associative. *)

@@ -1,0 +1,1 @@
+lib/relational/aggregate.ml: Array Graql_storage Hashtbl List String

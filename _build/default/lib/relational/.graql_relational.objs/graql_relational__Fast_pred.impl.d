@@ -1,0 +1,1 @@
+lib/relational/fast_pred.ml: Graql_storage Option Row_expr

@@ -1,0 +1,1 @@
+lib/relational/fast_pred.mli: Graql_storage Row_expr

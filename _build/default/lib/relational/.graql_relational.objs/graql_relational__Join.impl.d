@@ -1,0 +1,1 @@
+lib/relational/join.ml: Array Graql_storage Graql_util Hashtbl List Option String

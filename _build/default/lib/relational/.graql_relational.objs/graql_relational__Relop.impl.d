@@ -1,0 +1,1 @@
+lib/relational/relop.ml: Array Fast_pred Graql_parallel Graql_storage Graql_util Hashtbl List Printf Row_expr

@@ -1,0 +1,1 @@
+lib/relational/relop.mli: Graql_parallel Graql_storage Row_expr

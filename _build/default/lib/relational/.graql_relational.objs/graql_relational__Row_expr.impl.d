@@ -1,0 +1,1 @@
+lib/relational/row_expr.ml: Float Format Graql_storage List Printf String

@@ -1,0 +1,1 @@
+lib/relational/row_expr.mli: Format Graql_storage

@@ -1,0 +1,149 @@
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Schema = Graql_storage.Schema
+module Dtype = Graql_storage.Dtype
+
+type agg =
+  | Count_star
+  | Count of int
+  | Sum of int
+  | Avg of int
+  | Min of int
+  | Max of int
+
+type state = {
+  mutable count : int;
+  mutable sum_i : int;
+  mutable sum_f : float;
+  mutable saw_float : bool;
+  mutable min_v : Value.t;
+  mutable max_v : Value.t;
+}
+
+let fresh_state () =
+  {
+    count = 0;
+    sum_i = 0;
+    sum_f = 0.0;
+    saw_float = false;
+    min_v = Value.Null;
+    max_v = Value.Null;
+  }
+
+let feed st v =
+  if v <> Value.Null then begin
+    st.count <- st.count + 1;
+    (match v with
+    | Value.Int i -> st.sum_i <- st.sum_i + i
+    | Value.Float f ->
+        st.saw_float <- true;
+        st.sum_f <- st.sum_f +. f
+    | _ -> ());
+    if st.min_v = Value.Null || Value.compare v st.min_v < 0 then st.min_v <- v;
+    if st.max_v = Value.Null || Value.compare v st.max_v > 0 then st.max_v <- v
+  end
+
+let sum_value st =
+  if st.count = 0 then Value.Null
+  else if st.saw_float then Value.Float (st.sum_f +. float_of_int st.sum_i)
+  else Value.Int st.sum_i
+
+let finish agg (star_count, st) =
+  match agg with
+  | Count_star -> Value.Int star_count
+  | Count _ -> Value.Int st.count
+  | Sum _ -> sum_value st
+  | Avg _ ->
+      if st.count = 0 then Value.Null
+      else
+        let total = st.sum_f +. float_of_int st.sum_i in
+        Value.Float (total /. float_of_int st.count)
+  | Min _ -> st.min_v
+  | Max _ -> st.max_v
+
+let source_col = function
+  | Count_star -> None
+  | Count c | Sum c | Avg c | Min c | Max c -> Some c
+
+let output_dtype table agg =
+  let schema = Table.schema table in
+  match agg with
+  | Count_star | Count _ -> Dtype.Int
+  | Avg _ -> Dtype.Float
+  | Sum c -> Schema.col_dtype schema c
+  | Min c | Max c -> Schema.col_dtype schema c
+
+let group_by ?name table ~keys ~aggs =
+  let schema = Table.schema table in
+  let out_cols =
+    List.map
+      (fun k ->
+        { Schema.name = Schema.col_name schema k; dtype = Schema.col_dtype schema k })
+      keys
+    @ List.map
+        (fun (agg, alias) -> { Schema.name = alias; dtype = output_dtype table agg })
+        aggs
+  in
+  let out_schema = Schema.make out_cols in
+  let name = match name with Some n -> n | None -> Table.name table in
+  let out = Table.create ~name out_schema in
+  (* group key -> (key values, star count ref, per-agg states) *)
+  let groups : (string, Value.t array * int ref * state array) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let order = ref [] in
+  let nagg = List.length aggs in
+  let agg_arr = Array.of_list (List.map fst aggs) in
+  Table.iter_rows
+    (fun r ->
+      let kvals =
+        Array.of_list (List.map (fun k -> Table.get table ~row:r ~col:k) keys)
+      in
+      let key =
+        String.concat "\x00"
+          (Array.to_list (Array.map Value.to_string kvals))
+      in
+      let _, star, states =
+        match Hashtbl.find_opt groups key with
+        | Some g -> g
+        | None ->
+            let g = (kvals, ref 0, Array.init nagg (fun _ -> fresh_state ())) in
+            Hashtbl.add groups key g;
+            order := key :: !order;
+            g
+      in
+      incr star;
+      Array.iteri
+        (fun i agg ->
+          match source_col agg with
+          | Some c -> feed states.(i) (Table.get table ~row:r ~col:c)
+          | None -> ())
+        agg_arr)
+    table;
+  let emit key =
+    let kvals, star, states = Hashtbl.find groups key in
+    let aggvals =
+      Array.mapi (fun i agg -> finish agg (!star, states.(i))) agg_arr
+    in
+    Table.append_row_array out (Array.append kvals aggvals)
+  in
+  if keys = [] && Hashtbl.length groups = 0 then begin
+    (* Global aggregate over empty input: one all-default row. *)
+    let states = Array.init nagg (fun _ -> fresh_state ()) in
+    let aggvals = Array.mapi (fun i agg -> finish agg (0, states.(i))) agg_arr in
+    Table.append_row_array out aggvals
+  end
+  else List.iter emit (List.rev !order);
+  out
+
+let scalar table agg =
+  let star = ref 0 in
+  let st = fresh_state () in
+  Table.iter_rows
+    (fun r ->
+      incr star;
+      match source_col agg with
+      | Some c -> feed st (Table.get table ~row:r ~col:c)
+      | None -> ())
+    table;
+  finish agg (!star, st)

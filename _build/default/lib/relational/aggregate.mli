@@ -1,0 +1,29 @@
+(** Grouped and global aggregation: count / sum / avg / min / max
+    (Table I). *)
+
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+
+type agg =
+  | Count_star
+  | Count of int  (** non-null count of a column *)
+  | Sum of int
+  | Avg of int
+  | Min of int
+  | Max of int
+
+val output_dtype : Table.t -> agg -> Graql_storage.Dtype.t
+
+val group_by :
+  ?name:string ->
+  Table.t ->
+  keys:int list ->
+  aggs:(agg * string) list ->
+  Table.t
+(** One output row per distinct key combination (first-seen order), with
+    the key columns followed by one column per aggregate. With [keys = []]
+    behaves as a single global group (one row even over an empty input,
+    matching SQL). *)
+
+val scalar : Table.t -> agg -> Value.t
+(** Global aggregate over the whole table. *)

@@ -1,0 +1,132 @@
+module Table = Graql_storage.Table
+module Column = Graql_storage.Column
+module Value = Graql_storage.Value
+module Dtype = Graql_storage.Dtype
+
+(* Three-valued result, SQL-style. *)
+type tri = T | F | N
+
+let tri_and a b =
+  match (a, b) with
+  | F, _ | _, F -> F
+  | T, T -> T
+  | _ -> N
+
+let tri_or a b =
+  match (a, b) with
+  | T, _ | _, T -> T
+  | F, F -> F
+  | _ -> N
+
+let tri_not = function T -> F | F -> T | N -> N
+
+let rec compilable = function
+  | Row_expr.Cmp (_, Row_expr.Col _, Row_expr.Const _)
+  | Row_expr.Cmp (_, Row_expr.Const _, Row_expr.Col _) ->
+      true
+  | Row_expr.IsNull (Row_expr.Col _) -> true
+  | Row_expr.Const _ -> true
+  | Row_expr.And (a, b) | Row_expr.Or (a, b) -> compilable a && compilable b
+  | Row_expr.Not a -> compilable a
+  | Row_expr.Col _ | Row_expr.Cmp _ | Row_expr.Arith _ | Row_expr.IsNull _
+  | Row_expr.Like _ ->
+      false
+
+(* One flat closure per operator: no inner test-closure indirection on
+   the per-row path. *)
+let int_atom c op k =
+  let open Row_expr in
+  match op with
+  | Eq -> fun row -> if Column.is_null c row then N else if Column.get_int c row = k then T else F
+  | Ne -> fun row -> if Column.is_null c row then N else if Column.get_int c row <> k then T else F
+  | Lt -> fun row -> if Column.is_null c row then N else if Column.get_int c row < k then T else F
+  | Le -> fun row -> if Column.is_null c row then N else if Column.get_int c row <= k then T else F
+  | Gt -> fun row -> if Column.is_null c row then N else if Column.get_int c row > k then T else F
+  | Ge -> fun row -> if Column.is_null c row then N else if Column.get_int c row >= k then T else F
+
+let float_atom c op k =
+  let open Row_expr in
+  match op with
+  | Eq -> fun row -> if Column.is_null c row then N else if Column.get_float c row = k then T else F
+  | Ne -> fun row -> if Column.is_null c row then N else if Column.get_float c row <> k then T else F
+  | Lt -> fun row -> if Column.is_null c row then N else if Column.get_float c row < k then T else F
+  | Le -> fun row -> if Column.is_null c row then N else if Column.get_float c row <= k then T else F
+  | Gt -> fun row -> if Column.is_null c row then N else if Column.get_float c row > k then T else F
+  | Ge -> fun row -> if Column.is_null c row then N else if Column.get_float c row >= k then T else F
+
+let flip op =
+  match op with
+  | Row_expr.Lt -> Row_expr.Gt
+  | Row_expr.Gt -> Row_expr.Lt
+  | Row_expr.Le -> Row_expr.Ge
+  | Row_expr.Ge -> Row_expr.Le
+  | (Row_expr.Eq | Row_expr.Ne) as op -> op
+
+(* Compile one column-vs-constant comparison to a tri-valued row test. *)
+let atom table op col const : (int -> tri) option =
+  if col < 0 || col >= Table.arity table then None
+  else
+    let c = Table.column table col in
+    match (Column.dtype c, const) with
+    | Dtype.Int, Value.Int k | Dtype.Date, Value.Date k ->
+        Some (int_atom c op k)
+    | Dtype.Int, Value.Float _ | Dtype.Float, (Value.Int _ | Value.Float _) ->
+        (* Generic evaluation compares Int and Float numerically. Date vs
+           Int/Float is NOT numeric there (distinct ranks), so those
+           combinations fall back to the generic path. *)
+        Some (float_atom c op (Value.as_float const))
+    | Dtype.Bool, Value.Bool b -> (
+        let k = if b then 1 else 0 in
+        match op with
+        | Row_expr.Eq | Row_expr.Ne -> Some (int_atom c op k)
+        | _ -> None)
+    | Dtype.Varchar _, Value.Str s -> (
+        (* Equality against a constant resolves to one dictionary id. *)
+        match op with
+        | Row_expr.Eq -> (
+            match Column.intern_id c s with
+            | Some id -> Some (int_atom c Row_expr.Eq id)
+            | None -> Some (fun row -> if Column.is_null c row then N else F))
+        | Row_expr.Ne -> (
+            match Column.intern_id c s with
+            | Some id -> Some (int_atom c Row_expr.Ne id)
+            | None -> Some (fun row -> if Column.is_null c row then N else T))
+        | _ ->
+            (* Ordered comparisons need string order, which dictionary ids
+               do not preserve: fall back. *)
+            None)
+    | _, Value.Null -> Some (fun _ -> N)
+    | _ -> None
+
+let rec compile_tri table expr : (int -> tri) option =
+  match expr with
+  | Row_expr.Const (Value.Bool true) -> Some (fun _ -> T)
+  | Row_expr.Const (Value.Bool false) -> Some (fun _ -> F)
+  | Row_expr.Const Value.Null -> Some (fun _ -> N)
+  | Row_expr.Const _ -> None
+  | Row_expr.Cmp (op, Row_expr.Col i, Row_expr.Const v) -> atom table op i v
+  | Row_expr.Cmp (op, Row_expr.Const v, Row_expr.Col i) ->
+      atom table (flip op) i v
+  | Row_expr.IsNull (Row_expr.Col i) ->
+      if i < 0 || i >= Table.arity table then None
+      else
+        let c = Table.column table i in
+        Some (fun row -> if Column.is_null c row then T else F)
+  | Row_expr.And (a, b) -> (
+      match (compile_tri table a, compile_tri table b) with
+      | Some fa, Some fb -> Some (fun row -> tri_and (fa row) (fb row))
+      | _ -> None)
+  | Row_expr.Or (a, b) -> (
+      match (compile_tri table a, compile_tri table b) with
+      | Some fa, Some fb -> Some (fun row -> tri_or (fa row) (fb row))
+      | _ -> None)
+  | Row_expr.Not a ->
+      Option.map (fun fa row -> tri_not (fa row)) (compile_tri table a)
+  | Row_expr.Col _ | Row_expr.Cmp _ | Row_expr.Arith _ | Row_expr.IsNull _
+  | Row_expr.Like _ ->
+      None
+
+let compile table expr =
+  Option.map
+    (fun f row -> match f row with T -> true | F | N -> false)
+    (compile_tri table expr)

@@ -1,0 +1,25 @@
+(** Fast-path predicate compilation for table scans.
+
+    The generic evaluator boxes every cell into a {!Graql_storage.Value.t}.
+    For the common predicate shapes — comparisons of a column against a
+    constant, combined with and/or/not, plus null tests — this module
+    compiles to a closure reading unboxed column payloads directly:
+    ints/dates compare as ints, dictionary-encoded strings compare as
+    dictionary ids (equality resolved to one id at compile time), floats as
+    floats. Null semantics follow SQL three-valued logic exactly (verified
+    by a property test against the generic evaluator).
+
+    [compile] returns [None] when the expression uses a feature outside the
+    fast fragment (arithmetic, LIKE, column-to-column comparison); callers
+    fall back to {!Row_expr.eval}. *)
+
+val compile :
+  Graql_storage.Table.t -> Row_expr.t -> (int -> bool) option
+(** [compile table pred] — the closure takes a row id and answers whether
+    the predicate is definitely true ([Null] counts as false, as in a SQL
+    [where]). *)
+
+val compilable : Row_expr.t -> bool
+(** Whether the expression falls inside the fast fragment (for tests and
+    planners; [compile] may still return [None] if column types don't
+    cooperate). *)

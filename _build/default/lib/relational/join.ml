@@ -1,0 +1,140 @@
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Schema = Graql_storage.Schema
+module Int_vec = Graql_util.Int_vec
+
+(* Join keys as value-string tuples. Dictionary ids are per-column, so we
+   can't compare raw ints across tables; canonical display strings are a
+   correct, simple key. Null appears as a distinguished constructor and is
+   filtered before insertion/probe. *)
+let key_of table cols r =
+  let parts =
+    List.map
+      (fun c ->
+        let v = Table.get table ~row:r ~col:c in
+        if v = Value.Null then None else Some (Value.to_string v))
+      cols
+  in
+  if List.exists Option.is_none parts then None
+  else Some (String.concat "\x00" (List.map Option.get parts))
+
+let build_side left right on =
+  (* Returns (build table, build cols, probe table, probe cols, swapped). *)
+  if Table.nrows left <= Table.nrows right then
+    (left, List.map fst on, right, List.map snd on, false)
+  else (right, List.map snd on, left, List.map fst on, true)
+
+(* Single-column equi-joins on int-payload columns (Int, Date, and
+   dictionary-encoded Varchar) hash raw ints instead of building string
+   keys — this is the hot path of edge-view construction. [translate]
+   maps a probe-side payload to the build side's id space (identity for
+   Int/Date; dictionary translation for Varchar). *)
+let int_join_pairs ~build ~bcol ~probe ~pcol ~swapped ~translate =
+  let bc = Table.column build bcol and pc = Table.column probe pcol in
+  let index : (int, int) Hashtbl.t = Hashtbl.create (max 16 (Table.nrows build)) in
+  Table.iter_rows
+    (fun r ->
+      if not (Graql_storage.Column.is_null bc r) then
+        Hashtbl.add index (Graql_storage.Column.get_int bc r) r)
+    build;
+  let out = ref [] in
+  Table.iter_rows
+    (fun r ->
+      if not (Graql_storage.Column.is_null pc r) then
+        match translate (Graql_storage.Column.get_int pc r) with
+        | None -> ()
+        | Some k ->
+            List.iter
+              (fun b -> out := (if swapped then (r, b) else (b, r)) :: !out)
+              (List.rev (Hashtbl.find_all index k)))
+    probe;
+  Array.of_list (List.rev !out)
+
+let join_pairs ~left ~right ~on =
+  let build, bcols, probe, pcols, swapped = build_side left right on in
+  let fast =
+    match (bcols, pcols) with
+    | [ bcol ], [ pcol ] -> (
+        let bc = Table.column build bcol and pc = Table.column probe pcol in
+        let open Graql_storage.Dtype in
+        match (Graql_storage.Column.dtype bc, Graql_storage.Column.dtype pc) with
+        | Int, Int | Date, Date ->
+            Some
+              (int_join_pairs ~build ~bcol ~probe ~pcol ~swapped
+                 ~translate:Option.some)
+        | Varchar _, Varchar _ ->
+            (* Dictionary ids are per-column: translate probe ids into the
+               build column's id space, memoized per distinct probe id. *)
+            let memo : (int, int option) Hashtbl.t = Hashtbl.create 256 in
+            let translate pid =
+              match Hashtbl.find_opt memo pid with
+              | Some hit -> hit
+              | None ->
+                  let hit =
+                    Graql_storage.Column.intern_id bc
+                      (Graql_storage.Column.dict_lookup pc pid)
+                  in
+                  Hashtbl.replace memo pid hit;
+                  hit
+            in
+            Some (int_join_pairs ~build ~bcol ~probe ~pcol ~swapped ~translate)
+        | _ -> None)
+    | _ -> None
+  in
+  match fast with
+  | Some pairs -> pairs
+  | None ->
+      let index = Hashtbl.create (max 16 (Table.nrows build)) in
+      Table.iter_rows
+        (fun r ->
+          match key_of build bcols r with
+          | Some k -> Hashtbl.add index k r
+          | None -> ())
+        build;
+      let out = ref [] in
+      Table.iter_rows
+        (fun r ->
+          match key_of probe pcols r with
+          | Some k ->
+              (* Hashtbl.find_all returns most-recently-added first;
+                 reverse for build-row order. *)
+              List.iter
+                (fun b -> out := (if swapped then (r, b) else (b, r)) :: !out)
+                (List.rev (Hashtbl.find_all index k))
+          | None -> ())
+        probe;
+      Array.of_list (List.rev !out)
+
+let hash_join ?pool:_ ?name ~left ~right ~on () =
+  let pairs = join_pairs ~left ~right ~on in
+  let out_schema = Schema.concat (Table.schema left) (Table.schema right) in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Table.name left ^ "_join_" ^ Table.name right
+  in
+  let out = Table.create ~name out_schema in
+  Array.iter
+    (fun (l, r) ->
+      Table.append_row_array out
+        (Array.append (Table.row left l) (Table.row right r)))
+    pairs;
+  out
+
+let semi_join_left ~left ~right ~on =
+  let rcols = List.map snd on and lcols = List.map fst on in
+  let keys = Hashtbl.create (max 16 (Table.nrows right)) in
+  Table.iter_rows
+    (fun r ->
+      match key_of right rcols r with
+      | Some k -> Hashtbl.replace keys k ()
+      | None -> ())
+    right;
+  let out = Int_vec.create () in
+  Table.iter_rows
+    (fun r ->
+      match key_of left lcols r with
+      | Some k -> if Hashtbl.mem keys k then Int_vec.push out r
+      | None -> ())
+    left;
+  Int_vec.to_array out

@@ -1,0 +1,26 @@
+(** Equi-joins between tables. The building block behind edge-view
+    creation (Eq. 2: S ⋈ σ(A) ⋈ T) and the relational half of GraQL. *)
+
+module Table = Graql_storage.Table
+
+val hash_join :
+  ?pool:Graql_parallel.Domain_pool.t ->
+  ?name:string ->
+  left:Table.t ->
+  right:Table.t ->
+  on:(int * int) list ->
+  unit ->
+  Table.t
+(** Inner equi-join: [on] pairs (left column, right column). Output schema
+    is the concatenation (right-hand name clashes suffixed). Null keys
+    never join (SQL semantics). Builds the hash table on the smaller
+    input; probe order follows the larger input's row order, so output is
+    deterministic. *)
+
+val join_pairs :
+  left:Table.t -> right:Table.t -> on:(int * int) list -> (int * int) array
+(** Matching (left row, right row) pairs without materializing. *)
+
+val semi_join_left :
+  left:Table.t -> right:Table.t -> on:(int * int) list -> int array
+(** Left rows that have at least one match. *)

@@ -1,0 +1,151 @@
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Schema = Graql_storage.Schema
+module Pool = Graql_parallel.Domain_pool
+module Int_vec = Graql_util.Int_vec
+
+let select_indices ?pool table pred =
+  let n = Table.nrows table in
+  (* Column-vs-constant predicates compile to an unboxed fast path; the
+     generic evaluator is the fallback (Fast_pred is property-tested
+     equivalent). *)
+  let row_test =
+    match Fast_pred.compile table pred with
+    | Some fast -> fast
+    | None ->
+        fun i ->
+          let get c = Table.get table ~row:i ~col:c in
+          Row_expr.eval_bool get pred
+  in
+  let eval_range lo hi out =
+    for i = lo to hi - 1 do
+      if row_test i then Int_vec.push out i
+    done
+  in
+  match pool with
+  | Some pool when n >= 4096 ->
+      let acc =
+        Pool.parallel_reduce pool
+          ~init:(fun () -> Int_vec.create ())
+          ~body:(fun out i -> if row_test i then Int_vec.push out i)
+          ~merge:(fun a b ->
+            Int_vec.append a b;
+            a)
+          ~lo:0 ~hi:n
+      in
+      Int_vec.to_array acc
+  | Some _ | None ->
+      let out = Int_vec.create () in
+      eval_range 0 n out;
+      Int_vec.to_array out
+
+let materialize ?name table rows =
+  let name = match name with Some n -> n | None -> Table.name table in
+  let out = Table.create ~name (Table.schema table) in
+  Array.iter (fun r -> Table.append_row_array out (Table.row table r)) rows;
+  out
+
+let select ?pool ?name table pred =
+  materialize ?name table (select_indices ?pool table pred)
+
+let project ?name table cols =
+  let schema = Table.schema table in
+  let out_schema =
+    Schema.make
+      (List.map
+         (fun c ->
+           { Schema.name = Schema.col_name schema c; dtype = Schema.col_dtype schema c })
+         cols)
+  in
+  let name = match name with Some n -> n | None -> Table.name table in
+  let out = Table.create ~name out_schema in
+  let cols = Array.of_list cols in
+  Table.iter_rows
+    (fun r ->
+      Table.append_row_array out
+        (Array.map (fun c -> Table.get table ~row:r ~col:c) cols))
+    table;
+  out
+
+let project_named ?name table specs =
+  let out_schema =
+    Schema.make
+      (List.map (fun (n, dt, _) -> { Schema.name = n; dtype = dt }) specs)
+  in
+  let name = match name with Some n -> n | None -> Table.name table in
+  let out = Table.create ~name out_schema in
+  let exprs = Array.of_list (List.map (fun (_, _, e) -> e) specs) in
+  Table.iter_rows
+    (fun r ->
+      let get c = Table.get table ~row:r ~col:c in
+      Table.append_row_array out (Array.map (Row_expr.eval get) exprs))
+    table;
+  out
+
+(* Row-equality hashing for distinct / group by: hash the value tuple. *)
+let row_key table r =
+  Array.map Value.to_string (Table.row table r) |> Array.to_list
+
+let distinct ?name table =
+  let seen = Hashtbl.create 256 in
+  let keep = Int_vec.create () in
+  Table.iter_rows
+    (fun r ->
+      let key = row_key table r in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        Int_vec.push keep r
+      end)
+    table;
+  materialize ?name table (Int_vec.to_array keep)
+
+type dir = Asc | Desc
+
+let compare_rows table keys a b =
+  let rec go = function
+    | [] -> compare a b (* stability by row id *)
+    | (col, dir) :: rest ->
+        let va = Table.get table ~row:a ~col
+        and vb = Table.get table ~row:b ~col in
+        let c = Value.compare va vb in
+        let c = match dir with Asc -> c | Desc -> -c in
+        if c <> 0 then c else go rest
+  in
+  go keys
+
+let order_by ?name table keys =
+  let n = Table.nrows table in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (compare_rows table keys) idx;
+  materialize ?name table idx
+
+let top_n ?name table ~n ~keys =
+  (* Keep the n smallest under the requested ordering: invert the
+     comparison for the max-keeping heap. *)
+  let cmp a b = compare_rows table keys b a in
+  let heap = Graql_util.Topk.create ~k:n ~cmp in
+  Table.iter_rows (fun r -> Graql_util.Topk.add heap r) table;
+  materialize ?name table (Array.of_list (Graql_util.Topk.to_sorted_list heap))
+
+let limit ?name table n =
+  let n = min n (Table.nrows table) in
+  materialize ?name table (Array.init n (fun i -> i))
+
+let union_all ?name a b =
+  let sa = Table.schema a and sb = Table.schema b in
+  if Schema.arity sa <> Schema.arity sb then
+    failwith "union: arity mismatch";
+  Array.iteri
+    (fun i ca ->
+      let cb = (Schema.cols sb).(i) in
+      if not (Graql_storage.Dtype.compatible ca.Schema.dtype cb.Schema.dtype) then
+        failwith
+          (Printf.sprintf "union: column %d type mismatch (%s vs %s)" i
+             (Graql_storage.Dtype.to_string ca.Schema.dtype)
+             (Graql_storage.Dtype.to_string cb.Schema.dtype)))
+    (Schema.cols sa);
+  let name = match name with Some n -> n | None -> Table.name a in
+  let out = Table.create ~name sa in
+  Table.iter_rows (fun r -> Table.append_row_array out (Table.row a r)) a;
+  Table.iter_rows (fun r -> Table.append_row_array out (Table.row b r)) b;
+  out

@@ -1,0 +1,169 @@
+module Value = Graql_storage.Value
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div | Mod
+
+type t =
+  | Const of Value.t
+  | Col of int
+  | Cmp of cmp * t * t
+  | Arith of arith * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | IsNull of t
+  | Like of t * string
+
+let const_true = Const (Value.Bool true)
+
+(* LIKE patterns: '%' = any sequence, '_' = any char. Simple backtracking
+   matcher; patterns in queries are short. *)
+let like_match pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go p i =
+    if p >= np then i >= ns
+    else
+      match pattern.[p] with
+      | '%' ->
+          let rec try_from j = j <= ns && (go (p + 1) j || try_from (j + 1)) in
+          try_from i
+      | '_' -> i < ns && go (p + 1) (i + 1)
+      | c -> i < ns && s.[i] = c && go (p + 1) (i + 1)
+  in
+  go 0 0
+
+let apply_cmp op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ ->
+      let c = Value.compare a b in
+      let r =
+        match op with
+        | Eq -> c = 0
+        | Ne -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+      in
+      Value.Bool r
+
+let apply_arith op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+      match op with
+      | Add -> Value.Int (x + y)
+      | Sub -> Value.Int (x - y)
+      | Mul -> Value.Int (x * y)
+      | Div -> if y = 0 then Value.Null else Value.Int (x / y)
+      | Mod -> if y = 0 then Value.Null else Value.Int (x mod y))
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+      let x = Value.as_float a and y = Value.as_float b in
+      (match op with
+      | Add -> Value.Float (x +. y)
+      | Sub -> Value.Float (x -. y)
+      | Mul -> Value.Float (x *. y)
+      | Div -> if y = 0.0 then Value.Null else Value.Float (x /. y)
+      | Mod -> if y = 0.0 then Value.Null else Value.Float (Float.rem x y))
+  | Value.Date d, Value.Int n -> (
+      match op with
+      | Add -> Value.Date (d + n)
+      | Sub -> Value.Date (d - n)
+      | Mul | Div | Mod -> failwith "invalid arithmetic on date")
+  | Value.Str x, Value.Str y when op = Add -> Value.Str (x ^ y)
+  | _ ->
+      failwith
+        (Printf.sprintf "invalid arithmetic operands: %s, %s"
+           (Value.to_string a) (Value.to_string b))
+
+let is_true = function Value.Bool true -> true | _ -> false
+
+let rec eval get e =
+  match e with
+  | Const v -> v
+  | Col i -> get i
+  | Cmp (op, a, b) -> apply_cmp op (eval get a) (eval get b)
+  | Arith (op, a, b) -> apply_arith op (eval get a) (eval get b)
+  | And (a, b) -> (
+      (* 3VL and: false dominates Null. *)
+      match eval get a with
+      | Value.Bool false -> Value.Bool false
+      | Value.Bool true -> eval get b
+      | Value.Null -> (
+          match eval get b with
+          | Value.Bool false -> Value.Bool false
+          | _ -> Value.Null)
+      | v -> failwith ("non-boolean operand to and: " ^ Value.to_string v))
+  | Or (a, b) -> (
+      match eval get a with
+      | Value.Bool true -> Value.Bool true
+      | Value.Bool false -> eval get b
+      | Value.Null -> (
+          match eval get b with
+          | Value.Bool true -> Value.Bool true
+          | _ -> Value.Null)
+      | v -> failwith ("non-boolean operand to or: " ^ Value.to_string v))
+  | Not a -> (
+      match eval get a with
+      | Value.Bool b -> Value.Bool (not b)
+      | Value.Null -> Value.Null
+      | v -> failwith ("non-boolean operand to not: " ^ Value.to_string v))
+  | IsNull a -> Value.Bool (eval get a = Value.Null)
+  | Like (a, pattern) -> (
+      match eval get a with
+      | Value.Null -> Value.Null
+      | Value.Str s -> Value.Bool (like_match pattern s)
+      | v -> failwith ("non-string operand to like: " ^ Value.to_string v))
+
+let eval_bool get e = is_true (eval get e)
+
+let columns e =
+  let acc = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Col i -> acc := i :: !acc
+    | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+        go a;
+        go b
+    | Not a | IsNull a | Like (a, _) -> go a
+  in
+  go e;
+  List.sort_uniq compare !acc
+
+let rec map_columns f = function
+  | Const v -> Const v
+  | Col i -> Col (f i)
+  | Cmp (op, a, b) -> Cmp (op, map_columns f a, map_columns f b)
+  | Arith (op, a, b) -> Arith (op, map_columns f a, map_columns f b)
+  | And (a, b) -> And (map_columns f a, map_columns f b)
+  | Or (a, b) -> Or (map_columns f a, map_columns f b)
+  | Not a -> Not (map_columns f a)
+  | IsNull a -> IsNull (map_columns f a)
+  | Like (a, p) -> Like (map_columns f a, p)
+
+let cmp_str = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let arith_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Col i -> Format.fprintf ppf "$%d" i
+  | Cmp (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (cmp_str op) pp b
+  | Arith (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (arith_str op) pp b
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(not %a)" pp a
+  | IsNull a -> Format.fprintf ppf "(%a is null)" pp a
+  | Like (a, p) -> Format.fprintf ppf "(%a like %S)" pp a p

@@ -1,0 +1,39 @@
+(** Scalar expressions evaluated against one row of a table (or of a
+    binding relation). This is the compiled form of GraQL condition
+    expressions — both relational [where] clauses and graph step
+    conditions lower to this type.
+
+    Comparison with SQL three-valued logic: any comparison or arithmetic
+    over Null yields Null; [is_true] maps Null to false. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div | Mod
+
+type t =
+  | Const of Graql_storage.Value.t
+  | Col of int  (** column index in the row being evaluated *)
+  | Cmp of cmp * t * t
+  | Arith of arith * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | IsNull of t
+  | Like of t * string
+      (** SQL LIKE with [%] and [_] wildcards, pre-compiled. *)
+
+val eval : (int -> Graql_storage.Value.t) -> t -> Graql_storage.Value.t
+(** [eval get e] evaluates [e] where [get i] reads column [i]. *)
+
+val is_true : Graql_storage.Value.t -> bool
+(** Truthiness under three-valued logic: [Bool true] only. *)
+
+val eval_bool : (int -> Graql_storage.Value.t) -> t -> bool
+
+val columns : t -> int list
+(** Sorted, deduplicated referenced column indices. *)
+
+val map_columns : (int -> int) -> t -> t
+(** Re-index column references (used when lowering onto join layouts). *)
+
+val const_true : t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/storage/column.ml: Array Bytes Char Dtype Graql_util Printf String Value

@@ -1,0 +1,1 @@
+lib/storage/column.mli: Dtype Value

@@ -1,0 +1,1 @@
+lib/storage/csv.ml: Array Buffer List Printf Schema String Table Value

@@ -1,0 +1,1 @@
+lib/storage/dtype.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Column Format Graql_util List Printf Schema Value

@@ -1,0 +1,1 @@
+lib/storage/table_catalog.ml: Hashtbl List Option Printf String Table

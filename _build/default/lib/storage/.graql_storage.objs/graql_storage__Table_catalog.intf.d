@@ -1,0 +1,1 @@
+lib/storage/table_catalog.mli: Table

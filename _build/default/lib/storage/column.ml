@@ -1,0 +1,174 @@
+type payload =
+  | Ints of { mutable data : int array }
+  | Floats of { mutable data : float array }
+
+type t = {
+  dtype : Dtype.t;
+  mutable len : int;
+  payload : payload;
+  dict : Graql_util.Intern.t option;
+  mutable nulls : Bytes.t; (* bitmap, grows with the column *)
+  mutable any_null : bool;
+}
+
+let create dtype =
+  let payload =
+    match dtype with
+    | Dtype.Float -> Floats { data = Array.make 16 0.0 }
+    | Dtype.Bool | Dtype.Int | Dtype.Date | Dtype.Varchar _ ->
+        Ints { data = Array.make 16 0 }
+  in
+  let dict =
+    match dtype with
+    | Dtype.Varchar _ -> Some (Graql_util.Intern.create ())
+    | _ -> None
+  in
+  { dtype; len = 0; payload; dict; nulls = Bytes.make 2 '\000'; any_null = false }
+
+let dtype t = t.dtype
+let length t = t.len
+
+let grow_ints r n =
+  if n > Array.length r then begin
+    let cap = ref (Array.length r) in
+    while !cap < n do cap := !cap * 2 done;
+    let data = Array.make !cap 0 in
+    Array.blit r 0 data 0 (Array.length r);
+    data
+  end
+  else r
+
+let grow_floats r n =
+  if n > Array.length r then begin
+    let cap = ref (Array.length r) in
+    while !cap < n do cap := !cap * 2 done;
+    let data = Array.make !cap 0.0 in
+    Array.blit r 0 data 0 (Array.length r);
+    data
+  end
+  else r
+
+let ensure_nulls t n =
+  let need = (n + 7) lsr 3 in
+  if need > Bytes.length t.nulls then begin
+    let cap = ref (Bytes.length t.nulls) in
+    while !cap < need do cap := !cap * 2 done;
+    let nulls = Bytes.make !cap '\000' in
+    Bytes.blit t.nulls 0 nulls 0 (Bytes.length t.nulls);
+    t.nulls <- nulls
+  end
+
+let set_null_bit t i =
+  ensure_nulls t (i + 1);
+  let b = i lsr 3 and m = 1 lsl (i land 7) in
+  Bytes.unsafe_set t.nulls b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.nulls b) lor m));
+  t.any_null <- true
+
+let is_null t i =
+  t.any_null
+  && i lsr 3 < Bytes.length t.nulls
+  && Char.code (Bytes.unsafe_get t.nulls (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let push_int t x =
+  (match t.payload with
+  | Ints r ->
+      r.data <- grow_ints r.data (t.len + 1);
+      Array.unsafe_set r.data t.len x
+  | Floats _ -> invalid_arg "Column: int payload on float column");
+  ensure_nulls t (t.len + 1);
+  t.len <- t.len + 1
+
+let push_float t x =
+  (match t.payload with
+  | Floats r ->
+      r.data <- grow_floats r.data (t.len + 1);
+      Array.unsafe_set r.data t.len x
+  | Ints _ -> invalid_arg "Column: float payload on int column");
+  ensure_nulls t (t.len + 1);
+  t.len <- t.len + 1
+
+let append_null t =
+  (match t.payload with
+  | Ints r ->
+      r.data <- grow_ints r.data (t.len + 1);
+      Array.unsafe_set r.data t.len 0
+  | Floats r ->
+      r.data <- grow_floats r.data (t.len + 1);
+      Array.unsafe_set r.data t.len 0.0);
+  set_null_bit t t.len;
+  t.len <- t.len + 1
+
+let type_error t v =
+  failwith
+    (Printf.sprintf "type mismatch: column is %s, value is %s"
+       (Dtype.to_string t.dtype) (Value.to_string v))
+
+let append t v =
+  match (t.dtype, v) with
+  | _, Value.Null -> append_null t
+  | Dtype.Bool, Value.Bool b -> push_int t (if b then 1 else 0)
+  | Dtype.Int, Value.Int i -> push_int t i
+  | Dtype.Date, Value.Date d -> push_int t d
+  | Dtype.Float, Value.Float f -> push_float t f
+  | Dtype.Float, Value.Int i -> push_float t (float_of_int i)
+  | Dtype.Varchar _, Value.Str s -> (
+      match t.dict with
+      | Some dict -> push_int t (Graql_util.Intern.intern dict s)
+      | None -> assert false)
+  | (Dtype.Bool | Dtype.Int | Dtype.Date | Dtype.Float | Dtype.Varchar _), _ ->
+      type_error t v
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Column: out of bounds"
+
+let get_int t i =
+  check t i;
+  match t.payload with
+  | Ints r -> Array.unsafe_get r.data i
+  | Floats _ -> invalid_arg "Column.get_int on float column"
+
+let get_float t i =
+  check t i;
+  match t.payload with
+  | Floats r -> Array.unsafe_get r.data i
+  | Ints r -> float_of_int (Array.unsafe_get r.data i)
+
+let dict_lookup t id =
+  match t.dict with
+  | Some dict -> Graql_util.Intern.lookup dict id
+  | None -> invalid_arg "Column.dict_lookup on non-varchar column"
+
+let intern_id t s =
+  match t.dict with
+  | Some dict -> Graql_util.Intern.find_opt dict s
+  | None -> invalid_arg "Column.intern_id on non-varchar column"
+
+let get t i =
+  check t i;
+  if is_null t i then Value.Null
+  else
+    match t.dtype with
+    | Dtype.Bool -> Value.Bool (get_int t i <> 0)
+    | Dtype.Int -> Value.Int (get_int t i)
+    | Dtype.Date -> Value.Date (get_int t i)
+    | Dtype.Float -> Value.Float (get_float t i)
+    | Dtype.Varchar _ -> Value.Str (dict_lookup t (get_int t i))
+
+let approx_bytes t =
+  let payload =
+    match t.payload with
+    | Ints _ | Floats _ -> 8 * t.len
+  in
+  let nulls = (t.len + 7) / 8 in
+  let dict =
+    match t.dict with
+    | None -> 0
+    | Some d ->
+        let n = Graql_util.Intern.size d in
+        let chars = ref 0 in
+        for i = 0 to n - 1 do
+          chars := !chars + String.length (Graql_util.Intern.lookup d i) + 24
+        done;
+        !chars
+  in
+  payload + nulls + dict

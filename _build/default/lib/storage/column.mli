@@ -1,0 +1,40 @@
+(** Typed columnar storage with null bitmaps.
+
+    Physical layout: Bool/Int/Date live in an unboxed int array; Float in a
+    float array; Varchar values are dictionary-encoded through a per-column
+    intern pool, so equality joins and group-bys on strings compare ints. *)
+
+type t
+
+val create : Dtype.t -> t
+val dtype : t -> Dtype.t
+val length : t -> int
+
+val append : t -> Value.t -> unit
+(** Raises [Failure] on a type mismatch (the ingest layer surfaces this
+    with row context). *)
+
+val get : t -> int -> Value.t
+
+val is_null : t -> int -> bool
+
+val get_int : t -> int -> int
+(** Raw payload for Bool (0/1) / Int / Date / Varchar (dictionary id);
+    undefined if null, [Invalid_argument] for Float columns. Hot-path
+    accessor for joins and graph building. *)
+
+val get_float : t -> int -> float
+(** Raw float payload; accepts Int columns too (coerced). *)
+
+val intern_id : t -> string -> int option
+(** For Varchar columns: dictionary id of [s] if present. Lets predicates
+    compare against a constant with one lookup, then int equality. *)
+
+val dict_lookup : t -> int -> string
+(** Inverse of the dictionary encoding for Varchar columns. *)
+
+val append_null : t -> unit
+
+val approx_bytes : t -> int
+(** Rough in-memory footprint: unboxed payload + null bitmap + (for
+    varchar) the dictionary strings. Used for cluster capacity planning. *)

@@ -1,0 +1,124 @@
+let parse_string doc =
+  let n = String.length doc in
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 64 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let rec field i =
+    if i >= n then (if !fields <> [] || Buffer.length buf > 0 then flush_record ())
+    else
+      match doc.[i] with
+      | ',' ->
+          flush_field ();
+          field (i + 1)
+      | '\n' ->
+          flush_record ();
+          field (i + 1)
+      | '\r' when i + 1 < n && doc.[i + 1] = '\n' ->
+          flush_record ();
+          field (i + 2)
+      | '"' when Buffer.length buf = 0 && (!fields = [] || true) -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          field (i + 1)
+  and quoted i =
+    if i >= n then failwith "CSV: unterminated quoted field"
+    else
+      match doc.[i] with
+      | '"' when i + 1 < n && doc.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> field (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  field 0;
+  List.rev !records
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  parse_string doc
+
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let write_string records =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun fields ->
+      Buffer.add_string buf (String.concat "," (List.map escape_field fields));
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+let write_file path records =
+  let oc = open_out_bin path in
+  output_string oc (write_string records);
+  close_out oc
+
+let table_of_csv ~name schema ?(header = true) doc =
+  let records = parse_string doc in
+  let records =
+    if header then (match records with _ :: r -> r | [] -> []) else records
+  in
+  let t = Table.create ~name schema in
+  let arity = Schema.arity schema in
+  List.iteri
+    (fun rownum fields ->
+      let nf = List.length fields in
+      if nf <> arity then
+        failwith
+          (Printf.sprintf "CSV row %d: expected %d fields, got %d"
+             (rownum + if header then 2 else 1)
+             arity nf);
+      let values =
+        List.mapi
+          (fun col field ->
+            try Value.parse (Schema.col_dtype schema col) field
+            with Failure msg ->
+              failwith
+                (Printf.sprintf "CSV row %d, column %s: %s"
+                   (rownum + if header then 2 else 1)
+                   (Schema.col_name schema col) msg))
+          fields
+      in
+      Table.append_row t values)
+    records;
+  t
+
+let table_to_csv ?(header = true) t =
+  let schema = Table.schema t in
+  let head =
+    Array.to_list (Array.map (fun c -> c.Schema.name) (Schema.cols schema))
+  in
+  let rows = ref [] in
+  for i = Table.nrows t - 1 downto 0 do
+    rows :=
+      Array.to_list (Array.map Value.to_csv_string (Table.row t i)) :: !rows
+  done;
+  write_string (if header then head :: !rows else !rows)

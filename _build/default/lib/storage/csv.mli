@@ -1,0 +1,22 @@
+(** RFC-4180-style CSV reading and writing, used by the [ingest] command.
+    Handles quoted fields, embedded commas/newlines/quotes, and CRLF. *)
+
+val parse_string : string -> string list list
+(** Parse a whole document into records of fields. A trailing newline does
+    not produce an empty record. Raises [Failure] on an unterminated
+    quoted field. *)
+
+val parse_file : string -> string list list
+
+val write_string : string list list -> string
+(** Quote fields only when needed. *)
+
+val write_file : string -> string list list -> unit
+
+val table_of_csv : name:string -> Schema.t -> ?header:bool -> string -> Table.t
+(** [table_of_csv ~name schema doc] parses every record into typed values
+    per the schema (the paper: "parsed according to the data types of the
+    attributes"). [header] (default [true]) skips the first record. Raises
+    [Failure] with row/column context on type or arity errors. *)
+
+val table_to_csv : ?header:bool -> Table.t -> string

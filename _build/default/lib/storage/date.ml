@@ -1,0 +1,61 @@
+type t = int
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year y then 29 else 28
+  | _ -> invalid_arg "Date.days_in_month"
+
+(* Howard Hinnant's civil-days algorithm: bijective, branch-light, valid
+   over the full proleptic Gregorian range. *)
+let of_ymd y m d =
+  if m < 1 || m > 12 then invalid_arg "Date.of_ymd: month";
+  if d < 1 || d > days_in_month y m then invalid_arg "Date.of_ymd: day";
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let to_ymd z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  (y, m, d)
+
+let of_string_opt s =
+  if String.length s <> 10 || s.[4] <> '-' || s.[7] <> '-' then None
+  else
+    let digit i = Char.code s.[i] - Char.code '0' in
+    let ok i = s.[i] >= '0' && s.[i] <= '9' in
+    if ok 0 && ok 1 && ok 2 && ok 3 && ok 5 && ok 6 && ok 8 && ok 9 then
+      let y = (digit 0 * 1000) + (digit 1 * 100) + (digit 2 * 10) + digit 3 in
+      let m = (digit 5 * 10) + digit 6 in
+      let d = (digit 8 * 10) + digit 9 in
+      if m >= 1 && m <= 12 && d >= 1 && d <= days_in_month y m then
+        Some (of_ymd y m d)
+      else None
+    else None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> failwith (Printf.sprintf "Date.of_string: malformed date %S" s)
+
+let to_string t =
+  let y, m, d = to_ymd t in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let add_days t n = t + n

@@ -1,0 +1,19 @@
+(** Calendar dates as days since the Unix epoch (1970-01-01 = 0).
+    GraQL's [date] attribute type: totally ordered, compact (one int),
+    parsed from and printed as ISO-8601 [YYYY-MM-DD]. *)
+
+type t = int
+
+val of_ymd : int -> int -> int -> t
+(** [of_ymd y m d]; proleptic Gregorian calendar. Raises
+    [Invalid_argument] on out-of-range month/day. *)
+
+val to_ymd : t -> int * int * int
+val of_string : string -> t
+(** Parse [YYYY-MM-DD]. Raises [Failure] on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val add_days : t -> int -> t
+val is_leap_year : int -> bool
+val days_in_month : int -> int -> int

@@ -1,0 +1,25 @@
+type t = Bool | Int | Float | Varchar of int | Date
+
+let equal a b =
+  match (a, b) with
+  | Bool, Bool | Int, Int | Float, Float | Date, Date -> true
+  | Varchar n, Varchar m -> n = m
+  | (Bool | Int | Float | Varchar _ | Date), _ -> false
+
+let to_string = function
+  | Bool -> "boolean"
+  | Int -> "integer"
+  | Float -> "float"
+  | Varchar n -> Printf.sprintf "varchar(%d)" n
+  | Date -> "date"
+
+let compatible a b =
+  match (a, b) with
+  | Varchar _, Varchar _ -> true
+  | _ -> equal a b
+
+let is_numeric = function
+  | Int | Float -> true
+  | Bool | Varchar _ | Date -> false
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

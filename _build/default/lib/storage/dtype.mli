@@ -1,0 +1,20 @@
+(** Attribute types. GraQL design principle 3: all database elements are
+    strongly typed; every column carries one of these. *)
+
+type t =
+  | Bool
+  | Int
+  | Float
+  | Varchar of int  (** declared maximum length, as in [varchar(10)] *)
+  | Date
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val compatible : t -> t -> bool
+(** Whether two types may be compared/assigned: equal up to varchar width
+    (the paper's static analysis rejects e.g. date vs float, but widths are
+    a storage hint, not a comparison barrier). *)
+
+val is_numeric : t -> bool
+val pp : Format.formatter -> t -> unit

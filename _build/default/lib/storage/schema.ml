@@ -1,0 +1,61 @@
+type col = { name : string; dtype : Dtype.t }
+
+type t = { columns : col array; index : (string, int) Hashtbl.t }
+
+let norm = String.lowercase_ascii
+
+let make cols =
+  let columns = Array.of_list cols in
+  let index = Hashtbl.create (Array.length columns) in
+  Array.iteri
+    (fun i c ->
+      let key = norm c.name in
+      if Hashtbl.mem index key then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" c.name);
+      Hashtbl.add index key i)
+    columns;
+  { columns; index }
+
+let cols t = t.columns
+let arity t = Array.length t.columns
+let find t name = Hashtbl.find_opt t.index (norm name)
+
+let find_exn t name =
+  match find t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema: no column %S" name)
+
+let col_name t i = t.columns.(i).name
+let col_dtype t i = t.columns.(i).dtype
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y -> norm x.name = norm y.name && Dtype.equal x.dtype y.dtype)
+       a.columns b.columns
+
+let concat a b =
+  let used = Hashtbl.create 16 in
+  Array.iter (fun c -> Hashtbl.replace used (norm c.name) ()) a.columns;
+  let fresh name =
+    let rec go n = if Hashtbl.mem used (norm n) then go (n ^ "'") else n in
+    let n = go name in
+    Hashtbl.replace used (norm n) ();
+    n
+  in
+  make
+    (Array.to_list a.columns
+    @ List.map (fun c -> { c with name = fresh c.name }) (Array.to_list b.columns))
+
+let rename_prefix prefix t =
+  make
+    (List.map
+       (fun c -> { c with name = prefix ^ "." ^ c.name })
+       (Array.to_list t.columns))
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf c -> Format.fprintf ppf "%s %a" c.name Dtype.pp c.dtype))
+    (Array.to_list t.columns)

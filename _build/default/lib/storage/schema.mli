@@ -1,0 +1,26 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type col = { name : string; dtype : Dtype.t }
+type t
+
+val make : col list -> t
+(** Raises [Invalid_argument] on duplicate column names (case-insensitive,
+    matching SQL identifier semantics). *)
+
+val cols : t -> col array
+val arity : t -> int
+val find : t -> string -> int option
+(** Column index by name, case-insensitive. *)
+
+val find_exn : t -> string -> int
+val col_name : t -> int -> string
+val col_dtype : t -> int -> Dtype.t
+val equal : t -> t -> bool
+val concat : t -> t -> t
+(** Schema of a join result; right-hand duplicates get suffixed with ['].
+    Used when flattening path results into tables (Fig. 13). *)
+
+val rename_prefix : string -> t -> t
+(** Prefix every column name with ["prefix."]. *)
+
+val pp : Format.formatter -> t -> unit

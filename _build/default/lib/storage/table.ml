@@ -1,0 +1,70 @@
+type t = { name : string; schema : Schema.t; columns : Column.t array }
+
+let create ~name schema =
+  {
+    name;
+    schema;
+    columns = Array.map (fun c -> Column.create c.Schema.dtype) (Schema.cols schema);
+  }
+
+let name t = t.name
+let schema t = t.schema
+let arity t = Array.length t.columns
+let nrows t = if arity t = 0 then 0 else Column.length t.columns.(0)
+
+let append_row_array t values =
+  if Array.length values <> arity t then
+    failwith
+      (Printf.sprintf "table %s: expected %d values, got %d" t.name (arity t)
+         (Array.length values));
+  Array.iteri
+    (fun i v ->
+      try Column.append t.columns.(i) v
+      with Failure msg ->
+        failwith
+          (Printf.sprintf "table %s, column %s: %s" t.name
+             (Schema.col_name t.schema i) msg))
+    values
+
+let append_row t values = append_row_array t (Array.of_list values)
+
+let get t ~row ~col = Column.get t.columns.(col) row
+
+let get_by_name t ~row name =
+  get t ~row ~col:(Schema.find_exn t.schema name)
+
+let column t i = t.columns.(i)
+let column_by_name t name = t.columns.(Schema.find_exn t.schema name)
+let row t i = Array.init (arity t) (fun c -> get t ~row:i ~col:c)
+
+let iter_rows f t =
+  for i = 0 to nrows t - 1 do f i done
+
+let of_rows ~name schema rows =
+  let t = create ~name schema in
+  List.iter (append_row t) rows;
+  t
+
+let rename t name = { t with name }
+
+let copy_structure ?name t =
+  create ~name:(match name with Some n -> n | None -> t.name) t.schema
+
+let pp ?(max_rows = 20) ppf t =
+  let header =
+    Array.to_list (Array.map (fun c -> c.Schema.name) (Schema.cols t.schema))
+  in
+  let n = nrows t in
+  let shown = min n max_rows in
+  let rows =
+    List.init shown (fun i ->
+        Array.to_list (Array.map Value.to_string (row t i)))
+  in
+  Graql_util.Text_table.render_fmt ~header rows ppf;
+  if n > shown then Format.fprintf ppf "@\n... (%d more rows)" (n - shown);
+  Format.fprintf ppf "@\n%d row%s" n (if n = 1 then "" else "s")
+
+let to_display_string ?max_rows t = Format.asprintf "%a" (pp ?max_rows) t
+
+let approx_bytes t =
+  Array.fold_left (fun acc c -> acc + Column.approx_bytes c) 0 t.columns

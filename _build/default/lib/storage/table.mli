@@ -1,0 +1,38 @@
+(** In-memory tables: a schema plus columnar storage. The single physical
+    representation behind every GraQL entity — base tables, query-result
+    tables, and the backing store vertex/edge views select from. *)
+
+type t
+
+val create : name:string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+val nrows : t -> int
+val arity : t -> int
+
+val append_row : t -> Value.t list -> unit
+(** Raises [Failure] on arity or type mismatch. *)
+
+val append_row_array : t -> Value.t array -> unit
+
+val get : t -> row:int -> col:int -> Value.t
+val get_by_name : t -> row:int -> string -> Value.t
+val column : t -> int -> Column.t
+val column_by_name : t -> string -> Column.t
+val row : t -> int -> Value.t array
+
+val iter_rows : (int -> unit) -> t -> unit
+val of_rows : name:string -> Schema.t -> Value.t list list -> t
+val rename : t -> string -> t
+(** Shares storage; only the name differs ([as x] aliasing). *)
+
+val copy_structure : ?name:string -> t -> t
+(** Fresh empty table with the same schema. *)
+
+val pp : ?max_rows:int -> Format.formatter -> t -> unit
+(** Render as an ASCII table (for the CLI and examples). *)
+
+val to_display_string : ?max_rows:int -> t -> string
+
+val approx_bytes : t -> int
+(** Estimated resident bytes of the table's columnar storage. *)

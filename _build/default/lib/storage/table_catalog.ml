@@ -1,0 +1,38 @@
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+}
+
+let norm = String.lowercase_ascii
+let create () = { tables = Hashtbl.create 16; order = [] }
+
+let add t table =
+  let key = norm (Table.name table) in
+  if Hashtbl.mem t.tables key then
+    failwith (Printf.sprintf "table %S already exists" (Table.name table));
+  Hashtbl.add t.tables key table;
+  t.order <- key :: t.order
+
+let replace t table =
+  let key = norm (Table.name table) in
+  if not (Hashtbl.mem t.tables key) then t.order <- key :: t.order;
+  Hashtbl.replace t.tables key table
+
+let find t name = Hashtbl.find_opt t.tables (norm name)
+
+let find_exn t name =
+  match find t name with
+  | Some table -> table
+  | None -> failwith (Printf.sprintf "no such table: %s" name)
+
+let mem t name = Hashtbl.mem t.tables (norm name)
+
+let remove t name =
+  let key = norm name in
+  Hashtbl.remove t.tables key;
+  t.order <- List.filter (fun k -> k <> key) t.order
+
+let names t =
+  List.rev_map (fun key -> Table.name (Hashtbl.find t.tables key)) t.order
+
+let row_count t name = Option.map Table.nrows (find t name)

@@ -1,0 +1,20 @@
+(** Registry of named tables plus the metadata the GEMS front-end catalog
+    serves: schemas and up-to-date sizes (Sec. III: "the catalog contains
+    updated information on the sizes of those objects"). *)
+
+type t
+
+val create : unit -> t
+val add : t -> Table.t -> unit
+(** Raises [Failure] if a table with the same (case-insensitive) name
+    exists. *)
+
+val replace : t -> Table.t -> unit
+val find : t -> string -> Table.t option
+val find_exn : t -> string -> Table.t
+val mem : t -> string -> bool
+val remove : t -> string -> unit
+val names : t -> string list
+(** In registration order. *)
+
+val row_count : t -> string -> int option

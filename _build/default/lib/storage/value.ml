@@ -1,0 +1,93 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of Date.t
+
+let dtype_of = function
+  | Null -> None
+  | Bool _ -> Some Dtype.Bool
+  | Int _ -> Some Dtype.Int
+  | Float _ -> Some Dtype.Float
+  | Str s -> Some (Dtype.Varchar (String.length s))
+  | Date _ -> Some Dtype.Date
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+  | Date _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool a, Bool b -> Bool.compare a b
+  | Int a, Int b -> Int.compare a b
+  | Float a, Float b -> Float.compare a b
+  | Int a, Float b -> Float.compare (float_of_int a) b
+  | Float a, Int b -> Float.compare a (float_of_int b)
+  | Str a, Str b -> String.compare a b
+  | Date a, Date b -> Int.compare a b
+  | (Null | Bool _ | Int _ | Float _ | Str _ | Date _), _ ->
+      Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 3 else 5
+  | Int i -> Hashtbl.hash i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Hashtbl.hash (int_of_float f)
+      else Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Date d -> Hashtbl.hash (d + 0x44415445)
+
+let to_string = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Date d -> Date.to_string d
+
+let to_csv_string = function Null -> "" | v -> to_string v
+
+let parse dtype s =
+  if s = "" then Null
+  else
+    match dtype with
+    | Dtype.Bool -> (
+        match String.lowercase_ascii s with
+        | "true" | "t" | "1" -> Bool true
+        | "false" | "f" | "0" -> Bool false
+        | _ -> failwith (Printf.sprintf "cannot parse %S as boolean" s))
+    | Dtype.Int -> (
+        match int_of_string_opt s with
+        | Some i -> Int i
+        | None -> failwith (Printf.sprintf "cannot parse %S as integer" s))
+    | Dtype.Float -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> failwith (Printf.sprintf "cannot parse %S as float" s))
+    | Dtype.Varchar _ -> Str s
+    | Dtype.Date -> (
+        match Date.of_string_opt s with
+        | Some d -> Date d
+        | None -> failwith (Printf.sprintf "cannot parse %S as date" s))
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let as_int = function Int i -> i | _ -> invalid_arg "Value.as_int"
+
+let as_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> invalid_arg "Value.as_float"
+
+let as_string = function Str s -> s | _ -> invalid_arg "Value.as_string"
+let as_bool = function Bool b -> b | _ -> invalid_arg "Value.as_bool"
+let as_date = function Date d -> d | _ -> invalid_arg "Value.as_date"

@@ -1,0 +1,45 @@
+(** Runtime attribute values. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of Date.t
+
+val dtype_of : t -> Dtype.t option
+(** [None] for [Null]. *)
+
+val equal : t -> t -> bool
+(** Structural; [Null] equals only [Null] (three-valued logic lives in the
+    expression evaluator, not here). Int/Float cross-comparison coerces. *)
+
+val compare : t -> t -> int
+(** Total order: Null < Bool < numeric < Str < Date; numeric values compare
+    by value across Int/Float. *)
+
+val hash : t -> int
+val to_string : t -> string
+(** Display form ([Null] prints as ["null"], dates as ISO). *)
+
+val to_csv_string : t -> string
+(** Form used when writing CSV ([Null] prints as the empty field). *)
+
+val parse : Dtype.t -> string -> t
+(** Parse a CSV field according to the column type. The empty string parses
+    to [Null]. Raises [Failure] with a descriptive message otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+
+val as_int : t -> int
+(** Raises [Invalid_argument] unless [Int]. *)
+
+val as_float : t -> float
+(** Accepts [Int] or [Float]. *)
+
+val as_string : t -> string
+(** Raises [Invalid_argument] unless [Str]. *)
+
+val as_bool : t -> bool
+val as_date : t -> Date.t

@@ -1,0 +1,25 @@
+(** Growable arrays of unboxed ints. The workhorse buffer for row ids,
+    vertex ids and CSR construction. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val clear : t -> unit
+(** Reset length to 0, keeping capacity. *)
+
+val to_array : t -> int array
+(** Fresh array of exactly [length t] elements. *)
+
+val of_array : int array -> t
+val iter : (int -> unit) -> t -> unit
+val iteri : (int -> int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val append : t -> t -> unit
+(** [append dst src] pushes all of [src] onto [dst]. *)
+
+val sort_unique : t -> t
+(** Fresh vector with sorted, deduplicated contents. *)

@@ -1,0 +1,30 @@
+type t = {
+  table : (string, int) Hashtbl.t;
+  mutable rev : string array;
+  mutable len : int;
+}
+
+let create () = { table = Hashtbl.create 256; rev = Array.make 16 ""; len = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.table s with
+  | Some id -> id
+  | None ->
+      let id = t.len in
+      if id >= Array.length t.rev then begin
+        let rev = Array.make (2 * Array.length t.rev) "" in
+        Array.blit t.rev 0 rev 0 t.len;
+        t.rev <- rev
+      end;
+      t.rev.(id) <- s;
+      t.len <- t.len + 1;
+      Hashtbl.add t.table s id;
+      id
+
+let find_opt t s = Hashtbl.find_opt t.table s
+
+let lookup t id =
+  if id < 0 || id >= t.len then invalid_arg "Intern.lookup";
+  t.rev.(id)
+
+let size t = t.len

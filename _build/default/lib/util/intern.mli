@@ -1,0 +1,17 @@
+(** String interning pool: maps strings to dense small ints and back.
+    Vertex keys and dictionary-encoded string columns use these ids so hot
+    joins and traversals compare ints, never strings. *)
+
+type t
+
+val create : unit -> t
+val intern : t -> string -> int
+(** Stable id for the string, assigned densely from 0 in first-seen order. *)
+
+val find_opt : t -> string -> int option
+(** Id if already interned, without adding. *)
+
+val lookup : t -> int -> string
+(** Inverse of {!intern}. Raises [Invalid_argument] on unknown id. *)
+
+val size : t -> int

@@ -1,0 +1,32 @@
+(** Deterministic splittable RNG (SplitMix64 core). All synthetic data in
+    the repository flows through this module so every run is reproducible
+    and independent of domain count. *)
+
+type t
+
+val make : int -> t
+(** [make seed] creates a generator from a seed. *)
+
+val split : t -> t
+(** Derive an independent stream; the parent advances. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> bool
+val bits64 : t -> int64
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [0, n) with exponent [s]; used for skewed
+    degree distributions in workload generators. *)
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,47 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let widths header rows =
+  let ncols = List.length header in
+  let w = Array.make ncols 0 in
+  let feed row =
+    List.iteri
+      (fun i cell -> if i < ncols then w.(i) <- max w.(i) (String.length cell))
+      row
+  in
+  feed header;
+  List.iter feed rows;
+  w
+
+let render ?aligns ~header rows =
+  let w = widths header rows in
+  let ncols = Array.length w in
+  let aligns =
+    match aligns with Some a -> a | None -> Array.make ncols Left
+  in
+  let line row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let a = if i < Array.length aligns then aligns.(i) else Left in
+          pad a w.(i) cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun n -> String.make (n + 2) '-') w))
+    ^ "+"
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((sep :: line header :: sep :: body) @ [ sep ])
+
+let render_fmt ?aligns ~header rows ppf =
+  Format.pp_print_string ppf (render ?aligns ~header rows)

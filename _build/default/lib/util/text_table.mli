@@ -1,0 +1,18 @@
+(** Plain-text table rendering for CLI output and benchmark reports. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align array ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] draws an ASCII table with column widths fitted to
+    the content. [aligns] defaults to left for every column. *)
+
+val render_fmt :
+  ?aligns:align array ->
+  header:string list ->
+  string list list ->
+  Format.formatter ->
+  unit

@@ -1,0 +1,59 @@
+type 'a t = {
+  k : int;
+  cmp : 'a -> 'a -> int;
+  mutable heap : 'a array; (* min-heap of current keepers, heap.(0) smallest *)
+  mutable len : int;
+}
+
+let create ~k ~cmp =
+  if k < 0 then invalid_arg "Topk.create";
+  { k; cmp; heap = [||]; len = 0 }
+
+let length t = t.len
+
+let swap h i j =
+  let tmp = h.(i) in
+  h.(i) <- h.(j);
+  h.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.cmp t.heap.(i) t.heap.(p) < 0 then begin
+      swap t.heap i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < t.len && t.cmp t.heap.(l) t.heap.(!m) < 0 then m := l;
+  if r < t.len && t.cmp t.heap.(r) t.heap.(!m) < 0 then m := r;
+  if !m <> i then begin
+    swap t.heap i !m;
+    sift_down t !m
+  end
+
+let add t x =
+  if t.k = 0 then ()
+  else if t.len < t.k then begin
+    if t.len >= Array.length t.heap then begin
+      let cap = max 4 (min t.k (max 4 (2 * Array.length t.heap))) in
+      let heap = Array.make cap x in
+      Array.blit t.heap 0 heap 0 t.len;
+      t.heap <- heap
+    end;
+    t.heap.(t.len) <- x;
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1)
+  end
+  else if t.cmp x t.heap.(0) > 0 then begin
+    t.heap.(0) <- x;
+    sift_down t 0
+  end
+
+let to_sorted_list t =
+  let l = ref [] in
+  for i = 0 to t.len - 1 do l := t.heap.(i) :: !l done;
+  List.sort (fun a b -> t.cmp b a) !l

@@ -1,0 +1,14 @@
+(** Bounded top-k selection with a binary min-heap: keeps the [k] largest
+    elements under a caller-supplied ordering. Backs the [top n] relational
+    operator without sorting whole tables. *)
+
+type 'a t
+
+val create : k:int -> cmp:('a -> 'a -> int) -> 'a t
+(** [create ~k ~cmp] keeps the [k] greatest elements w.r.t. [cmp]. [k >= 0]. *)
+
+val add : 'a t -> 'a -> unit
+val length : 'a t -> int
+
+val to_sorted_list : 'a t -> 'a list
+(** Elements in decreasing order (greatest first). Does not mutate. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Graql_analysis Graql_lang List String

@@ -1,0 +1,1 @@
+test/test_berlin.ml: Alcotest Array Float Graql_berlin Graql_engine Graql_gems Graql_graph Graql_storage Hashtbl List Printf String

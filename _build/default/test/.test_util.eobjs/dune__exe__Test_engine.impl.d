@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Fun Graql_engine Graql_graph Graql_lang Graql_parallel Graql_storage List Printf String

@@ -1,0 +1,1 @@
+test/test_gems.ml: Alcotest Array Buffer Bytes Graql_analysis Graql_berlin Graql_engine Graql_gems Graql_ir Graql_lang Graql_parallel Graql_relational Graql_storage List Option Printf String

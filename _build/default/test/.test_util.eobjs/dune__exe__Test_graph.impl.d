@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun Graql_graph Graql_relational Graql_storage Graql_util List QCheck QCheck_alcotest

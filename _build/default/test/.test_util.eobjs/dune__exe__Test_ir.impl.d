@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Bytes Char Graql_berlin Graql_ir Graql_lang Graql_util List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Graql_lang Graql_storage List QCheck QCheck_alcotest

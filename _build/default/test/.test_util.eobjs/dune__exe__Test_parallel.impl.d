@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Buffer Fun Graql_parallel List String

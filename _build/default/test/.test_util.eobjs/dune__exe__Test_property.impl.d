@@ -1,0 +1,1 @@
+test/test_property.ml: Alcotest Array Format Fun Graql_engine Graql_graph Graql_lang Graql_storage List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Fun Graql_parallel Graql_relational Graql_storage List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Graql_storage List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tutorial.ml: Alcotest Filename Graql_analysis Graql_berlin Graql_engine Graql_gems Graql_lang Graql_storage List String Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Graql_util Hashtbl List QCheck QCheck_alcotest String

@@ -1,0 +1,373 @@
+(* GEMS pipeline tests: session flow (parse -> check -> IR -> execute),
+   strict rejection, catalog service, sharded backend determinism. *)
+
+module Session = Graql_gems.Session
+module Shard = Graql_gems.Shard
+module Db = Graql_engine.Db
+module Script_exec = Graql_engine.Script_exec
+module Pool = Graql_parallel.Domain_pool
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+module Schema = Graql_storage.Schema
+module Dtype = Graql_storage.Dtype
+module Row_expr = Graql_relational.Row_expr
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mini_schema =
+  {|
+create table T(id varchar(8), n integer)
+create vertex V(id) from table T
+ingest table T t.csv
+|}
+
+let loader _ = "id,n\na,1\nb,2\nc,3\n"
+
+(* ------------------------------------------------------------------ *)
+
+let test_session_happy_path () =
+  let s = Session.create () in
+  let results = Session.run_script ~loader s mini_schema in
+  check_int "four statements" 3 (List.length results);
+  check "no diagnostics" true (Session.last_diagnostics s = []);
+  check "ir was shipped" true (Session.ir_bytes_shipped s > 0);
+  let times = Session.phase_times s in
+  check "phases timed" true
+    (times.Session.t_parse >= 0.0 && times.Session.t_execute >= 0.0)
+
+let test_session_strict_rejection () =
+  let s = Session.create () in
+  ignore (Session.run_script ~loader s mini_schema);
+  match Session.run_script s "select zzz from table T" with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Session.Rejected diags ->
+      check "has errors" true (Graql_analysis.Diag.has_errors diags)
+
+let test_session_nonstrict_mode () =
+  (* Non-strict: static errors do not block; execution then fails (or not)
+     on its own terms. *)
+  let s = Session.create ~strict:false () in
+  ignore (Session.run_script ~loader s mini_schema);
+  match Session.run_script s "select zzz from table T" with
+  | _ -> Alcotest.fail "execution should still fail on unknown column"
+  | exception Script_exec.Script_error _ -> ()
+
+let test_check_does_not_execute () =
+  let s = Session.create () in
+  ignore (Session.run_script ~loader s mini_schema);
+  let before = Table.nrows (Db.find_table_exn (Session.db s) "T") in
+  let diags = Session.check s "ingest table T t.csv" in
+  check "check is clean" false (Graql_analysis.Diag.has_errors diags);
+  check_int "no data touched" before
+    (Table.nrows (Db.find_table_exn (Session.db s) "T"))
+
+let test_run_ir_directly () =
+  let s = Session.create () in
+  ignore (Session.run_script ~loader s mini_schema);
+  let blob =
+    Graql_ir.Codec.encode_script
+      (Graql_lang.Parser.parse_script "select id from table T where n > 1")
+  in
+  match Session.run_ir s blob with
+  | [ (_, Script_exec.O_table t) ] -> check_int "two rows" 2 (Table.nrows t)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_catalog_rows () =
+  let s = Session.create () in
+  ignore (Session.run_script ~loader s mini_schema);
+  let rows = Session.catalog_rows s in
+  check "table listed with size" true
+    (List.exists (fun r -> r = [ "table"; "T"; "3" ]) rows);
+  check "vertex listed" true
+    (List.exists (function [ "vertex"; "V"; _ ] -> true | _ -> false) rows)
+
+let test_session_warnings_do_not_block () =
+  let s = Session.create () in
+  ignore (Session.run_script ~loader s mini_schema);
+  (* An empty result table triggers a feasibility warning downstream. *)
+  ignore
+    (Session.run_script s
+       "select id from table T where n > 100 into table Empty");
+  match Session.run_script s "select id from table Empty" with
+  | [ (_, Script_exec.O_table t) ] ->
+      check_int "empty result, no rejection" 0 (Table.nrows t)
+  | _ -> Alcotest.fail "expected table"
+
+(* ------------------------------------------------------------------ *)
+(* Server: access control, accounts, audit (Sec. III component 2)      *)
+
+module Server = Graql_gems.Server
+
+let test_server_roles () =
+  let srv = Server.create () in
+  Server.add_user srv ~name:"root" ~role:Server.Admin;
+  Server.add_user srv ~name:"ann" ~role:Server.Analyst;
+  let root = Server.connect srv ~user:"root" in
+  let ann = Server.connect srv ~user:"ann" in
+  (* Admin provisions the database. *)
+  ignore (Server.run ~loader root mini_schema);
+  (* Analyst may query... *)
+  (match Server.run ann "select id from table T where n >= 2" with
+  | [ (_, Script_exec.O_table t) ] -> check_int "analyst query" 2 (Table.nrows t)
+  | _ -> Alcotest.fail "expected table");
+  (* ...and bind parameters... *)
+  ignore (Server.run ann "set %N% = 2");
+  (* ...but not write. *)
+  (match Server.run ~loader ann "ingest table T t.csv" with
+  | _ -> Alcotest.fail "expected denial"
+  | exception Server.Permission_denied msg ->
+      check "names the user" true (String.length msg > 0));
+  (* Authorization is all-or-nothing: the select before the ingest must
+     not have executed either. *)
+  (match
+     Server.run ~loader ann
+       {|select id from table T into table Leak
+         ingest table T t.csv|}
+   with
+  | _ -> Alcotest.fail "expected denial"
+  | exception Server.Permission_denied _ ->
+      check "nothing leaked" true
+        (Db.find_table (Session.db (Server.session srv)) "Leak" = None));
+  check_int "table untouched" 3
+    (Table.nrows (Db.find_table_exn (Session.db (Server.session srv)) "T"))
+
+let test_server_accounts_and_audit () =
+  let srv = Server.create () in
+  Server.add_user srv ~name:"root" ~role:Server.Admin;
+  Server.add_user srv ~name:"ann" ~role:Server.Analyst;
+  Alcotest.check_raises "duplicate user" (Failure "user \"ann\" already exists")
+    (fun () -> Server.add_user srv ~name:"ann" ~role:Server.Admin);
+  (match Server.connect srv ~user:"bob" with
+  | _ -> Alcotest.fail "expected unknown user"
+  | exception Server.Unknown_user u -> Alcotest.(check string) "user" "bob" u);
+  let root = Server.connect srv ~user:"root" in
+  ignore (Server.run ~loader root mini_schema);
+  let ann = Server.connect srv ~user:"ann" in
+  ignore (Server.run ann "select id from table T");
+  (try ignore (Server.run ~loader ann "ingest table T t.csv")
+   with Server.Permission_denied _ -> ());
+  let stats = Server.user_stats srv in
+  check "ann stats" true (List.mem ("ann", 1, 1) stats);
+  check "root stats" true (List.mem ("root", 3, 0) stats);
+  let log = Server.audit_log srv in
+  check_int "audit entries" 4 (List.length log);
+  check "audit order" true (fst (List.hd log) = "root");
+  check "last entry is ann's select" true
+    (match List.rev log with ("ann", _) :: _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+
+let test_loader_failure_mid_script () =
+  let s = Session.create () in
+  let flaky name = if name = "t.csv" then raise (Sys_error "disk gone") else "" in
+  (match Session.run_script ~loader:flaky s mini_schema with
+  | _ -> Alcotest.fail "expected script error"
+  | exception Script_exec.Script_error (_, msg) ->
+      check "names the file" true
+        (String.length msg > 0 && String.sub msg 0 6 = "ingest"));
+  (* The DDL before the failing ingest took effect; the session recovers
+     on the next script. *)
+  check "table exists, empty" true
+    (Table.nrows (Db.find_table_exn (Session.db s) "T") = 0);
+  match Session.run_script ~loader s "ingest table T t.csv" with
+  | [ (_, Script_exec.O_message _) ] ->
+      check_int "recovered" 3 (Table.nrows (Db.find_table_exn (Session.db s) "T"))
+  | _ -> Alcotest.fail "expected ingest message"
+
+let test_parallel_script_failure_propagates () =
+  let pool = Pool.create ~domains:2 () in
+  let s = Session.create ~pool:(Some pool |> Option.get) () in
+  ignore (Session.run_script ~loader s mini_schema);
+  (* Two independent statements; one dies at runtime (division guard is
+     fine — use an unbound parameter). Wave execution must surface the
+     error, not swallow it. *)
+  (match
+     Session.run_script ~parallel:true s
+       {|select id from table T where n > 0 into table OK1
+         select id from table T where n = %Unbound% into table BAD|}
+   with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Script_exec.Script_error (_, msg) ->
+      check "unbound param surfaced" true (msg = "unbound parameter %Unbound%"));
+  Pool.shutdown pool
+
+let test_corrupt_ir_rejected_by_backend () =
+  let s = Session.create () in
+  ignore (Session.run_script ~loader s mini_schema);
+  let blob =
+    Graql_ir.Codec.encode_script
+      (Graql_lang.Parser.parse_script "select id from table T")
+  in
+  Bytes.set blob (Bytes.length blob - 1) '\xff';
+  match Session.run_ir s blob with
+  | _ -> Alcotest.fail "expected corrupt IR"
+  | exception Graql_ir.Wire.Corrupt _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Shards                                                              *)
+
+let big_table n =
+  let schema = Schema.make [ { Schema.name = "v"; dtype = Dtype.Int } ] in
+  let t = Table.create ~name:"big" schema in
+  for i = 0 to n - 1 do
+    Table.append_row t [ Value.Int (i mod 101) ]
+  done;
+  t
+
+let test_shard_ranges_cover () =
+  let pool = Pool.create ~domains:3 () in
+  let t = big_table 1000 in
+  List.iter
+    (fun shards ->
+      let backend = Shard.create ~shards pool in
+      let ranges = Shard.ranges backend t in
+      check_int "one range per shard" shards (List.length ranges);
+      let covered =
+        List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 ranges
+      in
+      check_int "full coverage" 1000 covered;
+      (* Contiguous and ordered *)
+      ignore
+        (List.fold_left
+           (fun prev (lo, hi) ->
+             check "contiguous" true (lo = prev);
+             hi)
+           0 ranges))
+    [ 1; 2; 3; 7; 16 ];
+  Pool.shutdown pool
+
+let test_shard_select_deterministic_across_counts () =
+  let pool = Pool.create ~domains:4 () in
+  let t = big_table 5000 in
+  let pred = Row_expr.(Cmp (Lt, Col 0, Const (Value.Int 13))) in
+  let base = Shard.parallel_select (Shard.create ~shards:1 pool) t pred in
+  List.iter
+    (fun shards ->
+      let r = Shard.parallel_select (Shard.create ~shards pool) t pred in
+      check (Printf.sprintf "same result at %d shards" shards) true (r = base))
+    [ 2; 4; 8 ];
+  check_int "count agrees" (Array.length base)
+    (Shard.parallel_count (Shard.create ~shards:4 pool) t pred);
+  Pool.shutdown pool
+
+let test_shard_scan_merge_order () =
+  let pool = Pool.create ~domains:4 () in
+  let t = big_table 257 in
+  let backend = Shard.create ~shards:5 pool in
+  let concat =
+    Shard.parallel_scan backend t
+      ~init:(fun () -> Buffer.create 64)
+      ~row:(fun buf r -> Buffer.add_string buf (string_of_int r))
+      ~merge:(fun a b ->
+        Buffer.add_buffer a b;
+        a)
+  in
+  let expect = String.concat "" (List.init 257 string_of_int) in
+  Alcotest.(check string) "row order preserved" expect (Buffer.contents concat);
+  Pool.shutdown pool
+
+let test_shard_empty_table () =
+  let pool = Pool.create ~domains:2 () in
+  let schema = Schema.make [ { Schema.name = "v"; dtype = Dtype.Int } ] in
+  let t = Table.create ~name:"empty" schema in
+  let backend = Shard.create ~shards:4 pool in
+  check_int "empty select" 0
+    (Array.length (Shard.parallel_select backend t Row_expr.const_true));
+  Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Cluster capacity planning                                           *)
+
+module Cluster = Graql_gems.Cluster
+
+let berlin_db scale =
+  let s = Session.create () in
+  Graql_berlin.Berlin_gen.ingest_all ~scale s;
+  Session.db s
+
+let test_cluster_items () =
+  let db = berlin_db 1 in
+  let items = Cluster.database_items ~shards_per_table:2 db in
+  check "all bytes non-negative" true
+    (List.for_all (fun i -> i.Cluster.it_bytes >= 0) items);
+  (* 10 tables x 2 shards + 10 vertex views + 9 edge types *)
+  check_int "item count" ((10 * 2) + 10 + 9) (List.length items);
+  let total l = List.fold_left (fun a i -> a + i.Cluster.it_bytes) 0 l in
+  let bigger = Cluster.database_items (berlin_db 4) in
+  check "footprint grows with scale" true (total bigger > total items)
+
+let test_cluster_lpt_balance () =
+  let db = berlin_db 2 in
+  let plan = Cluster.plan ~nodes:4 ~mem_per_node:max_int db in
+  check "skew near 1 with many items" true (plan.Cluster.pl_skew < 1.5);
+  check_int "loads cover total" plan.Cluster.pl_total_bytes
+    (Array.fold_left ( + ) 0 plan.Cluster.pl_node_bytes);
+  check "fits in unlimited memory" true plan.Cluster.pl_fits
+
+let test_cluster_capacity_boundary () =
+  let db = berlin_db 1 in
+  let tight = Cluster.plan ~nodes:2 ~mem_per_node:1024 db in
+  check "tiny nodes don't fit" false tight.Cluster.pl_fits;
+  let roomy = Cluster.plan ~nodes:2 ~mem_per_node:(1 lsl 30) db in
+  check "1GB nodes fit scale 1" true roomy.Cluster.pl_fits;
+  check "report mentions verdict" true
+    (String.length (Cluster.report tight) > 0)
+
+let test_table_bytes_monotone () =
+  let schema =
+    Schema.make [ { Schema.name = "s"; dtype = Dtype.Varchar 16 } ]
+  in
+  let t = Table.create ~name:"m" schema in
+  let before = Table.approx_bytes t in
+  for i = 0 to 999 do
+    Table.append_row t [ Value.Str (string_of_int i) ]
+  done;
+  check "bytes grow with rows" true (Table.approx_bytes t > before + 8000)
+
+let () =
+  Alcotest.run "gems"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "happy path" `Quick test_session_happy_path;
+          Alcotest.test_case "strict rejection" `Quick test_session_strict_rejection;
+          Alcotest.test_case "non-strict mode" `Quick test_session_nonstrict_mode;
+          Alcotest.test_case "check is static only" `Quick test_check_does_not_execute;
+          Alcotest.test_case "run_ir backend entry" `Quick test_run_ir_directly;
+          Alcotest.test_case "catalog listing" `Quick test_catalog_rows;
+          Alcotest.test_case "warnings don't block" `Quick
+            test_session_warnings_do_not_block;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "roles enforced" `Quick test_server_roles;
+          Alcotest.test_case "accounts and audit" `Quick
+            test_server_accounts_and_audit;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "loader failure mid-script" `Quick
+            test_loader_failure_mid_script;
+          Alcotest.test_case "parallel failure propagates" `Quick
+            test_parallel_script_failure_propagates;
+          Alcotest.test_case "corrupt IR rejected" `Quick
+            test_corrupt_ir_rejected_by_backend;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "items inventory" `Quick test_cluster_items;
+          Alcotest.test_case "LPT balance" `Quick test_cluster_lpt_balance;
+          Alcotest.test_case "capacity boundary" `Quick test_cluster_capacity_boundary;
+          Alcotest.test_case "table bytes monotone" `Quick test_table_bytes_monotone;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "ranges cover" `Quick test_shard_ranges_cover;
+          Alcotest.test_case "deterministic across shard counts" `Quick
+            test_shard_select_deterministic_across_counts;
+          Alcotest.test_case "merge order" `Quick test_shard_scan_merge_order;
+          Alcotest.test_case "empty table" `Quick test_shard_empty_table;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+module Wire = Graql_ir.Wire
+module Codec = Graql_ir.Codec
+module Ast = Graql_lang.Ast
+module Parser = Graql_lang.Parser
+module Pretty = Graql_lang.Pretty
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Wire primitives                                                     *)
+
+let test_varint_roundtrip () =
+  let cases = [ 0; 1; 127; 128; 300; 65535; 1 lsl 40; max_int / 2 ] in
+  List.iter
+    (fun n ->
+      let w = Wire.writer () in
+      Wire.varint w n;
+      let r = Wire.reader (Wire.contents w) in
+      check_int (Printf.sprintf "varint %d" n) n (Wire.read_varint r);
+      check "consumed" true (Wire.at_end r))
+    cases
+
+let test_zigzag_roundtrip () =
+  List.iter
+    (fun n ->
+      let w = Wire.writer () in
+      Wire.zigzag w n;
+      let r = Wire.reader (Wire.contents w) in
+      check_int (Printf.sprintf "zigzag %d" n) n (Wire.read_zigzag r))
+    [ 0; -1; 1; -1000000; 1000000; min_int / 4; max_int / 4 ]
+
+let test_float_string_bool () =
+  let w = Wire.writer () in
+  Wire.float64 w 3.14159;
+  Wire.string w "héllo\x00world";
+  Wire.bool w true;
+  let r = Wire.reader (Wire.contents w) in
+  check "float" true (Wire.read_float64 r = 3.14159);
+  check "string with nul" true (Wire.read_string r = "héllo\x00world");
+  check "bool" true (Wire.read_bool r)
+
+let test_wire_corrupt () =
+  let r = Wire.reader (Bytes.of_string "") in
+  (match Wire.read_varint r with
+  | _ -> Alcotest.fail "expected corrupt"
+  | exception Wire.Corrupt _ -> ());
+  (* String length overruns buffer. *)
+  let w = Wire.writer () in
+  Wire.varint w 100;
+  let r = Wire.reader (Wire.contents w) in
+  match Wire.read_string r with
+  | _ -> Alcotest.fail "expected corrupt"
+  | exception Wire.Corrupt _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Script roundtrips                                                   *)
+
+let roundtrip src =
+  let ast = Parser.parse_script src in
+  let blob = Codec.encode_script ast in
+  let ast2 = Codec.decode_script blob in
+  (ast, ast2, blob)
+
+let corpus =
+  [
+    "create table T (id varchar(10), n integer, f float, d date, b boolean)";
+    "create vertex V(id, b) from table T where ((n > 3) and (f < 1.5))";
+    "create edge e with vertices (V as A, V as B) from table R where (A.id = B.id)";
+    "ingest table T 'data.csv'";
+    "set %P% = 'x'";
+    "set %N% = -42";
+    "set %F% = 1.25";
+    "set %B% = true";
+    "set %Z% = null";
+    "select * from graph V ((id = %P%)) --e--> def x: V <--e-- foreach y: V \
+     into subgraph G";
+    "select x.id, y.id as other from graph (V --e--> def x: V) and (x --e--> \
+     def y: V) or V --e--> V into table T2";
+    "select * from graph V ( --[ ]--> [ ] )+ --e--> V ( --e--> V ){4} into \
+     subgraph R";
+    "select * from graph R.V ((id is not null)) --e(w > 2)--> V into subgraph R2";
+    "select E.w from graph V --def E: e--> V <--foreach f: e-- V into table TE";
+    "select distinct top 5 id, count(*) as n, avg(f) as a from table T where \
+     (id like 'x%') group by id order by n desc, id asc into table Out";
+    "select a.x from table A as a, B as b where (a.k = b.k)";
+  ]
+
+let test_corpus_roundtrip () =
+  List.iter
+    (fun src ->
+      let ast, ast2, _ = roundtrip src in
+      (* Locations survive too, so structural equality must hold. *)
+      if ast <> ast2 then
+        Alcotest.failf "IR roundtrip changed AST for %S:\n%s\nvs\n%s" src
+          (Pretty.script_to_string ast)
+          (Pretty.script_to_string ast2))
+    corpus
+
+let test_whole_berlin_roundtrip () =
+  let src =
+    String.concat "\n"
+      (Graql_berlin.Berlin_schema.full_ddl
+      :: List.map snd
+           (Graql_berlin.Berlin_queries.all @ Graql_berlin.Berlin_queries.bi_all))
+  in
+  let ast, ast2, blob = roundtrip src in
+  check "berlin roundtrip" true (ast = ast2);
+  check "non-trivial size" true (Bytes.length blob > 500)
+
+let test_header_checks () =
+  let ast = Parser.parse_script "set %A% = 1" in
+  let blob = Codec.encode_script ast in
+  (* Corrupt the magic *)
+  let bad = Bytes.copy blob in
+  Bytes.set bad 0 'X';
+  (match Codec.decode_script bad with
+  | _ -> Alcotest.fail "expected corrupt magic"
+  | exception Wire.Corrupt msg -> check "magic msg" true (msg = "bad IR magic"));
+  (* Truncate *)
+  let short = Bytes.sub blob 0 (Bytes.length blob - 2) in
+  (match Codec.decode_script short with
+  | _ -> Alcotest.fail "expected truncation error"
+  | exception Wire.Corrupt _ -> ());
+  (* Trailing garbage *)
+  let long = Bytes.cat blob (Bytes.of_string "zz") in
+  match Codec.decode_script long with
+  | _ -> Alcotest.fail "expected trailing error"
+  | exception Wire.Corrupt msg -> check "trailing" true (msg = "trailing bytes in IR")
+
+let test_decode_random_bytes_never_crashes () =
+  (* Fuzzing the decoder: must raise Corrupt (or succeed), never crash. *)
+  let rng = Graql_util.Rng.make 5 in
+  for _ = 1 to 500 do
+    let len = Graql_util.Rng.int rng 64 in
+    let b =
+      Bytes.init len (fun _ -> Char.chr (Graql_util.Rng.int rng 256))
+    in
+    match Codec.decode_script b with
+    | _ -> ()
+    | exception Wire.Corrupt _ -> ()
+  done
+
+let test_expr_codec () =
+  let e = Parser.parse_expr "((a.b + 1) * 2 >= %P%) and (c like 'x%') or q is null" in
+  let e2 = Codec.decode_expr (Codec.encode_expr e) in
+  check "expr roundtrip" true (e = e2)
+
+(* Random statement generator: reuse the corpus pieces with random params
+   spliced in to get variety. *)
+let prop_script_roundtrip =
+  QCheck.Test.make ~name:"random script subsets roundtrip" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_bound (List.length corpus - 1)))
+    (fun picks ->
+      let src = String.concat "\n" (List.map (List.nth corpus) picks) in
+      (* Renumber duplicate definitions away by parsing directly. *)
+      let ast = Parser.parse_script src in
+      Codec.decode_script (Codec.encode_script ast) = ast)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "varint" `Quick test_varint_roundtrip;
+          Alcotest.test_case "zigzag" `Quick test_zigzag_roundtrip;
+          Alcotest.test_case "float/string/bool" `Quick test_float_string_bool;
+          Alcotest.test_case "corrupt detection" `Quick test_wire_corrupt;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "corpus roundtrip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "berlin script" `Quick test_whole_berlin_roundtrip;
+          Alcotest.test_case "header checks" `Quick test_header_checks;
+          Alcotest.test_case "fuzz decode" `Quick test_decode_random_bytes_never_crashes;
+          Alcotest.test_case "expr codec" `Quick test_expr_codec;
+          QCheck_alcotest.to_alcotest prop_script_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+module Pool = Graql_parallel.Domain_pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_pool ?domains f =
+  let pool = Pool.create ?domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_run_tasks () =
+  with_pool (fun pool ->
+      let results = Array.make 20 0 in
+      Pool.run_tasks pool
+        (List.init 20 (fun i () -> results.(i) <- i * i));
+      check "all tasks ran" true
+        (Array.to_list results = List.init 20 (fun i -> i * i)))
+
+let test_run_tasks_empty () =
+  with_pool (fun pool -> Pool.run_tasks pool [])
+
+let test_exception_propagates () =
+  with_pool (fun pool ->
+      match
+        Pool.run_tasks pool
+          [ (fun () -> ()); (fun () -> failwith "boom"); (fun () -> ()) ]
+      with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
+
+let test_parallel_for () =
+  with_pool (fun pool ->
+      let out = Array.make 1000 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:1000 (fun i -> out.(i) <- i + 1);
+      check_int "sum" (1000 * 1001 / 2) (Array.fold_left ( + ) 0 out))
+
+let test_parallel_for_empty_range () =
+  with_pool (fun pool ->
+      let hit = ref false in
+      Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> hit := true);
+      check "no iterations" false !hit)
+
+let test_parallel_map () =
+  with_pool (fun pool ->
+      let a = Array.init 500 Fun.id in
+      let b = Pool.parallel_map_array pool (fun x -> x * 2) a in
+      check "mapped" true (b = Array.map (fun x -> x * 2) a))
+
+let test_parallel_reduce_deterministic () =
+  with_pool (fun pool ->
+      (* Order-sensitive merge: string concatenation. Deterministic because
+         chunk results merge in chunk order. *)
+      let run () =
+        Pool.parallel_reduce pool
+          ~init:(fun () -> Buffer.create 16)
+          ~body:(fun buf i -> Buffer.add_string buf (string_of_int i))
+          ~merge:(fun a b ->
+            Buffer.add_buffer a b;
+            a)
+          ~lo:0 ~hi:200
+      in
+      let expect = String.concat "" (List.init 200 string_of_int) in
+      for _ = 1 to 5 do
+        Alcotest.(check string) "stable across runs" expect (Buffer.contents (run ()))
+      done)
+
+let test_single_domain_pool () =
+  with_pool ~domains:1 (fun pool ->
+      check_int "size" 1 (Pool.size pool);
+      let acc = ref 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:100 (fun i -> acc := !acc + i);
+      check_int "sequential fallback" 4950 !acc)
+
+let test_nested_run_tasks () =
+  (* Statement-level parallelism nests operation-level parallelism; the
+     help-drain design must not deadlock. *)
+  with_pool ~domains:4 (fun pool ->
+      let results = Array.make 4 0 in
+      Pool.run_tasks pool
+        (List.init 4 (fun i () ->
+             let acc = ref 0 in
+             Pool.parallel_for pool ~lo:0 ~hi:100 (fun j -> acc := !acc + j);
+             (* parallel_for chunks may interleave on this counter; use
+                reduce for the checked value instead. *)
+             let v =
+               Pool.parallel_reduce pool
+                 ~init:(fun () -> ref 0)
+                 ~body:(fun a j -> a := !a + j)
+                 ~merge:(fun a b ->
+                   a := !a + !b;
+                   a)
+                 ~lo:0 ~hi:100
+             in
+             results.(i) <- !v));
+      check "nested results" true (Array.for_all (fun v -> v = 4950) results))
+
+let test_parallel_for_chunks_cover () =
+  with_pool (fun pool ->
+      let seen = Array.make 777 false in
+      Pool.parallel_for_chunks pool ~lo:0 ~hi:777 (fun lo hi ->
+          for i = lo to hi - 1 do
+            seen.(i) <- true
+          done);
+      check "full coverage" true (Array.for_all Fun.id seen))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "domain_pool",
+        [
+          Alcotest.test_case "run_tasks" `Quick test_run_tasks;
+          Alcotest.test_case "run_tasks empty" `Quick test_run_tasks_empty;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "parallel_for" `Quick test_parallel_for;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty_range;
+          Alcotest.test_case "parallel_map" `Quick test_parallel_map;
+          Alcotest.test_case "reduce deterministic" `Quick
+            test_parallel_reduce_deterministic;
+          Alcotest.test_case "single-domain pool" `Quick test_single_domain_pool;
+          Alcotest.test_case "nested tasks no deadlock" `Quick test_nested_run_tasks;
+          Alcotest.test_case "chunk coverage" `Quick test_parallel_for_chunks_cover;
+        ] );
+    ]

@@ -1,0 +1,501 @@
+module Value = Graql_storage.Value
+module Dtype = Graql_storage.Dtype
+module Schema = Graql_storage.Schema
+module Table = Graql_storage.Table
+module Row_expr = Graql_relational.Row_expr
+module Relop = Graql_relational.Relop
+module Join = Graql_relational.Join
+module Aggregate = Graql_relational.Aggregate
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let col n t = { Schema.name = n; dtype = t }
+let vi i = Value.Int i
+let vs s = Value.Str s
+let vf f = Value.Float f
+
+let nums_schema =
+  Schema.make [ col "id" Dtype.Int; col "grp" (Dtype.Varchar 4); col "x" Dtype.Float ]
+
+let mk_nums () =
+  Table.of_rows ~name:"nums" nums_schema
+    [
+      [ vi 1; vs "a"; vf 10.0 ];
+      [ vi 2; vs "b"; vf 20.0 ];
+      [ vi 3; vs "a"; vf 30.0 ];
+      [ vi 4; vs "b"; Value.Null ];
+      [ vi 5; vs "a"; vf 50.0 ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Row_expr evaluation                                                 *)
+
+let eval_const e = Row_expr.eval (fun _ -> Value.Null) e
+
+let test_expr_arith () =
+  let open Row_expr in
+  check "int add" true
+    (eval_const (Arith (Add, Const (vi 2), Const (vi 3))) = vi 5);
+  check "mixed mul" true
+    (eval_const (Arith (Mul, Const (vi 2), Const (vf 1.5))) = vf 3.0);
+  check "div by zero is null" true
+    (eval_const (Arith (Div, Const (vi 1), Const (vi 0))) = Value.Null);
+  check "date + int" true
+    (eval_const (Arith (Add, Const (Value.Date 10), Const (vi 5)))
+    = Value.Date 15);
+  check "string concat" true
+    (eval_const (Arith (Add, Const (vs "ab"), Const (vs "cd"))) = vs "abcd")
+
+let test_expr_cmp_null () =
+  let open Row_expr in
+  check "null cmp is null" true
+    (eval_const (Cmp (Eq, Const Value.Null, Const (vi 1))) = Value.Null);
+  check "is_true null = false" false (is_true Value.Null);
+  check "int/float cross cmp" true
+    (eval_const (Cmp (Lt, Const (vi 1), Const (vf 1.5))) = Value.Bool true)
+
+let test_expr_three_valued_logic () =
+  let open Row_expr in
+  let null = Const Value.Null
+  and t = Const (Value.Bool true)
+  and f = Const (Value.Bool false) in
+  check "null and false = false" true (eval_const (And (null, f)) = Value.Bool false);
+  check "null and true = null" true (eval_const (And (null, t)) = Value.Null);
+  check "null or true = true" true (eval_const (Or (null, t)) = Value.Bool true);
+  check "null or false = null" true (eval_const (Or (null, f)) = Value.Null);
+  check "not null = null" true (eval_const (Not null) = Value.Null);
+  check "is null" true (eval_const (IsNull null) = Value.Bool true)
+
+let test_expr_like () =
+  let open Row_expr in
+  let m pat s = eval_const (Like (Const (vs s), pat)) = Value.Bool true in
+  check "exact" true (m "abc" "abc");
+  check "pct suffix" true (m "ab%" "abcdef");
+  check "pct middle" true (m "a%c" "abbbc");
+  check "underscore" true (m "a_c" "abc");
+  check "no match" false (m "a_c" "abbc");
+  check "pct matches empty" true (m "%" "");
+  check "like null" true (eval_const (Like (Const Value.Null, "x")) = Value.Null)
+
+let test_expr_columns_mapping () =
+  let open Row_expr in
+  let e = And (Cmp (Eq, Col 2, Col 0), Not (IsNull (Col 2))) in
+  Alcotest.(check (list int)) "columns" [ 0; 2 ] (columns e);
+  let e' = map_columns (fun i -> i + 10) e in
+  Alcotest.(check (list int)) "remapped" [ 10; 12 ] (columns e')
+
+(* ------------------------------------------------------------------ *)
+(* Selection / projection / distinct / order / top                     *)
+
+let test_select () =
+  let t = mk_nums () in
+  let r = Relop.select t Row_expr.(Cmp (Eq, Col 1, Const (vs "a"))) in
+  check_int "3 a-rows" 3 (Table.nrows r);
+  check "first id" true (Table.get r ~row:0 ~col:0 = vi 1)
+
+let test_select_null_pred () =
+  let t = mk_nums () in
+  let r = Relop.select t Row_expr.(Cmp (Gt, Col 2, Const (vf 15.0))) in
+  check_int "nulls excluded" 3 (Table.nrows r)
+
+let test_select_parallel_matches_serial () =
+  let schema = Schema.make [ col "v" Dtype.Int ] in
+  let t = Table.create ~name:"big" schema in
+  for i = 0 to 9999 do
+    Table.append_row t [ vi (i mod 97) ]
+  done;
+  let pred = Row_expr.(Cmp (Lt, Col 0, Const (vi 13))) in
+  let serial = Relop.select_indices t pred in
+  let pool = Graql_parallel.Domain_pool.create ~domains:4 () in
+  let parallel = Relop.select_indices ~pool t pred in
+  Graql_parallel.Domain_pool.shutdown pool;
+  check "same rows, same order" true (serial = parallel)
+
+let test_project () =
+  let t = mk_nums () in
+  let r = Relop.project t [ 2; 0 ] in
+  check_int "arity" 2 (Table.arity r);
+  Alcotest.(check string) "col order" "x" (Schema.col_name (Table.schema r) 0);
+  check "values" true (Table.get r ~row:0 ~col:1 = vi 1)
+
+let test_project_named () =
+  let t = mk_nums () in
+  let r =
+    Relop.project_named t
+      [ ("double", Dtype.Float, Row_expr.(Arith (Mul, Col 2, Const (vi 2)))) ]
+  in
+  check "computed" true (Table.get r ~row:1 ~col:0 = vf 40.0);
+  check "null propagates" true (Table.get r ~row:3 ~col:0 = Value.Null)
+
+let test_distinct () =
+  let t =
+    Table.of_rows ~name:"d"
+      (Schema.make [ col "a" Dtype.Int ])
+      [ [ vi 1 ]; [ vi 2 ]; [ vi 1 ]; [ vi 3 ]; [ vi 2 ] ]
+  in
+  let r = Relop.distinct t in
+  check_int "distinct" 3 (Table.nrows r);
+  check "keeps first-seen order" true
+    (List.init 3 (fun i -> Table.get r ~row:i ~col:0) = [ vi 1; vi 2; vi 3 ])
+
+let test_order_by () =
+  let t = mk_nums () in
+  let r = Relop.order_by t [ (1, Relop.Asc); (2, Relop.Desc) ] in
+  let grps = List.init 5 (fun i -> Table.get r ~row:i ~col:1) in
+  check "groups ordered" true (grps = [ vs "a"; vs "a"; vs "a"; vs "b"; vs "b" ]);
+  check "within group desc" true
+    (Table.get r ~row:0 ~col:2 = vf 50.0 && Table.get r ~row:2 ~col:2 = vf 10.0);
+  check "null last under desc" true (Table.get r ~row:4 ~col:2 = Value.Null)
+
+let test_order_by_stable () =
+  let schema = Schema.make [ col "k" Dtype.Int; col "pos" Dtype.Int ] in
+  let t =
+    Table.of_rows ~name:"s" schema
+      [ [ vi 1; vi 0 ]; [ vi 1; vi 1 ]; [ vi 0; vi 2 ]; [ vi 1; vi 3 ] ]
+  in
+  let r = Relop.order_by t [ (0, Relop.Asc) ] in
+  check "ties keep row order" true
+    (List.init 4 (fun i -> Table.get r ~row:i ~col:1)
+    = [ vi 2; vi 0; vi 1; vi 3 ])
+
+let test_top_n () =
+  let t = mk_nums () in
+  let r = Relop.top_n t ~n:2 ~keys:[ (2, Relop.Desc) ] in
+  check_int "two rows" 2 (Table.nrows r);
+  check "largest first" true
+    (Table.get r ~row:0 ~col:2 = vf 50.0 && Table.get r ~row:1 ~col:2 = vf 30.0)
+
+let test_top_n_larger_than_table () =
+  let t = mk_nums () in
+  let r = Relop.top_n t ~n:100 ~keys:[ (0, Relop.Asc) ] in
+  check_int "clamped" 5 (Table.nrows r)
+
+let test_limit_union () =
+  let t = mk_nums () in
+  check_int "limit" 2 (Table.nrows (Relop.limit t 2));
+  let u = Relop.union_all t (mk_nums ()) in
+  check_int "union_all" 10 (Table.nrows u);
+  let bad = Table.create ~name:"b" (Schema.make [ col "z" Dtype.Bool ]) in
+  Alcotest.check_raises "arity mismatch" (Failure "union: arity mismatch")
+    (fun () -> ignore (Relop.union_all t bad))
+
+let prop_top_n_equals_sort_prefix =
+  QCheck.Test.make ~name:"top_n = order_by + limit" ~count:100
+    QCheck.(pair (int_bound 10) (list_of_size (QCheck.Gen.int_range 0 30) small_int))
+    (fun (n, xs) ->
+      let schema = Schema.make [ col "v" Dtype.Int ] in
+      let t = Table.of_rows ~name:"t" schema (List.map (fun x -> [ vi x ]) xs) in
+      let a = Relop.top_n t ~n ~keys:[ (0, Relop.Desc) ] in
+      let b = Relop.limit (Relop.order_by t [ (0, Relop.Desc) ]) n in
+      List.init (Table.nrows a) (fun i -> Table.get a ~row:i ~col:0)
+      = List.init (Table.nrows b) (fun i -> Table.get b ~row:i ~col:0))
+
+let prop_distinct_idempotent =
+  QCheck.Test.make ~name:"distinct is idempotent" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_bound 30) (int_bound 5))
+    (fun xs ->
+      let schema = Schema.make [ col "v" Dtype.Int ] in
+      let t = Table.of_rows ~name:"t" schema (List.map (fun x -> [ vi x ]) xs) in
+      let d1 = Relop.distinct t in
+      let d2 = Relop.distinct d1 in
+      Table.nrows d1 = Table.nrows d2
+      && List.init (Table.nrows d1) (fun i -> Table.row d1 i)
+         = List.init (Table.nrows d2) (fun i -> Table.row d2 i))
+
+(* ------------------------------------------------------------------ *)
+(* Fast-path predicate compilation                                     *)
+
+module Fast_pred = Graql_relational.Fast_pred
+
+let mixed_schema =
+  Schema.make
+    [
+      col "i" Dtype.Int;
+      col "f" Dtype.Float;
+      col "s" (Dtype.Varchar 4);
+      col "d" Dtype.Date;
+      col "b" Dtype.Bool;
+    ]
+
+let mixed_row_gen =
+  QCheck.Gen.(
+    let opt_null g = frequency [ (4, g); (1, return Value.Null) ] in
+    map
+      (fun (i, f, s, d, b) -> [ i; f; s; d; b ])
+      (tup5
+         (opt_null (map (fun i -> vi i) (int_bound 9)))
+         (opt_null (map (fun f -> vf (float_of_int f /. 2.0)) (int_bound 9)))
+         (opt_null (map (fun c -> vs (String.make 1 c)) (char_range 'a' 'd')))
+         (opt_null (map (fun d -> Value.Date d) (int_bound 9)))
+         (opt_null (map (fun b -> Value.Bool b) bool))))
+
+(* Random predicates in the fast fragment. *)
+let fast_pred_gen =
+  QCheck.Gen.(
+    let cmp_op = oneofl Row_expr.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+    let atom =
+      oneof
+        [
+          map2
+            (fun op k -> Row_expr.Cmp (op, Row_expr.Col 0, Row_expr.Const (vi k)))
+            cmp_op (int_bound 9);
+          map2
+            (fun op k ->
+              Row_expr.Cmp
+                (op, Row_expr.Const (vf (float_of_int k /. 2.0)), Row_expr.Col 1))
+            cmp_op (int_bound 9);
+          map2
+            (fun eq c ->
+              let op = if eq then Row_expr.Eq else Row_expr.Ne in
+              Row_expr.Cmp (op, Row_expr.Col 2, Row_expr.Const (vs (String.make 1 c))))
+            bool
+            (char_range 'a' 'e') (* 'e' is never interned: absent-id path *);
+          map2
+            (fun op k ->
+              Row_expr.Cmp (op, Row_expr.Col 3, Row_expr.Const (Value.Date k)))
+            cmp_op (int_bound 9);
+          map
+            (fun b ->
+              Row_expr.Cmp (Row_expr.Eq, Row_expr.Col 4, Row_expr.Const (Value.Bool b)))
+            bool;
+          map (fun i -> Row_expr.IsNull (Row_expr.Col i)) (int_bound 4);
+        ]
+    in
+    let rec tree depth =
+      if depth = 0 then atom
+      else
+        oneof
+          [
+            atom;
+            map2 (fun a b -> Row_expr.And (a, b)) (tree (depth - 1)) (tree (depth - 1));
+            map2 (fun a b -> Row_expr.Or (a, b)) (tree (depth - 1)) (tree (depth - 1));
+            map (fun a -> Row_expr.Not a) (tree (depth - 1));
+          ]
+    in
+    tree 3)
+
+let prop_fast_pred_equals_generic =
+  QCheck.Test.make ~name:"fast predicate = generic evaluator" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_range 1 30) mixed_row_gen) fast_pred_gen))
+    (fun (rows, pred) ->
+      let t = Table.of_rows ~name:"m" mixed_schema rows in
+      match Fast_pred.compile t pred with
+      | None -> QCheck.Test.fail_report "fragment should compile"
+      | Some fast ->
+          List.for_all
+            (fun i ->
+              let get c = Table.get t ~row:i ~col:c in
+              fast i = Row_expr.eval_bool get pred)
+            (List.init (Table.nrows t) Fun.id))
+
+let test_fast_pred_fragment () =
+  let open Row_expr in
+  check "col-const compilable" true
+    (Fast_pred.compilable (Cmp (Eq, Col 0, Const (vi 1))));
+  check "like not compilable" false
+    (Fast_pred.compilable (Like (Col 2, "a%")));
+  check "arith not compilable" false
+    (Fast_pred.compilable
+       (Cmp (Eq, Arith (Add, Col 0, Const (vi 1)), Const (vi 2))));
+  check "col-col not compilable" false
+    (Fast_pred.compilable (Cmp (Eq, Col 0, Col 1)));
+  (* Date column vs raw Int constant must fall back (rank semantics). *)
+  let t = Table.of_rows ~name:"t" mixed_schema [] in
+  check "date vs int falls back" true
+    (Fast_pred.compile t (Cmp (Gt, Col 3, Const (vi 3))) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                               *)
+
+let left_schema = Schema.make [ col "k" Dtype.Int; col "l" (Dtype.Varchar 4) ]
+let right_schema = Schema.make [ col "k" Dtype.Int; col "r" (Dtype.Varchar 4) ]
+
+let test_hash_join_inner () =
+  let l =
+    Table.of_rows ~name:"l" left_schema
+      [ [ vi 1; vs "a" ]; [ vi 2; vs "b" ]; [ vi 2; vs "b2" ]; [ vi 3; vs "c" ] ]
+  in
+  let r =
+    Table.of_rows ~name:"r" right_schema
+      [ [ vi 2; vs "x" ]; [ vi 3; vs "y" ]; [ vi 3; vs "y2" ]; [ vi 9; vs "z" ] ]
+  in
+  let j = Join.hash_join ~left:l ~right:r ~on:[ (0, 0) ] () in
+  check_int "match count" 4 (Table.nrows j);
+  check_int "arity" 4 (Table.arity j);
+  Alcotest.(check string) "dup col renamed" "k'" (Schema.col_name (Table.schema j) 2)
+
+let test_join_null_keys_never_match () =
+  let l = Table.of_rows ~name:"l" left_schema [ [ Value.Null; vs "a" ] ] in
+  let r = Table.of_rows ~name:"r" right_schema [ [ Value.Null; vs "x" ] ] in
+  let j = Join.hash_join ~left:l ~right:r ~on:[ (0, 0) ] () in
+  check_int "null keys don't join" 0 (Table.nrows j)
+
+let test_join_multi_key () =
+  let schema2 = Schema.make [ col "a" Dtype.Int; col "b" Dtype.Int ] in
+  let l = Table.of_rows ~name:"l" schema2 [ [ vi 1; vi 1 ]; [ vi 1; vi 2 ] ] in
+  let r = Table.of_rows ~name:"r" schema2 [ [ vi 1; vi 2 ]; [ vi 1; vi 3 ] ] in
+  let j = Join.hash_join ~left:l ~right:r ~on:[ (0, 0); (1, 1) ] () in
+  check_int "only (1,2)" 1 (Table.nrows j)
+
+let test_semi_join () =
+  let l =
+    Table.of_rows ~name:"l" left_schema
+      [ [ vi 1; vs "a" ]; [ vi 2; vs "b" ]; [ vi 3; vs "c" ] ]
+  in
+  let r =
+    Table.of_rows ~name:"r" right_schema [ [ vi 2; vs "x" ]; [ vi 2; vs "y" ] ]
+  in
+  let rows = Join.semi_join_left ~left:l ~right:r ~on:[ (0, 0) ] in
+  check "only k=2, once" true (rows = [| 1 |])
+
+let prop_join_matches_nested_loop =
+  let row_gen = QCheck.Gen.(pair (int_bound 5) (int_bound 3)) in
+  QCheck.Test.make ~name:"hash join = nested loop oracle" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_bound 15) (make row_gen))
+        (list_of_size (QCheck.Gen.int_bound 15) (make row_gen)))
+    (fun (ls, rs) ->
+      let schema = Schema.make [ col "k" Dtype.Int; col "v" Dtype.Int ] in
+      let mk name rows =
+        Table.of_rows ~name schema (List.map (fun (k, v) -> [ vi k; vi v ]) rows)
+      in
+      let l = mk "l" ls and r = mk "r" rs in
+      let pairs = Join.join_pairs ~left:l ~right:r ~on:[ (0, 0) ] in
+      let oracle =
+        List.concat
+          (List.mapi
+             (fun i (lk, _) ->
+               List.mapi (fun j (rk, _) -> if lk = rk then Some (i, j) else None) rs
+               |> List.filter_map Fun.id)
+             ls)
+      in
+      List.sort compare (Array.to_list pairs) = List.sort compare oracle)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+
+let test_group_by () =
+  let t = mk_nums () in
+  let r =
+    Aggregate.group_by t ~keys:[ 1 ]
+      ~aggs:
+        [
+          (Aggregate.Count_star, "n");
+          (Aggregate.Count 2, "nx");
+          (Aggregate.Sum 2, "sum");
+          (Aggregate.Avg 2, "avg");
+          (Aggregate.Min 2, "min");
+          (Aggregate.Max 2, "max");
+        ]
+  in
+  check_int "2 groups" 2 (Table.nrows r);
+  let row_of g =
+    let rec go i = if Table.get r ~row:i ~col:0 = vs g then i else go (i + 1) in
+    go 0
+  in
+  let a = row_of "a" and b = row_of "b" in
+  check "a count" true (Table.get r ~row:a ~col:1 = vi 3);
+  check "a sum" true (Table.get r ~row:a ~col:3 = vf 90.0);
+  check "a avg" true (Table.get r ~row:a ~col:4 = vf 30.0);
+  check "a min/max" true
+    (Table.get r ~row:a ~col:5 = vf 10.0 && Table.get r ~row:a ~col:6 = vf 50.0);
+  check "b count(*) counts null row" true (Table.get r ~row:b ~col:1 = vi 2);
+  check "b count(x) skips null" true (Table.get r ~row:b ~col:2 = vi 1);
+  check "b sum" true (Table.get r ~row:b ~col:3 = vf 20.0)
+
+let test_group_by_empty_global () =
+  let t = Table.create ~name:"e" nums_schema in
+  let r =
+    Aggregate.group_by t ~keys:[]
+      ~aggs:[ (Aggregate.Count_star, "n"); (Aggregate.Sum 0, "s") ]
+  in
+  check_int "one global row" 1 (Table.nrows r);
+  check "count 0" true (Table.get r ~row:0 ~col:0 = vi 0);
+  check "sum of nothing is null" true (Table.get r ~row:0 ~col:1 = Value.Null)
+
+let test_group_keys_with_null () =
+  let t =
+    Table.of_rows ~name:"g"
+      (Schema.make [ col "k" (Dtype.Varchar 2); col "v" Dtype.Int ])
+      [ [ vs "a"; vi 1 ]; [ Value.Null; vi 2 ]; [ Value.Null; vi 3 ] ]
+  in
+  let r = Aggregate.group_by t ~keys:[ 0 ] ~aggs:[ (Aggregate.Count_star, "n") ] in
+  check_int "null forms its own group" 2 (Table.nrows r)
+
+let test_scalar_aggs () =
+  let t = mk_nums () in
+  check "scalar count" true (Aggregate.scalar t Aggregate.Count_star = vi 5);
+  check "scalar max int col" true (Aggregate.scalar t (Aggregate.Max 0) = vi 5);
+  check "scalar avg" true (Aggregate.scalar t (Aggregate.Avg 2) = vf 27.5)
+
+let test_int_sum_stays_int () =
+  let schema = Schema.make [ col "v" Dtype.Int ] in
+  let t = Table.of_rows ~name:"t" schema [ [ vi 1 ]; [ vi 2 ] ] in
+  check "integer sum" true (Aggregate.scalar t (Aggregate.Sum 0) = vi 3)
+
+let prop_group_count_total =
+  QCheck.Test.make ~name:"group counts sum to row count" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_bound 40) (int_bound 5))
+    (fun ks ->
+      let schema = Schema.make [ col "k" Dtype.Int ] in
+      let t = Table.of_rows ~name:"t" schema (List.map (fun k -> [ vi k ]) ks) in
+      let r = Aggregate.group_by t ~keys:[ 0 ] ~aggs:[ (Aggregate.Count_star, "n") ] in
+      let total = ref 0 in
+      Table.iter_rows
+        (fun i -> total := !total + Value.as_int (Table.get r ~row:i ~col:1))
+        r;
+      !total = List.length ks)
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "row_expr",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_expr_arith;
+          Alcotest.test_case "null comparisons" `Quick test_expr_cmp_null;
+          Alcotest.test_case "three-valued logic" `Quick test_expr_three_valued_logic;
+          Alcotest.test_case "like patterns" `Quick test_expr_like;
+          Alcotest.test_case "columns/map_columns" `Quick test_expr_columns_mapping;
+        ] );
+      ( "relop",
+        [
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "select over nulls" `Quick test_select_null_pred;
+          Alcotest.test_case "parallel select = serial" `Quick
+            test_select_parallel_matches_serial;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "project computed" `Quick test_project_named;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "order by multi-key" `Quick test_order_by;
+          Alcotest.test_case "order by is stable" `Quick test_order_by_stable;
+          Alcotest.test_case "top n" `Quick test_top_n;
+          Alcotest.test_case "top n clamps" `Quick test_top_n_larger_than_table;
+          Alcotest.test_case "limit/union" `Quick test_limit_union;
+          QCheck_alcotest.to_alcotest prop_top_n_equals_sort_prefix;
+          QCheck_alcotest.to_alcotest prop_distinct_idempotent;
+        ] );
+      ( "fast_pred",
+        [
+          Alcotest.test_case "fragment boundaries" `Quick test_fast_pred_fragment;
+          QCheck_alcotest.to_alcotest prop_fast_pred_equals_generic;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "inner hash join" `Quick test_hash_join_inner;
+          Alcotest.test_case "null keys" `Quick test_join_null_keys_never_match;
+          Alcotest.test_case "multi-key" `Quick test_join_multi_key;
+          Alcotest.test_case "semi join" `Quick test_semi_join;
+          QCheck_alcotest.to_alcotest prop_join_matches_nested_loop;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "group by all aggs" `Quick test_group_by;
+          Alcotest.test_case "global over empty" `Quick test_group_by_empty_global;
+          Alcotest.test_case "null group key" `Quick test_group_keys_with_null;
+          Alcotest.test_case "scalar" `Quick test_scalar_aggs;
+          Alcotest.test_case "int sum stays int" `Quick test_int_sum_stays_int;
+          QCheck_alcotest.to_alcotest prop_group_count_total;
+        ] );
+    ]

@@ -1,0 +1,364 @@
+module Date = Graql_storage.Date
+module Dtype = Graql_storage.Dtype
+module Value = Graql_storage.Value
+module Schema = Graql_storage.Schema
+module Column = Graql_storage.Column
+module Table = Graql_storage.Table
+module Csv = Graql_storage.Csv
+module Catalog = Graql_storage.Table_catalog
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Date                                                                *)
+
+let test_date_roundtrip_known () =
+  check_int "epoch" 0 (Date.of_ymd 1970 1 1);
+  check_str "epoch string" "1970-01-01" (Date.to_string 0);
+  check_str "parse/print" "2008-02-29" (Date.to_string (Date.of_string "2008-02-29"));
+  check_int "day after epoch" 1 (Date.of_ymd 1970 1 2);
+  check_int "before epoch" (-1) (Date.of_ymd 1969 12 31)
+
+let test_date_leap () =
+  check "2008 leap" true (Date.is_leap_year 2008);
+  check "1900 not leap" false (Date.is_leap_year 1900);
+  check "2000 leap" true (Date.is_leap_year 2000);
+  check_int "feb 2008" 29 (Date.days_in_month 2008 2);
+  check_int "feb 2007" 28 (Date.days_in_month 2007 2);
+  Alcotest.check_raises "invalid day" (Invalid_argument "Date.of_ymd: day")
+    (fun () -> ignore (Date.of_ymd 2007 2 29))
+
+let test_date_parse_errors () =
+  check "bad shape" true (Date.of_string_opt "2008/01/01" = None);
+  check "bad month" true (Date.of_string_opt "2008-13-01" = None);
+  check "bad day" true (Date.of_string_opt "2008-04-31" = None);
+  check "short" true (Date.of_string_opt "2008-1-1" = None);
+  check "garbage" true (Date.of_string_opt "not-a-date" = None)
+
+let test_date_ordering () =
+  check "later date greater" true
+    (Date.of_string "2008-06-01" > Date.of_string "2008-05-31");
+  check_int "add_days" 31
+    (Date.add_days (Date.of_ymd 2008 1 1) 31 - Date.of_ymd 2008 1 1)
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"date ymd <-> days bijection" ~count:500
+    QCheck.(triple (int_range 1900 2100) (int_range 1 12) (int_range 1 28))
+    (fun (y, m, d) ->
+      let t = Date.of_ymd y m d in
+      Date.to_ymd t = (y, m, d)
+      && Date.of_string (Date.to_string t) = t)
+
+let prop_date_monotone =
+  QCheck.Test.make ~name:"next day is +1" ~count:200
+    QCheck.(triple (int_range 1950 2050) (int_range 1 12) (int_range 1 27))
+    (fun (y, m, d) -> Date.of_ymd y m (d + 1) = Date.of_ymd y m d + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+
+let test_value_compare () =
+  check "int vs float coerce" true (Value.compare (Value.Int 2) (Value.Float 2.0) = 0);
+  check "int < float" true (Value.compare (Value.Int 1) (Value.Float 1.5) < 0);
+  check "null smallest" true (Value.compare Value.Null (Value.Bool false) < 0);
+  check "str by content" true (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  check "date by day" true
+    (Value.compare (Value.Date 10) (Value.Date 20) < 0)
+
+let test_value_parse () =
+  check "empty is null" true (Value.parse Dtype.Int "" = Value.Null);
+  check "int" true (Value.parse Dtype.Int "42" = Value.Int 42);
+  check "float" true (Value.parse Dtype.Float "2.5" = Value.Float 2.5);
+  check "bool true" true (Value.parse Dtype.Bool "true" = Value.Bool true);
+  check "bool 0" true (Value.parse Dtype.Bool "0" = Value.Bool false);
+  check "varchar" true (Value.parse (Dtype.Varchar 10) "hey" = Value.Str "hey");
+  check "date" true
+    (Value.parse Dtype.Date "2008-01-02" = Value.Date (Date.of_ymd 2008 1 2));
+  Alcotest.check_raises "bad int" (Failure "cannot parse \"x\" as integer")
+    (fun () -> ignore (Value.parse Dtype.Int "x"))
+
+let test_value_accessors () =
+  check_int "as_int" 7 (Value.as_int (Value.Int 7));
+  check "as_float coerces int" true (Value.as_float (Value.Int 3) = 3.0);
+  Alcotest.check_raises "as_int on str" (Invalid_argument "Value.as_int")
+    (fun () -> ignore (Value.as_int (Value.Str "x")))
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) small_signed_int;
+        map (fun f -> Value.Float f) (float_bound_exclusive 1000.0);
+        map (fun s -> Value.Str s) (string_size (int_bound 8));
+        map (fun d -> Value.Date d) (int_bound 20000);
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_value_total_order =
+  QCheck.Test.make ~name:"value compare is a total order" ~count:500
+    QCheck.(triple value_arb value_arb value_arb)
+    (fun (a, b, c) ->
+      let sgn x = compare x 0 in
+      sgn (Value.compare a b) = -sgn (Value.compare b a)
+      && (not (Value.compare a b <= 0 && Value.compare b c <= 0)
+         || Value.compare a c <= 0))
+
+let prop_value_hash_consistent =
+  QCheck.Test.make ~name:"equal values hash equally" ~count:500
+    QCheck.(pair value_arb value_arb)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+
+let col n t = { Schema.name = n; dtype = t }
+
+let test_schema_basic () =
+  let s = Schema.make [ col "id" Dtype.Int; col "name" (Dtype.Varchar 10) ] in
+  check_int "arity" 2 (Schema.arity s);
+  check "find case-insensitive" true (Schema.find s "NAME" = Some 1);
+  check "missing" true (Schema.find s "zzz" = None);
+  Alcotest.check_raises "dup" (Invalid_argument "Schema.make: duplicate column \"ID\"")
+    (fun () -> ignore (Schema.make [ col "id" Dtype.Int; col "ID" Dtype.Int ]))
+
+let test_schema_concat () =
+  let a = Schema.make [ col "id" Dtype.Int; col "x" Dtype.Float ] in
+  let b = Schema.make [ col "id" Dtype.Int; col "y" Dtype.Bool ] in
+  let c = Schema.concat a b in
+  check_int "concat arity" 4 (Schema.arity c);
+  check_str "renamed dup" "id'" (Schema.col_name c 2)
+
+let test_schema_prefix () =
+  let a = Schema.make [ col "id" Dtype.Int ] in
+  let p = Schema.rename_prefix "T" a in
+  check_str "prefixed" "T.id" (Schema.col_name p 0)
+
+(* ------------------------------------------------------------------ *)
+(* Column                                                              *)
+
+let test_column_typed () =
+  let c = Column.create Dtype.Int in
+  Column.append c (Value.Int 1);
+  Column.append c Value.Null;
+  Column.append c (Value.Int 3);
+  check_int "length" 3 (Column.length c);
+  check "get 0" true (Column.get c 0 = Value.Int 1);
+  check "null" true (Column.get c 1 = Value.Null);
+  check "is_null" true (Column.is_null c 1);
+  check "not null" false (Column.is_null c 2);
+  Alcotest.check_raises "type mismatch"
+    (Failure "type mismatch: column is integer, value is x") (fun () ->
+      Column.append c (Value.Str "x"))
+
+let test_column_varchar_dict () =
+  let c = Column.create (Dtype.Varchar 8) in
+  Column.append c (Value.Str "aa");
+  Column.append c (Value.Str "bb");
+  Column.append c (Value.Str "aa");
+  check_int "dict reuse" (Column.get_int c 0) (Column.get_int c 2);
+  check "ids differ" true (Column.get_int c 0 <> Column.get_int c 1);
+  check "intern_id" true (Column.intern_id c "bb" = Some (Column.get_int c 1));
+  check "intern miss" true (Column.intern_id c "zz" = None);
+  check_str "dict_lookup" "bb" (Column.dict_lookup c (Column.get_int c 1))
+
+let test_column_float_and_coerce () =
+  let c = Column.create Dtype.Float in
+  Column.append c (Value.Float 1.5);
+  Column.append c (Value.Int 2);
+  check "int coerced into float col" true (Column.get c 1 = Value.Float 2.0);
+  check "get_float" true (Column.get_float c 0 = 1.5)
+
+let test_column_bool_date () =
+  let b = Column.create Dtype.Bool in
+  Column.append b (Value.Bool true);
+  Column.append b (Value.Bool false);
+  check "bool roundtrip" true
+    (Column.get b 0 = Value.Bool true && Column.get b 1 = Value.Bool false);
+  let d = Column.create Dtype.Date in
+  Column.append d (Value.Date 12345);
+  check "date roundtrip" true (Column.get d 0 = Value.Date 12345)
+
+let test_column_many_nulls () =
+  let c = Column.create Dtype.Int in
+  for i = 0 to 999 do
+    if i mod 3 = 0 then Column.append_null c else Column.append c (Value.Int i)
+  done;
+  let nulls = ref 0 in
+  for i = 0 to 999 do
+    if Column.is_null c i then incr nulls
+  done;
+  check_int "null count" 334 !nulls
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+
+let people_schema =
+  Schema.make
+    [ col "id" Dtype.Int; col "name" (Dtype.Varchar 16); col "score" Dtype.Float ]
+
+let mk_people () =
+  Table.of_rows ~name:"people" people_schema
+    [
+      [ Value.Int 1; Value.Str "ada"; Value.Float 9.5 ];
+      [ Value.Int 2; Value.Str "bob"; Value.Null ];
+      [ Value.Int 3; Value.Str "cyd"; Value.Float 7.0 ];
+    ]
+
+let test_table_basic () =
+  let t = mk_people () in
+  check_int "nrows" 3 (Table.nrows t);
+  check_int "arity" 3 (Table.arity t);
+  check "cell" true (Table.get t ~row:1 ~col:1 = Value.Str "bob");
+  check "by name" true (Table.get_by_name t ~row:2 "SCORE" = Value.Float 7.0);
+  check "row" true
+    (Table.row t 0 = [| Value.Int 1; Value.Str "ada"; Value.Float 9.5 |])
+
+let test_table_arity_error () =
+  let t = mk_people () in
+  Alcotest.check_raises "arity"
+    (Failure "table people: expected 3 values, got 2") (fun () ->
+      Table.append_row t [ Value.Int 4; Value.Str "x" ])
+
+let test_table_type_error_context () =
+  let t = mk_people () in
+  match Table.append_row t [ Value.Str "x"; Value.Str "y"; Value.Null ] with
+  | () -> Alcotest.fail "expected failure"
+  | exception Failure msg ->
+      check "message names table and column" true
+        (String.length msg > 0
+        && String.sub msg 0 12 = "table people")
+
+let test_table_rename_shares () =
+  let t = mk_people () in
+  let r = Table.rename t "people2" in
+  check_str "renamed" "people2" (Table.name r);
+  check_int "same rows" (Table.nrows t) (Table.nrows r)
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+
+let test_csv_parse_basic () =
+  let r = Csv.parse_string "a,b,c\n1,2,3\n" in
+  check "two records" true (r = [ [ "a"; "b"; "c" ]; [ "1"; "2"; "3" ] ])
+
+let test_csv_quotes () =
+  let r = Csv.parse_string "\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n" in
+  check "quoted fields" true (r = [ [ "a,b"; "say \"hi\""; "multi\nline" ] ])
+
+let test_csv_crlf_and_empty () =
+  let r = Csv.parse_string "a,b\r\n,\r\n" in
+  check "crlf + empty fields" true (r = [ [ "a"; "b" ]; [ ""; "" ] ])
+
+let test_csv_no_trailing_newline () =
+  let r = Csv.parse_string "a,b\n1,2" in
+  check "last record without newline" true (r = [ [ "a"; "b" ]; [ "1"; "2" ] ])
+
+let test_csv_unterminated_quote () =
+  Alcotest.check_raises "unterminated" (Failure "CSV: unterminated quoted field")
+    (fun () -> ignore (Csv.parse_string "\"oops\n"))
+
+let test_csv_table_roundtrip () =
+  let t = mk_people () in
+  let doc = Csv.table_to_csv t in
+  let t2 = Csv.table_of_csv ~name:"people" people_schema doc in
+  check_int "rows preserved" (Table.nrows t) (Table.nrows t2);
+  check "cells preserved" true
+    (List.for_all
+       (fun i -> Table.row t i = Table.row t2 i)
+       [ 0; 1; 2 ])
+
+let test_csv_table_errors () =
+  Alcotest.check_raises "arity" (Failure "CSV row 2: expected 3 fields, got 2")
+    (fun () -> ignore (Csv.table_of_csv ~name:"p" people_schema "id,name,score\n1,x\n"));
+  match Csv.table_of_csv ~name:"p" people_schema "id,name,score\nzz,x,1.0\n" with
+  | _ -> Alcotest.fail "expected type error"
+  | exception Failure msg ->
+      check "row/col context" true
+        (msg = "CSV row 2, column id: cannot parse \"zz\" as integer")
+
+let csv_field_gen =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; ','; '"'; '\n'; ' '; 'x' ]) (int_bound 12))
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~name:"csv write/parse roundtrip" ~count:300
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 6) (list_size (int_range 1 5) csv_field_gen)))
+    (fun records ->
+      (* Normalize ragged rows: writer emits exactly what it's given. *)
+      Csv.parse_string (Csv.write_string records) = records)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+
+let test_catalog () =
+  let c = Catalog.create () in
+  Catalog.add c (mk_people ());
+  check "mem case-insensitive" true (Catalog.mem c "PEOPLE");
+  check "row_count" true (Catalog.row_count c "people" = Some 3);
+  Alcotest.check_raises "dup" (Failure "table \"people\" already exists")
+    (fun () -> Catalog.add c (mk_people ()));
+  Catalog.replace c (Table.rename (mk_people ()) "people");
+  check_int "names stable" 1 (List.length (Catalog.names c));
+  Catalog.remove c "people";
+  check "removed" false (Catalog.mem c "people")
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "date",
+        [
+          Alcotest.test_case "known values" `Quick test_date_roundtrip_known;
+          Alcotest.test_case "leap years" `Quick test_date_leap;
+          Alcotest.test_case "parse errors" `Quick test_date_parse_errors;
+          Alcotest.test_case "ordering" `Quick test_date_ordering;
+          QCheck_alcotest.to_alcotest prop_date_roundtrip;
+          QCheck_alcotest.to_alcotest prop_date_monotone;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "parse" `Quick test_value_parse;
+          Alcotest.test_case "accessors" `Quick test_value_accessors;
+          QCheck_alcotest.to_alcotest prop_value_total_order;
+          QCheck_alcotest.to_alcotest prop_value_hash_consistent;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basic" `Quick test_schema_basic;
+          Alcotest.test_case "concat renames" `Quick test_schema_concat;
+          Alcotest.test_case "prefix" `Quick test_schema_prefix;
+        ] );
+      ( "column",
+        [
+          Alcotest.test_case "typed int + nulls" `Quick test_column_typed;
+          Alcotest.test_case "varchar dictionary" `Quick test_column_varchar_dict;
+          Alcotest.test_case "float coercion" `Quick test_column_float_and_coerce;
+          Alcotest.test_case "bool and date" `Quick test_column_bool_date;
+          Alcotest.test_case "many nulls" `Quick test_column_many_nulls;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "basic" `Quick test_table_basic;
+          Alcotest.test_case "arity error" `Quick test_table_arity_error;
+          Alcotest.test_case "type error context" `Quick test_table_type_error_context;
+          Alcotest.test_case "rename shares storage" `Quick test_table_rename_shares;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "basic" `Quick test_csv_parse_basic;
+          Alcotest.test_case "quoting" `Quick test_csv_quotes;
+          Alcotest.test_case "crlf/empty" `Quick test_csv_crlf_and_empty;
+          Alcotest.test_case "no trailing newline" `Quick test_csv_no_trailing_newline;
+          Alcotest.test_case "unterminated quote" `Quick test_csv_unterminated_quote;
+          Alcotest.test_case "table roundtrip" `Quick test_csv_table_roundtrip;
+          Alcotest.test_case "typed errors" `Quick test_csv_table_errors;
+          QCheck_alcotest.to_alcotest prop_csv_roundtrip;
+        ] );
+      ("catalog", [ Alcotest.test_case "basic" `Quick test_catalog ]);
+    ]
