@@ -461,6 +461,125 @@ let sweep_shards () =
        ~header:[ "shards"; "scan(ms)"; "speedup" ]
        rows)
 
+(* Parallel partitioned join / parallel aggregation sweep. Also the
+   backing data for BENCH_join.json (--json mode): mean/stddev over
+   [reps] timed runs after one warmup. *)
+let time_stats ?(reps = 5) f =
+  ignore (time_once f);
+  let xs = Array.init reps (fun _ -> time_once f) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int reps in
+  let var =
+    Array.fold_left (fun a x -> a +. (((x -. mean) *. (x -. mean)) /. float_of_int reps)) 0.0 xs
+  in
+  (mean, sqrt var)
+
+let join_bench_tables ~scale =
+  let nl = 20_000 * scale and nr = 5_000 * scale in
+  let open Graql in
+  let lschema =
+    Schema.make
+      [
+        { Schema.name = "k"; dtype = Dtype.Int };
+        { Schema.name = "a"; dtype = Dtype.Int };
+        { Schema.name = "grp"; dtype = Dtype.Varchar 8 };
+      ]
+  in
+  let rschema =
+    Schema.make
+      [
+        { Schema.name = "k"; dtype = Dtype.Int };
+        { Schema.name = "b"; dtype = Dtype.Int };
+      ]
+  in
+  let left = Table.create ~name:"bench_left" lschema in
+  let state = ref 42 in
+  let rand bound =
+    (* Deterministic LCG so every run and every pool size joins the same
+       data. *)
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  for i = 0 to nl - 1 do
+    Table.append_row left
+      [
+        Value.Int (rand nr);
+        Value.Int i;
+        Value.Str (Printf.sprintf "g%02d" (i mod 64));
+      ]
+  done;
+  let right = Table.create ~name:"bench_right" rschema in
+  for i = 0 to nr - 1 do
+    Table.append_row right [ Value.Int i; Value.Int (i * 7) ]
+  done;
+  (left, right)
+
+let sweep_join_parallel ?(json = false) () =
+  print_endline
+    "\n== shard-parallel partitioned join / aggregation (ms, mean of 5) ==";
+  let scale = 8 in
+  let left, right = join_bench_tables ~scale in
+  let aggs =
+    Graql.Aggregate.[ (Sum 1, "s"); (Count_star, "n"); (Avg 1, "avg") ]
+  in
+  let bench_join pool () =
+    ignore (Graql.Join.hash_join ?pool ~name:"bj" ~left ~right ~on:[ (0, 0) ] ())
+  in
+  let bench_agg pool () =
+    ignore (Graql.Aggregate.group_by ?pool ~name:"bg" left ~keys:[ 2 ] ~aggs)
+  in
+  let entries = ref [] in
+  let record name domains (mean, sd) =
+    entries := (name, domains, mean, sd) :: !entries
+  in
+  let jseq = time_stats (bench_join None) in
+  let aseq = time_stats (bench_agg None) in
+  record "hash_join" 0 jseq;
+  record "group_by" 0 aseq;
+  let rows =
+    List.map
+      (fun domains ->
+        let pool = Graql.Domain_pool.create ~domains () in
+        let j = time_stats (bench_join (Some pool)) in
+        let a = time_stats (bench_agg (Some pool)) in
+        Graql.Domain_pool.shutdown pool;
+        record "hash_join" domains j;
+        record "group_by" domains a;
+        [
+          string_of_int domains;
+          ms (fst j);
+          Printf.sprintf "%.2fx" (fst jseq /. fst j);
+          ms (fst a);
+          Printf.sprintf "%.2fx" (fst aseq /. fst a);
+        ])
+      [ 1; 2; 4 ]
+  in
+  let rows =
+    [ "seq"; ms (fst jseq); "1.00x"; ms (fst aseq); "1.00x" ] :: rows
+  in
+  print_endline
+    (Graql_util.Text_table.render
+       ~header:[ "domains"; "join(ms)"; "speedup"; "group_by(ms)"; "speedup" ]
+       rows);
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i (name, domains, mean, sd) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  {\"name\": %S, \"domains\": %d, \"scale\": %d, \
+              \"mean_ms\": %.3f, \"stddev_ms\": %.3f}"
+             name domains scale (mean *. 1000.0) (sd *. 1000.0)))
+      (List.rev !entries);
+    Buffer.add_string buf "\n]\n";
+    let oc = open_out "BENCH_join.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_join.json (%d entries)\n"
+      (List.length !entries)
+  end
+
 let sweep_baseline_vs_engine () =
   print_endline
     "\n== CSR-indexed executor vs brute-force baseline (Q2 core path) ==";
@@ -659,12 +778,18 @@ let () =
   Printf.printf "GraQL benchmark harness — scale %d (%d products), %s\n\n"
     bench_scale (100 * bench_scale)
     (Printf.sprintf "%d domains available" (Domain.recommended_domain_count ()));
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    (* Join/aggregation sweep only, with BENCH_join.json emission. *)
+    sweep_join_parallel ~json:true ();
+    exit 0
+  end;
   run_bechamel ();
   sweep_scales ();
   sweep_view_build ();
   sweep_planner ();
   sweep_script_parallel ();
   sweep_shards ();
+  sweep_join_parallel ();
   sweep_baseline_vs_engine ();
   sweep_seed_strategy ();
   sweep_fast_pred ();

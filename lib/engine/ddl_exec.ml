@@ -365,8 +365,8 @@ let build_edge db store (ed : Db.edge_def) =
         in
         let base = Table.arity !driving in
         driving :=
-          Join.hash_join ~name:(ed.ed_name ^ "_drv") ~left:!driving ~right:r.rtable
-            ~on ();
+          Join.hash_join ?pool:(Db.pool db) ~name:(ed.ed_name ^ "_drv")
+            ~left:!driving ~right:r.rtable ~on ();
         Hashtbl.replace offsets r.rkey base;
         joined := r.rkey :: !joined;
         remaining := List.filter (fun x -> x.rkey <> r.rkey) !remaining

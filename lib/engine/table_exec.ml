@@ -193,7 +193,8 @@ let build_working ~db ~params (st : Ast.select_table) =
                 in
                 let base = Table.arity !working in
                 working :=
-                  Join.hash_join ~name:"join" ~left:!working ~right:(snd r) ~on ();
+                  Join.hash_join ?pool:(Db.pool db) ~name:"join" ~left:!working
+                    ~right:(snd r) ~on ();
                 srcs := !srcs @ [ { names = fst r; table = snd r; base } ];
                 remaining := List.filter (fun x -> fst x <> fst r) !remaining
           done;
@@ -328,7 +329,7 @@ let exec ~db ~params ~name (st : Ast.select_table) =
           agg_arg_specs
       in
       let aggregated =
-        Aggregate.group_by ~name:"grouped" stage1
+        Aggregate.group_by ?pool:(Db.pool db) ~name:"grouped" stage1
           ~keys:(List.init nkeys Fun.id)
           ~aggs:agg_descrs
       in

@@ -22,26 +22,33 @@ let ranges t table =
       (lo, hi))
 
 let parallel_scan t table ~init ~row ~merge =
-  let rs = Array.of_list (ranges t table) in
-  let results = Array.make (Array.length rs) None in
-  let tasks =
-    Array.to_list
-      (Array.mapi
-         (fun i (lo, hi) () ->
-           let acc = init () in
-           for r = lo to hi - 1 do
-             row acc r
-           done;
-           results.(i) <- Some acc)
-         rs)
+  (* When nrows < nshards the tail ranges are empty: skip them instead of
+     spawning no-op tasks and re-running [init] per empty slot. *)
+  let rs =
+    Array.of_list (List.filter (fun (lo, hi) -> hi > lo) (ranges t table))
   in
-  Pool.run_tasks t.pool tasks;
-  let get i = match results.(i) with Some a -> a | None -> init () in
-  let acc = ref (get 0) in
-  for i = 1 to Array.length rs - 1 do
-    acc := merge !acc (get i)
-  done;
-  !acc
+  if Array.length rs = 0 then init ()
+  else begin
+    let results = Array.make (Array.length rs) None in
+    let tasks =
+      Array.to_list
+        (Array.mapi
+           (fun i (lo, hi) () ->
+             let acc = init () in
+             for r = lo to hi - 1 do
+               row acc r
+             done;
+             results.(i) <- Some acc)
+           rs)
+    in
+    Pool.run_tasks t.pool tasks;
+    let get i = match results.(i) with Some a -> a | None -> assert false in
+    let acc = ref (get 0) in
+    for i = 1 to Array.length rs - 1 do
+      acc := merge !acc (get i)
+    done;
+    !acc
+  end
 
 let parallel_select t table pred =
   let row_test =

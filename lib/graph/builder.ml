@@ -94,7 +94,7 @@ let build_edges ?pool ~name ~src ~dst ~driving ~src_key ~dst_key ?cond
     if keep_attrs && Table.arity driving > 0 then (Some driving, attr_rows)
     else (None, Array.map (fun _ -> 0) attr_rows)
   in
-  Eset.make ~name ~src_type:(Vset.name src) ~dst_type:(Vset.name dst)
+  Eset.make ?pool ~name ~src_type:(Vset.name src) ~dst_type:(Vset.name dst)
     ~n_src_vertices:(Vset.size src) ~n_dst_vertices:(Vset.size dst)
     ~src:(Int_vec.to_array srcs) ~dst:(Int_vec.to_array dsts) ~attr_table
-    ~attr_rows
+    ~attr_rows ()

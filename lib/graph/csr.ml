@@ -5,9 +5,12 @@ type t = {
   eid : int array; (* length nedges: edge id *)
 }
 
-let build ~nvertices ~src ~dst =
+module Pool = Graql_parallel.Domain_pool
+
+let par_edge_threshold = 8192
+
+let build_seq ~nvertices ~src ~dst =
   let nedges = Array.length src in
-  if Array.length dst <> nedges then invalid_arg "Csr.build: length mismatch";
   let counts = Array.make (nvertices + 1) 0 in
   Array.iter
     (fun s ->
@@ -28,6 +31,70 @@ let build ~nvertices ~src ~dst =
     counts.(s) <- pos + 1
   done;
   { nvertices; offsets; nbr; eid }
+
+(* Parallel stable counting sort: per-chunk histograms turn into per-chunk
+   write cursors (chunk c's slots for a vertex precede chunk c+1's), so
+   the scatter needs no atomics and the result is byte-identical to the
+   sequential build. *)
+let build_par pool ~nvertices ~src ~dst =
+  let nedges = Array.length src in
+  let ranges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:nedges ()) in
+  let nchunks = Array.length ranges in
+  let cnt = Array.init nchunks (fun _ -> Array.make nvertices 0) in
+  let bad = Array.make (max 1 nchunks) false in
+  Pool.run_tasks pool
+    (List.init nchunks (fun c () ->
+         let lo, hi = ranges.(c) in
+         let cc = cnt.(c) in
+         for e = lo to hi - 1 do
+           let s = Array.unsafe_get src e in
+           if s < 0 || s >= nvertices then bad.(c) <- true
+           else Array.unsafe_set cc s (Array.unsafe_get cc s + 1)
+         done));
+  if Array.exists Fun.id bad then
+    invalid_arg "Csr.build: vertex out of range";
+  let offsets = Array.make (nvertices + 1) 0 in
+  Pool.parallel_for_chunks pool ~lo:0 ~hi:nvertices (fun vlo vhi ->
+      for v = vlo to vhi - 1 do
+        let t = ref 0 in
+        for c = 0 to nchunks - 1 do
+          t := !t + cnt.(c).(v)
+        done;
+        offsets.(v + 1) <- !t
+      done);
+  for v = 1 to nvertices do
+    offsets.(v) <- offsets.(v) + offsets.(v - 1)
+  done;
+  Pool.parallel_for_chunks pool ~lo:0 ~hi:nvertices (fun vlo vhi ->
+      for v = vlo to vhi - 1 do
+        let run = ref offsets.(v) in
+        for c = 0 to nchunks - 1 do
+          let here = cnt.(c).(v) in
+          cnt.(c).(v) <- !run;
+          run := !run + here
+        done
+      done);
+  let nbr = Array.make nedges 0 and eid = Array.make nedges 0 in
+  Pool.run_tasks pool
+    (List.init nchunks (fun c () ->
+         let lo, hi = ranges.(c) in
+         let cc = cnt.(c) in
+         for e = lo to hi - 1 do
+           let s = Array.unsafe_get src e in
+           let pos = Array.unsafe_get cc s in
+           Array.unsafe_set nbr pos (Array.unsafe_get dst e);
+           Array.unsafe_set eid pos e;
+           Array.unsafe_set cc s (pos + 1)
+         done));
+  { nvertices; offsets; nbr; eid }
+
+let build ?pool ~nvertices ~src ~dst () =
+  let nedges = Array.length src in
+  if Array.length dst <> nedges then invalid_arg "Csr.build: length mismatch";
+  match pool with
+  | Some pool when nedges >= par_edge_threshold && nvertices > 0 ->
+      build_par pool ~nvertices ~src ~dst
+  | _ -> build_seq ~nvertices ~src ~dst
 
 let nvertices t = t.nvertices
 let nedges t = Array.length t.nbr

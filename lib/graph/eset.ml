@@ -13,10 +13,10 @@ type t = {
   attr_rows : int array;
 }
 
-let make ~name ~src_type ~dst_type ~n_src_vertices ~n_dst_vertices ~src ~dst
-    ~attr_table ~attr_rows =
-  let forward = Csr.build ~nvertices:n_src_vertices ~src ~dst in
-  let reverse = Csr.build ~nvertices:n_dst_vertices ~src:dst ~dst:src in
+let make ?pool ~name ~src_type ~dst_type ~n_src_vertices ~n_dst_vertices ~src
+    ~dst ~attr_table ~attr_rows () =
+  let forward = Csr.build ?pool ~nvertices:n_src_vertices ~src ~dst () in
+  let reverse = Csr.build ?pool ~nvertices:n_dst_vertices ~src:dst ~dst:src () in
   { name; src_type; dst_type; src; dst; forward; reverse; attr_table; attr_rows }
 
 let name t = t.name

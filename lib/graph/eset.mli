@@ -31,6 +31,7 @@ val attr : t -> edge:int -> col:int -> Value.t
 val attr_by_name : t -> edge:int -> string -> Value.t
 
 val make :
+  ?pool:Graql_parallel.Domain_pool.t ->
   name:string ->
   src_type:string ->
   dst_type:string ->
@@ -40,4 +41,6 @@ val make :
   dst:int array ->
   attr_table:Table.t option ->
   attr_rows:int array ->
+  unit ->
   t
+(** The CSR indices build on the pool when one is given. *)

@@ -176,8 +176,10 @@ let parallel_map_array t f a =
     out
   end
 
-let parallel_reduce t ~init ~body ~merge ~lo ~hi =
-  let cs = Array.of_list (chunks t ~lo ~hi) in
+let chunk_ranges t ?chunk ~lo ~hi () = chunks ?chunk t ~lo ~hi
+
+let parallel_reduce ?chunk t ~init ~body ~merge ~lo ~hi =
+  let cs = Array.of_list (chunks ?chunk t ~lo ~hi) in
   let n = Array.length cs in
   if n = 0 then init ()
   else begin

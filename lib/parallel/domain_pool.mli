@@ -38,9 +38,17 @@ val parallel_for_chunks :
 
 val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
+val chunk_ranges :
+  t -> ?chunk:int -> lo:int -> hi:int -> unit -> (int * int) list
+(** The disjoint [(lo, hi)] subranges a parallel loop over the range would
+    use. Exposed so operators that keep per-chunk accumulators (the
+    partitioned join, CSR construction) can size them up front. *)
+
 val parallel_reduce :
-  t -> init:(unit -> 'acc) -> body:('acc -> int -> unit) ->
+  ?chunk:int -> t -> init:(unit -> 'acc) -> body:('acc -> int -> unit) ->
   merge:('acc -> 'acc -> 'acc) -> lo:int -> hi:int -> 'acc
 (** Chunked reduction: each chunk folds into a private accumulator created
     by [init]; accumulators are merged in chunk order, so the result is
-    deterministic whenever [merge] is associative. *)
+    deterministic whenever [merge] is associative. Passing an explicit
+    [chunk] makes the decomposition (and therefore the merge tree of any
+    non-associative float accumulation) independent of the pool size. *)

@@ -2,6 +2,7 @@ module Table = Graql_storage.Table
 module Value = Graql_storage.Value
 module Schema = Graql_storage.Schema
 module Dtype = Graql_storage.Dtype
+module Pool = Graql_parallel.Domain_pool
 
 type agg =
   | Count_star
@@ -10,6 +11,13 @@ type agg =
   | Avg of int
   | Min of int
   | Max of int
+
+(* Rows accumulate chunk-by-chunk with this fixed chunk size whether or
+   not a pool is present, and chunk accumulators merge in chunk order.
+   Fixing the decomposition (rather than deriving it from the pool size)
+   is what keeps float sums bit-identical across every pool size,
+   including none. Exposed for tests. *)
+let chunk_rows = ref 8192
 
 type state = {
   mutable count : int;
@@ -43,6 +51,18 @@ let feed st v =
     if st.max_v = Value.Null || Value.compare v st.max_v > 0 then st.max_v <- v
   end
 
+(* Fold [b] into [a]; associative over chunk order for every aggregate
+   except the float sums, whose order is pinned by the fixed chunking. *)
+let merge_state a b =
+  a.count <- a.count + b.count;
+  a.sum_i <- a.sum_i + b.sum_i;
+  a.sum_f <- a.sum_f +. b.sum_f;
+  a.saw_float <- a.saw_float || b.saw_float;
+  if b.min_v <> Value.Null && (a.min_v = Value.Null || Value.compare b.min_v a.min_v < 0)
+  then a.min_v <- b.min_v;
+  if b.max_v <> Value.Null && (a.max_v = Value.Null || Value.compare b.max_v a.max_v > 0)
+  then a.max_v <- b.max_v
+
 let sum_value st =
   if st.count = 0 then Value.Null
   else if st.saw_float then Value.Float (st.sum_f +. float_of_int st.sum_i)
@@ -73,7 +93,57 @@ let output_dtype table agg =
   | Sum c -> Schema.col_dtype schema c
   | Min c | Max c -> Schema.col_dtype schema c
 
-let group_by ?name table ~keys ~aggs =
+(* Per-chunk private accumulator: group key -> (key values, star count,
+   per-agg states), plus first-seen order (reversed). *)
+type group_acc = {
+  groups : (string, Value.t array * int ref * state array) Hashtbl.t;
+  mutable order : string list;
+}
+
+let fresh_acc () = { groups = Hashtbl.create 64; order = [] }
+
+let feed_row acc table ~keys ~agg_arr ~nagg r =
+  let kvals =
+    Array.of_list (List.map (fun k -> Table.get table ~row:r ~col:k) keys)
+  in
+  let key =
+    String.concat "\x00" (Array.to_list (Array.map Value.to_string kvals))
+  in
+  let _, star, states =
+    match Hashtbl.find_opt acc.groups key with
+    | Some g -> g
+    | None ->
+        let g = (kvals, ref 0, Array.init nagg (fun _ -> fresh_state ())) in
+        Hashtbl.add acc.groups key g;
+        acc.order <- key :: acc.order;
+        g
+  in
+  incr star;
+  Array.iteri
+    (fun i agg ->
+      match source_col agg with
+      | Some c -> feed states.(i) (Table.get table ~row:r ~col:c)
+      | None -> ())
+    agg_arr
+
+(* Merge [b] into [a]: combine shared groups, append b-only groups in b's
+   first-seen order. Merging accumulators in chunk order makes the global
+   first-seen order equal the sequential scan's. *)
+let merge_acc a b =
+  List.iter
+    (fun key ->
+      let kvals, star_b, states_b = Hashtbl.find b.groups key in
+      match Hashtbl.find_opt a.groups key with
+      | Some (_, star_a, states_a) ->
+          star_a := !star_a + !star_b;
+          Array.iteri (fun i st -> merge_state st states_b.(i)) states_a
+      | None ->
+          Hashtbl.add a.groups key (kvals, star_b, states_b);
+          a.order <- key :: a.order)
+    (List.rev b.order);
+  a
+
+let group_by ?pool ?name table ~keys ~aggs =
   let schema = Table.schema table in
   let out_cols =
     List.map
@@ -87,63 +157,79 @@ let group_by ?name table ~keys ~aggs =
   let out_schema = Schema.make out_cols in
   let name = match name with Some n -> n | None -> Table.name table in
   let out = Table.create ~name out_schema in
-  (* group key -> (key values, star count ref, per-agg states) *)
-  let groups : (string, Value.t array * int ref * state array) Hashtbl.t =
-    Hashtbl.create 256
-  in
-  let order = ref [] in
   let nagg = List.length aggs in
   let agg_arr = Array.of_list (List.map fst aggs) in
-  Table.iter_rows
-    (fun r ->
-      let kvals =
-        Array.of_list (List.map (fun k -> Table.get table ~row:r ~col:k) keys)
-      in
-      let key =
-        String.concat "\x00"
-          (Array.to_list (Array.map Value.to_string kvals))
-      in
-      let _, star, states =
-        match Hashtbl.find_opt groups key with
-        | Some g -> g
-        | None ->
-            let g = (kvals, ref 0, Array.init nagg (fun _ -> fresh_state ())) in
-            Hashtbl.add groups key g;
-            order := key :: !order;
-            g
-      in
-      incr star;
-      Array.iteri
-        (fun i agg ->
-          match source_col agg with
-          | Some c -> feed states.(i) (Table.get table ~row:r ~col:c)
-          | None -> ())
-        agg_arr)
-    table;
+  let n = Table.nrows table in
+  let chunk = max 1 !chunk_rows in
+  let body acc r = feed_row acc table ~keys ~agg_arr ~nagg r in
+  let acc =
+    match pool with
+    | Some pool when n > chunk ->
+        Pool.parallel_reduce ~chunk pool ~init:fresh_acc ~body ~merge:merge_acc
+          ~lo:0 ~hi:n
+    | _ ->
+        (* Same chunk decomposition run inline, so the result is
+           bit-identical to the parallel path. *)
+        let acc = fresh_acc () in
+        let lo = ref 0 in
+        while !lo < n do
+          let hi = min n (!lo + chunk) in
+          let part = if !lo = 0 then acc else fresh_acc () in
+          for r = !lo to hi - 1 do
+            body part r
+          done;
+          if part != acc then ignore (merge_acc acc part);
+          lo := hi
+        done;
+        acc
+  in
   let emit key =
-    let kvals, star, states = Hashtbl.find groups key in
+    let kvals, star, states = Hashtbl.find acc.groups key in
     let aggvals =
       Array.mapi (fun i agg -> finish agg (!star, states.(i))) agg_arr
     in
     Table.append_row_array out (Array.append kvals aggvals)
   in
-  if keys = [] && Hashtbl.length groups = 0 then begin
+  if keys = [] && Hashtbl.length acc.groups = 0 then begin
     (* Global aggregate over empty input: one all-default row. *)
     let states = Array.init nagg (fun _ -> fresh_state ()) in
     let aggvals = Array.mapi (fun i agg -> finish agg (0, states.(i))) agg_arr in
     Table.append_row_array out aggvals
   end
-  else List.iter emit (List.rev !order);
+  else List.iter emit (List.rev acc.order);
   out
 
-let scalar table agg =
-  let star = ref 0 in
-  let st = fresh_state () in
-  Table.iter_rows
-    (fun r ->
-      incr star;
-      match source_col agg with
-      | Some c -> feed st (Table.get table ~row:r ~col:c)
-      | None -> ())
-    table;
+let scalar ?pool table agg =
+  let n = Table.nrows table in
+  let chunk = max 1 !chunk_rows in
+  let body (star, st) r =
+    incr star;
+    match source_col agg with
+    | Some c -> feed st (Table.get table ~row:r ~col:c)
+    | None -> ()
+  in
+  let init () = (ref 0, fresh_state ()) in
+  let merge (star_a, st_a) (star_b, st_b) =
+    star_a := !star_a + !star_b;
+    merge_state st_a st_b;
+    (star_a, st_a)
+  in
+  let star, st =
+    match pool with
+    | Some pool when n > chunk ->
+        Pool.parallel_reduce ~chunk pool ~init ~body ~merge ~lo:0 ~hi:n
+    | _ ->
+        let acc = init () in
+        let lo = ref 0 in
+        while !lo < n do
+          let hi = min n (!lo + chunk) in
+          let part = if !lo = 0 then acc else init () in
+          for r = !lo to hi - 1 do
+            body part r
+          done;
+          if part != acc then ignore (merge acc part);
+          lo := hi
+        done;
+        acc
+  in
   finish agg (!star, st)

@@ -1,5 +1,11 @@
 (** Grouped and global aggregation: count / sum / avg / min / max
-    (Table I). *)
+    (Table I).
+
+    Rows accumulate into per-chunk private hash tables (chunks of
+    {!chunk_rows} rows, processed by the pool when one is given) that
+    merge associatively in chunk order, so group order (first-seen) and
+    every aggregate value — float sums included — are bit-identical for
+    any pool size, or no pool at all. *)
 
 module Table = Graql_storage.Table
 module Value = Graql_storage.Value
@@ -15,6 +21,7 @@ type agg =
 val output_dtype : Table.t -> agg -> Graql_storage.Dtype.t
 
 val group_by :
+  ?pool:Graql_parallel.Domain_pool.t ->
   ?name:string ->
   Table.t ->
   keys:int list ->
@@ -25,5 +32,10 @@ val group_by :
     behaves as a single global group (one row even over an empty input,
     matching SQL). *)
 
-val scalar : Table.t -> agg -> Value.t
+val scalar : ?pool:Graql_parallel.Domain_pool.t -> Table.t -> agg -> Value.t
 (** Global aggregate over the whole table. *)
+
+val chunk_rows : int ref
+(** Fixed accumulation chunk size (default 8192). The decomposition is
+    deliberately independent of the pool so results never vary with
+    parallelism. Exposed for tests. *)

@@ -1,7 +1,14 @@
 module Table = Graql_storage.Table
 module Value = Graql_storage.Value
 module Schema = Graql_storage.Schema
+module Column = Graql_storage.Column
 module Int_vec = Graql_util.Int_vec
+module Int_table = Graql_util.Int_table
+module Pool = Graql_parallel.Domain_pool
+
+(* Below this many build+probe rows the partitioned machinery is pure
+   overhead; run the single-partition path inline. Exposed for tests. *)
+let par_threshold = ref 4096
 
 (* Join keys as value-string tuples. Dictionary ids are per-column, so we
    can't compare raw ints across tables; canonical display strings are a
@@ -24,117 +31,334 @@ let build_side left right on =
     (left, List.map fst on, right, List.map snd on, false)
   else (right, List.map snd on, left, List.map fst on, true)
 
+(* Dictionary ids are per-column: pre-translate every distinct probe-side
+   string into the build column's id space. One array lookup per probe row
+   afterwards, and — unlike a memo table — safe to share across domains. *)
+let dict_translation ~bc ~pc =
+  let trans =
+    Array.init (Column.dict_size pc) (fun pid ->
+        match Column.intern_id bc (Column.dict_lookup pc pid) with
+        | Some b -> b
+        | None -> -1)
+  in
+  fun pid ->
+    let b = Array.unsafe_get trans pid in
+    if b < 0 then None else Some b
+
+(* Matching rows accumulate as parallel (left, right) vectors: one pair
+   of vectors per probe chunk, concatenated in chunk order, so the final
+   arrays list matches in probe-row order — byte-identical to the
+   sequential scan no matter how many domains ran the probe. *)
+let concat_pair_vecs outs =
+  let total = Array.fold_left (fun a (ls, _) -> a + Int_vec.length ls) 0 outs in
+  let l = Array.make (max total 1) 0 and r = Array.make (max total 1) 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun (ls, rs) ->
+      Int_vec.blit_into ls l !pos;
+      Int_vec.blit_into rs r !pos;
+      pos := !pos + Int_vec.length ls)
+    outs;
+  if total = 0 then ([||], [||]) else (l, r)
+
+let next_pow2 n =
+  let c = ref 1 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+let log2 n =
+  let b = ref 0 in
+  while 1 lsl !b < n do
+    incr b
+  done;
+  !b
+
+(* Radix partition count: enough partitions to keep every domain busy and
+   each build-side partition roughly cache-sized. Output does not depend
+   on the choice — it only routes keys to sub-tables. *)
+let partition_count pool nb =
+  next_pow2 (min 256 (max (4 * Pool.size pool) (nb / 4096)))
+
 (* Single-column equi-joins on int-payload columns (Int, Date, and
    dictionary-encoded Varchar) hash raw ints instead of building string
    keys — this is the hot path of edge-view construction. [translate]
    maps a probe-side payload to the build side's id space (identity for
    Int/Date; dictionary translation for Varchar). *)
-let int_join_pairs ~build ~bcol ~probe ~pcol ~swapped ~translate =
+let int_join_rows ?pool ~build ~bcol ~probe ~pcol ~swapped ~translate () =
   let bc = Table.column build bcol and pc = Table.column probe pcol in
-  let index : (int, int) Hashtbl.t = Hashtbl.create (max 16 (Table.nrows build)) in
-  Table.iter_rows
-    (fun r ->
-      if not (Graql_storage.Column.is_null bc r) then
-        Hashtbl.add index (Graql_storage.Column.get_int bc r) r)
-    build;
-  let out = ref [] in
-  Table.iter_rows
-    (fun r ->
-      if not (Graql_storage.Column.is_null pc r) then
-        match translate (Graql_storage.Column.get_int pc r) with
+  let nb = Table.nrows build and np = Table.nrows probe in
+  let emit ls rs r b =
+    if swapped then begin
+      Int_vec.push ls r;
+      Int_vec.push rs b
+    end
+    else begin
+      Int_vec.push ls b;
+      Int_vec.push rs r
+    end
+  in
+  let probe_range tables nparts ls rs lo hi =
+    let pmask = nparts - 1 in
+    for r = lo to hi - 1 do
+      if not (Column.is_null pc r) then
+        match translate (Column.get_int pc r) with
         | None -> ()
         | Some k ->
-            List.iter
-              (fun b -> out := (if swapped then (r, b) else (b, r)) :: !out)
-              (List.rev (Hashtbl.find_all index k)))
-    probe;
-  Array.of_list (List.rev !out)
+            let tbl = Array.unsafe_get tables (Int_table.mix k land pmask) in
+            Int_table.iter_matches tbl k (emit ls rs r)
+    done
+  in
+  match pool with
+  | Some pool when nb + np >= !par_threshold ->
+      let nparts = partition_count pool nb in
+      let p_bits = log2 nparts in
+      let pmask = nparts - 1 in
+      (* Phase 1: parallel radix partition of the build side. Each build
+         chunk scatters (key, row) into private per-partition buckets. *)
+      let branges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:nb ()) in
+      let buckets =
+        Array.map
+          (fun _ ->
+            Array.init nparts (fun _ -> (Int_vec.create (), Int_vec.create ())))
+          branges
+      in
+      Pool.run_tasks pool
+        (Array.to_list
+           (Array.mapi
+              (fun c (lo, hi) () ->
+                let mine = buckets.(c) in
+                for r = lo to hi - 1 do
+                  if not (Column.is_null bc r) then begin
+                    let k = Column.get_int bc r in
+                    let ks, rws = Array.unsafe_get mine (Int_table.mix k land pmask) in
+                    Int_vec.push ks k;
+                    Int_vec.push rws r
+                  end
+                done)
+              branges));
+      (* Phase 2: one build task per partition. Draining the chunk buckets
+         in chunk order preserves build-row insertion order, so probes
+         replay matches exactly as the sequential path would. *)
+      let tables =
+        Array.make nparts (Int_table.create ~hash_shift:p_bits ~expected:0 ())
+      in
+      Pool.run_tasks pool
+        (List.init nparts (fun p () ->
+             let total = ref 0 in
+             Array.iter
+               (fun chunk -> total := !total + Int_vec.length (fst chunk.(p)))
+               buckets;
+             let tbl =
+               Int_table.create ~hash_shift:p_bits ~expected:!total ()
+             in
+             Array.iter
+               (fun chunk ->
+                 let ks, rws = chunk.(p) in
+                 for i = 0 to Int_vec.length ks - 1 do
+                   Int_table.add tbl (Int_vec.unsafe_get ks i)
+                     (Int_vec.unsafe_get rws i)
+                 done)
+               buckets;
+             tables.(p) <- tbl));
+      (* Phase 3: chunk-parallel probe against the read-only tables. *)
+      let pranges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:np ()) in
+      let outs =
+        Array.map (fun _ -> (Int_vec.create (), Int_vec.create ())) pranges
+      in
+      Pool.run_tasks pool
+        (Array.to_list
+           (Array.mapi
+              (fun i (lo, hi) () ->
+                let ls, rs = outs.(i) in
+                probe_range tables nparts ls rs lo hi)
+              pranges));
+      concat_pair_vecs outs
+  | _ ->
+      let tbl = Int_table.create ~expected:nb () in
+      for r = 0 to nb - 1 do
+        if not (Column.is_null bc r) then
+          Int_table.add tbl (Column.get_int bc r) r
+      done;
+      let ls = Int_vec.create () and rs = Int_vec.create () in
+      probe_range [| tbl |] 1 ls rs 0 np;
+      (Int_vec.to_array ls, Int_vec.to_array rs)
 
-let join_pairs ~left ~right ~on =
+(* Fallback for multi-column or mixed-type keys: canonical string keys
+   into a Hashtbl built once, then (optionally) a chunk-parallel probe —
+   reads of an unmutated Hashtbl are safe across domains. *)
+let generic_join_rows ?pool ~build ~bcols ~probe ~pcols ~swapped () =
+  let nb = Table.nrows build and np = Table.nrows probe in
+  let index = Hashtbl.create (max 16 nb) in
+  Table.iter_rows
+    (fun r ->
+      match key_of build bcols r with
+      | Some k -> Hashtbl.add index k r
+      | None -> ())
+    build;
+  let probe_range ls rs lo hi =
+    for r = lo to hi - 1 do
+      match key_of probe pcols r with
+      | Some k ->
+          (* Hashtbl.find_all returns most-recently-added first;
+             reverse for build-row order. *)
+          List.iter
+            (fun b ->
+              if swapped then begin
+                Int_vec.push ls r;
+                Int_vec.push rs b
+              end
+              else begin
+                Int_vec.push ls b;
+                Int_vec.push rs r
+              end)
+            (List.rev (Hashtbl.find_all index k))
+      | None -> ()
+    done
+  in
+  match pool with
+  | Some pool when nb + np >= !par_threshold ->
+      let pranges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:np ()) in
+      let outs =
+        Array.map (fun _ -> (Int_vec.create (), Int_vec.create ())) pranges
+      in
+      Pool.run_tasks pool
+        (Array.to_list
+           (Array.mapi
+              (fun i (lo, hi) () ->
+                let ls, rs = outs.(i) in
+                probe_range ls rs lo hi)
+              pranges));
+      concat_pair_vecs outs
+  | _ ->
+      let ls = Int_vec.create () and rs = Int_vec.create () in
+      probe_range ls rs 0 np;
+      (Int_vec.to_array ls, Int_vec.to_array rs)
+
+let join_rows ?pool ~left ~right ~on () =
   let build, bcols, probe, pcols, swapped = build_side left right on in
   let fast =
     match (bcols, pcols) with
     | [ bcol ], [ pcol ] -> (
         let bc = Table.column build bcol and pc = Table.column probe pcol in
         let open Graql_storage.Dtype in
-        match (Graql_storage.Column.dtype bc, Graql_storage.Column.dtype pc) with
+        match (Column.dtype bc, Column.dtype pc) with
         | Int, Int | Date, Date ->
             Some
-              (int_join_pairs ~build ~bcol ~probe ~pcol ~swapped
-                 ~translate:Option.some)
+              (int_join_rows ?pool ~build ~bcol ~probe ~pcol ~swapped
+                 ~translate:Option.some ())
         | Varchar _, Varchar _ ->
-            (* Dictionary ids are per-column: translate probe ids into the
-               build column's id space, memoized per distinct probe id. *)
-            let memo : (int, int option) Hashtbl.t = Hashtbl.create 256 in
-            let translate pid =
-              match Hashtbl.find_opt memo pid with
-              | Some hit -> hit
-              | None ->
-                  let hit =
-                    Graql_storage.Column.intern_id bc
-                      (Graql_storage.Column.dict_lookup pc pid)
-                  in
-                  Hashtbl.replace memo pid hit;
-                  hit
-            in
-            Some (int_join_pairs ~build ~bcol ~probe ~pcol ~swapped ~translate)
+            let translate = dict_translation ~bc ~pc in
+            Some
+              (int_join_rows ?pool ~build ~bcol ~probe ~pcol ~swapped
+                 ~translate ())
         | _ -> None)
     | _ -> None
   in
   match fast with
-  | Some pairs -> pairs
-  | None ->
-      let index = Hashtbl.create (max 16 (Table.nrows build)) in
-      Table.iter_rows
-        (fun r ->
-          match key_of build bcols r with
-          | Some k -> Hashtbl.add index k r
-          | None -> ())
-        build;
-      let out = ref [] in
-      Table.iter_rows
-        (fun r ->
-          match key_of probe pcols r with
-          | Some k ->
-              (* Hashtbl.find_all returns most-recently-added first;
-                 reverse for build-row order. *)
-              List.iter
-                (fun b -> out := (if swapped then (r, b) else (b, r)) :: !out)
-                (List.rev (Hashtbl.find_all index k))
-          | None -> ())
-        probe;
-      Array.of_list (List.rev !out)
+  | Some rows -> rows
+  | None -> generic_join_rows ?pool ~build ~bcols ~probe ~pcols ~swapped ()
 
-let hash_join ?pool:_ ?name ~left ~right ~on () =
-  let pairs = join_pairs ~left ~right ~on in
+let join_pairs ?pool ~left ~right ~on () =
+  let ls, rs = join_rows ?pool ~left ~right ~on () in
+  Array.init (Array.length ls) (fun i -> (ls.(i), rs.(i)))
+
+(* Output materialization: one pre-sized column per output column, filled
+   by gathering from the source column at the matched rows. Chunk
+   boundaries stay multiples of 8 so concurrent null-bitmap writes never
+   touch the same byte. *)
+let gather_column ?pool ~src ~rows n =
+  let dst = Column.create_sized ~share_dict_of:src (Column.dtype src) n in
+  (match pool with
+  | Some pool when n >= !par_threshold ->
+      let chunk =
+        let c = max 1 (n / (4 * Pool.size pool)) in
+        (c + 7) / 8 * 8
+      in
+      Pool.parallel_for_chunks pool ~chunk ~lo:0 ~hi:n (fun lo hi ->
+          Column.gather_into ~src ~rows ~dst ~lo ~hi)
+  | _ -> Column.gather_into ~src ~rows ~dst ~lo:0 ~hi:n);
+  dst
+
+let hash_join ?pool ?name ~left ~right ~on () =
+  let lrows, rrows = join_rows ?pool ~left ~right ~on () in
   let out_schema = Schema.concat (Table.schema left) (Table.schema right) in
   let name =
     match name with
     | Some n -> n
     | None -> Table.name left ^ "_join_" ^ Table.name right
   in
-  let out = Table.create ~name out_schema in
-  Array.iter
-    (fun (l, r) ->
-      Table.append_row_array out
-        (Array.append (Table.row left l) (Table.row right r)))
-    pairs;
-  out
+  let n = Array.length lrows in
+  let la = Table.arity left in
+  let cols =
+    Array.init (Schema.arity out_schema) (fun i ->
+        if i < la then gather_column ?pool ~src:(Table.column left i) ~rows:lrows n
+        else gather_column ?pool ~src:(Table.column right (i - la)) ~rows:rrows n)
+  in
+  Table.of_columns ~name out_schema cols
 
-let semi_join_left ~left ~right ~on =
+let semi_join_left ?pool ~left ~right ~on () =
   let rcols = List.map snd on and lcols = List.map fst on in
-  let keys = Hashtbl.create (max 16 (Table.nrows right)) in
-  Table.iter_rows
-    (fun r ->
-      match key_of right rcols r with
-      | Some k -> Hashtbl.replace keys k ()
-      | None -> ())
-    right;
-  let out = Int_vec.create () in
-  Table.iter_rows
-    (fun r ->
-      match key_of left lcols r with
-      | Some k -> if Hashtbl.mem keys k then Int_vec.push out r
-      | None -> ())
-    left;
-  Int_vec.to_array out
+  let fast =
+    match (lcols, rcols) with
+    | [ lcol ], [ rcol ] -> (
+        let lc = Table.column left lcol and rc = Table.column right rcol in
+        let open Graql_storage.Dtype in
+        match (Column.dtype lc, Column.dtype rc) with
+        | Int, Int | Date, Date -> Some (lc, rc, Option.some)
+        | Varchar _, Varchar _ ->
+            (* Keys come from the right side: translate left ids into the
+               right column's id space before the membership probe. *)
+            Some (lc, rc, dict_translation ~bc:rc ~pc:lc)
+        | _ -> None)
+    | _ -> None
+  in
+  match fast with
+  | Some (lc, rc, translate) ->
+      let nl = Table.nrows left and nr = Table.nrows right in
+      let keys = Int_table.create ~expected:nr () in
+      for r = 0 to nr - 1 do
+        if not (Column.is_null rc r) then begin
+          let k = Column.get_int rc r in
+          if not (Int_table.mem keys k) then Int_table.add keys k 0
+        end
+      done;
+      let scan out lo hi =
+        for r = lo to hi - 1 do
+          if not (Column.is_null lc r) then
+            match translate (Column.get_int lc r) with
+            | Some k when Int_table.mem keys k -> Int_vec.push out r
+            | Some _ | None -> ()
+        done
+      in
+      (match pool with
+      | Some pool when nl >= !par_threshold ->
+          let ranges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:nl ()) in
+          let outs = Array.map (fun _ -> Int_vec.create ()) ranges in
+          Pool.run_tasks pool
+            (Array.to_list
+               (Array.mapi (fun i (lo, hi) () -> scan outs.(i) lo hi) ranges));
+          let acc = Int_vec.create () in
+          Array.iter (fun o -> Int_vec.append acc o) outs;
+          Int_vec.to_array acc
+      | _ ->
+          let out = Int_vec.create () in
+          scan out 0 nl;
+          Int_vec.to_array out)
+  | None ->
+      let keys = Hashtbl.create (max 16 (Table.nrows right)) in
+      Table.iter_rows
+        (fun r ->
+          match key_of right rcols r with
+          | Some k -> Hashtbl.replace keys k ()
+          | None -> ())
+        right;
+      let out = Int_vec.create () in
+      Table.iter_rows
+        (fun r ->
+          match key_of left lcols r with
+          | Some k -> if Hashtbl.mem keys k then Int_vec.push out r
+          | None -> ())
+        left;
+      Int_vec.to_array out

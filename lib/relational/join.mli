@@ -1,5 +1,13 @@
 (** Equi-joins between tables. The building block behind edge-view
-    creation (Eq. 2: S ⋈ σ(A) ⋈ T) and the relational half of GraQL. *)
+    creation (Eq. 2: S ⋈ σ(A) ⋈ T) and the relational half of GraQL.
+
+    With a pool, the join runs shard-parallel in three phases: a parallel
+    radix partition of the (smaller) build side into 2^k open-addressed
+    int tables, one build task per partition, then a chunk-parallel probe
+    whose per-chunk pair accumulators concatenate in chunk order. The
+    output is byte-identical to the sequential path for every pool size:
+    matches appear in probe-row order, and within a probe row in
+    build-row order. *)
 
 module Table = Graql_storage.Table
 
@@ -15,12 +23,40 @@ val hash_join :
     is the concatenation (right-hand name clashes suffixed). Null keys
     never join (SQL semantics). Builds the hash table on the smaller
     input; probe order follows the larger input's row order, so output is
-    deterministic. *)
+    deterministic and independent of the pool size. Output columns are
+    materialized columnar (parallel when a pool is given), sharing
+    dictionaries with the inputs. *)
+
+val join_rows :
+  ?pool:Graql_parallel.Domain_pool.t ->
+  left:Table.t ->
+  right:Table.t ->
+  on:(int * int) list ->
+  unit ->
+  int array * int array
+(** Matching rows as parallel (left rows, right rows) arrays, without
+    materializing an output table. *)
 
 val join_pairs :
-  left:Table.t -> right:Table.t -> on:(int * int) list -> (int * int) array
-(** Matching (left row, right row) pairs without materializing. *)
+  ?pool:Graql_parallel.Domain_pool.t ->
+  left:Table.t ->
+  right:Table.t ->
+  on:(int * int) list ->
+  unit ->
+  (int * int) array
+(** [join_rows] zipped into (left row, right row) tuples. *)
 
 val semi_join_left :
-  left:Table.t -> right:Table.t -> on:(int * int) list -> int array
-(** Left rows that have at least one match. *)
+  ?pool:Graql_parallel.Domain_pool.t ->
+  left:Table.t ->
+  right:Table.t ->
+  on:(int * int) list ->
+  unit ->
+  int array
+(** Left rows that have at least one match, ascending. Single-column
+    Int/Date/dict-Varchar keys probe an int hash set (no per-row key
+    strings); the probe runs chunk-parallel when a pool is given. *)
+
+val par_threshold : int ref
+(** Minimum combined row count before a pool is actually used; below it
+    the sequential single-partition path wins. Exposed for tests. *)

@@ -143,6 +143,79 @@ let intern_id t s =
   | Some dict -> Graql_util.Intern.find_opt dict s
   | None -> invalid_arg "Column.intern_id on non-varchar column"
 
+let dict_size t =
+  match t.dict with
+  | Some dict -> Graql_util.Intern.size dict
+  | None -> invalid_arg "Column.dict_size on non-varchar column"
+
+(* Pre-sized column for scatter/gather fills: length [n], every slot a
+   non-null zero until written. Varchar output shares the source column's
+   intern pool so dictionary ids can be copied verbatim — interning later
+   strings through a shared pool is safe because existing ids never move. *)
+let create_sized ?share_dict_of dtype n =
+  let payload =
+    match dtype with
+    | Dtype.Float -> Floats { data = Array.make (max n 1) 0.0 }
+    | Dtype.Bool | Dtype.Int | Dtype.Date | Dtype.Varchar _ ->
+        Ints { data = Array.make (max n 1) 0 }
+  in
+  let dict =
+    match dtype with
+    | Dtype.Varchar _ -> (
+        match share_dict_of with
+        | Some { dict = Some d; _ } -> Some d
+        | Some { dict = None; _ } | None ->
+            invalid_arg "Column.create_sized: varchar requires share_dict_of")
+    | _ -> None
+  in
+  {
+    dtype;
+    len = n;
+    payload;
+    dict;
+    nulls = Bytes.make (max 2 ((n + 7) lsr 3)) '\000';
+    any_null = false;
+  }
+
+(* [gather_into ~src ~rows ~dst ~lo ~hi] writes src.(rows.(i)) into
+   dst.(i) for i in [lo, hi). [dst] must come from [create_sized] with the
+   same dtype (and, for varchar, a shared dictionary). Disjoint [lo, hi)
+   ranges may be filled from different domains provided the boundaries are
+   multiples of 8 (the null bitmap is written bytewise). *)
+let gather_into ~src ~rows ~dst ~lo ~hi =
+  if src.dtype <> dst.dtype then invalid_arg "Column.gather_into: dtype mismatch";
+  (match (src.dict, dst.dict) with
+  | Some a, Some b when a != b ->
+      invalid_arg "Column.gather_into: varchar dictionaries not shared"
+  | _ -> ());
+  (match (src.payload, dst.payload) with
+  | Ints s, Ints d ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set d.data i
+          (Array.unsafe_get s.data (Array.unsafe_get rows i))
+      done
+  | Floats s, Floats d ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set d.data i
+          (Array.unsafe_get s.data (Array.unsafe_get rows i))
+      done
+  | Ints _, Floats _ | Floats _, Ints _ ->
+      invalid_arg "Column.gather_into: payload mismatch");
+  if src.any_null then begin
+    let saw = ref false in
+    for i = lo to hi - 1 do
+      if is_null src (Array.unsafe_get rows i) then begin
+        saw := true;
+        let b = i lsr 3 and m = 1 lsl (i land 7) in
+        Bytes.unsafe_set dst.nulls b
+          (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst.nulls b) lor m))
+      end
+    done;
+    (* Benign when raced from several domains: every writer stores [true],
+       and the fork-join barrier publishes the final value. *)
+    if !saw then dst.any_null <- true
+  end
+
 let get t i =
   check t i;
   if is_null t i then Value.Null

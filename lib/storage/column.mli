@@ -35,6 +35,24 @@ val dict_lookup : t -> int -> string
 
 val append_null : t -> unit
 
+val dict_size : t -> int
+(** Number of distinct strings interned by a Varchar column. Lets joins
+    pre-compute whole-dictionary id translations instead of memoizing per
+    probe row. *)
+
+val create_sized : ?share_dict_of:t -> Dtype.t -> int -> t
+(** [create_sized dtype n] is a column of length [n] whose slots are
+    non-null zeros until overwritten via {!gather_into}. Varchar columns
+    must pass [share_dict_of] (the column ids will be copied from) so
+    dictionary ids stay meaningful. *)
+
+val gather_into : src:t -> rows:int array -> dst:t -> lo:int -> hi:int -> unit
+(** [gather_into ~src ~rows ~dst ~lo ~hi] sets [dst.(i) <- src.(rows.(i))]
+    for [i] in [lo, hi), nulls included. [dst] must be a {!create_sized}
+    column of the same dtype (sharing the dictionary when Varchar).
+    Distinct ranges may be filled concurrently from different domains as
+    long as range boundaries are multiples of 8. *)
+
 val approx_bytes : t -> int
 (** Rough in-memory footprint: unboxed payload + null bitmap + (for
     varchar) the dictionary strings. Used for cluster capacity planning. *)

@@ -47,6 +47,18 @@ let of_rows ~name schema rows =
 
 let rename t name = { t with name }
 
+let of_columns ~name schema columns =
+  if Array.length columns <> Schema.arity schema then
+    invalid_arg "Table.of_columns: arity mismatch";
+  Array.iteri
+    (fun i c ->
+      if Column.dtype c <> (Schema.cols schema).(i).Schema.dtype then
+        invalid_arg "Table.of_columns: dtype mismatch";
+      if Column.length c <> Column.length columns.(0) then
+        invalid_arg "Table.of_columns: length mismatch")
+    columns;
+  { name; schema; columns }
+
 let copy_structure ?name t =
   create ~name:(match name with Some n -> n | None -> t.name) t.schema
 

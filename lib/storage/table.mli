@@ -26,6 +26,10 @@ val of_rows : name:string -> Schema.t -> Value.t list list -> t
 val rename : t -> string -> t
 (** Shares storage; only the name differs ([as x] aliasing). *)
 
+val of_columns : name:string -> Schema.t -> Column.t array -> t
+(** Wrap pre-built columns (one per schema column, equal lengths) without
+    copying. The columnar fast path for join materialization. *)
+
 val copy_structure : ?name:string -> t -> t
 (** Fresh empty table with the same schema. *)
 

@@ -1,0 +1,110 @@
+(* Open-addressed hash multimap from int keys to int values. Entries for
+   one key form a chain in insertion order, so probes replay build-side
+   row order exactly — the property the join layer depends on for
+   deterministic output. *)
+
+type t = {
+  shift : int;
+  mutable mask : int; (* slot count - 1, power of two *)
+  mutable slots : int array; (* slot -> head entry index, or -1 *)
+  mutable tails : int array; (* slot -> tail entry index (valid if head >= 0) *)
+  mutable ekey : int array; (* entry -> key *)
+  mutable eval : int array; (* entry -> value *)
+  mutable enext : int array; (* entry -> next entry with same key, or -1 *)
+  mutable n : int; (* number of entries *)
+}
+
+(* 64-bit avalanche mix (splitmix-style, constants chosen to fit OCaml's
+   63-bit int). Used both for partition selection (low bits) and slot
+   indexing (bits above [shift]), so correlated keys spread evenly. *)
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x3C79AC492BA7B653 in
+  x lxor (x lsr 32)
+
+let next_pow2 n =
+  let c = ref 1 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+let create ?(hash_shift = 0) ~expected () =
+  let cap = next_pow2 (max 8 (2 * expected)) in
+  let entries = max 8 expected in
+  {
+    shift = hash_shift;
+    mask = cap - 1;
+    slots = Array.make cap (-1);
+    tails = Array.make cap 0;
+    ekey = Array.make entries 0;
+    eval = Array.make entries 0;
+    enext = Array.make entries 0;
+    n = 0;
+  }
+
+let length t = t.n
+
+(* Index of the slot holding [key], or the empty slot where it belongs. *)
+let probe t key =
+  let mask = t.mask in
+  let s = ref ((mix key lsr t.shift) land mask) in
+  let continue = ref true in
+  while !continue do
+    let head = Array.unsafe_get t.slots !s in
+    if head < 0 || Array.unsafe_get t.ekey head = key then continue := false
+    else s := (!s + 1) land mask
+  done;
+  !s
+
+let insert_entry t key e =
+  let s = probe t key in
+  let head = t.slots.(s) in
+  if head < 0 then begin
+    t.slots.(s) <- e;
+    t.tails.(s) <- e
+  end
+  else begin
+    t.enext.(t.tails.(s)) <- e;
+    t.tails.(s) <- e
+  end
+
+let rehash t =
+  let cap = 2 * (t.mask + 1) in
+  t.mask <- cap - 1;
+  t.slots <- Array.make cap (-1);
+  t.tails <- Array.make cap 0;
+  Array.fill t.enext 0 t.n (-1);
+  (* Re-inserting in entry order rebuilds every chain in insertion order. *)
+  for e = 0 to t.n - 1 do
+    insert_entry t t.ekey.(e) e
+  done
+
+let grow_entries t =
+  let cap = 2 * Array.length t.ekey in
+  let widen a = Array.append a (Array.make (cap - Array.length a) 0) in
+  t.ekey <- widen t.ekey;
+  t.eval <- widen t.eval;
+  t.enext <- widen t.enext
+
+let add t key v =
+  if t.n = Array.length t.ekey then grow_entries t;
+  if 2 * t.n >= t.mask + 1 then rehash t;
+  let e = t.n in
+  t.ekey.(e) <- key;
+  t.eval.(e) <- v;
+  t.enext.(e) <- -1;
+  t.n <- e + 1;
+  insert_entry t key e
+
+let iter_matches t key f =
+  let s = probe t key in
+  let e = ref t.slots.(s) in
+  while !e >= 0 do
+    f (Array.unsafe_get t.eval !e);
+    e := Array.unsafe_get t.enext !e
+  done
+
+let mem t key = t.slots.(probe t key) >= 0

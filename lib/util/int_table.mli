@@ -1,0 +1,28 @@
+(** Open-addressed hash multimap from int keys to int values.
+
+    The workhorse index behind the partitioned hash join: one table per
+    radix partition, built once, probed read-only (and therefore safely)
+    from many domains. Values added under the same key are replayed by
+    {!iter_matches} in insertion order, which is what makes join output
+    independent of the probe schedule. *)
+
+type t
+
+val create : ?hash_shift:int -> expected:int -> unit -> t
+(** [create ~expected ()] pre-sizes for [expected] entries at load factor
+    <= 1/2 (the table still grows if exceeded). [hash_shift] discards that
+    many low hash bits before slot indexing — pass the partition bit count
+    so slot placement stays uniform within a radix partition. *)
+
+val add : t -> int -> int -> unit
+(** [add t key v] appends [v] to [key]'s chain. *)
+
+val iter_matches : t -> int -> (int -> unit) -> unit
+(** Apply to every value bound to the key, in insertion order. *)
+
+val mem : t -> int -> bool
+val length : t -> int
+
+val mix : int -> int
+(** The avalanche hash used internally; exposed so callers can derive
+    radix partition indices from the same bit stream. *)

@@ -40,6 +40,10 @@ let fold f init t =
 
 let append dst src = iter (push dst) src
 
+let blit_into src dst pos = Array.blit src.data 0 dst pos src.len
+
+let unsafe_get t i = Array.unsafe_get t.data i
+
 let sort_unique t =
   let a = to_array t in
   Array.sort compare a;

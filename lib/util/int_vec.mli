@@ -21,5 +21,12 @@ val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
 val append : t -> t -> unit
 (** [append dst src] pushes all of [src] onto [dst]. *)
 
+val blit_into : t -> int array -> int -> unit
+(** [blit_into src dst pos] copies [src]'s contents into [dst] starting at
+    [pos]. Used to concatenate per-task accumulators into one array. *)
+
+val unsafe_get : t -> int -> int
+(** No bounds check; caller guarantees [0 <= i < length t]. *)
+
 val sort_unique : t -> t
 (** Fresh vector with sorted, deduplicated contents. *)

@@ -22,7 +22,7 @@ let vs s = Value.Str s
 
 let test_csr_basic () =
   let src = [| 0; 0; 1; 2; 2; 2 |] and dst = [| 1; 2; 2; 0; 1; 1 |] in
-  let csr = Csr.build ~nvertices:3 ~src ~dst in
+  let csr = Csr.build ~nvertices:3 ~src ~dst () in
   check_int "nvertices" 3 (Csr.nvertices csr);
   check_int "nedges" 6 (Csr.nedges csr);
   check_int "deg 0" 2 (Csr.degree csr 0);
@@ -33,16 +33,16 @@ let test_csr_basic () =
   check "neighbors with eids" true (nbrs = [| (0, 3); (1, 4); (1, 5) |])
 
 let test_csr_isolated_and_empty () =
-  let csr = Csr.build ~nvertices:4 ~src:[||] ~dst:[||] in
+  let csr = Csr.build ~nvertices:4 ~src:[||] ~dst:[||] () in
   check_int "no edges" 0 (Csr.nedges csr);
   check_int "isolated degree" 0 (Csr.degree csr 3);
   Alcotest.check_raises "vertex out of range"
     (Invalid_argument "Csr.build: vertex out of range") (fun () ->
-      ignore (Csr.build ~nvertices:2 ~src:[| 5 |] ~dst:[| 0 |]))
+      ignore (Csr.build ~nvertices:2 ~src:[| 5 |] ~dst:[| 0 |] ()))
 
 let test_csr_parallel_edges () =
   (* Multigraph: duplicate (src,dst) pairs must both be indexed. *)
-  let csr = Csr.build ~nvertices:2 ~src:[| 0; 0 |] ~dst:[| 1; 1 |] in
+  let csr = Csr.build ~nvertices:2 ~src:[| 0; 0 |] ~dst:[| 1; 1 |] () in
   check_int "both kept" 2 (Csr.degree csr 0)
 
 let prop_csr_preserves_edges =
@@ -51,7 +51,7 @@ let prop_csr_preserves_edges =
     (fun edges ->
       let src = Array.of_list (List.map fst edges) in
       let dst = Array.of_list (List.map snd edges) in
-      let csr = Csr.build ~nvertices:10 ~src ~dst in
+      let csr = Csr.build ~nvertices:10 ~src ~dst () in
       let seen = Array.make (Array.length src) false in
       for v = 0 to 9 do
         Csr.iter_neighbors csr v (fun ~dst:d ~eid ->
@@ -276,7 +276,7 @@ module Degree_stats = Graql_graph.Degree_stats
 let test_degree_stats () =
   (* degrees: v0 -> 3 edges, v1 -> 1, v2 -> 0, v3 -> 0 *)
   let csr =
-    Csr.build ~nvertices:4 ~src:[| 0; 0; 0; 1 |] ~dst:[| 1; 2; 3; 0 |]
+    Csr.build ~nvertices:4 ~src:[| 0; 0; 0; 1 |] ~dst:[| 1; 2; 3; 0 |] ()
   in
   let s = Degree_stats.of_csr csr in
   check_int "vertices" 4 s.Degree_stats.ds_vertices;
@@ -289,11 +289,11 @@ let test_degree_stats () =
   check_int "p99" 3 s.Degree_stats.ds_p99
 
 let test_degree_stats_empty_and_uniform () =
-  let empty = Degree_stats.of_csr (Csr.build ~nvertices:0 ~src:[||] ~dst:[||]) in
+  let empty = Degree_stats.of_csr (Csr.build ~nvertices:0 ~src:[||] ~dst:[||] ()) in
   check_int "empty vertices" 0 empty.Degree_stats.ds_vertices;
   let ring_src = Array.init 10 Fun.id in
   let ring_dst = Array.init 10 (fun i -> (i + 1) mod 10) in
-  let ring = Degree_stats.of_csr (Csr.build ~nvertices:10 ~src:ring_src ~dst:ring_dst) in
+  let ring = Degree_stats.of_csr (Csr.build ~nvertices:10 ~src:ring_src ~dst:ring_dst ()) in
   check "uniform ring" true
     (ring.Degree_stats.ds_min = 1 && ring.Degree_stats.ds_max = 1
     && ring.Degree_stats.ds_p90 = 1)

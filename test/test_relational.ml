@@ -346,7 +346,7 @@ let test_semi_join () =
   let r =
     Table.of_rows ~name:"r" right_schema [ [ vi 2; vs "x" ]; [ vi 2; vs "y" ] ]
   in
-  let rows = Join.semi_join_left ~left:l ~right:r ~on:[ (0, 0) ] in
+  let rows = Join.semi_join_left ~left:l ~right:r ~on:[ (0, 0) ] () in
   check "only k=2, once" true (rows = [| 1 |])
 
 let prop_join_matches_nested_loop =
@@ -362,7 +362,7 @@ let prop_join_matches_nested_loop =
         Table.of_rows ~name schema (List.map (fun (k, v) -> [ vi k; vi v ]) rows)
       in
       let l = mk "l" ls and r = mk "r" rs in
-      let pairs = Join.join_pairs ~left:l ~right:r ~on:[ (0, 0) ] in
+      let pairs = Join.join_pairs ~left:l ~right:r ~on:[ (0, 0) ] () in
       let oracle =
         List.concat
           (List.mapi
@@ -448,6 +448,183 @@ let prop_group_count_total =
         r;
       !total = List.length ks)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel operators: byte-identical to sequential, any pool size      *)
+
+let with_pool domains f =
+  let pool = Graql_parallel.Domain_pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Graql_parallel.Domain_pool.shutdown pool)
+    (fun () -> f pool)
+
+let tables_equal a b =
+  Table.nrows a = Table.nrows b
+  && Table.arity a = Table.arity b
+  &&
+  let ok = ref true in
+  for r = 0 to Table.nrows a - 1 do
+    for c = 0 to Table.arity a - 1 do
+      if Table.get a ~row:r ~col:c <> Table.get b ~row:r ~col:c then ok := false
+    done
+  done;
+  !ok
+
+(* Left 20k rows / right 5k rows, duplicate keys (mod 997), nulls
+   sprinkled on both sides, an Int-key variant and a dict-Varchar-key
+   variant. The join must produce the identical table with no pool and
+   with pools of 1, 2, 4 and 8 domains. *)
+let test_parallel_join_identical () =
+  let big_tables key_of_l key_of_r kdtype =
+    let lschema =
+      Schema.make [ col "k" kdtype; col "a" Dtype.Int; col "x" Dtype.Float ]
+    in
+    let rschema = Schema.make [ col "k" kdtype; col "b" Dtype.Int ] in
+    let l = Table.create ~name:"L" lschema in
+    for i = 0 to 19_999 do
+      Table.append_row l
+        [
+          (if i mod 13 = 0 then Value.Null else key_of_l i);
+          vi i;
+          (if i mod 17 = 0 then Value.Null else vf (float_of_int i /. 3.0));
+        ]
+    done;
+    let r = Table.create ~name:"R" rschema in
+    for i = 0 to 4_999 do
+      Table.append_row r
+        [ (if i mod 11 = 0 then Value.Null else key_of_r i); vi (i * 7) ]
+    done;
+    (l, r)
+  in
+  let run_case name (l, r) =
+    let seq = Join.hash_join ~name:"j" ~left:l ~right:r ~on:[ (0, 0) ] () in
+    check name true (Table.nrows seq > 0);
+    List.iter
+      (fun domains ->
+        with_pool domains (fun pool ->
+            let par =
+              Join.hash_join ~pool ~name:"j" ~left:l ~right:r ~on:[ (0, 0) ] ()
+            in
+            check
+              (Printf.sprintf "%s identical at %d domains" name domains)
+              true (tables_equal seq par)))
+      [ 1; 2; 4; 8 ]
+  in
+  run_case "int keys"
+    (big_tables (fun i -> vi (i mod 997)) (fun i -> vi (i mod 1500)) Dtype.Int);
+  run_case "varchar keys"
+    (big_tables
+       (fun i -> vs ("k" ^ string_of_int (i mod 499)))
+       (fun i -> vs ("k" ^ string_of_int (i mod 750)))
+       (Dtype.Varchar 8))
+
+(* Group-by over int and float aggregates with null keys and null values:
+   first-seen group order and every float bit must match the sequential
+   result for every pool size. chunk_rows is dropped so even this small
+   table crosses the parallel threshold. *)
+let test_parallel_group_by_identical () =
+  let saved = !Aggregate.chunk_rows in
+  Fun.protect ~finally:(fun () -> Aggregate.chunk_rows := saved) @@ fun () ->
+  Aggregate.chunk_rows := 16;
+  let schema =
+    Schema.make [ col "g" (Dtype.Varchar 4); col "v" Dtype.Int; col "x" Dtype.Float ]
+  in
+  let t = Table.create ~name:"t" schema in
+  for i = 0 to 1_999 do
+    Table.append_row t
+      [
+        (if i mod 31 = 0 then Value.Null else vs ("g" ^ string_of_int (i mod 23)));
+        vi (i mod 100);
+        (if i mod 7 = 0 then Value.Null else vf (float_of_int i /. 7.0));
+      ]
+  done;
+  let aggs =
+    [
+      (Aggregate.Count_star, "n");
+      (Aggregate.Sum 2, "sx");
+      (Aggregate.Avg 2, "ax");
+      (Aggregate.Min 1, "mn");
+      (Aggregate.Max 2, "mx");
+    ]
+  in
+  let seq = Aggregate.group_by t ~keys:[ 0 ] ~aggs in
+  List.iter
+    (fun domains ->
+      with_pool domains (fun pool ->
+          let par = Aggregate.group_by ~pool t ~keys:[ 0 ] ~aggs in
+          check
+            (Printf.sprintf "group_by identical at %d domains" domains)
+            true (tables_equal seq par);
+          check
+            (Printf.sprintf "scalar identical at %d domains" domains)
+            true
+            (Aggregate.scalar ~pool t (Aggregate.Sum 2)
+            = Aggregate.scalar t (Aggregate.Sum 2))))
+    [ 1; 2; 4; 8 ]
+
+(* Edge cases at a forced-parallel threshold: empty inputs, all-null
+   keys, multi-column (generic string path) joins. *)
+let prop_parallel_join_matches_sequential =
+  let cell = QCheck.Gen.(map (fun k -> if k = 0 then None else Some k) (int_bound 5)) in
+  let row_gen = QCheck.Gen.(pair cell (int_bound 3)) in
+  QCheck.Test.make ~name:"parallel join = sequential (nulls, dups, empty)"
+    ~count:60
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_bound 20) (make row_gen))
+        (list_of_size (QCheck.Gen.int_bound 20) (make row_gen)))
+    (fun (ls, rs) ->
+      let saved = !Join.par_threshold in
+      Fun.protect ~finally:(fun () -> Join.par_threshold := saved) @@ fun () ->
+      Join.par_threshold := 1;
+      let schema = Schema.make [ col "k" Dtype.Int; col "v" Dtype.Int ] in
+      let mk name rows =
+        Table.of_rows ~name schema
+          (List.map
+             (fun (k, v) ->
+               [ (match k with None -> Value.Null | Some k -> vi k); vi v ])
+             rows)
+      in
+      let l = mk "l" ls and r = mk "r" rs in
+      let on1 = [ (0, 0) ] and on2 = [ (0, 0); (1, 1) ] in
+      let seq1 = Join.hash_join ~left:l ~right:r ~on:on1 () in
+      let seq2 = Join.hash_join ~left:l ~right:r ~on:on2 () in
+      with_pool 3 (fun pool ->
+          tables_equal seq1 (Join.hash_join ~pool ~left:l ~right:r ~on:on1 ())
+          && tables_equal seq2 (Join.hash_join ~pool ~left:l ~right:r ~on:on2 ())))
+
+(* The semi-join int fast path must agree with a brute-force oracle, with
+   and without a pool. *)
+let prop_semi_join_matches_oracle =
+  let cell = QCheck.Gen.(map (fun k -> if k = 0 then None else Some k) (int_bound 6)) in
+  QCheck.Test.make ~name:"semi join fast path = oracle" ~count:60
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_bound 20) (make cell))
+        (list_of_size (QCheck.Gen.int_bound 20) (make cell)))
+    (fun (ls, rs) ->
+      let saved = !Join.par_threshold in
+      Fun.protect ~finally:(fun () -> Join.par_threshold := saved) @@ fun () ->
+      Join.par_threshold := 1;
+      let schema = Schema.make [ col "k" Dtype.Int ] in
+      let mk name rows =
+        Table.of_rows ~name schema
+          (List.map
+             (fun k -> [ (match k with None -> Value.Null | Some k -> vi k) ])
+             rows)
+      in
+      let l = mk "l" ls and r = mk "r" rs in
+      let oracle =
+        List.mapi (fun i k -> (i, k)) ls
+        |> List.filter_map (fun (i, k) ->
+               match k with
+               | Some k when List.mem (Some k) rs -> Some i
+               | _ -> None)
+        |> Array.of_list
+      in
+      let seq = Join.semi_join_left ~left:l ~right:r ~on:[ (0, 0) ] () in
+      seq = oracle
+      && with_pool 2 (fun pool ->
+             Join.semi_join_left ~pool ~left:l ~right:r ~on:[ (0, 0) ] () = oracle))
+
 let () =
   Alcotest.run "relational"
     [
@@ -488,6 +665,15 @@ let () =
           Alcotest.test_case "multi-key" `Quick test_join_multi_key;
           Alcotest.test_case "semi join" `Quick test_semi_join;
           QCheck_alcotest.to_alcotest prop_join_matches_nested_loop;
+        ] );
+      ( "parallel_ops",
+        [
+          Alcotest.test_case "parallel join identical (1/2/4/8 domains)" `Slow
+            test_parallel_join_identical;
+          Alcotest.test_case "parallel group_by identical (1/2/4/8 domains)"
+            `Quick test_parallel_group_by_identical;
+          QCheck_alcotest.to_alcotest prop_parallel_join_matches_sequential;
+          QCheck_alcotest.to_alcotest prop_semi_join_matches_oracle;
         ] );
       ( "aggregate",
         [
