@@ -461,6 +461,55 @@ let sweep_shards () =
        ~header:[ "shards"; "scan(ms)"; "speedup" ]
        rows)
 
+(* Cost of the recovery layer: the same sharded scan fault-free, with the
+   retry machinery armed but idle, and with every shard failing its first
+   attempt (fail-once plan -> one backoff+retry per shard). Results must
+   be byte-identical across all three. *)
+let sweep_fault_recovery () =
+  print_endline "\n== fault recovery overhead (fail-once on every shard) ==";
+  let scale = 64 in
+  let s = make_session ~scale () in
+  let offers = Graql.Db.find_table_exn (Graql.Session.db s) "Offers" in
+  let pred =
+    Graql.Row_expr.(
+      And
+        ( Cmp (Gt, Col 4, Const (Graql.Value.Float 5000.0)),
+          Cmp (Lt, Col 7, Const (Graql.Value.Int 7)) ))
+  in
+  let pool = Graql.Domain_pool.create () in
+  let rows =
+    List.map
+      (fun shards ->
+        let clean = Graql.Shard.create ~shards pool in
+        let faulty =
+          Graql.Shard.create ~shards ~replicas:2
+            ~faults:(Graql.Fault.fail_once ()) ~backoff_ms:0.0 pool
+        in
+        let expect = Graql.Shard.parallel_select clean offers pred in
+        let got = Graql.Shard.parallel_select faulty offers pred in
+        assert (expect = got);
+        let t_clean =
+          time_best ~reps:5 (fun () ->
+              ignore (Graql.Shard.parallel_select clean offers pred))
+        in
+        let t_faulty =
+          time_best ~reps:5 (fun () ->
+              ignore (Graql.Shard.parallel_select faulty offers pred))
+        in
+        [
+          string_of_int shards;
+          Printf.sprintf "%.3f" (t_clean *. 1000.0);
+          Printf.sprintf "%.3f" (t_faulty *. 1000.0);
+          string_of_int (Graql.Shard.retries faulty);
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  Graql.Domain_pool.shutdown pool;
+  print_endline
+    (Graql_util.Text_table.render
+       ~header:[ "shards"; "clean(ms)"; "recovered(ms)"; "retries" ]
+       rows)
+
 (* Parallel partitioned join / parallel aggregation sweep. Also the
    backing data for BENCH_join.json (--json mode): mean/stddev over
    [reps] timed runs after one warmup. *)
@@ -789,6 +838,7 @@ let () =
   sweep_planner ();
   sweep_script_parallel ();
   sweep_shards ();
+  sweep_fault_recovery ();
   sweep_join_parallel ();
   sweep_baseline_vs_engine ();
   sweep_seed_strategy ();

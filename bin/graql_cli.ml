@@ -1,5 +1,9 @@
 (* The GraQL command-line client: the simplest of the GEMS "clients"
-   (Sec. III). Subcommands: run, check, ir, gen-berlin, berlin, repl. *)
+   (Sec. III). Subcommands: run, check, ir, gen-berlin, berlin, repl.
+
+   Failures exit with the stable per-category codes of
+   [Graql.Error.exit_code]: 2 parse, 3 analysis, 4 execution, 5 exhausted
+   fault recovery, 6 deadline, 7 permission, 8 I/O. *)
 
 open Cmdliner
 
@@ -56,19 +60,48 @@ let data_dir_arg =
 let script_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
 
-let make_session ?domains ?(params = []) () =
+let deadline_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Abort backend execution after MS milliseconds; timed-out \
+              statements report a timeout error and the process exits 6.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Inject deterministic transient faults (seeded) into the \
+              backend to exercise the recovery layer. Equivalent to \
+              setting GRAQL_FAULT_SEED.")
+
+let make_session ?domains ?fault_seed ?(params = []) () =
   let pool =
     Some (Graql.Domain_pool.create ?domains ())
   in
-  let session = Graql.create_session ?pool () in
+  let faults = Option.map (fun seed -> Graql.Fault.random ~seed ()) fault_seed in
+  let session = Graql.create_session ?pool ?faults () in
   List.iter (fun (n, v) -> Graql.Db.set_param (Graql.Session.db session) n v) params;
   session
 
-let loader_for data_dir name =
-  let path =
-    match data_dir with Some d -> Filename.concat d name | None -> name
-  in
-  read_file path
+let loader_for data_dir =
+  match data_dir with
+  | Some d when Sys.file_exists (Filename.concat d Graql.Db_io.manifest_name)
+    ->
+      (* An exported directory: verify sizes + checksums on every load. *)
+      Graql.Db_io.checked_loader ~dir:d
+  | Some d -> fun name -> read_file (Filename.concat d name)
+  | None -> read_file
+
+(* Process exit code for a script whose pipeline succeeded: the first
+   failed statement decides; 0 when everything ran. *)
+let outcomes_exit_code results =
+  List.fold_left
+    (fun code (_, outcome) ->
+      match outcome with
+      | Graql.O_failed err when code = 0 -> Graql.Error.exit_code err
+      | _ -> code)
+    0 results
 
 let print_outcomes results =
   List.iter
@@ -85,6 +118,15 @@ let report_diags diags =
     (fun d -> prerr_endline (Graql.Diag.to_string d))
     diags
 
+(* Run [f]; typed errors print to stderr and become their category's exit
+   code, which [Cmd.eval'] passes through. *)
+let with_typed_errors f =
+  match f () with
+  | code -> `Ok code
+  | exception Graql.Error.Error e ->
+      prerr_endline ("graql: " ^ Graql.Error.to_string e);
+      `Ok (Graql.Error.exit_code e)
+
 let dump_arg =
   Arg.(
     value & opt (some string) None
@@ -93,52 +135,47 @@ let dump_arg =
               reload script (schema.graql) into DIR.")
 
 let run_cmd =
-  let action script params domains seq data_dir dump =
-    let session = make_session ?domains ~params () in
-    let source = read_file script in
-    match
-      Graql.run ~loader:(loader_for data_dir) ~parallel:(not seq) session
-        source
-    with
-    | results ->
+  let action script params domains seq data_dir dump deadline_ms fault_seed =
+    with_typed_errors (fun () ->
+        let session = make_session ?domains ?fault_seed ~params () in
+        let source = read_file script in
+        let results =
+          Graql.run ~loader:(loader_for data_dir) ~parallel:(not seq)
+            ?deadline_ms session source
+        in
         report_diags (Graql.Session.last_diagnostics session);
         print_outcomes results;
+        let recovered = Graql.Session.recovered_faults session in
+        if recovered > 0 then
+          Printf.eprintf "note: recovered from %d injected fault(s)\n"
+            recovered;
         (match dump with
         | Some dir ->
             Graql.Db_io.export (Graql.Session.db session) ~dir;
             Printf.printf "exported database to %s/\n" dir
         | None -> ());
-        `Ok ()
-    | exception Graql.Session.Rejected diags ->
-        report_diags diags;
-        `Error (false, "script rejected by static analysis")
-    | exception Graql.Loc.Syntax_error (loc, msg) ->
-        `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
-    | exception Graql.Script_exec.Script_error (loc, msg) ->
-        `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
+        outcomes_exit_code results)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a GraQL script")
     Term.(
       ret (const action $ script_arg $ params_arg $ domains_arg $ seq_arg
-           $ data_dir_arg $ dump_arg))
+           $ data_dir_arg $ dump_arg $ deadline_arg $ fault_seed_arg))
 
 let check_cmd =
   let action script params =
-    let session = make_session ~params () in
-    let source = read_file script in
-    match Graql.check session source with
-    | diags ->
+    with_typed_errors (fun () ->
+        let session = make_session ~params () in
+        let source = read_file script in
+        let diags = Graql.check session source in
         report_diags diags;
         if Graql.Diag.has_errors diags then
-          `Error (false, "static analysis found errors")
+          Graql.Error.exit_code (Graql.Error.Analysis (Graql.Diag.errors diags))
         else begin
           Printf.printf "ok: %d warning(s)\n"
             (List.length (Graql.Diag.warnings diags));
-          `Ok ()
-        end
-    | exception Graql.Loc.Syntax_error (loc, msg) ->
-        `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
+          0
+        end)
   in
   Cmd.v
     (Cmd.info "check"
@@ -158,32 +195,34 @@ let ir_cmd =
           ~doc:"Treat SCRIPT as an IR file; decode and pretty-print it.")
   in
   let action script out decode =
-    if decode then begin
-      let blob = Bytes.of_string (read_file script) in
-      match Graql.Ir.decode_script blob with
-      | ast ->
-          print_endline (Graql.Pretty.script_to_string ast);
-          `Ok ()
-      | exception Graql_ir.Wire.Corrupt msg ->
-          `Error (false, "corrupt IR: " ^ msg)
-    end
-    else
-      match Graql.Parser.parse_script (read_file script) with
-      | ast -> (
-          let blob = Graql.Ir.encode_script ast in
-          match out with
-          | Some path ->
-              let oc = open_out_bin path in
-              output_bytes oc blob;
-              close_out oc;
-              Printf.printf "wrote %d bytes to %s\n" (Bytes.length blob) path;
-              `Ok ()
-          | None ->
-              Printf.printf "%d statements, %d IR bytes\n" (List.length ast)
-                (Bytes.length blob);
-              `Ok ())
-      | exception Graql.Loc.Syntax_error (loc, msg) ->
-          `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
+    with_typed_errors (fun () ->
+        if decode then begin
+          let blob = Bytes.of_string (read_file script) in
+          match Graql.Ir.decode_script blob with
+          | ast ->
+              print_endline (Graql.Pretty.script_to_string ast);
+              0
+          | exception Graql_ir.Wire.Corrupt msg ->
+              Graql.Error.raise_error (Graql.Error.Io ("corrupt IR: " ^ msg))
+        end
+        else
+          match Graql.Parser.parse_script (read_file script) with
+          | ast -> (
+              let blob = Graql.Ir.encode_script ast in
+              match out with
+              | Some path ->
+                  let oc = open_out_bin path in
+                  output_bytes oc blob;
+                  close_out oc;
+                  Printf.printf "wrote %d bytes to %s\n" (Bytes.length blob)
+                    path;
+                  0
+              | None ->
+                  Printf.printf "%d statements, %d IR bytes\n"
+                    (List.length ast) (Bytes.length blob);
+                  0)
+          | exception Graql.Loc.Syntax_error (loc, msg) ->
+              Graql.Error.raise_error (Graql.Error.Parse (loc, msg)))
   in
   Cmd.v
     (Cmd.info "ir" ~doc:"Compile a script to the binary IR (or decode one)")
@@ -221,12 +260,13 @@ let gen_berlin_cmd =
     output_char oc (Char.chr 10);
     close_out oc;
     Printf.printf "wrote %d CSV files + berlin.graql to %s/\n"
-      (List.length files) out
+      (List.length files) out;
+    `Ok 0
   in
   Cmd.v
     (Cmd.info "gen-berlin"
        ~doc:"Generate a Berlin (BSBM-style) dataset and its GraQL DDL")
-    Term.(const action $ scale_arg $ seed_arg $ out_arg)
+    Term.(ret (const action $ scale_arg $ seed_arg $ out_arg))
 
 let berlin_cmd =
   let query_arg =
@@ -243,8 +283,9 @@ let berlin_cmd =
       & info [ "stats" ]
           ~doc:"Also print the catalog and per-edge-type degree statistics.")
   in
-  let action scale seed query domains params stats =
-    let session = make_session ?domains ~params () in
+  let action scale seed query domains params stats deadline_ms fault_seed =
+    with_typed_errors @@ fun () ->
+    let session = make_session ?domains ?fault_seed ~params () in
     Graql.Berlin.Gen.ingest_all ~seed ~scale session;
     if stats then begin
       (* Build the views first so the catalog shows real sizes. *)
@@ -274,24 +315,37 @@ let berlin_cmd =
         | Some q -> [ (query, q) ]
         | None -> []
     in
-    if queries = [] then `Error (false, Printf.sprintf "unknown query %S" query)
+    if queries = [] then
+      Graql.Error.raise_error
+        (Graql.Error.Analysis
+           [
+             {
+               Graql.Diag.severity = Graql.Diag.Error;
+               loc = Graql.Loc.dummy;
+               message = Printf.sprintf "unknown query %S" query;
+             };
+           ])
     else begin
+      let code = ref 0 in
       List.iter
         (fun (name, q) ->
           Printf.printf "--- %s ---\n" name;
-          print_outcomes (Graql.run session q))
+          let results = Graql.run ?deadline_ms session q in
+          print_outcomes results;
+          if !code = 0 then code := outcomes_exit_code results)
         queries;
-      `Ok ()
+      !code
     end
   in
   Cmd.v
     (Cmd.info "berlin" ~doc:"Generate, load and query the Berlin scenario")
     Term.(
       ret (const action $ scale_arg $ seed_arg $ query_arg $ domains_arg
-           $ params_arg $ stats_arg))
+           $ params_arg $ stats_arg $ deadline_arg $ fault_seed_arg))
 
 let repl_cmd =
   let action domains params =
+    with_typed_errors @@ fun () ->
     let session = make_session ?domains ~params () in
     print_endline
       "GraQL repl — end statements with ';' on their own line, Ctrl-D quits.";
@@ -306,9 +360,10 @@ let repl_cmd =
            let source = Buffer.contents buf in
            Buffer.clear buf;
            (try print_outcomes (Graql.run session source) with
-           | Graql.Session.Rejected diags -> report_diags diags
-           | Graql.Loc.Syntax_error (loc, msg) ->
-               Printf.eprintf "%s: %s\n%!" (Graql.Loc.to_string loc) msg
+           | Graql.Error.Error (Graql.Error.Analysis diags) ->
+               report_diags diags
+           | Graql.Error.Error e ->
+               Printf.eprintf "%s\n%!" (Graql.Error.to_string e)
            | Graql.Script_exec.Script_error (loc, msg) ->
                Printf.eprintf "%s: %s\n%!" (Graql.Loc.to_string loc) msg)
          end
@@ -318,7 +373,7 @@ let repl_cmd =
          end
        done
      with End_of_file -> print_newline ());
-    `Ok ()
+    0
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive GraQL session")
@@ -326,6 +381,7 @@ let repl_cmd =
 
 let explain_cmd =
   let action script params domains data_dir =
+    with_typed_errors @@ fun () ->
     let session = make_session ?domains ~params () in
     let db = Graql.Session.db session in
     let source = read_file script in
@@ -350,9 +406,9 @@ let explain_cmd =
                   (Graql.Script_exec.exec_stmt
                      ~loader:(loader_for data_dir) db stmt))
           ast;
-        `Ok ()
+        0
     | exception Graql.Loc.Syntax_error (loc, msg) ->
-        `Error (false, Printf.sprintf "%s: %s" (Graql.Loc.to_string loc) msg)
+        Graql.Error.raise_error (Graql.Error.Parse (loc, msg))
   in
   Cmd.v
     (Cmd.info "explain"
@@ -375,6 +431,7 @@ let cluster_plan_cmd =
       & info [ "shards-per-table" ] ~docv:"K" ~doc:"Row-range shards per table.")
   in
   let action scale seed nodes mem_gb shards =
+    with_typed_errors @@ fun () ->
     let session = make_session () in
     Graql.Berlin.Gen.ingest_all ~seed ~scale session;
     let plan =
@@ -383,7 +440,7 @@ let cluster_plan_cmd =
         (Graql.Session.db session)
     in
     print_endline (Graql.Cluster.report plan);
-    `Ok ()
+    0
   in
   Cmd.v
     (Cmd.info "cluster-plan"
@@ -392,11 +449,23 @@ let cluster_plan_cmd =
     Term.(
       ret (const action $ scale_arg $ seed_arg $ nodes_arg $ mem_arg $ shards_arg))
 
+let exits =
+  Cmd.Exit.defaults
+  @ [
+      Cmd.Exit.info 2 ~doc:"on a parse error.";
+      Cmd.Exit.info 3 ~doc:"on static analysis errors.";
+      Cmd.Exit.info 4 ~doc:"on a statement execution error.";
+      Cmd.Exit.info 5 ~doc:"when fault recovery was exhausted.";
+      Cmd.Exit.info 6 ~doc:"when the --deadline-ms budget expired.";
+      Cmd.Exit.info 7 ~doc:"on an authorization failure.";
+      Cmd.Exit.info 8 ~doc:"on an I/O or data-integrity failure.";
+    ]
+
 let main =
   Cmd.group
-    (Cmd.info "graql" ~version:"1.0.0"
+    (Cmd.info "graql" ~version:"1.0.0" ~exits
        ~doc:"GraQL attributed graph database (GEMS reproduction)")
     [ run_cmd; check_cmd; ir_cmd; gen_berlin_cmd; berlin_cmd; repl_cmd;
       explain_cmd; cluster_plan_cmd ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

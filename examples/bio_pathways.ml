@@ -164,7 +164,8 @@ let () =
           | Graql.O_table t ->
               print_endline (Graql.Table.to_display_string ~max_rows:10 t)
           | Graql.O_subgraph sg -> print_endline (Graql.Subgraph.summary sg)
-          | Graql.O_message m -> print_endline m)
+          | Graql.O_message m -> print_endline m
+          | Graql.O_failed e -> print_endline ("error: " ^ Graql.Error.to_string e))
         (Graql.run session q);
       print_newline ())
     queries

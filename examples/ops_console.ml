@@ -47,7 +47,8 @@ let () =
 
   section "...but not write";
   (try ignore (Graql.Server.run ann "create table Sneaky(x integer)")
-   with Graql.Server.Permission_denied msg -> print_endline ("  denied: " ^ msg));
+   with Graql.Error.Error (Graql.Error.Denied msg) ->
+     print_endline ("  denied: " ^ msg));
 
   section "query plan for a tail-selective path (graql explain)";
   (match

@@ -49,5 +49,6 @@ let () =
       match outcome with
       | Graql.O_table t -> print_endline (Graql.Table.to_display_string t)
       | Graql.O_subgraph sg -> print_endline (Graql.Subgraph.summary sg)
-      | Graql.O_message _ -> ())
+      | Graql.O_message _ -> ()
+      | Graql.O_failed e -> print_endline ("error: " ^ Graql.Error.to_string e))
     results

@@ -62,13 +62,16 @@ module Ddl_exec = Graql_engine.Ddl_exec
 module Explain = Graql_engine.Explain
 module Reference_exec = Graql_engine.Reference_exec
 module Db_io = Graql_engine.Db_io
+module Error = Graql_engine.Graql_error
 
 (* -- GEMS ----------------------------------------------------------- *)
 module Session = Graql_gems.Session
 module Shard = Graql_gems.Shard
 module Cluster = Graql_gems.Cluster
 module Server = Graql_gems.Server
+module Fault = Graql_gems.Fault
 module Domain_pool = Graql_parallel.Domain_pool
+module Cancel = Graql_parallel.Cancel
 
 (* -- Berlin benchmark ----------------------------------------------- *)
 module Berlin = struct
@@ -82,11 +85,13 @@ type outcome = Script_exec.outcome =
   | O_table of Table.t
   | O_subgraph of Subgraph.t
   | O_message of string
+  | O_failed of Error.t
 
-let create_session ?pool ?strict () = Session.create ?pool ?strict ()
+let create_session ?pool ?strict ?faults () =
+  Session.create ?pool ?strict ?faults ()
 
-let run ?loader ?parallel session source =
-  Session.run_script ?loader ?parallel session source
+let run ?loader ?parallel ?deadline_ms session source =
+  Session.run_script ?loader ?parallel ?deadline_ms session source
 
 let check = Session.check
 
@@ -98,3 +103,4 @@ let outcome_to_string = function
   | O_table t -> Table.to_display_string t
   | O_subgraph sg -> Subgraph.summary sg
   | O_message m -> m
+  | O_failed err -> "error: " ^ Error.to_string err

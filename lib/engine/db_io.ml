@@ -81,11 +81,99 @@ let export_files db =
   ("schema.graql", ddl_of_db db)
   :: List.map (fun t -> (csv_name t, Csv.table_to_csv t)) tables
 
-let export db ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+(* ------------------------------------------------------------------ *)
+(* Atomic export + manifest                                            *)
+
+let manifest_name = "MANIFEST"
+
+let manifest_of_files files =
+  let buf = Buffer.create 256 in
   List.iter
     (fun (name, contents) ->
-      let oc = open_out_bin (Filename.concat dir name) in
-      output_string oc contents;
-      close_out oc)
-    (export_files db)
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d %s\n"
+           (Digest.to_hex (Digest.string contents))
+           (String.length contents) name))
+    files;
+  Buffer.contents buf
+
+let parse_manifest doc =
+  List.filter_map
+    (fun line ->
+      match String.split_on_char ' ' (String.trim line) with
+      | [ md5; size; name ] -> (
+          match int_of_string_opt size with
+          | Some size when String.length md5 = 32 -> Some (name, (md5, size))
+          | _ -> raise (Graql_error.Error (Graql_error.Io
+              (Printf.sprintf "%s: malformed line %S" manifest_name line))))
+      | [ "" ] | [] -> None
+      | _ ->
+          raise (Graql_error.Error (Graql_error.Io
+              (Printf.sprintf "%s: malformed line %S" manifest_name line))))
+    (String.split_on_char '\n' doc)
+
+(* Write-to-temp then rename: a crash mid-export leaves the previous file
+   (or no file) in place, never a torn one. The temp file lives in the
+   destination directory so the rename stays within one filesystem. *)
+let write_atomic ~dir name contents =
+  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ name) ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp (Filename.concat dir name)
+
+let export db ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let files = export_files db in
+  List.iter (fun (name, contents) -> write_atomic ~dir name contents) files;
+  (* The manifest goes last: its presence certifies a complete dump. *)
+  write_atomic ~dir manifest_name (manifest_of_files files)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_manifest ~dir =
+  let path = Filename.concat dir manifest_name in
+  if Sys.file_exists path then Some (parse_manifest (read_file path)) else None
+
+let verify_file ~entries ~name contents =
+  match List.assoc_opt name entries with
+  | None -> ()
+  | Some (md5, size) ->
+      if String.length contents <> size then
+        raise (Graql_error.Error (Graql_error.Io
+            (Printf.sprintf
+               "%s: size mismatch (%d bytes on disk, %d in %s) — half-written dump?"
+               name (String.length contents) size manifest_name)));
+      if Digest.to_hex (Digest.string contents) <> md5 then
+        raise (Graql_error.Error (Graql_error.Io
+            (Printf.sprintf "%s: checksum mismatch against %s — corrupt dump"
+               name manifest_name)))
+
+let verify ~dir =
+  match load_manifest ~dir with
+  | None -> []
+  | Some entries ->
+      List.filter_map
+        (fun (name, _) ->
+          let path = Filename.concat dir name in
+          if not (Sys.file_exists path) then
+            Some (name, "missing file listed in " ^ manifest_name)
+          else
+            match verify_file ~entries ~name (read_file path) with
+            | () -> None
+            | exception Graql_error.Error (Graql_error.Io msg) -> Some (name, msg))
+        entries
+
+let checked_loader ~dir =
+  let entries = lazy (load_manifest ~dir) in
+  fun name ->
+    let contents = read_file (Filename.concat dir name) in
+    (match Lazy.force entries with
+    | Some entries -> verify_file ~entries ~name contents
+    | None -> ());
+    contents

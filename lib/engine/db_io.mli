@@ -11,8 +11,30 @@ val ddl_of_db : Db.t -> string
 val export : Db.t -> dir:string -> unit
 (** Write every table as [<name>.csv] (header row included) plus
     [schema.graql] into [dir] (created if missing). Result subgraphs are
-    views and are not persisted — re-run their queries after reload. *)
+    views and are not persisted — re-run their queries after reload.
+
+    Each file is written to a temp file and renamed into place, so a crash
+    mid-export never leaves a torn file; a [MANIFEST] with per-file MD5
+    checksums and sizes is written last, certifying a complete dump. *)
 
 val export_files : Db.t -> (string * string) list
 (** The same content as {!export}, as (filename, contents) pairs — used by
-    tests and in-memory round-trips. *)
+    tests and in-memory round-trips. Does not include the manifest. *)
+
+val manifest_name : string
+(** ["MANIFEST"]. *)
+
+val manifest_of_files : (string * string) list -> string
+(** Manifest text for (filename, contents) pairs: one
+    ["<md5hex> <size> <name>"] line per file. *)
+
+val verify : dir:string -> (string * string) list
+(** Check every file listed in [dir]'s manifest: missing files, size
+    mismatches, checksum mismatches. Empty list = dump is intact (or has
+    no manifest — pre-manifest dumps are accepted as-is). *)
+
+val checked_loader : dir:string -> (string -> string)
+(** An ingest loader resolving names against [dir] that verifies each
+    file's size and checksum against the manifest (when one exists) before
+    returning its contents — a half-written dump must never load
+    silently. Raises [Graql_error.Error (Io _)] on any mismatch. *)

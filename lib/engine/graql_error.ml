@@ -1,0 +1,57 @@
+module Loc = Graql_lang.Loc
+module Diag = Graql_analysis.Diag
+module Pool = Graql_parallel.Domain_pool
+module Cancel = Graql_parallel.Cancel
+
+type t =
+  | Parse of Loc.t * string
+  | Analysis of Diag.t list
+  | Exec of Loc.t * string
+  | Exec_fault of { site : string; attempts : int }
+  | Timeout of { deadline_ms : int }
+  | Denied of string
+  | Io of string
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+
+let to_string = function
+  | Parse (loc, msg) -> Printf.sprintf "parse error at %s: %s" (Loc.to_string loc) msg
+  | Analysis diags ->
+      Printf.sprintf "static analysis failed:\n%s"
+        (String.concat "\n" (List.map Diag.to_string (Diag.errors diags)))
+  | Exec (loc, msg) -> Printf.sprintf "execution error at %s: %s" (Loc.to_string loc) msg
+  | Exec_fault { site; attempts } ->
+      Printf.sprintf "shard fault at %s: still failing after %d attempt(s), no replica left"
+        site attempts
+  | Timeout { deadline_ms } ->
+      if deadline_ms > 0 then Printf.sprintf "query deadline of %d ms exceeded" deadline_ms
+      else "query cancelled"
+  | Denied msg -> Printf.sprintf "permission denied: %s" msg
+  | Io msg -> Printf.sprintf "I/O error: %s" msg
+
+(* Stable CLI exit codes, one per failure class (0 = success, 1 = generic). *)
+let exit_code = function
+  | Parse _ -> 2
+  | Analysis _ -> 3
+  | Exec _ -> 4
+  | Exec_fault _ -> 5
+  | Timeout _ -> 6
+  | Denied _ -> 7
+  | Io _ -> 8
+
+(* Exceptions that must never be demoted to a per-statement outcome. *)
+let is_fatal = function
+  | Out_of_memory | Stack_overflow -> true
+  | _ -> false
+
+let of_exn = function
+  | Error e -> Some e
+  | Loc.Syntax_error (loc, msg) -> Some (Parse (loc, msg))
+  | Pool.Fault_exhausted { site; attempts } -> Some (Exec_fault { site; attempts })
+  | Cancel.Cancelled budget_ms -> Some (Timeout { deadline_ms = budget_ms })
+  | Sys_error msg -> Some (Io msg)
+  | Failure msg -> Some (Exec (Loc.dummy, msg))
+  | e when is_fatal e -> None
+  | e -> Some (Exec (Loc.dummy, Printexc.to_string e))

@@ -1,0 +1,35 @@
+(** The typed error taxonomy for the whole pipeline.
+
+    Every way a statement or script can fail is one of these constructors,
+    so callers (the session, the server, the CLI) can distinguish a query
+    that was rejected up front ([Parse], [Analysis], [Denied]) from one the
+    backend could not finish ([Exec], [Exec_fault], [Timeout], [Io]) — and
+    the CLI can map each class to a stable exit code. [Script_exec] reports
+    statement failures as [O_failed] outcomes carrying one of these, so one
+    dead statement no longer aborts the rest of a script. *)
+
+type t =
+  | Parse of Graql_lang.Loc.t * string  (** source text did not parse *)
+  | Analysis of Graql_analysis.Diag.t list
+      (** static analysis errors (strict sessions refuse to execute) *)
+  | Exec of Graql_lang.Loc.t * string  (** runtime statement failure *)
+  | Exec_fault of { site : string; attempts : int }
+      (** a shard stayed dead through every retry and replica *)
+  | Timeout of { deadline_ms : int }  (** query deadline exceeded *)
+  | Denied of string  (** role-based authorization refused the script *)
+  | Io of string  (** filesystem / ingest / export failure *)
+
+exception Error of t
+
+val raise_error : t -> 'a
+val to_string : t -> string
+
+val exit_code : t -> int
+(** Stable per-class CLI exit codes: Parse 2, Analysis 3, Exec 4,
+    Exec_fault 5, Timeout 6, Denied 7, Io 8. *)
+
+val of_exn : exn -> t option
+(** Classify an exception; [None] means fatal (out of memory, stack
+    overflow) and must be re-raised, everything else maps into the
+    taxonomy (unrecognized exceptions become [Exec] at a dummy
+    location). *)

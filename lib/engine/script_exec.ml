@@ -5,11 +5,13 @@ module Value = Graql_storage.Value
 module Csv = Graql_storage.Csv
 module Subgraph = Graql_graph.Subgraph
 module Pool = Graql_parallel.Domain_pool
+module Cancel = Graql_parallel.Cancel
 
 type outcome =
   | O_table of Table.t
   | O_subgraph of Subgraph.t
   | O_message of string
+  | O_failed of Graql_error.t
 
 exception Script_error of Loc.t * string
 
@@ -256,48 +258,94 @@ let dependence_edges script =
   done;
   List.rev !edges
 
-let exec_script ?(loader = default_loader) ?parallel db script =
+(* Per-statement failure capture: a dead statement becomes a typed
+   [O_failed] outcome and the rest of the script still executes. Only
+   genuinely fatal conditions (OOM, stack overflow) abort the script. *)
+let outcome_of_exn = function
+  | Script_error (loc, msg) -> O_failed (Graql_error.Exec (loc, msg))
+  | e -> (
+      match Graql_error.of_exn e with
+      | Some err -> O_failed err
+      | None -> raise e)
+
+let exec_stmt_outcome ~loader ?cancel db ~index stmt =
+  match
+    (match cancel with Some c -> Cancel.check c | None -> ());
+    Pool.with_label
+      (Printf.sprintf "stmt%d:%s" index (Ast.stmt_kind stmt))
+      (fun () -> exec_stmt ~loader db stmt)
+  with
+  | o -> o
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (try outcome_of_exn e
+       with e -> Printexc.raise_with_backtrace e bt)
+
+let exec_script ?(loader = default_loader) ?parallel ?cancel db script =
   let stmts = Array.of_list script in
   let n = Array.length stmts in
   let parallel =
     match parallel with Some p -> p | None -> Db.pool db <> None
   in
   let outcomes = Array.make n None in
-  if (not parallel) || n <= 1 || Db.pool db = None then
-    Array.iteri
-      (fun i stmt -> outcomes.(i) <- Some (exec_stmt ~loader db stmt))
-      stmts
-  else begin
-    let pool = Option.get (Db.pool db) in
-    let edges = dependence_edges script in
-    let preds = Array.make n [] in
-    List.iter (fun (i, j) -> preds.(j) <- i :: preds.(j)) edges;
-    let done_ = Array.make n false in
-    let remaining = ref (List.init n Fun.id) in
-    while !remaining <> [] do
-      let ready, blocked =
-        List.partition
-          (fun j -> List.for_all (fun i -> done_.(i)) preds.(j))
-          !remaining
-      in
-      if ready = [] then
-        failwith "Script_exec: dependence cycle (impossible for i<j edges)";
-      (* Wave: run all ready statements concurrently. Errors surface after
-         the wave completes, earliest statement first. *)
-      let errors = Array.make n None in
-      Pool.run_tasks pool
-        (List.map
-           (fun j () ->
-             try outcomes.(j) <- Some (exec_stmt ~loader db stmts.(j))
-             with e -> errors.(j) <- Some e)
-           ready);
-      Array.iteri
-        (fun _ e -> match e with Some exn -> raise exn | None -> ())
-        errors;
-      List.iter (fun j -> done_.(j) <- true) ready;
-      remaining := blocked
-    done
-  end;
+  (match Db.pool db with
+  | Some pool -> Pool.set_cancel pool cancel
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match Db.pool db with
+      | Some pool -> Pool.set_cancel pool None
+      | None -> ())
+    (fun () ->
+      if (not parallel) || n <= 1 || Db.pool db = None then
+        Array.iteri
+          (fun i stmt ->
+            outcomes.(i) <-
+              Some (exec_stmt_outcome ~loader ?cancel db ~index:i stmt))
+          stmts
+      else begin
+        let pool = Option.get (Db.pool db) in
+        let edges = dependence_edges script in
+        let preds = Array.make n [] in
+        List.iter (fun (i, j) -> preds.(j) <- i :: preds.(j)) edges;
+        let done_ = Array.make n false in
+        let remaining = ref (List.init n Fun.id) in
+        while !remaining <> [] do
+          let ready, blocked =
+            List.partition
+              (fun j -> List.for_all (fun i -> done_.(i)) preds.(j))
+              !remaining
+          in
+          if ready = [] then
+            failwith "Script_exec: dependence cycle (impossible for i<j edges)";
+          (* Wave: run all ready statements concurrently. A statement that
+             fails records its typed outcome; its dependents still run (and
+             report their own errors if the failure starved them). The pool
+             itself can refuse a statement task — ambient cancellation, or
+             a dispatch-level injected fault that exhausts its retries —
+             in which case the affected statements get the typed error. *)
+          (try
+             Pool.run_tasks pool
+               (List.map
+                  (fun j () ->
+                    outcomes.(j) <-
+                      Some
+                        (exec_stmt_outcome ~loader ?cancel db ~index:j
+                           stmts.(j)))
+                  ready)
+           with e -> (
+             match Graql_error.of_exn e with
+             | None -> raise e
+             | Some err ->
+                 List.iter
+                   (fun j ->
+                     if outcomes.(j) = None then
+                       outcomes.(j) <- Some (O_failed err))
+                   ready));
+          List.iter (fun j -> done_.(j) <- true) ready;
+          remaining := blocked
+        done
+      end);
   List.mapi
     (fun i stmt ->
       match outcomes.(i) with

@@ -10,6 +10,8 @@ type outcome =
   | O_table of Table.t
   | O_subgraph of Graql_graph.Subgraph.t
   | O_message of string
+  | O_failed of Graql_error.t
+      (** the statement failed (typed); the rest of the script still ran *)
 
 exception Script_error of Graql_lang.Loc.t * string
 
@@ -25,9 +27,18 @@ val dependence_edges : Ast.script -> (int * int) list
 val exec_script :
   ?loader:(string -> string) ->
   ?parallel:bool ->
+  ?cancel:Graql_parallel.Cancel.t ->
   Db.t ->
   Ast.script ->
   (Ast.stmt * outcome) list
 (** Run a whole script. With [parallel] (default true when the db has a
     pool), independent statements execute concurrently in dependence-DAG
-    waves; outcomes are reported in statement order regardless. *)
+    waves; outcomes are reported in statement order regardless.
+
+    A failing statement yields [O_failed] and the remaining statements
+    still execute (dependents of the failure report their own errors).
+    [cancel] is checked before each statement and, via the pool's ambient
+    token, at every parallel chunk boundary inside operators; once it
+    fires, in-flight statements surface [O_failed (Timeout _)] and the
+    rest are not started. Only out-of-memory / stack-overflow conditions
+    abort the whole script. *)

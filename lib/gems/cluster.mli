@@ -40,6 +40,15 @@ val plan :
   Graql_engine.Db.t ->
   plan
 
+val replica_placement :
+  nodes:int -> replicas:int -> int array -> int array array
+(** [replica_placement ~nodes ~replicas weights] assigns each weighted
+    item [replicas] distinct nodes by LPT greedy (biggest item first, each
+    copy on the least-loaded node not already holding one). Result is in
+    item order; each row lists the item's nodes, primary first — the
+    failover order the sharded backend walks when a node stays dead.
+    [replicas] is clamped to [nodes]. *)
+
 val report : plan -> string
 (** Human-readable placement table plus the fits/skew verdict. *)
 

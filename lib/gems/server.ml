@@ -1,4 +1,5 @@
 module Ast = Graql_lang.Ast
+module Graql_error = Graql_engine.Graql_error
 
 type role = Admin | Analyst
 
@@ -17,7 +18,6 @@ type t = {
 
 type connection = { conn_server : t; conn_user : string; conn_account : account }
 
-exception Permission_denied of string
 exception Unknown_user of string
 
 let create ?pool () =
@@ -58,9 +58,13 @@ let audit t user stmt =
     t.audit_len <- 1000
   end
 
-let run ?loader c source =
+let run ?loader ?deadline_ms c source =
   let t = c.conn_server in
-  let ast = Graql_lang.Parser.parse_script source in
+  let ast =
+    try Graql_lang.Parser.parse_script source
+    with Graql_lang.Loc.Syntax_error (loc, msg) ->
+      Graql_error.raise_error (Graql_error.Parse (loc, msg))
+  in
   (* All-or-nothing authorization, before any side effect. *)
   (match c.conn_account.acc_role with
   | Admin -> ()
@@ -69,14 +73,14 @@ let run ?loader c source =
         (fun stmt ->
           if writes_data stmt then begin
             c.conn_account.acc_denied <- c.conn_account.acc_denied + 1;
-            raise
-              (Permission_denied
+            Graql_error.raise_error
+              (Graql_error.Denied
                  (Printf.sprintf
                     "user %S (analyst) may not run: %s" c.conn_user
                     (Graql_lang.Pretty.stmt_to_string stmt)))
           end)
         ast);
-  let results = Session.run_script ?loader t.session source in
+  let results = Session.run_script ?loader ?deadline_ms t.session source in
   List.iter
     (fun (stmt, _) ->
       c.conn_account.acc_executed <- c.conn_account.acc_executed + 1;

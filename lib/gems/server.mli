@@ -14,7 +14,6 @@ type role = Admin | Analyst
 type t
 type connection
 
-exception Permission_denied of string
 exception Unknown_user of string
 
 val create : ?pool:Graql_parallel.Domain_pool.t -> unit -> t
@@ -32,17 +31,20 @@ val role : connection -> role
 
 val run :
   ?loader:(string -> string) ->
+  ?deadline_ms:int ->
   connection ->
   string ->
   (Graql_lang.Ast.stmt * Graql_engine.Script_exec.outcome) list
 (** Parse, authorize every statement against the connection's role, then
     execute through the normal session pipeline. Raises
-    {!Permission_denied} before anything executes if any statement exceeds
-    the role — authorization is all-or-nothing per script. *)
+    [Graql_engine.Graql_error.Error (Denied _)] before anything executes
+    if any statement exceeds the role — authorization is all-or-nothing
+    per script. [deadline_ms] is forwarded to {!Session.run_script}. *)
 
 val audit_log : t -> (string * string) list
 (** (user, statement) pairs in submission order, most recent last; capped
-    at 1000 entries. *)
+    at 1000 entries — when the cap is exceeded the oldest entries are
+    evicted first, while {!user_stats} counters keep counting. *)
 
 val user_stats : t -> (string * int * int) list
 (** Per user: (name, statements executed, scripts denied). *)

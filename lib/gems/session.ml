@@ -2,6 +2,9 @@ module Ast = Graql_lang.Ast
 module Diag = Graql_analysis.Diag
 module Db = Graql_engine.Db
 module Script_exec = Graql_engine.Script_exec
+module Graql_error = Graql_engine.Graql_error
+module Cancel = Graql_parallel.Cancel
+module Pool = Graql_parallel.Domain_pool
 
 type phase_times = {
   mutable t_parse : float;
@@ -19,30 +22,56 @@ type t = {
   mutable ir_bytes : int;
 }
 
-exception Rejected of Diag.t list
+let install_faults t = function
+  | None -> ()
+  | Some plan -> (
+      match Db.pool t.db with
+      | Some pool -> Pool.set_fault_hook pool (Some (Fault.hook plan))
+      | None -> ())
 
-let create ?pool ?(strict = true) () =
+let create ?pool ?(strict = true) ?faults () =
   let db = Db.create ?pool () in
   Graql_engine.Ddl_exec.install db;
-  {
-    db;
-    strict;
-    diags = [];
-    times =
-      { t_parse = 0.0; t_check = 0.0; t_encode = 0.0; t_decode = 0.0; t_execute = 0.0 };
-    ir_bytes = 0;
-  }
+  let t =
+    {
+      db;
+      strict;
+      diags = [];
+      times =
+        { t_parse = 0.0; t_check = 0.0; t_encode = 0.0; t_decode = 0.0; t_execute = 0.0 };
+      ir_bytes = 0;
+    }
+  in
+  (* Explicit plan wins; otherwise CI's GRAQL_FAULT_SEED covers every run. *)
+  (match faults with
+  | Some _ -> install_faults t faults
+  | None -> install_faults t (Fault.of_env ()));
+  t
 
 let db t = t.db
 let last_diagnostics t = t.diags
 let phase_times t = t.times
 let ir_bytes_shipped t = t.ir_bytes
 
+let set_faults t plan =
+  match Db.pool t.db with
+  | Some pool -> Pool.set_fault_hook pool (Option.map Fault.hook plan)
+  | None -> ()
+
+let recovered_faults t =
+  match Db.pool t.db with Some pool -> Pool.fault_retries pool | None -> 0
+
 let timed cell f =
   let t0 = Unix.gettimeofday () in
-  let r = f () in
-  cell (Unix.gettimeofday () -. t0);
-  r
+  match f () with
+  | r ->
+      cell (Unix.gettimeofday () -. t0);
+      r
+  | exception e ->
+      (* Keep partial phase timings honest even when a phase dies (e.g. a
+         deadline fires mid-execute). *)
+      cell (Unix.gettimeofday () -. t0);
+      raise e
 
 let params_for_check t =
   (* Previously-set session parameters participate in type checking. *)
@@ -50,11 +79,14 @@ let params_for_check t =
   ignore m;
   []
 
+let parse t source =
+  timed (fun d -> t.times.t_parse <- t.times.t_parse +. d) (fun () ->
+      try Graql_lang.Parser.parse_script source
+      with Graql_lang.Loc.Syntax_error (loc, msg) ->
+        Graql_error.raise_error (Graql_error.Parse (loc, msg)))
+
 let check t source =
-  let ast =
-    timed (fun d -> t.times.t_parse <- t.times.t_parse +. d) (fun () ->
-        Graql_lang.Parser.parse_script source)
-  in
+  let ast = parse t source in
   let meta = Db.meta t.db in
   let diags =
     timed (fun d -> t.times.t_check <- t.times.t_check +. d) (fun () ->
@@ -64,19 +96,23 @@ let check t source =
   t.diags <- diags;
   diags
 
-let run_ir ?loader ?parallel t blob =
+let cancel_of_deadline = function
+  | None -> None
+  | Some ms -> Some (Cancel.with_deadline_ms ms)
+
+let run_ir ?loader ?parallel ?deadline_ms t blob =
   let ast =
     timed (fun d -> t.times.t_decode <- t.times.t_decode +. d) (fun () ->
-        Graql_ir.Codec.decode_script blob)
+        try Graql_ir.Codec.decode_script blob
+        with Graql_ir.Wire.Corrupt msg ->
+          Graql_error.raise_error (Graql_error.Io ("corrupt IR: " ^ msg)))
   in
+  let cancel = cancel_of_deadline deadline_ms in
   timed (fun d -> t.times.t_execute <- t.times.t_execute +. d) (fun () ->
-      Script_exec.exec_script ?loader ?parallel t.db ast)
+      Script_exec.exec_script ?loader ?parallel ?cancel t.db ast)
 
-let run_script ?loader ?parallel t source =
-  let ast =
-    timed (fun d -> t.times.t_parse <- t.times.t_parse +. d) (fun () ->
-        Graql_lang.Parser.parse_script source)
-  in
+let run_script ?loader ?parallel ?deadline_ms t source =
+  let ast = parse t source in
   let meta = Db.meta t.db in
   let diags =
     timed (fun d -> t.times.t_check <- t.times.t_check +. d) (fun () ->
@@ -84,7 +120,8 @@ let run_script ?loader ?parallel t source =
           ast)
   in
   t.diags <- diags;
-  if t.strict && Diag.has_errors diags then raise (Rejected diags);
+  if t.strict && Diag.has_errors diags then
+    Graql_error.raise_error (Graql_error.Analysis (Diag.errors diags));
   (* Front-end -> backend hop: compile to binary IR and decode it on the
      other side, exactly as the paper's architecture moves queries. *)
   let blob =
@@ -92,7 +129,7 @@ let run_script ?loader ?parallel t source =
         Graql_ir.Codec.encode_script ast)
   in
   t.ir_bytes <- t.ir_bytes + Bytes.length blob;
-  run_ir ?loader ?parallel t blob
+  run_ir ?loader ?parallel ?deadline_ms t blob
 
 let catalog_rows t =
   let meta = Db.meta t.db in

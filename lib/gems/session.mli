@@ -5,7 +5,11 @@
     dynamic planning and execution on the backend → results.
 
     Timings of each phase are recorded, so benchmarks can report front-end
-    vs. backend cost separately. *)
+    vs. backend cost separately. Failures surface as typed
+    {!Graql_engine.Graql_error.t} values: pipeline-level problems (parse,
+    strict-mode analysis rejection, corrupt IR) raise
+    [Graql_error.Error]; per-statement execution failures come back as
+    [O_failed] outcomes so the rest of the script still runs. *)
 
 module Ast = Graql_lang.Ast
 
@@ -19,18 +23,32 @@ type phase_times = {
 
 type t
 
-val create : ?pool:Graql_parallel.Domain_pool.t -> ?strict:bool -> unit -> t
+val create :
+  ?pool:Graql_parallel.Domain_pool.t ->
+  ?strict:bool ->
+  ?faults:Fault.t ->
+  unit ->
+  t
 (** [strict] (default true) refuses to execute scripts with static
-    analysis errors. Warnings never block. *)
+    analysis errors (raising [Graql_error.Error (Analysis _)]). Warnings
+    never block. [faults] installs a fault-injection plan on the session
+    pool; when absent, {!Fault.of_env} is consulted so CI can inject
+    faults into any run via [GRAQL_FAULT_SEED]. *)
 
 val db : t -> Graql_engine.Db.t
 val last_diagnostics : t -> Graql_analysis.Diag.t list
 val phase_times : t -> phase_times
+
 val ir_bytes_shipped : t -> int
 (** Total IR bytes moved front-end → backend so far. *)
 
-exception Rejected of Graql_analysis.Diag.t list
-(** Raised in strict mode when static analysis finds errors. *)
+val set_faults : t -> Fault.t option -> unit
+(** Install or clear the fault plan on the session's pool (no-op for a
+    sequential session). *)
+
+val recovered_faults : t -> int
+(** Injected faults absorbed by pool-level retry so far — the
+    "degraded but correct" signal. *)
 
 val check : t -> string -> Graql_analysis.Diag.t list
 (** Static analysis only — catalog metadata, no data access. *)
@@ -38,18 +56,24 @@ val check : t -> string -> Graql_analysis.Diag.t list
 val run_script :
   ?loader:(string -> string) ->
   ?parallel:bool ->
+  ?deadline_ms:int ->
   t ->
   string ->
   (Ast.stmt * Graql_engine.Script_exec.outcome) list
-(** The full pipeline on GraQL source text. *)
+(** The full pipeline on GraQL source text. [deadline_ms] bounds backend
+    execution: when it expires, in-flight statements stop at the next
+    cooperative cancellation point and report
+    [O_failed (Timeout _)]; phase timings measured so far are kept. *)
 
 val run_ir :
   ?loader:(string -> string) ->
   ?parallel:bool ->
+  ?deadline_ms:int ->
   t ->
   bytes ->
   (Ast.stmt * Graql_engine.Script_exec.outcome) list
-(** Backend entry point: execute an already-compiled IR blob. *)
+(** Backend entry point: execute an already-compiled IR blob. Raises
+    [Graql_error.Error (Io _)] on a corrupt blob. *)
 
 val catalog_rows : t -> string list list
 (** Server catalog listing: kind, name, size — what clients can browse. *)

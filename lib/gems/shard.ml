@@ -4,14 +4,38 @@ module Row_expr = Graql_relational.Row_expr
 module Pool = Graql_parallel.Domain_pool
 module Int_vec = Graql_util.Int_vec
 
-type t = { nshards : int; pool : Pool.t }
+type t = {
+  nshards : int;
+  replicas : int;
+  pool : Pool.t;
+  faults : Fault.t option;
+  max_attempts : int;
+  backoff_ms : float;
+  backoff_cap_ms : float;
+  retries : int Atomic.t;
+  failovers : int Atomic.t;
+}
 
-let create ?shards pool =
+let create ?shards ?(replicas = 1) ?faults ?(max_attempts = 3)
+    ?(backoff_ms = 0.25) ?(backoff_cap_ms = 10.0) pool =
   let nshards = match shards with Some n -> max 1 n | None -> Pool.size pool in
-  { nshards; pool }
+  {
+    nshards;
+    replicas = max 1 (min replicas nshards);
+    pool;
+    faults;
+    max_attempts = max 1 max_attempts;
+    backoff_ms = Float.max 0.0 backoff_ms;
+    backoff_cap_ms = Float.max 0.0 backoff_cap_ms;
+    retries = Atomic.make 0;
+    failovers = Atomic.make 0;
+  }
 
 let shards t = t.nshards
 let pool t = t.pool
+let replicas t = t.replicas
+let retries t = Atomic.get t.retries
+let failovers t = Atomic.get t.failovers
 
 let ranges t table =
   let n = Table.nrows table in
@@ -21,11 +45,59 @@ let ranges t table =
       let hi = min n (lo + per) in
       (lo, hi))
 
-let parallel_scan t table ~init ~row ~merge =
+(* Where each shard (and its replicas) lives: LPT over the shard row
+   counts across nshards simulated nodes, primary first. *)
+let placement t table =
+  let weights =
+    Array.of_list (List.map (fun (lo, hi) -> hi - lo) (ranges t table))
+  in
+  Cluster.replica_placement ~nodes:t.nshards ~replicas:t.replicas weights
+
+(* Run one shard's work with the full recovery protocol: consult the
+   fault plan before any work, retry the same node with capped
+   exponential backoff, then fail over to the shard's next replica node.
+   [body] is re-invoked from scratch on every attempt (it builds a fresh
+   accumulator), so recovery is invisible in the result: a recovered run
+   is byte-identical to a fault-free one. *)
+let run_recovering t ~op ~table_name ~nodes body =
+  let label = op ^ ":" ^ table_name in
+  let rec on_node node_i attempt =
+    let node = nodes.(node_i) in
+    match
+      (match t.faults with
+      | Some plan -> Fault.fire plan ~label ~index:node ~attempt
+      | None -> ());
+      body ()
+    with
+    | result -> result
+    | exception Pool.Transient site ->
+        if attempt < t.max_attempts then begin
+          Atomic.incr t.retries;
+          let delay =
+            Float.min t.backoff_cap_ms
+              (t.backoff_ms *. Float.pow 2.0 (float_of_int (attempt - 1)))
+          in
+          if delay > 0.0 then Unix.sleepf (delay /. 1000.0);
+          on_node node_i (attempt + 1)
+        end
+        else if node_i + 1 < Array.length nodes then begin
+          Atomic.incr t.failovers;
+          on_node (node_i + 1) 1
+        end
+        else raise (Pool.Fault_exhausted { site; attempts = attempt })
+  in
+  on_node 0 1
+
+let parallel_scan ?(op = "scan") t table ~init ~row ~merge =
   (* When nrows < nshards the tail ranges are empty: skip them instead of
      spawning no-op tasks and re-running [init] per empty slot. *)
+  let table_name = Table.name table in
+  let placed = placement t table in
   let rs =
-    Array.of_list (List.filter (fun (lo, hi) -> hi > lo) (ranges t table))
+    ranges t table
+    |> List.mapi (fun s (lo, hi) -> (placed.(s), lo, hi))
+    |> List.filter (fun (_, lo, hi) -> hi > lo)
+    |> Array.of_list
   in
   if Array.length rs = 0 then init ()
   else begin
@@ -33,12 +105,15 @@ let parallel_scan t table ~init ~row ~merge =
     let tasks =
       Array.to_list
         (Array.mapi
-           (fun i (lo, hi) () ->
-             let acc = init () in
-             for r = lo to hi - 1 do
-               row acc r
-             done;
-             results.(i) <- Some acc)
+           (fun i (nodes, lo, hi) () ->
+             results.(i) <-
+               Some
+                 (run_recovering t ~op ~table_name ~nodes (fun () ->
+                      let acc = init () in
+                      for r = lo to hi - 1 do
+                        row acc r
+                      done;
+                      acc)))
            rs)
     in
     Pool.run_tasks t.pool tasks;
@@ -60,7 +135,7 @@ let parallel_select t table pred =
           Row_expr.eval_bool get pred
   in
   let acc =
-    parallel_scan t table
+    parallel_scan ~op:"select" t table
       ~init:(fun () -> Int_vec.create ())
       ~row:(fun out r -> if row_test r then Int_vec.push out r)
       ~merge:(fun a b ->
@@ -71,7 +146,7 @@ let parallel_select t table pred =
 
 let parallel_count t table pred =
   let acc =
-    parallel_scan t table
+    parallel_scan ~op:"count" t table
       ~init:(fun () -> ref 0)
       ~row:(fun c r ->
         let get col = Table.get table ~row:r ~col in

@@ -1,26 +1,59 @@
 (** Simulated cluster backend: range-partitioned table shards executed by
-    domains.
+    domains, with retry and replica failover.
 
     GEMS holds tables in the aggregated DRAM of cluster nodes and runs
     scans/joins node-parallel. Here, a {!t} assigns each table a list of
     row ranges ("shards"); operations run one task per shard on the domain
     pool and merge per-shard results in shard order, so results are
-    deterministic for any shard count. *)
+    deterministic for any shard count.
+
+    Each shard is placed on [replicas] distinct simulated nodes by LPT
+    greedy balancing ({!Cluster.replica_placement}). When a {!Fault.t}
+    plan makes a node refuse a task, the shard retries that node with
+    capped exponential backoff, then fails over to the next replica; only
+    when every replica is exhausted does the operation raise
+    [Domain_pool.Fault_exhausted]. Recovery re-runs the shard body from a
+    fresh accumulator, so a recovered run is byte-identical to a
+    fault-free one. *)
 
 module Table = Graql_storage.Table
 module Value = Graql_storage.Value
 
 type t
 
-val create : ?shards:int -> Graql_parallel.Domain_pool.t -> t
-(** [shards] defaults to the pool size. *)
+val create :
+  ?shards:int ->
+  ?replicas:int ->
+  ?faults:Fault.t ->
+  ?max_attempts:int ->
+  ?backoff_ms:float ->
+  ?backoff_cap_ms:float ->
+  Graql_parallel.Domain_pool.t ->
+  t
+(** [shards] defaults to the pool size. [replicas] (default 1, clamped to
+    [shards]) is the number of distinct nodes holding each shard.
+    [max_attempts] (default 3) bounds attempts per node before failing
+    over; backoff between same-node attempts doubles from [backoff_ms]
+    (default 0.25) up to [backoff_cap_ms] (default 10). *)
 
 val shards : t -> int
 val pool : t -> Graql_parallel.Domain_pool.t
+val replicas : t -> int
+
+val retries : t -> int
+(** Same-node retries performed so far (degraded-but-recovered signal). *)
+
+val failovers : t -> int
+(** Replica failovers performed so far. *)
 
 val ranges : t -> Table.t -> (int * int) list
 (** The row ranges ([lo, hi)) composing the table, one per shard; empty
     shards included so placement is stable. *)
+
+val placement : t -> Table.t -> int array array
+(** Per shard, the nodes holding it (primary first) — the failover walk
+    order, from {!Cluster.replica_placement} weighted by shard row
+    counts. *)
 
 val parallel_select :
   t -> Table.t -> Graql_relational.Row_expr.t -> int array
@@ -30,6 +63,7 @@ val parallel_count :
   t -> Table.t -> Graql_relational.Row_expr.t -> int
 
 val parallel_scan :
+  ?op:string ->
   t ->
   Table.t ->
   init:(unit -> 'acc) ->
@@ -37,4 +71,6 @@ val parallel_scan :
   merge:('acc -> 'acc -> 'acc) ->
   'acc
 (** General sharded fold: [row] feeds each row id of a shard into that
-    shard's private accumulator; accumulators merge in shard order. *)
+    shard's private accumulator; accumulators merge in shard order. [op]
+    (default ["scan"]) names the operation in fault-site labels
+    (["op:TableName"]). *)

@@ -183,3 +183,16 @@ let stmt_defines = function
   | Select_graph { sg_into = Into_nothing; _ }
   | Select_table { st_into = Into_nothing; _ } ->
       None
+
+(** Short operation label ("ingest:Offers", "select:Products") — names the
+    work a statement dispatches to the backend, so fault plans and traces
+    can target statements by operation and table. *)
+let stmt_kind = function
+  | Create_table { ct_name; _ } -> "create_table:" ^ ct_name
+  | Create_vertex { cv_name; _ } -> "create_vertex:" ^ cv_name
+  | Create_edge { ce_name; _ } -> "create_edge:" ^ ce_name
+  | Ingest { ing_table; _ } -> "ingest:" ^ ing_table
+  | Select_graph _ -> "select_graph"
+  | Select_table { st_from = From_table (n, _); _ } -> "select:" ^ n
+  | Select_table _ -> "select"
+  | Set_param { sp_name; _ } -> "set:" ^ sp_name

@@ -1,0 +1,31 @@
+type t = {
+  cancelled : bool Atomic.t;
+  deadline : float option; (* absolute, Unix.gettimeofday clock *)
+  budget_ms : int;
+}
+
+exception Cancelled of int
+
+let create () = { cancelled = Atomic.make false; deadline = None; budget_ms = 0 }
+
+let with_deadline_ms ms =
+  if ms <= 0 then invalid_arg "Cancel.with_deadline_ms";
+  {
+    cancelled = Atomic.make false;
+    deadline = Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.0));
+    budget_ms = ms;
+  }
+
+let budget_ms t = t.budget_ms
+let cancel t = Atomic.set t.cancelled true
+
+let is_cancelled t =
+  Atomic.get t.cancelled
+  ||
+  match t.deadline with
+  | Some d when Unix.gettimeofday () > d ->
+      Atomic.set t.cancelled true;
+      true
+  | _ -> false
+
+let check t = if is_cancelled t then raise (Cancelled t.budget_ms)

@@ -1,0 +1,31 @@
+(** Cooperative cancellation tokens.
+
+    A token is either cancelled explicitly ({!cancel}) or implicitly by an
+    absolute deadline. Long-running parallel work polls {!check} at chunk
+    boundaries ({!Domain_pool} does this for every task it schedules), so
+    an in-flight scan or join stops within one chunk of the deadline rather
+    than running to completion. *)
+
+type t
+
+exception Cancelled of int
+(** Raised by {!check}. The payload is the token's millisecond budget
+    (0 for tokens cancelled explicitly rather than by deadline). *)
+
+val create : unit -> t
+(** A token with no deadline; fires only via {!cancel}. *)
+
+val with_deadline_ms : int -> t
+(** A token that cancels itself [ms] milliseconds from now. *)
+
+val cancel : t -> unit
+(** Trip the token. Idempotent; visible to all domains. *)
+
+val is_cancelled : t -> bool
+(** True once tripped or past the deadline. *)
+
+val check : t -> unit
+(** Raise {!Cancelled} if {!is_cancelled}. *)
+
+val budget_ms : t -> int
+(** The deadline budget the token was created with (0 if none). *)

@@ -1,5 +1,11 @@
 type task = unit -> unit
 
+exception Transient of string
+
+exception Fault_exhausted of { site : string; attempts : int }
+
+type fault_hook = label:string -> index:int -> attempt:int -> unit
+
 type t = {
   size : int;
   queue : task Queue.t;
@@ -7,6 +13,15 @@ type t = {
   nonempty : Condition.t;
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  (* Fault model: an injection hook consulted before every task attempt,
+     and a retry policy for tasks that die with {!Transient}. *)
+  mutable fault_hook : fault_hook option;
+  mutable max_attempts : int;
+  mutable backoff_ms : float;
+  mutable backoff_cap_ms : float;
+  retries : int Atomic.t;
+  (* Ambient cancellation: checked at every task (= chunk) boundary. *)
+  mutable cancel : Cancel.t option;
 }
 
 let worker_loop t () =
@@ -39,7 +54,12 @@ let create ?domains () =
   let size =
     match domains with
     | Some n -> max 1 n
-    | None -> min 8 (Domain.recommended_domain_count ())
+    | None -> (
+        match
+          Option.bind (Sys.getenv_opt "GRAQL_DOMAINS") int_of_string_opt
+        with
+        | Some n when n >= 1 -> n
+        | Some _ | None -> min 8 (Domain.recommended_domain_count ()))
   in
   let t =
     {
@@ -49,6 +69,12 @@ let create ?domains () =
       nonempty = Condition.create ();
       stop = false;
       workers = [];
+      fault_hook = None;
+      max_attempts = 4;
+      backoff_ms = 0.25;
+      backoff_cap_ms = 20.0;
+      retries = Atomic.make 0;
+      cancel = None;
     }
   in
   t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
@@ -80,11 +106,74 @@ let default () =
   Mutex.unlock default_mutex;
   p
 
+(* ------------------------------------------------------------------ *)
+(* Fault / cancellation configuration                                  *)
+
+let set_fault_hook t h = t.fault_hook <- h
+
+let set_retry ?attempts ?backoff_ms ?backoff_cap_ms t =
+  (match attempts with Some a -> t.max_attempts <- max 1 a | None -> ());
+  (match backoff_ms with Some b -> t.backoff_ms <- Float.max 0.0 b | None -> ());
+  match backoff_cap_ms with
+  | Some c -> t.backoff_cap_ms <- Float.max 0.0 c
+  | None -> ()
+
+let fault_retries t = Atomic.get t.retries
+let set_cancel t c = t.cancel <- c
+let cancel_token t = t.cancel
+
+(* Work labels: an ambient, per-domain description of what the submitted
+   tasks belong to ("stmt:3", "select:Offers"). Captured at submission
+   time, so a worker stealing the task still attributes faults to the
+   submitting context. *)
+let label_key = Domain.DLS.new_key (fun () -> "")
+
+let current_label () = Domain.DLS.get label_key
+
+let with_label label f =
+  let old = Domain.DLS.get label_key in
+  Domain.DLS.set label_key label;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set label_key old) f
+
+let check_cancel t = match t.cancel with Some c -> Cancel.check c | None -> ()
+
+let backoff_delay t n =
+  Float.min t.backoff_cap_ms (t.backoff_ms *. Float.pow 2.0 (float_of_int (n - 1)))
+
+(* One attempt-loop around a task: consult the fault hook, and on
+   {!Transient} back off (capped exponential) and retry up to the pool's
+   attempt budget. Injected faults strike *before* any task work — the
+   simulated node dies on dispatch — so the task body runs exactly once,
+   after a hook attempt succeeds. Pool tasks therefore need not be
+   idempotent (the join/CSR scatter tasks are not); re-runnable bodies
+   with data-dependent failures belong to the site-aware [Shard] layer. *)
+let run_with_retries t ~label ~index task =
+  let rec attempt n =
+    match
+      match t.fault_hook with
+      | Some hook -> hook ~label ~index ~attempt:n
+      | None -> ()
+    with
+    | () -> task ()
+    | exception Transient site ->
+        if n >= t.max_attempts then
+          raise (Fault_exhausted { site; attempts = n })
+        else begin
+          Atomic.incr t.retries;
+          let delay = backoff_delay t n in
+          if delay > 0.0 then Unix.sleepf (delay /. 1000.0);
+          check_cancel t;
+          attempt (n + 1)
+        end
+  in
+  attempt 1
+
 (* A countdown latch that also captures the first exception raised by any
-   task, to be re-raised on the submitting domain. *)
+   task — with its backtrace, so the origin of a worker failure survives
+   the hop back to the submitting domain. *)
 type latch = {
   mutable remaining : int;
-  mutable error : exn option;
+  mutable error : (exn * Printexc.raw_backtrace) option;
   lmutex : Mutex.t;
   done_ : Condition.t;
 }
@@ -96,18 +185,22 @@ let run_tasks t tasks =
     let latch =
       { remaining = n; error = None; lmutex = Mutex.create (); done_ = Condition.create () }
     in
-    let wrap task () =
-      (try task ()
+    let label = current_label () in
+    let wrap index task () =
+      (try
+         check_cancel t;
+         run_with_retries t ~label ~index task
        with e ->
+         let bt = Printexc.get_raw_backtrace () in
          Mutex.lock latch.lmutex;
-         if latch.error = None then latch.error <- Some e;
+         if latch.error = None then latch.error <- Some (e, bt);
          Mutex.unlock latch.lmutex);
       Mutex.lock latch.lmutex;
       latch.remaining <- latch.remaining - 1;
       if latch.remaining = 0 then Condition.broadcast latch.done_;
       Mutex.unlock latch.lmutex
     in
-    let wrapped = List.map wrap tasks in
+    let wrapped = List.mapi wrap tasks in
     (* Keep one task for the calling domain: a single-domain pool still
        makes progress, and the caller is never idle. *)
     (match wrapped with
@@ -136,7 +229,9 @@ let run_tasks t tasks =
     done;
     let err = latch.error in
     Mutex.unlock latch.lmutex;
-    match err with Some e -> raise e | None -> ()
+    match err with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end
 
 let chunks ?chunk t ~lo ~hi =
@@ -159,7 +254,9 @@ let chunks ?chunk t ~lo ~hi =
 let parallel_for_chunks t ?chunk ~lo ~hi f =
   match chunks ?chunk t ~lo ~hi with
   | [] -> ()
-  | [ (clo, chi) ] -> f clo chi
+  | [ (clo, chi) ] ->
+      check_cancel t;
+      f clo chi
   | cs -> run_tasks t (List.map (fun (clo, chi) () -> f clo chi) cs)
 
 let parallel_for t ?chunk ~lo ~hi f =

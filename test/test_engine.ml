@@ -847,6 +847,75 @@ let test_export_reload_roundtrip () =
     (List.sort compare (col_strings t1 "id")
     = List.sort compare (col_strings t2 "id"))
 
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "graql_export" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_export_manifest_verifies () =
+  let db = fresh_db () in
+  with_temp_dir (fun dir ->
+      Db_io.export db ~dir;
+      check "manifest written" true
+        (Sys.file_exists (Filename.concat dir Db_io.manifest_name));
+      (* No stray temp files: everything on disk is either the manifest or
+         listed in it. *)
+      let listed =
+        List.map fst (Db_io.export_files db) @ [ Db_io.manifest_name ]
+      in
+      Array.iter
+        (fun f -> check (f ^ " accounted for") true (List.mem f listed))
+        (Sys.readdir dir);
+      check "clean verify" true (Db_io.verify ~dir = []);
+      (* The checking loader serves intact files... *)
+      let loader = Db_io.checked_loader ~dir in
+      check "loader serves schema" true
+        (String.length (loader "schema.graql") > 0);
+      (* ...and refuses corrupted ones. *)
+      let victim = Filename.concat dir "users.csv" in
+      let oc = open_out_gen [ Open_append ] 0o644 victim in
+      output_string oc "tampered\n";
+      close_out oc;
+      (match Db_io.verify ~dir with
+      | [ (name, _) ] -> Alcotest.(check string) "names victim" "users.csv" name
+      | problems ->
+          Alcotest.failf "expected exactly one problem, got %d"
+            (List.length problems));
+      match Db_io.checked_loader ~dir "users.csv" with
+      | _ -> Alcotest.fail "expected integrity failure"
+      | exception Graql_engine.Graql_error.Error (Graql_engine.Graql_error.Io _)
+        ->
+          ())
+
+let test_export_manifest_checksum_catches_same_size () =
+  let db = fresh_db () in
+  with_temp_dir (fun dir ->
+      Db_io.export db ~dir;
+      (* Same-size corruption: flip one byte so only the checksum can tell. *)
+      let victim = Filename.concat dir "users.csv" in
+      let ic = open_in_bin victim in
+      let doc = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let b = Bytes.of_string doc in
+      Bytes.set b (Bytes.length b - 2)
+        (if Bytes.get b (Bytes.length b - 2) = 'x' then 'y' else 'x');
+      let oc = open_out_bin victim in
+      output_bytes oc b;
+      close_out oc;
+      match Db_io.verify ~dir with
+      | [ ("users.csv", reason) ] ->
+          check "checksum mismatch reported" true
+            (String.length reason > 0)
+      | _ -> Alcotest.fail "expected checksum mismatch")
+
 (* ------------------------------------------------------------------ *)
 (* Script scheduling                                                   *)
 
@@ -988,6 +1057,10 @@ let () =
           Alcotest.test_case "explain plans" `Quick test_explain_plans;
           Alcotest.test_case "export/reload roundtrip" `Quick
             test_export_reload_roundtrip;
+          Alcotest.test_case "export manifest verifies" `Quick
+            test_export_manifest_verifies;
+          Alcotest.test_case "manifest catches same-size corruption" `Quick
+            test_export_manifest_checksum_catches_same_size;
         ] );
       ( "scheduling",
         [

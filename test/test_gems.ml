@@ -1,10 +1,13 @@
 (* GEMS pipeline tests: session flow (parse -> check -> IR -> execute),
-   strict rejection, catalog service, sharded backend determinism. *)
+   strict rejection, catalog service, sharded backend determinism, fault
+   injection and recovery. *)
 
 module Session = Graql_gems.Session
 module Shard = Graql_gems.Shard
+module Fault = Graql_gems.Fault
 module Db = Graql_engine.Db
 module Script_exec = Graql_engine.Script_exec
+module Graql_error = Graql_engine.Graql_error
 module Pool = Graql_parallel.Domain_pool
 module Table = Graql_storage.Table
 module Value = Graql_storage.Value
@@ -14,6 +17,11 @@ module Row_expr = Graql_relational.Row_expr
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
 
 let mini_schema =
   {|
@@ -41,17 +49,17 @@ let test_session_strict_rejection () =
   ignore (Session.run_script ~loader s mini_schema);
   match Session.run_script s "select zzz from table T" with
   | _ -> Alcotest.fail "expected rejection"
-  | exception Session.Rejected diags ->
+  | exception Graql_error.Error (Graql_error.Analysis diags) ->
       check "has errors" true (Graql_analysis.Diag.has_errors diags)
 
 let test_session_nonstrict_mode () =
   (* Non-strict: static errors do not block; execution then fails (or not)
-     on its own terms. *)
+     on its own terms, surfacing as a typed per-statement outcome. *)
   let s = Session.create ~strict:false () in
   ignore (Session.run_script ~loader s mini_schema);
   match Session.run_script s "select zzz from table T" with
+  | [ (_, Script_exec.O_failed (Graql_error.Exec _)) ] -> ()
   | _ -> Alcotest.fail "execution should still fail on unknown column"
-  | exception Script_exec.Script_error _ -> ()
 
 let test_check_does_not_execute () =
   let s = Session.create () in
@@ -116,7 +124,7 @@ let test_server_roles () =
   (* ...but not write. *)
   (match Server.run ~loader ann "ingest table T t.csv" with
   | _ -> Alcotest.fail "expected denial"
-  | exception Server.Permission_denied msg ->
+  | exception Graql_error.Error (Graql_error.Denied msg) ->
       check "names the user" true (String.length msg > 0));
   (* Authorization is all-or-nothing: the select before the ingest must
      not have executed either. *)
@@ -126,7 +134,7 @@ let test_server_roles () =
          ingest table T t.csv|}
    with
   | _ -> Alcotest.fail "expected denial"
-  | exception Server.Permission_denied _ ->
+  | exception Graql_error.Error (Graql_error.Denied _) ->
       check "nothing leaked" true
         (Db.find_table (Session.db (Server.session srv)) "Leak" = None));
   check_int "table untouched" 3
@@ -146,7 +154,7 @@ let test_server_accounts_and_audit () =
   let ann = Server.connect srv ~user:"ann" in
   ignore (Server.run ann "select id from table T");
   (try ignore (Server.run ~loader ann "ingest table T t.csv")
-   with Server.Permission_denied _ -> ());
+   with Graql_error.Error (Graql_error.Denied _) -> ());
   let stats = Server.user_stats srv in
   check "ann stats" true (List.mem ("ann", 1, 1) stats);
   check "root stats" true (List.mem ("root", 3, 0) stats);
@@ -162,11 +170,15 @@ let test_server_accounts_and_audit () =
 let test_loader_failure_mid_script () =
   let s = Session.create () in
   let flaky name = if name = "t.csv" then raise (Sys_error "disk gone") else "" in
+  (* The failing ingest reports a typed per-statement outcome; the rest of
+     the script still ran. *)
   (match Session.run_script ~loader:flaky s mini_schema with
-  | _ -> Alcotest.fail "expected script error"
-  | exception Script_exec.Script_error (_, msg) ->
-      check "names the file" true
-        (String.length msg > 0 && String.sub msg 0 6 = "ingest"));
+  | results -> (
+      check_int "all statements reported" 3 (List.length results);
+      match List.rev results with
+      | (_, Script_exec.O_failed (Graql_error.Exec (_, msg))) :: _ ->
+          check "names the operation" true (contains ~needle:"ingest" msg)
+      | _ -> Alcotest.fail "expected failed ingest outcome"));
   (* The DDL before the failing ingest took effect; the session recovers
      on the next script. *)
   check "table exists, empty" true
@@ -178,19 +190,27 @@ let test_loader_failure_mid_script () =
 
 let test_parallel_script_failure_propagates () =
   let pool = Pool.create ~domains:2 () in
-  let s = Session.create ~pool:(Some pool |> Option.get) () in
+  let s = Session.create ~pool () in
   ignore (Session.run_script ~loader s mini_schema);
-  (* Two independent statements; one dies at runtime (division guard is
-     fine — use an unbound parameter). Wave execution must surface the
-     error, not swallow it. *)
-  (match
-     Session.run_script ~parallel:true s
-       {|select id from table T where n > 0 into table OK1
-         select id from table T where n = %Unbound% into table BAD|}
-   with
-  | _ -> Alcotest.fail "expected failure"
-  | exception Script_exec.Script_error (_, msg) ->
-      check "unbound param surfaced" true (msg = "unbound parameter %Unbound%"));
+  (* Two independent statements; one dies at runtime (use an unbound
+     parameter). Wave execution must surface the error as that
+     statement's outcome — and still run its sibling. *)
+  let results =
+    Session.run_script ~parallel:true s
+      {|select id from table T where n > 0 into table OK1
+        select id from table T where n = %Unbound% into table BAD|}
+  in
+  let failed =
+    List.filter_map
+      (function
+        | _, Script_exec.O_failed (Graql_error.Exec (_, msg)) -> Some msg
+        | _ -> None)
+      results
+  in
+  check "unbound param surfaced" true
+    (failed = [ "unbound parameter %Unbound%" ]);
+  check "sibling statement still ran" true
+    (Db.find_table (Session.db s) "OK1" <> None);
   Pool.shutdown pool
 
 let test_corrupt_ir_rejected_by_backend () =
@@ -203,10 +223,10 @@ let test_corrupt_ir_rejected_by_backend () =
   Bytes.set blob (Bytes.length blob - 1) '\xff';
   match Session.run_ir s blob with
   | _ -> Alcotest.fail "expected corrupt IR"
-  | exception Graql_ir.Wire.Corrupt _ -> ()
+  | exception Graql_error.Error (Graql_error.Io _) -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Shards                                                              *)
+(* Fault injection and recovery                                        *)
 
 let big_table n =
   let schema = Schema.make [ { Schema.name = "v"; dtype = Dtype.Int } ] in
@@ -215,6 +235,234 @@ let big_table n =
     Table.append_row t [ Value.Int (i mod 101) ]
   done;
   t
+
+let render_outcomes results =
+  String.concat "\n"
+    (List.map
+       (fun ((_ : Graql_lang.Ast.stmt), o) ->
+         match o with
+         | Script_exec.O_table t -> Table.to_display_string t
+         | Script_exec.O_subgraph sg -> Graql_graph.Subgraph.summary sg
+         | Script_exec.O_message m -> m
+         | Script_exec.O_failed e -> "error: " ^ Graql_error.to_string e)
+       results)
+
+(* Run every Berlin query and render all outcomes to one string. *)
+let berlin_run ~domains ?faults () =
+  let pool = Pool.create ~domains () in
+  let s = Session.create ~pool ?faults () in
+  (* Pin the plan (possibly to none): the determinism matrix must not
+     shift when CI exports GRAQL_FAULT_SEED for the whole suite. *)
+  Session.set_faults s faults;
+  Pool.set_retry ~backoff_ms:0.0 pool;
+  Graql_berlin.Berlin_gen.ingest_all ~scale:1 s;
+  let db = Session.db s in
+  Db.set_param db "Product1"
+    (Value.Str (Graql_berlin.Berlin_reference.most_offered_product ~scale:1 ()));
+  Db.set_param db "Country1" (Value.Str "US");
+  Db.set_param db "Country2" (Value.Str "DE");
+  let out =
+    String.concat "\n"
+      (List.map
+         (fun (name, q) ->
+           name ^ "\n" ^ render_outcomes (Session.run_script ~parallel:true s q))
+         Graql_berlin.Berlin_queries.all)
+  in
+  let recovered = Session.recovered_faults s in
+  Pool.shutdown pool;
+  (out, recovered)
+
+let test_berlin_fault_free_determinism () =
+  (* The recovery invariant's baseline: outcomes are byte-identical across
+     domain counts even without faults. *)
+  let base, _ = berlin_run ~domains:1 () in
+  List.iter
+    (fun domains ->
+      let out, recovered = berlin_run ~domains () in
+      check_int "no faults injected" 0 recovered;
+      Alcotest.(check string)
+        (Printf.sprintf "identical at %d domains" domains)
+        base out)
+    [ 2; 4 ]
+
+let test_berlin_fail_once_recovers_identically () =
+  (* Every parallel chunk of every Berlin query fails its first attempt;
+     pool-level retry must absorb all of it without changing a byte. *)
+  let base, _ = berlin_run ~domains:1 () in
+  List.iter
+    (fun domains ->
+      let out, recovered =
+        berlin_run ~domains ~faults:(Fault.fail_once ()) ()
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "recovered run identical at %d domains" domains)
+        base out;
+      if domains > 1 then
+        check "faults were actually injected and recovered" true
+          (recovered > 0))
+    [ 1; 2; 4; 8 ]
+
+let test_berlin_seeded_random_faults_deterministic () =
+  (* A seeded random plan must strike the same sites on every run: two
+     runs at the same domain count agree with each other and with the
+     fault-free baseline. *)
+  let base, _ = berlin_run ~domains:2 () in
+  let a, _ = berlin_run ~domains:2 ~faults:(Fault.random ~seed:7 ()) () in
+  let b, _ = berlin_run ~domains:2 ~faults:(Fault.random ~seed:7 ()) () in
+  Alcotest.(check string) "recovered = fault-free" base a;
+  Alcotest.(check string) "same seed, same run" a b
+
+let big_script_loader _ =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf "id,n\n";
+  for i = 0 to 4999 do
+    Buffer.add_string buf (Printf.sprintf "r%d,%d\n" i (i mod 101))
+  done;
+  Buffer.contents buf
+
+let big_session ?faults ~domains () =
+  let pool = Pool.create ~domains () in
+  let s = Session.create ~pool ?faults () in
+  Pool.set_retry ~backoff_ms:0.0 pool;
+  ignore
+    (Session.run_script ~loader:big_script_loader s
+       {|create table Big(id varchar(8), n integer)
+         ingest table Big big.csv|});
+  (pool, s)
+
+let test_dead_statement_isolated () =
+  (* A permanently-dead site that only replica-less pool retry can reach:
+     the targeted statement reports Exec_fault; its sibling completes. *)
+  let faults = Fault.make [ Fault.rule ~label:"stmt0:" ~attempts:(-1) Fail ] in
+  let pool, s = big_session ~faults ~domains:2 () in
+  let results =
+    Session.run_script s
+      {|select id from table Big where n < 10 into table A
+        select id from table Big where n > 90 into table B|}
+  in
+  (match results with
+  | [ (_, Script_exec.O_failed (Graql_error.Exec_fault { site; attempts })) ; (_, ok) ] ->
+      check "site names the statement" true (contains ~needle:"stmt0" site);
+      check "attempts exhausted" true (attempts >= 1);
+      check "sibling ok" true
+        (match ok with Script_exec.O_failed _ -> false | _ -> true)
+  | _ -> Alcotest.fail "expected [Exec_fault; ok] outcomes");
+  check "failed statement produced nothing" true
+    (Db.find_table (Session.db s) "A" = None);
+  check "sibling statement landed" true
+    (Db.find_table (Session.db s) "B" <> None);
+  Pool.shutdown pool
+
+let test_deadline_times_out_stalled_shard () =
+  let pool, s = big_session ~domains:1 () in
+  (* Every site stalls 50 ms; at 4+ chunks the 80 ms budget must expire
+     at a chunk boundary and surface as a per-statement timeout. *)
+  Session.set_faults s (Some (Fault.make [ Fault.rule (Fault.Slow 50) ]));
+  let t0 = (Session.phase_times s).Session.t_execute in
+  let results =
+    Session.run_script ~deadline_ms:80 s
+      "select id from table Big where n < 10 into table C"
+  in
+  (match results with
+  | [ (_, Script_exec.O_failed (Graql_error.Timeout { deadline_ms })) ] ->
+      check_int "budget reported" 80 deadline_ms
+  | _ -> Alcotest.fail "expected timeout outcome");
+  (* Partial phase timings survive the abort. *)
+  check "execute phase was timed" true
+    ((Session.phase_times s).Session.t_execute > t0);
+  Session.set_faults s None;
+  (match
+     Session.run_script ~deadline_ms:60_000 s
+       "select id from table Big where n < 10 into table C"
+   with
+  | [ (_, Script_exec.O_message _) ] | [ (_, Script_exec.O_table _) ] -> ()
+  | _ -> Alcotest.fail "expected success after faults cleared");
+  Pool.shutdown pool
+
+let test_shard_failover_deterministic () =
+  let pool = Pool.create ~domains:4 () in
+  let t = big_table 5000 in
+  let pred = Row_expr.(Cmp (Lt, Col 0, Const (Value.Int 13))) in
+  let clean = Shard.create ~shards:4 pool in
+  let base = Shard.parallel_select clean t pred in
+  List.iter
+    (fun shards ->
+      (* Node 0 is permanently dead; with 2 replicas every shard has an
+         alternative, so results never change. *)
+      let faulty =
+        Shard.create ~shards ~replicas:2 ~faults:(Fault.dead ~index:0 ())
+          ~backoff_ms:0.0 pool
+      in
+      let r = Shard.parallel_select faulty t pred in
+      check (Printf.sprintf "identical with dead node at %d shards" shards)
+        true (r = base);
+      check "failover actually happened" true (Shard.failovers faulty > 0))
+    [ 2; 4; 8 ];
+  Pool.shutdown pool
+
+let test_shard_fail_once_recovers () =
+  let pool = Pool.create ~domains:4 () in
+  let t = big_table 5000 in
+  let pred = Row_expr.(Cmp (Lt, Col 0, Const (Value.Int 13))) in
+  let base = Shard.parallel_select (Shard.create ~shards:4 pool) t pred in
+  let faulty =
+    Shard.create ~shards:4 ~faults:(Fault.fail_once ()) ~backoff_ms:0.0 pool
+  in
+  let r = Shard.parallel_select faulty t pred in
+  check "fail-once recovered identically" true (r = base);
+  check_int "one retry per shard" 4 (Shard.retries faulty);
+  check_int "no failover needed" 0 (Shard.failovers faulty);
+  Pool.shutdown pool
+
+let test_shard_dead_without_replica_exhausts () =
+  let pool = Pool.create ~domains:2 () in
+  let t = big_table 1000 in
+  let backend =
+    Shard.create ~shards:4 ~replicas:1 ~faults:(Fault.dead ~index:0 ())
+      ~max_attempts:2 ~backoff_ms:0.0 pool
+  in
+  (match Shard.parallel_select backend t Row_expr.const_true with
+  | _ -> Alcotest.fail "expected exhaustion"
+  | exception Pool.Fault_exhausted { site; attempts } ->
+      check "site recorded" true (String.length site > 0);
+      check_int "attempt budget spent" 2 attempts);
+  Pool.shutdown pool
+
+let test_replica_placement_properties () =
+  let weights = [| 50; 10; 40; 10; 30; 20; 5; 45 |] in
+  let placed =
+    Graql_gems.Cluster.replica_placement ~nodes:4 ~replicas:3 weights
+  in
+  check_int "row per item" (Array.length weights) (Array.length placed);
+  Array.iter
+    (fun nodes ->
+      check_int "replica count" 3 (Array.length nodes);
+      let sorted = Array.copy nodes in
+      Array.sort compare sorted;
+      check "distinct nodes" true
+        (Array.for_all (fun i -> i >= 0 && i < 4) sorted
+        && (sorted.(0) <> sorted.(1) && sorted.(1) <> sorted.(2))))
+    placed;
+  (* Deterministic: same inputs, same placement. *)
+  check "stable placement" true
+    (placed = Graql_gems.Cluster.replica_placement ~nodes:4 ~replicas:3 weights)
+
+let test_server_audit_cap () =
+  let srv = Server.create () in
+  Server.add_user srv ~name:"root" ~role:Server.Admin;
+  let root = Server.connect srv ~user:"root" in
+  for i = 0 to 1099 do
+    ignore (Server.run root (Printf.sprintf "set %%P%d%% = %d" i i))
+  done;
+  let log = Server.audit_log srv in
+  check_int "capped at 1000" 1000 (List.length log);
+  (* Oldest-first eviction: entries 0..99 are gone; the log now starts at
+     statement #100 and still ends at #1099. *)
+  check "oldest evicted" true (contains ~needle:"P100%" (snd (List.hd log)));
+  check "newest kept" true
+    (contains ~needle:"P1099%" (snd (List.nth log 999)));
+  (* Counters keep counting past the cap. *)
+  check "stats uncapped" true (List.mem ("root", 1100, 0) (Server.user_stats srv))
 
 let test_shard_ranges_cover () =
   let pool = Pool.create ~domains:3 () in
@@ -345,6 +593,7 @@ let () =
           Alcotest.test_case "roles enforced" `Quick test_server_roles;
           Alcotest.test_case "accounts and audit" `Quick
             test_server_accounts_and_audit;
+          Alcotest.test_case "audit cap eviction" `Quick test_server_audit_cap;
         ] );
       ( "failure-injection",
         [
@@ -354,6 +603,27 @@ let () =
             test_parallel_script_failure_propagates;
           Alcotest.test_case "corrupt IR rejected" `Quick
             test_corrupt_ir_rejected_by_backend;
+        ] );
+      ( "fault-recovery",
+        [
+          Alcotest.test_case "berlin fault-free determinism" `Quick
+            test_berlin_fault_free_determinism;
+          Alcotest.test_case "berlin fail-once recovers identically" `Quick
+            test_berlin_fail_once_recovers_identically;
+          Alcotest.test_case "berlin seeded random faults deterministic"
+            `Quick test_berlin_seeded_random_faults_deterministic;
+          Alcotest.test_case "dead statement isolated" `Quick
+            test_dead_statement_isolated;
+          Alcotest.test_case "deadline times out stalled shard" `Quick
+            test_deadline_times_out_stalled_shard;
+          Alcotest.test_case "shard failover deterministic" `Quick
+            test_shard_failover_deterministic;
+          Alcotest.test_case "shard fail-once recovers" `Quick
+            test_shard_fail_once_recovers;
+          Alcotest.test_case "shard dead without replica exhausts" `Quick
+            test_shard_dead_without_replica_exhausts;
+          Alcotest.test_case "replica placement properties" `Quick
+            test_replica_placement_properties;
         ] );
       ( "cluster",
         [

@@ -1,4 +1,5 @@
 module Pool = Graql_parallel.Domain_pool
+module Cancel = Graql_parallel.Cancel
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -102,6 +103,111 @@ let test_parallel_for_chunks_cover () =
           done);
       check "full coverage" true (Array.for_all Fun.id seen))
 
+(* ------------------------------------------------------------------ *)
+(* Worker exceptions keep their origin backtrace                       *)
+
+(* The raise must be neither inlined nor in tail position, or the frame
+   disappears from the trace before the latch ever sees it. *)
+let[@inline never] deep_raiser () =
+  if failwith "deep boom" then () else ()
+
+let test_worker_backtrace_preserved () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace prev) @@ fun () ->
+  with_pool ~domains:2 (fun pool ->
+      match
+        Pool.run_tasks pool
+          [ (fun () -> ()); (fun () -> deep_raiser ()); (fun () -> ()) ]
+      with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure msg ->
+          (* raise_with_backtrace carried the worker-side trace across the
+             latch: the raising frame is still visible here. Read it
+             before anything else runs and clobbers the buffer. *)
+          let bt = Printexc.get_backtrace () in
+          Alcotest.(check string) "message" "deep boom" msg;
+          check "origin frame survives the hop" true
+            (let needle = "deep_raiser" in
+             let nl = String.length needle and hl = String.length bt in
+             let rec go i =
+               i + nl <= hl && (String.sub bt i nl = needle || go (i + 1))
+             in
+             go 0))
+
+(* ------------------------------------------------------------------ *)
+(* Fault hook: retry with backoff, then exhaustion                     *)
+
+let test_fault_hook_retries_then_succeeds () =
+  with_pool ~domains:2 (fun pool ->
+      Pool.set_retry ~backoff_ms:0.0 pool;
+      let hook ~label:_ ~index ~attempt =
+        if index = 1 && attempt <= 2 then raise (Pool.Transient "site1")
+      in
+      Pool.set_fault_hook pool (Some hook);
+      let ran = Array.make 3 0 in
+      Pool.run_tasks pool
+        (List.init 3 (fun i () -> ran.(i) <- ran.(i) + 1));
+      (* Faults strike before the body: despite two failed attempts, every
+         task body ran exactly once. *)
+      check "bodies ran exactly once" true (ran = [| 1; 1; 1 |]);
+      check_int "two retries recorded" 2 (Pool.fault_retries pool))
+
+let test_fault_hook_exhaustion () =
+  with_pool ~domains:2 (fun pool ->
+      Pool.set_retry ~attempts:3 ~backoff_ms:0.0 pool;
+      Pool.set_fault_hook pool
+        (Some (fun ~label:_ ~index:_ ~attempt:_ -> raise (Pool.Transient "dead")));
+      (match Pool.run_tasks pool [ (fun () -> ()) ] with
+      | () -> Alcotest.fail "expected exhaustion"
+      | exception Pool.Fault_exhausted { site; attempts } ->
+          Alcotest.(check string) "site" "dead" site;
+          check_int "attempt budget" 3 attempts);
+      Pool.set_fault_hook pool None)
+
+let test_fault_hook_sees_labels () =
+  with_pool ~domains:1 (fun pool ->
+      let seen = ref [] in
+      Pool.set_fault_hook pool
+        (Some (fun ~label ~index ~attempt:_ -> seen := (label, index) :: !seen));
+      Pool.with_label "phase-a" (fun () ->
+          Pool.run_tasks pool [ (fun () -> ()); (fun () -> ()) ]);
+      check "labels attributed" true
+        (List.sort compare !seen = [ ("phase-a", 0); ("phase-a", 1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation                                            *)
+
+let test_cancel_stops_chunks () =
+  with_pool ~domains:2 (fun pool ->
+      let token = Cancel.create () in
+      Pool.set_cancel pool (Some token);
+      let done_count = Atomic.make 0 in
+      (match
+         Pool.run_tasks pool
+           (List.init 64 (fun i () ->
+                if i = 0 then Cancel.cancel token
+                else Atomic.incr done_count))
+       with
+      | () -> Alcotest.fail "expected cancellation"
+      | exception Cancel.Cancelled _ -> ());
+      (* Some tasks may have run before the flag flipped, but not all. *)
+      check "later chunks skipped" true (Atomic.get done_count < 64);
+      Pool.set_cancel pool None)
+
+let test_deadline_token_expires () =
+  let token = Cancel.with_deadline_ms 10 in
+  check "fresh token live" false (Cancel.is_cancelled token);
+  Unix.sleepf 0.03;
+  check "expired after deadline" true (Cancel.is_cancelled token);
+  (match Cancel.check token with
+  | () -> Alcotest.fail "expected Cancelled"
+  | exception Cancel.Cancelled budget -> check_int "budget carried" 10 budget);
+  check "invalid budget rejected" true
+    (match Cancel.with_deadline_ms 0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -118,5 +224,22 @@ let () =
           Alcotest.test_case "single-domain pool" `Quick test_single_domain_pool;
           Alcotest.test_case "nested tasks no deadlock" `Quick test_nested_run_tasks;
           Alcotest.test_case "chunk coverage" `Quick test_parallel_for_chunks_cover;
+          Alcotest.test_case "worker backtrace preserved" `Quick
+            test_worker_backtrace_preserved;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "retry then succeed" `Quick
+            test_fault_hook_retries_then_succeeds;
+          Alcotest.test_case "exhaustion" `Quick test_fault_hook_exhaustion;
+          Alcotest.test_case "labels attributed" `Quick
+            test_fault_hook_sees_labels;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "cancel stops chunks" `Quick
+            test_cancel_stops_chunks;
+          Alcotest.test_case "deadline token expires" `Quick
+            test_deadline_token_expires;
         ] );
     ]

@@ -59,18 +59,25 @@ let test_snippets () =
   List.iteri
     (fun i src ->
       match Session.run_script session src with
-      | _ -> ()
-      | exception Session.Rejected diags ->
-          Alcotest.failf "tutorial snippet %d rejected:\n%s\n---\n%s" (i + 1)
-            (String.concat "\n"
-               (List.map Graql_analysis.Diag.to_string diags))
+      | results ->
+          (* Per-statement failures no longer raise: fail on any O_failed
+             outcome so a broken snippet can't slip through. *)
+          List.iter
+            (fun (_, outcome) ->
+              match outcome with
+              | Graql_engine.Script_exec.O_failed err ->
+                  Alcotest.failf "tutorial snippet %d failed: %s\n---\n%s"
+                    (i + 1)
+                    (Graql_engine.Graql_error.to_string err)
+                    src
+              | _ -> ())
+            results
+      | exception Graql_engine.Graql_error.Error err ->
+          Alcotest.failf "tutorial snippet %d rejected: %s\n---\n%s" (i + 1)
+            (Graql_engine.Graql_error.to_string err)
             src
       | exception Graql_engine.Script_exec.Script_error (loc, msg) ->
           Alcotest.failf "tutorial snippet %d failed (%s): %s\n---\n%s" (i + 1)
-            (Graql_lang.Loc.to_string loc) msg src
-      | exception Graql_lang.Loc.Syntax_error (loc, msg) ->
-          Alcotest.failf "tutorial snippet %d syntax error (%s): %s\n---\n%s"
-            (i + 1)
             (Graql_lang.Loc.to_string loc) msg src)
     blocks
 
