@@ -510,6 +510,100 @@ let sweep_fault_recovery () =
        ~header:[ "shards"; "clean(ms)"; "recovered(ms)"; "retries" ]
        rows)
 
+(* Durability costs (DESIGN.md §9): run the Berlin ingest under a
+   write-ahead log, then time cold recovery (full-log replay into a fresh
+   database), the checkpoint fold, and restart-from-snapshot. Also the
+   backing data for BENCH_recovery.json (--json mode). *)
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let sweep_recovery ?(json = false) () =
+  print_endline "\n== durability: WAL replay + checkpoint ==";
+  let entries = ref [] in
+  let recover_cold dir =
+    let d = Graql.Db.create () in
+    Graql.Ddl_exec.install d;
+    ignore (Graql.Db_io.recover d ~dir)
+  in
+  let rows =
+    List.map
+      (fun scale ->
+        let dir = Filename.temp_file "graql_bench_wal" "" in
+        Sys.remove dir;
+        Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+        let s =
+          Graql.create_session ~durability:(Graql.Wal_dir dir)
+            ~checkpoint_bytes:max_int ()
+        in
+        let ddl =
+          Graql.Berlin.Schema_ddl.full_ddl ^ "\n"
+          ^ Graql.Berlin.Schema_ddl.ingest_script Graql.Berlin.Gen.table_files
+        in
+        ignore (Graql.run ~loader:(Graql.Berlin.Gen.loader ~scale ()) s ddl);
+        let wal_path = Filename.concat dir "wal-000000.log" in
+        let wal_bytes = (Unix.stat wal_path).Unix.st_size in
+        let n_records =
+          List.length (Graql.Wal.scan_file wal_path).Graql.Wal.s_records
+        in
+        let t_replay = time_best ~reps:3 (fun () -> recover_cold dir) in
+        let t_checkpoint =
+          time_once (fun () -> ignore (Graql.Session.checkpoint s))
+        in
+        let t_snapshot = time_best ~reps:3 (fun () -> recover_cold dir) in
+        Graql.Session.close s;
+        let mb = float_of_int wal_bytes /. 1048576.0 in
+        entries :=
+          (scale, n_records, wal_bytes, t_replay, t_checkpoint, t_snapshot)
+          :: !entries;
+        [
+          string_of_int scale;
+          string_of_int n_records;
+          Printf.sprintf "%.2f" mb;
+          ms t_replay;
+          Printf.sprintf "%.0f" (float_of_int n_records /. t_replay);
+          Printf.sprintf "%.1f" (mb /. t_replay);
+          ms t_checkpoint;
+          ms t_snapshot;
+        ])
+      [ 1; 2; 4 ]
+  in
+  print_endline
+    (Graql_util.Text_table.render
+       ~header:
+         [
+           "scale"; "records"; "wal(MB)"; "replay(ms)"; "rec/s"; "MB/s";
+           "checkpoint(ms)"; "snapshot-restart(ms)";
+         ]
+       rows);
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i (scale, n, bytes, t_replay, t_ckpt, t_snap) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  {\"scale\": %d, \"wal_records\": %d, \"wal_bytes\": %d, \
+              \"replay_ms\": %.3f, \"replay_records_per_s\": %.1f, \
+              \"replay_mb_per_s\": %.3f, \"checkpoint_ms\": %.3f, \
+              \"snapshot_restart_ms\": %.3f}"
+             scale n bytes (t_replay *. 1000.0)
+             (float_of_int n /. t_replay)
+             (float_of_int bytes /. 1048576.0 /. t_replay)
+             (t_ckpt *. 1000.0) (t_snap *. 1000.0)))
+      (List.rev !entries);
+    Buffer.add_string buf "\n]\n";
+    let oc = open_out "BENCH_recovery.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_recovery.json (%d entries)\n"
+      (List.length !entries)
+  end
+
 (* Parallel partitioned join / parallel aggregation sweep. Also the
    backing data for BENCH_join.json (--json mode): mean/stddev over
    [reps] timed runs after one warmup. *)
@@ -828,8 +922,9 @@ let () =
     bench_scale (100 * bench_scale)
     (Printf.sprintf "%d domains available" (Domain.recommended_domain_count ()));
   if Array.exists (( = ) "--json") Sys.argv then begin
-    (* Join/aggregation sweep only, with BENCH_join.json emission. *)
+    (* Machine-readable sweeps only: BENCH_join.json + BENCH_recovery.json. *)
     sweep_join_parallel ~json:true ();
+    sweep_recovery ~json:true ();
     exit 0
   end;
   run_bechamel ();
@@ -839,6 +934,7 @@ let () =
   sweep_script_parallel ();
   sweep_shards ();
   sweep_fault_recovery ();
+  sweep_recovery ();
   sweep_join_parallel ();
   sweep_baseline_vs_engine ();
   sweep_seed_strategy ();

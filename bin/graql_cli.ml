@@ -52,10 +52,13 @@ let seq_arg =
     & info [ "seq" ] ~doc:"Disable parallel statement scheduling.")
 
 let data_dir_arg =
+  (* Plain string, not [Arg.dir]: with --wal a fresh directory is created
+     on first use, so it need not exist yet. *)
   Arg.(
-    value & opt (some dir) None
+    value & opt (some string) None
     & info [ "data-dir" ] ~docv:"DIR"
-        ~doc:"Directory ingest file names are resolved against.")
+        ~doc:"Directory ingest file names are resolved against; with --wal, \
+              where the durable database lives (created if missing).")
 
 let script_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT")
@@ -75,14 +78,68 @@ let fault_seed_arg =
               backend to exercise the recovery layer. Equivalent to \
               setting GRAQL_FAULT_SEED.")
 
-let make_session ?domains ?fault_seed ?(params = []) () =
+let make_session ?domains ?fault_seed ?(params = []) ?durability () =
   let pool =
     Some (Graql.Domain_pool.create ?domains ())
   in
   let faults = Option.map (fun seed -> Graql.Fault.random ~seed ()) fault_seed in
-  let session = Graql.create_session ?pool ?faults () in
+  let session = Graql.create_session ?pool ?faults ?durability () in
   List.iter (fun (n, v) -> Graql.Db.set_param (Graql.Session.db session) n v) params;
   session
+
+(* Durability flags shared by run and repl. [--wal] turns the data
+   directory into a durable database: existing state is recovered, new
+   mutating statements are write-ahead-logged. [--recover] without
+   [--wal] rebuilds the state read-only (nothing new is logged). *)
+let wal_arg =
+  Arg.(
+    value & flag
+    & info [ "wal" ]
+        ~doc:"Durable mode: recover the database in --data-dir (checkpoint \
+              + write-ahead log), then log every mutating statement — \
+              fsync'd — before applying it.")
+
+let recover_arg =
+  Arg.(
+    value & flag
+    & info [ "recover" ]
+        ~doc:"Recover the database state from --data-dir (latest checkpoint \
+              plus WAL tail, truncating a torn tail) before running. \
+              Implied by --wal; on its own, nothing new is logged.")
+
+let durability_of ~wal data_dir =
+  if wal then Some (Graql.Session.Wal_dir (Option.value data_dir ~default:"graql-data"))
+  else None
+
+let report_recovery session =
+  match Graql.Session.last_recovery session with
+  | Some r
+    when r.Graql.Db_io.rec_checkpoint
+         || r.Graql.Db_io.rec_replayed > 0
+         || r.Graql.Db_io.rec_truncated > 0 ->
+      Printf.eprintf
+        "note: recovered%s, replayed %d WAL record(s)%s\n%!"
+        (if r.Graql.Db_io.rec_checkpoint then
+           Printf.sprintf " checkpoint %d" r.Graql.Db_io.rec_epoch
+         else " (no checkpoint)")
+        r.Graql.Db_io.rec_replayed
+        (if r.Graql.Db_io.rec_truncated > 0 then
+           Printf.sprintf ", dropped %d torn byte(s)" r.Graql.Db_io.rec_truncated
+         else "")
+  | _ -> ()
+
+let recover_without_wal session data_dir =
+  match data_dir with
+  | Some dir ->
+      let r = Graql.Db_io.recover (Graql.Session.db session) ~dir in
+      Printf.eprintf "note: recovered%s, replayed %d WAL record(s)\n%!"
+        (if r.Graql.Db_io.rec_checkpoint then
+           Printf.sprintf " checkpoint %d" r.Graql.Db_io.rec_epoch
+         else " (no checkpoint)")
+        r.Graql.Db_io.rec_replayed
+  | None ->
+      Graql.Error.raise_error
+        (Graql.Error.Io "--recover needs --data-dir (where the database lives)")
 
 let loader_for data_dir =
   match data_dir with
@@ -134,10 +191,23 @@ let dump_arg =
         ~doc:"After the script runs, export every table as CSV plus a \
               reload script (schema.graql) into DIR.")
 
+let checkpoint_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "checkpoint" ]
+        ~doc:"After the script runs, fold the write-ahead log into a fresh \
+              checkpoint snapshot (needs --wal).")
+
 let run_cmd =
-  let action script params domains seq data_dir dump deadline_ms fault_seed =
+  let action script params domains seq data_dir dump deadline_ms fault_seed
+      wal recover checkpoint =
     with_typed_errors (fun () ->
-        let session = make_session ?domains ?fault_seed ~params () in
+        let session =
+          make_session ?domains ?fault_seed ~params
+            ?durability:(durability_of ~wal data_dir) ()
+        in
+        report_recovery session;
+        if recover && not wal then recover_without_wal session data_dir;
         let source = read_file script in
         let results =
           Graql.run ~loader:(loader_for data_dir) ~parallel:(not seq)
@@ -149,18 +219,24 @@ let run_cmd =
         if recovered > 0 then
           Printf.eprintf "note: recovered from %d injected fault(s)\n"
             recovered;
+        if checkpoint then
+          if Graql.Session.checkpoint session then
+            Printf.printf "checkpointed database\n"
+          else prerr_endline "note: --checkpoint ignored without --wal";
         (match dump with
         | Some dir ->
             Graql.Db_io.export (Graql.Session.db session) ~dir;
             Printf.printf "exported database to %s/\n" dir
         | None -> ());
+        Graql.Session.close session;
         outcomes_exit_code results)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a GraQL script")
     Term.(
       ret (const action $ script_arg $ params_arg $ domains_arg $ seq_arg
-           $ data_dir_arg $ dump_arg $ deadline_arg $ fault_seed_arg))
+           $ data_dir_arg $ dump_arg $ deadline_arg $ fault_seed_arg
+           $ wal_arg $ recover_arg $ checkpoint_flag_arg))
 
 let check_cmd =
   let action script params =
@@ -344,18 +420,32 @@ let berlin_cmd =
            $ params_arg $ stats_arg $ deadline_arg $ fault_seed_arg))
 
 let repl_cmd =
-  let action domains params =
+  let action domains params data_dir wal =
     with_typed_errors @@ fun () ->
-    let session = make_session ?domains ~params () in
+    let session =
+      make_session ?domains ~params ?durability:(durability_of ~wal data_dir) ()
+    in
+    report_recovery session;
     print_endline
       "GraQL repl — end statements with ';' on their own line, Ctrl-D quits.";
+    if wal then
+      print_endline "Durable session: 'checkpoint;' folds the log into a snapshot.";
     let buf = Buffer.create 256 in
     (try
        while true do
          print_string (if Buffer.length buf = 0 then "graql> " else "  ...> ");
          flush stdout;
          let line = input_line stdin in
-         if String.trim line = ";" || (String.trim line <> "" && String.length (String.trim line) > 0 && (let t = String.trim line in t.[String.length t - 1] = ';')) then begin
+         let meta =
+           let tl = String.trim line in
+           Buffer.length buf = 0 && (tl = "checkpoint" || tl = "checkpoint;")
+         in
+         if meta then begin
+           if Graql.Session.checkpoint session then
+             print_endline "checkpointed database"
+           else print_endline "no durability configured (start with --wal)"
+         end
+         else if String.trim line = ";" || (String.trim line <> "" && String.length (String.trim line) > 0 && (let t = String.trim line in t.[String.length t - 1] = ';')) then begin
            Buffer.add_string buf line;
            let source = Buffer.contents buf in
            Buffer.clear buf;
@@ -373,11 +463,12 @@ let repl_cmd =
          end
        done
      with End_of_file -> print_newline ());
+    Graql.Session.close session;
     0
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive GraQL session")
-    Term.(ret (const action $ domains_arg $ params_arg))
+    Term.(ret (const action $ domains_arg $ params_arg $ data_dir_arg $ wal_arg))
 
 let explain_cmd =
   let action script params domains data_dir =

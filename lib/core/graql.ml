@@ -62,6 +62,7 @@ module Ddl_exec = Graql_engine.Ddl_exec
 module Explain = Graql_engine.Explain
 module Reference_exec = Graql_engine.Reference_exec
 module Db_io = Graql_engine.Db_io
+module Wal = Graql_engine.Wal
 module Error = Graql_engine.Graql_error
 
 (* -- GEMS ----------------------------------------------------------- *)
@@ -87,8 +88,10 @@ type outcome = Script_exec.outcome =
   | O_message of string
   | O_failed of Error.t
 
-let create_session ?pool ?strict ?faults () =
-  Session.create ?pool ?strict ?faults ()
+type durability = Session.durability = Off | Wal_dir of string
+
+let create_session ?pool ?strict ?faults ?durability ?checkpoint_bytes () =
+  Session.create ?pool ?strict ?faults ?durability ?checkpoint_bytes ()
 
 let run ?loader ?parallel ?deadline_ms session source =
   Session.run_script ?loader ?parallel ?deadline_ms session source

@@ -39,6 +39,9 @@ type t = {
   mutable subgraph_order : string list;
   params : (string, Value.t) Hashtbl.t;
   pool : Graql_parallel.Domain_pool.t option;
+  (* Durability sink: when set, Script_exec logs every mutating statement
+     here (fsync'd) before applying it. None = in-memory database. *)
+  mutable wal : Wal.t option;
   mutex : Mutex.t;
 }
 
@@ -56,10 +59,13 @@ let create ?pool () =
     subgraph_order = [];
     params = Hashtbl.create 8;
     pool;
+    wal = None;
     mutex = Mutex.create ();
   }
 
 let pool t = t.pool
+let wal t = t.wal
+let set_wal t w = t.wal <- w
 let tables t = t.tables
 let add_table t table = Table_catalog.add t.tables table
 let find_table t name = Table_catalog.find t.tables name
@@ -124,6 +130,9 @@ let subgraph_names t =
 
 let set_param t name v = Hashtbl.replace t.params name v
 let find_param t name = Hashtbl.find_opt t.params name
+
+let params t =
+  List.sort compare (Hashtbl.fold (fun n v acc -> (n, v) :: acc) t.params [])
 
 let register_result_table t table = Table_catalog.replace t.tables table
 

@@ -32,6 +32,13 @@ type t
 val create : ?pool:Graql_parallel.Domain_pool.t -> unit -> t
 val pool : t -> Graql_parallel.Domain_pool.t option
 
+val wal : t -> Wal.t option
+val set_wal : t -> Wal.t option -> unit
+(** Attach (or detach) the write-ahead log. While attached, the executor
+    logs every mutating statement to it — fsync'd — before applying it
+    (see {!Wal} and DESIGN.md §9). Recovery must finish before the log
+    is attached, or replayed statements would be logged twice. *)
+
 val tables : t -> Graql_storage.Table_catalog.t
 val add_table : t -> Table.t -> unit
 val find_table : t -> string -> Table.t option
@@ -75,6 +82,10 @@ val subgraph_names : t -> string list
 
 val set_param : t -> string -> Value.t -> unit
 val find_param : t -> string -> Value.t option
+
+val params : t -> (string * Value.t) list
+(** All session parameters, sorted by name — exported with the database
+    so a checkpoint preserves scripted [set] statements. *)
 
 val register_result_table : t -> Table.t -> unit
 (** [into table] result registration: replaces any previous table with the

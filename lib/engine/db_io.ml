@@ -1,10 +1,13 @@
 module Table = Graql_storage.Table
 module Schema = Graql_storage.Schema
 module Dtype = Graql_storage.Dtype
+module Value = Graql_storage.Value
+module Date = Graql_storage.Date
 module Csv = Graql_storage.Csv
 module Table_catalog = Graql_storage.Table_catalog
 module Pretty = Graql_lang.Pretty
 module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
 
 let csv_name table = String.lowercase_ascii (Table.name table) ^ ".csv"
 
@@ -47,6 +50,24 @@ let edge_stmt (ed : Db.edge_def) =
   Printf.sprintf "create edge %s with vertices (%s, %s)%s%s" ed.Db.ed_name
     (endpoint ed.Db.ed_src) (endpoint ed.Db.ed_dst) from where
 
+(* Parameters survive a checkpoint as [set] statements. Dates have no
+   literal form in the language, so they reload as their string form and
+   coerce where used; floats print at full precision. *)
+let param_stmt name v =
+  let lit =
+    match v with
+    | Value.Null -> "null"
+    | Value.Bool b -> string_of_bool b
+    | Value.Int i -> string_of_int i
+    | Value.Float f -> Printf.sprintf "%.17g" f
+    | Value.Str s ->
+        Pretty.expr_to_string (Ast.E_lit (Ast.L_string s, Loc.dummy))
+    | Value.Date d ->
+        Pretty.expr_to_string
+          (Ast.E_lit (Ast.L_string (Date.to_string d), Loc.dummy))
+  in
+  Printf.sprintf "set %%%s%% = %s" name lit
+
 let ddl_of_db db =
   let tables =
     List.map (Table_catalog.find_exn (Db.tables db)) (Table_catalog.names (Db.tables db))
@@ -67,6 +88,11 @@ let ddl_of_db db =
       Buffer.add_string buf (edge_stmt ed);
       Buffer.add_char buf '\n')
     (Db.edge_defs db);
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (param_stmt name v);
+      Buffer.add_char buf '\n')
+    (Db.params db);
   List.iter
     (fun t ->
       Buffer.add_string buf
@@ -114,13 +140,19 @@ let parse_manifest doc =
 
 (* Write-to-temp then rename: a crash mid-export leaves the previous file
    (or no file) in place, never a torn one. The temp file lives in the
-   destination directory so the rename stays within one filesystem. *)
+   destination directory so the rename stays within one filesystem. The
+   temp file is fsync'd before the rename — rename alone only orders
+   metadata, not data, so without it a power failure could publish a
+   correctly-named file full of zeroes. *)
 let write_atomic ~dir name contents =
   let tmp = Filename.temp_file ~temp_dir:dir ("." ^ name) ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents);
+    (fun () ->
+      output_string oc contents;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
   Sys.rename tmp (Filename.concat dir name)
 
 let export db ~dir =
@@ -128,7 +160,9 @@ let export db ~dir =
   let files = export_files db in
   List.iter (fun (name, contents) -> write_atomic ~dir name contents) files;
   (* The manifest goes last: its presence certifies a complete dump. *)
-  write_atomic ~dir manifest_name (manifest_of_files files)
+  write_atomic ~dir manifest_name (manifest_of_files files);
+  (* ...and the renames themselves must survive a power failure. *)
+  Wal.fsync_dir dir
 
 let read_file path =
   let ic = open_in_bin path in
@@ -177,3 +211,163 @@ let checked_loader ~dir =
     | Some entries -> verify_file ~entries ~name contents
     | None -> ());
     contents
+
+(* ------------------------------------------------------------------ *)
+(* Durability: checkpoints + crash recovery (DESIGN.md §9)              *)
+
+let io_error fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Graql_error.Error (Graql_error.Io msg)))
+    fmt
+
+let checkpoint_prefix = "checkpoint-"
+
+let checkpoint_dir_name ~epoch = Printf.sprintf "checkpoint-%06d" epoch
+
+let epoch_of_checkpoint_name name =
+  let pl = String.length checkpoint_prefix in
+  if String.length name > pl && String.sub name 0 pl = checkpoint_prefix then
+    int_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
+let epoch_of_wal_name name =
+  if
+    String.length name > 8
+    && String.sub name 0 4 = "wal-"
+    && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name 4 (String.length name - 8))
+  else None
+
+(* The newest checkpoint whose MANIFEST made it to disk. A directory
+   without a manifest is a checkpoint that was interrupted mid-export:
+   ignored, never deleted here (the next successful checkpoint cleans
+   up). *)
+let latest_checkpoint ~dir =
+  if not (Sys.file_exists dir) then None
+  else
+    Array.fold_left
+      (fun best name ->
+        match epoch_of_checkpoint_name name with
+        | Some epoch
+          when Sys.file_exists
+                 (Filename.concat (Filename.concat dir name) manifest_name)
+               && (match best with Some (e, _) -> epoch > e | None -> true) ->
+            Some (epoch, Filename.concat dir name)
+        | _ -> best)
+      None (Sys.readdir dir)
+
+type recovery = {
+  rec_epoch : int;  (** checkpoint epoch the database restarted from *)
+  rec_checkpoint : bool;  (** a checkpoint snapshot was loaded *)
+  rec_replayed : int;  (** WAL records re-applied on top of it *)
+  rec_truncated : int;  (** torn-tail bytes dropped from the WAL *)
+}
+
+(* Replay one logged operation. Statements that failed in the original
+   run were logged before they died; they fail identically here and are
+   skipped the same way a live script degrades per statement. Only
+   genuinely fatal conditions propagate. *)
+let replay_record db record =
+  match
+    match record with
+    | Wal.R_stmt stmt -> ignore (Script_exec.exec_stmt db stmt)
+    | Wal.R_ingest { table; file; doc } ->
+        ignore
+          (Script_exec.exec_stmt
+             ~loader:(fun _ -> doc)
+             db
+             (Ast.Ingest
+                { ing_table = table; ing_file = file; ing_loc = Loc.dummy }))
+  with
+  | () -> ()
+  | exception e -> (
+      match Graql_error.of_exn e with Some _ -> () | None -> raise e)
+
+let load_checkpoint db ~cp_dir =
+  let loader = checked_loader ~dir:cp_dir in
+  let source =
+    try loader "schema.graql"
+    with Sys_error msg -> io_error "checkpoint %s: %s" cp_dir msg
+  in
+  let script =
+    try Graql_lang.Parser.parse_script source
+    with Graql_lang.Loc.Syntax_error (loc, msg) ->
+      io_error "checkpoint %s: schema.graql:%s: %s" cp_dir
+        (Graql_lang.Loc.to_string loc) msg
+  in
+  List.iter
+    (fun stmt ->
+      try ignore (Script_exec.exec_stmt ~loader db stmt)
+      with
+      | Graql_error.Error (Graql_error.Io _) as e -> raise e
+      | Script_exec.Script_error (loc, msg) ->
+          io_error "checkpoint %s: %s: %s" cp_dir
+            (Graql_lang.Loc.to_string loc) msg)
+    script
+
+let recover db ~dir =
+  (match Db.wal db with
+  | Some _ ->
+      invalid_arg "Db_io.recover: detach the WAL first (replay must not re-log)"
+  | None -> ());
+  let epoch, checkpoint_loaded =
+    match latest_checkpoint ~dir with
+    | Some (epoch, cp_dir) ->
+        load_checkpoint db ~cp_dir;
+        (epoch, true)
+    | None -> (0, false)
+  in
+  let wal_path = Filename.concat dir (Wal.file_name ~epoch) in
+  let replayed, truncated =
+    if not (Sys.file_exists wal_path) then (0, 0)
+    else begin
+      let scan = Wal.scan_file wal_path in
+      if scan.Wal.s_valid_end > 0 && scan.Wal.s_epoch <> epoch then
+        io_error "%s: WAL header epoch %d does not match its file name"
+          (Filename.basename wal_path) scan.Wal.s_epoch;
+      (* Drop the torn tail now so the reopened log appends after the
+         last intact record. A torn *header* truncates to empty;
+         [Wal.open_log] rewrites it. *)
+      if scan.Wal.s_torn > 0 then
+        Wal.truncate_file wal_path scan.Wal.s_valid_end;
+      List.iter (replay_record db) scan.Wal.s_records;
+      (List.length scan.Wal.s_records, scan.Wal.s_torn)
+    end
+  in
+  {
+    rec_epoch = epoch;
+    rec_checkpoint = checkpoint_loaded;
+    rec_replayed = replayed;
+    rec_truncated = truncated;
+  }
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* Fold the log into a fresh snapshot and start the next epoch. Crash
+   windows are all recoverable: before the new MANIFEST lands, recovery
+   still finds the old checkpoint + full WAL; between the manifest and
+   [Wal.advance], recovery finds the new checkpoint and no WAL for its
+   epoch (the stale log is superseded, its effects are in the
+   snapshot). Superseded epochs are deleted last, best-effort. *)
+let checkpoint db w =
+  let dir = Wal.dir w in
+  let epoch = Wal.epoch w + 1 in
+  export db ~dir:(Filename.concat dir (checkpoint_dir_name ~epoch));
+  Wal.advance w;
+  Array.iter
+    (fun name ->
+      let stale =
+        match epoch_of_checkpoint_name name with
+        | Some e -> e < epoch
+        | None -> (
+            match epoch_of_wal_name name with Some e -> e < epoch | None -> false)
+      in
+      if stale then
+        try rm_rf (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  Wal.fsync_dir dir

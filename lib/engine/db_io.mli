@@ -10,12 +10,15 @@ val ddl_of_db : Db.t -> string
 
 val export : Db.t -> dir:string -> unit
 (** Write every table as [<name>.csv] (header row included) plus
-    [schema.graql] into [dir] (created if missing). Result subgraphs are
-    views and are not persisted — re-run their queries after reload.
+    [schema.graql] into [dir] (created if missing). Session parameters
+    are persisted as [set] statements. Result subgraphs are views and
+    are not persisted — re-run their queries after reload.
 
-    Each file is written to a temp file and renamed into place, so a crash
-    mid-export never leaves a torn file; a [MANIFEST] with per-file MD5
-    checksums and sizes is written last, certifying a complete dump. *)
+    Each file is written to a temp file, fsync'd, and renamed into
+    place, so a crash (or power failure) mid-export never leaves a torn
+    file; a [MANIFEST] with per-file MD5 checksums and sizes is written
+    last, certifying a complete dump, and the directory itself is
+    fsync'd so the renames stick. *)
 
 val export_files : Db.t -> (string * string) list
 (** The same content as {!export}, as (filename, contents) pairs — used by
@@ -38,3 +41,40 @@ val checked_loader : dir:string -> (string -> string)
     file's size and checksum against the manifest (when one exists) before
     returning its contents — a half-written dump must never load
     silently. Raises [Graql_error.Error (Io _)] on any mismatch. *)
+
+(** {1 Durability: checkpoints + crash recovery}
+
+    A durable database directory holds at most one live checkpoint
+    snapshot ([checkpoint-NNNNNN/], a normal {!export} with manifest)
+    and the write-ahead log of everything since it
+    ([wal-NNNNNN.log], same epoch number — see {!Wal}). *)
+
+val checkpoint_dir_name : epoch:int -> string
+
+val latest_checkpoint : dir:string -> (int * string) option
+(** Newest [(epoch, path)] whose [MANIFEST] is present — i.e. whose
+    export completed. Interrupted checkpoint attempts are ignored. *)
+
+type recovery = {
+  rec_epoch : int;  (** checkpoint epoch the database restarted from *)
+  rec_checkpoint : bool;  (** a checkpoint snapshot was loaded *)
+  rec_replayed : int;  (** WAL records re-applied on top of it *)
+  rec_truncated : int;  (** torn-tail bytes dropped from the WAL *)
+}
+
+val recover : Db.t -> dir:string -> recovery
+(** Rebuild the database state from [dir]: load the latest complete
+    checkpoint (verifying every file against its manifest), then replay
+    the matching WAL epoch, truncating a torn tail rather than failing
+    on it. The [db] must be freshly created with no WAL attached —
+    attach one (same epoch) after this returns. Raises
+    [Graql_error.Error (Io _)] on genuine corruption: a mangled WAL
+    header, a bad CRC that is not at the tail, an undecodable record, or
+    a checkpoint failing manifest verification. An empty or absent
+    directory recovers to an empty database. *)
+
+val checkpoint : Db.t -> Wal.t -> unit
+(** Fold the log into a fresh checkpoint snapshot, advance the WAL to
+    the next epoch, and delete superseded epochs. Safe against a crash
+    at any point: recovery always finds either the old checkpoint with
+    its full log or the new checkpoint with an empty one. *)

@@ -27,6 +27,25 @@ let default_loader path =
 let params_of db name = Db.find_param db name
 
 (* ------------------------------------------------------------------ *)
+(* Write-ahead logging (DESIGN.md §9)                                  *)
+
+(* Statements with a persistent effect are logged — fsync'd — before they
+   are applied. Ingest is logged separately with its loaded bytes inlined
+   (see [exec_ingest]); selects into nothing leave no state behind. *)
+let stmt_needs_wal = function
+  | Ast.Create_table _ | Ast.Create_vertex _ | Ast.Create_edge _
+  | Ast.Set_param _ ->
+      true
+  | Ast.Ingest _ -> false
+  | Ast.Select_graph { sg_into = Ast.Into_nothing; _ }
+  | Ast.Select_table { st_into = Ast.Into_nothing; _ } ->
+      false
+  | Ast.Select_graph _ | Ast.Select_table _ -> true
+
+let wal_log db record =
+  match Db.wal db with None -> () | Some w -> Wal.append w record
+
+(* ------------------------------------------------------------------ *)
 (* Single statements                                                   *)
 
 let exec_ingest ~loader db ~table ~file ~loc =
@@ -39,6 +58,9 @@ let exec_ingest ~loader db ~table ~file ~loc =
     try loader file
     with Sys_error msg -> error loc "ingest: cannot read %S: %s" file msg
   in
+  (* Log the bytes we actually loaded, so replay never depends on the
+     source file still existing (or still having the same contents). *)
+  wal_log db (Wal.R_ingest { table; file; doc });
   let before = Table.nrows target in
   (* Parse into a staging table first so a malformed file cannot leave the
      target half-ingested: ingest is atomic w.r.t. queries (Sec. II-A2). *)
@@ -109,6 +131,7 @@ let exec_select_table db (st : Ast.select_table) =
   O_table table
 
 let exec_stmt ?(loader = default_loader) db stmt =
+  if stmt_needs_wal stmt then wal_log db (Wal.R_stmt stmt);
   match stmt with
   | Ast.Create_table { ct_name; ct_cols; ct_loc } ->
       (try Ddl_exec.exec_create_table db ~name:ct_name ~cols:ct_cols ~loc:ct_loc

@@ -1,0 +1,271 @@
+module Ast = Graql_lang.Ast
+module Wire = Graql_ir.Wire
+module Codec = Graql_ir.Codec
+module Crc32 = Graql_util.Crc32
+
+type record =
+  | R_stmt of Ast.stmt
+  | R_ingest of { table : string; file : string; doc : string }
+
+let magic = "GRAQLWAL"
+let version = 1
+let header_size = String.length magic + 1 + 4
+let file_name ~epoch = Printf.sprintf "wal-%06d.log" epoch
+
+let io_error fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Graql_error.Error (Graql_error.Io msg)))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Record payloads (Graql_ir wire format)                              *)
+
+let tag_stmt = 1
+let tag_ingest = 2
+
+let encode_record r =
+  let w = Wire.writer () in
+  (match r with
+  | R_stmt stmt ->
+      Wire.tag w tag_stmt;
+      Wire.string w (Bytes.to_string (Codec.encode_script [ stmt ]))
+  | R_ingest { table; file; doc } ->
+      Wire.tag w tag_ingest;
+      Wire.string w table;
+      Wire.string w file;
+      Wire.string w doc);
+  Wire.contents w
+
+let decode_record payload =
+  let r = Wire.reader payload in
+  let record =
+    match Wire.read_tag r with
+    | t when t = tag_stmt -> (
+        match Codec.decode_script (Bytes.of_string (Wire.read_string r)) with
+        | [ stmt ] -> R_stmt stmt
+        | _ -> raise (Wire.Corrupt "WAL statement record is not one statement"))
+    | t when t = tag_ingest ->
+        let table = Wire.read_string r in
+        let file = Wire.read_string r in
+        let doc = Wire.read_string r in
+        R_ingest { table; file; doc }
+    | t -> raise (Wire.Corrupt (Printf.sprintf "unknown WAL record tag %d" t))
+  in
+  if not (Wire.at_end r) then
+    raise (Wire.Corrupt "trailing bytes inside WAL record");
+  record
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+let header ~epoch =
+  let b = Bytes.create header_size in
+  Bytes.blit_string magic 0 b 0 (String.length magic);
+  Bytes.set b (String.length magic) (Char.chr version);
+  Bytes.set_int32_le b (String.length magic + 1) (Int32.of_int epoch);
+  b
+
+let frame payload =
+  let len = Bytes.length payload in
+  let b = Bytes.create (8 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (Crc32.bytes payload);
+  Bytes.blit payload 0 b 8 len;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                            *)
+
+type scan = {
+  s_epoch : int;
+  s_records : record list;
+  s_boundaries : int list;
+  s_valid_end : int;
+  s_torn : int;
+}
+
+let read_whole_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | doc -> doc
+  | exception Sys_error msg -> io_error "%s: %s" (Filename.basename path) msg
+
+let scan_string ~name data =
+  let size = String.length data in
+  if size < header_size then
+    (* A crash can interrupt the very first header write: everything is
+       tail, nothing is lost. *)
+    { s_epoch = 0; s_records = []; s_boundaries = []; s_valid_end = 0;
+      s_torn = size }
+  else begin
+    if String.sub data 0 (String.length magic) <> magic then
+      io_error "%s: bad WAL magic — not a write-ahead log" name;
+    if Char.code data.[String.length magic] <> version then
+      io_error "%s: unsupported WAL version %d" name
+        (Char.code data.[String.length magic]);
+    let epoch =
+      Int32.to_int
+        (Bytes.get_int32_le
+           (Bytes.unsafe_of_string data)
+           (String.length magic + 1))
+    in
+    let records = ref [] and boundaries = ref [ header_size ] in
+    let pos = ref header_size and finished = ref false in
+    while not !finished do
+      let o = !pos in
+      if o = size then finished := true
+      else if size - o < 8 then (* torn frame header *) finished := true
+      else begin
+        let b = Bytes.unsafe_of_string data in
+        let len = Int32.to_int (Bytes.get_int32_le b o) land 0xFFFFFFFF in
+        let crc = Bytes.get_int32_le b (o + 4) in
+        if o + 8 + len > size then
+          (* Runs past end-of-file: either a crash mid-payload or a torn
+             length field; both are tail damage. *)
+          finished := true
+        else begin
+          let payload = Bytes.sub b (o + 8) len in
+          if Crc32.bytes payload <> crc then
+            if o + 8 + len = size then finished := true
+            else
+              io_error
+                "%s: CRC mismatch at offset %d with %d bytes of log after \
+                 it — corrupt WAL, not a torn tail"
+                name o
+                (size - (o + 8 + len))
+          else begin
+            (match decode_record payload with
+            | r -> records := r :: !records
+            | exception Wire.Corrupt msg ->
+                (* The checksum vouches for the bytes, so an undecodable
+                   payload is genuine corruption wherever it sits. *)
+                io_error "%s: undecodable record at offset %d: %s" name o msg);
+            pos := o + 8 + len;
+            boundaries := !pos :: !boundaries
+          end
+        end
+      end
+    done;
+    {
+      s_epoch = epoch;
+      s_records = List.rev !records;
+      s_boundaries = List.rev !boundaries;
+      s_valid_end = !pos;
+      s_torn = size - !pos;
+    }
+  end
+
+let scan_file path =
+  scan_string ~name:(Filename.basename path) (read_whole_file path)
+
+let truncate_file path len =
+  try Unix.truncate path len
+  with Unix.Unix_error (e, _, _) ->
+    io_error "%s: truncate: %s" (Filename.basename path) (Unix.error_message e)
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+
+type t = {
+  t_dir : string;
+  mutable t_epoch : int;
+  mutable t_path : string;
+  mutable t_oc : out_channel;
+  mutable t_size : int;
+  mutable t_appended : int;
+  mutex : Mutex.t;
+}
+
+let fsync_channel oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let fsync_dir dir =
+  (* Make renames/creates/unlinks in [dir] themselves durable. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let create_fresh ~dir ~epoch path =
+  let oc = open_out_bin path in
+  output_bytes oc (header ~epoch);
+  fsync_channel oc;
+  fsync_dir dir;
+  (oc, header_size)
+
+let open_log ~dir ~epoch =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (file_name ~epoch) in
+  let oc, size =
+    if not (Sys.file_exists path) then create_fresh ~dir ~epoch path
+    else begin
+      let scan = scan_file path in
+      if scan.s_valid_end = 0 then
+        (* Header itself was torn: start the file over. *)
+        create_fresh ~dir ~epoch path
+      else begin
+        if scan.s_epoch <> epoch then
+          io_error "%s: header epoch %d does not match file name"
+            (Filename.basename path) scan.s_epoch;
+        if scan.s_torn > 0 then truncate_file path scan.s_valid_end;
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+        in
+        (oc, scan.s_valid_end)
+      end
+    end
+  in
+  {
+    t_dir = dir;
+    t_epoch = epoch;
+    t_path = path;
+    t_oc = oc;
+    t_size = size;
+    t_appended = 0;
+    mutex = Mutex.create ();
+  }
+
+let dir t = t.t_dir
+let path t = t.t_path
+let epoch t = t.t_epoch
+let size t = t.t_size
+let appended t = t.t_appended
+
+let append t record =
+  let framed = frame (encode_record record) in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      output_bytes t.t_oc framed;
+      (* Durable before the engine applies (or acks) the operation. *)
+      fsync_channel t.t_oc;
+      t.t_size <- t.t_size + Bytes.length framed;
+      t.t_appended <- t.t_appended + 1)
+
+let advance t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let old_path = t.t_path in
+      let epoch = t.t_epoch + 1 in
+      let path = Filename.concat t.t_dir (file_name ~epoch) in
+      let oc, size = create_fresh ~dir:t.t_dir ~epoch path in
+      close_out_noerr t.t_oc;
+      t.t_oc <- oc;
+      t.t_epoch <- epoch;
+      t.t_path <- path;
+      t.t_size <- size;
+      (* The old epoch's records live on in the checkpoint now. *)
+      (try Sys.remove old_path with Sys_error _ -> ());
+      fsync_dir t.t_dir)
+
+let close t = close_out_noerr t.t_oc

@@ -1,0 +1,104 @@
+(** Write-ahead log for the durability subsystem (DESIGN.md §9).
+
+    Every mutating operation — DDL, ingest, parameter bindings, selects
+    that materialize into the catalog — is appended (and fsync'd) here
+    *before* it is applied, so a crash can lose at most the statement
+    that was in flight, never an acknowledged one. A log file holds a
+    13-byte header ([magic], a version byte, a little-endian 32-bit
+    checkpoint epoch) followed by CRC32-framed, length-prefixed records:
+
+    {v
+      +-----------+-----------+------------------+
+      | len u32le | crc u32le | payload (len B)  |
+      +-----------+-----------+------------------+
+    v}
+
+    Record payloads reuse the {!Graql_ir} wire codec: a statement record
+    embeds the binary IR of a one-statement script; an ingest record
+    additionally inlines the loaded CSV bytes so replay never depends on
+    the original input file still existing.
+
+    Torn-tail rule: a record that fails its CRC or runs past end-of-file
+    is recoverable damage {e iff it is the last thing in the file} — the
+    tail is truncated and replay proceeds with the valid prefix. A bad
+    record {e followed by more log data} cannot be explained by a crash
+    mid-append and raises [Graql_error.Error (Io _)], as does a mangled
+    header or an epoch that contradicts the file name. *)
+
+type record =
+  | R_stmt of Graql_lang.Ast.stmt
+      (** Any logged statement except ingest: DDL, [set], materializing
+          selects. Replay re-executes it. *)
+  | R_ingest of { table : string; file : string; doc : string }
+      (** An ingest with its loaded bytes inlined. [file] is kept for
+          provenance only; replay feeds [doc] straight to the engine. *)
+
+val magic : string
+val version : int
+
+val header_size : int
+(** Bytes before the first record: [magic] + version + epoch. *)
+
+val file_name : epoch:int -> string
+(** ["wal-%06d.log"] — one log file per checkpoint epoch. *)
+
+val encode_record : record -> bytes
+val decode_record : bytes -> record
+(** Raises {!Graql_ir.Wire.Corrupt} on a malformed payload. *)
+
+(** {1 Appending} *)
+
+type t
+
+val open_log : dir:string -> epoch:int -> t
+(** Open (creating [dir] and the file as needed) the epoch's log for
+    appending. An existing file is scanned first: a torn tail is
+    truncated away, genuine corruption raises
+    [Graql_error.Error (Io _)]. *)
+
+val dir : t -> string
+val path : t -> string
+val epoch : t -> int
+
+val size : t -> int
+(** Current file size in bytes (header included). *)
+
+val appended : t -> int
+(** Records appended through this handle (not counting pre-existing
+    ones). *)
+
+val append : t -> record -> unit
+(** Frame, write and [fsync] one record. Thread-safe; the record is
+    durable when this returns — callers may then apply the operation. *)
+
+val advance : t -> unit
+(** Begin the next checkpoint epoch: create and sync the new (empty) log
+    file, switch appends to it, then delete the previous epoch's file.
+    The caller must have folded the old log into a checkpoint first. *)
+
+val close : t -> unit
+
+(** {1 Scanning / recovery} *)
+
+type scan = {
+  s_epoch : int;  (** epoch from the file header *)
+  s_records : record list;  (** valid records, in log order *)
+  s_boundaries : int list;
+      (** every offset at which the file can be cut and still parse:
+          [header_size] followed by each record's end offset *)
+  s_valid_end : int;  (** offset of the end of the last valid record *)
+  s_torn : int;  (** trailing bytes dropped by the torn-tail rule *)
+}
+
+val scan_file : string -> scan
+(** Parse a log file, applying the torn-tail rule. Raises
+    [Graql_error.Error (Io _)] on mid-file corruption, a bad header, or
+    an unreadable file. *)
+
+val truncate_file : string -> int -> unit
+(** Physically truncate a log to the given offset (used to discard a
+    torn tail before reopening for append). *)
+
+val fsync_dir : string -> unit
+(** Flush a directory's metadata (renames, creates, unlinks) to stable
+    storage; best-effort on filesystems without directory sync. *)

@@ -20,9 +20,9 @@ type connection = { conn_server : t; conn_user : string; conn_account : account 
 
 exception Unknown_user of string
 
-let create ?pool () =
+let create ?pool ?durability () =
   {
-    session = Session.create ?pool ();
+    session = Session.create ?pool ?durability ();
     users = Hashtbl.create 8;
     audit = [];
     audit_len = 0;

@@ -16,7 +16,14 @@ type connection
 
 exception Unknown_user of string
 
-val create : ?pool:Graql_parallel.Domain_pool.t -> unit -> t
+val create :
+  ?pool:Graql_parallel.Domain_pool.t ->
+  ?durability:Session.durability ->
+  unit ->
+  t
+(** [durability] makes the server's database durable: recover-on-create
+    plus write-ahead logging, exactly as {!Session.create}. *)
+
 val session : t -> Session.t
 (** The underlying session (the catalog/metadata repository). *)
 

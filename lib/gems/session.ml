@@ -1,10 +1,14 @@
 module Ast = Graql_lang.Ast
 module Diag = Graql_analysis.Diag
 module Db = Graql_engine.Db
+module Db_io = Graql_engine.Db_io
+module Wal = Graql_engine.Wal
 module Script_exec = Graql_engine.Script_exec
 module Graql_error = Graql_engine.Graql_error
 module Cancel = Graql_parallel.Cancel
 module Pool = Graql_parallel.Domain_pool
+
+type durability = Off | Wal_dir of string
 
 type phase_times = {
   mutable t_parse : float;
@@ -17,6 +21,10 @@ type phase_times = {
 type t = {
   db : Db.t;
   strict : bool;
+  durability : durability;
+  checkpoint_bytes : int;
+  mutable wal : Wal.t option;
+  mutable last_recovery : Db_io.recovery option;
   mutable diags : Diag.t list;
   times : phase_times;
   mutable ir_bytes : int;
@@ -29,19 +37,47 @@ let install_faults t = function
       | Some pool -> Pool.set_fault_hook pool (Some (Fault.hook plan))
       | None -> ())
 
-let create ?pool ?(strict = true) ?faults () =
+(* Auto-checkpoint threshold: fold the WAL into a snapshot once it
+   outgrows this many bytes (checked between scripts, never mid-script).
+   Large enough that short-lived sessions never pay for a checkpoint. *)
+let default_checkpoint_bytes () =
+  match Option.bind (Sys.getenv_opt "GRAQL_CHECKPOINT_BYTES") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> 4 * 1024 * 1024
+
+let create ?pool ?(strict = true) ?faults ?(durability = Off)
+    ?checkpoint_bytes () =
   let db = Db.create ?pool () in
   Graql_engine.Ddl_exec.install db;
   let t =
     {
       db;
       strict;
+      durability;
+      checkpoint_bytes =
+        (match checkpoint_bytes with
+        | Some n -> n
+        | None -> default_checkpoint_bytes ());
+      wal = None;
+      last_recovery = None;
       diags = [];
       times =
         { t_parse = 0.0; t_check = 0.0; t_encode = 0.0; t_decode = 0.0; t_execute = 0.0 };
       ir_bytes = 0;
     }
   in
+  (match durability with
+  | Off -> ()
+  | Wal_dir dir ->
+      (* Reopen the database: recover whatever the directory holds (an
+         empty or absent one recovers to an empty database), then start
+         logging. *)
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let recovery = Db_io.recover db ~dir in
+      let w = Wal.open_log ~dir ~epoch:recovery.Db_io.rec_epoch in
+      Db.set_wal db (Some w);
+      t.wal <- Some w;
+      t.last_recovery <- Some recovery);
   (* Explicit plan wins; otherwise CI's GRAQL_FAULT_SEED covers every run. *)
   (match faults with
   | Some _ -> install_faults t faults
@@ -49,6 +85,28 @@ let create ?pool ?(strict = true) ?faults () =
   t
 
 let db t = t.db
+let durability t = t.durability
+let last_recovery t = t.last_recovery
+
+let checkpoint t =
+  match t.wal with
+  | None -> false
+  | Some w ->
+      Db_io.checkpoint t.db w;
+      true
+
+let maybe_checkpoint t =
+  match t.wal with
+  | Some w when Wal.size w >= t.checkpoint_bytes -> ignore (checkpoint t)
+  | Some _ | None -> ()
+
+let close t =
+  (match t.wal with
+  | Some w ->
+      Wal.close w;
+      Db.set_wal t.db None;
+      t.wal <- None
+  | None -> ())
 let last_diagnostics t = t.diags
 let phase_times t = t.times
 let ir_bytes_shipped t = t.ir_bytes
@@ -108,8 +166,14 @@ let run_ir ?loader ?parallel ?deadline_ms t blob =
           Graql_error.raise_error (Graql_error.Io ("corrupt IR: " ^ msg)))
   in
   let cancel = cancel_of_deadline deadline_ms in
-  timed (fun d -> t.times.t_execute <- t.times.t_execute +. d) (fun () ->
-      Script_exec.exec_script ?loader ?parallel ?cancel t.db ast)
+  let results =
+    timed (fun d -> t.times.t_execute <- t.times.t_execute +. d) (fun () ->
+        Script_exec.exec_script ?loader ?parallel ?cancel t.db ast)
+  in
+  (* Checkpoint policy: only between scripts, never mid-statement — the
+     WAL is in a clean state here. *)
+  maybe_checkpoint t;
+  results
 
 let run_script ?loader ?parallel ?deadline_ms t source =
   let ast = parse t source in

@@ -13,6 +13,14 @@
 
 module Ast = Graql_lang.Ast
 
+type durability =
+  | Off  (** in-memory only; state dies with the process *)
+  | Wal_dir of string
+      (** durable in this directory: recover whatever it holds on
+          create, then write-ahead-log every mutating statement and
+          fold the log into checkpoints (see {!Graql_engine.Wal},
+          {!Graql_engine.Db_io.recover}, DESIGN.md §9) *)
+
 type phase_times = {
   mutable t_parse : float;
   mutable t_check : float;
@@ -27,15 +35,40 @@ val create :
   ?pool:Graql_parallel.Domain_pool.t ->
   ?strict:bool ->
   ?faults:Fault.t ->
+  ?durability:durability ->
+  ?checkpoint_bytes:int ->
   unit ->
   t
 (** [strict] (default true) refuses to execute scripts with static
     analysis errors (raising [Graql_error.Error (Analysis _)]). Warnings
     never block. [faults] installs a fault-injection plan on the session
     pool; when absent, {!Fault.of_env} is consulted so CI can inject
-    faults into any run via [GRAQL_FAULT_SEED]. *)
+    faults into any run via [GRAQL_FAULT_SEED].
+
+    [durability] (default [Off]): with [Wal_dir dir], creation first
+    recovers the directory's checkpoint + WAL tail (raising
+    [Graql_error.Error (Io _)] on genuine corruption), then logs every
+    subsequent mutating statement before applying it. [checkpoint_bytes]
+    sets the auto-checkpoint threshold (default: [GRAQL_CHECKPOINT_BYTES]
+    or 4 MiB); the log is folded into a fresh snapshot after any script
+    that leaves it larger than this. *)
 
 val db : t -> Graql_engine.Db.t
+val durability : t -> durability
+
+val last_recovery : t -> Graql_engine.Db_io.recovery option
+(** What [create] recovered, for [Wal_dir] sessions: checkpoint epoch,
+    records replayed, torn bytes dropped. [None] for [Off] sessions. *)
+
+val checkpoint : t -> bool
+(** Fold the WAL into a fresh checkpoint snapshot now
+    ({!Graql_engine.Db_io.checkpoint}). Returns [false] (and does
+    nothing) for a session without durability. *)
+
+val close : t -> unit
+(** Detach and close the WAL (no-op when [Off]). The directory can then
+    be recovered by a new session. *)
+
 val last_diagnostics : t -> Graql_analysis.Diag.t list
 val phase_times : t -> phase_times
 

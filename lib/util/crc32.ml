@@ -1,0 +1,40 @@
+(* CRC-32 (IEEE), reflected, table-driven: one 256-entry table computed at
+   module init. The inner loop works on [int] (the table entries fit in 32
+   bits) and only converts to [int32] at the boundary, keeping the hot
+   path allocation-free on 64-bit platforms. *)
+
+let poly = 0xEDB88320
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 <> 0 then poly lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let mask32 = 0xFFFFFFFF
+
+let sub_int ~crc buf ~pos ~len =
+  let c = ref (crc lxor mask32) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get buf i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor mask32
+
+let of_int32 c = Int32.to_int c land mask32
+let to_int32 c = Int32.of_int c
+
+let sub ?(crc = 0l) buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.sub";
+  to_int32 (sub_int ~crc:(of_int32 crc) buf ~pos ~len)
+
+let bytes ?(crc = 0l) buf =
+  to_int32 (sub_int ~crc:(of_int32 crc) buf ~pos:0 ~len:(Bytes.length buf))
+
+let string ?crc s = bytes ?crc (Bytes.unsafe_of_string s)

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. Used to
+    frame write-ahead-log records so a torn or corrupted record is
+    detected before replay. Matches the checksum produced by zlib's
+    [crc32] / POSIX [cksum -o 3] on the same bytes. *)
+
+val string : ?crc:int32 -> string -> int32
+(** [string s] is the CRC-32 of all bytes of [s]. [?crc] continues a
+    running checksum (initial value [0l]), so
+    [string ~crc:(string a) b = string (a ^ b)]. *)
+
+val bytes : ?crc:int32 -> bytes -> int32
+
+val sub : ?crc:int32 -> bytes -> pos:int -> len:int -> int32
+(** Checksum of [len] bytes of a buffer starting at [pos]. Raises
+    [Invalid_argument] when the range is out of bounds. *)

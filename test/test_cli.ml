@@ -1,0 +1,182 @@
+(* Golden tests for the CLI's stable per-class exit codes: every
+   [Graql_error] class maps to a documented code (2 parse … 8 io), and the
+   binary actually produces them — including the new Io corruption path a
+   mangled write-ahead log must take. *)
+
+module Graql_error = Graql_engine.Graql_error
+module Loc = Graql_lang.Loc
+module Server = Graql_gems.Server
+
+let check_int = Alcotest.(check int)
+
+(* The graql binary sits next to this test runner in the build tree:
+   _build/default/test/test_cli.exe -> _build/default/bin/graql_cli.exe.
+   The dune rule depends on it, so it is always built first. *)
+let graql_bin =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "graql_cli.exe")
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "graql_cli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let write_file path doc =
+  let oc = open_out_bin path in
+  output_string oc doc;
+  close_out oc
+
+let run_graql args =
+  let null = if Sys.win32 then "NUL" else "/dev/null" in
+  Sys.command
+    (Filename.quote_command graql_bin ~stdout:null ~stderr:null args)
+
+(* ---------- the mapping itself ---------- *)
+
+let test_exit_code_mapping () =
+  let cases =
+    [
+      (Graql_error.Parse (Loc.dummy, "x"), 2);
+      (Graql_error.Analysis [], 3);
+      (Graql_error.Exec (Loc.dummy, "x"), 4);
+      (Graql_error.Exec_fault { site = "s/0"; attempts = 3 }, 5);
+      (Graql_error.Timeout { deadline_ms = 1 }, 6);
+      (Graql_error.Denied "x", 7);
+      (Graql_error.Io "x", 8);
+    ]
+  in
+  List.iter
+    (fun (err, code) ->
+      check_int (Graql_error.to_string err) code (Graql_error.exit_code err))
+    cases
+
+(* ---------- binary-level golden runs ---------- *)
+
+let script dir name doc =
+  let path = Filename.concat dir name in
+  write_file path doc;
+  path
+
+let test_exit_ok () =
+  with_temp_dir @@ fun dir ->
+  write_file (Filename.concat dir "t.csv") "id\n1\n2\n";
+  let s =
+    script dir "ok.graql"
+      "create table T(id integer)\n\
+       ingest table T t.csv\n\
+       select id from table T where id > 0\n"
+  in
+  check_int "clean run exits 0" 0 (run_graql [ "run"; s; "--data-dir"; dir ])
+
+let test_exit_parse () =
+  with_temp_dir @@ fun dir ->
+  let s = script dir "bad.graql" "create banana;;\n" in
+  check_int "parse error exits 2" 2 (run_graql [ "run"; s ])
+
+let test_exit_analysis () =
+  with_temp_dir @@ fun dir ->
+  let s = script dir "bad.graql" "select x from table Nope where 1 = 1\n" in
+  check_int "analysis error exits 3" 3 (run_graql [ "run"; s ])
+
+let test_exit_exec () =
+  with_temp_dir @@ fun dir ->
+  (* The header does not match the declared schema: the statement fails
+     at runtime, after analysis accepted it. *)
+  write_file (Filename.concat dir "bad.csv") "id,unexpected\n1,2\n";
+  let s =
+    script dir "bad.graql"
+      "create table T(id integer)\ningest table T bad.csv\n"
+  in
+  check_int "execution error exits 4" 4
+    (run_graql [ "run"; s; "--data-dir"; dir ])
+
+let test_exit_timeout () =
+  check_int "expired deadline exits 6" 6
+    (run_graql
+       [ "berlin"; "--scale"; "1"; "--query"; "q1"; "--deadline-ms"; "1" ])
+
+let test_exit_io_corrupt_wal () =
+  with_temp_dir @@ fun dir ->
+  let data = Filename.concat dir "db" in
+  Sys.mkdir data 0o700;
+  (* A log whose magic is mangled cannot be explained by a crash:
+     session creation must refuse it with the Io exit code, not
+     silently start an empty database over it. *)
+  write_file
+    (Filename.concat data "wal-000000.log")
+    "XXXXXXXX\x01\x00\x00\x00\x00";
+  let s = script dir "t.graql" "set %x% = 1\n" in
+  check_int "corrupt WAL exits 8" 8
+    (run_graql [ "run"; s; "--wal"; "--data-dir"; data ])
+
+let test_wal_roundtrip_via_cli () =
+  with_temp_dir @@ fun dir ->
+  let data = Filename.concat dir "db" in
+  let s1 = script dir "ddl.graql" "create table T(id integer)\n" in
+  check_int "durable run exits 0" 0
+    (run_graql [ "run"; s1; "--wal"; "--data-dir"; data ]);
+  (* The second process recovers the WAL: re-declaring T must now be an
+     analysis error — proof the state came back. *)
+  check_int "recovered state rejects duplicate DDL" 3
+    (run_graql [ "run"; s1; "--wal"; "--data-dir"; data ]);
+  let s2 = script dir "more.graql" "set %x% = 1\n" in
+  check_int "checkpoint flag exits 0" 0
+    (run_graql [ "run"; s2; "--wal"; "--data-dir"; data; "--checkpoint" ]);
+  check_int "post-checkpoint recovery still rejects duplicate DDL" 3
+    (run_graql [ "run"; s1; "--wal"; "--data-dir"; data ])
+
+let test_fault_seed_recovers () =
+  with_temp_dir @@ fun dir ->
+  write_file (Filename.concat dir "t.csv") "id\n1\n2\n3\n4\n";
+  let s =
+    script dir "t.graql"
+      "create table T(id integer)\n\
+       ingest table T t.csv\n\
+       select id from table T where id > 1\n"
+  in
+  check_int "injected transient faults are absorbed (exit 0)" 0
+    (run_graql [ "run"; s; "--data-dir"; dir; "--fault-seed"; "7" ])
+
+(* Denied (7) has no CLI surface — roles exist only on the server API —
+   so exercise the class end-to-end at the library level. *)
+let test_denied_class () =
+  let server = Server.create () in
+  Server.add_user server ~name:"ana" ~role:Server.Analyst;
+  let conn = Server.connect server ~user:"ana" in
+  match Server.run conn "create table T(id integer)" with
+  | _ -> Alcotest.fail "analyst ran DDL"
+  | exception Graql_error.Error e ->
+      check_int "denied maps to exit 7" 7 (Graql_error.exit_code e)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "error class mapping" `Quick test_exit_code_mapping;
+          Alcotest.test_case "0: success" `Quick test_exit_ok;
+          Alcotest.test_case "2: parse" `Quick test_exit_parse;
+          Alcotest.test_case "3: analysis" `Quick test_exit_analysis;
+          Alcotest.test_case "4: execution" `Quick test_exit_exec;
+          Alcotest.test_case "6: timeout" `Quick test_exit_timeout;
+          Alcotest.test_case "7: denied (library)" `Quick test_denied_class;
+          Alcotest.test_case "8: io / corrupt WAL" `Quick
+            test_exit_io_corrupt_wal;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "wal round-trip across processes" `Quick
+            test_wal_roundtrip_via_cli;
+          Alcotest.test_case "fault seed absorbed" `Quick
+            test_fault_seed_recovers;
+        ] );
+    ]

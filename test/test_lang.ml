@@ -395,6 +395,83 @@ let prop_expr_roundtrip =
       | e2 -> Pretty.expr_to_string e2 = printed
       | exception Loc.Syntax_error _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Fuzzing: whatever bytes arrive, the front end either parses them or
+   raises the typed [Loc.Syntax_error] — no assertion failure, no
+   [Not_found], no infinite loop. Seeded, so failures reproduce. *)
+
+let fuzz_corpus =
+  [
+    "create table Users(id varchar(8), name varchar(16), age integer)\n\
+     create vertex UserVtx(id) from table Users\n\
+     create edge follows with vertices (UserVtx as A, UserVtx as B)\n\
+    \  where A.id = B.id\n\
+     ingest table Users users.csv";
+    "set %Product1% = 'p42'\n\
+     select B.id, count(*) from graph UserVtx (id = %Product1%)\n\
+    \  --follows--> def B: UserVtx (age > 3 + 4 * 2) : true";
+    "select distinct name, age from table Users : age >= 30 order by age desc";
+    "foreach x: UserVtx ( ) ( --[ ]--> [ ] )+ into table T1";
+  ]
+
+let fuzz_accepts src =
+  (match Lexer.tokenize src with
+  | (_ : (Token.t * Loc.t) list) -> ()
+  | exception Loc.Syntax_error _ -> ()
+  | exception e ->
+      Alcotest.failf "lexer leaked %s on %S" (Printexc.to_string e) src);
+  match Parser.parse_script src with
+  | (_ : Ast.stmt list) -> ()
+  | exception Loc.Syntax_error _ -> ()
+  | exception e ->
+      Alcotest.failf "parser leaked %s on %S" (Printexc.to_string e) src
+
+let test_fuzz_random_bytes () =
+  let st = Random.State.make [| 0xbeef |] in
+  for _ = 1 to 500 do
+    let len = Random.State.int st 80 in
+    fuzz_accepts (String.init len (fun _ -> Char.chr (Random.State.int st 256)))
+  done
+
+let test_fuzz_random_printable () =
+  (* Printable soup hits the parser proper far more often than raw bytes,
+     which mostly die in the lexer. *)
+  let alphabet =
+    "abz_09 .,;:()[]{}<>=!+-*/%'\"\n\t|&^#@~?\\createselectfromwheregraph"
+  in
+  let st = Random.State.make [| 0xf00d |] in
+  for _ = 1 to 500 do
+    let len = Random.State.int st 120 in
+    fuzz_accepts
+      (String.init len (fun _ ->
+           alphabet.[Random.State.int st (String.length alphabet)]))
+  done
+
+let test_fuzz_truncations () =
+  (* A crash can hand the parser any prefix of a valid script (e.g. a
+     half-written file): every truncation must fail cleanly or parse. *)
+  List.iter
+    (fun src ->
+      for len = 0 to String.length src - 1 do
+        fuzz_accepts (String.sub src 0 len)
+      done)
+    fuzz_corpus
+
+let test_fuzz_mutations () =
+  let st = Random.State.make [| 0xcafe |] in
+  List.iter
+    (fun src ->
+      for _ = 1 to 200 do
+        let b = Bytes.of_string src in
+        for _ = 0 to Random.State.int st 3 do
+          Bytes.set b
+            (Random.State.int st (Bytes.length b))
+            (Char.chr (Random.State.int st 256))
+        done;
+        fuzz_accepts (Bytes.to_string b)
+      done)
+    fuzz_corpus
+
 let () =
   Alcotest.run "lang"
     [
@@ -443,5 +520,12 @@ let () =
         [
           Alcotest.test_case "corpus roundtrip" `Quick test_pretty_roundtrip;
           QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "random bytes" `Quick test_fuzz_random_bytes;
+          Alcotest.test_case "printable soup" `Quick test_fuzz_random_printable;
+          Alcotest.test_case "truncated scripts" `Quick test_fuzz_truncations;
+          Alcotest.test_case "mutated scripts" `Quick test_fuzz_mutations;
         ] );
     ]
