@@ -917,14 +917,115 @@ let sweep_regex_depth () =
   print_endline
     (Graql_util.Text_table.render ~header:[ "{n}"; "time(ms)" ] rows)
 
+(* Observability sweep: run the Berlin figure queries with tracing armed
+   and report the per-stage latency histograms the instrumentation
+   collected, plus the tracing overhead (traced vs. untraced wall time
+   for the same query mix). Backing data for BENCH_obs.json (--json
+   mode). *)
+let sweep_obs ?(json = false) () =
+  print_endline
+    "\n== observability: per-stage histograms, tracing overhead ==";
+  let queries =
+    [
+      Graql.Berlin.Queries.q1;
+      Graql.Berlin.Queries.q2;
+      Graql.Berlin.Queries.fig9_type_matching;
+      Graql.Berlin.Queries.fig10_regex;
+    ]
+  in
+  let run_all () = List.iter (fun q -> ignore (Graql.run session q)) queries in
+  let untraced_mean, _ = time_stats run_all in
+  Graql.Obs.Trace.clear ();
+  Graql.Obs.Trace.arm ();
+  Graql.Obs.Metrics.reset ();
+  let traced_mean, _ = time_stats run_all in
+  Graql.Obs.Trace.disarm ();
+  let sn = Graql.Obs.Metrics.snapshot () in
+  (* Percentile over a log-scale histogram: the smallest bucket upper
+     bound at which the cumulative count reaches the target rank. *)
+  let percentile h q =
+    let total = h.Graql.Obs.Metrics.h_count in
+    let rank = Float.of_int total *. q in
+    let rec scan cum = function
+      | [] -> nan
+      | (ub, n) :: rest ->
+          let cum = cum + n in
+          if Float.of_int cum >= rank then ub else scan cum rest
+    in
+    scan 0 h.Graql.Obs.Metrics.h_buckets
+  in
+  let stages =
+    List.filter
+      (fun (_, h) -> h.Graql.Obs.Metrics.h_count > 0)
+      sn.Graql.Obs.Metrics.sn_histograms
+  in
+  let stage_stats =
+    List.map
+      (fun (name, h) ->
+        let mean =
+          h.Graql.Obs.Metrics.h_sum
+          /. Float.of_int h.Graql.Obs.Metrics.h_count
+        in
+        ( name,
+          h.Graql.Obs.Metrics.h_count,
+          mean,
+          percentile h 0.5,
+          percentile h 0.99 ))
+      stages
+  in
+  print_endline
+    (Graql_util.Text_table.render
+       ~header:[ "stage"; "count"; "mean(us)"; "p50(us)<="; "p99(us)<=" ]
+       (List.map
+          (fun (name, count, mean, p50, p99) ->
+            [
+              name;
+              string_of_int count;
+              Printf.sprintf "%.1f" mean;
+              Printf.sprintf "%.0f" p50;
+              Printf.sprintf "%.0f" p99;
+            ])
+          stage_stats));
+  Printf.printf
+    "query mix untraced %s ms, traced %s ms (%.2fx overhead)\n"
+    (ms untraced_mean) (ms traced_mean)
+    (traced_mean /. untraced_mean);
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n  \"stages\": [\n";
+    List.iteri
+      (fun i (name, count, mean, p50, p99) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"stage\": %S, \"count\": %d, \"mean_us\": %.3f, \
+              \"p50_us\": %.1f, \"p99_us\": %.1f}"
+             name count mean p50 p99))
+      stage_stats;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\n  ],\n  \"overhead\": {\"untraced_ms\": %.3f, \"traced_ms\": \
+          %.3f, \"ratio\": %.3f}\n}\n"
+         (untraced_mean *. 1000.0)
+         (traced_mean *. 1000.0)
+         (traced_mean /. untraced_mean));
+    let oc = open_out "BENCH_obs.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_obs.json (%d stages)\n"
+      (List.length stage_stats)
+  end
+
 let () =
   Printf.printf "GraQL benchmark harness — scale %d (%d products), %s\n\n"
     bench_scale (100 * bench_scale)
     (Printf.sprintf "%d domains available" (Domain.recommended_domain_count ()));
   if Array.exists (( = ) "--json") Sys.argv then begin
-    (* Machine-readable sweeps only: BENCH_join.json + BENCH_recovery.json. *)
+    (* Machine-readable sweeps only: BENCH_join.json + BENCH_recovery.json
+       + BENCH_obs.json. *)
     sweep_join_parallel ~json:true ();
     sweep_recovery ~json:true ();
+    sweep_obs ~json:true ();
     exit 0
   end;
   run_bechamel ();
@@ -941,4 +1042,5 @@ let () =
   sweep_fast_pred ();
   sweep_selective_maintenance ();
   sweep_regex_depth ();
+  sweep_obs ();
   print_endline "\ndone."

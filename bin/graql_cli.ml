@@ -83,9 +83,57 @@ let make_session ?domains ?fault_seed ?(params = []) ?durability () =
     Some (Graql.Domain_pool.create ?domains ())
   in
   let faults = Option.map (fun seed -> Graql.Fault.random ~seed ()) fault_seed in
+  (* Slow statements (GRAQL_SLOW_MS / --slow-ms) go to stderr. *)
+  Graql.Obs.Slow_log.set_sink
+    (Some (fun e -> Printf.eprintf "%s\n%!" (Graql.Obs.Slow_log.to_string e)));
   let session = Graql.create_session ?pool ?faults ?durability () in
   List.iter (fun (n, v) -> Graql.Db.set_param (Graql.Session.db session) n v) params;
   session
+
+(* -- observability flags (run, berlin, repl) ------------------------- *)
+
+let metrics_dump_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-dump" ] ~docv:"FILE"
+        ~doc:"After the run, write the metrics registry (counters, gauges, \
+              histograms) to FILE in Prometheus text format.")
+
+let trace_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Arm tracing and write the recorded spans to FILE as \
+              Chrome-trace JSON (load in about:tracing or Perfetto).")
+
+let slow_ms_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:"Log statements slower than MS milliseconds to stderr, with a \
+              per-span time breakdown. Equivalent to GRAQL_SLOW_MS.")
+
+let setup_obs ~trace_out ~slow_ms =
+  (match slow_ms with
+  | Some ms -> Graql.Obs.Slow_log.set_threshold_ms (Some ms)
+  | None -> ());
+  if trace_out <> None then Graql.Obs.Trace.arm ()
+
+let finish_obs ~trace_out ~metrics_dump =
+  (match trace_out with
+  | Some path ->
+      Graql.Obs.Trace.write_chrome_json path;
+      Printf.eprintf "note: wrote %d trace event(s) to %s\n%!"
+        (List.length (Graql.Obs.Trace.events ()))
+        path
+  | None -> ());
+  match metrics_dump with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Graql.Obs.Metrics.to_prometheus ());
+      close_out oc;
+      Printf.eprintf "note: wrote metrics to %s\n%!" path
+  | None -> ()
 
 (* Durability flags shared by run and repl. [--wal] turns the data
    directory into a durable database: existing state is recovered, new
@@ -200,8 +248,9 @@ let checkpoint_flag_arg =
 
 let run_cmd =
   let action script params domains seq data_dir dump deadline_ms fault_seed
-      wal recover checkpoint =
+      wal recover checkpoint metrics_dump trace_out slow_ms =
     with_typed_errors (fun () ->
+        setup_obs ~trace_out ~slow_ms;
         let session =
           make_session ?domains ?fault_seed ~params
             ?durability:(durability_of ~wal data_dir) ()
@@ -228,6 +277,7 @@ let run_cmd =
             Graql.Db_io.export (Graql.Session.db session) ~dir;
             Printf.printf "exported database to %s/\n" dir
         | None -> ());
+        finish_obs ~trace_out ~metrics_dump;
         Graql.Session.close session;
         outcomes_exit_code results)
   in
@@ -236,7 +286,8 @@ let run_cmd =
     Term.(
       ret (const action $ script_arg $ params_arg $ domains_arg $ seq_arg
            $ data_dir_arg $ dump_arg $ deadline_arg $ fault_seed_arg
-           $ wal_arg $ recover_arg $ checkpoint_flag_arg))
+           $ wal_arg $ recover_arg $ checkpoint_flag_arg $ metrics_dump_arg
+           $ trace_out_arg $ slow_ms_arg))
 
 let check_cmd =
   let action script params =
@@ -359,8 +410,10 @@ let berlin_cmd =
       & info [ "stats" ]
           ~doc:"Also print the catalog and per-edge-type degree statistics.")
   in
-  let action scale seed query domains params stats deadline_ms fault_seed =
+  let action scale seed query domains params stats deadline_ms fault_seed
+      metrics_dump trace_out slow_ms =
     with_typed_errors @@ fun () ->
+    setup_obs ~trace_out ~slow_ms;
     let session = make_session ?domains ?fault_seed ~params () in
     Graql.Berlin.Gen.ingest_all ~seed ~scale session;
     if stats then begin
@@ -410,6 +463,7 @@ let berlin_cmd =
           print_outcomes results;
           if !code = 0 then code := outcomes_exit_code results)
         queries;
+      finish_obs ~trace_out ~metrics_dump;
       !code
     end
   in
@@ -417,17 +471,85 @@ let berlin_cmd =
     (Cmd.info "berlin" ~doc:"Generate, load and query the Berlin scenario")
     Term.(
       ret (const action $ scale_arg $ seed_arg $ query_arg $ domains_arg
-           $ params_arg $ stats_arg $ deadline_arg $ fault_seed_arg))
+           $ params_arg $ stats_arg $ deadline_arg $ fault_seed_arg
+           $ metrics_dump_arg $ trace_out_arg $ slow_ms_arg))
+
+(* repl `stats;`: the metrics registry as text tables. *)
+let print_stats () =
+  let sn = Graql.Obs.Metrics.snapshot () in
+  let module T = Graql_util.Text_table in
+  if sn.Graql.Obs.Metrics.sn_counters <> [] then
+    print_endline
+      (T.render
+         ~aligns:[| T.Left; T.Right |]
+         ~header:[ "counter"; "value" ]
+         (List.map
+            (fun (n, v) -> [ n; string_of_int v ])
+            sn.Graql.Obs.Metrics.sn_counters));
+  if sn.Graql.Obs.Metrics.sn_gauges <> [] then
+    print_endline
+      (T.render
+         ~aligns:[| T.Left; T.Right |]
+         ~header:[ "gauge"; "value" ]
+         (List.map
+            (fun (n, v) -> [ n; Printf.sprintf "%g" v ])
+            sn.Graql.Obs.Metrics.sn_gauges));
+  if sn.Graql.Obs.Metrics.sn_histograms <> [] then
+    print_endline
+      (T.render
+         ~aligns:[| T.Left; T.Right; T.Right |]
+         ~header:[ "histogram"; "count"; "mean" ]
+         (List.map
+            (fun (n, h) ->
+              [
+                n;
+                string_of_int h.Graql.Obs.Metrics.h_count;
+                (if h.Graql.Obs.Metrics.h_count = 0 then "-"
+                 else
+                   Printf.sprintf "%.1f"
+                     (h.Graql.Obs.Metrics.h_sum
+                     /. float_of_int h.Graql.Obs.Metrics.h_count));
+              ])
+            sn.Graql.Obs.Metrics.sn_histograms))
+
+(* repl `profile <query>;`: EXPLAIN ANALYZE through the session. *)
+let run_repl_profile ~loader session source =
+  try
+    List.iter
+      (fun report -> print_endline (Graql.Profile_exec.render report))
+      (Graql.Session.profile ~loader session source)
+  with
+  | Graql.Error.Error (Graql.Error.Analysis diags) -> report_diags diags
+  | Graql.Error.Error e -> Printf.eprintf "%s\n%!" (Graql.Error.to_string e)
+
+let strip_profile_prefix source =
+  (* The accumulated submission starts with the `profile` keyword;
+     return the statement after it, without the trailing ';'. *)
+  let t = String.trim source in
+  if String.length t >= 8 && String.lowercase_ascii (String.sub t 0 8) = "profile "
+  then
+    let rest = String.sub t 8 (String.length t - 8) in
+    let rest = String.trim rest in
+    let rest =
+      if rest <> "" && rest.[String.length rest - 1] = ';' then
+        String.sub rest 0 (String.length rest - 1)
+      else rest
+    in
+    Some rest
+  else None
 
 let repl_cmd =
-  let action domains params data_dir wal =
+  let action domains params data_dir wal slow_ms =
     with_typed_errors @@ fun () ->
+    setup_obs ~trace_out:None ~slow_ms;
     let session =
       make_session ?domains ~params ?durability:(durability_of ~wal data_dir) ()
     in
     report_recovery session;
     print_endline
       "GraQL repl — end statements with ';' on their own line, Ctrl-D quits.";
+    print_endline
+      "Meta-commands: 'profile <query>;' (EXPLAIN ANALYZE), 'stats;' (metrics).";
     if wal then
       print_endline "Durable session: 'checkpoint;' folds the log into a snapshot.";
     let buf = Buffer.create 256 in
@@ -436,26 +558,38 @@ let repl_cmd =
          print_string (if Buffer.length buf = 0 then "graql> " else "  ...> ");
          flush stdout;
          let line = input_line stdin in
-         let meta =
+         let meta_checkpoint =
            let tl = String.trim line in
            Buffer.length buf = 0 && (tl = "checkpoint" || tl = "checkpoint;")
          in
-         if meta then begin
+         let meta_stats =
+           let tl = String.trim line in
+           Buffer.length buf = 0 && (tl = "stats" || tl = "stats;")
+         in
+         if meta_checkpoint then begin
            if Graql.Session.checkpoint session then
              print_endline "checkpointed database"
            else print_endline "no durability configured (start with --wal)"
          end
+         else if meta_stats then print_stats ()
          else if String.trim line = ";" || (String.trim line <> "" && String.length (String.trim line) > 0 && (let t = String.trim line in t.[String.length t - 1] = ';')) then begin
            Buffer.add_string buf line;
            let source = Buffer.contents buf in
            Buffer.clear buf;
-           (try print_outcomes (Graql.run session source) with
-           | Graql.Error.Error (Graql.Error.Analysis diags) ->
-               report_diags diags
-           | Graql.Error.Error e ->
-               Printf.eprintf "%s\n%!" (Graql.Error.to_string e)
-           | Graql.Script_exec.Script_error (loc, msg) ->
-               Printf.eprintf "%s: %s\n%!" (Graql.Loc.to_string loc) msg)
+           match strip_profile_prefix source with
+           | Some query ->
+               run_repl_profile ~loader:(loader_for data_dir) session query
+           | None -> (
+               try
+                 print_outcomes
+                   (Graql.run ~loader:(loader_for data_dir) session source)
+               with
+               | Graql.Error.Error (Graql.Error.Analysis diags) ->
+                   report_diags diags
+               | Graql.Error.Error e ->
+                   Printf.eprintf "%s\n%!" (Graql.Error.to_string e)
+               | Graql.Script_exec.Script_error (loc, msg) ->
+                   Printf.eprintf "%s: %s\n%!" (Graql.Loc.to_string loc) msg)
          end
          else begin
            Buffer.add_string buf line;
@@ -468,7 +602,9 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive GraQL session")
-    Term.(ret (const action $ domains_arg $ params_arg $ data_dir_arg $ wal_arg))
+    Term.(
+      ret (const action $ domains_arg $ params_arg $ data_dir_arg $ wal_arg
+           $ slow_ms_arg))
 
 let explain_cmd =
   let action script params domains data_dir =

@@ -60,10 +60,19 @@ module Script_exec = Graql_engine.Script_exec
 module Path_exec = Graql_engine.Path_exec
 module Ddl_exec = Graql_engine.Ddl_exec
 module Explain = Graql_engine.Explain
+module Profile_exec = Graql_engine.Profile_exec
 module Reference_exec = Graql_engine.Reference_exec
 module Db_io = Graql_engine.Db_io
 module Wal = Graql_engine.Wal
 module Error = Graql_engine.Graql_error
+
+(* -- observability --------------------------------------------------- *)
+module Obs = struct
+  module Metrics = Graql_obs.Metrics
+  module Trace = Graql_obs.Trace
+  module Profile = Graql_obs.Profile
+  module Slow_log = Graql_obs.Slow_log
+end
 
 (* -- GEMS ----------------------------------------------------------- *)
 module Session = Graql_gems.Session
@@ -93,8 +102,8 @@ type durability = Session.durability = Off | Wal_dir of string
 let create_session ?pool ?strict ?faults ?durability ?checkpoint_bytes () =
   Session.create ?pool ?strict ?faults ?durability ?checkpoint_bytes ()
 
-let run ?loader ?parallel ?deadline_ms session source =
-  Session.run_script ?loader ?parallel ?deadline_ms session source
+let run ?loader ?parallel ?deadline_ms ?trace session source =
+  Session.run_script ?loader ?parallel ?deadline_ms ?trace session source
 
 let check = Session.check
 

@@ -33,5 +33,6 @@ val explain_multipath :
   db:Db.t -> params:(string -> Value.t option) -> Ast.multipath -> plan list
 (** One plan per simple path, left to right. *)
 
+val seed_string : seed_strategy -> string
 val to_string : plan -> string
 val pp : Format.formatter -> plan -> unit

@@ -7,6 +7,9 @@ module Eset = Graql_graph.Eset
 module Subgraph = Graql_graph.Subgraph
 module Bitset = Graql_util.Bitset
 module Pool = Graql_parallel.Domain_pool
+module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
+module Profile = Graql_obs.Profile
 
 type mode = Keep_all | Keep_minimal of string list
 
@@ -874,6 +877,37 @@ let chosen_direction (p : Ast.path) ~db ~params =
 
 let default_max_cells = 50_000_000
 
+(* [path.*] counters count frontier rows and steps, which are fixed by
+   the query and data — invariant across domain counts. *)
+let m_steps = Metrics.counter "path.steps"
+let m_seed_rows = Metrics.counter "path.seed_rows"
+let m_step_rows = Metrics.counter "path.step_rows"
+let h_step_us = Metrics.histogram "path.step_us"
+
+let vstep_name (v : Ast.vstep) =
+  match v.Ast.v_kind with
+  | Ast.V_named n -> n
+  | Ast.V_any -> "[ ]"
+  | Ast.V_seeded (sg, vt) -> Printf.sprintf "%s<%s>" vt sg
+
+let seg_label = function
+  | Ast.Seg_step (e, v) ->
+      let ename =
+        match e.Ast.e_kind with Ast.E_named n -> n | Ast.E_any -> ""
+      in
+      let arrow =
+        match e.Ast.e_dir with
+        | Ast.Out -> Printf.sprintf "--%s-->" ename
+        | Ast.In -> Printf.sprintf "<--%s--" ename
+      in
+      arrow ^ " " ^ vstep_name v
+  | Ast.Seg_regex (_, op, _) ->
+      "( regex )"
+      ^ (match op with
+        | Ast.Rx_star -> "*"
+        | Ast.Rx_plus -> "+"
+        | Ast.Rx_count n -> Printf.sprintf "{%d}" n)
+
 let run_path ~db ~params ~u ~mode ~max_cells ~env ~regex_edges ~auto_reverse
     (p : Ast.path) : component * (string, bool) Hashtbl.t =
   let n = vstep_count_of_path p - 1 in
@@ -900,29 +934,49 @@ let run_path ~db ~params ~u ~mode ~max_cells ~env ~regex_edges ~auto_reverse
       step_code_e;
     }
   in
+  let prof = Profile.current () in
+  (match prof with Some c -> Profile.begin_path c | None -> ());
+  let timed_step ~label ~span_name f =
+    let sp = Trace.begin_span ~cat:"path" ~args:[ ("step", label) ] span_name in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    Trace.end_span sp;
+    let rows = List.length st.rows in
+    Metrics.add m_step_rows rows;
+    Metrics.observe h_step_us (ms *. 1000.);
+    (match prof with
+    | Some c -> Profile.note_step c ~label ~rows ~ms
+    | None -> ())
+  in
   (* Head *)
-  let seeds, declared, ref_label = head_seeds st p.Ast.head in
-  st.slots <-
-    [
-      {
-        s_kind = `V;
-        s_label =
-          (match label_of_vstep p.Ast.head with
-          | Some l -> Some l
-          | None -> ref_label);
-        s_type_name = declared;
-        s_step = step_code_v 0;
-      };
-    ];
-  st.rows <- List.map (fun cell -> [| cell |]) seeds;
-  st.vstep_count <- 1;
-  register_label st p.Ast.head;
-  retain st;
+  timed_step ~label:("seed " ^ vstep_name p.Ast.head) ~span_name:"path.seed"
+    (fun () ->
+      let seeds, declared, ref_label = head_seeds st p.Ast.head in
+      st.slots <-
+        [
+          {
+            s_kind = `V;
+            s_label =
+              (match label_of_vstep p.Ast.head with
+              | Some l -> Some l
+              | None -> ref_label);
+            s_type_name = declared;
+            s_step = step_code_v 0;
+          };
+        ];
+      st.rows <- List.map (fun cell -> [| cell |]) seeds;
+      st.vstep_count <- 1;
+      register_label st p.Ast.head;
+      retain st;
+      Metrics.add m_seed_rows (List.length st.rows));
   List.iter
     (fun seg ->
-      match seg with
-      | Ast.Seg_step (e, v) -> expand_step st e v
-      | Ast.Seg_regex (body, op, loc) -> expand_regex st body op loc)
+      timed_step ~label:(seg_label seg) ~span_name:"path.step" (fun () ->
+          Metrics.incr m_steps;
+          match seg with
+          | Ast.Seg_step (e, v) -> expand_step st e v
+          | Ast.Seg_regex (body, op, loc) -> expand_regex st body op loc))
     p.Ast.segments;
   ( { slots = Array.of_list st.slots; rows = Array.of_list st.rows },
     st.label_kinds )

@@ -1,0 +1,178 @@
+module Ast = Graql_lang.Ast
+module Pretty = Graql_lang.Pretty
+module Text_table = Graql_util.Text_table
+module Profile = Graql_obs.Profile
+
+type row = {
+  pr_label : string;
+  pr_est : float option;  (** planner estimate; None when no plan covers it *)
+  pr_rows : int;
+  pr_ms : float;
+}
+
+type report = {
+  r_stmt : Ast.stmt;
+  r_outcome : Script_exec.outcome;
+  r_ms : float;
+  r_paths : (Explain.plan option * row list) list;
+  r_ops : row list;
+}
+
+(* Planner estimates for one path, positionally aligned with the
+   executor's samples: the seed is the first sample, then one per
+   segment. Both [Explain.explain_multipath] and the executor's [go]
+   traversal enumerate simple paths left to right, and both compute
+   along the same chosen direction, so zipping is sound. *)
+let estimates_of_plan plan =
+  plan.Explain.pl_seed_estimate
+  :: List.map (fun s -> s.Explain.sp_estimate) plan.Explain.pl_steps
+
+let zip_path plan samples =
+  let ests =
+    match plan with Some p -> estimates_of_plan p | None -> []
+  in
+  let rec go ests samples =
+    match samples with
+    | [] -> []
+    | s :: rest ->
+        let est, ests' =
+          match ests with e :: tl -> (Some e, tl) | [] -> (None, [])
+        in
+        {
+          pr_label = s.Profile.sa_label;
+          pr_est = est;
+          pr_rows = s.Profile.sa_rows;
+          pr_ms = s.Profile.sa_ms;
+        }
+        :: go ests' rest
+  in
+  (plan, go ests samples)
+
+let plans_of_stmt db stmt =
+  match stmt with
+  | Ast.Select_graph sg -> (
+      try Explain.explain_multipath ~db ~params:(Db.find_param db) sg.Ast.sg_path
+      with _ -> [])
+  | _ -> []
+
+let profile_stmt ?loader db stmt =
+  let plans = plans_of_stmt db stmt in
+  let coll = Profile.create () in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Profile.with_collector coll (fun () ->
+        try Script_exec.exec_stmt ?loader db stmt with
+        | Script_exec.Script_error (l, m) ->
+            Script_exec.O_failed (Graql_error.Exec (l, m))
+        | e -> (
+            match Graql_error.of_exn e with
+            | Some err -> Script_exec.O_failed err
+            | None -> raise e))
+  in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let sampled = Profile.paths coll in
+  (* Pad whichever side is shorter: a failed path leaves no samples, a
+     cross-path label reference leaves no plan. *)
+  let rec pair plans sampled =
+    match (plans, sampled) with
+    | [], [] -> []
+    | p :: ps, s :: ss -> zip_path (Some p) s :: pair ps ss
+    | [], s :: ss -> zip_path None s :: pair [] ss
+    | _ :: _, [] -> []
+  in
+  {
+    r_stmt = stmt;
+    r_outcome = outcome;
+    r_ms = ms;
+    r_paths = pair plans sampled;
+    r_ops =
+      List.map
+        (fun s ->
+          {
+            pr_label = s.Profile.sa_label;
+            pr_est = None;
+            pr_rows = s.Profile.sa_rows;
+            pr_ms = s.Profile.sa_ms;
+          })
+        (Profile.ops coll);
+  }
+
+let profile_script ?loader db script =
+  List.map (fun stmt -> profile_stmt ?loader db stmt) script
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let outcome_string = function
+  | Script_exec.O_table t ->
+      Printf.sprintf "table %s (%d rows)" (Graql_storage.Table.name t)
+        (Graql_storage.Table.nrows t)
+  | Script_exec.O_subgraph s ->
+      Printf.sprintf "subgraph %s" (Graql_graph.Subgraph.name s)
+  | Script_exec.O_message m -> m
+  | Script_exec.O_failed e -> "failed: " ^ Graql_error.to_string e
+
+let err_factor ~est ~actual =
+  match est with
+  | None -> "-"
+  | Some e when e <= 0.0 -> if actual = 0 then "1.0" else "-"
+  | Some e ->
+      let a = float_of_int actual in
+      if a = 0.0 then "-"
+      else
+        let f = if a > e then a /. e else e /. a in
+        Printf.sprintf "%.1f" f
+
+let step_table rows =
+  Text_table.render
+    ~aligns:[| Text_table.Left; Right; Right; Right; Right |]
+    ~header:[ "step"; "est. rows"; "actual"; "x err"; "ms" ]
+    (List.map
+       (fun r ->
+         [
+           r.pr_label;
+           (match r.pr_est with Some e -> Printf.sprintf "%.1f" e | None -> "-");
+           string_of_int r.pr_rows;
+           err_factor ~est:r.pr_est ~actual:r.pr_rows;
+           Printf.sprintf "%.2f" r.pr_ms;
+         ])
+       rows)
+
+let op_table rows =
+  Text_table.render
+    ~aligns:[| Text_table.Left; Right; Right |]
+    ~header:[ "operator"; "rows"; "ms" ]
+    (List.map
+       (fun r ->
+         [ r.pr_label; string_of_int r.pr_rows; Printf.sprintf "%.2f" r.pr_ms ])
+       rows)
+
+let add_block buf s =
+  Buffer.add_string buf s;
+  if s <> "" && s.[String.length s - 1] <> '\n' then Buffer.add_char buf '\n'
+
+let render report =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("profile: " ^ Pretty.stmt_to_string report.r_stmt);
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i (plan, rows) ->
+      if List.length report.r_paths > 1 then
+        Buffer.add_string buf (Printf.sprintf "path %d:\n" (i + 1));
+      (match plan with
+      | Some p ->
+          Buffer.add_string buf
+            (Printf.sprintf "direction: %s   seed: %s\n"
+               (match p.Explain.pl_direction with
+               | `Forward -> "forward"
+               | `Backward -> "backward (reversed via reverse index)")
+               (Explain.seed_string p.Explain.pl_seed))
+      | None -> ());
+      if rows <> [] then add_block buf (step_table rows))
+    report.r_paths;
+  if report.r_ops <> [] then add_block buf (op_table report.r_ops);
+  Buffer.add_string buf
+    (Printf.sprintf "outcome: %s\ntotal: %.2f ms\n"
+       (outcome_string report.r_outcome)
+       report.r_ms);
+  Buffer.contents buf

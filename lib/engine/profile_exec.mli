@@ -1,0 +1,43 @@
+(** EXPLAIN ANALYZE: execute a statement with profiling armed and
+    report the planner's estimates side by side with what actually
+    happened — per-step frontier sizes, per-operator row counts, and
+    wall times.
+
+    Unlike {!Explain}, which never touches the data, profiling runs the
+    statement for real (including its side effects: result tables and
+    subgraphs are registered, WAL records written). *)
+
+module Ast = Graql_lang.Ast
+
+type row = {
+  pr_label : string;  (** step or operator description *)
+  pr_est : float option;
+      (** planner-estimated frontier size; [None] when the plan has no
+          estimate for this step (relational operators, padded steps) *)
+  pr_rows : int;  (** actual frontier size / output rows *)
+  pr_ms : float;
+}
+
+type report = {
+  r_stmt : Ast.stmt;
+  r_outcome : Script_exec.outcome;
+  r_ms : float;  (** total statement wall time *)
+  r_paths : (Explain.plan option * row list) list;
+      (** per simple path, in execution order; the first row of each
+          path is the seed *)
+  r_ops : row list;  (** relational operators, in execution order *)
+}
+
+val profile_stmt : ?loader:(string -> string) -> Db.t -> Ast.stmt -> report
+(** Execute one statement with a profile collector installed. Failures
+    are captured as an [O_failed] outcome, never raised. *)
+
+val profile_script :
+  ?loader:(string -> string) -> Db.t -> Ast.stmt list -> report list
+(** Profile each statement in order (sequentially — profiling wants
+    per-statement attribution, not inter-statement overlap). *)
+
+val render : report -> string
+(** Human-readable report: per-path step tables with estimated and
+    actual frontier sizes, the operator table, outcome, and total
+    time. *)

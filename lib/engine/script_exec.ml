@@ -6,6 +6,9 @@ module Csv = Graql_storage.Csv
 module Subgraph = Graql_graph.Subgraph
 module Pool = Graql_parallel.Domain_pool
 module Cancel = Graql_parallel.Cancel
+module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
+module Slow_log = Graql_obs.Slow_log
 
 type outcome =
   | O_table of Table.t
@@ -291,18 +294,62 @@ let outcome_of_exn = function
       | Some err -> O_failed err
       | None -> raise e)
 
+let m_stmts = Metrics.counter "script.statements"
+let m_failed = Metrics.counter "script.failed_statements"
+let h_stmt_us = Metrics.histogram "script.stmt_us"
+
+(* Group a statement's child spans by name into (name, count, total ms),
+   slowest first — the summary attached to a slow-log entry. *)
+let span_summary stmt_span_id =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let count, ms =
+        Option.value ~default:(0, 0.0)
+          (Hashtbl.find_opt tbl ev.Trace.ev_name)
+      in
+      Hashtbl.replace tbl ev.Trace.ev_name
+        (count + 1, ms +. (ev.Trace.ev_dur_us /. 1000.)))
+    (Trace.children stmt_span_id);
+  List.sort
+    (fun (_, _, a) (_, _, b) -> compare b a)
+    (Hashtbl.fold (fun name (count, ms) acc -> (name, count, ms) :: acc) tbl [])
+
 let exec_stmt_outcome ~loader ?cancel db ~index stmt =
-  match
-    (match cancel with Some c -> Cancel.check c | None -> ());
-    Pool.with_label
-      (Printf.sprintf "stmt%d:%s" index (Ast.stmt_kind stmt))
-      (fun () -> exec_stmt ~loader db stmt)
-  with
-  | o -> o
-  | exception e ->
-      let bt = Printexc.get_raw_backtrace () in
-      (try outcome_of_exn e
-       with e -> Printexc.raise_with_backtrace e bt)
+  let sp =
+    Trace.begin_span ~cat:"script"
+      ~args:[ ("index", string_of_int index) ]
+      ("stmt:" ^ Ast.stmt_kind stmt)
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match
+      (match cancel with Some c -> Cancel.check c | None -> ());
+      Pool.with_label
+        (Printf.sprintf "stmt%d:%s" index (Ast.stmt_kind stmt))
+        (fun () ->
+          Trace.with_parent (Trace.span_id sp) (fun () ->
+              exec_stmt ~loader db stmt))
+    with
+    | o -> o
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (try outcome_of_exn e
+         with e -> Printexc.raise_with_backtrace e bt)
+  in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Trace.end_span sp;
+  Metrics.incr m_stmts;
+  (match outcome with O_failed _ -> Metrics.incr m_failed | _ -> ());
+  Metrics.observe h_stmt_us (ms *. 1000.);
+  (match Slow_log.threshold_ms () with
+  | Some th when ms >= th ->
+      Slow_log.note
+        ~stmt:(Graql_lang.Pretty.stmt_to_string stmt)
+        ~ms
+        ~spans:(span_summary (Trace.span_id sp))
+  | Some _ | None -> ());
+  outcome
 
 let exec_script ?(loader = default_loader) ?parallel ?cancel db script =
   let stmts = Array.of_list script in
@@ -348,14 +395,18 @@ let exec_script ?(loader = default_loader) ?parallel ?cancel db script =
              a dispatch-level injected fault that exhausts its retries —
              in which case the affected statements get the typed error. *)
           (try
-             Pool.run_tasks pool
-               (List.map
-                  (fun j () ->
-                    outcomes.(j) <-
-                      Some
-                        (exec_stmt_outcome ~loader ?cancel db ~index:j
-                           stmts.(j)))
-                  ready)
+             Trace.with_span ~cat:"script"
+               ~args:[ ("ready", string_of_int (List.length ready)) ]
+               "wave"
+               (fun () ->
+                 Pool.run_tasks pool
+                   (List.map
+                      (fun j () ->
+                        outcomes.(j) <-
+                          Some
+                            (exec_stmt_outcome ~loader ?cancel db ~index:j
+                               stmts.(j)))
+                      ready))
            with e -> (
              match Graql_error.of_exn e with
              | None -> raise e

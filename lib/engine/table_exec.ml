@@ -8,11 +8,51 @@ module Row_expr = Graql_relational.Row_expr
 module Relop = Graql_relational.Relop
 module Join = Graql_relational.Join
 module Aggregate = Graql_relational.Aggregate
+module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
+module Profile = Graql_obs.Profile
 
 exception Table_error of Loc.t * string
 
 let error loc fmt = Printf.ksprintf (fun msg -> raise (Table_error (loc, msg))) fmt
 let norm = String.lowercase_ascii
+
+(* Per-operator observation: output-row counters (query-determined, so
+   invariant across domain counts), a latency histogram, a trace span,
+   and a profile sample when EXPLAIN ANALYZE is collecting. *)
+let h_op_us = Metrics.histogram "table.op_us"
+let c_scan = Metrics.counter "table.scan_rows"
+let c_filter = Metrics.counter "table.filter_rows"
+let c_join = Metrics.counter "table.join_rows"
+let c_aggregate = Metrics.counter "table.aggregate_rows"
+let c_distinct = Metrics.counter "table.distinct_rows"
+let c_sort = Metrics.counter "table.sort_rows"
+
+let rows_counter = function
+  | "scan" -> c_scan
+  | "filter" -> c_filter
+  | "join" -> c_join
+  | "aggregate" -> c_aggregate
+  | "distinct" -> c_distinct
+  | "sort" -> c_sort
+  | other -> Metrics.counter ("table." ^ other ^ "_rows")
+
+let observed ?detail op f =
+  let label = match detail with Some d -> op ^ ":" ^ d | None -> op in
+  let sp =
+    Trace.begin_span ~cat:"table" ~args:[ ("op", label) ] ("table." ^ op)
+  in
+  let t0 = Unix.gettimeofday () in
+  let t = f () in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Trace.end_span sp;
+  let rows = Table.nrows t in
+  Metrics.add (rows_counter op) rows;
+  Metrics.observe h_op_us (ms *. 1000.);
+  (match Profile.current () with
+  | Some c -> Profile.note_op c ~label ~rows ~ms
+  | None -> ());
+  t
 
 (* A source relation with the qualifiers it answers to and its column
    offset in the working (possibly joined) table. *)
@@ -74,7 +114,7 @@ let build_working ~db ~params (st : Ast.select_table) =
   in
   match st.Ast.st_from with
   | Ast.From_table (name, alias) ->
-      let table = lookup name in
+      let table = observed "scan" ~detail:name (fun () -> lookup name) in
       let names =
         norm name :: (match alias with Some a -> [ norm a ] | None -> [])
       in
@@ -87,14 +127,15 @@ let build_working ~db ~params (st : Ast.select_table) =
               try Compile_expr.compile ~params (binder_of srcs table) w
               with Compile_expr.Compile_error (l, m) -> error l "%s" m
             in
-            Relop.select ?pool:(Db.pool db) ~name table pred
+            observed "filter" (fun () ->
+                Relop.select ?pool:(Db.pool db) ~name table pred)
       in
       (filtered, [ { names; table = filtered; base = 0 } ])
   | Ast.From_join (sources, where) ->
       let rels =
         List.map
           (fun (name, alias) ->
-            let table = lookup name in
+            let table = observed "scan" ~detail:name (fun () -> lookup name) in
             let names =
               norm name :: (match alias with Some a -> [ norm a ] | None -> [])
             in
@@ -193,8 +234,9 @@ let build_working ~db ~params (st : Ast.select_table) =
                 in
                 let base = Table.arity !working in
                 working :=
-                  Join.hash_join ?pool:(Db.pool db) ~name:"join" ~left:!working
-                    ~right:(snd r) ~on ();
+                  observed "join" ~detail:(rel_key r) (fun () ->
+                      Join.hash_join ?pool:(Db.pool db) ~name:"join"
+                        ~left:!working ~right:(snd r) ~on ());
                 srcs := !srcs @ [ { names = fst r; table = snd r; base } ];
                 remaining := List.filter (fun x -> fst x <> fst r) !remaining
           done;
@@ -218,7 +260,9 @@ let build_working ~db ~params (st : Ast.select_table) =
                     None residuals
                 in
                 (match pred with
-                | Some pred -> Relop.select ?pool:(Db.pool db) !working pred
+                | Some pred ->
+                    observed "filter" (fun () ->
+                        Relop.select ?pool:(Db.pool db) !working pred)
                 | None -> !working)
           in
           (filtered, List.map (fun s -> { s with table = s.table }) srcs))
@@ -329,9 +373,10 @@ let exec ~db ~params ~name (st : Ast.select_table) =
           agg_arg_specs
       in
       let aggregated =
-        Aggregate.group_by ?pool:(Db.pool db) ~name:"grouped" stage1
-          ~keys:(List.init nkeys Fun.id)
-          ~aggs:agg_descrs
+        observed "aggregate" (fun () ->
+            Aggregate.group_by ?pool:(Db.pool db) ~name:"grouped" stage1
+              ~keys:(List.init nkeys Fun.id)
+              ~aggs:agg_descrs)
       in
       (* Stage 2: order output columns per the select-target order. *)
       let gschema = Table.schema aggregated in
@@ -384,7 +429,9 @@ let exec ~db ~params ~name (st : Ast.select_table) =
     end
   in
   let projected =
-    if st.Ast.st_distinct then Relop.distinct ~name projected else projected
+    if st.Ast.st_distinct then
+      observed "distinct" (fun () -> Relop.distinct ~name projected)
+    else projected
   in
   (* Order keys resolve against the output schema first (aliases, grouped
      columns); an ungrouped, non-distinct select may also order by source
@@ -472,10 +519,13 @@ let exec ~db ~params ~name (st : Ast.select_table) =
   in
   let sorted =
     match (st.Ast.st_top, order_keys) with
-    | Some n, (_ :: _ as keys) -> Relop.top_n ~name projected ~n ~keys
-    | Some n, [] -> Relop.limit ~name projected n
-    | None, (_ :: _ as keys) -> Relop.order_by ~name projected keys
     | None, [] -> projected
+    | top, keys ->
+        observed "sort" (fun () ->
+            match (top, keys) with
+            | Some n, (_ :: _ as keys) -> Relop.top_n ~name projected ~n ~keys
+            | Some n, [] -> Relop.limit ~name projected n
+            | None, keys -> Relop.order_by ~name projected keys)
   in
   let sorted =
     match visible with

@@ -238,15 +238,29 @@ let epoch t = t.t_epoch
 let size t = t.t_size
 let appended t = t.t_appended
 
+let m_records = Graql_obs.Metrics.counter "wal.records"
+let m_bytes = Graql_obs.Metrics.counter "wal.bytes"
+let h_append_us = Graql_obs.Metrics.histogram "wal.append_us"
+let h_fsync_us = Graql_obs.Metrics.histogram "wal.fsync_us"
+
 let append t record =
   let framed = frame (encode_record record) in
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
+      let sp = Graql_obs.Trace.begin_span ~cat:"wal" "wal.append" in
+      let t0 = Unix.gettimeofday () in
       output_bytes t.t_oc framed;
       (* Durable before the engine applies (or acks) the operation. *)
+      let t1 = Unix.gettimeofday () in
       fsync_channel t.t_oc;
+      let t2 = Unix.gettimeofday () in
+      Graql_obs.Trace.end_span sp;
+      Graql_obs.Metrics.observe h_append_us ((t2 -. t0) *. 1e6);
+      Graql_obs.Metrics.observe h_fsync_us ((t2 -. t1) *. 1e6);
+      Graql_obs.Metrics.incr m_records;
+      Graql_obs.Metrics.add m_bytes (Bytes.length framed);
       t.t_size <- t.t_size + Bytes.length framed;
       t.t_appended <- t.t_appended + 1)
 

@@ -58,7 +58,9 @@ let audit t user stmt =
     t.audit_len <- 1000
   end
 
-let run ?loader ?deadline_ms c source =
+let stats t = Session.stats t.session
+
+let run ?loader ?deadline_ms ?trace c source =
   let t = c.conn_server in
   let ast =
     try Graql_lang.Parser.parse_script source
@@ -80,7 +82,9 @@ let run ?loader ?deadline_ms c source =
                     (Graql_lang.Pretty.stmt_to_string stmt)))
           end)
         ast);
-  let results = Session.run_script ?loader ?deadline_ms t.session source in
+  let results =
+    Session.run_script ?loader ?deadline_ms ?trace t.session source
+  in
   List.iter
     (fun (stmt, _) ->
       c.conn_account.acc_executed <- c.conn_account.acc_executed + 1;

@@ -39,6 +39,7 @@ val role : connection -> role
 val run :
   ?loader:(string -> string) ->
   ?deadline_ms:int ->
+  ?trace:bool ->
   connection ->
   string ->
   (Graql_lang.Ast.stmt * Graql_engine.Script_exec.outcome) list
@@ -46,7 +47,11 @@ val run :
     execute through the normal session pipeline. Raises
     [Graql_engine.Graql_error.Error (Denied _)] before anything executes
     if any statement exceeds the role — authorization is all-or-nothing
-    per script. [deadline_ms] is forwarded to {!Session.run_script}. *)
+    per script. [deadline_ms] and [trace] are forwarded to
+    {!Session.run_script}. *)
+
+val stats : t -> Graql_obs.Metrics.snapshot
+(** Metrics snapshot, as {!Session.stats}. *)
 
 val audit_log : t -> (string * string) list
 (** (user, statement) pairs in submission order, most recent last; capped

@@ -7,6 +7,9 @@ module Script_exec = Graql_engine.Script_exec
 module Graql_error = Graql_engine.Graql_error
 module Cancel = Graql_parallel.Cancel
 module Pool = Graql_parallel.Domain_pool
+module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
+module Slow_log = Graql_obs.Slow_log
 
 type durability = Off | Wal_dir of string
 
@@ -82,17 +85,28 @@ let create ?pool ?(strict = true) ?faults ?(durability = Off)
   (match faults with
   | Some _ -> install_faults t faults
   | None -> install_faults t (Fault.of_env ()));
+  (* Read GRAQL_SLOW_MS once; setting it also arms tracing so slow-log
+     entries carry span summaries. *)
+  ignore (Slow_log.threshold_ms ());
   t
 
 let db t = t.db
 let durability t = t.durability
 let last_recovery t = t.last_recovery
 
+let m_checkpoints = Metrics.counter "wal.checkpoints"
+let h_checkpoint_us = Metrics.histogram "wal.checkpoint_us"
+
 let checkpoint t =
   match t.wal with
   | None -> false
   | Some w ->
-      Db_io.checkpoint t.db w;
+      Trace.with_span ~cat:"wal" "wal.checkpoint" (fun () ->
+          let t0 = Unix.gettimeofday () in
+          Db_io.checkpoint t.db w;
+          Metrics.observe h_checkpoint_us
+            ((Unix.gettimeofday () -. t0) *. 1e6);
+          Metrics.incr m_checkpoints);
       true
 
 let maybe_checkpoint t =
@@ -158,7 +172,18 @@ let cancel_of_deadline = function
   | None -> None
   | Some ms -> Some (Cancel.with_deadline_ms ms)
 
-let run_ir ?loader ?parallel ?deadline_ms t blob =
+(* [?trace:true] arms the span ring for the duration of one run and
+   restores the previous armed state afterwards (so it composes with a
+   globally armed trace, e.g. --trace-out or GRAQL_SLOW_MS). *)
+let with_tracing trace f =
+  match trace with
+  | Some true ->
+      let was = Trace.is_armed () in
+      Trace.arm ();
+      Fun.protect ~finally:(fun () -> if not was then Trace.disarm ()) f
+  | Some false | None -> f ()
+
+let run_ir_untraced ?loader ?parallel ?deadline_ms t blob =
   let ast =
     timed (fun d -> t.times.t_decode <- t.times.t_decode +. d) (fun () ->
         try Graql_ir.Codec.decode_script blob
@@ -175,7 +200,11 @@ let run_ir ?loader ?parallel ?deadline_ms t blob =
   maybe_checkpoint t;
   results
 
-let run_script ?loader ?parallel ?deadline_ms t source =
+let run_ir ?loader ?parallel ?deadline_ms ?trace t blob =
+  with_tracing trace (fun () ->
+      run_ir_untraced ?loader ?parallel ?deadline_ms t blob)
+
+let checked_ast t source =
   let ast = parse t source in
   let meta = Db.meta t.db in
   let diags =
@@ -186,6 +215,10 @@ let run_script ?loader ?parallel ?deadline_ms t source =
   t.diags <- diags;
   if t.strict && Diag.has_errors diags then
     Graql_error.raise_error (Graql_error.Analysis (Diag.errors diags));
+  ast
+
+let run_script ?loader ?parallel ?deadline_ms ?trace t source =
+  let ast = checked_ast t source in
   (* Front-end -> backend hop: compile to binary IR and decode it on the
      other side, exactly as the paper's architecture moves queries. *)
   let blob =
@@ -193,7 +226,20 @@ let run_script ?loader ?parallel ?deadline_ms t source =
         Graql_ir.Codec.encode_script ast)
   in
   t.ir_bytes <- t.ir_bytes + Bytes.length blob;
-  run_ir ?loader ?parallel ?deadline_ms t blob
+  run_ir ?loader ?parallel ?deadline_ms ?trace t blob
+
+(* ------------------------------------------------------------------ *)
+(* Observability surface                                               *)
+
+let stats (_ : t) = Metrics.snapshot ()
+let stats_text (_ : t) = Metrics.to_prometheus ()
+
+let profile ?loader t source =
+  (* EXPLAIN ANALYZE wants span data for the statement it runs. *)
+  with_tracing (Some true) (fun () ->
+      let ast = checked_ast t source in
+      timed (fun d -> t.times.t_execute <- t.times.t_execute +. d) (fun () ->
+          Graql_engine.Profile_exec.profile_script ?loader t.db ast))
 
 let catalog_rows t =
   let meta = Db.meta t.db in

@@ -90,23 +90,46 @@ val run_script :
   ?loader:(string -> string) ->
   ?parallel:bool ->
   ?deadline_ms:int ->
+  ?trace:bool ->
   t ->
   string ->
   (Ast.stmt * Graql_engine.Script_exec.outcome) list
 (** The full pipeline on GraQL source text. [deadline_ms] bounds backend
     execution: when it expires, in-flight statements stop at the next
     cooperative cancellation point and report
-    [O_failed (Timeout _)]; phase timings measured so far are kept. *)
+    [O_failed (Timeout _)]; phase timings measured so far are kept.
+    [trace:true] arms {!Graql_obs.Trace} for the duration of this run
+    (restoring the previous state afterwards). *)
 
 val run_ir :
   ?loader:(string -> string) ->
   ?parallel:bool ->
   ?deadline_ms:int ->
+  ?trace:bool ->
   t ->
   bytes ->
   (Ast.stmt * Graql_engine.Script_exec.outcome) list
 (** Backend entry point: execute an already-compiled IR blob. Raises
     [Graql_error.Error (Io _)] on a corrupt blob. *)
+
+val stats : t -> Graql_obs.Metrics.snapshot
+(** Snapshot of the process-wide metrics registry (counters, gauges,
+    histograms) — see {!Graql_obs.Metrics.snapshot}. *)
+
+val stats_text : t -> string
+(** The same registry in Prometheus text exposition format. *)
+
+val profile :
+  ?loader:(string -> string) ->
+  t ->
+  string ->
+  Graql_engine.Profile_exec.report list
+(** EXPLAIN ANALYZE: parse and check [source] like {!run_script}, then
+    execute each statement sequentially with profiling armed, returning
+    per-statement reports of estimated vs. actual frontier sizes and
+    per-operator wall times (render with
+    {!Graql_engine.Profile_exec.render}). Side effects happen for
+    real. *)
 
 val catalog_rows : t -> string list list
 (** Server catalog listing: kind, name, size — what clients can browse. *)

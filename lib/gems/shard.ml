@@ -3,6 +3,17 @@ module Value = Graql_storage.Value
 module Row_expr = Graql_relational.Row_expr
 module Pool = Graql_parallel.Domain_pool
 module Int_vec = Graql_util.Int_vec
+module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
+
+(* Fault-recovery counters carry the [fault.] prefix: like [sched.*]
+   they depend on scheduling and the injected fault plan, not on query
+   semantics. [shard.scan_rows] counts rows actually scanned once per
+   successful shard run, so it stays invariant across domain counts. *)
+let m_fault_retries = Metrics.counter "fault.retries"
+let m_fault_failovers = Metrics.counter "fault.failovers"
+let m_attempts = Metrics.counter "sched.shard_attempts"
+let m_scan_rows = Metrics.counter "shard.scan_rows"
 
 type t = {
   nshards : int;
@@ -63,16 +74,28 @@ let run_recovering t ~op ~table_name ~nodes body =
   let label = op ^ ":" ^ table_name in
   let rec on_node node_i attempt =
     let node = nodes.(node_i) in
+    Metrics.incr m_attempts;
+    let sp =
+      Trace.begin_span ~cat:"shard"
+        ~args:
+          [ ("site", label); ("node", string_of_int node);
+            ("attempt", string_of_int attempt) ]
+        "shard.attempt"
+    in
     match
       (match t.faults with
       | Some plan -> Fault.fire plan ~label ~index:node ~attempt
       | None -> ());
       body ()
     with
-    | result -> result
+    | result ->
+        Trace.end_span sp;
+        result
     | exception Pool.Transient site ->
+        Trace.end_span sp;
         if attempt < t.max_attempts then begin
           Atomic.incr t.retries;
+          Metrics.incr m_fault_retries;
           let delay =
             Float.min t.backoff_cap_ms
               (t.backoff_ms *. Float.pow 2.0 (float_of_int (attempt - 1)))
@@ -82,6 +105,7 @@ let run_recovering t ~op ~table_name ~nodes body =
         end
         else if node_i + 1 < Array.length nodes then begin
           Atomic.incr t.failovers;
+          Metrics.incr m_fault_failovers;
           on_node (node_i + 1) 1
         end
         else raise (Pool.Fault_exhausted { site; attempts = attempt })
@@ -113,7 +137,8 @@ let parallel_scan ?(op = "scan") t table ~init ~row ~merge =
                       for r = lo to hi - 1 do
                         row acc r
                       done;
-                      acc)))
+                      acc));
+             Metrics.add m_scan_rows (hi - lo))
            rs)
     in
     Pool.run_tasks t.pool tasks;

@@ -1,0 +1,253 @@
+(* Per-domain sharded metric cells. Every metric keeps a list of cells,
+   one per domain that ever touched it; a domain finds its own cell
+   through a domain-local table keyed by metric id, so the hot path is a
+   DLS read + small int-keyed hashtable hit + plain store — no shared
+   mutable word is ever written by two domains. Cells are published into
+   the metric's list with a CAS prepend the first time a domain touches
+   the metric; readers fold over the list. *)
+
+type kind = K_counter | K_gauge | K_histogram
+
+let nbuckets = 40
+(* Bucket i holds observations in (2^(i-1), 2^i]; values <= 1 land in
+   bucket 0. 2^39 us =~ 6.4 days, far beyond any latency we record. *)
+
+type cell = {
+  mutable c_count : int; (* counter value / histogram observation count *)
+  mutable c_sum : float; (* histogram sum *)
+  c_buckets : int array; (* [||] for counters *)
+}
+
+type metric = {
+  m_id : int;
+  m_name : string;
+  m_kind : kind;
+  m_cells : cell list Atomic.t;
+  m_gauge : float Atomic.t; (* gauges are a single cold atomic *)
+}
+
+type counter = metric
+type gauge = metric
+type histogram = metric
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+let next_id = Atomic.make 0
+
+let kind_name = function
+  | K_counter -> "counter"
+  | K_gauge -> "gauge"
+  | K_histogram -> "histogram"
+
+let find_or_create name kind =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m ->
+          if m.m_kind <> kind then
+            invalid_arg
+              (Printf.sprintf "Metrics: %S is a %s, not a %s" name
+                 (kind_name m.m_kind) (kind_name kind));
+          m
+      | None ->
+          let m =
+            {
+              m_id = Atomic.fetch_and_add next_id 1;
+              m_name = name;
+              m_kind = kind;
+              m_cells = Atomic.make [];
+              m_gauge = Atomic.make 0.0;
+            }
+          in
+          Hashtbl.add registry name m;
+          m)
+
+let counter name = find_or_create name K_counter
+let gauge name = find_or_create name K_gauge
+let histogram name = find_or_create name K_histogram
+
+(* The per-domain cell table. The DLS value dies with its domain; the
+   cells it pointed to live on in each metric's list, so nothing a dead
+   worker recorded is ever lost. *)
+let dls_cells : (int, cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let cell_of m =
+  let tbl = Domain.DLS.get dls_cells in
+  match Hashtbl.find_opt tbl m.m_id with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          c_count = 0;
+          c_sum = 0.0;
+          c_buckets =
+            (match m.m_kind with
+            | K_histogram -> Array.make nbuckets 0
+            | K_counter | K_gauge -> [||]);
+        }
+      in
+      let rec publish () =
+        let old = Atomic.get m.m_cells in
+        if not (Atomic.compare_and_set m.m_cells old (c :: old)) then
+          publish ()
+      in
+      publish ();
+      Hashtbl.replace tbl m.m_id c;
+      c
+
+let incr m =
+  let c = cell_of m in
+  c.c_count <- c.c_count + 1
+
+let add m n =
+  let c = cell_of m in
+  c.c_count <- c.c_count + n
+
+let counter_value m =
+  List.fold_left (fun acc c -> acc + c.c_count) 0 (Atomic.get m.m_cells)
+
+let set_gauge m v = Atomic.set m.m_gauge v
+let gauge_value m = Atomic.get m.m_gauge
+
+let bucket_of v =
+  if v <= 1.0 then 0
+  else
+    let m, e = Float.frexp v in
+    let b = if m = 0.5 then e - 1 else e in
+    min (nbuckets - 1) b
+
+let observe m v =
+  let c = cell_of m in
+  c.c_count <- c.c_count + 1;
+  c.c_sum <- c.c_sum +. v;
+  c.c_buckets.(bucket_of v) <- c.c_buckets.(bucket_of v) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_buckets : (float * int) list;
+}
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : (string * float) list;
+  sn_histograms : (string * hist_snapshot) list;
+}
+
+let all_metrics () =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      List.sort
+        (fun a b -> compare a.m_name b.m_name)
+        (Hashtbl.fold (fun _ m acc -> m :: acc) registry []))
+
+let hist_of m =
+  let cells = Atomic.get m.m_cells in
+  let count = List.fold_left (fun acc c -> acc + c.c_count) 0 cells in
+  let sum = List.fold_left (fun acc c -> acc +. c.c_sum) 0.0 cells in
+  let buckets = Array.make nbuckets 0 in
+  List.iter
+    (fun c ->
+      Array.iteri (fun i n -> buckets.(i) <- buckets.(i) + n) c.c_buckets)
+    cells;
+  let nonzero = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if buckets.(i) > 0 then
+      nonzero := (Float.ldexp 1.0 i, buckets.(i)) :: !nonzero
+  done;
+  { h_count = count; h_sum = sum; h_buckets = !nonzero }
+
+let snapshot () =
+  let ms = all_metrics () in
+  {
+    sn_counters =
+      List.filter_map
+        (fun m ->
+          if m.m_kind = K_counter then Some (m.m_name, counter_value m)
+          else None)
+        ms;
+    sn_gauges =
+      List.filter_map
+        (fun m ->
+          if m.m_kind = K_gauge then Some (m.m_name, gauge_value m) else None)
+        ms;
+    sn_histograms =
+      List.filter_map
+        (fun m ->
+          if m.m_kind = K_histogram then Some (m.m_name, hist_of m) else None)
+        ms;
+  }
+
+let find_counter snap name = List.assoc_opt name snap.sn_counters
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+
+let sanitize name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ch
+      | _ -> '_')
+    name
+
+let promname name = "graql_" ^ sanitize name
+
+let fmt_float v =
+  (* Prometheus wants plain decimal; %g keeps integers short. *)
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let to_prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      let n = promname m.m_name in
+      match m.m_kind with
+      | K_counter ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s_total counter\n%s_total %d\n" n n
+               (counter_value m))
+      | K_gauge ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n
+               (fmt_float (gauge_value m)))
+      | K_histogram ->
+          let h = hist_of m in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+          let cum = ref 0 in
+          List.iter
+            (fun (le, c) ->
+              cum := !cum + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (fmt_float le)
+                   !cum))
+            h.h_buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" n (fmt_float h.h_sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.h_count))
+    (all_metrics ());
+  Buffer.contents buf
+
+let reset () =
+  List.iter
+    (fun m ->
+      Atomic.set m.m_gauge 0.0;
+      List.iter
+        (fun c ->
+          c.c_count <- 0;
+          c.c_sum <- 0.0;
+          Array.fill c.c_buckets 0 (Array.length c.c_buckets) 0)
+        (Atomic.get m.m_cells))
+    (all_metrics ())

@@ -1,0 +1,71 @@
+(** Process-wide metrics registry: named counters, gauges and log-scale
+    histograms (DESIGN.md §10).
+
+    Counters and histograms are domain-safe without contended atomics on
+    the hot path: each domain owns a private cell per metric (reached
+    through domain-local storage), and readers merge the cells. A counter
+    increment is therefore a plain store into domain-owned memory; only
+    {!snapshot} and {!to_prometheus} pay for the merge.
+
+    Metric values read while other domains are actively recording may lag
+    by a few updates; values read at a quiescent point (after
+    [Domain_pool.run_tasks] has joined, which establishes the necessary
+    happens-before edge) are exact.
+
+    Naming convention: [layer.metric] — e.g. [path.step_rows],
+    [pool.task_wait_us]. Counters under the [sched.*] and [fault.*]
+    prefixes describe scheduling work (task counts, dispatch retries) and
+    are expected to vary with the domain count; every other counter is
+    semantic and must be invariant across domain counts (enforced by the
+    metrics-consistency CI job). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find or create. Raises [Invalid_argument] if the name is already
+    registered as a different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+(** Log-scale histogram: bucket [i] counts observations in
+    [(2^(i-1), 2^i]]; values ≤ 1 land in bucket 0. Suited to
+    microsecond latencies (last bucket ≈ 6 days). *)
+
+val observe : histogram -> float -> unit
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_buckets : (float * int) list;
+      (** (inclusive upper bound, count in bucket), non-cumulative;
+          zero buckets omitted *)
+}
+
+type snapshot = {
+  sn_counters : (string * int) list;  (** sorted by name *)
+  sn_gauges : (string * float) list;
+  sn_histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+
+val find_counter : snapshot -> string -> int option
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format. Metric names are prefixed with
+    [graql_] and sanitized ('.' and any other illegal character become
+    '_'); histograms are emitted with cumulative [_bucket{le=...}]
+    series plus [_sum] and [_count]. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (cells stay registered). Test use only:
+    callers must ensure no domain is concurrently recording. *)

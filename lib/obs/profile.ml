@@ -1,0 +1,40 @@
+type sample = { sa_label : string; sa_rows : int; sa_ms : float }
+
+type collector = {
+  mutable paths_rev : sample list list; (* completed+current paths, reversed *)
+  mutable in_path : bool;
+  mutable ops_rev : sample list;
+}
+
+let create () = { paths_rev = []; in_path = false; ops_rev = [] }
+
+let begin_path c =
+  c.paths_rev <- [] :: c.paths_rev;
+  c.in_path <- true
+
+let note_step c ~label ~rows ~ms =
+  let s = { sa_label = label; sa_rows = rows; sa_ms = ms } in
+  match c.paths_rev with
+  | cur :: rest when c.in_path -> c.paths_rev <- (s :: cur) :: rest
+  | _ ->
+      (* A step outside any path: keep it rather than lose it. *)
+      c.paths_rev <- [ s ] :: c.paths_rev
+
+let note_op c ~label ~rows ~ms =
+  c.ops_rev <- { sa_label = label; sa_rows = rows; sa_ms = ms } :: c.ops_rev
+
+let paths c = List.rev_map List.rev c.paths_rev
+let ops c = List.rev c.ops_rev
+
+(* Ambient collector: installed by the EXPLAIN ANALYZE driver on the
+   domain that executes the statement; executors peek at it so profiling
+   needs no signature change through the engine. *)
+let dls_current : collector option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get dls_current
+
+let with_collector c f =
+  let old = Domain.DLS.get dls_current in
+  Domain.DLS.set dls_current (Some c);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set dls_current old) f

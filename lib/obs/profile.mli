@@ -1,0 +1,37 @@
+(** Actual-execution samples for EXPLAIN ANALYZE.
+
+    A [collector] gathers what really happened while a statement runs:
+    per-path traversal steps (label, frontier size, wall time) and
+    per-operator samples for relational statements. The profiling driver
+    ({!Graql_engine.Profile_exec}) installs one ambiently with
+    {!with_collector}; executors record into {!current} when present and
+    pay one domain-local read when not. Collectors are single-domain:
+    the driver runs the statement on the installing domain, and
+    intra-operator parallelism completes before a sample is recorded. *)
+
+type sample = {
+  sa_label : string;
+  sa_rows : int;  (** frontier size / operator output rows *)
+  sa_ms : float;
+}
+
+type collector
+
+val create : unit -> collector
+
+val begin_path : collector -> unit
+(** Start a new path; subsequent {!note_step}s belong to it. *)
+
+val note_step : collector -> label:string -> rows:int -> ms:float -> unit
+(** Record one traversal step (the seed counts as the first step). *)
+
+val note_op : collector -> label:string -> rows:int -> ms:float -> unit
+(** Record one relational operator. *)
+
+val paths : collector -> sample list list
+(** Steps per path, in execution order. *)
+
+val ops : collector -> sample list
+
+val with_collector : collector -> (unit -> 'a) -> 'a
+val current : unit -> collector option

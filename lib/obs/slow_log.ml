@@ -1,0 +1,82 @@
+type entry = {
+  e_stmt : string;
+  e_ms : float;
+  e_spans : (string * int * float) list; (* name, count, total ms *)
+}
+
+let mutex = Mutex.create ()
+let threshold : float option ref = ref None
+let env_read = ref false
+let sink : (entry -> unit) option ref = ref None
+let entries_rev : entry list ref = ref []
+let nentries = ref 0
+let max_entries = 256
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let env_var = "GRAQL_SLOW_MS"
+
+let threshold_ms () =
+  locked (fun () ->
+      if not !env_read then begin
+        env_read := true;
+        match Option.bind (Sys.getenv_opt env_var) float_of_string_opt with
+        | Some v when v >= 0.0 ->
+            threshold := Some v;
+            (* Span summaries need span data: the slow log arms tracing. *)
+            Trace.arm ()
+        | Some _ | None -> ()
+      end;
+      !threshold)
+
+let set_threshold_ms t =
+  locked (fun () ->
+      env_read := true;
+      threshold := t);
+  (* Outside the lock: Trace has its own synchronization. *)
+  if t <> None then Trace.arm ()
+
+let set_sink s = locked (fun () -> sink := s)
+
+let note ~stmt ~ms ~spans =
+  let entry = { e_stmt = stmt; e_ms = ms; e_spans = spans } in
+  let s =
+    locked (fun () ->
+        entries_rev := entry :: !entries_rev;
+        incr nentries;
+        if !nentries > max_entries then begin
+          entries_rev := List.filteri (fun i _ -> i < max_entries) !entries_rev;
+          nentries := max_entries
+        end;
+        !sink)
+  in
+  match s with Some f -> f entry | None -> ()
+
+let entries () = locked (fun () -> List.rev !entries_rev)
+
+let clear () =
+  locked (fun () ->
+      entries_rev := [];
+      nentries := 0)
+
+let truncate_stmt s =
+  let s = String.map (fun c -> if c = '\n' then ' ' else c) s in
+  if String.length s <= 120 then s else String.sub s 0 117 ^ "..."
+
+let to_string e =
+  let spans =
+    match e.e_spans with
+    | [] -> ""
+    | l ->
+        " ["
+        ^ String.concat "; "
+            (List.map
+               (fun (name, count, ms) ->
+                 Printf.sprintf "%s x%d %.1fms" name count ms)
+               l)
+        ^ "]"
+  in
+  Printf.sprintf "slow statement (%.1f ms): %s%s" e.e_ms
+    (truncate_stmt e.e_stmt) spans

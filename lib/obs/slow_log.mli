@@ -1,0 +1,33 @@
+(** Slow-statement log: statements whose wall time exceeds a threshold
+    are recorded with a summary of their child spans. Off by default;
+    enabled by [GRAQL_SLOW_MS] (milliseconds) or {!set_threshold_ms}.
+    Enabling it arms {!Trace} so the span summaries have data. *)
+
+type entry = {
+  e_stmt : string;  (** pretty-printed statement *)
+  e_ms : float;
+  e_spans : (string * int * float) list;
+      (** per child-span name: (name, count, total ms), slowest first *)
+}
+
+val threshold_ms : unit -> float option
+(** Current threshold. The first call reads [GRAQL_SLOW_MS] (and arms
+    tracing when it is set). *)
+
+val set_threshold_ms : float option -> unit
+(** Override the threshold ([Some ms] also arms tracing; [None]
+    disables the log but leaves tracing as it is). *)
+
+val set_sink : (entry -> unit) option -> unit
+(** Called on every recorded entry — the CLI installs a stderr
+    printer. *)
+
+val note :
+  stmt:string -> ms:float -> spans:(string * int * float) list -> unit
+(** Record an entry (engine use; keeps the most recent 256). *)
+
+val entries : unit -> entry list
+(** Recorded entries, oldest first. *)
+
+val clear : unit -> unit
+val to_string : entry -> string

@@ -1,0 +1,188 @@
+type event = {
+  ev_id : int;
+  ev_parent : int;
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_dom : int;
+  ev_args : (string * string) list;
+}
+
+type span = {
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_cat : string;
+  sp_args : (string * string) list;
+  sp_start : float;
+}
+
+let null_span =
+  { sp_id = 0; sp_parent = 0; sp_name = ""; sp_cat = ""; sp_args = [];
+    sp_start = 0.0 }
+
+let armed = Atomic.make false
+let next_id = Atomic.make 1
+let cursor = Atomic.make 0
+let default_capacity = 1 lsl 16
+
+(* The ring stores boxed events; racing writers target distinct slots
+   until the ring wraps, after which the oldest slot may be overwritten
+   mid-read — acceptable for a diagnostics buffer (a reader sees either
+   the old or the new event, never a torn one). *)
+let ring : event option array ref = ref [||]
+let ring_mutex = Mutex.create ()
+
+let ensure_ring () =
+  if Array.length !ring = 0 then begin
+    Mutex.lock ring_mutex;
+    if Array.length !ring = 0 then ring := Array.make default_capacity None;
+    Mutex.unlock ring_mutex
+  end
+
+let set_capacity n =
+  Mutex.lock ring_mutex;
+  ring := Array.make (max 1 n) None;
+  Atomic.set cursor 0;
+  Mutex.unlock ring_mutex
+
+let clear () =
+  let r = !ring in
+  Array.fill r 0 (Array.length r) None;
+  Atomic.set cursor 0
+
+let arm () =
+  ensure_ring ();
+  Atomic.set armed true
+
+let disarm () = Atomic.set armed false
+let is_armed () = Atomic.get armed
+
+let dropped () =
+  let cap = Array.length !ring in
+  if cap = 0 then 0 else max 0 (Atomic.get cursor - cap)
+
+(* Timestamps are microseconds since module load: small enough to render
+   nicely in trace viewers, monotone as long as the wall clock is. *)
+let t0 = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
+
+let parent_key = Domain.DLS.new_key (fun () -> 0)
+
+let span_id sp = sp.sp_id
+
+let begin_span ?(cat = "") ?(args = []) name =
+  if not (Atomic.get armed) then null_span
+  else
+    {
+      sp_id = Atomic.fetch_and_add next_id 1;
+      sp_parent = Domain.DLS.get parent_key;
+      sp_name = name;
+      sp_cat = cat;
+      sp_args = args;
+      sp_start = now_us ();
+    }
+
+let end_span sp =
+  if sp.sp_id <> 0 && Atomic.get armed then begin
+    let now = now_us () in
+    let ev =
+      {
+        ev_id = sp.sp_id;
+        ev_parent = sp.sp_parent;
+        ev_name = sp.sp_name;
+        ev_cat = sp.sp_cat;
+        ev_ts_us = sp.sp_start;
+        ev_dur_us = now -. sp.sp_start;
+        ev_dom = (Domain.self () :> int);
+        ev_args = sp.sp_args;
+      }
+    in
+    let r = !ring in
+    let cap = Array.length r in
+    if cap > 0 then begin
+      let slot = Atomic.fetch_and_add cursor 1 mod cap in
+      r.(slot) <- Some ev
+    end
+  end
+
+let with_span ?cat ?args name f =
+  if not (Atomic.get armed) then f ()
+  else begin
+    let sp = begin_span ?cat ?args name in
+    let old = Domain.DLS.get parent_key in
+    Domain.DLS.set parent_key sp.sp_id;
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set parent_key old;
+        end_span sp)
+      f
+  end
+
+let current_parent () = Domain.DLS.get parent_key
+
+let with_parent id f =
+  let old = Domain.DLS.get parent_key in
+  Domain.DLS.set parent_key id;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set parent_key old) f
+
+let events () =
+  let r = !ring in
+  let out = ref [] in
+  Array.iter (function Some ev -> out := ev :: !out | None -> ()) r;
+  List.sort (fun a b -> compare a.ev_ts_us b.ev_ts_us) !out
+
+let children id = List.filter (fun ev -> ev.ev_parent = id) (events ())
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace JSON                                                   *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{"
+           (json_escape ev.ev_name)
+           (json_escape (if ev.ev_cat = "" then "graql" else ev.ev_cat))
+           ev.ev_ts_us ev.ev_dur_us ev.ev_dom);
+      let args =
+        [ ("id", string_of_int ev.ev_id);
+          ("parent", string_of_int ev.ev_parent) ]
+        @ ev.ev_args
+      in
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        args;
+      Buffer.add_string buf "}}")
+    (events ());
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let write_chrome_json path =
+  let oc = open_out_bin path in
+  output_string oc (to_chrome_json ());
+  close_out oc

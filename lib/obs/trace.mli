@@ -1,0 +1,84 @@
+(** Lightweight tracing spans (DESIGN.md §10).
+
+    Spans are begin/end pairs with parent linkage and wall-clock
+    timestamps, recorded into a fixed-size in-memory ring buffer when
+    tracing is {!arm}ed — and costing a single atomic read when it is
+    not. Completed spans can be dumped in Chrome-trace JSON ("complete
+    event" form), loadable in about:tracing or Perfetto.
+
+    Parent linkage is ambient: {!with_span} makes its span the parent of
+    any span begun inside the callback on the same domain, and
+    {!with_parent} carries a span id across a domain hop (the pool task
+    closure runs it on whichever worker picks the task up). *)
+
+val arm : unit -> unit
+(** Start recording. Idempotent; does not clear previously recorded
+    events. *)
+
+val disarm : unit -> unit
+(** Stop recording. Recorded events remain readable. *)
+
+val is_armed : unit -> bool
+
+val clear : unit -> unit
+(** Drop all recorded events. *)
+
+val set_capacity : int -> unit
+(** Resize the ring buffer (default 65536 events); clears it. Oldest
+    events are overwritten once the ring wraps. *)
+
+type span
+
+val null_span : span
+(** The span handle returned while disarmed; {!end_span} on it is a
+    no-op and its {!span_id} is 0. *)
+
+val begin_span :
+  ?cat:string -> ?args:(string * string) list -> string -> span
+
+val end_span : span -> unit
+(** Record the completed span. Must be called on the domain that began
+    it (the event is stamped with the ending domain's id). *)
+
+val span_id : span -> int
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the callback under a span that is also made the current parent
+    for the duration. The span is recorded even if the callback raises. *)
+
+val with_parent : int -> (unit -> 'a) -> 'a
+(** Make an explicit span id the current parent for the callback —
+    the cross-domain half of parent linkage. *)
+
+val current_parent : unit -> int
+(** The ambient parent span id on this domain (0 = none). Capture it at
+    task-submission time to hand to {!with_parent} on a worker. *)
+
+type event = {
+  ev_id : int;
+  ev_parent : int;  (** 0 = no parent *)
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;  (** start, microseconds since process start *)
+  ev_dur_us : float;
+  ev_dom : int;  (** domain that completed the span *)
+  ev_args : (string * string) list;
+}
+
+val events : unit -> event list
+(** Recorded events in start-timestamp order. *)
+
+val children : int -> event list
+(** Recorded events whose parent is the given span id. *)
+
+val dropped : unit -> int
+(** Events overwritten by ring wrap-around since the last {!clear}. *)
+
+val to_chrome_json : unit -> string
+(** A JSON array of Chrome-trace complete events ([ph:"X"]); [tid] is
+    the recording domain's id, span id and parent are carried in
+    [args]. *)
+
+val write_chrome_json : string -> unit
+(** Write {!to_chrome_json} to a file. *)

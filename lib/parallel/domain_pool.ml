@@ -137,6 +137,14 @@ let with_label label f =
 
 let check_cancel t = match t.cancel with Some c -> Cancel.check c | None -> ()
 
+(* Scheduler metrics. [sched.*] counters depend on how work is chunked
+   and scheduled, so they legitimately vary with the domain count. *)
+let m_tasks = Graql_obs.Metrics.counter "sched.tasks"
+let m_retries = Graql_obs.Metrics.counter "sched.retries"
+let m_exhausted = Graql_obs.Metrics.counter "sched.fault_exhausted"
+let h_wait_us = Graql_obs.Metrics.histogram "pool.task_wait_us"
+let h_run_us = Graql_obs.Metrics.histogram "pool.task_run_us"
+
 let backoff_delay t n =
   Float.min t.backoff_cap_ms (t.backoff_ms *. Float.pow 2.0 (float_of_int (n - 1)))
 
@@ -156,10 +164,13 @@ let run_with_retries t ~label ~index task =
     with
     | () -> task ()
     | exception Transient site ->
-        if n >= t.max_attempts then
+        if n >= t.max_attempts then begin
+          Graql_obs.Metrics.incr m_exhausted;
           raise (Fault_exhausted { site; attempts = n })
+        end
         else begin
           Atomic.incr t.retries;
+          Graql_obs.Metrics.incr m_retries;
           let delay = backoff_delay t n in
           if delay > 0.0 then Unix.sleepf (delay /. 1000.0);
           check_cancel t;
@@ -186,10 +197,24 @@ let run_tasks t tasks =
       { remaining = n; error = None; lmutex = Mutex.create (); done_ = Condition.create () }
     in
     let label = current_label () in
+    let parent = Graql_obs.Trace.current_parent () in
+    let submitted = Unix.gettimeofday () in
     let wrap index task () =
       (try
          check_cancel t;
-         run_with_retries t ~label ~index task
+         let started = Unix.gettimeofday () in
+         Graql_obs.Metrics.observe h_wait_us ((started -. submitted) *. 1e6);
+         Graql_obs.Metrics.incr m_tasks;
+         Fun.protect
+           ~finally:(fun () ->
+             Graql_obs.Metrics.observe h_run_us
+               ((Unix.gettimeofday () -. started) *. 1e6))
+           (fun () ->
+             Graql_obs.Trace.with_parent parent (fun () ->
+                 Graql_obs.Trace.with_span ~cat:"pool"
+                   ~args:[ ("label", label) ]
+                   "pool.task"
+                   (fun () -> run_with_retries t ~label ~index task)))
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          Mutex.lock latch.lmutex;

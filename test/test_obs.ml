@@ -1,0 +1,577 @@
+(* The observability subsystem (DESIGN.md §10): metrics registry
+   semantics, domain-count invariance of semantic counters, tracing span
+   structure and Chrome-trace JSON dumps, EXPLAIN ANALYZE estimator
+   accuracy on the Berlin workload, the slow-statement log, and the CLI
+   dump flags.
+
+   The registry is process-global, so every test that asserts on counter
+   values starts from [Metrics.reset ()]; Alcotest runs tests
+   sequentially in this process, so no two tests race on it. *)
+
+module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
+module Profile = Graql_obs.Profile
+module Slow_log = Graql_obs.Slow_log
+module Pool = Graql_parallel.Domain_pool
+module Session = Graql_gems.Session
+module Fault = Graql_gems.Fault
+module Db = Graql_engine.Db
+module Value = Graql_storage.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- metrics registry ---------- *)
+
+let test_counter_basics () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.basics" in
+  check_int "fresh counter" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  check_int "incr + add" 42 (Metrics.counter_value c);
+  let c' = Metrics.counter "test.basics" in
+  Metrics.incr c';
+  check_int "same name, same cell" 43 (Metrics.counter_value c);
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 2.5;
+  check "gauge holds last value" true (Metrics.gauge_value g = 2.5)
+
+let test_kind_clash_rejected () =
+  ignore (Metrics.counter "test.clash");
+  check "counter name cannot become a histogram" true
+    (try
+       ignore (Metrics.histogram "test.clash");
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_buckets () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.hist" in
+  (* Bucket i covers (2^(i-1), 2^i]: 3.0 lands in (2,4], 100.0 in
+     (64,128], 0.5 in the ≤1 bucket. *)
+  List.iter (Metrics.observe h) [ 0.5; 3.0; 3.5; 100.0 ];
+  let sn = Metrics.snapshot () in
+  let hs = List.assoc "test.hist" sn.Metrics.sn_histograms in
+  check_int "count" 4 hs.Metrics.h_count;
+  check "sum" true (abs_float (hs.Metrics.h_sum -. 107.0) < 1e-9);
+  let bucket ub =
+    match List.assoc_opt ub hs.Metrics.h_buckets with Some n -> n | None -> 0
+  in
+  check_int "(2,4] holds both 3.0 and 3.5" 2 (bucket 4.0);
+  check_int "(64,128] holds 100.0" 1 (bucket 128.0);
+  check_int "<=1 holds 0.5" 1 (bucket 1.0)
+
+let test_counters_merge_across_domains () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.par" in
+  let pool = Pool.create ~domains:4 () in
+  Pool.parallel_for pool ~lo:0 ~hi:10_000 (fun _ -> Metrics.incr c);
+  check_int "10k increments from 4 domains" 10_000 (Metrics.counter_value c);
+  Pool.shutdown pool
+
+let test_prometheus_format () =
+  Metrics.reset ();
+  Metrics.add (Metrics.counter "test.prom") 7;
+  Metrics.observe (Metrics.histogram "test.prom_us") 3.0;
+  let text = Metrics.to_prometheus () in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "counter line" true (has "graql_test_prom_total 7");
+  check "histogram count line" true (has "graql_test_prom_us_count 1");
+  check "cumulative +Inf bucket" true (has "le=\"+Inf\"")
+
+(* ---------- domain-count invariance on the Berlin workload ---------- *)
+
+(* Counters outside sched.* / fault.* describe what the queries computed,
+   not how the work was scheduled, so they must not move when the same
+   workload runs on 1, 2, 4 or 8 domains (DESIGN.md §10). *)
+let semantic_prefixes = [ "script."; "path."; "table."; "wal." ]
+
+let semantic_counters sn =
+  List.filter
+    (fun (name, _) ->
+      List.exists
+        (fun p ->
+          String.length name >= String.length p
+          && String.sub name 0 (String.length p) = p)
+        semantic_prefixes)
+    sn.Metrics.sn_counters
+
+let berlin_semantic_counters ~domains =
+  Metrics.reset ();
+  let pool = Pool.create ~domains () in
+  let s = Session.create ~pool () in
+  Session.set_faults s None;
+  Graql_berlin.Berlin_gen.ingest_all ~scale:1 s;
+  let db = Session.db s in
+  Db.set_param db "Product1"
+    (Value.Str (Graql_berlin.Berlin_reference.most_offered_product ~scale:1 ()));
+  Db.set_param db "Country1" (Value.Str "US");
+  Db.set_param db "Country2" (Value.Str "DE");
+  List.iter
+    (fun (_, q) -> ignore (Session.run_script ~parallel:true s q))
+    Graql_berlin.Berlin_queries.all;
+  let out = semantic_counters (Metrics.snapshot ()) in
+  Pool.shutdown pool;
+  out
+
+let test_counters_invariant_across_domains () =
+  let base = berlin_semantic_counters ~domains:1 in
+  check "baseline counted something" true
+    (List.exists (fun (_, v) -> v > 0) base);
+  List.iter
+    (fun domains ->
+      let got = berlin_semantic_counters ~domains in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "semantic counters identical at %d domains" domains)
+        base got)
+    [ 2; 4; 8 ]
+
+(* ---------- fault / scheduling counters ---------- *)
+
+let test_fault_counters_count_recoveries () =
+  Metrics.reset ();
+  let pool = Pool.create ~domains:2 () in
+  Pool.set_retry ~backoff_ms:0.0 pool;
+  let s = Session.create ~pool ~faults:(Fault.fail_once ()) () in
+  Session.set_faults s (Some (Fault.fail_once ()));
+  Graql_berlin.Berlin_gen.ingest_all ~scale:1 s;
+  let db = Session.db s in
+  Db.set_param db "Product1" (Value.Str "p0");
+  ignore
+    (Session.run_script ~parallel:true s Graql_berlin.Berlin_queries.q2);
+  let sn = Metrics.snapshot () in
+  let counter name = Option.value ~default:0 (Metrics.find_counter sn name) in
+  check "pool retries were counted" true
+    (counter "sched.retries" = Session.recovered_faults s);
+  check "retries happened at all" true (counter "sched.retries" > 0);
+  check "tasks were counted" true (counter "sched.tasks" > 0);
+  Pool.shutdown pool
+
+(* ---------- tracing ---------- *)
+
+let berlin_session () =
+  let s = Session.create () in
+  Session.set_faults s None;
+  Graql_berlin.Berlin_gen.ingest_all ~scale:1 s;
+  let db = Session.db s in
+  Db.set_param db "Product1"
+    (Value.Str (Graql_berlin.Berlin_reference.most_offered_product ~scale:1 ()));
+  Db.set_param db "Country1" (Value.Str "US");
+  Db.set_param db "Country2" (Value.Str "DE");
+  s
+
+let test_trace_spans_and_parents () =
+  Trace.clear ();
+  let s = berlin_session () in
+  ignore (Session.run_script ~trace:true s Graql_berlin.Berlin_queries.q2);
+  check "run_script ~trace:true restored the disarmed state" false
+    (Trace.is_armed ());
+  let evs = Trace.events () in
+  check "events recorded" true (evs <> []);
+  let stmt_spans =
+    List.filter (fun e -> e.Trace.ev_cat = "script") evs
+  in
+  check "statement spans present" true (stmt_spans <> []);
+  let ids = List.map (fun e -> e.Trace.ev_id) evs in
+  check "ids unique" true
+    (List.length ids = List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun e ->
+      check "parent is 0 or a recorded span" true
+        (e.Trace.ev_parent = 0 || List.mem e.Trace.ev_parent ids);
+      check "duration non-negative" true (e.Trace.ev_dur_us >= 0.0))
+    evs;
+  (* path.* spans must hang off a statement span, transitively. *)
+  let path_spans = List.filter (fun e -> e.Trace.ev_cat = "path") evs in
+  check "path spans present" true (path_spans <> []);
+  List.iter
+    (fun e -> check "path span has a parent" true (e.Trace.ev_parent <> 0))
+    path_spans;
+  (* Disarmed: nothing new is recorded. *)
+  let n = List.length evs in
+  ignore (Session.run_script s Graql_berlin.Berlin_queries.q2);
+  check_int "disarmed run recorded nothing" n (List.length (Trace.events ()))
+
+(* A minimal JSON reader — just enough to verify the Chrome-trace dump
+   is well-formed without adding a JSON dependency. *)
+let json_parse (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let fail () = raise Exit in
+  let expect c = if peek () = Some c then incr pos else fail () in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> fail ()
+  and literal lit =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then pos := !pos + String.length lit
+    else fail ()
+  and number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail ()
+  and str () =
+    expect '"';
+    let fin = ref false in
+    while not !fin do
+      match peek () with
+      | None -> fail ()
+      | Some '"' ->
+          incr pos;
+          fin := true
+      | Some '\\' ->
+          incr pos;
+          if !pos >= n then fail () else incr pos
+      | Some _ -> incr pos
+    done
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let fin = ref false in
+      while not !fin do
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' ->
+            incr pos;
+            fin := true
+        | _ -> fail ()
+      done
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let fin = ref false in
+      while not !fin do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some ']' ->
+            incr pos;
+            fin := true
+        | _ -> fail ()
+      done
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = n
+  with Exit -> false
+
+let test_chrome_json_valid () =
+  Trace.clear ();
+  Trace.arm ();
+  Trace.with_span ~cat:"test" ~args:[ ("k", "quote\"back\\slash") ] "outer"
+    (fun () -> Trace.with_span ~cat:"test" "inner" (fun () -> ()));
+  Trace.disarm ();
+  let json = Trace.to_chrome_json () in
+  check "chrome trace parses as JSON" true (json_parse (String.trim json));
+  check "array form" true (String.length json > 0 && (String.trim json).[0] = '[');
+  check "complete events" true
+    (let has needle =
+       let nl = String.length needle and tl = String.length json in
+       let rec go i =
+         i + nl <= tl && (String.sub json i nl = needle || go (i + 1))
+       in
+       go 0
+     in
+     has "\"ph\": \"X\"" || has "\"ph\":\"X\"")
+
+let test_ring_wraparound () =
+  Trace.set_capacity 8;
+  Trace.arm ();
+  for i = 0 to 19 do
+    Trace.with_span ~cat:"test" (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Trace.disarm ();
+  check_int "ring keeps only the last capacity events" 8
+    (List.length (Trace.events ()));
+  check_int "overwritten events are counted" 12 (Trace.dropped ());
+  Trace.set_capacity 65536
+
+(* ---------- EXPLAIN ANALYZE ---------- *)
+
+let est_bound = 64.0
+(* The Explain estimator works from average-degree statistics, so skew
+   (hub products with far more reviews than the mean) can put actuals an
+   order of magnitude off the estimate. A factor-64 envelope documents
+   "right ballpark" while catching sign/unit regressions; the seed
+   estimate for a key lookup must be exact. *)
+
+let test_profile_estimates_vs_actuals () =
+  let s = berlin_session () in
+  let reports = Session.profile s Graql_berlin.Berlin_queries.q2 in
+  check_int "q2 profiles both statements" 2 (List.length reports);
+  let graph_report = List.hd reports in
+  check "graph statement has a profiled path" true
+    (graph_report.Graql_engine.Profile_exec.r_paths <> []);
+  let plan, rows = List.hd graph_report.Graql_engine.Profile_exec.r_paths in
+  check "plan attached" true (plan <> None);
+  check_int "seed + two hops" 3 (List.length rows);
+  let seed = List.hd rows in
+  check "seed estimate is exact for a key lookup" true
+    (seed.Graql_engine.Profile_exec.pr_est = Some 1.0
+    && seed.Graql_engine.Profile_exec.pr_rows = 1);
+  List.iter
+    (fun r ->
+      match r.Graql_engine.Profile_exec.pr_est with
+      | None -> Alcotest.fail "every path step should carry an estimate"
+      | Some est ->
+          let actual = float_of_int r.Graql_engine.Profile_exec.pr_rows in
+          let factor =
+            if actual = 0.0 || est <= 0.0 then 1.0
+            else if actual > est then actual /. est
+            else est /. actual
+          in
+          check
+            (Printf.sprintf "step %S within %.0fx (est %.1f actual %.0f)"
+               r.Graql_engine.Profile_exec.pr_label est_bound est actual)
+            true (factor <= est_bound))
+    rows;
+  (* The relational statement reports operator rows instead. *)
+  let table_report = List.nth reports 1 in
+  check "second statement records operators" true
+    (table_report.Graql_engine.Profile_exec.r_ops <> []);
+  (* And the rendering carries both columns. *)
+  let rendered =
+    Graql_engine.Profile_exec.render graph_report
+  in
+  let has needle =
+    let nl = String.length needle and tl = String.length rendered in
+    let rec go i =
+      i + nl <= tl && (String.sub rendered i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  check "render shows estimates" true (has "est. rows");
+  check "render shows actuals" true (has "actual")
+
+let test_profile_failed_statement () =
+  let s = Session.create ~strict:false () in
+  let reports = Session.profile s "ingest table Missing nosuch.csv" in
+  check_int "one report" 1 (List.length reports);
+  match (List.hd reports).Graql_engine.Profile_exec.r_outcome with
+  | Graql_engine.Script_exec.O_failed _ -> ()
+  | _ -> Alcotest.fail "expected O_failed outcome"
+
+(* ---------- slow-statement log ---------- *)
+
+let test_slow_log_captures () =
+  Slow_log.clear ();
+  Slow_log.set_threshold_ms (Some 0.0);
+  Fun.protect
+    ~finally:(fun () ->
+      Slow_log.set_threshold_ms None;
+      Trace.disarm ();
+      Slow_log.clear ())
+    (fun () ->
+      let s = berlin_session () in
+      Slow_log.clear ();
+      ignore (Session.run_script s Graql_berlin.Berlin_queries.q2);
+      let entries = Slow_log.entries () in
+      check "threshold 0 logs every statement" true
+        (List.length entries >= 2);
+      let e = List.hd entries in
+      check "wall time recorded" true (e.Slow_log.e_ms >= 0.0);
+      check "statement text recorded" true (e.Slow_log.e_stmt <> "");
+      check "span summary attached" true
+        (List.exists (fun e -> e.Slow_log.e_spans <> []) entries);
+      check "to_string renders" true
+        (String.length (Slow_log.to_string e) > 0))
+
+(* ---------- overhead (opt-in: timing-sensitive) ---------- *)
+
+let test_traced_overhead_bounded () =
+  if Sys.getenv_opt "GRAQL_OBS_OVERHEAD_CHECK" = None then ()
+  else begin
+    let s = berlin_session () in
+    let mix () =
+      List.iter
+        (fun (_, q) -> ignore (Session.run_script s q))
+        Graql_berlin.Berlin_queries.all
+    in
+    let time f =
+      (* Best of 5 after a warmup: robust against scheduler noise. *)
+      f ();
+      let best = ref infinity in
+      for _ = 1 to 5 do
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt
+      done;
+      !best
+    in
+    let untraced = time mix in
+    Trace.clear ();
+    Trace.arm ();
+    let traced = time (fun () -> mix ()) in
+    Trace.disarm ();
+    check
+      (Printf.sprintf "traced %.2fms within 1.5x of untraced %.2fms"
+         (traced *. 1000.) (untraced *. 1000.))
+      true
+      (traced <= 1.5 *. untraced +. 0.005)
+  end
+
+(* ---------- CLI dump flags ---------- *)
+
+let graql_bin =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "graql_cli.exe")
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "graql_obs" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_cli_dump_flags () =
+  with_temp_dir @@ fun dir ->
+  let metrics = Filename.concat dir "metrics.txt" in
+  let trace = Filename.concat dir "trace.json" in
+  let null = if Sys.win32 then "NUL" else "/dev/null" in
+  let code =
+    Sys.command
+      (Filename.quote_command graql_bin ~stdout:null ~stderr:null
+         [
+           "berlin"; "--scale"; "1"; "--query"; "q2"; "--domains"; "2";
+           "--metrics-dump"; metrics; "--trace-out"; trace;
+         ])
+  in
+  check_int "berlin run succeeded" 0 code;
+  let prom = read_file metrics in
+  let has hay needle =
+    let nl = String.length needle and tl = String.length hay in
+    let rec go i = i + nl <= tl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "metrics dump is prometheus text" true (has prom "graql_");
+  check "semantic counters dumped" true (has prom "graql_path_steps_total");
+  let json = read_file trace in
+  check "trace dump is valid JSON" true (json_parse (String.trim json));
+  check "trace dump is an array" true ((String.trim json).[0] = '[');
+  check "trace has complete events" true
+    (has json "\"ph\": \"X\"" || has json "\"ph\":\"X\"")
+
+(* ---------- profile collector unit behaviour ---------- *)
+
+let test_collector_scoping () =
+  check "no ambient collector by default" true (Profile.current () = None);
+  let c = Profile.create () in
+  Profile.with_collector c (fun () ->
+      check "ambient inside" true
+        (match Profile.current () with Some c' -> c' == c | None -> false);
+      Profile.begin_path c;
+      Profile.note_step c ~label:"seed" ~rows:3 ~ms:0.1;
+      Profile.note_step c ~label:"hop" ~rows:9 ~ms:0.2;
+      Profile.begin_path c;
+      Profile.note_step c ~label:"seed2" ~rows:1 ~ms:0.05;
+      Profile.note_op c ~label:"join" ~rows:12 ~ms:0.3);
+  check "ambient restored" true (Profile.current () = None);
+  let paths = Profile.paths c in
+  check_int "two paths" 2 (List.length paths);
+  check_int "first path has two steps" 2 (List.length (List.hd paths));
+  let first = List.hd (List.hd paths) in
+  check "steps kept in order" true
+    (first.Profile.sa_label = "seed" && first.Profile.sa_rows = 3);
+  match Profile.ops c with
+  | [ op ] -> check "op recorded" true (op.Profile.sa_label = "join")
+  | _ -> Alcotest.fail "expected exactly one op"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "kind clash rejected" `Quick
+            test_kind_clash_rejected;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "merge across domains" `Quick
+            test_counters_merge_across_domains;
+          Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+        ] );
+      ( "invariance",
+        [
+          Alcotest.test_case "semantic counters invariant across domains"
+            `Slow test_counters_invariant_across_domains;
+          Alcotest.test_case "fault counters count recoveries" `Slow
+            test_fault_counters_count_recoveries;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "spans and parents" `Quick
+            test_trace_spans_and_parents;
+          Alcotest.test_case "chrome json valid" `Quick test_chrome_json_valid;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "estimates vs actuals" `Quick
+            test_profile_estimates_vs_actuals;
+          Alcotest.test_case "failed statement" `Quick
+            test_profile_failed_statement;
+          Alcotest.test_case "collector scoping" `Quick test_collector_scoping;
+        ] );
+      ( "slow-log",
+        [ Alcotest.test_case "captures" `Quick test_slow_log_captures ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "traced within 1.5x (GRAQL_OBS_OVERHEAD_CHECK)"
+            `Slow test_traced_overhead_bounded;
+        ] );
+      ( "cli",
+        [ Alcotest.test_case "dump flags" `Slow test_cli_dump_flags ] );
+    ]
