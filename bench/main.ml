@@ -549,7 +549,7 @@ let sweep_recovery ?(json = false) () =
         let n_records =
           List.length (Graql.Wal.scan_file wal_path).Graql.Wal.s_records
         in
-        let t_replay = time_best ~reps:3 (fun () -> recover_cold dir) in
+        let t_replay = time_best ~reps:5 (fun () -> recover_cold dir) in
         let t_checkpoint =
           time_once (fun () -> ignore (Graql.Session.checkpoint s))
         in
@@ -602,17 +602,27 @@ let sweep_recovery ?(json = false) () =
     close_out oc;
     Printf.printf "wrote BENCH_recovery.json (%d entries)\n"
       (List.length !entries)
-  end
+  end;
+  List.rev !entries
 
 (* Parallel partitioned join / parallel aggregation sweep. Also the
    backing data for BENCH_join.json (--json mode): mean/stddev over
    [reps] timed runs after one warmup. *)
-let time_stats ?(reps = 5) f =
+let time_stats ?(reps = 5) ?(trim = 0) f =
   ignore (time_once f);
   let xs = Array.init reps (fun _ -> time_once f) in
-  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int reps in
+  (* Timing noise on a shared machine is strictly additive, so dropping
+     the slowest [trim] samples (a truncated mean) estimates the true
+     cost far more stably than the plain mean — the regression gate
+     compares these numbers across runs. *)
+  Array.sort compare xs;
+  let keep = max 1 (reps - trim) in
+  let kept = Array.sub xs 0 keep in
+  let mean = Array.fold_left ( +. ) 0.0 kept /. float_of_int keep in
   let var =
-    Array.fold_left (fun a x -> a +. (((x -. mean) *. (x -. mean)) /. float_of_int reps)) 0.0 xs
+    Array.fold_left
+      (fun a x -> a +. (((x -. mean) *. (x -. mean)) /. float_of_int keep))
+      0.0 kept
   in
   (mean, sqrt var)
 
@@ -674,16 +684,16 @@ let sweep_join_parallel ?(json = false) () =
   let record name domains (mean, sd) =
     entries := (name, domains, mean, sd) :: !entries
   in
-  let jseq = time_stats (bench_join None) in
-  let aseq = time_stats (bench_agg None) in
+  let jseq = time_stats ~reps:9 ~trim:4 (bench_join None) in
+  let aseq = time_stats ~reps:9 ~trim:4 (bench_agg None) in
   record "hash_join" 0 jseq;
   record "group_by" 0 aseq;
   let rows =
     List.map
       (fun domains ->
         let pool = Graql.Domain_pool.create ~domains () in
-        let j = time_stats (bench_join (Some pool)) in
-        let a = time_stats (bench_agg (Some pool)) in
+        let j = time_stats ~reps:9 ~trim:4 (bench_join (Some pool)) in
+        let a = time_stats ~reps:9 ~trim:4 (bench_agg (Some pool)) in
         Graql.Domain_pool.shutdown pool;
         record "hash_join" domains j;
         record "group_by" domains a;
@@ -721,7 +731,8 @@ let sweep_join_parallel ?(json = false) () =
     close_out oc;
     Printf.printf "wrote BENCH_join.json (%d entries)\n"
       (List.length !entries)
-  end
+  end;
+  List.rev !entries
 
 let sweep_baseline_vs_engine () =
   print_endline
@@ -934,11 +945,13 @@ let sweep_obs ?(json = false) () =
     ]
   in
   let run_all () = List.iter (fun q -> ignore (Graql.run session q)) queries in
-  let untraced_mean, _ = time_stats run_all in
+  (* The query mix is ~1 ms; at the default 5 reps the traced/untraced
+     ratio is noise-dominated and flaps the regression gate. *)
+  let untraced_mean = time_best ~reps:30 run_all in
   Graql.Obs.Trace.clear ();
   Graql.Obs.Trace.arm ();
   Graql.Obs.Metrics.reset ();
-  let traced_mean, _ = time_stats run_all in
+  let traced_mean = time_best ~reps:30 run_all in
   Graql.Obs.Trace.disarm ();
   let sn = Graql.Obs.Metrics.snapshot () in
   (* Percentile over a log-scale histogram: the smallest bucket upper
@@ -1014,18 +1027,238 @@ let sweep_obs ?(json = false) () =
     close_out oc;
     Printf.printf "wrote BENCH_obs.json (%d stages)\n"
       (List.length stage_stats)
+  end;
+  (stage_stats, untraced_mean, traced_mean)
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: bench --check [BASELINE.json ...]                  *)
+(*                                                                     *)
+(* Re-runs the sweeps behind the committed BENCH_*.json baselines and  *)
+(* compares throughput (or its latency inverse) against them. Any      *)
+(* metric more than GRAQL_BENCH_TOLERANCE (default 0.25 = 25%) worse   *)
+(* than its baseline fails the gate: exit 9. Baselines are classified  *)
+(* by JSON shape, so explicit file arguments can be given in any       *)
+(* order; with no arguments all three defaults are checked (missing    *)
+(* files warn and are skipped). Nothing is rewritten: --check never    *)
+(* touches the baseline files.                                         *)
+
+module Json = Graql_util.Json
+
+let check_tolerance () =
+  match Sys.getenv_opt "GRAQL_BENCH_TOLERANCE" with
+  | None | Some "" -> 0.25
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 && Float.is_finite f -> f
+      | _ ->
+          Printf.eprintf
+            "bench: warning: ignoring GRAQL_BENCH_TOLERANCE=%S (want a \
+             positive number); using 0.25\n%!"
+            s;
+          0.25)
+
+(* One comparison row. [higher_better] decides the direction of
+   "worse": throughput regresses when it drops, latency when it rises. *)
+type check_row = {
+  ck_metric : string;
+  ck_base : float;
+  ck_cur : float;
+  ck_higher_better : bool;
+}
+
+let row_regressed ~tolerance r =
+  if r.ck_base <= 0.0 || not (Float.is_finite r.ck_base) then false
+  else if r.ck_higher_better then r.ck_cur < r.ck_base *. (1.0 -. tolerance)
+  else r.ck_cur > r.ck_base *. (1.0 +. tolerance)
+
+let row_change r =
+  if r.ck_base <= 0.0 then 0.0 else (r.ck_cur -. r.ck_base) /. r.ck_base
+
+(* The current sweep results, computed at most once per gate run even
+   when several baseline files map to the same sweep. *)
+let current_join = lazy (sweep_join_parallel ())
+let current_recovery = lazy (sweep_recovery ())
+let current_obs = lazy (sweep_obs ())
+
+let num_field obj name =
+  Option.bind (Json.member name obj) Json.to_float
+
+let check_join baseline =
+  let current = Lazy.force current_join in
+  List.filter_map
+    (fun entry ->
+      match
+        ( Option.bind (Json.member "name" entry) Json.to_string_opt,
+          num_field entry "domains",
+          num_field entry "mean_ms" )
+      with
+      | Some name, Some domains, Some base_ms -> (
+          let domains = int_of_float domains in
+          match
+            List.find_opt (fun (n, d, _, _) -> n = name && d = domains) current
+          with
+          | Some (_, _, mean, _) ->
+              Some
+                {
+                  ck_metric =
+                    Printf.sprintf "join:%s/domains=%d mean_ms" name domains;
+                  ck_base = base_ms;
+                  ck_cur = mean *. 1000.0;
+                  ck_higher_better = false;
+                }
+          | None -> None)
+      | _ -> None)
+    (Option.value (Json.to_list baseline) ~default:[])
+
+let check_recovery baseline =
+  let current = Lazy.force current_recovery in
+  List.filter_map
+    (fun entry ->
+      match (num_field entry "scale", num_field entry "replay_records_per_s") with
+      | Some scale, Some base_tput -> (
+          let scale = int_of_float scale in
+          match
+            List.find_opt (fun (s, _, _, _, _, _) -> s = scale) current
+          with
+          | Some (_, n, _, t_replay, _, _) ->
+              Some
+                {
+                  ck_metric =
+                    Printf.sprintf "recovery:scale=%d replay_records_per_s"
+                      scale;
+                  ck_base = base_tput;
+                  ck_cur = float_of_int n /. t_replay;
+                  ck_higher_better = true;
+                }
+          | None -> None)
+      | _ -> None)
+    (Option.value (Json.to_list baseline) ~default:[])
+
+let check_obs baseline =
+  let _, untraced, traced = Lazy.force current_obs in
+  match
+    Option.bind (Json.member "overhead" baseline) (fun o ->
+        num_field o "ratio")
+  with
+  | Some base_ratio ->
+      [
+        {
+          ck_metric = "obs:tracing overhead ratio";
+          ck_base = base_ratio;
+          ck_cur = traced /. untraced;
+          ck_higher_better = false;
+        };
+      ]
+  | None -> []
+
+(* A baseline file is classified by shape, not by name: an object with
+   "overhead" is the obs sweep; an array whose entries carry
+   "wal_records" is the recovery sweep; an array with "domains" is the
+   join sweep. *)
+let classify_baseline json =
+  match json with
+  | Json.Obj _ when Json.member "overhead" json <> None -> Some `Obs
+  | Json.Arr (first :: _) when Json.member "wal_records" first <> None ->
+      Some `Recovery
+  | Json.Arr (first :: _) when Json.member "domains" first <> None ->
+      Some `Join
+  | _ -> None
+
+let run_check baselines =
+  let tolerance = check_tolerance () in
+  Printf.printf "\n== regression gate (tolerance %.0f%%) ==\n"
+    (tolerance *. 100.0);
+  let rows =
+    List.concat_map
+      (fun path ->
+        if not (Sys.file_exists path) then begin
+          Printf.eprintf "bench: warning: baseline %s missing, skipped\n%!"
+            path;
+          []
+        end
+        else
+          let doc =
+            let ic = open_in_bin path in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          in
+          match Json.parse doc with
+          | Error msg ->
+              Printf.eprintf "bench: warning: baseline %s unreadable (%s), \
+                              skipped\n%!"
+                path msg;
+              []
+          | Ok json -> (
+              match classify_baseline json with
+              | Some `Join -> check_join json
+              | Some `Recovery -> check_recovery json
+              | Some `Obs -> check_obs json
+              | None ->
+                  Printf.eprintf
+                    "bench: warning: baseline %s has an unknown shape, \
+                     skipped\n%!"
+                    path;
+                  []))
+      baselines
+  in
+  if rows = [] then begin
+    Printf.eprintf "bench: no baseline metrics compared\n%!";
+    1
   end
+  else begin
+    let regressed = List.filter (row_regressed ~tolerance) rows in
+    print_endline
+      (Graql_util.Text_table.render
+         ~header:[ "metric"; "baseline"; "current"; "change"; "status" ]
+         (List.map
+            (fun r ->
+              [
+                r.ck_metric;
+                Printf.sprintf "%.3f" r.ck_base;
+                Printf.sprintf "%.3f" r.ck_cur;
+                Printf.sprintf "%+.1f%%" (row_change r *. 100.0);
+                (if row_regressed ~tolerance r then "REGRESSED" else "ok");
+              ])
+            rows));
+    if regressed = [] then begin
+      Printf.printf "gate passed: %d metric(s) within %.0f%% of baseline\n"
+        (List.length rows) (tolerance *. 100.0);
+      0
+    end
+    else begin
+      Printf.printf "gate FAILED: %d of %d metric(s) regressed > %.0f%%\n"
+        (List.length regressed) (List.length rows) (tolerance *. 100.0);
+      9
+    end
+  end
+
+let default_baselines =
+  [ "BENCH_join.json"; "BENCH_recovery.json"; "BENCH_obs.json" ]
 
 let () =
   Printf.printf "GraQL benchmark harness — scale %d (%d products), %s\n\n"
     bench_scale (100 * bench_scale)
     (Printf.sprintf "%d domains available" (Domain.recommended_domain_count ()));
-  if Array.exists (( = ) "--json") Sys.argv then begin
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--check" argv then begin
+    (* Regression gate: compare fresh sweeps against committed baselines
+       (positional arguments after --check, or the default three). *)
+    let baselines =
+      List.filter
+        (fun a ->
+          not (String.length a >= 2 && String.sub a 0 2 = "--"))
+        (List.tl argv)
+    in
+    let baselines = if baselines = [] then default_baselines else baselines in
+    exit (run_check baselines)
+  end;
+  if List.mem "--json" argv then begin
     (* Machine-readable sweeps only: BENCH_join.json + BENCH_recovery.json
        + BENCH_obs.json. *)
-    sweep_join_parallel ~json:true ();
-    sweep_recovery ~json:true ();
-    sweep_obs ~json:true ();
+    ignore (sweep_join_parallel ~json:true ());
+    ignore (sweep_recovery ~json:true ());
+    ignore (sweep_obs ~json:true ());
     exit 0
   end;
   run_bechamel ();
@@ -1035,12 +1268,12 @@ let () =
   sweep_script_parallel ();
   sweep_shards ();
   sweep_fault_recovery ();
-  sweep_recovery ();
-  sweep_join_parallel ();
+  ignore (sweep_recovery ());
+  ignore (sweep_join_parallel ());
   sweep_baseline_vs_engine ();
   sweep_seed_strategy ();
   sweep_fast_pred ();
   sweep_selective_maintenance ();
   sweep_regex_depth ();
-  sweep_obs ();
+  ignore (sweep_obs ());
   print_endline "\ndone."

@@ -113,11 +113,64 @@ let slow_ms_arg =
         ~doc:"Log statements slower than MS milliseconds to stderr, with a \
               per-span time breakdown. Equivalent to GRAQL_SLOW_MS.")
 
-let setup_obs ~trace_out ~slow_ms =
+let query_log_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "query-log" ] ~docv:"FILE"
+        ~doc:"Append one JSON line per executed statement to FILE (query \
+              id, user, statement kind, wall ms, rows, outcome, retry and \
+              failover counts). Equivalent to GRAQL_QUERY_LOG.")
+
+let listen_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "listen" ] ~docv:"PORT"
+        ~doc:"Serve the operational HTTP endpoints (/metrics, /healthz, \
+              /readyz, /stats, /slowlog, /traces) on 127.0.0.1:PORT for \
+              the duration of the run. PORT 0 picks an ephemeral port; \
+              the actual address is printed to stderr.")
+
+let serve_ms_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "serve-ms" ] ~docv:"MS"
+        ~doc:"With --listen: keep serving the HTTP endpoints for MS \
+              milliseconds after the run completes before exiting (so \
+              scrapers can collect the final state).")
+
+let setup_obs ?query_log ~trace_out ~slow_ms () =
   (match slow_ms with
   | Some ms -> Graql.Obs.Slow_log.set_threshold_ms (Some ms)
   | None -> ());
+  (match query_log with
+  | Some path -> Graql.Obs.Query_log.open_file path
+  | None -> ());
   if trace_out <> None then Graql.Obs.Trace.arm ()
+
+(* --listen: mount the telemetry endpoints on the session. Started not
+   ready; the caller flips readiness once recovery/ingest is done. *)
+let start_telemetry listen session =
+  match listen with
+  | None -> None
+  | Some port ->
+      let tel = Graql.Telemetry.start ~ready:false ~port session in
+      Printf.eprintf "listening on http://127.0.0.1:%d\n%!"
+        (Graql.Telemetry.port tel);
+      Some tel
+
+let telemetry_ready tel =
+  Option.iter (fun t -> Graql.Telemetry.set_ready t true) tel
+
+let finish_telemetry ~serve_ms tel =
+  match tel with
+  | None -> ()
+  | Some t ->
+      (match serve_ms with
+      | Some ms when ms > 0 ->
+          Printf.eprintf "note: serving telemetry for %d ms more\n%!" ms;
+          Unix.sleepf (float_of_int ms /. 1000.)
+      | _ -> ());
+      Graql.Telemetry.stop t
 
 let finish_obs ~trace_out ~metrics_dump =
   (match trace_out with
@@ -248,15 +301,18 @@ let checkpoint_flag_arg =
 
 let run_cmd =
   let action script params domains seq data_dir dump deadline_ms fault_seed
-      wal recover checkpoint metrics_dump trace_out slow_ms =
+      wal recover checkpoint metrics_dump trace_out slow_ms query_log listen
+      serve_ms =
     with_typed_errors (fun () ->
-        setup_obs ~trace_out ~slow_ms;
+        setup_obs ?query_log ~trace_out ~slow_ms ();
         let session =
           make_session ?domains ?fault_seed ~params
             ?durability:(durability_of ~wal data_dir) ()
         in
+        let tel = start_telemetry listen session in
         report_recovery session;
         if recover && not wal then recover_without_wal session data_dir;
+        telemetry_ready tel;
         let source = read_file script in
         let results =
           Graql.run ~loader:(loader_for data_dir) ~parallel:(not seq)
@@ -278,6 +334,8 @@ let run_cmd =
             Printf.printf "exported database to %s/\n" dir
         | None -> ());
         finish_obs ~trace_out ~metrics_dump;
+        finish_telemetry ~serve_ms tel;
+        Graql.Obs.Query_log.close ();
         Graql.Session.close session;
         outcomes_exit_code results)
   in
@@ -287,7 +345,8 @@ let run_cmd =
       ret (const action $ script_arg $ params_arg $ domains_arg $ seq_arg
            $ data_dir_arg $ dump_arg $ deadline_arg $ fault_seed_arg
            $ wal_arg $ recover_arg $ checkpoint_flag_arg $ metrics_dump_arg
-           $ trace_out_arg $ slow_ms_arg))
+           $ trace_out_arg $ slow_ms_arg $ query_log_arg $ listen_arg
+           $ serve_ms_arg))
 
 let check_cmd =
   let action script params =
@@ -411,11 +470,15 @@ let berlin_cmd =
           ~doc:"Also print the catalog and per-edge-type degree statistics.")
   in
   let action scale seed query domains params stats deadline_ms fault_seed
-      metrics_dump trace_out slow_ms =
+      metrics_dump trace_out slow_ms query_log listen serve_ms =
     with_typed_errors @@ fun () ->
-    setup_obs ~trace_out ~slow_ms;
+    setup_obs ?query_log ~trace_out ~slow_ms ();
     let session = make_session ?domains ?fault_seed ~params () in
+    (* Not ready until the Berlin data is ingested: /readyz answers 503
+       while the tables load, then 200. *)
+    let tel = start_telemetry listen session in
     Graql.Berlin.Gen.ingest_all ~seed ~scale session;
+    telemetry_ready tel;
     if stats then begin
       (* Build the views first so the catalog shows real sizes. *)
       let degrees = Graql.Session.degree_report session in
@@ -464,6 +527,8 @@ let berlin_cmd =
           if !code = 0 then code := outcomes_exit_code results)
         queries;
       finish_obs ~trace_out ~metrics_dump;
+      finish_telemetry ~serve_ms tel;
+      Graql.Obs.Query_log.close ();
       !code
     end
   in
@@ -472,45 +537,14 @@ let berlin_cmd =
     Term.(
       ret (const action $ scale_arg $ seed_arg $ query_arg $ domains_arg
            $ params_arg $ stats_arg $ deadline_arg $ fault_seed_arg
-           $ metrics_dump_arg $ trace_out_arg $ slow_ms_arg))
+           $ metrics_dump_arg $ trace_out_arg $ slow_ms_arg $ query_log_arg
+           $ listen_arg $ serve_ms_arg))
 
-(* repl `stats;`: the metrics registry as text tables. *)
-let print_stats () =
-  let sn = Graql.Obs.Metrics.snapshot () in
-  let module T = Graql_util.Text_table in
-  if sn.Graql.Obs.Metrics.sn_counters <> [] then
-    print_endline
-      (T.render
-         ~aligns:[| T.Left; T.Right |]
-         ~header:[ "counter"; "value" ]
-         (List.map
-            (fun (n, v) -> [ n; string_of_int v ])
-            sn.Graql.Obs.Metrics.sn_counters));
-  if sn.Graql.Obs.Metrics.sn_gauges <> [] then
-    print_endline
-      (T.render
-         ~aligns:[| T.Left; T.Right |]
-         ~header:[ "gauge"; "value" ]
-         (List.map
-            (fun (n, v) -> [ n; Printf.sprintf "%g" v ])
-            sn.Graql.Obs.Metrics.sn_gauges));
-  if sn.Graql.Obs.Metrics.sn_histograms <> [] then
-    print_endline
-      (T.render
-         ~aligns:[| T.Left; T.Right; T.Right |]
-         ~header:[ "histogram"; "count"; "mean" ]
-         (List.map
-            (fun (n, h) ->
-              [
-                n;
-                string_of_int h.Graql.Obs.Metrics.h_count;
-                (if h.Graql.Obs.Metrics.h_count = 0 then "-"
-                 else
-                   Printf.sprintf "%.1f"
-                     (h.Graql.Obs.Metrics.h_sum
-                     /. float_of_int h.Graql.Obs.Metrics.h_count));
-              ])
-            sn.Graql.Obs.Metrics.sn_histograms))
+(* repl `stats;` / `stats full;`: the metrics registry as text tables.
+   The default view hides the scheduling-variant series (sched.*,
+   fault.*, pool.*, WAL latency histograms); `stats full;` shows all. *)
+let print_stats ~full session =
+  print_string (Graql.Session.stats_tables ~full session)
 
 (* repl `profile <query>;`: EXPLAIN ANALYZE through the session. *)
 let run_repl_profile ~loader session source =
@@ -539,17 +573,40 @@ let strip_profile_prefix source =
   else None
 
 let repl_cmd =
-  let action domains params data_dir wal slow_ms =
+  let action domains params data_dir wal slow_ms query_log listen =
     with_typed_errors @@ fun () ->
-    setup_obs ~trace_out:None ~slow_ms;
+    setup_obs ?query_log ~trace_out:None ~slow_ms ();
     let session =
       make_session ?domains ~params ?durability:(durability_of ~wal data_dir) ()
     in
     report_recovery session;
+    let telemetry = ref None in
+    let stop_telemetry () =
+      match !telemetry with
+      | Some t ->
+          Graql.Telemetry.stop t;
+          telemetry := None;
+          true
+      | None -> false
+    in
+    let serve_port port =
+      ignore (stop_telemetry ());
+      match Graql.Telemetry.start ~ready:true ~port session with
+      | t ->
+          telemetry := Some t;
+          Printf.printf "listening on http://127.0.0.1:%d\n"
+            (Graql.Telemetry.port t)
+      | exception Unix.Unix_error (err, _, _) ->
+          Printf.printf "cannot listen on port %d: %s\n" port
+            (Unix.error_message err)
+    in
+    Option.iter serve_port listen;
     print_endline
       "GraQL repl — end statements with ';' on their own line, Ctrl-D quits.";
     print_endline
-      "Meta-commands: 'profile <query>;' (EXPLAIN ANALYZE), 'stats;' (metrics).";
+      "Meta-commands: 'profile <query>;' (EXPLAIN ANALYZE), 'stats;' / \
+       'stats full;' (metrics), 'serve <port>;' / 'unserve;' (HTTP \
+       telemetry).";
     if wal then
       print_endline "Durable session: 'checkpoint;' folds the log into a snapshot.";
     let buf = Buffer.create 256 in
@@ -558,20 +615,42 @@ let repl_cmd =
          print_string (if Buffer.length buf = 0 then "graql> " else "  ...> ");
          flush stdout;
          let line = input_line stdin in
-         let meta_checkpoint =
-           let tl = String.trim line in
-           Buffer.length buf = 0 && (tl = "checkpoint" || tl = "checkpoint;")
+         let meta tl =
+           (* A meta-command only counts at the start of a submission. *)
+           if Buffer.length buf > 0 then None
+           else
+             let t = String.trim tl in
+             let t =
+               if t <> "" && t.[String.length t - 1] = ';' then
+                 String.trim (String.sub t 0 (String.length t - 1))
+               else t
+             in
+             Some t
          in
-         let meta_stats =
-           let tl = String.trim line in
-           Buffer.length buf = 0 && (tl = "stats" || tl = "stats;")
+         let meta_checkpoint = meta line = Some "checkpoint" in
+         let meta_stats = meta line = Some "stats" in
+         let meta_stats_full = meta line = Some "stats full" in
+         let meta_unserve = meta line = Some "unserve" in
+         let meta_serve =
+           match meta line with
+           | Some t
+             when String.length t > 6 && String.sub t 0 6 = "serve " ->
+               int_of_string_opt (String.trim (String.sub t 6 (String.length t - 6)))
+           | _ -> None
          in
          if meta_checkpoint then begin
            if Graql.Session.checkpoint session then
              print_endline "checkpointed database"
            else print_endline "no durability configured (start with --wal)"
          end
-         else if meta_stats then print_stats ()
+         else if meta_stats then print_stats ~full:false session
+         else if meta_stats_full then print_stats ~full:true session
+         else if meta_unserve then begin
+           if stop_telemetry () then print_endline "stopped serving"
+           else print_endline "not serving (start with 'serve <port>;')"
+         end
+         else if meta_serve <> None then
+           serve_port (Option.get meta_serve)
          else if String.trim line = ";" || (String.trim line <> "" && String.length (String.trim line) > 0 && (let t = String.trim line in t.[String.length t - 1] = ';')) then begin
            Buffer.add_string buf line;
            let source = Buffer.contents buf in
@@ -597,6 +676,8 @@ let repl_cmd =
          end
        done
      with End_of_file -> print_newline ());
+    ignore (stop_telemetry ());
+    Graql.Obs.Query_log.close ();
     Graql.Session.close session;
     0
   in
@@ -604,7 +685,7 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive GraQL session")
     Term.(
       ret (const action $ domains_arg $ params_arg $ data_dir_arg $ wal_arg
-           $ slow_ms_arg))
+           $ slow_ms_arg $ query_log_arg $ listen_arg))
 
 let explain_cmd =
   let action script params domains data_dir =

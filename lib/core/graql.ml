@@ -72,13 +72,19 @@ module Obs = struct
   module Trace = Graql_obs.Trace
   module Profile = Graql_obs.Profile
   module Slow_log = Graql_obs.Slow_log
+  module Slo = Graql_obs.Slo
+  module Query_log = Graql_obs.Query_log
+  module Http = Graql_obs.Http
 end
+
+module Json = Graql_util.Json
 
 (* -- GEMS ----------------------------------------------------------- *)
 module Session = Graql_gems.Session
 module Shard = Graql_gems.Shard
 module Cluster = Graql_gems.Cluster
 module Server = Graql_gems.Server
+module Telemetry = Graql_gems.Telemetry
 module Fault = Graql_gems.Fault
 module Domain_pool = Graql_parallel.Domain_pool
 module Cancel = Graql_parallel.Cancel

@@ -9,6 +9,8 @@ module Cancel = Graql_parallel.Cancel
 module Metrics = Graql_obs.Metrics
 module Trace = Graql_obs.Trace
 module Slow_log = Graql_obs.Slow_log
+module Slo = Graql_obs.Slo
+module Query_log = Graql_obs.Query_log
 
 type outcome =
   | O_table of Table.t
@@ -298,6 +300,31 @@ let m_stmts = Metrics.counter "script.statements"
 let m_failed = Metrics.counter "script.failed_statements"
 let h_stmt_us = Metrics.histogram "script.stmt_us"
 
+(* Statement class = the operation label up to the ':' that carries the
+   entity name ("ingest:Offers" -> "ingest"): the granularity at which
+   SLO percentiles are tracked. *)
+let stmt_class stmt =
+  let kind = Ast.stmt_kind stmt in
+  match String.index_opt kind ':' with
+  | Some i -> String.sub kind 0 i
+  | None -> kind
+
+let class_hist class_ = Metrics.histogram ("script.stmt_us." ^ class_)
+
+(* Retry/failover counters live in the scheduling and shard layers;
+   reading them by name here keeps the engine decoupled from those
+   modules while still letting the query log attribute recovery work to
+   the statement that ran. Attribution is exact for sequential scripts;
+   statements of the same parallel wave may swap each other's counts. *)
+let c_fault_retries = Metrics.counter "fault.retries"
+let c_fault_failovers = Metrics.counter "fault.failovers"
+let c_sched_retries = Metrics.counter "sched.retries"
+
+let rows_of_outcome = function
+  | O_table t -> Table.nrows t
+  | O_subgraph sg -> Subgraph.total_vertices sg
+  | O_message _ | O_failed _ -> 0
+
 (* Group a statement's child spans by name into (name, count, total ms),
    slowest first — the summary attached to a slow-log entry. *)
 let span_summary stmt_span_id =
@@ -321,6 +348,14 @@ let exec_stmt_outcome ~loader ?cancel db ~index stmt =
       ~args:[ ("index", string_of_int index) ]
       ("stmt:" ^ Ast.stmt_kind stmt)
   in
+  let query_log = Query_log.enabled () in
+  let retries0, failovers0 =
+    if query_log then
+      ( Metrics.counter_value c_fault_retries
+        + Metrics.counter_value c_sched_retries,
+        Metrics.counter_value c_fault_failovers )
+    else (0, 0)
+  in
   let t0 = Unix.gettimeofday () in
   let outcome =
     match
@@ -342,6 +377,9 @@ let exec_stmt_outcome ~loader ?cancel db ~index stmt =
   Metrics.incr m_stmts;
   (match outcome with O_failed _ -> Metrics.incr m_failed | _ -> ());
   Metrics.observe h_stmt_us (ms *. 1000.);
+  let class_ = stmt_class stmt in
+  Metrics.observe (class_hist class_) (ms *. 1000.);
+  Slo.note ~class_ ms;
   (match Slow_log.threshold_ms () with
   | Some th when ms >= th ->
       Slow_log.note
@@ -349,6 +387,37 @@ let exec_stmt_outcome ~loader ?cancel db ~index stmt =
         ~ms
         ~spans:(span_summary (Trace.span_id sp))
   | Some _ | None -> ());
+  if query_log then begin
+    (* Dispatch retries for this very statement happen before its body
+       starts, outside the counter bracket — ask the pool for them. *)
+    let retries =
+      Metrics.counter_value c_fault_retries
+      + Metrics.counter_value c_sched_retries
+      - retries0
+      + Pool.current_task_retries ()
+    and failovers = Metrics.counter_value c_fault_failovers - failovers0 in
+    let q_outcome, error =
+      match outcome with
+      | O_failed (Graql_error.Timeout _ as e) ->
+          (Query_log.Timeout, Some (Graql_error.to_string e))
+      | O_failed e -> (Query_log.Failed, Some (Graql_error.to_string e))
+      | _ when retries > 0 || failovers > 0 -> (Query_log.Degraded, None)
+      | _ -> (Query_log.Ok, None)
+    in
+    Query_log.log
+      {
+        Query_log.r_id = Query_log.next_id ();
+        r_ts = t0;
+        r_user = Query_log.current_user ();
+        r_kind = Ast.stmt_kind stmt;
+        r_ms = ms;
+        r_rows = rows_of_outcome outcome;
+        r_outcome = q_outcome;
+        r_retries = max 0 retries;
+        r_failovers = max 0 failovers;
+        r_error = error;
+      }
+  end;
   outcome
 
 let exec_script ?(loader = default_loader) ?parallel ?cancel db script =

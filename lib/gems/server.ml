@@ -1,5 +1,6 @@
 module Ast = Graql_lang.Ast
 module Graql_error = Graql_engine.Graql_error
+module Query_log = Graql_obs.Query_log
 
 type role = Admin | Analyst
 
@@ -82,8 +83,14 @@ let run ?loader ?deadline_ms ?trace c source =
                     (Graql_lang.Pretty.stmt_to_string stmt)))
           end)
         ast);
+  (* The query log attributes every statement of this script to the
+     submitting account. *)
+  Query_log.set_user (Some c.conn_user);
   let results =
-    Session.run_script ?loader ?deadline_ms ?trace t.session source
+    Fun.protect
+      ~finally:(fun () -> Query_log.set_user None)
+      (fun () ->
+        Session.run_script ?loader ?deadline_ms ?trace t.session source)
   in
   List.iter
     (fun (stmt, _) ->
@@ -91,6 +98,9 @@ let run ?loader ?deadline_ms ?trace c source =
       audit t c.conn_user stmt)
     results;
   results
+
+let serve_telemetry ?host ?ready ~port t =
+  Telemetry.start ?host ?ready ~port t.session
 
 let audit_log t = List.rev t.audit
 

@@ -53,6 +53,12 @@ val run :
 val stats : t -> Graql_obs.Metrics.snapshot
 (** Metrics snapshot, as {!Session.stats}. *)
 
+val serve_telemetry :
+  ?host:string -> ?ready:bool -> port:int -> t -> Telemetry.t
+(** Mount the operational HTTP endpoints ({!Telemetry.start}) on this
+    server's session. Statements run through {!run} are attributed to
+    their user in the structured query log. *)
+
 val audit_log : t -> (string * string) list
 (** (user, statement) pairs in submission order, most recent last; capped
     at 1000 entries — when the cap is exceeded the oldest entries are

@@ -10,6 +10,7 @@ module Pool = Graql_parallel.Domain_pool
 module Metrics = Graql_obs.Metrics
 module Trace = Graql_obs.Trace
 module Slow_log = Graql_obs.Slow_log
+module Slo = Graql_obs.Slo
 
 type durability = Off | Wal_dir of string
 
@@ -231,8 +232,90 @@ let run_script ?loader ?parallel ?deadline_ms ?trace t source =
 (* ------------------------------------------------------------------ *)
 (* Observability surface                                               *)
 
-let stats (_ : t) = Metrics.snapshot ()
-let stats_text (_ : t) = Metrics.to_prometheus ()
+let stats (_ : t) =
+  Slo.update_gauges ();
+  Metrics.snapshot ()
+
+let stats_text (_ : t) =
+  Slo.update_gauges ();
+  Metrics.to_prometheus ()
+
+(* Scheduling-variant series (they legitimately change with the domain
+   count) are noise for the everyday [stats;] reader: hidden by default,
+   shown by [stats full;] / [?full:true]. *)
+let sched_variant name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "sched." || has_prefix "fault." || has_prefix "pool."
+  || List.mem name [ "wal.append_us"; "wal.fsync_us"; "wal.checkpoint_us" ]
+
+let stats_tables ?(full = false) t =
+  let sn = stats t in
+  let module T = Graql_util.Text_table in
+  let keep name = full || not (sched_variant name) in
+  let buf = Buffer.create 1024 in
+  let counters = List.filter (fun (n, _) -> keep n) sn.Metrics.sn_counters in
+  if counters <> [] then
+    Buffer.add_string buf
+      (T.render
+         ~aligns:[| T.Left; T.Right |]
+         ~header:[ "counter"; "value" ]
+         (List.map (fun (n, v) -> [ n; string_of_int v ]) counters));
+  let gauges = List.filter (fun (n, _) -> keep n) sn.Metrics.sn_gauges in
+  if gauges <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (T.render
+         ~aligns:[| T.Left; T.Right |]
+         ~header:[ "gauge"; "value" ]
+         (List.map (fun (n, v) -> [ n; Printf.sprintf "%g" v ]) gauges))
+  end;
+  let hists = List.filter (fun (n, _) -> keep n) sn.Metrics.sn_histograms in
+  if hists <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (T.render
+         ~aligns:[| T.Left; T.Right; T.Right |]
+         ~header:[ "histogram"; "count"; "mean" ]
+         (List.map
+            (fun (n, h) ->
+              [
+                n;
+                string_of_int h.Metrics.h_count;
+                (if h.Metrics.h_count = 0 then "-"
+                 else
+                   Printf.sprintf "%.1f"
+                     (h.Metrics.h_sum /. float_of_int h.Metrics.h_count));
+              ])
+            hists))
+  end;
+  let slo = Slo.summary () in
+  if slo <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "SLO objective: %s\n"
+         (match Slo.objective_ms () with
+         | Some ms -> Printf.sprintf "%g ms" ms
+         | None -> "unset"));
+    Buffer.add_string buf
+      (T.render
+         ~aligns:[| T.Left; T.Right; T.Right; T.Right; T.Right; T.Right |]
+         ~header:[ "class"; "count"; "p50(ms)<="; "p95(ms)<="; "p99(ms)<="; "breaches" ]
+         (List.map
+            (fun s ->
+              [
+                s.Slo.sc_class;
+                string_of_int s.Slo.sc_count;
+                Printf.sprintf "%.3f" s.Slo.sc_p50_ms;
+                Printf.sprintf "%.3f" s.Slo.sc_p95_ms;
+                Printf.sprintf "%.3f" s.Slo.sc_p99_ms;
+                string_of_int s.Slo.sc_breaches;
+              ])
+            slo))
+  end;
+  Buffer.contents buf
 
 let profile ?loader t source =
   (* EXPLAIN ANALYZE wants span data for the statement it runs. *)

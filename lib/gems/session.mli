@@ -114,10 +114,20 @@ val run_ir :
 
 val stats : t -> Graql_obs.Metrics.snapshot
 (** Snapshot of the process-wide metrics registry (counters, gauges,
-    histograms) — see {!Graql_obs.Metrics.snapshot}. *)
+    histograms) — see {!Graql_obs.Metrics.snapshot}. Refreshes the
+    [slo.*] percentile gauges first. *)
 
 val stats_text : t -> string
-(** The same registry in Prometheus text exposition format. *)
+(** The same registry in Prometheus text exposition format (SLO gauges
+    refreshed first). *)
+
+val stats_tables : ?full:bool -> t -> string
+(** The registry as human-readable text tables — the payload of the
+    repl's [stats;] and the [/stats] endpoint. By default the
+    scheduling-variant series ([sched.*], [fault.*], [pool.*] and the
+    WAL latency histograms) are hidden; [~full:true] — the repl's
+    [stats full;] — shows everything. Ends with the per-class SLO
+    percentile table when statement latency data exists. *)
 
 val profile :
   ?loader:(string -> string) ->

@@ -1,0 +1,60 @@
+module Http = Graql_obs.Http
+module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
+module Slow_log = Graql_obs.Slow_log
+module Slo = Graql_obs.Slo
+module Db_io = Graql_engine.Db_io
+
+type t = {
+  http : Http.t;
+  ready_flag : bool Atomic.t;
+}
+
+let recovery_summary session =
+  match Session.last_recovery session with
+  | Some r ->
+      Printf.sprintf "recovery: checkpoint=%b epoch=%d replayed=%d truncated=%d\n"
+        r.Db_io.rec_checkpoint r.Db_io.rec_epoch r.Db_io.rec_replayed
+        r.Db_io.rec_truncated
+  | None -> "recovery: none (volatile session)\n"
+
+let routes session ready_flag =
+  let get path handle = { Http.rt_meth = "GET"; rt_path = path; rt_handle = handle } in
+  let post path handle =
+    { Http.rt_meth = "POST"; rt_path = path; rt_handle = handle }
+  in
+  [
+    get "/metrics" (fun ~body:_ ->
+        Slo.update_gauges ();
+        Http.response
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (Metrics.to_prometheus ()));
+    get "/healthz" (fun ~body:_ -> Http.response "ok\n");
+    get "/readyz" (fun ~body:_ ->
+        if Atomic.get ready_flag then
+          Http.response ("ready\n" ^ recovery_summary session)
+        else Http.response ~status:503 "starting\n");
+    get "/stats" (fun ~body:_ ->
+        Http.response (Session.stats_tables ~full:true session));
+    get "/slowlog" (fun ~body:_ ->
+        Http.response ~content_type:"application/json" (Slow_log.to_json ()));
+    get "/traces" (fun ~body:_ ->
+        Http.response ~content_type:"application/json"
+          (Trace.to_chrome_json ()));
+    post "/traces/start" (fun ~body:_ ->
+        Trace.arm ();
+        Http.response "tracing armed\n");
+    post "/traces/stop" (fun ~body:_ ->
+        Trace.disarm ();
+        Http.response "tracing disarmed\n");
+  ]
+
+let start ?host ?(ready = true) ~port session =
+  let ready_flag = Atomic.make ready in
+  let http = Http.start ?host ~port (routes session ready_flag) in
+  { http; ready_flag }
+
+let port t = Http.port t.http
+let set_ready t v = Atomic.set t.ready_flag v
+let ready t = Atomic.get t.ready_flag
+let stop t = Http.stop t.http

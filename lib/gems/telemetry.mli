@@ -1,0 +1,32 @@
+(** The operational front door (DESIGN.md §11): HTTP endpoints over one
+    {!Session}, served by {!Graql_obs.Http} on a dedicated domain.
+
+    Endpoints:
+    - [GET /metrics] — Prometheus text exposition (SLO gauges refreshed)
+    - [GET /healthz] — liveness: 200 as long as the process serves
+    - [GET /readyz] — readiness: 503 until the mounting layer marks the
+      session ready (recovery replayed, data ingested), then 200 with a
+      recovery summary
+    - [GET /stats] — {!Session.stats_tables} (full)
+    - [GET /slowlog] — the slow-statement ring as JSON
+    - [GET /traces] — Chrome-trace JSON of the span ring
+    - [POST /traces/start], [POST /traces/stop] — arm / disarm tracing
+
+    Unknown paths return 404 and wrong methods 405, exactly as
+    {!Graql_obs.Http.start} routes them. *)
+
+type t
+
+val start :
+  ?host:string -> ?ready:bool -> port:int -> Session.t -> t
+(** Bind and serve (port 0 picks an ephemeral port — read it back with
+    {!port}). [ready] is the initial readiness (default [true]: a
+    session whose {!Session.create} returned has already replayed its
+    WAL). Raises [Unix.Unix_error] if the bind fails. *)
+
+val port : t -> int
+val set_ready : t -> bool -> unit
+val ready : t -> bool
+
+val stop : t -> unit
+(** Shut the listener down and join its domain. Idempotent. *)

@@ -1,0 +1,228 @@
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    body =
+  { status; content_type; body }
+
+type route = {
+  rt_meth : string;
+  rt_path : string;
+  rt_handle : body:string -> response;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable server : unit Domain.t option;
+  served : int Atomic.t;
+  mutable stopped : bool;
+}
+
+let m_requests = Metrics.counter "http.requests"
+let m_errors = Metrics.counter "http.request_errors"
+
+let reason_of = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let max_head_bytes = 16 * 1024
+let max_body_bytes = 1024 * 1024
+
+(* Read from [fd] until the blank line ending the header block; returns
+   (head, leftover-bytes-already-read-past-it). *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec find_end () =
+    let s = Buffer.contents buf in
+    match
+      let rec scan i =
+        if i + 3 >= String.length s then None
+        else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+                && s.[i + 3] = '\n'
+        then Some (i + 4)
+        else scan (i + 1)
+      in
+      scan 0
+    with
+    | Some stop ->
+        Some
+          ( String.sub s 0 stop,
+            String.sub s stop (String.length s - stop) )
+    | None ->
+        if Buffer.length buf > max_head_bytes then None
+        else begin
+          let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+          if n = 0 then None
+          else begin
+            Buffer.add_subbytes buf chunk 0 n;
+            find_end ()
+          end
+        end
+  in
+  find_end ()
+
+let content_length head =
+  let lines = String.split_on_char '\n' head in
+  List.fold_left
+    (fun acc line ->
+      match String.index_opt line ':' with
+      | Some i
+        when String.lowercase_ascii (String.trim (String.sub line 0 i))
+             = "content-length" -> (
+          let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          match int_of_string_opt v with Some n when n >= 0 -> Some n | _ -> acc)
+      | _ -> acc)
+    None lines
+
+let read_body fd head leftover =
+  match content_length head with
+  | None | Some 0 -> Some ""
+  | Some n when n > max_body_bytes -> None
+  | Some n ->
+      let buf = Buffer.create n in
+      Buffer.add_string buf leftover;
+      let chunk = Bytes.create 4096 in
+      let rec fill () =
+        if Buffer.length buf >= n then
+          Some (String.sub (Buffer.contents buf) 0 n)
+        else
+          let got = Unix.read fd chunk 0 (min 4096 (n - Buffer.length buf)) in
+          if got = 0 then None
+          else begin
+            Buffer.add_subbytes buf chunk 0 got;
+            fill ()
+          end
+      in
+      fill ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let send fd resp =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        Connection: close\r\n\r\n%s"
+       resp.status (reason_of resp.status) resp.content_type
+       (String.length resp.body) resp.body)
+
+let route_request routes ~meth ~path ~body =
+  match
+    List.find_opt (fun r -> r.rt_path = path && r.rt_meth = meth) routes
+  with
+  | Some r -> ( try r.rt_handle ~body with e -> (
+      Metrics.incr m_errors;
+      response ~status:500 ("handler error: " ^ Printexc.to_string e ^ "\n")))
+  | None ->
+      if List.exists (fun r -> r.rt_path = path) routes then
+        response ~status:405 "method not allowed\n"
+      else response ~status:404 "not found\n"
+
+let handle_connection routes fd =
+  match read_head fd with
+  | None -> send fd (response ~status:400 "bad request\n")
+  | Some (head, leftover) -> (
+      let first_line =
+        match String.index_opt head '\r' with
+        | Some i -> String.sub head 0 i
+        | None -> head
+      in
+      match String.split_on_char ' ' first_line with
+      | [ meth; target; version ]
+        when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+          (* Strip any query string: the endpoints take no parameters. *)
+          let path =
+            match String.index_opt target '?' with
+            | Some i -> String.sub target 0 i
+            | None -> target
+          in
+          if meth <> "GET" && meth <> "POST" then
+            send fd (response ~status:405 "method not allowed\n")
+          else (
+            match read_body fd head leftover with
+            | None -> send fd (response ~status:413 "payload too large\n")
+            | Some body -> send fd (route_request routes ~meth ~path ~body))
+      | _ -> send fd (response ~status:400 "bad request\n"))
+
+let serve_loop t routes =
+  let rec loop () =
+    match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | readable, _, _ ->
+        if List.mem t.stop_r readable then ()
+        else begin
+          (match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | fd, _ ->
+              Metrics.incr m_requests;
+              Atomic.incr t.served;
+              (try handle_connection routes fd with _ -> ());
+              (try Unix.close fd with Unix.Unix_error (_, _, _) -> ()));
+          loop ()
+        end
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ~port routes =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      listen_fd;
+      bound_port;
+      stop_r;
+      stop_w;
+      server = None;
+      served = Atomic.make 0;
+      stopped = false;
+    }
+  in
+  t.server <- Some (Domain.spawn (fun () -> serve_loop t routes));
+  t
+
+let port t = t.bound_port
+let requests_served t = Atomic.get t.served
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (* One byte on the pipe unblocks select; the loop then returns. *)
+    (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1)
+     with Unix.Unix_error (_, _, _) -> ());
+    (match t.server with Some d -> Domain.join d | None -> ());
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      [ t.listen_fd; t.stop_r; t.stop_w ]
+  end

@@ -1,0 +1,43 @@
+(** A minimal HTTP/1.1 server for the operational endpoints (DESIGN.md
+    §11): plain [Unix] sockets, one dedicated domain running the accept
+    loop, no external dependencies.
+
+    The server binds a loopback (by default) TCP socket and serves one
+    request per connection ([Connection: close]), sequentially — the
+    operational surface is scraped every few seconds, not load-tested,
+    and sequential handling means handlers never race each other.
+    Handler exceptions become 500 responses; they never kill the accept
+    loop. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+val response : ?status:int -> ?content_type:string -> string -> response
+(** Defaults: status 200, content type [text/plain; charset=utf-8]. *)
+
+type route = {
+  rt_meth : string;  (** "GET" or "POST" *)
+  rt_path : string;  (** exact match, e.g. "/metrics" *)
+  rt_handle : body:string -> response;
+}
+
+type t
+
+val start : ?host:string -> port:int -> route list -> t
+(** Bind [host] (default 127.0.0.1) on [port] (0 picks an ephemeral
+    port) and serve the routes on a freshly spawned domain. Unknown
+    paths get 404; a known path with the wrong method gets 405; an
+    unreadable request gets 400. Raises [Unix.Unix_error] if the bind
+    fails (port in use, permission). *)
+
+val port : t -> int
+(** The actually bound port (useful with [~port:0]). *)
+
+val stop : t -> unit
+(** Close the listening socket and join the server domain. In-flight
+    requests complete first. Idempotent. *)
+
+val requests_served : t -> int

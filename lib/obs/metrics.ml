@@ -22,6 +22,7 @@ type metric = {
   m_id : int;
   m_name : string;
   m_kind : kind;
+  mutable m_help : string option;
   m_cells : cell list Atomic.t;
   m_gauge : float Atomic.t; (* gauges are a single cold atomic *)
 }
@@ -39,7 +40,7 @@ let kind_name = function
   | K_gauge -> "gauge"
   | K_histogram -> "histogram"
 
-let find_or_create name kind =
+let find_or_create ?help name kind =
   Mutex.lock registry_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock registry_mutex)
@@ -50,6 +51,7 @@ let find_or_create name kind =
             invalid_arg
               (Printf.sprintf "Metrics: %S is a %s, not a %s" name
                  (kind_name m.m_kind) (kind_name kind));
+          if m.m_help = None then m.m_help <- help;
           m
       | None ->
           let m =
@@ -57,6 +59,7 @@ let find_or_create name kind =
               m_id = Atomic.fetch_and_add next_id 1;
               m_name = name;
               m_kind = kind;
+              m_help = help;
               m_cells = Atomic.make [];
               m_gauge = Atomic.make 0.0;
             }
@@ -64,9 +67,9 @@ let find_or_create name kind =
           Hashtbl.add registry name m;
           m)
 
-let counter name = find_or_create name K_counter
-let gauge name = find_or_create name K_gauge
-let histogram name = find_or_create name K_histogram
+let counter ?help name = find_or_create ?help name K_counter
+let gauge ?help name = find_or_create ?help name K_gauge
+let histogram ?help name = find_or_create ?help name K_histogram
 
 (* The per-domain cell table. The DLS value dies with its domain; the
    cells it pointed to live on in each metric's list, so nothing a dead
@@ -207,29 +210,68 @@ let fmt_float v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
+(* Exposition-format escaping: HELP text escapes backslash and newline;
+   label values additionally escape the double quote. *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let version = "1.0.0"
+let start_time = Unix.gettimeofday ()
+let uptime_seconds () = Unix.gettimeofday () -. start_time
+
 let to_prometheus () =
   let buf = Buffer.create 1024 in
+  let help n = function
+    | Some text ->
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" n (escape_help text))
+    | None -> ()
+  in
   List.iter
     (fun m ->
       let n = promname m.m_name in
       match m.m_kind with
       | K_counter ->
+          help (n ^ "_total") m.m_help;
           Buffer.add_string buf
             (Printf.sprintf "# TYPE %s_total counter\n%s_total %d\n" n n
                (counter_value m))
       | K_gauge ->
+          help n m.m_help;
           Buffer.add_string buf
             (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n
                (fmt_float (gauge_value m)))
       | K_histogram ->
           let h = hist_of m in
+          help n m.m_help;
           Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
           let cum = ref 0 in
           List.iter
             (fun (le, c) ->
               cum := !cum + c;
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (fmt_float le)
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                   (escape_label_value (fmt_float le))
                    !cum))
             h.h_buckets;
           Buffer.add_string buf
@@ -238,6 +280,21 @@ let to_prometheus () =
             (Printf.sprintf "%s_sum %s\n" n (fmt_float h.h_sum));
           Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.h_count))
     (all_metrics ());
+  (* Standard operational gauges, emitted directly: build_info carries
+     its facts as labels (our metrics have none), and uptime is computed
+     at scrape time rather than stored. *)
+  Buffer.add_string buf
+    "# HELP graql_build_info Build metadata; always 1.\n\
+     # TYPE graql_build_info gauge\n";
+  Buffer.add_string buf
+    (Printf.sprintf "graql_build_info{version=\"%s\",ocaml=\"%s\"} 1\n"
+       (escape_label_value version)
+       (escape_label_value Sys.ocaml_version));
+  Buffer.add_string buf
+    "# HELP graql_uptime_seconds Seconds since process start.\n\
+     # TYPE graql_uptime_seconds gauge\n";
+  Buffer.add_string buf
+    (Printf.sprintf "graql_uptime_seconds %s\n" (fmt_float (uptime_seconds ())));
   Buffer.contents buf
 
 let reset () =

@@ -23,19 +23,20 @@ type counter
 type gauge
 type histogram
 
-val counter : string -> counter
+val counter : ?help:string -> string -> counter
 (** Find or create. Raises [Invalid_argument] if the name is already
-    registered as a different metric kind. *)
+    registered as a different metric kind. [help] becomes the metric's
+    [# HELP] line in the Prometheus exposition (first writer wins). *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 val counter_value : counter -> int
 
-val gauge : string -> gauge
+val gauge : ?help:string -> string -> gauge
 val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
 
-val histogram : string -> histogram
+val histogram : ?help:string -> string -> histogram
 (** Log-scale histogram: bucket [i] counts observations in
     [(2^(i-1), 2^i]]; values ≤ 1 land in bucket 0. Suited to
     microsecond latencies (last bucket ≈ 6 days). *)
@@ -64,7 +65,24 @@ val to_prometheus : unit -> string
 (** Prometheus text exposition format. Metric names are prefixed with
     [graql_] and sanitized ('.' and any other illegal character become
     '_'); histograms are emitted with cumulative [_bucket{le=...}]
-    series plus [_sum] and [_count]. *)
+    series plus [_sum] and [_count]. [# HELP] text and label values are
+    escaped per the exposition format (backslash, double-quote,
+    newline). The dump
+    always ends with [graql_build_info] (version and OCaml release as
+    labels, value 1) and [graql_uptime_seconds]. *)
+
+val escape_help : string -> string
+(** Exposition-format escaping for [# HELP] text: backslash and
+    newline. *)
+
+val escape_label_value : string -> string
+(** Exposition-format escaping for label values: backslash,
+    double-quote and newline. *)
+
+val version : string
+(** The version stamped into [graql_build_info]. *)
+
+val uptime_seconds : unit -> float
 
 val reset : unit -> unit
 (** Zero every registered metric (cells stay registered). Test use only:

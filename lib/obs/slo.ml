@@ -1,0 +1,108 @@
+let mutex = Mutex.create ()
+let objective : float option ref = ref None
+let env_read = ref false
+let env_var = "GRAQL_SLO_MS"
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let objective_ms () =
+  locked (fun () ->
+      if not !env_read then begin
+        env_read := true;
+        match Sys.getenv_opt env_var with
+        | None | Some "" -> ()
+        | Some raw -> (
+            match float_of_string_opt raw with
+            | Some v when v >= 0.0 && Float.is_finite v -> objective := Some v
+            | Some _ | None ->
+                Printf.eprintf
+                  "graql: warning: ignoring %s=%S (want a non-negative \
+                   number of milliseconds); SLO objective disabled\n%!"
+                  env_var raw)
+      end;
+      !objective)
+
+let set_objective_ms o =
+  locked (fun () ->
+      env_read := true;
+      objective := o)
+
+let m_breaches = Metrics.counter "slo.breaches"
+
+(* Per-class breach counters are created on first breach; the class set
+   is small (one per statement kind). *)
+let breach_counter class_ = Metrics.counter ("slo.breaches." ^ class_)
+
+let note ~class_ ms =
+  match objective_ms () with
+  | Some obj when ms > obj ->
+      Metrics.incr m_breaches;
+      Metrics.incr (breach_counter class_)
+  | Some _ | None -> ()
+
+type class_stats = {
+  sc_class : string;
+  sc_count : int;
+  sc_p50_ms : float;
+  sc_p95_ms : float;
+  sc_p99_ms : float;
+  sc_breaches : int;
+}
+
+let percentile (h : Metrics.hist_snapshot) q =
+  if h.Metrics.h_count = 0 then nan
+  else begin
+    let rank = float_of_int h.Metrics.h_count *. q in
+    let rec scan cum = function
+      | [] -> nan
+      | (ub, n) :: rest ->
+          let cum = cum + n in
+          if float_of_int cum >= rank then ub else scan cum rest
+    in
+    scan 0 h.Metrics.h_buckets
+  end
+
+let class_prefix = "script.stmt_us."
+
+let summary () =
+  let sn = Metrics.snapshot () in
+  let breaches class_ =
+    Option.value ~default:0
+      (Metrics.find_counter sn ("slo.breaches." ^ class_))
+  in
+  List.filter_map
+    (fun (name, h) ->
+      let pl = String.length class_prefix in
+      if
+        String.length name > pl
+        && String.sub name 0 pl = class_prefix
+        && h.Metrics.h_count > 0
+      then
+        let class_ = String.sub name pl (String.length name - pl) in
+        Some
+          {
+            sc_class = class_;
+            sc_count = h.Metrics.h_count;
+            sc_p50_ms = percentile h 0.50 /. 1000.0;
+            sc_p95_ms = percentile h 0.95 /. 1000.0;
+            sc_p99_ms = percentile h 0.99 /. 1000.0;
+            sc_breaches = breaches class_;
+          }
+      else None)
+    sn.Metrics.sn_histograms
+
+let update_gauges () =
+  Metrics.set_gauge
+    (Metrics.gauge "slo.objective_ms")
+    (Option.value ~default:0.0 (objective_ms ()));
+  List.iter
+    (fun s ->
+      let set suffix v =
+        Metrics.set_gauge (Metrics.gauge ("slo." ^ s.sc_class ^ suffix)) v
+      in
+      set ".p50_ms" s.sc_p50_ms;
+      set ".p95_ms" s.sc_p95_ms;
+      set ".p99_ms" s.sc_p99_ms)
+    (summary ())

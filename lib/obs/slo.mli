@@ -1,0 +1,49 @@
+(** Latency SLO tracking (DESIGN.md §11).
+
+    Derives p50/p95/p99 statement latency per statement class from the
+    log2 histograms the engine already records
+    ([script.stmt_us.<class>]), compares wall times against a
+    configurable objective ([GRAQL_SLO_MS], milliseconds), and exports
+    the result as [slo.*] gauges (percentiles) and counters (breach /
+    burn counts) so both [/metrics] and [stats;] can surface it.
+
+    Percentiles are upper bounds: the smallest power-of-two bucket
+    boundary at which the cumulative count reaches the rank — exact to
+    within one log2 bucket (≤2× of the true value), which is the
+    resolution the histograms store. *)
+
+val objective_ms : unit -> float option
+(** Current objective. The first call reads [GRAQL_SLO_MS]; a negative
+    or non-numeric value disables the objective with a stderr warning,
+    like the slow log's threshold. *)
+
+val set_objective_ms : float option -> unit
+
+val note : class_:string -> float -> unit
+(** Record one statement's wall milliseconds against the objective:
+    increments [slo.breaches] and [slo.breaches.<class>] when over. A
+    no-op (beyond the lazy env read) when no objective is set. *)
+
+type class_stats = {
+  sc_class : string;
+  sc_count : int;
+  sc_p50_ms : float;
+  sc_p95_ms : float;
+  sc_p99_ms : float;
+  sc_breaches : int;
+}
+
+val summary : unit -> class_stats list
+(** Per-class percentile summary from the current histogram state,
+    sorted by class name. Classes are the [<class>] suffixes of
+    [script.stmt_us.<class>] histograms. *)
+
+val update_gauges : unit -> unit
+(** Publish {!summary} as [slo.<class>.p50_ms]/[.p95_ms]/[.p99_ms]
+    gauges plus [slo.objective_ms] (0 when unset) — call before
+    dumping or scraping metrics. *)
+
+val percentile : Metrics.hist_snapshot -> float -> float
+(** [percentile h q] with [q] in [0,1]: the bucket upper bound at the
+    rank, [nan] on an empty histogram. Exposed for the bench harness
+    and tests. *)

@@ -18,16 +18,32 @@ let locked f =
 
 let env_var = "GRAQL_SLOW_MS"
 
+(* Clamp bad values (negative, NaN, non-numeric) to "disabled" with a
+   warning: a monitoring knob must never take the process down. *)
+let parse_threshold raw =
+  match float_of_string_opt raw with
+  | Some v when v >= 0.0 && Float.is_finite v -> Some v
+  | Some _ | None ->
+      Printf.eprintf
+        "graql: warning: ignoring %s=%S (want a non-negative number of \
+         milliseconds); slow log disabled\n%!"
+        env_var raw;
+      None
+
 let threshold_ms () =
   locked (fun () ->
       if not !env_read then begin
         env_read := true;
-        match Option.bind (Sys.getenv_opt env_var) float_of_string_opt with
-        | Some v when v >= 0.0 ->
-            threshold := Some v;
-            (* Span summaries need span data: the slow log arms tracing. *)
-            Trace.arm ()
-        | Some _ | None -> ()
+        match Sys.getenv_opt env_var with
+        | None | Some "" -> ()
+        | Some raw -> (
+            match parse_threshold raw with
+            | Some v ->
+                threshold := Some v;
+                (* Span summaries need span data: the slow log arms
+                   tracing. *)
+                Trace.arm ()
+            | None -> ())
       end;
       !threshold)
 
@@ -80,3 +96,17 @@ let to_string e =
   in
   Printf.sprintf "slow statement (%.1f ms): %s%s" e.e_ms
     (truncate_stmt e.e_stmt) spans
+
+let entry_to_json e =
+  let module Json = Graql_util.Json in
+  Printf.sprintf "{\"stmt\": %s, \"wall_ms\": %.3f, \"spans\": [%s]}"
+    (Json.quote e.e_stmt) e.e_ms
+    (String.concat ", "
+       (List.map
+          (fun (name, count, ms) ->
+            Printf.sprintf "{\"name\": %s, \"count\": %d, \"ms\": %.3f}"
+              (Json.quote name) count ms)
+          e.e_spans))
+
+let to_json () =
+  "[" ^ String.concat ",\n " (List.map entry_to_json (entries ())) ^ "]\n"

@@ -12,7 +12,13 @@ type entry = {
 
 val threshold_ms : unit -> float option
 (** Current threshold. The first call reads [GRAQL_SLOW_MS] (and arms
-    tracing when it is set). *)
+    tracing when it is set). A negative or non-numeric value is clamped
+    to "disabled" with a warning on stderr, never an exception. *)
+
+val parse_threshold : string -> float option
+(** The [GRAQL_SLOW_MS] value parser: [Some ms] for a finite
+    non-negative number, otherwise [None] after printing the clamp
+    warning to stderr. Exposed for tests. *)
 
 val set_threshold_ms : float option -> unit
 (** Override the threshold ([Some ms] also arms tracing; [None]
@@ -31,3 +37,7 @@ val entries : unit -> entry list
 
 val clear : unit -> unit
 val to_string : entry -> string
+
+val to_json : unit -> string
+(** The recorded ring as a JSON array (oldest first) — the payload of
+    the [/slowlog] endpoint. *)

@@ -148,6 +148,16 @@ let h_run_us = Graql_obs.Metrics.histogram "pool.task_run_us"
 let backoff_delay t n =
   Float.min t.backoff_cap_ms (t.backoff_ms *. Float.pow 2.0 (float_of_int (n - 1)))
 
+(* Dispatch retries of the task currently running on this domain: the
+   injected fault strikes before the task body, so a body that wants to
+   know how degraded its own dispatch was (the query log does) cannot
+   see those retries in the [sched.retries] deltas it brackets — it
+   reads them here instead. Saved/restored around the body so nested
+   inline task execution does not clobber an outer task's count. *)
+let task_retries_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let current_task_retries () = !(Domain.DLS.get task_retries_key)
+
 (* One attempt-loop around a task: consult the fault hook, and on
    {!Transient} back off (capped exponential) and retry up to the pool's
    attempt budget. Injected faults strike *before* any task work — the
@@ -162,7 +172,11 @@ let run_with_retries t ~label ~index task =
       | Some hook -> hook ~label ~index ~attempt:n
       | None -> ()
     with
-    | () -> task ()
+    | () ->
+        let r = Domain.DLS.get task_retries_key in
+        let saved = !r in
+        r := n - 1;
+        Fun.protect ~finally:(fun () -> r := saved) task
     | exception Transient site ->
         if n >= t.max_attempts then begin
           Graql_obs.Metrics.incr m_exhausted;

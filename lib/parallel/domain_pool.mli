@@ -73,6 +73,12 @@ val with_label : string -> (unit -> 'a) -> 'a
 
 val current_label : unit -> string
 
+val current_task_retries : unit -> int
+(** Dispatch retries absorbed before the currently running pool task's
+    body started (0 outside a pool task, or when dispatch succeeded
+    first try). The query log reads this to classify a statement that
+    only ran because its dispatch was retried as "degraded". *)
+
 val run_tasks : t -> (unit -> unit) list -> unit
 (** Run the tasks to completion, in parallel; re-raises the first exception
     observed (after all tasks finish) with its original backtrace, so a

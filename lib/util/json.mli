@@ -1,0 +1,38 @@
+(** A minimal JSON reader/writer — enough to parse benchmark baselines
+    and validate the JSON the system emits (query log, slow log, Chrome
+    traces) without an external dependency.
+
+    The parser accepts the RFC 8259 grammar with two deliberate
+    simplifications: numbers are read with [float_of_string] (so the
+    full OCaml float syntax is tolerated) and [\uXXXX] escapes outside
+    the ASCII range decode to UTF-8 without validating surrogate
+    pairing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+
+val parse_exn : string -> t
+(** Raises [Failure] with the parse error. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_string_opt : t -> string option
+val to_list : t -> t list option
+
+val escape_string : string -> string
+(** The body of a JSON string literal (no surrounding quotes): escapes
+    ['"'], ['\\'] and control characters. *)
+
+val quote : string -> string
+(** [escape_string] with surrounding quotes. *)

@@ -1,0 +1,563 @@
+(* The operational HTTP front door (DESIGN.md §11): raw-socket golden
+   tests against the Telemetry endpoints (status codes, Prometheus
+   exposition content, trace arm/disarm round trips, readiness
+   toggling), concurrent scrapes while a Berlin workload runs, the
+   structured query log's JSON and outcome classification, and the
+   CLI --listen / --serve-ms flags at the binary level.
+
+   Everything binds port 0 (ephemeral) so tests never collide with
+   each other or the host. *)
+
+module Http = Graql_obs.Http
+module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
+module Slow_log = Graql_obs.Slow_log
+module Query_log = Graql_obs.Query_log
+module Json = Graql_util.Json
+module Session = Graql_gems.Session
+module Telemetry = Graql_gems.Telemetry
+module Server = Graql_gems.Server
+module Fault = Graql_gems.Fault
+module Pool = Graql_parallel.Domain_pool
+module Db = Graql_engine.Db
+module Value = Graql_storage.Value
+module Script_exec = Graql_engine.Script_exec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let find_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains hay needle = find_sub hay needle <> None
+
+(* ---------- a raw HTTP/1.1 client ---------- *)
+
+type reply = { status : int; headers : (string * string) list; body : string }
+
+let request ?(meth = "GET") ?(body = "") ?(raw = "") port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    if raw <> "" then raw
+    else
+      Printf.sprintf
+        "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\
+         Connection: close\r\n\r\n%s"
+        meth path (String.length body) body
+  in
+  let pos = ref 0 in
+  while !pos < String.length req do
+    pos :=
+      !pos
+      + Unix.write_substring fd req !pos (String.length req - !pos)
+  done;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+  in
+  drain ();
+  let reply = Buffer.contents buf in
+  match String.index_opt reply ' ' with
+  | None -> Alcotest.failf "malformed reply: %S" reply
+  | Some sp ->
+      let status = int_of_string (String.sub reply (sp + 1) 3) in
+      let header_end =
+        match find_sub reply "\r\n\r\n" with
+        | Some i -> i
+        | None -> Alcotest.failf "no header terminator in %S" reply
+      in
+      let head = String.sub reply 0 header_end in
+      let body =
+        String.sub reply (header_end + 4) (String.length reply - header_end - 4)
+      in
+      let headers =
+        List.filter_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | Some i ->
+                Some
+                  ( String.lowercase_ascii (String.sub line 0 i),
+                    String.trim
+                      (String.sub line (i + 1) (String.length line - i - 1)) )
+            | None -> None)
+          (String.split_on_char '\n' head)
+      in
+      { status; headers; body }
+
+let with_telemetry ?(ready = true) session f =
+  let tel = Telemetry.start ~ready ~port:0 session in
+  Fun.protect ~finally:(fun () -> Telemetry.stop tel) (fun () -> f tel)
+
+let quick_session () =
+  let s = Session.create () in
+  Session.set_faults s None;
+  ignore
+    (Session.run_script s
+       {|create table Ht(id varchar(4), n integer)
+         select count(*) as c from table Ht|});
+  s
+
+(* ---------- endpoint golden tests ---------- *)
+
+let test_healthz () =
+  let s = quick_session () in
+  with_telemetry s @@ fun tel ->
+  let r = request (Telemetry.port tel) "/healthz" in
+  check_int "200" 200 r.status;
+  Alcotest.(check string) "body" "ok\n" r.body;
+  check "content-length present" true
+    (List.assoc_opt "content-length" r.headers = Some "3")
+
+let test_metrics_exposition () =
+  Metrics.reset ();
+  let s = quick_session () in
+  with_telemetry s @@ fun tel ->
+  let r = request (Telemetry.port tel) "/metrics" in
+  check_int "200" 200 r.status;
+  check "prometheus content type" true
+    (match List.assoc_opt "content-type" r.headers with
+    | Some ct -> contains ct "text/plain"
+    | None -> false);
+  check "build info gauge" true
+    (contains r.body "graql_build_info{version=");
+  check "uptime gauge" true (contains r.body "graql_uptime_seconds");
+  check "help lines" true (contains r.body "# HELP");
+  check "statement counter" true
+    (contains r.body "graql_script_statements_total")
+
+let test_unknown_path_404 () =
+  let s = quick_session () in
+  with_telemetry s @@ fun tel ->
+  let r = request (Telemetry.port tel) "/nope" in
+  check_int "404" 404 r.status;
+  check "error text" true (contains r.body "not found")
+
+let test_wrong_method_405 () =
+  let s = quick_session () in
+  with_telemetry s @@ fun tel ->
+  let port = Telemetry.port tel in
+  check_int "POST on a GET route" 405 (request ~meth:"POST" port "/healthz").status;
+  check_int "GET on a POST route" 405 (request port "/traces/start").status;
+  check_int "DELETE on /metrics" 405 (request ~meth:"DELETE" port "/metrics").status
+
+let test_bad_request_400 () =
+  let s = quick_session () in
+  with_telemetry s @@ fun tel ->
+  let r = request ~raw:"this is not http\r\n\r\n" (Telemetry.port tel) "/" in
+  check_int "400" 400 r.status
+
+let test_readyz_toggles () =
+  let s = quick_session () in
+  with_telemetry ~ready:false s @@ fun tel ->
+  let port = Telemetry.port tel in
+  let r = request port "/readyz" in
+  check_int "503 while starting" 503 r.status;
+  check "starting body" true (contains r.body "starting");
+  Telemetry.set_ready tel true;
+  let r = request port "/readyz" in
+  check_int "200 once ready" 200 r.status;
+  check "ready body" true (contains r.body "ready");
+  check "recovery summary attached" true (contains r.body "recovery:")
+
+let test_stats_endpoint () =
+  let s = quick_session () in
+  with_telemetry s @@ fun tel ->
+  let r = request (Telemetry.port tel) "/stats" in
+  check_int "200" 200 r.status;
+  check "counter table rendered" true (contains r.body "counter")
+
+let test_traces_roundtrip () =
+  Trace.clear ();
+  Trace.disarm ();
+  let s = quick_session () in
+  with_telemetry s @@ fun tel ->
+  let port = Telemetry.port tel in
+  check "disarmed before" false (Trace.is_armed ());
+  let r = request ~meth:"POST" port "/traces/start" in
+  check_int "armed via POST" 200 r.status;
+  check "armed" true (Trace.is_armed ());
+  ignore (Session.run_script s "select count(*) as c from table Ht");
+  let r = request port "/traces" in
+  check_int "traces fetch" 200 r.status;
+  check "json content type" true
+    (List.assoc_opt "content-type" r.headers = Some "application/json");
+  (match Json.parse (String.trim r.body) with
+  | Ok (Json.Arr evs) -> check "span events recorded" true (evs <> [])
+  | Ok _ -> Alcotest.fail "expected a JSON array"
+  | Error msg -> Alcotest.failf "trace json: %s" msg);
+  let r = request ~meth:"POST" port "/traces/stop" in
+  check_int "disarmed via POST" 200 r.status;
+  check "disarmed after" false (Trace.is_armed ())
+
+let test_slowlog_endpoint () =
+  Slow_log.clear ();
+  Slow_log.set_threshold_ms (Some 0.0);
+  Fun.protect
+    ~finally:(fun () ->
+      Slow_log.set_threshold_ms None;
+      Trace.disarm ();
+      Slow_log.clear ())
+  @@ fun () ->
+  let s = quick_session () in
+  ignore (Session.run_script s "select count(*) as c from table Ht");
+  with_telemetry s @@ fun tel ->
+  let r = request (Telemetry.port tel) "/slowlog" in
+  check_int "200" 200 r.status;
+  match Json.parse (String.trim r.body) with
+  | Ok (Json.Arr (entry :: _)) ->
+      check "entry has stmt" true
+        (Option.is_some (Json.member "stmt" entry));
+      check "entry has wall_ms" true
+        (Option.is_some (Json.member "wall_ms" entry))
+  | Ok (Json.Arr []) -> Alcotest.fail "slow log empty at threshold 0"
+  | Ok _ -> Alcotest.fail "expected a JSON array"
+  | Error msg -> Alcotest.failf "slowlog json: %s" msg
+
+(* Scrapes must stay valid while another domain runs the Berlin
+   workload: the acceptance criterion for the tentpole. *)
+let test_concurrent_scrapes () =
+  Metrics.reset ();
+  let s = Session.create () in
+  Session.set_faults s None;
+  Graql_berlin.Berlin_gen.ingest_all ~scale:1 s;
+  Db.set_param (Session.db s) "Product1"
+    (Value.Str
+       (Graql_berlin.Berlin_reference.most_offered_product ~scale:1 ()));
+  Db.set_param (Session.db s) "Country1" (Value.Str "US");
+  Db.set_param (Session.db s) "Country2" (Value.Str "DE");
+  with_telemetry s @@ fun tel ->
+  let port = Telemetry.port tel in
+  let worker =
+    Domain.spawn (fun () ->
+        for _ = 1 to 3 do
+          List.iter
+            (fun (_, q) -> ignore (Session.run_script s q))
+            Graql_berlin.Berlin_queries.all
+        done)
+  in
+  Fun.protect ~finally:(fun () -> Domain.join worker) @@ fun () ->
+  for _ = 1 to 15 do
+    let r = request port "/metrics" in
+    check_int "scrape 200 mid-workload" 200 r.status;
+    check "scrape has content" true
+      (contains r.body "graql_build_info")
+  done
+
+let test_requests_counted () =
+  let s = quick_session () in
+  with_telemetry s @@ fun tel ->
+  let before = Metrics.counter_value (Metrics.counter "http.requests") in
+  ignore (request (Telemetry.port tel) "/healthz");
+  ignore (request (Telemetry.port tel) "/nope");
+  let after = Metrics.counter_value (Metrics.counter "http.requests") in
+  check "http.requests counted both" true (after >= before + 2)
+
+(* ---------- structured query log ---------- *)
+
+let with_query_log f =
+  let lines = ref [] in
+  Query_log.set_sink (Some (fun line -> lines := line :: !lines));
+  Fun.protect
+    ~finally:(fun () -> Query_log.set_sink None)
+    (fun () -> f (fun () -> List.rev !lines))
+
+let parse_records lines =
+  List.map
+    (fun line ->
+      match Json.parse line with
+      | Ok json -> json
+      | Error msg -> Alcotest.failf "query log line %S: %s" line msg)
+    lines
+
+let field name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "query log record lacks %S" name
+
+let str_field name json =
+  match Json.to_string_opt (field name json) with
+  | Some s -> s
+  | None -> Alcotest.failf "%S is not a string" name
+
+let int_field name json =
+  match Json.to_int (field name json) with
+  | Some i -> i
+  | None -> Alcotest.failf "%S is not an int" name
+
+let test_query_log_ok_lines () =
+  with_query_log @@ fun lines ->
+  let s = quick_session () in
+  ignore
+    (Session.run_script s
+       {|create table Ql(id varchar(4), n integer)
+         select count(*) as c from table Ql|});
+  let records = parse_records (lines ()) in
+  check "one line per statement" true (List.length records >= 2);
+  let ids = List.map (int_field "id") records in
+  check "ids strictly increase" true
+    (List.for_all2 ( < )
+       (List.filteri (fun i _ -> i < List.length ids - 1) ids)
+       (List.tl ids));
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "outcome ok" "ok" (str_field "outcome" r);
+      check "wall_ms non-negative" true
+        (match Json.to_float (field "wall_ms" r) with
+        | Some ms -> ms >= 0.0
+        | None -> false);
+      check_int "no retries" 0 (int_field "retries" r);
+      check "no error field on ok" true (Json.member "error" r = None))
+    records;
+  let kinds = List.map (str_field "stmt") records in
+  check "create_table kind labelled" true
+    (List.exists (fun k -> contains k "create_table:Ql") kinds);
+  check "select rows counted" true
+    (List.exists
+       (fun r ->
+         contains (str_field "stmt" r) "select" && int_field "rows" r >= 1)
+       records)
+
+let test_query_log_failed_and_timeout () =
+  with_query_log @@ fun lines ->
+  (* A failing ingest → "failed" with the error attached. *)
+  let s = Session.create ~strict:false () in
+  Session.set_faults s None;
+  ignore (Session.run_script s "ingest table Missing nosuch.csv");
+  (* A stalled shard under a tiny deadline → "timeout". *)
+  let pool = Pool.create ~domains:1 () in
+  let s2 = Session.create ~pool () in
+  Pool.set_retry ~backoff_ms:0.0 pool;
+  let loader _ =
+    let buf = Buffer.create (1 lsl 16) in
+    Buffer.add_string buf "id,n\n";
+    for i = 0 to 4999 do
+      Buffer.add_string buf (Printf.sprintf "r%d,%d\n" i (i mod 101))
+    done;
+    Buffer.contents buf
+  in
+  ignore
+    (Session.run_script ~loader s2
+       {|create table Big(id varchar(8), n integer)
+         ingest table Big big.csv|});
+  Session.set_faults s2 (Some (Fault.make [ Fault.rule (Fault.Slow 50) ]));
+  ignore
+    (Session.run_script ~deadline_ms:80 s2
+       "select id from table Big where n < 10 into table C");
+  Session.set_faults s2 None;
+  Pool.shutdown pool;
+  let records = parse_records (lines ()) in
+  let with_outcome o =
+    List.filter (fun r -> str_field "outcome" r = o) records
+  in
+  (match with_outcome "failed" with
+  | r :: _ ->
+      check "failed carries the error" true
+        (contains (str_field "error" r) "no such table")
+  | [] -> Alcotest.fail "no failed record");
+  (match with_outcome "timeout" with
+  | r :: _ ->
+      check "timeout carries the budget" true
+        (contains (str_field "error" r) "deadline")
+  | [] -> Alcotest.fail "no timeout record");
+  check "every line valid JSON (parse_records already proved it)" true
+    (records <> [])
+
+let test_query_log_degraded_on_retries () =
+  with_query_log @@ fun lines ->
+  let pool = Pool.create ~domains:2 () in
+  Pool.set_retry ~backoff_ms:0.0 pool;
+  let s = Session.create ~pool () in
+  Session.set_faults s (Some (Fault.fail_once ()));
+  Graql_berlin.Berlin_gen.ingest_all ~scale:1 s;
+  Db.set_param (Session.db s) "Product1" (Value.Str "p0");
+  ignore
+    (Session.run_script ~parallel:true s Graql_berlin.Berlin_queries.q2);
+  Pool.shutdown pool;
+  let records = parse_records (lines ()) in
+  check "some statement degraded by retries" true
+    (List.exists
+       (fun r ->
+         str_field "outcome" r = "degraded" && int_field "retries" r > 0)
+       records)
+
+let test_query_log_user_attribution () =
+  with_query_log @@ fun lines ->
+  let srv = Server.create () in
+  Server.add_user srv ~name:"ops" ~role:Server.Admin;
+  let conn = Server.connect srv ~user:"ops" in
+  ignore (Server.run conn "create table U(id varchar(4))");
+  let records = parse_records (lines ()) in
+  check "records attributed to the connection's user" true
+    (List.exists
+       (fun r ->
+         match Json.member "user" r with
+         | Some u -> Json.to_string_opt u = Some "ops"
+         | None -> false)
+       records);
+  check "user cleared after the script" true (Query_log.current_user () = None)
+
+(* ---------- CLI --listen / --serve-ms, at the binary level ---------- *)
+
+let graql_bin =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "graql_cli.exe")
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "graql_http" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let wait_for ?(attempts = 100) f =
+  let rec go n =
+    if n = 0 then None
+    else
+      match f () with
+      | Some v -> Some v
+      | None ->
+          Unix.sleepf 0.05;
+          go (n - 1)
+  in
+  go attempts
+
+let test_cli_listen_serves () =
+  with_temp_dir @@ fun dir ->
+  let script = Filename.concat dir "s.graql" in
+  let oc = open_out script in
+  output_string oc
+    "create table L(id varchar(4), n integer)\n\
+     select count(*) as c from table L\n";
+  close_out oc;
+  let qlog = Filename.concat dir "queries.jsonl" in
+  let err = Filename.concat dir "stderr.txt" in
+  let err_fd = Unix.openfile err [ Unix.O_WRONLY; Unix.O_CREAT ] 0o600 in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process graql_bin
+      [|
+        graql_bin; "run"; script; "--listen"; "0"; "--serve-ms"; "5000";
+        "--query-log"; qlog;
+      |]
+      null null err_fd
+  in
+  Unix.close err_fd;
+  Unix.close null;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+  @@ fun () ->
+  (* The CLI announces the ephemeral port on stderr. *)
+  let port =
+    match
+      wait_for (fun () ->
+          let text = try read_file err with Sys_error _ -> "" in
+          match find_sub text "listening on http://127.0.0.1:" with
+          | Some i ->
+              let rest =
+                String.sub text
+                  (i + String.length "listening on http://127.0.0.1:")
+                  (String.length text - i
+                  - String.length "listening on http://127.0.0.1:")
+              in
+              let digits = String.trim (List.hd (String.split_on_char '\n' rest)) in
+              int_of_string_opt digits
+          | None -> None)
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "CLI never announced its listen port"
+  in
+  (* Scrape while the CLI lingers in --serve-ms. *)
+  let healthz =
+    match
+      wait_for (fun () ->
+          match request port "/healthz" with
+          | r -> Some r
+          | exception Unix.Unix_error _ -> None)
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "CLI endpoint never answered"
+  in
+  check_int "healthz 200" 200 healthz.status;
+  let metrics = request port "/metrics" in
+  check_int "metrics 200" 200 metrics.status;
+  check "metrics exposition served" true
+    (contains metrics.body "graql_script_statements_total");
+  let ready = request port "/readyz" in
+  check_int "ready after the run" 200 ready.status;
+  (* The query log landed one valid JSON line per statement. *)
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file qlog))
+  in
+  check_int "two statements logged" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      match Json.parse l with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "bad query log line %S: %s" l msg)
+    lines
+
+let () =
+  Alcotest.run "http"
+    [
+      ( "endpoints",
+        [
+          Alcotest.test_case "healthz" `Quick test_healthz;
+          Alcotest.test_case "metrics exposition" `Quick
+            test_metrics_exposition;
+          Alcotest.test_case "404 unknown path" `Quick test_unknown_path_404;
+          Alcotest.test_case "405 wrong method" `Quick test_wrong_method_405;
+          Alcotest.test_case "400 bad request" `Quick test_bad_request_400;
+          Alcotest.test_case "readyz toggles" `Quick test_readyz_toggles;
+          Alcotest.test_case "stats" `Quick test_stats_endpoint;
+          Alcotest.test_case "traces round trip" `Quick test_traces_roundtrip;
+          Alcotest.test_case "slowlog" `Quick test_slowlog_endpoint;
+          Alcotest.test_case "requests counted" `Quick test_requests_counted;
+          Alcotest.test_case "concurrent scrapes during Berlin" `Slow
+            test_concurrent_scrapes;
+        ] );
+      ( "query-log",
+        [
+          Alcotest.test_case "ok lines" `Quick test_query_log_ok_lines;
+          Alcotest.test_case "failed and timeout" `Slow
+            test_query_log_failed_and_timeout;
+          Alcotest.test_case "degraded on retries" `Slow
+            test_query_log_degraded_on_retries;
+          Alcotest.test_case "user attribution" `Quick
+            test_query_log_user_attribution;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "--listen serves during --serve-ms" `Slow
+            test_cli_listen_serves;
+        ] );
+    ]

@@ -12,6 +12,7 @@ module Metrics = Graql_obs.Metrics
 module Trace = Graql_obs.Trace
 module Profile = Graql_obs.Profile
 module Slow_log = Graql_obs.Slow_log
+module Slo = Graql_obs.Slo
 module Pool = Graql_parallel.Domain_pool
 module Session = Graql_gems.Session
 module Fault = Graql_gems.Fault
@@ -83,6 +84,30 @@ let test_prometheus_format () =
   check "counter line" true (has "graql_test_prom_total 7");
   check "histogram count line" true (has "graql_test_prom_us_count 1");
   check "cumulative +Inf bucket" true (has "le=\"+Inf\"")
+
+let test_prometheus_escaping () =
+  Alcotest.(check string)
+    "HELP escapes backslash and newline" "a\\\\b\\nc"
+    (Metrics.escape_help "a\\b\nc");
+  Alcotest.(check string)
+    "label value additionally escapes quotes" "say \\\"hi\\\"\\n\\\\"
+    (Metrics.escape_label_value "say \"hi\"\n\\");
+  Metrics.reset ();
+  ignore
+    (Metrics.counter "test.helped"
+       ~help:"line one\nline two \\ \"quoted\"");
+  let text = Metrics.to_prometheus () in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "HELP emitted escaped on one line" true
+    (has "# HELP graql_test_helped_total line one\\nline two \\\\ \"quoted\"");
+  check "build info present" true (has "graql_build_info{version=\"");
+  check "ocaml release labelled" true (has "ocaml=\"");
+  check "uptime present" true (has "graql_uptime_seconds");
+  check "uptime is non-negative" true (Metrics.uptime_seconds () >= 0.0)
 
 (* ---------- domain-count invariance on the Berlin workload ---------- *)
 
@@ -416,6 +441,93 @@ let test_slow_log_captures () =
       check "to_string renders" true
         (String.length (Slow_log.to_string e) > 0))
 
+let test_slow_threshold_parsing () =
+  check "plain number accepted" true (Slow_log.parse_threshold "5.5" = Some 5.5);
+  check "zero accepted (log everything)" true
+    (Slow_log.parse_threshold "0" = Some 0.0);
+  check "integer accepted" true (Slow_log.parse_threshold "250" = Some 250.0);
+  check "negative clamps to disabled" true
+    (Slow_log.parse_threshold "-3" = None);
+  check "non-numeric clamps to disabled" true
+    (Slow_log.parse_threshold "fast" = None);
+  check "empty clamps to disabled" true (Slow_log.parse_threshold "" = None);
+  check "infinity clamps to disabled" true
+    (Slow_log.parse_threshold "inf" = None);
+  check "nan clamps to disabled" true (Slow_log.parse_threshold "nan" = None)
+
+let test_slow_log_json () =
+  Slow_log.clear ();
+  Slow_log.set_threshold_ms (Some 0.0);
+  Fun.protect
+    ~finally:(fun () ->
+      Slow_log.set_threshold_ms None;
+      Trace.disarm ();
+      Slow_log.clear ())
+    (fun () ->
+      Slow_log.note ~stmt:"select \"quoted\"" ~ms:1.5
+        ~spans:[ ("path.step", 3, 0.75) ];
+      match Graql_util.Json.parse (Slow_log.to_json ()) with
+      | Ok (Graql_util.Json.Arr [ entry ]) ->
+          check "stmt survives JSON round trip" true
+            (Option.bind
+               (Graql_util.Json.member "stmt" entry)
+               Graql_util.Json.to_string_opt
+            = Some "select \"quoted\"");
+          check "spans serialized" true
+            (match Graql_util.Json.member "spans" entry with
+            | Some (Graql_util.Json.Arr [ _ ]) -> true
+            | _ -> false)
+      | Ok _ -> Alcotest.fail "expected a one-entry array"
+      | Error msg -> Alcotest.failf "slow log json: %s" msg)
+
+(* ---------- SLO tracking ---------- *)
+
+let test_slo_percentile () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.slo_hist" in
+  (* 90 fast (≤1), 9 medium ((2,4]), 1 slow ((64,128]): p50 must land in
+     the fast bucket, p95 in the medium one, p99... at rank 99 the
+     cumulative count reaches 99 in the medium bucket. *)
+  for _ = 1 to 90 do Metrics.observe h 1.0 done;
+  for _ = 1 to 9 do Metrics.observe h 3.0 done;
+  Metrics.observe h 100.0;
+  let sn = Metrics.snapshot () in
+  let hs = List.assoc "test.slo_hist" sn.Metrics.sn_histograms in
+  check "p50 in fast bucket" true (Slo.percentile hs 0.5 = 1.0);
+  check "p95 in medium bucket" true (Slo.percentile hs 0.95 = 4.0);
+  check "p100 reaches the slow bucket" true (Slo.percentile hs 1.0 = 128.0);
+  check "empty histogram yields nan" true
+    (Float.is_nan
+       (Slo.percentile { hs with Metrics.h_count = 0; h_buckets = [] } 0.5))
+
+let test_slo_summary_and_breaches () =
+  Metrics.reset ();
+  Slo.set_objective_ms (Some 2.0);
+  Fun.protect ~finally:(fun () -> Slo.set_objective_ms None) @@ fun () ->
+  (* Latency data lives in script.stmt_us.<class> histograms (µs). *)
+  let h = Metrics.histogram "script.stmt_us.select" in
+  for _ = 1 to 99 do Metrics.observe h 500.0 done;
+  Metrics.observe h 10_000.0;
+  Slo.note ~class_:"select" 0.5;
+  Slo.note ~class_:"select" 10.0;
+  (* breach *)
+  match Slo.summary () with
+  | [ s ] ->
+      Alcotest.(check string) "class name" "select" s.Slo.sc_class;
+      check_int "count" 100 s.Slo.sc_count;
+      check "p50 ≤ objective bucket" true (s.Slo.sc_p50_ms <= 2.0);
+      check "p99 sees the slow tail" true (s.Slo.sc_p99_ms >= 0.512);
+      check_int "one breach counted" 1 s.Slo.sc_breaches;
+      check_int "global breach counter" 1
+        (Metrics.counter_value (Metrics.counter "slo.breaches"));
+      Slo.update_gauges ();
+      let sn = Metrics.snapshot () in
+      check "p50 gauge published" true
+        (List.mem_assoc "slo.select.p50_ms" sn.Metrics.sn_gauges);
+      check "objective gauge published" true
+        (List.assoc_opt "slo.objective_ms" sn.Metrics.sn_gauges = Some 2.0)
+  | l -> Alcotest.failf "expected one class, got %d" (List.length l)
+
 (* ---------- overhead (opt-in: timing-sensitive) ---------- *)
 
 let test_traced_overhead_bounded () =
@@ -542,6 +654,15 @@ let () =
           Alcotest.test_case "merge across domains" `Quick
             test_counters_merge_across_domains;
           Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+          Alcotest.test_case "prometheus escaping" `Quick
+            test_prometheus_escaping;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "percentile from log2 buckets" `Quick
+            test_slo_percentile;
+          Alcotest.test_case "summary and breaches" `Quick
+            test_slo_summary_and_breaches;
         ] );
       ( "invariance",
         [
@@ -566,7 +687,12 @@ let () =
           Alcotest.test_case "collector scoping" `Quick test_collector_scoping;
         ] );
       ( "slow-log",
-        [ Alcotest.test_case "captures" `Quick test_slow_log_captures ] );
+        [
+          Alcotest.test_case "captures" `Quick test_slow_log_captures;
+          Alcotest.test_case "threshold parsing clamps" `Quick
+            test_slow_threshold_parsing;
+          Alcotest.test_case "json dump" `Quick test_slow_log_json;
+        ] );
       ( "overhead",
         [
           Alcotest.test_case "traced within 1.5x (GRAQL_OBS_OVERHEAD_CHECK)"
