@@ -734,6 +734,137 @@ let sweep_join_parallel ?(json = false) () =
   end;
   List.rev !entries
 
+(* Vectorized-execution ablation (DESIGN.md §12): the same scans,
+   aggregations and joins through the batched kernels and through the
+   row-at-a-time reference paths they replicate. Backing data for
+   BENCH_scan.json (--json mode). *)
+let scan_bench_table =
+  lazy
+    begin
+      let open Graql in
+      let schema =
+        Schema.make
+          [
+            { Schema.name = "v"; dtype = Dtype.Int };
+            { Schema.name = "g"; dtype = Dtype.Int };
+            { Schema.name = "f"; dtype = Dtype.Float };
+          ]
+      in
+      let t = Table.create ~name:"bench_scan" schema in
+      let state = ref 7 in
+      let rand bound =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod bound
+      in
+      for i = 0 to 400_000 - 1 do
+        Table.append_row t
+          [
+            Value.Int (rand 1000);
+            Value.Int (i mod 64);
+            Value.Float (float_of_int (rand 10_000) /. 7.0);
+          ]
+      done;
+      t
+    end
+
+let with_row_path f =
+  (* Force every reference path at once; the toggles are independent and
+     each kernel consults its own. *)
+  let rv = !Graql.Relop.vectorized
+  and jv = !Graql.Join.use_int_fast
+  and av = !Graql.Aggregate.vectorized in
+  Graql.Relop.vectorized := false;
+  Graql.Join.use_int_fast := false;
+  Graql.Aggregate.vectorized := false;
+  Fun.protect
+    ~finally:(fun () ->
+      Graql.Relop.vectorized := rv;
+      Graql.Join.use_int_fast := jv;
+      Graql.Aggregate.vectorized := av)
+    f
+
+let sweep_scan ?(json = false) () =
+  print_endline
+    "\n== vectorized kernels vs row-at-a-time reference (sequential, ms) ==";
+  let t = Lazy.force scan_bench_table in
+  let entries = ref [] in
+  let bench name sel f =
+    let vec, _ = time_stats ~reps:9 ~trim:4 f in
+    let row, _ = time_stats ~reps:9 ~trim:4 (fun () -> with_row_path f) in
+    entries := (name, sel, vec *. 1000.0, row *. 1000.0) :: !entries
+  in
+  List.iter
+    (fun sel ->
+      let pred =
+        Graql.Row_expr.(Cmp (Lt, Col 0, Const (Graql.Value.Int (10 * sel))))
+      in
+      bench "select" sel (fun () -> ignore (Graql.Relop.select t pred)))
+    [ 1; 10; 50; 90 ];
+  let aggs =
+    Graql.Aggregate.[ (Sum 0, "s"); (Count_star, "n"); (Avg 2, "avg") ]
+  in
+  bench "group_by" 100 (fun () ->
+      ignore (Graql.Aggregate.group_by t ~keys:[ 1 ] ~aggs));
+  bench "scalar_sum" 100 (fun () ->
+      ignore (Graql.Aggregate.scalar t (Graql.Aggregate.Sum 0)));
+  let left, right = join_bench_tables ~scale:8 in
+  bench "hash_join" 100 (fun () ->
+      ignore
+        (Graql.Join.hash_join ~name:"bs" ~left ~right ~on:[ (0, 0) ] ()));
+  let entries = List.rev !entries in
+  print_endline
+    (Graql_util.Text_table.render
+       ~header:[ "kernel"; "sel(%)"; "row(ms)"; "vectorized(ms)"; "speedup" ]
+       (List.map
+          (fun (name, sel, vec, row) ->
+            [
+              name;
+              string_of_int sel;
+              Printf.sprintf "%.3f" row;
+              Printf.sprintf "%.3f" vec;
+              Printf.sprintf "%.1fx" (row /. vec);
+            ])
+          entries));
+  (* Statistics-driven join order: the same logical query in both textual
+     orders runs in the same time — the planner normalizes to the
+     cardinality-chosen order either way. *)
+  let ab =
+    time_best (fun () ->
+        ignore
+          (Graql.run session
+             "select o.price from table Offers as o, Products as p where \
+              o.product = p.id and p.propertyNumeric_1 > 1900"))
+  in
+  let ba =
+    time_best (fun () ->
+        ignore
+          (Graql.run session
+             "select o.price from table Products as p, Offers as o where \
+              o.product = p.id and p.propertyNumeric_1 > 1900"))
+  in
+  Printf.printf
+    "planner order invariance: Offers,Products %s ms / Products,Offers %s ms\n"
+    (ms ab) (ms ba);
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i (name, sel, vec, row) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  {\"name\": %S, \"selectivity\": %d, \"vectorized_ms\": %.3f, \
+              \"row_ms\": %.3f, \"speedup\": %.2f}"
+             name sel vec row (row /. vec)))
+      entries;
+    Buffer.add_string buf "\n]\n";
+    let oc = open_out "BENCH_scan.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_scan.json (%d entries)\n" (List.length entries)
+  end;
+  entries
+
 let sweep_baseline_vs_engine () =
   print_endline
     "\n== CSR-indexed executor vs brute-force baseline (Q2 core path) ==";
@@ -1079,6 +1210,7 @@ let row_change r =
 let current_join = lazy (sweep_join_parallel ())
 let current_recovery = lazy (sweep_recovery ())
 let current_obs = lazy (sweep_obs ())
+let current_scan = lazy (sweep_scan ())
 
 let num_field obj name =
   Option.bind (Json.member name obj) Json.to_float
@@ -1151,15 +1283,45 @@ let check_obs baseline =
       ]
   | None -> []
 
+let check_scan baseline =
+  let current = Lazy.force current_scan in
+  List.filter_map
+    (fun entry ->
+      match
+        ( Option.bind (Json.member "name" entry) Json.to_string_opt,
+          num_field entry "selectivity",
+          num_field entry "vectorized_ms" )
+      with
+      | Some name, Some sel, Some base_ms -> (
+          let sel = int_of_float sel in
+          match
+            List.find_opt (fun (n, s, _, _) -> n = name && s = sel) current
+          with
+          | Some (_, _, vec_ms, _) ->
+              Some
+                {
+                  ck_metric =
+                    Printf.sprintf "scan:%s/sel=%d vectorized_ms" name sel;
+                  ck_base = base_ms;
+                  ck_cur = vec_ms;
+                  ck_higher_better = false;
+                }
+          | None -> None)
+      | _ -> None)
+    (Option.value (Json.to_list baseline) ~default:[])
+
 (* A baseline file is classified by shape, not by name: an object with
    "overhead" is the obs sweep; an array whose entries carry
-   "wal_records" is the recovery sweep; an array with "domains" is the
-   join sweep. *)
+   "wal_records" is the recovery sweep; an array with "selectivity" is
+   the vectorized-kernel sweep; an array with "domains" is the join
+   sweep. *)
 let classify_baseline json =
   match json with
   | Json.Obj _ when Json.member "overhead" json <> None -> Some `Obs
   | Json.Arr (first :: _) when Json.member "wal_records" first <> None ->
       Some `Recovery
+  | Json.Arr (first :: _) when Json.member "selectivity" first <> None ->
+      Some `Scan
   | Json.Arr (first :: _) when Json.member "domains" first <> None ->
       Some `Join
   | _ -> None
@@ -1194,6 +1356,7 @@ let run_check baselines =
               | Some `Join -> check_join json
               | Some `Recovery -> check_recovery json
               | Some `Obs -> check_obs json
+              | Some `Scan -> check_scan json
               | None ->
                   Printf.eprintf
                     "bench: warning: baseline %s has an unknown shape, \
@@ -1234,7 +1397,10 @@ let run_check baselines =
   end
 
 let default_baselines =
-  [ "BENCH_join.json"; "BENCH_recovery.json"; "BENCH_obs.json" ]
+  [
+    "BENCH_join.json"; "BENCH_recovery.json"; "BENCH_obs.json";
+    "BENCH_scan.json";
+  ]
 
 let () =
   Printf.printf "GraQL benchmark harness — scale %d (%d products), %s\n\n"
@@ -1255,10 +1421,11 @@ let () =
   end;
   if List.mem "--json" argv then begin
     (* Machine-readable sweeps only: BENCH_join.json + BENCH_recovery.json
-       + BENCH_obs.json. *)
+       + BENCH_obs.json + BENCH_scan.json. *)
     ignore (sweep_join_parallel ~json:true ());
     ignore (sweep_recovery ~json:true ());
     ignore (sweep_obs ~json:true ());
+    ignore (sweep_scan ~json:true ());
     exit 0
   end;
   run_bechamel ();
@@ -1270,6 +1437,7 @@ let () =
   sweep_fault_recovery ();
   ignore (sweep_recovery ());
   ignore (sweep_join_parallel ());
+  ignore (sweep_scan ());
   sweep_baseline_vs_engine ();
   sweep_seed_strategy ();
   sweep_fast_pred ();

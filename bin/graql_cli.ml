@@ -708,6 +708,23 @@ let explain_cmd =
                   (Graql.Explain.explain_multipath ~db
                      ~params:(fun p -> Graql.Db.find_param db p)
                      sg_path)
+            | Graql.Ast.Select_table st ->
+                print_endline (Graql.Pretty.stmt_to_string stmt);
+                (match
+                   Graql.Table_plan.of_select ~db
+                     ~params:(fun p -> Graql.Db.find_param db p)
+                     st
+                 with
+                | plan ->
+                    print_endline (Graql.Table_plan.to_string plan);
+                    print_newline ()
+                | exception Graql.Table_plan.Plan_error (loc, msg) ->
+                    Printf.printf "%s: %s\n\n" (Graql.Loc.to_string loc) msg);
+                (* Still execute: later statements may select from the
+                   result state, matching the non-graph branch below. *)
+                ignore
+                  (Graql.Script_exec.exec_stmt
+                     ~loader:(loader_for data_dir) db stmt)
             | _ ->
                 (* DDL / ingest / set establish the state plans need. *)
                 ignore
@@ -720,8 +737,10 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Show the dynamic query plan (direction, seed strategy, \
-             cardinality estimates) for each graph query in a script")
+       ~doc:"Show the query plan for each query in a script: direction, \
+             seed strategy and cardinality estimates for graph queries; \
+             statistics-driven join order, pushdown and cardinality \
+             estimates for table selects")
     Term.(ret (const action $ script_arg $ params_arg $ domains_arg $ data_dir_arg))
 
 let cluster_plan_cmd =

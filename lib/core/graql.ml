@@ -60,6 +60,7 @@ module Script_exec = Graql_engine.Script_exec
 module Path_exec = Graql_engine.Path_exec
 module Ddl_exec = Graql_engine.Ddl_exec
 module Explain = Graql_engine.Explain
+module Table_plan = Graql_engine.Table_plan
 module Profile_exec = Graql_engine.Profile_exec
 module Reference_exec = Graql_engine.Reference_exec
 module Db_io = Graql_engine.Db_io

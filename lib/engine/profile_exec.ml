@@ -55,8 +55,46 @@ let plans_of_stmt db stmt =
       with _ -> [])
   | _ -> []
 
+(* (label, estimated rows) for the table operators a select-table
+   statement will run, in the planner's emission order. Estimates attach
+   to operator samples by label: each sample consumes the first
+   still-unclaimed estimate with its label, so scans (observed in textual
+   order) and planned filters/joins line up even when the plan reorders
+   them. *)
+let op_estimates_of_stmt db stmt =
+  match stmt with
+  | Ast.Select_table st -> (
+      try
+        Table_plan.op_estimates
+          (Table_plan.of_select ~db ~params:(Db.find_param db) st)
+      with _ -> [])
+  | _ -> []
+
+let attach_op_estimates ests ops =
+  let remaining = ref ests in
+  let take label =
+    let rec go acc = function
+      | [] -> None
+      | (l, e) :: tl when l = label ->
+          remaining := List.rev_append acc tl;
+          Some e
+      | hd :: tl -> go (hd :: acc) tl
+    in
+    go [] !remaining
+  in
+  List.map
+    (fun s ->
+      {
+        pr_label = s.Profile.sa_label;
+        pr_est = take s.Profile.sa_label;
+        pr_rows = s.Profile.sa_rows;
+        pr_ms = s.Profile.sa_ms;
+      })
+    ops
+
 let profile_stmt ?loader db stmt =
   let plans = plans_of_stmt db stmt in
+  let op_ests = op_estimates_of_stmt db stmt in
   let coll = Profile.create () in
   let t0 = Unix.gettimeofday () in
   let outcome =
@@ -85,16 +123,7 @@ let profile_stmt ?loader db stmt =
     r_outcome = outcome;
     r_ms = ms;
     r_paths = pair plans sampled;
-    r_ops =
-      List.map
-        (fun s ->
-          {
-            pr_label = s.Profile.sa_label;
-            pr_est = None;
-            pr_rows = s.Profile.sa_rows;
-            pr_ms = s.Profile.sa_ms;
-          })
-        (Profile.ops coll);
+    r_ops = attach_op_estimates op_ests (Profile.ops coll);
   }
 
 let profile_script ?loader db script =
@@ -139,13 +168,32 @@ let step_table rows =
        rows)
 
 let op_table rows =
-  Text_table.render
-    ~aligns:[| Text_table.Left; Right; Right |]
-    ~header:[ "operator"; "rows"; "ms" ]
-    (List.map
-       (fun r ->
-         [ r.pr_label; string_of_int r.pr_rows; Printf.sprintf "%.2f" r.pr_ms ])
-       rows)
+  if List.exists (fun r -> r.pr_est <> None) rows then
+    (* A table plan supplied estimates: render them next to actuals,
+       like the path-step table. *)
+    Text_table.render
+      ~aligns:[| Text_table.Left; Right; Right; Right; Right |]
+      ~header:[ "operator"; "est. rows"; "actual"; "x err"; "ms" ]
+      (List.map
+         (fun r ->
+           [
+             r.pr_label;
+             (match r.pr_est with
+             | Some e -> Printf.sprintf "%.1f" e
+             | None -> "-");
+             string_of_int r.pr_rows;
+             err_factor ~est:r.pr_est ~actual:r.pr_rows;
+             Printf.sprintf "%.2f" r.pr_ms;
+           ])
+         rows)
+  else
+    Text_table.render
+      ~aligns:[| Text_table.Left; Right; Right |]
+      ~header:[ "operator"; "rows"; "ms" ]
+      (List.map
+         (fun r ->
+           [ r.pr_label; string_of_int r.pr_rows; Printf.sprintf "%.2f" r.pr_ms ])
+         rows)
 
 let add_block buf s =
   Buffer.add_string buf s;

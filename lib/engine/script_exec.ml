@@ -73,6 +73,7 @@ let exec_ingest ~loader db ~table ~file ~loc =
     try Csv.table_of_csv ~name:table (Table.schema target) doc
     with Failure msg -> error loc "ingest %s: %s" file msg
   in
+  Table.reserve target (before + Table.nrows staged);
   Table.iter_rows
     (fun r -> Table.append_row_array target (Table.row staged r))
     staged;

@@ -114,7 +114,7 @@ let build_working ~db ~params (st : Ast.select_table) =
   in
   match st.Ast.st_from with
   | Ast.From_table (name, alias) ->
-      let table = observed "scan" ~detail:name (fun () -> lookup name) in
+      let table = observed "scan" ~detail:(norm name) (fun () -> lookup name) in
       let names =
         norm name :: (match alias with Some a -> [ norm a ] | None -> [])
       in
@@ -135,137 +135,130 @@ let build_working ~db ~params (st : Ast.select_table) =
       let rels =
         List.map
           (fun (name, alias) ->
-            let table = observed "scan" ~detail:name (fun () -> lookup name) in
+            let table = observed "scan" ~detail:(norm name) (fun () -> lookup name) in
             let names =
               norm name :: (match alias with Some a -> [ norm a ] | None -> [])
             in
-            (names, table))
+            { Table_plan.r_names = names; r_table = table })
           sources
       in
       let conjs =
         match where with Some w -> Compile_expr.conjuncts w | None -> []
       in
-      (* Cross-relation equality conjuncts become join atoms. *)
-      let rel_of_qual q =
-        List.find_opt (fun (names, _) -> List.mem (norm q) names) rels
+      (* Statistics-driven plan: which conjuncts push below the joins,
+         and the left-deep join order by estimated cardinality. *)
+      let plan =
+        try Table_plan.plan ~params:(fun p -> params p) ~loc rels conjs
+        with Table_plan.Plan_error (l, m) -> error l "%s" m
       in
-      let rel_of_attr a =
-        let hits =
-          List.filter
-            (fun (_, t) -> Schema.find (Table.schema t) a <> None)
-            rels
-        in
-        match hits with [ r ] -> Some r | _ -> None
+      let compile_against srcs working e =
+        try Compile_expr.compile ~params (binder_of srcs working) e
+        with Compile_expr.Compile_error (l, m) -> error l "%s" m
       in
-      let rel_key (names, _) = List.hd names in
-      let atoms = ref [] and residuals = ref [] in
-      List.iter
-        (fun conj ->
-          match conj with
-          | Ast.E_binop
-              (Ast.Eq, Ast.E_attr (qa, aa, la), Ast.E_attr (qb, ab, lb), _) -> (
-              let ra =
-                match qa with Some q -> rel_of_qual q | None -> rel_of_attr aa
-              in
-              let rb =
-                match qb with Some q -> rel_of_qual q | None -> rel_of_attr ab
-              in
-              match (ra, rb) with
-              | Some ra, Some rb when rel_key ra <> rel_key rb ->
-                  atoms := (ra, aa, la, rb, ab, lb) :: !atoms
-              | _ -> residuals := conj :: !residuals)
-          | _ -> residuals := conj :: !residuals)
-        conjs;
-      let atoms = List.rev !atoms and residuals = List.rev !residuals in
-      (match rels with
+      let conj_pred srcs working = function
+        | [] -> None
+        | conjs ->
+            Some
+              (List.fold_left
+                 (fun acc conj ->
+                   let e = compile_against srcs working conj in
+                   match acc with
+                   | None -> Some e
+                   | Some a -> Some (Row_expr.And (a, e)))
+                 None conjs
+              |> Option.get)
+      in
+      (* Scan-level pushdown: filter each relation before it joins. *)
+      let filtered_scans =
+        List.map
+          (fun (s : Table_plan.scan_step) ->
+            let r = s.Table_plan.sc_rel in
+            let table = r.Table_plan.r_table in
+            match s.Table_plan.sc_pushed with
+            | [] -> (r, table)
+            | pushed ->
+                let src1 = [ { names = r.Table_plan.r_names; table; base = 0 } ] in
+                let pred = Option.get (conj_pred src1 table pushed) in
+                let t =
+                  observed "filter" ~detail:(Table_plan.rel_key r) (fun () ->
+                      Relop.select ?pool:(Db.pool db) table pred)
+                in
+                (r, t))
+          plan.Table_plan.tp_scans
+      in
+      let table_of r =
+        snd
+          (List.find
+             (fun (r', _) -> Table_plan.rel_id r' = Table_plan.rel_id r)
+             filtered_scans)
+      in
+      (match plan.Table_plan.tp_scans with
       | [] -> error loc "empty from clause"
       | first :: rest ->
+          let first_rel = first.Table_plan.sc_rel in
           let srcs =
-            ref [ { names = fst first; table = snd first; base = 0 } ]
+            ref
+              [
+                {
+                  names = first_rel.Table_plan.r_names;
+                  table = table_of first_rel;
+                  base = 0;
+                };
+              ]
           in
-          let working = ref (snd first) in
-          let remaining = ref rest in
-          let joined_key r = List.exists (fun s -> s.names = fst r) !srcs in
-          while !remaining <> [] do
-            let pick =
-              List.find_opt
-                (fun r ->
-                  List.exists
-                    (fun (ra, _, _, rb, _, _) ->
-                      (rel_key ra = rel_key r && joined_key rb)
-                      || (rel_key rb = rel_key r && joined_key ra))
-                    atoms)
-                !remaining
-            in
-            match pick with
-            | None ->
-                error loc
-                  "from-clause tables are not connected by join conditions"
-            | Some r ->
-                let col_in_src s attr l =
-                  match Schema.find (Table.schema s.table) attr with
-                  | Some i -> s.base + i
-                  | None ->
-                      error l "table %s has no column %S" (List.hd s.names) attr
-                in
-                let on =
-                  List.filter_map
-                    (fun (ra, aa, la, rb, ab, lb) ->
-                      if rel_key ra = rel_key r && joined_key rb then
-                        let s = List.find (fun s -> s.names = fst rb) !srcs in
-                        let right_col =
-                          match Schema.find (Table.schema (snd r)) aa with
-                          | Some i -> i
-                          | None ->
-                              error la "table %s has no column %S" (rel_key r) aa
-                        in
-                        Some (col_in_src s ab lb, right_col)
-                      else if rel_key rb = rel_key r && joined_key ra then
-                        let s = List.find (fun s -> s.names = fst ra) !srcs in
-                        let right_col =
-                          match Schema.find (Table.schema (snd r)) ab with
-                          | Some i -> i
-                          | None ->
-                              error lb "table %s has no column %S" (rel_key r) ab
-                        in
-                        Some (col_in_src s aa la, right_col)
-                      else None)
-                    atoms
-                in
-                let base = Table.arity !working in
-                working :=
-                  observed "join" ~detail:(rel_key r) (fun () ->
-                      Join.hash_join ?pool:(Db.pool db) ~name:"join"
-                        ~left:!working ~right:(snd r) ~on ());
-                srcs := !srcs @ [ { names = fst r; table = snd r; base } ];
-                remaining := List.filter (fun x -> fst x <> fst r) !remaining
-          done;
+          let working = ref (table_of first_rel) in
+          let joined = ref [ Table_plan.rel_id first_rel ] in
+          List.iter2
+            (fun (s : Table_plan.scan_step) (_ : Table_plan.join_step) ->
+              let r = s.Table_plan.sc_rel in
+              let right = table_of r in
+              let atoms =
+                Table_plan.atoms_for plan ~incoming:(Table_plan.rel_id r)
+                  ~joined:!joined
+              in
+              let on =
+                List.map
+                  (fun (jrel, jattr, jloc, iattr, iloc) ->
+                    let src =
+                      List.find
+                        (fun sr -> String.concat "/" sr.names = jrel)
+                        !srcs
+                    in
+                    let left_col =
+                      match Schema.find (Table.schema src.table) jattr with
+                      | Some i -> src.base + i
+                      | None ->
+                          error jloc "table %s has no column %S"
+                            (List.hd src.names) jattr
+                    in
+                    let right_col =
+                      match Schema.find (Table.schema right) iattr with
+                      | Some i -> i
+                      | None ->
+                          error iloc "table %s has no column %S"
+                            (Table_plan.rel_key r) iattr
+                    in
+                    (left_col, right_col))
+                  atoms
+              in
+              let base = Table.arity !working in
+              working :=
+                observed "join" ~detail:(Table_plan.rel_key r) (fun () ->
+                    Join.hash_join ?pool:(Db.pool db) ~name:"join"
+                      ~left:!working ~right ~on ());
+              srcs :=
+                !srcs @ [ { names = r.Table_plan.r_names; table = right; base } ];
+              joined := Table_plan.rel_id r :: !joined)
+            rest plan.Table_plan.tp_joins;
           let srcs = !srcs in
           let filtered =
-            match residuals with
-            | [] -> !working
-            | _ ->
-                let pred =
-                  List.fold_left
-                    (fun acc conj ->
-                      let e =
-                        try
-                          Compile_expr.compile ~params
-                            (binder_of srcs !working) conj
-                        with Compile_expr.Compile_error (l, m) -> error l "%s" m
-                      in
-                      match acc with
-                      | None -> Some e
-                      | Some a -> Some (Row_expr.And (a, e)))
-                    None residuals
-                in
-                (match pred with
-                | Some pred ->
-                    observed "filter" (fun () ->
-                        Relop.select ?pool:(Db.pool db) !working pred)
-                | None -> !working)
+            match conj_pred srcs !working plan.Table_plan.tp_residual with
+            | Some pred ->
+                observed "filter" (fun () ->
+                    Relop.select ?pool:(Db.pool db) !working pred)
+            | None -> !working
           in
-          (filtered, List.map (fun s -> { s with table = s.table }) srcs))
+          (filtered, srcs))
 
 (* Output column name for a target. *)
 let target_name ?(idx = 0) = function

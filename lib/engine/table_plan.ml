@@ -1,0 +1,504 @@
+(* Cost-based planning for table selects: conjunct classification
+   (pushdown vs join atom vs residual), statistics-driven selectivity
+   estimates, and a greedy left-deep join order by estimated output
+   cardinality. The executor ({!Table_exec}) follows the plan; EXPLAIN
+   and EXPLAIN ANALYZE render it with estimated vs actual rows.
+
+   Estimates never change query semantics — only operator order (filters
+   push below joins, joins reorder), which is result-set-preserving for
+   inner equi-joins under a conjunctive predicate. *)
+
+module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
+module Table = Graql_storage.Table
+module Schema = Graql_storage.Schema
+module Column = Graql_storage.Column
+module Value = Graql_storage.Value
+module Dtype = Graql_storage.Dtype
+
+exception Plan_error of Loc.t * string
+
+let norm = String.lowercase_ascii
+
+(* Fallback selectivity when statistics cannot size a condition; matches
+   the path planner's guess ({!Explain.cond_selectivity}). *)
+let default_selectivity = 0.1
+
+type rel = {
+  r_names : string list;  (** lowercased table name, then alias *)
+  r_table : Table.t;
+}
+
+(* Display name (the table name) and unique identity (names + alias —
+   two aliases of one table are distinct relations). *)
+let rel_key r = List.hd r.r_names
+let rel_id r = String.concat "/" r.r_names
+
+(* ------------------------------------------------------------------ *)
+(* Selectivity estimation                                              *)
+
+let col_stats table attr =
+  match Schema.find (Table.schema table) attr with
+  | None -> None
+  | Some i -> Column.stats (Table.column table i)
+
+(* Literal / resolved-parameter value of an expression, if it is one. *)
+let const_of ~params e =
+  match e with
+  | Ast.E_lit (l, _) -> Some (Compile_expr.value_of_lit l)
+  | Ast.E_param (p, _) -> params p
+  | _ -> None
+
+let clamp01 s = Float.min 1.0 (Float.max 0.0 s)
+
+(* Fraction of the [min, max] payload span admitted by a comparison with
+   [c]. Only Int/Date columns expose min/max (dates are day numbers). *)
+let range_fraction ~lo ~hi op c =
+  let span = float_of_int (hi - lo + 1) in
+  let frac =
+    match op with
+    | Ast.Lt -> float_of_int (c - lo) /. span
+    | Ast.Le -> float_of_int (c - lo + 1) /. span
+    | Ast.Gt -> float_of_int (hi - c) /. span
+    | Ast.Ge -> float_of_int (hi - c + 1) /. span
+    | _ -> default_selectivity
+  in
+  clamp01 frac
+
+let int_of_value = function
+  | Value.Int i -> Some i
+  | Value.Date d -> Some d
+  | _ -> None
+
+let eq_selectivity table a op =
+  match col_stats table a with
+  | Some st when st.Column.st_distinct >= 1.0 ->
+      let eq = 1.0 /. st.Column.st_distinct in
+      if op = Ast.Eq then eq else clamp01 (1.0 -. eq)
+  | _ -> default_selectivity
+
+(* Estimated fraction of [table]'s rows satisfying [conj]. Statistics
+   give exact shapes for the common atoms; everything else falls back to
+   {!default_selectivity}. And/Or/Not combine assuming independence. *)
+let rec selectivity ~params table conj =
+  match conj with
+  | Ast.E_binop (Ast.And, a, b, _) ->
+      selectivity ~params table a *. selectivity ~params table b
+  | Ast.E_binop (Ast.Or, a, b, _) ->
+      let sa = selectivity ~params table a
+      and sb = selectivity ~params table b in
+      clamp01 ((sa +. sb) -. (sa *. sb))
+  | Ast.E_unop (Ast.Not, a, _) -> clamp01 (1.0 -. selectivity ~params table a)
+  | Ast.E_is_null (Ast.E_attr (_, a, _), positive, _) -> (
+      match col_stats table a with
+      | Some st when st.Column.st_rows > 0 ->
+          let f =
+            float_of_int st.Column.st_nulls /. float_of_int st.Column.st_rows
+          in
+          if positive then f else clamp01 (1.0 -. f)
+      | _ -> default_selectivity)
+  | Ast.E_binop (((Ast.Eq | Ast.Ne) as op), Ast.E_attr (_, a, _), rhs, _)
+    when const_of ~params rhs <> None ->
+      eq_selectivity table a op
+  | Ast.E_binop (((Ast.Eq | Ast.Ne) as op), lhs, Ast.E_attr (_, a, _), _)
+    when const_of ~params lhs <> None ->
+      eq_selectivity table a op
+  | Ast.E_binop
+      (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), Ast.E_attr (_, a, _), rhs, _)
+    when const_of ~params rhs <> None -> (
+      match (col_stats table a, Option.bind (const_of ~params rhs) int_of_value)
+      with
+      | Some { Column.st_min = Some lo; st_max = Some hi; _ }, Some c
+        when hi >= lo ->
+          range_fraction ~lo ~hi op c
+      | _ -> default_selectivity)
+  | Ast.E_binop
+      (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), lhs, Ast.E_attr (_, a, _), _)
+    when const_of ~params lhs <> None -> (
+      (* [c < x] is [x > c], etc. *)
+      let flip =
+        match op with
+        | Ast.Lt -> Ast.Gt
+        | Ast.Le -> Ast.Ge
+        | Ast.Gt -> Ast.Lt
+        | Ast.Ge -> Ast.Le
+        | _ -> op
+      in
+      match (col_stats table a, Option.bind (const_of ~params lhs) int_of_value)
+      with
+      | Some { Column.st_min = Some lo; st_max = Some hi; _ }, Some c
+        when hi >= lo ->
+          range_fraction ~lo ~hi flip c
+      | _ -> default_selectivity)
+  | _ -> default_selectivity
+
+(* Distinct-value estimate of [attr] in [rel]'s base table, for join
+   cardinality; at least 1, at most the base row count. *)
+let distinct_of table attr =
+  match col_stats table attr with
+  | Some st when st.Column.st_distinct >= 1.0 -> st.Column.st_distinct
+  | _ -> Float.max 1.0 (float_of_int (Table.nrows table) *. default_selectivity)
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct classification                                             *)
+
+type atom = {
+  a_rel : string;  (** rel key of the left operand *)
+  a_attr : string;
+  a_loc : Loc.t;
+  b_rel : string;
+  b_attr : string;
+  b_loc : Loc.t;
+}
+
+type classified = {
+  c_atoms : atom list;  (** cross-relation equality join conditions *)
+  c_pushed : (string * Ast.expr) list;  (** rel key -> single-rel conjunct *)
+  c_residual : Ast.expr list;
+}
+
+let rel_of_qual rels q =
+  List.find_opt (fun r -> List.mem (norm q) r.r_names) rels
+
+let rel_of_attr rels a =
+  match
+    List.filter (fun r -> Schema.find (Table.schema r.r_table) a <> None) rels
+  with
+  | [ r ] -> Some r
+  | _ -> None
+
+(* The single relation every attribute of [e] resolves to, if there is
+   exactly one. [None] sends the conjunct to the residual filter, where
+   compilation reproduces today's unknown/ambiguous-column errors. *)
+let rec rel_of_expr rels e =
+  let merge a b =
+    match (a, b) with
+    | `None, x | x, `None -> x
+    | `One ka, `One kb when ka = kb -> `One ka
+    | _ -> `Many
+  in
+  match e with
+  | Ast.E_lit _ | Ast.E_param _ -> `None
+  | Ast.E_attr (Some q, a, _) -> (
+      match rel_of_qual rels q with
+      | Some r -> `One (rel_id r)
+      | None -> (
+          (* Flattened path tables answer to dotted "Q.attr" columns. *)
+          match rel_of_attr rels (q ^ "." ^ a) with
+          | Some r -> `One (rel_id r)
+          | None -> `Many))
+  | Ast.E_attr (None, a, _) -> (
+      match rel_of_attr rels a with Some r -> `One (rel_id r) | None -> `Many)
+  | Ast.E_binop (_, a, b, _) -> merge (rel_of_expr rels a) (rel_of_expr rels b)
+  | Ast.E_unop (_, a, _) | Ast.E_is_null (a, _, _) -> rel_of_expr rels a
+  | Ast.E_call (_, args, _) ->
+      List.fold_left
+        (fun acc arg ->
+          match arg with
+          | Ast.A_star -> acc
+          | Ast.A_expr e -> merge acc (rel_of_expr rels e))
+        `None args
+
+let classify rels conjs =
+  let atoms = ref [] and pushed = ref [] and residual = ref [] in
+  List.iter
+    (fun conj ->
+      match conj with
+      | Ast.E_binop
+          (Ast.Eq, Ast.E_attr (qa, aa, la), Ast.E_attr (qb, ab, lb), _) -> (
+          let resolve q a =
+            match q with
+            | Some q -> rel_of_qual rels q
+            | None -> rel_of_attr rels a
+          in
+          match (resolve qa aa, resolve qb ab) with
+          | Some ra, Some rb when rel_id ra <> rel_id rb ->
+              atoms :=
+                {
+                  a_rel = rel_id ra;
+                  a_attr = aa;
+                  a_loc = la;
+                  b_rel = rel_id rb;
+                  b_attr = ab;
+                  b_loc = lb;
+                }
+                :: !atoms
+          | Some r, Some _ ->
+              (* Same relation on both sides: a pushable filter. *)
+              pushed := (rel_id r, conj) :: !pushed
+          | _ -> residual := conj :: !residual)
+      | _ -> (
+          match rel_of_expr rels conj with
+          | `One k -> pushed := (k, conj) :: !pushed
+          | `None | `Many -> residual := conj :: !residual))
+    conjs;
+  {
+    c_atoms = List.rev !atoms;
+    c_pushed = List.rev !pushed;
+    c_residual = List.rev !residual;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Join ordering                                                       *)
+
+type scan_step = {
+  sc_rel : rel;
+  sc_pushed : Ast.expr list;  (** conjuncts filtered at the scan *)
+  sc_rows : int;  (** actual base-table rows *)
+  sc_est : float;  (** estimated rows after pushdown *)
+}
+
+type join_step = {
+  js_rel : rel;  (** relation joined at this step *)
+  js_est : float;  (** estimated rows after this join *)
+  js_build_right : bool;
+      (** statistics pick the incoming relation as hash build side *)
+}
+
+type t = {
+  tp_scans : scan_step list;  (** all relations, in chosen join order *)
+  tp_joins : join_step list;  (** length [scans - 1] *)
+  tp_atoms : atom list;  (** every cross-relation equality conjunct *)
+  tp_residual : Ast.expr list;
+  tp_residual_est : float option;  (** estimate after the residual filter *)
+}
+
+let scan_of ~params classified r =
+  let pushed =
+    List.filter_map
+      (fun (k, c) -> if k = rel_id r then Some c else None)
+      classified.c_pushed
+  in
+  let rows = Table.nrows r.r_table in
+  let sel =
+    List.fold_left
+      (fun acc c -> acc *. selectivity ~params r.r_table c)
+      1.0 pushed
+  in
+  { sc_rel = r; sc_pushed = pushed; sc_rows = rows; sc_est = float_of_int rows *. sel }
+
+(* Estimated |L ⋈ R|: one factor 1/max(d_L, d_R) per join atom between
+   the joined set and the incoming relation, distincts capped at the
+   current cardinality estimates. *)
+let join_estimate ~joined_est ~joined_keys ~(incoming : scan_step) atoms =
+  let cap d est = Float.max 1.0 (Float.min d (Float.max est 1.0)) in
+  let applicable =
+    List.filter_map
+      (fun a ->
+        if a.a_rel = rel_id incoming.sc_rel && List.mem_assoc a.b_rel joined_keys
+        then Some (a.a_attr, List.assoc a.b_rel joined_keys, a.b_attr)
+        else if
+          a.b_rel = rel_id incoming.sc_rel && List.mem_assoc a.a_rel joined_keys
+        then Some (a.b_attr, List.assoc a.a_rel joined_keys, a.a_attr)
+        else None)
+      atoms
+  in
+  if applicable = [] then None
+  else
+    Some
+      (List.fold_left
+         (fun acc (in_attr, joined_rel, j_attr) ->
+           let d_in =
+             cap (distinct_of incoming.sc_rel.r_table in_attr) incoming.sc_est
+           in
+           let d_j = cap (distinct_of joined_rel.r_table j_attr) joined_est in
+           acc /. Float.max d_in d_j)
+         (joined_est *. incoming.sc_est)
+         applicable)
+
+let plan ~params ~loc rels conjs =
+  let classified = classify rels conjs in
+  let scans = List.map (scan_of ~params classified) rels in
+  match scans with
+  | [] -> raise (Plan_error (loc, "empty from clause"))
+  | [ only ] ->
+      let residual = classified.c_residual in
+      let residual_est =
+        if residual = [] then None
+        else
+          Some
+            (only.sc_est
+            *. (default_selectivity ** float_of_int (List.length residual)))
+      in
+      {
+        tp_scans = [ only ];
+        tp_joins = [];
+        tp_atoms = classified.c_atoms;
+        tp_residual = residual;
+        tp_residual_est = residual_est;
+      }
+  | _ ->
+      (* Start from the smallest estimated scan; ties keep textual order
+         (fold keeps the earliest on strict <). *)
+      let first =
+        List.fold_left
+          (fun best s -> if s.sc_est < best.sc_est then s else best)
+          (List.hd scans) (List.tl scans)
+      in
+      let order = ref [ first ] in
+      let joins = ref [] in
+      let joined_keys = ref [ (rel_id first.sc_rel, first.sc_rel) ] in
+      let joined_est = ref first.sc_est in
+      let remaining =
+        ref (List.filter (fun s -> rel_id s.sc_rel <> rel_id first.sc_rel) scans)
+      in
+      while !remaining <> [] do
+        let candidates =
+          List.filter_map
+            (fun s ->
+              match
+                join_estimate ~joined_est:!joined_est ~joined_keys:!joined_keys
+                  ~incoming:s classified.c_atoms
+              with
+              | Some est -> Some (s, est)
+              | None -> None)
+            !remaining
+        in
+        match candidates with
+        | [] ->
+            raise
+              (Plan_error
+                 (loc, "from-clause tables are not connected by join conditions"))
+        | c :: cs ->
+            let s, est =
+              List.fold_left
+                (fun ((_, be) as best) ((_, e) as cand) ->
+                  if e < be then cand else best)
+                c cs
+            in
+            joins :=
+              { js_rel = s.sc_rel; js_est = est; js_build_right = s.sc_est <= !joined_est }
+              :: !joins;
+            order := s :: !order;
+            joined_keys := (rel_id s.sc_rel, s.sc_rel) :: !joined_keys;
+            joined_est := est;
+            remaining :=
+              List.filter (fun x -> rel_id x.sc_rel <> rel_id s.sc_rel) !remaining
+      done;
+      let residual = classified.c_residual in
+      let residual_est =
+        if residual = [] then None
+        else
+          (* Residual conjuncts span relations; independence again. *)
+          Some (!joined_est *. (default_selectivity ** float_of_int (List.length residual)))
+      in
+      {
+        tp_scans = List.rev !order;
+        tp_joins = List.rev !joins;
+        tp_atoms = classified.c_atoms;
+        tp_residual = residual;
+        tp_residual_est = residual_est;
+      }
+
+(* The join atoms between one incoming relation and the already-joined
+   set, as (joined rel key, joined attr, joined loc, incoming attr,
+   incoming loc); consumed by the executor to form [on] pairs. *)
+let atoms_for t ~incoming ~joined =
+  List.filter_map
+    (fun a ->
+      if a.a_rel = incoming && List.mem a.b_rel joined then
+        Some (a.b_rel, a.b_attr, a.b_loc, a.a_attr, a.a_loc)
+      else if a.b_rel = incoming && List.mem a.a_rel joined then
+        Some (a.a_rel, a.a_attr, a.a_loc, a.b_attr, a.b_loc)
+      else None)
+    t.tp_atoms
+
+(* Plan straight from a select-table AST, resolving tables through the
+   catalog — the EXPLAIN / EXPLAIN ANALYZE entry point (the executor
+   builds its rels itself so scans go through its observation hook). *)
+let of_select ~db ~params (st : Ast.select_table) =
+  let loc = st.Ast.st_loc in
+  let lookup name =
+    match Db.find_table db name with
+    | Some t -> t
+    | None -> raise (Plan_error (loc, Printf.sprintf "no such table %S" name))
+  in
+  let rel_of (name, alias) =
+    {
+      r_names =
+        (norm name :: (match alias with Some a -> [ norm a ] | None -> []));
+      r_table = lookup name;
+    }
+  in
+  let rels, where =
+    match st.Ast.st_from with
+    | Ast.From_table (name, alias) -> ([ rel_of (name, alias) ], st.Ast.st_where)
+    | Ast.From_join (sources, where) -> (List.map rel_of sources, where)
+  in
+  let conjs = match where with Some w -> Compile_expr.conjuncts w | None -> [] in
+  plan ~params ~loc rels conjs
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (EXPLAIN)                                                 *)
+
+let step_strings t =
+  let scan_line s =
+    let filt =
+      if s.sc_pushed = [] then ""
+      else Printf.sprintf " + filter (est. %.1f)" s.sc_est
+    in
+    Printf.sprintf "scan %s (%d rows)%s" (rel_key s.sc_rel) s.sc_rows filt
+  in
+  let joins =
+    List.map
+      (fun j ->
+        Printf.sprintf "join %s (est. %.1f rows, build %s)" (rel_key j.js_rel)
+          j.js_est
+          (if j.js_build_right then rel_key j.js_rel else "left"))
+      t.tp_joins
+  in
+  let residual =
+    match t.tp_residual_est with
+    | Some e ->
+        [
+          Printf.sprintf "filter %d residual conjunct(s) (est. %.1f rows)"
+            (List.length t.tp_residual) e;
+        ]
+    | None ->
+        if t.tp_residual = [] then []
+        else
+          [
+            Printf.sprintf "filter %d residual conjunct(s)"
+              (List.length t.tp_residual);
+          ]
+  in
+  List.map scan_line t.tp_scans @ joins @ residual
+
+let to_string t =
+  String.concat "\n" ("table plan:" :: List.map (fun s -> "  " ^ s) (step_strings t))
+
+(* Estimated rows for the operator sequence the executor emits, keyed by
+   the same labels [Table_exec] passes to its profiler hook. EXPLAIN
+   ANALYZE matches these against actual operator samples. *)
+let op_estimates t =
+  match t.tp_scans with
+  | [ s ] ->
+      (* Single-table select: the executor evaluates the whole where
+         clause as one un-detailed "filter" operator. *)
+      let scan = ("scan:" ^ rel_key s.sc_rel, float_of_int s.sc_rows) in
+      let filter_est =
+        match t.tp_residual_est with
+        | Some e -> Some e
+        | None -> if s.sc_pushed = [] then None else Some s.sc_est
+      in
+      scan :: (match filter_est with Some e -> [ ("filter", e) ] | None -> [])
+  | scans ->
+      let scan_ests =
+        List.map
+          (fun s -> ("scan:" ^ rel_key s.sc_rel, float_of_int s.sc_rows))
+          scans
+      in
+      let filters =
+        List.filter_map
+          (fun s ->
+            if s.sc_pushed = [] then None
+            else Some ("filter:" ^ rel_key s.sc_rel, s.sc_est))
+          scans
+      in
+      let joins =
+        List.map (fun j -> ("join:" ^ rel_key j.js_rel, j.js_est)) t.tp_joins
+      in
+      let residual =
+        match t.tp_residual_est with Some e -> [ ("filter", e) ] | None -> []
+      in
+      scan_ests @ filters @ joins @ residual

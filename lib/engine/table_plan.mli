@@ -1,0 +1,105 @@
+(** Cost-based planning for table selects, driven by the per-column
+    catalog statistics maintained at ingest ({!Graql_storage.Column.stats}).
+
+    The planner classifies where-clause conjuncts into single-relation
+    filters (pushed below the joins), cross-relation equality atoms (join
+    conditions), and a residual evaluated after all joins; then orders
+    the joins greedily left-deep by estimated output cardinality
+    (|L ⋈ R| ≈ |L|·|R| / max(d_L, d_R) per atom). Reordering and pushdown
+    preserve the result multiset and row order for inner equi-joins under
+    a conjunctive predicate; only operator order changes. *)
+
+module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
+module Table = Graql_storage.Table
+module Value = Graql_storage.Value
+
+exception Plan_error of Loc.t * string
+
+type rel = {
+  r_names : string list;  (** lowercased table name, then alias *)
+  r_table : Table.t;
+}
+
+val rel_key : rel -> string
+(** Display name: the first (table) name. *)
+
+val rel_id : rel -> string
+(** Unique identity within one from clause: all names joined with "/",
+    so two aliases of the same table stay distinct. *)
+
+type atom = {
+  a_rel : string;
+  a_attr : string;
+  a_loc : Loc.t;
+  b_rel : string;
+  b_attr : string;
+  b_loc : Loc.t;
+}
+
+type scan_step = {
+  sc_rel : rel;
+  sc_pushed : Ast.expr list;  (** conjuncts filtered at the scan *)
+  sc_rows : int;  (** actual base-table rows *)
+  sc_est : float;  (** estimated rows after pushdown *)
+}
+
+type join_step = {
+  js_rel : rel;
+  js_est : float;
+  js_build_right : bool;
+      (** statistics pick the incoming relation as hash build side; the
+          executor still decides by actual materialized row counts, which
+          can differ when estimates are off *)
+}
+
+type t = {
+  tp_scans : scan_step list;  (** all relations, in chosen join order *)
+  tp_joins : join_step list;  (** length [scans - 1] *)
+  tp_atoms : atom list;  (** every cross-relation equality conjunct *)
+  tp_residual : Ast.expr list;  (** evaluated after the last join *)
+  tp_residual_est : float option;
+}
+
+val plan :
+  params:(string -> Value.t option) ->
+  loc:Loc.t ->
+  rel list ->
+  Ast.expr list ->
+  t
+(** Plan the given relations and where-clause conjuncts. Raises
+    {!Plan_error} when the relations are not connected by join atoms (the
+    executor's long-standing error) or the list is empty. The plan is a
+    pure function of tables and statistics — never of the domain pool. *)
+
+val of_select :
+  db:Db.t -> params:(string -> Value.t option) -> Ast.select_table -> t
+(** Plan a select-table statement against the catalog; raises
+    {!Plan_error} on an unknown table. This is the EXPLAIN entry point —
+    the executor ({!Table_exec}) builds the same plan from its own
+    observed scans. *)
+
+val atoms_for :
+  t -> incoming:string -> joined:string list ->
+  (string * string * Loc.t * string * Loc.t) list
+(** Join atoms linking [incoming] to the already-joined rel keys, as
+    (joined rel, joined attr, its loc, incoming attr, its loc). *)
+
+val selectivity :
+  params:(string -> Value.t option) -> Table.t -> Ast.expr -> float
+(** Estimated fraction of rows satisfying one conjunct; statistics-backed
+    for equality/range/null atoms, 0.1 default otherwise. *)
+
+val default_selectivity : float
+
+val step_strings : t -> string list
+(** One human-readable line per planned operator, in execution order. *)
+
+val to_string : t -> string
+(** EXPLAIN rendering ("table plan:" header plus indented steps). *)
+
+val op_estimates : t -> (string * float) list
+(** (operator label, estimated rows) in the executor's emission order,
+    using the same labels the profiler records ("scan:users",
+    "filter:users", "join:posts", "filter") — EXPLAIN ANALYZE joins these
+    against actual samples. *)

@@ -35,6 +35,15 @@ val group_by :
 val scalar : ?pool:Graql_parallel.Domain_pool.t -> Table.t -> agg -> Value.t
 (** Global aggregate over the whole table. *)
 
+val vectorized : bool ref
+(** When set (default), single-key group-bys over int-payload key columns
+    (Int/Date/Bool/Varchar) and global aggregates run batched: dense int
+    group ids and unboxed accumulator arrays instead of string keys and
+    boxed states. Results are bit-identical to the generic path — the
+    batch kernels replicate its fixed chunk decomposition, float merge
+    order included (property-tested). Cleared to force the reference
+    path. *)
+
 val chunk_rows : int ref
 (** Fixed accumulation chunk size (default 8192). The decomposition is
     deliberately independent of the pool so results never vary with

@@ -2,6 +2,7 @@ module Table = Graql_storage.Table
 module Column = Graql_storage.Column
 module Value = Graql_storage.Value
 module Dtype = Graql_storage.Dtype
+module Int_vec = Graql_util.Int_vec
 
 (* Three-valued result, SQL-style. *)
 type tri = T | F | N
@@ -22,9 +23,11 @@ let tri_not = function T -> F | F -> T | N -> N
 
 let rec compilable = function
   | Row_expr.Cmp (_, Row_expr.Col _, Row_expr.Const _)
-  | Row_expr.Cmp (_, Row_expr.Const _, Row_expr.Col _) ->
+  | Row_expr.Cmp (_, Row_expr.Const _, Row_expr.Col _)
+  | Row_expr.Cmp (_, Row_expr.Col _, Row_expr.Col _) ->
       true
   | Row_expr.IsNull (Row_expr.Col _) -> true
+  | Row_expr.Like (Row_expr.Col _, _) -> true
   | Row_expr.Const _ -> true
   | Row_expr.And (a, b) | Row_expr.Or (a, b) -> compilable a && compilable b
   | Row_expr.Not a -> compilable a
@@ -62,6 +65,15 @@ let flip op =
   | Row_expr.Ge -> Row_expr.Le
   | (Row_expr.Eq | Row_expr.Ne) as op -> op
 
+let holds op c =
+  match op with
+  | Row_expr.Eq -> c = 0
+  | Row_expr.Ne -> c <> 0
+  | Row_expr.Lt -> c < 0
+  | Row_expr.Le -> c <= 0
+  | Row_expr.Gt -> c > 0
+  | Row_expr.Ge -> c >= 0
+
 (* Compile one column-vs-constant comparison to a tri-valued row test. *)
 let atom table op col const : (int -> tri) option =
   if col < 0 || col >= Table.arity table then None
@@ -98,6 +110,70 @@ let atom table op col const : (int -> tri) option =
     | _, Value.Null -> Some (fun _ -> N)
     | _ -> None
 
+(* Column-vs-column comparison. Matches the generic evaluator exactly:
+   int payloads compare as ints, any Float operand compares under
+   [Float.compare] (Value.compare's total order, NaN included), and
+   Varchar pairs compare as dictionary ids — only valid for eq/ne and only
+   when both columns share one intern pool. *)
+let atom_cc table op ca cb : (int -> tri) option =
+  if ca < 0 || ca >= Table.arity table || cb < 0 || cb >= Table.arity table
+  then None
+  else
+    let a = Table.column table ca and b = Table.column table cb in
+    let guard test row =
+      if Column.is_null a row || Column.is_null b row then N
+      else if test row then T
+      else F
+    in
+    match (Column.dtype a, Column.dtype b) with
+    | Dtype.Int, Dtype.Int | Dtype.Date, Dtype.Date | Dtype.Bool, Dtype.Bool
+      ->
+        Some
+          (guard (fun row ->
+               holds op (Int.compare (Column.get_int a row) (Column.get_int b row))))
+    | (Dtype.Int | Dtype.Float), Dtype.Float | Dtype.Float, Dtype.Int ->
+        Some
+          (guard (fun row ->
+               holds op
+                 (Float.compare (Column.get_float a row) (Column.get_float b row))))
+    | Dtype.Varchar _, Dtype.Varchar _
+      when Column.same_dict a b
+           && (op = Row_expr.Eq || op = Row_expr.Ne) ->
+        Some
+          (guard (fun row ->
+               holds op (Int.compare (Column.get_int a row) (Column.get_int b row))))
+    | _ -> None
+
+(* LIKE over a dictionary-encoded Varchar column: resolve the pattern
+   against every dictionary entry once at compile time, then each row is a
+   byte-table lookup on its id. Ids past the compile-time dictionary size
+   (strings interned later through a shared pool) re-run the matcher. *)
+let atom_like table col pattern : (int -> tri) option =
+  if col < 0 || col >= Table.arity table then None
+  else
+    let c = Table.column table col in
+    match Column.dtype c with
+    | Dtype.Varchar _ ->
+        let n = Column.dict_size c in
+        let tbl = Bytes.create (max n 1) in
+        for id = 0 to n - 1 do
+          Bytes.unsafe_set tbl id
+            (if Row_expr.like_match pattern (Column.dict_lookup c id) then
+               '\001'
+             else '\000')
+        done;
+        Some
+          (fun row ->
+            if Column.is_null c row then N
+            else
+              let id = Column.get_int c row in
+              if id < n then
+                if Bytes.unsafe_get tbl id = '\001' then T else F
+              else if Row_expr.like_match pattern (Column.dict_lookup c id)
+              then T
+              else F)
+    | _ -> None
+
 let rec compile_tri table expr : (int -> tri) option =
   match expr with
   | Row_expr.Const (Value.Bool true) -> Some (fun _ -> T)
@@ -107,11 +183,13 @@ let rec compile_tri table expr : (int -> tri) option =
   | Row_expr.Cmp (op, Row_expr.Col i, Row_expr.Const v) -> atom table op i v
   | Row_expr.Cmp (op, Row_expr.Const v, Row_expr.Col i) ->
       atom table (flip op) i v
+  | Row_expr.Cmp (op, Row_expr.Col i, Row_expr.Col j) -> atom_cc table op i j
   | Row_expr.IsNull (Row_expr.Col i) ->
       if i < 0 || i >= Table.arity table then None
       else
         let c = Table.column table i in
         Some (fun row -> if Column.is_null c row then T else F)
+  | Row_expr.Like (Row_expr.Col i, pattern) -> atom_like table i pattern
   | Row_expr.And (a, b) -> (
       match (compile_tri table a, compile_tri table b) with
       | Some fa, Some fb -> Some (fun row -> tri_and (fa row) (fb row))
@@ -130,3 +208,414 @@ let compile table expr =
   Option.map
     (fun f row -> match f row with T -> true | F | N -> false)
     (compile_tri table expr)
+
+(* ------------------------------------------------------------------ *)
+(* Batch (vectorized) evaluation.
+
+   The chunk evaluator fills a tri-code mask (one byte per row: 0 = F,
+   1 = T, 2 = N) with tight loops over the raw column payloads — no
+   closure dispatch, bounds check, or payload match per row — then
+   combines sub-expression masks bytewise and compacts the final mask
+   into a selection vector. Null bitmaps are overlaid per chunk, only
+   when the column has ever seen a null. *)
+
+let batch_chunk = 4096
+
+(* Tri-code truth tables, indexed a*3+b. *)
+let and_tbl = "\000\000\000\000\001\002\000\002\002"
+let or_tbl = "\000\001\002\001\001\001\002\001\002"
+
+type filler = lo:int -> hi:int -> Bytes.t -> unit
+(* Fills mask.(i - lo) for i in [lo, hi); hi - lo <= batch_chunk. *)
+
+(* A compiled batch node is a maker: shared, immutable pre-computation
+   (resolved constants, LIKE dictionary tables) lives in the outer
+   closure; calling the maker allocates the private scratch buffers, so
+   one compilation can be instantiated independently per domain. *)
+type maker = unit -> filler
+
+let code_true = '\001'
+let code_false = '\000'
+let code_null = '\002'
+
+let fill_const code : filler =
+ fun ~lo ~hi mask -> Bytes.fill mask 0 (hi - lo) code
+
+(* Overlay null bits: any row whose null bit is set becomes N, whatever
+   the payload comparison said about its (meaningless) slot value. *)
+let overlay_nulls c (fill : filler) : filler =
+  if not (Column.has_nulls c) then fill
+  else
+    let nb = Column.null_mask c in
+    fun ~lo ~hi mask ->
+      fill ~lo ~hi mask;
+      for i = lo to hi - 1 do
+        if
+          Char.code (Bytes.unsafe_get nb (i lsr 3)) land (1 lsl (i land 7))
+          <> 0
+        then Bytes.unsafe_set mask (i - lo) code_null
+      done
+
+let set_bool mask j b =
+  Bytes.unsafe_set mask j (if b then code_true else code_false)
+
+(* Int payload vs constant: one loop per operator so the comparison is a
+   branch on unboxed ints, not a closure call. *)
+let int_cmp_fill data op k : filler =
+  let open Row_expr in
+  match op with
+  | Eq ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i = k)
+        done
+  | Ne ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i <> k)
+        done
+  | Lt ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i < k)
+        done
+  | Le ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i <= k)
+        done
+  | Gt ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i > k)
+        done
+  | Ge ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i >= k)
+        done
+
+(* Float payload vs constant: IEEE comparison operators, matching the
+   per-row [float_atom] exactly. *)
+let float_cmp_fill data op k : filler =
+  let open Row_expr in
+  match op with
+  | Eq ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i = k)
+        done
+  | Ne ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i <> k)
+        done
+  | Lt ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i < k)
+        done
+  | Le ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i <= k)
+        done
+  | Gt ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i > k)
+        done
+  | Ge ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (Array.unsafe_get data i >= k)
+        done
+
+(* Int column vs float constant: convert per element (the per-row path
+   goes through [get_float], same conversion). *)
+let int_as_float_cmp_fill data op k : filler =
+  let open Row_expr in
+  match op with
+  | Eq ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (float_of_int (Array.unsafe_get data i) = k)
+        done
+  | Ne ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (float_of_int (Array.unsafe_get data i) <> k)
+        done
+  | Lt ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (float_of_int (Array.unsafe_get data i) < k)
+        done
+  | Le ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (float_of_int (Array.unsafe_get data i) <= k)
+        done
+  | Gt ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (float_of_int (Array.unsafe_get data i) > k)
+        done
+  | Ge ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo) (float_of_int (Array.unsafe_get data i) >= k)
+        done
+
+(* Int payload vs int payload (col-col). *)
+let cc_int_fill da db op : filler =
+  let open Row_expr in
+  match op with
+  | Eq ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo)
+            (Array.unsafe_get da i = Array.unsafe_get db i)
+        done
+  | Ne ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo)
+            (Array.unsafe_get da i <> Array.unsafe_get db i)
+        done
+  | Lt ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo)
+            (Array.unsafe_get da i < Array.unsafe_get db i)
+        done
+  | Le ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo)
+            (Array.unsafe_get da i <= Array.unsafe_get db i)
+        done
+  | Gt ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo)
+            (Array.unsafe_get da i > Array.unsafe_get db i)
+        done
+  | Ge ->
+      fun ~lo ~hi mask ->
+        for i = lo to hi - 1 do
+          set_bool mask (i - lo)
+            (Array.unsafe_get da i >= Array.unsafe_get db i)
+        done
+
+(* Col-col with a Float operand: mirror [atom_cc]'s total order by going
+   through Float.compare per element (NaN-correct; these comparisons are
+   rare enough that exactness beats squeezing the last branch out). *)
+let cc_float_fill geta getb op : filler =
+ fun ~lo ~hi mask ->
+  for i = lo to hi - 1 do
+    set_bool mask (i - lo) (holds op (Float.compare (geta i) (getb i)))
+  done
+
+let mask_combine tbl a b n =
+  for i = 0 to n - 1 do
+    let ca = Char.code (Bytes.unsafe_get a i)
+    and cb = Char.code (Bytes.unsafe_get b i) in
+    Bytes.unsafe_set a i (String.unsafe_get tbl ((ca * 3) + cb))
+  done
+
+(* Batch compile of one column-vs-constant atom; must mirror [atom]'s
+   typing decisions case for case. *)
+let batch_atom table op col const : maker option =
+  if col < 0 || col >= Table.arity table then None
+  else
+    let c = Table.column table col in
+    let with_nulls fill = Some (fun () -> overlay_nulls c fill) in
+    match (Column.dtype c, const) with
+    | Dtype.Int, Value.Int k | Dtype.Date, Value.Date k ->
+        with_nulls (int_cmp_fill (Column.int_data c) op k)
+    | Dtype.Int, Value.Float _ ->
+        with_nulls
+          (int_as_float_cmp_fill (Column.int_data c) op (Value.as_float const))
+    | Dtype.Float, (Value.Int _ | Value.Float _) ->
+        with_nulls
+          (float_cmp_fill (Column.float_data c) op (Value.as_float const))
+    | Dtype.Bool, Value.Bool b -> (
+        let k = if b then 1 else 0 in
+        match op with
+        | Row_expr.Eq | Row_expr.Ne ->
+            with_nulls (int_cmp_fill (Column.int_data c) op k)
+        | _ -> None)
+    | Dtype.Varchar _, Value.Str s -> (
+        match op with
+        | Row_expr.Eq -> (
+            match Column.intern_id c s with
+            | Some id ->
+                with_nulls (int_cmp_fill (Column.int_data c) Row_expr.Eq id)
+            | None -> with_nulls (fill_const code_false))
+        | Row_expr.Ne -> (
+            match Column.intern_id c s with
+            | Some id ->
+                with_nulls (int_cmp_fill (Column.int_data c) Row_expr.Ne id)
+            | None -> with_nulls (fill_const code_true))
+        | _ -> None)
+    | _, Value.Null -> Some (fun () -> fill_const code_null)
+    | _ -> None
+
+let overlay_nulls2 a b fill =
+  overlay_nulls a (overlay_nulls b fill)
+
+let batch_atom_cc table op ca cb : maker option =
+  if ca < 0 || ca >= Table.arity table || cb < 0 || cb >= Table.arity table
+  then None
+  else
+    let a = Table.column table ca and b = Table.column table cb in
+    match (Column.dtype a, Column.dtype b) with
+    | Dtype.Int, Dtype.Int | Dtype.Date, Dtype.Date | Dtype.Bool, Dtype.Bool
+      ->
+        Some
+          (fun () ->
+            overlay_nulls2 a b
+              (cc_int_fill (Column.int_data a) (Column.int_data b) op))
+    | (Dtype.Int | Dtype.Float), Dtype.Float | Dtype.Float, Dtype.Int ->
+        let reader c =
+          match Column.dtype c with
+          | Dtype.Float ->
+              let d = Column.float_data c in
+              fun i -> Array.unsafe_get d i
+          | _ ->
+              let d = Column.int_data c in
+              fun i -> float_of_int (Array.unsafe_get d i)
+        in
+        Some
+          (fun () ->
+            overlay_nulls2 a b (cc_float_fill (reader a) (reader b) op))
+    | Dtype.Varchar _, Dtype.Varchar _
+      when Column.same_dict a b
+           && (op = Row_expr.Eq || op = Row_expr.Ne) ->
+        Some
+          (fun () ->
+            overlay_nulls2 a b
+              (cc_int_fill (Column.int_data a) (Column.int_data b) op))
+    | _ -> None
+
+let batch_atom_like table col pattern : maker option =
+  if col < 0 || col >= Table.arity table then None
+  else
+    let c = Table.column table col in
+    match Column.dtype c with
+    | Dtype.Varchar _ ->
+        let n = Column.dict_size c in
+        let tbl = Bytes.create (max n 1) in
+        for id = 0 to n - 1 do
+          Bytes.unsafe_set tbl id
+            (if Row_expr.like_match pattern (Column.dict_lookup c id) then
+               '\001'
+             else '\000')
+        done;
+        let data = Column.int_data c in
+        let fill ~lo ~hi mask =
+          for i = lo to hi - 1 do
+            let id = Array.unsafe_get data i in
+            Bytes.unsafe_set mask (i - lo)
+              (if id < n then Bytes.unsafe_get tbl id
+               else if
+                 Row_expr.like_match pattern (Column.dict_lookup c id)
+               then code_true
+               else code_false)
+          done
+        in
+        Some (fun () -> overlay_nulls c fill)
+    | _ -> None
+
+let rec compile_fill table expr : maker option =
+  match expr with
+  | Row_expr.Const (Value.Bool true) -> Some (fun () -> fill_const code_true)
+  | Row_expr.Const (Value.Bool false) ->
+      Some (fun () -> fill_const code_false)
+  | Row_expr.Const Value.Null -> Some (fun () -> fill_const code_null)
+  | Row_expr.Const _ -> None
+  | Row_expr.Cmp (op, Row_expr.Col i, Row_expr.Const v) ->
+      batch_atom table op i v
+  | Row_expr.Cmp (op, Row_expr.Const v, Row_expr.Col i) ->
+      batch_atom table (flip op) i v
+  | Row_expr.Cmp (op, Row_expr.Col i, Row_expr.Col j) ->
+      batch_atom_cc table op i j
+  | Row_expr.IsNull (Row_expr.Col i) ->
+      if i < 0 || i >= Table.arity table then None
+      else
+        let c = Table.column table i in
+        if not (Column.has_nulls c) then
+          Some (fun () -> fill_const code_false)
+        else
+          let nb = Column.null_mask c in
+          Some
+            (fun () ~lo ~hi mask ->
+              for i = lo to hi - 1 do
+                set_bool mask (i - lo)
+                  (Char.code (Bytes.unsafe_get nb (i lsr 3))
+                   land (1 lsl (i land 7))
+                  <> 0)
+              done)
+  | Row_expr.Like (Row_expr.Col i, pattern) -> batch_atom_like table i pattern
+  | Row_expr.And (a, b) -> (
+      match (compile_fill table a, compile_fill table b) with
+      | Some ma, Some mb ->
+          Some
+            (fun () ->
+              let fa = ma () and fb = mb () in
+              let scratch = Bytes.create batch_chunk in
+              fun ~lo ~hi mask ->
+                fa ~lo ~hi mask;
+                fb ~lo ~hi scratch;
+                mask_combine and_tbl mask scratch (hi - lo))
+      | _ -> None)
+  | Row_expr.Or (a, b) -> (
+      match (compile_fill table a, compile_fill table b) with
+      | Some ma, Some mb ->
+          Some
+            (fun () ->
+              let fa = ma () and fb = mb () in
+              let scratch = Bytes.create batch_chunk in
+              fun ~lo ~hi mask ->
+                fa ~lo ~hi mask;
+                fb ~lo ~hi scratch;
+                mask_combine or_tbl mask scratch (hi - lo))
+      | _ -> None)
+  | Row_expr.Not a ->
+      Option.map
+        (fun ma () ->
+          let fa = ma () in
+          fun ~lo ~hi mask ->
+            fa ~lo ~hi mask;
+            for i = 0 to hi - lo - 1 do
+              (* not: T<->F, N fixed — code 2 - code except N. *)
+              let c = Bytes.unsafe_get mask i in
+              if c = code_true then Bytes.unsafe_set mask i code_false
+              else if c = code_false then Bytes.unsafe_set mask i code_true
+            done)
+        (compile_fill table a)
+  | Row_expr.Col _ | Row_expr.Cmp _ | Row_expr.Arith _ | Row_expr.IsNull _
+  | Row_expr.Like _ ->
+      None
+
+let compile_batch table expr =
+  match compile_fill table expr with
+  | None -> None
+  | Some mk ->
+      Some
+        (fun () ->
+          let fill = mk () in
+          let mask = Bytes.create batch_chunk in
+          fun ~lo ~hi (out : Int_vec.t) ->
+            let c = ref lo in
+            while !c < hi do
+              let ch = min hi (!c + batch_chunk) in
+              fill ~lo:!c ~hi:ch mask;
+              let base = !c in
+              for i = base to ch - 1 do
+                if Bytes.unsafe_get mask (i - base) = code_true then
+                  Int_vec.push out i
+              done;
+              c := ch
+            done)

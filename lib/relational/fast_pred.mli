@@ -2,22 +2,41 @@
 
     The generic evaluator boxes every cell into a {!Graql_storage.Value.t}.
     For the common predicate shapes — comparisons of a column against a
-    constant, combined with and/or/not, plus null tests — this module
-    compiles to a closure reading unboxed column payloads directly:
-    ints/dates compare as ints, dictionary-encoded strings compare as
-    dictionary ids (equality resolved to one id at compile time), floats as
-    floats. Null semantics follow SQL three-valued logic exactly (verified
-    by a property test against the generic evaluator).
+    constant or another column, combined with and/or/not, plus null tests
+    and [LIKE] over dictionary-encoded strings — this module compiles to
+    closures reading unboxed column payloads directly: ints/dates compare
+    as ints, dictionary-encoded strings compare as dictionary ids
+    (equality constants and LIKE patterns resolved against the dictionary
+    once at compile time), floats as floats. Null semantics follow SQL
+    three-valued logic exactly (verified by a property test against the
+    generic evaluator).
 
-    [compile] returns [None] when the expression uses a feature outside the
-    fast fragment (arithmetic, LIKE, column-to-column comparison); callers
-    fall back to {!Row_expr.eval}. *)
+    Two compilation targets exist: [compile] produces a per-row closure,
+    [compile_batch] a chunked batch evaluator that fills tri-valued byte
+    masks with tight loops over the raw payload arrays and compacts them
+    into a selection vector — no closure dispatch or bounds check per row.
+    Both return [None] when the expression uses a feature outside the fast
+    fragment (arithmetic, comparisons whose types don't cooperate);
+    callers fall back to {!Row_expr.eval}. *)
 
 val compile :
   Graql_storage.Table.t -> Row_expr.t -> (int -> bool) option
 (** [compile table pred] — the closure takes a row id and answers whether
     the predicate is definitely true ([Null] counts as false, as in a SQL
     [where]). *)
+
+val compile_batch :
+  Graql_storage.Table.t ->
+  Row_expr.t ->
+  (unit -> lo:int -> hi:int -> Graql_util.Int_vec.t -> unit) option
+(** [compile_batch table pred] compiles once (resolving constants and
+    LIKE dictionary tables); the returned maker instantiates private
+    scratch buffers, so call it once per domain and share nothing. The
+    runner appends the ids of rows in [lo, hi) satisfying the predicate,
+    in ascending order — the same ids [compile]'s closure accepts. *)
+
+val batch_chunk : int
+(** Rows evaluated per mask refill (4096). *)
 
 val compilable : Row_expr.t -> bool
 (** Whether the expression falls inside the fast fragment (for tests and

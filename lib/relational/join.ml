@@ -10,6 +10,11 @@ module Pool = Graql_parallel.Domain_pool
    overhead; run the single-partition path inline. Exposed for tests. *)
 let par_threshold = ref 4096
 
+(* When cleared, single-column int joins route through the generic
+   string-key path — the row-at-a-time reference the batched kernels are
+   property-tested byte-identical against. *)
+let use_int_fast = ref true
+
 (* Join keys as value-string tuples. Dictionary ids are per-column, so we
    can't compare raw ints across tables; canonical display strings are a
    correct, simple key. Null appears as a distinguished constructor and is
@@ -31,21 +36,21 @@ let build_side left right on =
     (left, List.map fst on, right, List.map snd on, false)
   else (right, List.map snd on, left, List.map fst on, true)
 
-(* Dictionary ids are per-column: pre-translate every distinct probe-side
-   string into the build column's id space. One array lookup per probe row
-   afterwards, and — unlike a memo table — safe to share across domains. *)
-let dict_translation ~bc ~pc =
-  let trans =
-    Array.init (Column.dict_size pc) (fun pid ->
-        match Column.intern_id bc (Column.dict_lookup pc pid) with
-        | Some b -> b
-        | None -> -1)
-  in
-  fun pid ->
-    let b = Array.unsafe_get trans pid in
-    if b < 0 then None else Some b
+(* Probe-side payload to build-side id space: identity for Int/Date keys;
+   a whole-dictionary translation array for Varchar (one array lookup per
+   probe row, -1 = no counterpart — unlike a memo table, safe to share
+   across domains). The variant keeps the identity case allocation-free
+   instead of forcing an [int option] per probe row. *)
+type translation = T_id | T_dict of int array
 
-(* Matching rows accumulate as parallel (left, right) vectors: one pair
+let dict_translation ~bc ~pc =
+  T_dict
+    (Array.init (Column.dict_size pc) (fun pid ->
+         match Column.intern_id bc (Column.dict_lookup pc pid) with
+         | Some b -> b
+         | None -> -1))
+
+(* Matching rows accumulate as parallel (build, probe) vectors: one pair
    of vectors per probe chunk, concatenated in chunk order, so the final
    arrays list matches in probe-row order — byte-identical to the
    sequential scan no matter how many domains ran the probe. *)
@@ -81,109 +86,356 @@ let log2 n =
 let partition_count pool nb =
   next_pow2 (min 256 (max (4 * Pool.size pool) (nb / 4096)))
 
+let null_bit nm r =
+  Char.code (Bytes.unsafe_get nm (r lsr 3)) land (1 lsl (r land 7)) <> 0
+
 (* Single-column equi-joins on int-payload columns (Int, Date, and
    dictionary-encoded Varchar) hash raw ints instead of building string
-   keys — this is the hot path of edge-view construction. [translate]
-   maps a probe-side payload to the build side's id space (identity for
-   Int/Date; dictionary translation for Varchar). *)
+   keys — this is the hot path of edge-view construction and of the
+   from-clause join planner. The batch kernels loop directly over the raw
+   payload arrays: no bounds-checked accessor, no [int option] from key
+   translation, and no emit-closure allocation per probe row (the chain
+   walk uses {!Int_table}'s cursor API inline). *)
 let int_join_rows ?pool ~build ~bcol ~probe ~pcol ~swapped ~translate () =
   let bc = Table.column build bcol and pc = Table.column probe pcol in
   let nb = Table.nrows build and np = Table.nrows probe in
-  let emit ls rs r b =
-    if swapped then begin
-      Int_vec.push ls r;
-      Int_vec.push rs b
-    end
-    else begin
-      Int_vec.push ls b;
-      Int_vec.push rs r
-    end
-  in
-  let probe_range tables nparts ls rs lo hi =
-    let pmask = nparts - 1 in
-    for r = lo to hi - 1 do
-      if not (Column.is_null pc r) then
-        match translate (Column.get_int pc r) with
-        | None -> ()
-        | Some k ->
-            let tbl = Array.unsafe_get tables (Int_table.mix k land pmask) in
-            Int_table.iter_matches tbl k (emit ls rs r)
+  let bdata = Column.int_data bc and pdata = Column.int_data pc in
+  let bnm = Column.null_mask bc and pnm = Column.null_mask pc in
+  let bnulls = Column.has_nulls bc and pnulls = Column.has_nulls pc in
+  let finish (vb, vp) = if swapped then (vp, vb) else (vb, vp) in
+  (* Key-range scan (one cheap sequential pass): dense integer build keys
+     — row ids, foreign keys, dictionary codes — get a direct-address
+     table instead of a hash: one array load per probe, no mixing, no
+     collision walk. *)
+  let kmin = ref max_int and kmax = ref min_int in
+  if bnulls then
+    for r = 0 to nb - 1 do
+      if not (null_bit bnm r) then begin
+        let k = Array.unsafe_get bdata r in
+        if k < !kmin then kmin := k;
+        if k > !kmax then kmax := k
+      end
     done
-  in
-  match pool with
-  | Some pool when nb + np >= !par_threshold ->
-      let nparts = partition_count pool nb in
-      let p_bits = log2 nparts in
-      let pmask = nparts - 1 in
-      (* Phase 1: parallel radix partition of the build side. Each build
-         chunk scatters (key, row) into private per-partition buckets. *)
-      let branges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:nb ()) in
-      let buckets =
-        Array.map
-          (fun _ ->
-            Array.init nparts (fun _ -> (Int_vec.create (), Int_vec.create ())))
-          branges
+  else
+    for r = 0 to nb - 1 do
+      let k = Array.unsafe_get bdata r in
+      if k < !kmin then kmin := k;
+      if k > !kmax then kmax := k
+    done;
+  let span = if !kmax < !kmin then 0 else !kmax - !kmin + 1 in
+  if span > 0 && span <= (4 * nb) + 1024 then begin
+    (* Direct-address build: heads.(k - base) is the first build row with
+       key k, chained through [nextrow] in build-row order — the same
+       match order the hash path replays. *)
+    let base = !kmin and khi = !kmax in
+    let heads = Array.make span (-1) in
+    let tails = Array.make span (-1) in
+    let nextrow = Array.make nb (-1) in
+    let dups = ref false in
+    let insert r =
+      let i = Array.unsafe_get bdata r - base in
+      let h = Array.unsafe_get heads i in
+      if h < 0 then begin
+        Array.unsafe_set heads i r;
+        Array.unsafe_set tails i r
+      end
+      else begin
+        dups := true;
+        Array.unsafe_set nextrow (Array.unsafe_get tails i) r;
+        Array.unsafe_set tails i r
+      end
+    in
+    if bnulls then
+      for r = 0 to nb - 1 do
+        if not (null_bit bnm r) then insert r
+      done
+    else
+      for r = 0 to nb - 1 do
+        insert r
+      done;
+    let lookup k =
+      if k >= base && k <= khi then Array.unsafe_get heads (k - base) else -1
+    in
+    (* Chain-walking probe over [lo, hi); read-only against the build
+       arrays, so safe from any number of domains. *)
+    let probe_dense vb vp lo hi =
+      let chain_walk r b =
+        let e = ref b in
+        while !e >= 0 do
+          Int_vec.push vb !e;
+          Int_vec.push vp r;
+          e := Array.unsafe_get nextrow !e
+        done
       in
-      Pool.run_tasks pool
-        (Array.to_list
-           (Array.mapi
-              (fun c (lo, hi) () ->
-                let mine = buckets.(c) in
-                for r = lo to hi - 1 do
-                  if not (Column.is_null bc r) then begin
-                    let k = Column.get_int bc r in
-                    let ks, rws = Array.unsafe_get mine (Int_table.mix k land pmask) in
+      match translate with
+      | T_id ->
+          for r = lo to hi - 1 do
+            if not (pnulls && null_bit pnm r) then begin
+              let b = lookup (Array.unsafe_get pdata r) in
+              if b >= 0 then chain_walk r b
+            end
+          done
+      | T_dict trans ->
+          for r = lo to hi - 1 do
+            if not (pnulls && null_bit pnm r) then begin
+              let t = Array.unsafe_get trans (Array.unsafe_get pdata r) in
+              if t >= 0 then begin
+                let b = lookup t in
+                if b >= 0 then chain_walk r b
+              end
+            end
+          done
+    in
+    match pool with
+    | Some pool when np >= !par_threshold ->
+        let pranges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:np ()) in
+        let outs =
+          Array.map
+            (fun (lo, hi) ->
+              (* Capacity for one match per probe row, the common case. *)
+              (Int_vec.create ~capacity:(hi - lo) (),
+               Int_vec.create ~capacity:(hi - lo) ()))
+            pranges
+        in
+        Pool.run_tasks pool
+          (Array.to_list
+             (Array.mapi
+                (fun i (lo, hi) () ->
+                  let vb, vp = outs.(i) in
+                  probe_dense vb vp lo hi)
+                pranges));
+        finish (concat_pair_vecs outs)
+    | _ ->
+        if not !dups then begin
+          (* Unique build keys (every foreign-key join): at most one match
+             per probe row, so matches write straight into pre-sized
+             arrays — no growth checks in the loop, and no final copy when
+             every probe row matches. *)
+          let ob = Array.make (max np 1) 0 and op = Array.make (max np 1) 0 in
+          let pos = ref 0 in
+          let emit r b =
+            Array.unsafe_set ob !pos b;
+            Array.unsafe_set op !pos r;
+            incr pos
+          in
+          (match translate with
+          | T_id ->
+              if pnulls then
+                for r = 0 to np - 1 do
+                  if not (null_bit pnm r) then begin
+                    let b = lookup (Array.unsafe_get pdata r) in
+                    if b >= 0 then emit r b
+                  end
+                done
+              else
+                for r = 0 to np - 1 do
+                  let b = lookup (Array.unsafe_get pdata r) in
+                  if b >= 0 then emit r b
+                done
+          | T_dict trans ->
+              for r = 0 to np - 1 do
+                if not (pnulls && null_bit pnm r) then begin
+                  let t = Array.unsafe_get trans (Array.unsafe_get pdata r) in
+                  if t >= 0 then begin
+                    let b = lookup t in
+                    if b >= 0 then emit r b
+                  end
+                end
+              done);
+          let n = !pos in
+          let ob = if n = Array.length ob then ob else Array.sub ob 0 n in
+          let op = if n = Array.length op then op else Array.sub op 0 n in
+          if swapped then (op, ob) else (ob, op)
+        end
+        else begin
+          let vb = Int_vec.create ~capacity:np ()
+          and vp = Int_vec.create ~capacity:np () in
+          probe_dense vb vp 0 np;
+          let b, p = finish (vb, vp) in
+          (Int_vec.to_array b, Int_vec.to_array p)
+        end
+  end
+  else begin
+    (* Sparse keys: hash. Probe rows [lo, hi) against the partitioned
+       tables, appending (build row, probe row) pairs. The
+       specializations hoist the null test and key translation out of the
+       inner loop shape. *)
+    let probe_range tables nparts vb vp lo hi =
+      let pmask = nparts - 1 in
+      let chain_walk r k =
+        let tbl = Array.unsafe_get tables (Int_table.mix k land pmask) in
+        let e = ref (Int_table.first_match tbl k) in
+        while !e >= 0 do
+          Int_vec.push vb (Int_table.entry_value tbl !e);
+          Int_vec.push vp r;
+          e := Int_table.next_entry tbl !e
+        done
+      in
+      match translate with
+      | T_id ->
+          if pnulls then
+            for r = lo to hi - 1 do
+              if not (null_bit pnm r) then
+                chain_walk r (Array.unsafe_get pdata r)
+            done
+          else
+            for r = lo to hi - 1 do
+              chain_walk r (Array.unsafe_get pdata r)
+            done
+      | T_dict trans ->
+          if pnulls then
+            for r = lo to hi - 1 do
+              if not (null_bit pnm r) then begin
+                let b = Array.unsafe_get trans (Array.unsafe_get pdata r) in
+                if b >= 0 then chain_walk r b
+              end
+            done
+          else
+            for r = lo to hi - 1 do
+              let b = Array.unsafe_get trans (Array.unsafe_get pdata r) in
+              if b >= 0 then chain_walk r b
+            done
+    in
+    match pool with
+    | Some pool when nb + np >= !par_threshold ->
+        let nparts = partition_count pool nb in
+        let p_bits = log2 nparts in
+        let pmask = nparts - 1 in
+        (* Phase 1: parallel radix partition of the build side. Each build
+           chunk scatters (key, row) into private per-partition buckets. *)
+        let branges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:nb ()) in
+        let buckets =
+          Array.map
+            (fun _ ->
+              Array.init nparts (fun _ ->
+                  (Int_vec.create (), Int_vec.create ())))
+            branges
+        in
+        Pool.run_tasks pool
+          (Array.to_list
+             (Array.mapi
+                (fun c (lo, hi) () ->
+                  let mine = buckets.(c) in
+                  let scatter r =
+                    let k = Array.unsafe_get bdata r in
+                    let ks, rws =
+                      Array.unsafe_get mine (Int_table.mix k land pmask)
+                    in
                     Int_vec.push ks k;
                     Int_vec.push rws r
+                  in
+                  if bnulls then
+                    for r = lo to hi - 1 do
+                      if not (null_bit bnm r) then scatter r
+                    done
+                  else
+                    for r = lo to hi - 1 do
+                      scatter r
+                    done)
+                branges));
+        (* Phase 2: one build task per partition. Draining the chunk
+           buckets in chunk order preserves build-row insertion order, so
+           probes replay matches exactly as the sequential path would. *)
+        let tables =
+          Array.make nparts (Int_table.create ~hash_shift:p_bits ~expected:0 ())
+        in
+        Pool.run_tasks pool
+          (List.init nparts (fun p () ->
+               let total = ref 0 in
+               Array.iter
+                 (fun chunk -> total := !total + Int_vec.length (fst chunk.(p)))
+                 buckets;
+               let tbl =
+                 Int_table.create ~hash_shift:p_bits ~expected:!total ()
+               in
+               Array.iter
+                 (fun chunk ->
+                   let ks, rws = chunk.(p) in
+                   for i = 0 to Int_vec.length ks - 1 do
+                     Int_table.add tbl (Int_vec.unsafe_get ks i)
+                       (Int_vec.unsafe_get rws i)
+                   done)
+                 buckets;
+               tables.(p) <- tbl));
+        (* Phase 3: chunk-parallel probe against the read-only tables. *)
+        let pranges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:np ()) in
+        let outs =
+          Array.map
+            (fun (lo, hi) ->
+              (Int_vec.create ~capacity:(hi - lo) (),
+               Int_vec.create ~capacity:(hi - lo) ()))
+            pranges
+        in
+        Pool.run_tasks pool
+          (Array.to_list
+             (Array.mapi
+                (fun i (lo, hi) () ->
+                  let vb, vp = outs.(i) in
+                  probe_range tables nparts vb vp lo hi)
+                pranges));
+        finish (concat_pair_vecs outs)
+    | _ ->
+        let tbl = Int_table.create ~expected:nb () in
+        if bnulls then
+          for r = 0 to nb - 1 do
+            if not (null_bit bnm r) then
+              Int_table.add tbl (Array.unsafe_get bdata r) r
+          done
+        else
+          for r = 0 to nb - 1 do
+            Int_table.add tbl (Array.unsafe_get bdata r) r
+          done;
+        if not (Int_table.has_dups tbl) then begin
+          (* Unique build keys: as in the dense case, write matches into
+             pre-sized arrays. *)
+          let ob = Array.make (max np 1) 0 and op = Array.make (max np 1) 0 in
+          let pos = ref 0 in
+          let emit r e =
+            Array.unsafe_set ob !pos (Int_table.entry_value tbl e);
+            Array.unsafe_set op !pos r;
+            incr pos
+          in
+          (match translate with
+          | T_id ->
+              if pnulls then
+                for r = 0 to np - 1 do
+                  if not (null_bit pnm r) then begin
+                    let e =
+                      Int_table.first_match tbl (Array.unsafe_get pdata r)
+                    in
+                    if e >= 0 then emit r e
                   end
-                done)
-              branges));
-      (* Phase 2: one build task per partition. Draining the chunk buckets
-         in chunk order preserves build-row insertion order, so probes
-         replay matches exactly as the sequential path would. *)
-      let tables =
-        Array.make nparts (Int_table.create ~hash_shift:p_bits ~expected:0 ())
-      in
-      Pool.run_tasks pool
-        (List.init nparts (fun p () ->
-             let total = ref 0 in
-             Array.iter
-               (fun chunk -> total := !total + Int_vec.length (fst chunk.(p)))
-               buckets;
-             let tbl =
-               Int_table.create ~hash_shift:p_bits ~expected:!total ()
-             in
-             Array.iter
-               (fun chunk ->
-                 let ks, rws = chunk.(p) in
-                 for i = 0 to Int_vec.length ks - 1 do
-                   Int_table.add tbl (Int_vec.unsafe_get ks i)
-                     (Int_vec.unsafe_get rws i)
-                 done)
-               buckets;
-             tables.(p) <- tbl));
-      (* Phase 3: chunk-parallel probe against the read-only tables. *)
-      let pranges = Array.of_list (Pool.chunk_ranges pool ~lo:0 ~hi:np ()) in
-      let outs =
-        Array.map (fun _ -> (Int_vec.create (), Int_vec.create ())) pranges
-      in
-      Pool.run_tasks pool
-        (Array.to_list
-           (Array.mapi
-              (fun i (lo, hi) () ->
-                let ls, rs = outs.(i) in
-                probe_range tables nparts ls rs lo hi)
-              pranges));
-      concat_pair_vecs outs
-  | _ ->
-      let tbl = Int_table.create ~expected:nb () in
-      for r = 0 to nb - 1 do
-        if not (Column.is_null bc r) then
-          Int_table.add tbl (Column.get_int bc r) r
-      done;
-      let ls = Int_vec.create () and rs = Int_vec.create () in
-      probe_range [| tbl |] 1 ls rs 0 np;
-      (Int_vec.to_array ls, Int_vec.to_array rs)
+                done
+              else
+                for r = 0 to np - 1 do
+                  let e =
+                    Int_table.first_match tbl (Array.unsafe_get pdata r)
+                  in
+                  if e >= 0 then emit r e
+                done
+          | T_dict trans ->
+              for r = 0 to np - 1 do
+                if not (pnulls && null_bit pnm r) then begin
+                  let b = Array.unsafe_get trans (Array.unsafe_get pdata r) in
+                  if b >= 0 then begin
+                    let e = Int_table.first_match tbl b in
+                    if e >= 0 then emit r e
+                  end
+                end
+              done);
+          let n = !pos in
+          let ob = if n = Array.length ob then ob else Array.sub ob 0 n in
+          let op = if n = Array.length op then op else Array.sub op 0 n in
+          if swapped then (op, ob) else (ob, op)
+        end
+        else begin
+          let vb = Int_vec.create ~capacity:np ()
+          and vp = Int_vec.create ~capacity:np () in
+          probe_range [| tbl |] 1 vb vp 0 np;
+          let b, p = finish (vb, vp) in
+          (Int_vec.to_array b, Int_vec.to_array p)
+        end
+  end
 
 (* Fallback for multi-column or mixed-type keys: canonical string keys
    into a Hashtbl built once, then (optionally) a chunk-parallel probe —
@@ -239,22 +491,24 @@ let generic_join_rows ?pool ~build ~bcols ~probe ~pcols ~swapped () =
 let join_rows ?pool ~left ~right ~on () =
   let build, bcols, probe, pcols, swapped = build_side left right on in
   let fast =
-    match (bcols, pcols) with
-    | [ bcol ], [ pcol ] -> (
-        let bc = Table.column build bcol and pc = Table.column probe pcol in
-        let open Graql_storage.Dtype in
-        match (Column.dtype bc, Column.dtype pc) with
-        | Int, Int | Date, Date ->
-            Some
-              (int_join_rows ?pool ~build ~bcol ~probe ~pcol ~swapped
-                 ~translate:Option.some ())
-        | Varchar _, Varchar _ ->
-            let translate = dict_translation ~bc ~pc in
-            Some
-              (int_join_rows ?pool ~build ~bcol ~probe ~pcol ~swapped
-                 ~translate ())
-        | _ -> None)
-    | _ -> None
+    if not !use_int_fast then None
+    else
+      match (bcols, pcols) with
+      | [ bcol ], [ pcol ] -> (
+          let bc = Table.column build bcol and pc = Table.column probe pcol in
+          let open Graql_storage.Dtype in
+          match (Column.dtype bc, Column.dtype pc) with
+          | Int, Int | Date, Date ->
+              Some
+                (int_join_rows ?pool ~build ~bcol ~probe ~pcol ~swapped
+                   ~translate:T_id ())
+          | Varchar _, Varchar _ ->
+              let translate = dict_translation ~bc ~pc in
+              Some
+                (int_join_rows ?pool ~build ~bcol ~probe ~pcol ~swapped
+                   ~translate ())
+          | _ -> None)
+      | _ -> None
   in
   match fast with
   | Some rows -> rows
@@ -301,36 +555,53 @@ let hash_join ?pool ?name ~left ~right ~on () =
 let semi_join_left ?pool ~left ~right ~on () =
   let rcols = List.map snd on and lcols = List.map fst on in
   let fast =
-    match (lcols, rcols) with
-    | [ lcol ], [ rcol ] -> (
-        let lc = Table.column left lcol and rc = Table.column right rcol in
-        let open Graql_storage.Dtype in
-        match (Column.dtype lc, Column.dtype rc) with
-        | Int, Int | Date, Date -> Some (lc, rc, Option.some)
-        | Varchar _, Varchar _ ->
-            (* Keys come from the right side: translate left ids into the
-               right column's id space before the membership probe. *)
-            Some (lc, rc, dict_translation ~bc:rc ~pc:lc)
-        | _ -> None)
-    | _ -> None
+    if not !use_int_fast then None
+    else
+      match (lcols, rcols) with
+      | [ lcol ], [ rcol ] -> (
+          let lc = Table.column left lcol and rc = Table.column right rcol in
+          let open Graql_storage.Dtype in
+          match (Column.dtype lc, Column.dtype rc) with
+          | Int, Int | Date, Date -> Some (lc, rc, T_id)
+          | Varchar _, Varchar _ ->
+              (* Keys come from the right side: translate left ids into the
+                 right column's id space before the membership probe. *)
+              Some (lc, rc, dict_translation ~bc:rc ~pc:lc)
+          | _ -> None)
+      | _ -> None
   in
   match fast with
   | Some (lc, rc, translate) ->
       let nl = Table.nrows left and nr = Table.nrows right in
+      let rdata = Column.int_data rc and ldata = Column.int_data lc in
+      let rnm = Column.null_mask rc and lnm = Column.null_mask lc in
+      let rnulls = Column.has_nulls rc and lnulls = Column.has_nulls lc in
       let keys = Int_table.create ~expected:nr () in
-      for r = 0 to nr - 1 do
-        if not (Column.is_null rc r) then begin
-          let k = Column.get_int rc r in
-          if not (Int_table.mem keys k) then Int_table.add keys k 0
-        end
-      done;
-      let scan out lo hi =
-        for r = lo to hi - 1 do
-          if not (Column.is_null lc r) then
-            match translate (Column.get_int lc r) with
-            | Some k when Int_table.mem keys k -> Int_vec.push out r
-            | Some _ | None -> ()
+      let add_key k = if not (Int_table.mem keys k) then Int_table.add keys k 0 in
+      if rnulls then
+        for r = 0 to nr - 1 do
+          if not (null_bit rnm r) then add_key (Array.unsafe_get rdata r)
         done
+      else
+        for r = 0 to nr - 1 do
+          add_key (Array.unsafe_get rdata r)
+        done;
+      let scan out lo hi =
+        match translate with
+        | T_id ->
+            for r = lo to hi - 1 do
+              if
+                (not (lnulls && null_bit lnm r))
+                && Int_table.mem keys (Array.unsafe_get ldata r)
+              then Int_vec.push out r
+            done
+        | T_dict trans ->
+            for r = lo to hi - 1 do
+              if not (lnulls && null_bit lnm r) then begin
+                let b = Array.unsafe_get trans (Array.unsafe_get ldata r) in
+                if b >= 0 && Int_table.mem keys b then Int_vec.push out r
+              end
+            done
       in
       (match pool with
       | Some pool when nl >= !par_threshold ->

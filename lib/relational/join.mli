@@ -60,3 +60,8 @@ val semi_join_left :
 val par_threshold : int ref
 (** Minimum combined row count before a pool is actually used; below it
     the sequential single-partition path wins. Exposed for tests. *)
+
+val use_int_fast : bool ref
+(** When cleared, single-column int-payload joins fall back to the generic
+    string-key row-at-a-time path. Exposed so property tests can compare
+    the batched kernels against the reference implementation. *)

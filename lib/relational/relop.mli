@@ -6,6 +6,13 @@
 module Table = Graql_storage.Table
 module Value = Graql_storage.Value
 
+val vectorized : bool ref
+(** When set (default), scans with compilable predicates evaluate through
+    {!Fast_pred.compile_batch} (chunked masks over raw payloads) and row
+    materialization gathers columns instead of boxing values. The
+    row-at-a-time path remains as reference; results are byte-identical
+    either way (property-tested). *)
+
 val select_indices :
   ?pool:Graql_parallel.Domain_pool.t -> Table.t -> Row_expr.t -> int array
 (** Row ids satisfying the predicate, in row order (deterministic under any

@@ -24,6 +24,10 @@ type t =
 val eval : (int -> Graql_storage.Value.t) -> t -> Graql_storage.Value.t
 (** [eval get e] evaluates [e] where [get i] reads column [i]. *)
 
+val like_match : string -> string -> bool
+(** [like_match pattern s] — the LIKE matcher ([%]/[_] wildcards), exposed
+    so {!Fast_pred} can resolve a pattern against a dictionary once. *)
+
 val is_true : Graql_storage.Value.t -> bool
 (** Truthiness under three-valued logic: [Bool true] only. *)
 

@@ -2,6 +2,27 @@ type payload =
   | Ints of { mutable data : int array }
   | Floats of { mutable data : float array }
 
+(* Incrementally maintained ingest statistics. [t_min]/[t_max] cover the
+   raw int payload (meaningful to the planner for Int/Date dtypes); the
+   sketch is a linear-counting bitmap over hashed payloads giving a
+   distinct estimate for non-varchar columns (Varchar reads its distinct
+   count off the dictionary for free). *)
+type tracker = {
+  mutable t_nulls : int;
+  mutable t_min : int;
+  mutable t_max : int;
+  mutable t_has_range : bool;
+  t_sketch : Bytes.t;
+}
+
+type stats = {
+  st_rows : int;
+  st_nulls : int;
+  st_distinct : float;
+  st_min : int option;
+  st_max : int option;
+}
+
 type t = {
   dtype : Dtype.t;
   mutable len : int;
@@ -9,21 +30,54 @@ type t = {
   dict : Graql_util.Intern.t option;
   mutable nulls : Bytes.t; (* bitmap, grows with the column *)
   mutable any_null : bool;
+  tracker : tracker option; (* None for gathered (create_sized) columns *)
 }
 
-let create dtype =
+(* 8192-bit linear-counting sketch: 1 KiB per column, saturates near the
+   sketch size — [stats] caps the estimate at the non-null row count. *)
+let sketch_bits = 8192
+
+let fresh_tracker () =
+  {
+    t_nulls = 0;
+    t_min = 0;
+    t_max = 0;
+    t_has_range = false;
+    t_sketch = Bytes.make (sketch_bits / 8) '\000';
+  }
+
+let sketch_add tr x =
+  let h = Graql_util.Int_table.mix x land (sketch_bits - 1) in
+  let b = h lsr 3 and m = 1 lsl (h land 7) in
+  Bytes.unsafe_set tr.t_sketch b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get tr.t_sketch b) lor m))
+
+let create ?(expected = 16) dtype =
+  let expected = max 16 expected in
   let payload =
     match dtype with
-    | Dtype.Float -> Floats { data = Array.make 16 0.0 }
+    | Dtype.Float -> Floats { data = Array.make expected 0.0 }
     | Dtype.Bool | Dtype.Int | Dtype.Date | Dtype.Varchar _ ->
-        Ints { data = Array.make 16 0 }
+        Ints { data = Array.make expected 0 }
   in
   let dict =
     match dtype with
-    | Dtype.Varchar _ -> Some (Graql_util.Intern.create ())
+    | Dtype.Varchar _ ->
+        (* Dictionary capacity: enough to skip the worst of the doubling
+           churn on near-unique columns without over-committing memory on
+           low-cardinality ones. *)
+        Some (Graql_util.Intern.create ~expected:(min expected 16384) ())
     | _ -> None
   in
-  { dtype; len = 0; payload; dict; nulls = Bytes.make 2 '\000'; any_null = false }
+  {
+    dtype;
+    len = 0;
+    payload;
+    dict;
+    nulls = Bytes.make (max 2 ((expected + 7) lsr 3)) '\000';
+    any_null = false;
+    tracker = Some (fresh_tracker ());
+  }
 
 let dtype t = t.dtype
 let length t = t.len
@@ -58,6 +112,15 @@ let ensure_nulls t n =
     t.nulls <- nulls
   end
 
+let reserve t n =
+  (match t.payload with
+  | Ints r -> r.data <- grow_ints r.data n
+  | Floats r -> r.data <- grow_floats r.data n);
+  ensure_nulls t n;
+  match t.dict with
+  | Some d -> Graql_util.Intern.reserve d (min n 16384)
+  | None -> ()
+
 let set_null_bit t i =
   ensure_nulls t (i + 1);
   let b = i lsr 3 and m = 1 lsl (i land 7) in
@@ -70,6 +133,26 @@ let is_null t i =
   && i lsr 3 < Bytes.length t.nulls
   && Char.code (Bytes.unsafe_get t.nulls (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
+let note_int t x =
+  match t.tracker with
+  | None -> ()
+  | Some tr ->
+      if tr.t_has_range then begin
+        if x < tr.t_min then tr.t_min <- x;
+        if x > tr.t_max then tr.t_max <- x
+      end
+      else begin
+        tr.t_min <- x;
+        tr.t_max <- x;
+        tr.t_has_range <- true
+      end;
+      if t.dict = None then sketch_add tr x
+
+let note_float t x =
+  match t.tracker with
+  | None -> ()
+  | Some tr -> sketch_add tr (Int64.to_int (Int64.bits_of_float x))
+
 let push_int t x =
   (match t.payload with
   | Ints r ->
@@ -77,6 +160,7 @@ let push_int t x =
       Array.unsafe_set r.data t.len x
   | Floats _ -> invalid_arg "Column: int payload on float column");
   ensure_nulls t (t.len + 1);
+  note_int t x;
   t.len <- t.len + 1
 
 let push_float t x =
@@ -86,6 +170,7 @@ let push_float t x =
       Array.unsafe_set r.data t.len x
   | Ints _ -> invalid_arg "Column: float payload on int column");
   ensure_nulls t (t.len + 1);
+  note_float t x;
   t.len <- t.len + 1
 
 let append_null t =
@@ -97,6 +182,9 @@ let append_null t =
       r.data <- grow_floats r.data (t.len + 1);
       Array.unsafe_set r.data t.len 0.0);
   set_null_bit t t.len;
+  (match t.tracker with
+  | Some tr -> tr.t_nulls <- tr.t_nulls + 1
+  | None -> ());
   t.len <- t.len + 1
 
 let type_error t v =
@@ -133,6 +221,21 @@ let get_float t i =
   | Floats r -> Array.unsafe_get r.data i
   | Ints r -> float_of_int (Array.unsafe_get r.data i)
 
+(* Raw payload views for the batch kernels: the arrays are at least [len]
+   long; slots past [len] are garbage. Callers index [0, len) only. *)
+let int_data t =
+  match t.payload with
+  | Ints r -> r.data
+  | Floats _ -> invalid_arg "Column.int_data on float column"
+
+let float_data t =
+  match t.payload with
+  | Floats r -> r.data
+  | Ints _ -> invalid_arg "Column.float_data on int column"
+
+let null_mask t = t.nulls
+let has_nulls t = t.any_null
+
 let dict_lookup t id =
   match t.dict with
   | Some dict -> Graql_util.Intern.lookup dict id
@@ -148,10 +251,56 @@ let dict_size t =
   | Some dict -> Graql_util.Intern.size dict
   | None -> invalid_arg "Column.dict_size on non-varchar column"
 
+let same_dict a b =
+  match (a.dict, b.dict) with Some x, Some y -> x == y | _ -> false
+
+let stats t =
+  match t.tracker with
+  | None -> None
+  | Some tr ->
+      let nonnull = t.len - tr.t_nulls in
+      let distinct =
+        match t.dict with
+        | Some d -> float_of_int (Graql_util.Intern.size d)
+        | None ->
+            if nonnull = 0 then 0.0
+            else begin
+              (* Linear counting: -m ln(z/m) for z empty bits of m. *)
+              let zeros = ref 0 in
+              Bytes.iter
+                (fun c ->
+                  let c = Char.code c in
+                  for b = 0 to 7 do
+                    if c land (1 lsl b) = 0 then incr zeros
+                  done)
+                tr.t_sketch;
+              let m = float_of_int sketch_bits in
+              let est =
+                if !zeros = 0 then float_of_int nonnull
+                else -.m *. log (float_of_int !zeros /. m)
+              in
+              Float.min (Float.max 1.0 est) (float_of_int nonnull)
+            end
+      in
+      let range_ok =
+        tr.t_has_range
+        && match t.dtype with Dtype.Int | Dtype.Date -> true | _ -> false
+      in
+      Some
+        {
+          st_rows = t.len;
+          st_nulls = tr.t_nulls;
+          st_distinct = distinct;
+          st_min = (if range_ok then Some tr.t_min else None);
+          st_max = (if range_ok then Some tr.t_max else None);
+        }
+
 (* Pre-sized column for scatter/gather fills: length [n], every slot a
    non-null zero until written. Varchar output shares the source column's
    intern pool so dictionary ids can be copied verbatim — interning later
-   strings through a shared pool is safe because existing ids never move. *)
+   strings through a shared pool is safe because existing ids never move.
+   Gathered columns carry no statistics tracker (writes bypass the ingest
+   path); the planner falls back to plain row counts for them. *)
 let create_sized ?share_dict_of dtype n =
   let payload =
     match dtype with
@@ -175,6 +324,7 @@ let create_sized ?share_dict_of dtype n =
     dict;
     nulls = Bytes.make (max 2 ((n + 7) lsr 3)) '\000';
     any_null = false;
+    tracker = None;
   }
 
 (* [gather_into ~src ~rows ~dst ~lo ~hi] writes src.(rows.(i)) into

@@ -6,9 +6,32 @@
 
 type t
 
-val create : Dtype.t -> t
+type stats = {
+  st_rows : int;  (** total rows, nulls included *)
+  st_nulls : int;
+  st_distinct : float;
+      (** estimate: dictionary size for Varchar, a linear-counting sketch
+          otherwise; capped at the non-null row count *)
+  st_min : int option;  (** raw payload min — Int/Date columns only *)
+  st_max : int option;
+}
+
+val create : ?expected:int -> Dtype.t -> t
+(** [expected] is a row-count capacity hint: payload arrays, the null
+    bitmap and (bounded) the Varchar dictionary are pre-sized so ingest
+    avoids doubling churn. *)
+
+val reserve : t -> int -> unit
+(** Grow capacity (not length) to hold [n] rows. *)
+
 val dtype : t -> Dtype.t
 val length : t -> int
+
+val stats : t -> stats option
+(** Incrementally maintained ingest statistics, or [None] for gathered
+    ({!create_sized}) columns whose writes bypass the tracked append path.
+    Statistics survive checkpoint/recovery because recovery replays the
+    ingest path. *)
 
 val append : t -> Value.t -> unit
 (** Raises [Failure] on a type mismatch (the ingest layer surfaces this
@@ -25,6 +48,29 @@ val get_int : t -> int -> int
 
 val get_float : t -> int -> float
 (** Raw float payload; accepts Int columns too (coerced). *)
+
+val int_data : t -> int array
+(** The backing int payload array (Bool/Int/Date/Varchar ids). Only
+    indices [0, length) are meaningful; slots under a null bit hold 0 for
+    appended columns but are unspecified in general. The batch kernels
+    loop over this directly instead of calling {!get_int} per row.
+    [Invalid_argument] for Float columns. *)
+
+val float_data : t -> float array
+(** The backing float payload array; [Invalid_argument] for int-payload
+    columns. Same indexing contract as {!int_data}. *)
+
+val null_mask : t -> Bytes.t
+(** The null bitmap (bit [i land 7] of byte [i lsr 3]); consult
+    {!has_nulls} first — an all-zero prefix is not guaranteed to cover
+    [length] when no null was ever set. *)
+
+val has_nulls : t -> bool
+(** Whether any null bit is set (cheap flag, no scan). *)
+
+val same_dict : t -> t -> bool
+(** Whether two Varchar columns share one intern pool, making their
+    dictionary ids directly comparable. *)
 
 val intern_id : t -> string -> int option
 (** For Varchar columns: dictionary id of [s] if present. Lets predicates

@@ -87,6 +87,7 @@ let table_of_csv ~name schema ?(header = true) doc =
     if header then (match records with _ :: r -> r | [] -> []) else records
   in
   let t = Table.create ~name schema in
+  Table.reserve t (List.length records);
   let arity = Schema.arity schema in
   List.iteri
     (fun rownum fields ->

@@ -7,6 +7,8 @@ let create ~name schema =
     columns = Array.map (fun c -> Column.create c.Schema.dtype) (Schema.cols schema);
   }
 
+let reserve t n = Array.iter (fun c -> Column.reserve c n) t.columns
+
 let name t = t.name
 let schema t = t.schema
 let arity t = Array.length t.columns

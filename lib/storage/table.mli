@@ -5,6 +5,11 @@
 type t
 
 val create : name:string -> Schema.t -> t
+
+val reserve : t -> int -> unit
+(** Capacity hint: pre-size every column for [n] rows (ingest calls this
+    once the record count is known). *)
+
 val name : t -> string
 val schema : t -> Schema.t
 val nrows : t -> int

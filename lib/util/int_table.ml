@@ -6,18 +6,22 @@
 type t = {
   shift : int;
   mutable mask : int; (* slot count - 1, power of two *)
-  mutable slots : int array; (* slot -> head entry index, or -1 *)
+  mutable slots : int array;
+      (* interleaved pairs: [2s] = key, [2s+1] = head entry index or -1.
+         Key and head share a cache line, so a probe costs one miss, not
+         two. *)
   mutable tails : int array; (* slot -> tail entry index (valid if head >= 0) *)
   mutable ekey : int array; (* entry -> key *)
   mutable eval : int array; (* entry -> value *)
   mutable enext : int array; (* entry -> next entry with same key, or -1 *)
   mutable n : int; (* number of entries *)
+  mutable dups : bool; (* some key has more than one entry *)
 }
 
 (* 64-bit avalanche mix (splitmix-style, constants chosen to fit OCaml's
    63-bit int). Used both for partition selection (low bits) and slot
    indexing (bits above [shift]), so correlated keys spread evenly. *)
-let mix x =
+let[@inline] mix x =
   let x = x lxor (x lsr 33) in
   let x = x * 0x2545F4914F6CDD1D in
   let x = x lxor (x lsr 29) in
@@ -37,36 +41,45 @@ let create ?(hash_shift = 0) ~expected () =
   {
     shift = hash_shift;
     mask = cap - 1;
-    slots = Array.make cap (-1);
+    slots = Array.make (2 * cap) (-1);
     tails = Array.make cap 0;
     ekey = Array.make entries 0;
     eval = Array.make entries 0;
     enext = Array.make entries 0;
     n = 0;
+    dups = false;
   }
 
 let length t = t.n
 
 (* Index of the slot holding [key], or the empty slot where it belongs. *)
-let probe t key =
+let[@inline] probe t key =
   let mask = t.mask in
   let s = ref ((mix key lsr t.shift) land mask) in
   let continue = ref true in
   while !continue do
-    let head = Array.unsafe_get t.slots !s in
-    if head < 0 || Array.unsafe_get t.ekey head = key then continue := false
+    let base = 2 * !s in
+    if
+      Array.unsafe_get t.slots (base + 1) < 0
+      || Array.unsafe_get t.slots base = key
+    then continue := false
     else s := (!s + 1) land mask
   done;
   !s
 
 let insert_entry t key e =
   let s = probe t key in
-  let head = t.slots.(s) in
-  if head < 0 then begin
-    t.slots.(s) <- e;
+  let base = 2 * s in
+  if t.slots.(base + 1) < 0 then begin
+    t.slots.(base) <- key;
+    t.slots.(base + 1) <- e;
     t.tails.(s) <- e
   end
   else begin
+    (* [probe] only stops on a matching key, so an occupied slot means a
+       second entry for the same key — including during [rehash], which
+       re-forms exactly the original chains. *)
+    t.dups <- true;
     t.enext.(t.tails.(s)) <- e;
     t.tails.(s) <- e
   end
@@ -74,7 +87,7 @@ let insert_entry t key e =
 let rehash t =
   let cap = 2 * (t.mask + 1) in
   t.mask <- cap - 1;
-  t.slots <- Array.make cap (-1);
+  t.slots <- Array.make (2 * cap) (-1);
   t.tails <- Array.make cap 0;
   Array.fill t.enext 0 t.n (-1);
   (* Re-inserting in entry order rebuilds every chain in insertion order. *)
@@ -89,7 +102,7 @@ let grow_entries t =
   t.eval <- widen t.eval;
   t.enext <- widen t.enext
 
-let add t key v =
+let[@inline] add t key v =
   if t.n = Array.length t.ekey then grow_entries t;
   if 2 * t.n >= t.mask + 1 then rehash t;
   let e = t.n in
@@ -99,12 +112,19 @@ let add t key v =
   t.n <- e + 1;
   insert_entry t key e
 
+(* Cursor API: the batch join probe walks chains without a callback
+   closure. [first_match] returns the head entry for the key (-1 if
+   absent); [entry_value]/[next_entry] read and advance. *)
+let[@inline] first_match t key = t.slots.((2 * probe t key) + 1)
+let[@inline] entry_value t e = Array.unsafe_get t.eval e
+let[@inline] next_entry t e = Array.unsafe_get t.enext e
+
 let iter_matches t key f =
-  let s = probe t key in
-  let e = ref t.slots.(s) in
+  let e = ref t.slots.((2 * probe t key) + 1) in
   while !e >= 0 do
     f (Array.unsafe_get t.eval !e);
     e := Array.unsafe_get t.enext !e
   done
 
-let mem t key = t.slots.(probe t key) >= 0
+let[@inline] mem t key = t.slots.((2 * probe t key) + 1) >= 0
+let has_dups t = t.dups

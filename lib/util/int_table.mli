@@ -20,8 +20,26 @@ val add : t -> int -> int -> unit
 val iter_matches : t -> int -> (int -> unit) -> unit
 (** Apply to every value bound to the key, in insertion order. *)
 
+val first_match : t -> int -> int
+(** Head entry index of the key's chain, or -1. With {!entry_value} and
+    {!next_entry} this is the closure-free probe loop the batch join
+    kernels use:
+    {[ let e = ref (first_match t k) in
+       while !e >= 0 do ... entry_value t !e ...; e := next_entry t !e done ]} *)
+
+val entry_value : t -> int -> int
+(** Value stored at an entry index returned by {!first_match}/{!next_entry}. *)
+
+val next_entry : t -> int -> int
+(** Next entry in the same key's chain, or -1. *)
+
 val mem : t -> int -> bool
 val length : t -> int
+
+val has_dups : t -> bool
+(** Whether any key has more than one entry. A join build side without
+    duplicates guarantees at most one match per probe row, which lets the
+    probe write into pre-sized output arrays instead of growing vectors. *)
 
 val mix : int -> int
 (** The avalanche hash used internally; exposed so callers can derive

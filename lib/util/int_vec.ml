@@ -5,17 +5,19 @@ let create ?(capacity = 16) () =
 
 let length t = t.len
 
-let ensure t n =
-  if n > Array.length t.data then begin
-    let cap = ref (Array.length t.data) in
-    while !cap < n do cap := !cap * 2 done;
-    let data = Array.make !cap 0 in
-    Array.blit t.data 0 data 0 t.len;
-    t.data <- data
-  end
+let[@inline never] grow t n =
+  let cap = ref (Array.length t.data) in
+  while !cap < n do
+    cap := !cap * 2
+  done;
+  let data = Array.make !cap 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
 
-let push t x =
-  ensure t (t.len + 1);
+(* The hot loop of every batch kernel: keep the in-capacity path small
+   enough to inline at the call site (one compare, one store). *)
+let[@inline] push t x =
+  if t.len = Array.length t.data then grow t (t.len + 1);
   Array.unsafe_set t.data t.len x;
   t.len <- t.len + 1
 

@@ -1,10 +1,28 @@
 type t = {
-  table : (string, int) Hashtbl.t;
+  mutable table : (string, int) Hashtbl.t;
   mutable rev : string array;
   mutable len : int;
 }
 
-let create () = { table = Hashtbl.create 256; rev = Array.make 16 ""; len = 0 }
+let create ?(expected = 16) () =
+  let expected = max 16 expected in
+  { table = Hashtbl.create expected; rev = Array.make expected ""; len = 0 }
+
+(* Grow both directions of the mapping to hold [n] strings without
+   incremental rehash-and-double churn. The reverse array grows by
+   blitting; the hash table is rebuilt once at the target capacity
+   (OCaml's Hashtbl cannot be resized in place). *)
+let reserve t n =
+  if n > Array.length t.rev then begin
+    let rev = Array.make n "" in
+    Array.blit t.rev 0 rev 0 t.len;
+    t.rev <- rev;
+    let table = Hashtbl.create n in
+    for id = 0 to t.len - 1 do
+      Hashtbl.add table t.rev.(id) id
+    done;
+    t.table <- table
+  end
 
 let intern t s =
   match Hashtbl.find_opt t.table s with

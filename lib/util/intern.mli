@@ -4,7 +4,16 @@
 
 type t
 
-val create : unit -> t
+val create : ?expected:int -> unit -> t
+(** [expected] is a capacity hint (distinct strings); ingest passes the
+    row count so large Varchar columns do not rehash-and-double their way
+    up from 16 slots. *)
+
+val reserve : t -> int -> unit
+(** Ensure capacity for [n] distinct strings: grows the reverse array and
+    rebuilds the hash table once at the target size. No-op if already big
+    enough. *)
+
 val intern : t -> string -> int
 (** Stable id for the string, assigned densely from 0 in first-seen order. *)
 

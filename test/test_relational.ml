@@ -259,6 +259,22 @@ let fast_pred_gen =
               Row_expr.Cmp (Row_expr.Eq, Row_expr.Col 4, Row_expr.Const (Value.Bool b)))
             bool;
           map (fun i -> Row_expr.IsNull (Row_expr.Col i)) (int_bound 4);
+          (* Column-column: int vs float crosses numerically; varchar
+             against itself exercises the shared-dictionary id path. *)
+          map
+            (fun op -> Row_expr.Cmp (op, Row_expr.Col 0, Row_expr.Col 1))
+            cmp_op;
+          map
+            (fun op -> Row_expr.Cmp (op, Row_expr.Col 3, Row_expr.Col 3))
+            cmp_op;
+          map
+            (fun eq ->
+              let op = if eq then Row_expr.Eq else Row_expr.Ne in
+              Row_expr.Cmp (op, Row_expr.Col 2, Row_expr.Col 2))
+            bool;
+          map
+            (fun p -> Row_expr.Like (Row_expr.Col 2, p))
+            (oneofl [ "a%"; "%b"; "_"; "a"; "%"; "e" ]);
         ]
     in
     let rec tree depth =
@@ -293,12 +309,14 @@ let test_fast_pred_fragment () =
   let open Row_expr in
   check "col-const compilable" true
     (Fast_pred.compilable (Cmp (Eq, Col 0, Const (vi 1))));
-  check "like not compilable" false
+  check "like on column compilable" true
     (Fast_pred.compilable (Like (Col 2, "a%")));
+  check "like on expression not compilable" false
+    (Fast_pred.compilable (Like (Arith (Add, Col 2, Col 2), "a%")));
   check "arith not compilable" false
     (Fast_pred.compilable
        (Cmp (Eq, Arith (Add, Col 0, Const (vi 1)), Const (vi 2))));
-  check "col-col not compilable" false
+  check "col-col compilable" true
     (Fast_pred.compilable (Cmp (Eq, Col 0, Col 1)));
   (* Date column vs raw Int constant must fall back (rank semantics). *)
   let t = Table.of_rows ~name:"t" mixed_schema [] in

@@ -1,0 +1,514 @@
+(* Property tests for the batched execution path: every vectorized kernel
+   (fast-pred scans, int/dict hash joins, batched aggregation) must be
+   byte-identical to its row-at-a-time reference, for every domain count,
+   over inputs that hit the awkward regimes — nulls, NaN/infinity floats,
+   empty tables, dictionary-shared columns, dense vs sparse join keys,
+   duplicate vs unique build keys. Plus planner tests: join order and
+   hash build side must flip when table cardinalities flip. *)
+
+module Value = Graql_storage.Value
+module Dtype = Graql_storage.Dtype
+module Schema = Graql_storage.Schema
+module Table = Graql_storage.Table
+module Column = Graql_storage.Column
+module Row_expr = Graql_relational.Row_expr
+module Relop = Graql_relational.Relop
+module Join = Graql_relational.Join
+module Aggregate = Graql_relational.Aggregate
+module Domain_pool = Graql_parallel.Domain_pool
+module Db = Graql_engine.Db
+module Ddl_exec = Graql_engine.Ddl_exec
+module Script_exec = Graql_engine.Script_exec
+module Table_plan = Graql_engine.Table_plan
+module Parser = Graql_lang.Parser
+module Ast = Graql_lang.Ast
+module Intern = Graql_util.Intern
+module Session = Graql_gems.Session
+module Gen = Graql_berlin.Berlin_gen
+module Queries = Graql_berlin.Berlin_queries
+module Reference = Graql_berlin.Berlin_reference
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let with_flag flag v f =
+  let saved = !flag in
+  flag := v;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
+(* One pool per domain count, created once and reused across every
+   (input, operator) combination — domain spawn is the expensive part. *)
+let with_pools f =
+  let pools =
+    List.map (fun d -> (d, Domain_pool.create ~domains:d ())) [ 1; 2; 4; 8 ]
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, p) -> Domain_pool.shutdown p) pools)
+    (fun () -> f ((0, None) :: List.map (fun (d, p) -> (d, Some p)) pools))
+
+let check_tables_equal label expected got =
+  Alcotest.(check int) (label ^ ": nrows") (Table.nrows expected)
+    (Table.nrows got);
+  let se = Table.schema expected in
+  Alcotest.(check bool)
+    (label ^ ": schema") true
+    (Schema.equal se (Table.schema got));
+  for r = 0 to Table.nrows expected - 1 do
+    for c = 0 to Schema.arity se - 1 do
+      let ve = Table.get expected ~row:r ~col:c
+      and vg = Table.get got ~row:r ~col:c in
+      if Value.compare ve vg <> 0 then
+        Alcotest.failf "%s: cell (%d,%d): %s <> %s" label r c
+          (Value.to_string ve) (Value.to_string vg)
+    done
+  done
+
+let varchar_pool = [| "aa"; "bb"; "cc"; "dd"; "ee"; "ff"; "gg"; "hh" |]
+
+(* Columns: id Int (dense 0..n), k Int (shape set by [key]), g Varchar
+   with nulls, x Float with nulls / NaN / infinities. *)
+let random_table st ~rows ~key name =
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "id"; dtype = Dtype.Int };
+        { Schema.name = "k"; dtype = Dtype.Int };
+        { Schema.name = "g"; dtype = Dtype.Varchar 8 };
+        { Schema.name = "x"; dtype = Dtype.Float };
+      ]
+  in
+  let row i =
+    let g =
+      if Random.State.int st 10 = 0 then Value.Null
+      else
+        Value.Str varchar_pool.(Random.State.int st (Array.length varchar_pool))
+    in
+    let x =
+      match Random.State.int st 12 with
+      | 0 -> Value.Null
+      | 1 -> Value.Float Float.nan
+      | 2 -> Value.Float Float.infinity
+      | 3 -> Value.Float Float.neg_infinity
+      | _ -> Value.Float (Random.State.float st 100.0 -. 50.0)
+    in
+    [ Value.Int i; key i; g; x ]
+  in
+  Table.of_rows ~name schema (List.init rows row)
+
+let rand_key st span i =
+  ignore i;
+  if Random.State.int st 12 = 0 then Value.Null
+  else Value.Int (Random.State.int st span)
+
+(* ------------------------------------------------------------------ *)
+(* Selection: batch predicate evaluation vs row-at-a-time              *)
+
+let predicates =
+  let open Row_expr in
+  [
+    ("k<const", Cmp (Lt, Col 1, Const (Value.Int 40)));
+    ("g=bb", Cmp (Eq, Col 2, Const (Value.Str "bb")));
+    ("x>=0", Cmp (Ge, Col 3, Const (Value.Float 0.0)));
+    ("col-col", Cmp (Lt, Col 1, Col 0));
+    ( "conj",
+      And
+        ( Cmp (Ge, Col 1, Const (Value.Int 10)),
+          Cmp (Lt, Col 3, Const (Value.Float 20.0)) ) );
+    ("like", Like (Col 2, "b%"));
+    ("not", Not (Cmp (Eq, Col 2, Const (Value.Str "cc"))));
+    ("isnull", IsNull (Col 3));
+  ]
+
+let test_select_equiv () =
+  let st = Random.State.make [| 42 |] in
+  with_pools (fun pools ->
+      List.iter
+        (fun rows ->
+          let t =
+            random_table st ~rows ~key:(rand_key st (max 1 rows)) "t"
+          in
+          List.iter
+            (fun (pname, pred) ->
+              let reference =
+                with_flag Relop.vectorized false (fun () -> Relop.select t pred)
+              in
+              List.iter
+                (fun (domains, pool) ->
+                  let got =
+                    with_flag Relop.vectorized true (fun () ->
+                        Relop.select ?pool t pred)
+                  in
+                  check_tables_equal
+                    (Printf.sprintf "select/%s rows=%d dom=%d" pname rows
+                       domains)
+                    reference got)
+                pools)
+            predicates)
+        [ 0; 1; 17; 1000; 5000 ])
+
+(* ------------------------------------------------------------------ *)
+(* Join: batched int/dict kernels vs generic row path                  *)
+
+(* Key regimes chosen to split across the kernel's internal paths:
+   dense spans take the direct-address table, sparse spans the hash
+   table; unique build keys take the pre-sized-output probe, duplicates
+   the chain-walking fallback. *)
+let key_regimes st rows =
+  [
+    ("dense-dup", rand_key st (max 1 (rows / 4)));
+    ("dense-unique", fun i -> Value.Int (3 * i));
+    ( "sparse-dup",
+      fun i ->
+        ignore i;
+        if Random.State.int st 12 = 0 then Value.Null
+        else Value.Int (1_000_000 * (1 + Random.State.int st 50)) );
+    ("sparse-unique", fun i -> Value.Int (i * 1_000_003));
+  ]
+
+let join_reference ~left ~right ~on =
+  with_flag Join.use_int_fast false (fun () ->
+      Join.hash_join ~left ~right ~on ())
+
+let test_join_equiv () =
+  let st = Random.State.make [| 7 |] in
+  with_pools (fun pools ->
+      List.iter
+        (fun (nl, nr) ->
+          List.iter
+            (fun (rname, key) ->
+              let left = random_table st ~rows:nl ~key "l"
+              and right = random_table st ~rows:nr ~key "r" in
+              List.iter
+                (fun (cname, on) ->
+                  let reference = join_reference ~left ~right ~on in
+                  List.iter
+                    (fun (domains, pool) ->
+                      let got =
+                        with_flag Join.use_int_fast true (fun () ->
+                            (* Force the pool paths even on small inputs. *)
+                            with_flag Join.par_threshold 1 (fun () ->
+                                Join.hash_join ?pool ~left ~right ~on ()))
+                      in
+                      check_tables_equal
+                        (Printf.sprintf "join/%s/%s %dx%d dom=%d" rname cname
+                           nl nr domains)
+                        reference got)
+                    pools)
+                [
+                  ("int", [ (1, 1) ]);
+                  ("dict", [ (2, 2) ]);
+                  ("multi", [ (1, 1); (2, 2) ]);
+                ])
+            (key_regimes st (max nl nr)))
+        [ (0, 50); (50, 0); (1, 1); (200, 300); (1000, 400) ])
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation: batched group-by / scalar vs generic accumulation      *)
+
+let agg_specs =
+  Aggregate.
+    [
+      (Count_star, "n");
+      (Count 3, "cx");
+      (Sum 3, "sx");
+      (Avg 3, "ax");
+      (Min 1, "mn");
+      (Max 1, "mx");
+    ]
+
+let test_aggregate_equiv () =
+  let st = Random.State.make [| 1301 |] in
+  with_pools (fun pools ->
+      List.iter
+        (fun rows ->
+          let t =
+            random_table st ~rows ~key:(rand_key st (max 1 (rows / 8))) "t"
+          in
+          (* Small chunks force multi-chunk merges (and empty tail chunks)
+             even on small inputs; the decomposition is identical on both
+             paths so results stay bit-equal. *)
+          with_flag Aggregate.chunk_rows 64 (fun () ->
+              List.iter
+                (fun (kname, keys) ->
+                  let reference =
+                    with_flag Aggregate.vectorized false (fun () ->
+                        Aggregate.group_by t ~keys ~aggs:agg_specs)
+                  in
+                  List.iter
+                    (fun (domains, pool) ->
+                      let got =
+                        with_flag Aggregate.vectorized true (fun () ->
+                            Aggregate.group_by ?pool t ~keys ~aggs:agg_specs)
+                      in
+                      check_tables_equal
+                        (Printf.sprintf "group_by/%s rows=%d dom=%d" kname
+                           rows domains)
+                        reference got)
+                    pools)
+                [ ("global", []); ("int-key", [ 1 ]); ("dict-key", [ 2 ]) ];
+              List.iter
+                (fun (agg, aname) ->
+                  let reference =
+                    with_flag Aggregate.vectorized false (fun () ->
+                        Aggregate.scalar t agg)
+                  in
+                  List.iter
+                    (fun (domains, pool) ->
+                      let got =
+                        with_flag Aggregate.vectorized true (fun () ->
+                            Aggregate.scalar ?pool t agg)
+                      in
+                      if Value.compare reference got <> 0 then
+                        Alcotest.failf "scalar/%s rows=%d dom=%d: %s <> %s"
+                          aname rows domains
+                          (Value.to_string reference)
+                          (Value.to_string got))
+                    pools)
+                agg_specs))
+        [ 0; 1; 17; 500; 9000 ])
+
+(* Aggregating the output of a select: its Varchar column shares the
+   source dictionary ({!Column.create_sized} [~share_dict_of]), which is
+   the layout the dict-key batch kernel sees in real query plans. *)
+let test_aggregate_dict_shared () =
+  let st = Random.State.make [| 99 |] in
+  let t = random_table st ~rows:2000 ~key:(rand_key st 100) "t" in
+  let sub = Relop.select t Row_expr.(Cmp (Ge, Col 0, Const (Value.Int 500))) in
+  let keys = [ 2 ] and aggs = agg_specs in
+  let reference =
+    with_flag Aggregate.vectorized false (fun () ->
+        Aggregate.group_by sub ~keys ~aggs)
+  in
+  let got =
+    with_flag Aggregate.vectorized true (fun () ->
+        Aggregate.group_by sub ~keys ~aggs)
+  in
+  check_tables_equal "group_by over dict-shared select output" reference got
+
+(* ------------------------------------------------------------------ *)
+(* Berlin end-to-end: the acceptance criterion verbatim — vectorized
+   and row-at-a-time paths produce byte-identical Berlin query results
+   at 1/2/4/8 domains. The BI suite is the relational workload (joins,
+   group-bys, float aggregates) the batch kernels actually carry. *)
+
+let render_berlin pool =
+  let s = Session.create ?pool () in
+  Gen.ingest_all ~seed:42 ~scale:1 s;
+  let db = Session.db s in
+  Db.set_param db "Product1"
+    (Value.Str (Reference.most_offered_product ~scale:1 ()));
+  Db.set_param db "MaxPrice" (Value.Float 5000.0);
+  List.map
+    (fun (name, q) ->
+      match List.rev (Session.run_script s q) with
+      | (_, Script_exec.O_table t) :: _ ->
+          (name, Table.to_display_string ~max_rows:1_000_000 t)
+      | _ -> Alcotest.failf "%s did not end in a table" name)
+    Queries.bi_all
+
+let test_berlin_byte_identical () =
+  let reference =
+    with_flag Relop.vectorized false (fun () ->
+        with_flag Join.use_int_fast false (fun () ->
+            with_flag Aggregate.vectorized false (fun () ->
+                render_berlin None)))
+  in
+  with_pools (fun pools ->
+      List.iter
+        (fun (domains, pool) ->
+          match pool with
+          | None -> ()
+          | Some _ ->
+              List.iter2
+                (fun (qname, expected) (_, got) ->
+                  if String.compare expected got <> 0 then
+                    Alcotest.failf
+                      "berlin %s: vectorized dom=%d differs from row path"
+                      qname domains)
+                reference (render_berlin pool))
+        pools)
+
+(* ------------------------------------------------------------------ *)
+(* Planner: statistics must drive join order and build side            *)
+
+let int_csv ~header rows cell =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  for i = 0 to rows - 1 do
+    Buffer.add_string buf (cell i);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let db_of ~script ~csvs =
+  let db = Db.create () in
+  Ddl_exec.install db;
+  let loader name = List.assoc name csvs in
+  ignore
+    (Script_exec.exec_script ~loader ~parallel:false db
+       (Parser.parse_script script));
+  db
+
+let plan_of db src =
+  match Parser.parse_statement src with
+  | Ast.Select_table st ->
+      Table_plan.of_select ~db ~params:(fun _ -> None) st
+  | _ -> Alcotest.fail "expected a table select"
+
+let scan_order plan =
+  List.map
+    (fun (s : Table_plan.scan_step) -> Table_plan.rel_key s.Table_plan.sc_rel)
+    plan.Table_plan.tp_scans
+
+(* Two tables, same query text: the planner must scan the smaller one
+   first regardless of from-clause order, so flipping which table is big
+   flips the chosen order. *)
+let test_planner_order_flips () =
+  let mk ~nx ~ny =
+    db_of
+      ~script:
+        {|
+create table X(xk integer, xu integer)
+create table Y(yk integer, yu integer)
+ingest table X x.csv
+ingest table Y y.csv
+|}
+      ~csvs:
+        [
+          ("x.csv", int_csv ~header:"xk,xu" nx (fun i -> Printf.sprintf "%d,%d" (i mod 7) i));
+          ("y.csv", int_csv ~header:"yk,yu" ny (fun i -> Printf.sprintf "%d,%d" (i mod 7) i));
+        ]
+  in
+  let q = "select xu from table X as x, Y as y where x.xk = y.yk" in
+  let small_y = plan_of (mk ~nx:300 ~ny:10) q in
+  Alcotest.(check (list string))
+    "y first when y is small" [ "y"; "x" ] (scan_order small_y);
+  let small_x = plan_of (mk ~nx:10 ~ny:300) q in
+  Alcotest.(check (list string))
+    "x first when x is small" [ "x"; "y" ] (scan_order small_x)
+
+(* Three tables in a chain a-b-c. The a⋈b estimate blows up (both sides
+   keyed on 5 distinct values), so a small incoming c should be picked
+   as hash build side; a huge c should not. *)
+let test_planner_build_side_flips () =
+  let mk nc =
+    db_of
+      ~script:
+        {|
+create table A(ak integer, au integer)
+create table B(bk integer, bu integer)
+create table C(cu integer, cv integer)
+ingest table A a.csv
+ingest table B b.csv
+ingest table C c.csv
+|}
+      ~csvs:
+        [
+          ("a.csv", int_csv ~header:"ak,au" 50 (fun i -> Printf.sprintf "%d,%d" (i mod 5) i));
+          ("b.csv", int_csv ~header:"bk,bu" 60 (fun i -> Printf.sprintf "%d,%d" (i mod 5) i));
+          ("c.csv", int_csv ~header:"cu,cv" nc (fun i -> Printf.sprintf "%d,%d" i i));
+        ]
+  in
+  let q =
+    "select au from table A as a, B as b, C as c \
+     where a.ak = b.bk and b.bu = c.cu"
+  in
+  let build_side_of_c plan =
+    match
+      List.find_opt
+        (fun (j : Table_plan.join_step) ->
+          Table_plan.rel_key j.Table_plan.js_rel = "c")
+        plan.Table_plan.tp_joins
+    with
+    | Some j -> j.Table_plan.js_build_right
+    | None -> Alcotest.fail "c never joined"
+  in
+  let small_c = plan_of (mk 100) q in
+  Alcotest.(check bool) "small c is the build side" true
+    (build_side_of_c small_c);
+  let big_c = plan_of (mk 5000) q in
+  Alcotest.(check bool) "big c is the probe side" false
+    (build_side_of_c big_c)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics and intern-pool sizing                                   *)
+
+let test_ingest_stats () =
+  let db =
+    db_of
+      ~script:
+        {|
+create table S(v integer, w varchar(8))
+ingest table S s.csv
+|}
+      ~csvs:
+        [
+          ( "s.csv",
+            int_csv ~header:"v,w" 100 (fun i ->
+                if i mod 10 = 0 then ",x"
+                else Printf.sprintf "%d,%s" (i * 2) varchar_pool.(i mod 4)) );
+        ]
+  in
+  let t = Db.find_table_exn db "S" in
+  (match Column.stats (Table.column_by_name t "v") with
+  | None -> Alcotest.fail "ingest must maintain int stats"
+  | Some s ->
+      Alcotest.(check int) "rows" 100 s.Column.st_rows;
+      Alcotest.(check int) "nulls" 10 s.Column.st_nulls;
+      Alcotest.(check (option int)) "min" (Some 2) s.Column.st_min;
+      Alcotest.(check (option int)) "max" (Some 198) s.Column.st_max);
+  match Column.stats (Table.column_by_name t "w") with
+  | None -> Alcotest.fail "ingest must maintain varchar stats"
+  | Some s ->
+      Alcotest.(check int) "rows" 100 s.Column.st_rows;
+      (* dict size is exact for Varchar: x plus four group strings *)
+      Alcotest.(check int) "distinct" 5 (int_of_float s.Column.st_distinct)
+
+let test_intern_reserve_keeps_ids () =
+  let pool = Intern.create ~expected:4 () in
+  let ids = List.init 100 (fun i -> Intern.intern pool (string_of_int i)) in
+  Intern.reserve pool 100_000;
+  List.iteri
+    (fun i id ->
+      Alcotest.(check (option int))
+        "id stable across reserve" (Some id)
+        (Intern.find_opt pool (string_of_int i)))
+    ids;
+  let fresh = Intern.intern pool "fresh" in
+  Alcotest.(check int) "next id continues" (Intern.size pool - 1) fresh;
+  Alcotest.(check string) "lookup round-trips" "fresh" (Intern.lookup pool fresh)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "vectorized"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "select: batch == row reference" `Slow
+            test_select_equiv;
+          Alcotest.test_case "join: batch == row reference" `Slow
+            test_join_equiv;
+          Alcotest.test_case "aggregate: batch == row reference" `Slow
+            test_aggregate_equiv;
+          Alcotest.test_case "aggregate over dict-shared column" `Quick
+            test_aggregate_dict_shared;
+          Alcotest.test_case "berlin BI results byte-identical" `Slow
+            test_berlin_byte_identical;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "join order flips with cardinality" `Quick
+            test_planner_order_flips;
+          Alcotest.test_case "build side flips with cardinality" `Quick
+            test_planner_build_side_flips;
+        ] );
+      ( "statistics",
+        [
+          Alcotest.test_case "ingest maintains column stats" `Quick
+            test_ingest_stats;
+          Alcotest.test_case "intern reserve keeps ids" `Quick
+            test_intern_reserve_keeps_ids;
+        ] );
+    ]
