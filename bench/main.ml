@@ -550,6 +550,40 @@ let sweep_recovery ?(json = false) () =
           List.length (Graql.Wal.scan_file wal_path).Graql.Wal.s_records
         in
         let t_replay = time_best ~reps:5 (fun () -> recover_cold dir) in
+        (* Replication catch-up (DESIGN.md §13): a brand-new follower
+           joins the live primary and must sync the whole epoch-0 log —
+           handshake, resync transfer, fsync, replay — until its lag
+           reaches zero. Best of 3 fresh followers against one primary. *)
+        let t_repl =
+          let wal = Option.get (Graql.Session.wal s) in
+          let p = Graql.Repl.start_primary ~port:0 wal in
+          Fun.protect ~finally:(fun () -> Graql.Repl.stop_primary p)
+          @@ fun () ->
+          let once i =
+            let fdir = Printf.sprintf "%s.follower-%d" dir i in
+            let t0 = Unix.gettimeofday () in
+            let f =
+              Graql.Follower.start
+                ~port:(Graql.Repl.primary_port p)
+                ~dir:fdir ()
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                Graql.Follower.stop f;
+                rm_rf fdir)
+              (fun () ->
+                let deadline = t0 +. 120.0 in
+                while
+                  (Graql.Follower.offset f <> Graql.Wal.size wal
+                  || Graql.Follower.lag_records f <> 0)
+                  && Unix.gettimeofday () < deadline
+                do
+                  Unix.sleepf 0.001
+                done;
+                Unix.gettimeofday () -. t0)
+          in
+          List.fold_left Float.min (once 0) [ once 1; once 2 ]
+        in
         let t_checkpoint =
           time_once (fun () -> ignore (Graql.Session.checkpoint s))
         in
@@ -557,7 +591,8 @@ let sweep_recovery ?(json = false) () =
         Graql.Session.close s;
         let mb = float_of_int wal_bytes /. 1048576.0 in
         entries :=
-          (scale, n_records, wal_bytes, t_replay, t_checkpoint, t_snapshot)
+          (scale, n_records, wal_bytes, t_replay, t_checkpoint, t_snapshot,
+           t_repl)
           :: !entries;
         [
           string_of_int scale;
@@ -568,6 +603,8 @@ let sweep_recovery ?(json = false) () =
           Printf.sprintf "%.1f" (mb /. t_replay);
           ms t_checkpoint;
           ms t_snapshot;
+          ms t_repl;
+          Printf.sprintf "%.0f" (float_of_int n_records /. t_repl);
         ])
       [ 1; 2; 4 ]
   in
@@ -576,25 +613,29 @@ let sweep_recovery ?(json = false) () =
        ~header:
          [
            "scale"; "records"; "wal(MB)"; "replay(ms)"; "rec/s"; "MB/s";
-           "checkpoint(ms)"; "snapshot-restart(ms)";
+           "checkpoint(ms)"; "snapshot-restart(ms)"; "repl-sync(ms)";
+           "repl rec/s";
          ]
        rows);
   if json then begin
     let buf = Buffer.create 512 in
     Buffer.add_string buf "[\n";
     List.iteri
-      (fun i (scale, n, bytes, t_replay, t_ckpt, t_snap) ->
+      (fun i (scale, n, bytes, t_replay, t_ckpt, t_snap, t_repl) ->
         if i > 0 then Buffer.add_string buf ",\n";
         Buffer.add_string buf
           (Printf.sprintf
              "  {\"scale\": %d, \"wal_records\": %d, \"wal_bytes\": %d, \
               \"replay_ms\": %.3f, \"replay_records_per_s\": %.1f, \
               \"replay_mb_per_s\": %.3f, \"checkpoint_ms\": %.3f, \
-              \"snapshot_restart_ms\": %.3f}"
+              \"snapshot_restart_ms\": %.3f, \"repl_sync_ms\": %.3f, \
+              \"repl_records_per_s\": %.1f, \"repl_mb_per_s\": %.3f}"
              scale n bytes (t_replay *. 1000.0)
              (float_of_int n /. t_replay)
              (float_of_int bytes /. 1048576.0 /. t_replay)
-             (t_ckpt *. 1000.0) (t_snap *. 1000.0)))
+             (t_ckpt *. 1000.0) (t_snap *. 1000.0) (t_repl *. 1000.0)
+             (float_of_int n /. t_repl)
+             (float_of_int bytes /. 1048576.0 /. t_repl)))
       (List.rev !entries);
     Buffer.add_string buf "\n]\n";
     let oc = open_out "BENCH_recovery.json" in
@@ -1244,26 +1285,50 @@ let check_join baseline =
 
 let check_recovery baseline =
   let current = Lazy.force current_recovery in
-  List.filter_map
+  List.concat_map
     (fun entry ->
-      match (num_field entry "scale", num_field entry "replay_records_per_s") with
-      | Some scale, Some base_tput -> (
+      match num_field entry "scale" with
+      | None -> []
+      | Some scale -> (
           let scale = int_of_float scale in
           match
-            List.find_opt (fun (s, _, _, _, _, _) -> s = scale) current
+            List.find_opt (fun (s, _, _, _, _, _, _) -> s = scale) current
           with
-          | Some (_, n, _, t_replay, _, _) ->
-              Some
-                {
-                  ck_metric =
-                    Printf.sprintf "recovery:scale=%d replay_records_per_s"
-                      scale;
-                  ck_base = base_tput;
-                  ck_cur = float_of_int n /. t_replay;
-                  ck_higher_better = true;
-                }
-          | None -> None)
-      | _ -> None)
+          | None -> []
+          | Some (_, n, _, t_replay, _, _, t_repl) ->
+              let replay =
+                match num_field entry "replay_records_per_s" with
+                | Some base_tput ->
+                    [
+                      {
+                        ck_metric =
+                          Printf.sprintf
+                            "recovery:scale=%d replay_records_per_s" scale;
+                        ck_base = base_tput;
+                        ck_cur = float_of_int n /. t_replay;
+                        ck_higher_better = true;
+                      };
+                    ]
+                | None -> []
+              in
+              (* Baselines written before replication landed lack this
+                 field; they gate only the replay metric. *)
+              let repl =
+                match num_field entry "repl_records_per_s" with
+                | Some base_tput when t_repl > 0.0 ->
+                    [
+                      {
+                        ck_metric =
+                          Printf.sprintf
+                            "recovery:scale=%d repl_records_per_s" scale;
+                        ck_base = base_tput;
+                        ck_cur = float_of_int n /. t_repl;
+                        ck_higher_better = true;
+                      };
+                    ]
+                | _ -> []
+              in
+              replay @ repl))
     (Option.value (Json.to_list baseline) ~default:[])
 
 let check_obs baseline =

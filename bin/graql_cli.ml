@@ -208,6 +208,37 @@ let recover_arg =
               plus WAL tail, truncating a torn tail) before running. \
               Implied by --wal; on its own, nothing new is logged.")
 
+let replicate_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "replicate" ] ~docv:"PORT"
+        ~doc:"With --wal: stream the write-ahead log to follower \
+              processes from 127.0.0.1:PORT (0 picks an ephemeral port; \
+              the actual address is printed to stderr). Followers attach \
+              with $(b,graql follow HOST:PORT).")
+
+(* --replicate: start the WAL-shipping primary on the session's log.
+   Returns the handle so the caller can stop it after any --serve-ms
+   grace (followers keep converging until then). *)
+let start_replication replicate tel session =
+  match replicate with
+  | None -> None
+  | Some port -> (
+      match Graql.Session.wal session with
+      | None ->
+          prerr_endline "note: --replicate ignored without --wal";
+          None
+      | Some w ->
+          let p = Graql.Repl.start_primary ~port w in
+          Printf.eprintf "replicating on 127.0.0.1:%d\n%!"
+            (Graql.Repl.primary_port p);
+          Option.iter
+            (fun t ->
+              Graql.Telemetry.set_replication t
+                (Some (fun () -> Graql.Repl.status_json p)))
+            tel;
+          Some p)
+
 let durability_of ~wal data_dir =
   if wal then Some (Graql.Session.Wal_dir (Option.value data_dir ~default:"graql-data"))
   else None
@@ -301,8 +332,8 @@ let checkpoint_flag_arg =
 
 let run_cmd =
   let action script params domains seq data_dir dump deadline_ms fault_seed
-      wal recover checkpoint metrics_dump trace_out slow_ms query_log listen
-      serve_ms =
+      wal recover checkpoint replicate metrics_dump trace_out slow_ms
+      query_log listen serve_ms =
     with_typed_errors (fun () ->
         setup_obs ?query_log ~trace_out ~slow_ms ();
         let session =
@@ -312,6 +343,7 @@ let run_cmd =
         let tel = start_telemetry listen session in
         report_recovery session;
         if recover && not wal then recover_without_wal session data_dir;
+        let primary = start_replication replicate tel session in
         telemetry_ready tel;
         let source = read_file script in
         let results =
@@ -334,7 +366,18 @@ let run_cmd =
             Printf.printf "exported database to %s/\n" dir
         | None -> ());
         finish_obs ~trace_out ~metrics_dump;
+        (* --serve-ms also extends replication: followers keep draining
+           the stream until the grace expires. *)
+        (match primary with
+        | Some _ when listen = None -> (
+            match serve_ms with
+            | Some ms when ms > 0 ->
+                Printf.eprintf "note: replicating for %d ms more\n%!" ms;
+                Unix.sleepf (float_of_int ms /. 1000.)
+            | _ -> ())
+        | _ -> ());
         finish_telemetry ~serve_ms tel;
+        Option.iter Graql.Repl.stop_primary primary;
         Graql.Obs.Query_log.close ();
         Graql.Session.close session;
         outcomes_exit_code results)
@@ -344,9 +387,9 @@ let run_cmd =
     Term.(
       ret (const action $ script_arg $ params_arg $ domains_arg $ seq_arg
            $ data_dir_arg $ dump_arg $ deadline_arg $ fault_seed_arg
-           $ wal_arg $ recover_arg $ checkpoint_flag_arg $ metrics_dump_arg
-           $ trace_out_arg $ slow_ms_arg $ query_log_arg $ listen_arg
-           $ serve_ms_arg))
+           $ wal_arg $ recover_arg $ checkpoint_flag_arg $ replicate_arg
+           $ metrics_dump_arg $ trace_out_arg $ slow_ms_arg $ query_log_arg
+           $ listen_arg $ serve_ms_arg))
 
 let check_cmd =
   let action script params =
@@ -687,6 +730,91 @@ let repl_cmd =
       ret (const action $ domains_arg $ params_arg $ data_dir_arg $ wal_arg
            $ slow_ms_arg $ query_log_arg $ listen_arg))
 
+let follow_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HOST:PORT"
+          ~doc:"The primary's replication address, as printed by \
+                $(b,graql run --wal --replicate PORT).")
+  in
+  let max_lag_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-lag" ] ~docv:"N"
+          ~doc:"Readiness bound: with --listen, /readyz answers 503 once \
+                the follower is more than N records behind the primary. \
+                Default: GRAQL_REPL_MAX_LAG, else 1000.")
+  in
+  let action target data_dir domains max_lag listen serve_ms =
+    with_typed_errors @@ fun () ->
+    let host, port =
+      match String.rindex_opt target ':' with
+      | Some i -> (
+          let h = String.sub target 0 i in
+          let p = String.sub target (i + 1) (String.length target - i - 1) in
+          match int_of_string_opt p with
+          | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+          | None ->
+              Graql.Error.raise_error
+                (Graql.Error.Io
+                   (Printf.sprintf "bad follow target %S (want HOST:PORT)"
+                      target)))
+      | None ->
+          Graql.Error.raise_error
+            (Graql.Error.Io
+               (Printf.sprintf "bad follow target %S (want HOST:PORT)" target))
+    in
+    let dir = Option.value data_dir ~default:"graql-data" in
+    let pool = Some (Graql.Domain_pool.create ?domains ()) in
+    let follower = Graql.Follower.start ?pool ~host ?max_lag ~port ~dir () in
+    Printf.eprintf "following %s:%d into %s/\n%!" host port dir;
+    let tel =
+      match listen with
+      | None -> None
+      | Some p ->
+          let t = Graql.Telemetry.start_follower ~port:p follower in
+          Printf.eprintf "listening on http://127.0.0.1:%d\n%!"
+            (Graql.Telemetry.port t);
+          Some t
+    in
+    let quit = Atomic.make false in
+    let on_signal _ = Atomic.set quit true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    let deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+        serve_ms
+    in
+    let expired () =
+      match deadline with
+      | Some d -> Unix.gettimeofday () >= d
+      | None -> false
+    in
+    while not (Atomic.get quit || expired ()) do
+      try Unix.sleepf 0.05
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Graql.Follower.stop follower;
+    Option.iter Graql.Telemetry.stop tel;
+    Printf.eprintf "stopped: %s\n%!" (Graql.Follower.status_json follower);
+    0
+  in
+  Cmd.v
+    (Cmd.info "follow"
+       ~doc:"Run a read-only replication follower: mirror a --replicate \
+             primary's write-ahead log into --data-dir (byte-identical, \
+             fsync'd before each ack), apply it continuously, and fold \
+             local checkpoints when the primary's log epoch advances. \
+             Runs until SIGINT/SIGTERM (or --serve-ms expires); the data \
+             directory is then a valid recovery source — promote the \
+             follower by starting a primary on it.")
+    Term.(
+      ret (const action $ target_arg $ data_dir_arg $ domains_arg
+           $ max_lag_arg $ listen_arg $ serve_ms_arg))
+
 let explain_cmd =
   let action script params domains data_dir =
     with_typed_errors @@ fun () ->
@@ -793,6 +921,6 @@ let main =
     (Cmd.info "graql" ~version:"1.0.0" ~exits
        ~doc:"GraQL attributed graph database (GEMS reproduction)")
     [ run_cmd; check_cmd; ir_cmd; gen_berlin_cmd; berlin_cmd; repl_cmd;
-      explain_cmd; cluster_plan_cmd ]
+      follow_cmd; explain_cmd; cluster_plan_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -87,6 +87,8 @@ module Cluster = Graql_gems.Cluster
 module Server = Graql_gems.Server
 module Telemetry = Graql_gems.Telemetry
 module Fault = Graql_gems.Fault
+module Repl = Graql_gems.Repl
+module Follower = Graql_gems.Follower
 module Domain_pool = Graql_parallel.Domain_pool
 module Cancel = Graql_parallel.Cancel
 

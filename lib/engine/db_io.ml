@@ -267,7 +267,7 @@ type recovery = {
    run were logged before they died; they fail identically here and are
    skipped the same way a live script degrades per statement. Only
    genuinely fatal conditions propagate. *)
-let replay_record db record =
+let replay db record =
   match
     match record with
     | Wal.R_stmt stmt -> ignore (Script_exec.exec_stmt db stmt)
@@ -305,6 +305,14 @@ let load_checkpoint db ~cp_dir =
             (Graql_lang.Loc.to_string loc) msg)
     script
 
+(* Expected-but-noteworthy: a torn WAL tail after a crash is exactly
+   what the durability contract allows, but operators should be able to
+   see that it happened on /metrics after the restart. *)
+let m_torn_tail =
+  Graql_obs.Metrics.counter
+    ~help:"Torn write-ahead-log tails truncated during recovery."
+    "wal.torn_tail"
+
 let recover db ~dir =
   (match Db.wal db with
   | Some _ ->
@@ -328,9 +336,15 @@ let recover db ~dir =
       (* Drop the torn tail now so the reopened log appends after the
          last intact record. A torn *header* truncates to empty;
          [Wal.open_log] rewrites it. *)
-      if scan.Wal.s_torn > 0 then
-        Wal.truncate_file wal_path scan.Wal.s_valid_end;
-      List.iter (replay_record db) scan.Wal.s_records;
+      if scan.Wal.s_torn > 0 then begin
+        Graql_obs.Metrics.incr m_torn_tail;
+        Printf.eprintf
+          "graql: warning: %s: truncated %d-byte torn WAL tail (crash \
+           mid-append; last acknowledged record is intact)\n%!"
+          (Filename.basename wal_path) scan.Wal.s_torn;
+        Wal.truncate_file wal_path scan.Wal.s_valid_end
+      end;
+      List.iter (replay db) scan.Wal.s_records;
       (List.length scan.Wal.s_records, scan.Wal.s_torn)
     end
   in
@@ -354,11 +368,7 @@ let rec rm_rf path =
    [Wal.advance], recovery finds the new checkpoint and no WAL for its
    epoch (the stale log is superseded, its effects are in the
    snapshot). Superseded epochs are deleted last, best-effort. *)
-let checkpoint db w =
-  let dir = Wal.dir w in
-  let epoch = Wal.epoch w + 1 in
-  export db ~dir:(Filename.concat dir (checkpoint_dir_name ~epoch));
-  Wal.advance w;
+let gc_superseded ~dir ~epoch =
   Array.iter
     (fun name ->
       let stale =
@@ -371,3 +381,10 @@ let checkpoint db w =
         try rm_rf (Filename.concat dir name) with Sys_error _ -> ())
     (Sys.readdir dir);
   Wal.fsync_dir dir
+
+let checkpoint db w =
+  let dir = Wal.dir w in
+  let epoch = Wal.epoch w + 1 in
+  export db ~dir:(Filename.concat dir (checkpoint_dir_name ~epoch));
+  Wal.advance w;
+  gc_superseded ~dir ~epoch

@@ -62,6 +62,18 @@ type recovery = {
   rec_truncated : int;  (** torn-tail bytes dropped from the WAL *)
 }
 
+val replay : Db.t -> Wal.record -> unit
+(** Re-apply one logged operation. A statement that fails with a typed
+    {!Graql_error.t} is skipped (it failed identically in the original
+    run); anything else propagates. Used by {!recover} and by a
+    replication follower applying the primary's stream. *)
+
+val gc_superseded : dir:string -> epoch:int -> unit
+(** Delete every checkpoint directory and WAL file of an epoch older
+    than [epoch] (best-effort), then fsync the directory — the cleanup
+    step of {!checkpoint}, also run by a follower after it mirrors an
+    epoch advance. *)
+
 val recover : Db.t -> dir:string -> recovery
 (** Rebuild the database state from [dir]: load the latest complete
     checkpoint (verifying every file against its manifest), then replay

@@ -170,6 +170,10 @@ let truncate_file path len =
 (* ------------------------------------------------------------------ *)
 (* Appending                                                           *)
 
+type event =
+  | Ev_append of { epoch : int; offset : int; data : bytes; records : int }
+  | Ev_advance of { epoch : int }
+
 type t = {
   t_dir : string;
   mutable t_epoch : int;
@@ -177,6 +181,8 @@ type t = {
   mutable t_oc : out_channel;
   mutable t_size : int;
   mutable t_appended : int;
+  mutable t_records : int;
+  mutable t_observer : (event -> unit) option;
   mutex : Mutex.t;
 }
 
@@ -203,13 +209,16 @@ let create_fresh ~dir ~epoch path =
 let open_log ~dir ~epoch =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path = Filename.concat dir (file_name ~epoch) in
-  let oc, size =
-    if not (Sys.file_exists path) then create_fresh ~dir ~epoch path
+  let oc, size, records =
+    if not (Sys.file_exists path) then
+      let oc, size = create_fresh ~dir ~epoch path in
+      (oc, size, 0)
     else begin
       let scan = scan_file path in
       if scan.s_valid_end = 0 then
         (* Header itself was torn: start the file over. *)
-        create_fresh ~dir ~epoch path
+        let oc, size = create_fresh ~dir ~epoch path in
+        (oc, size, 0)
       else begin
         if scan.s_epoch <> epoch then
           io_error "%s: header epoch %d does not match file name"
@@ -218,7 +227,7 @@ let open_log ~dir ~epoch =
         let oc =
           open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
         in
-        (oc, scan.s_valid_end)
+        (oc, scan.s_valid_end, List.length scan.s_records)
       end
     end
   in
@@ -229,6 +238,8 @@ let open_log ~dir ~epoch =
     t_oc = oc;
     t_size = size;
     t_appended = 0;
+    t_records = records;
+    t_observer = None;
     mutex = Mutex.create ();
   }
 
@@ -237,6 +248,16 @@ let path t = t.t_path
 let epoch t = t.t_epoch
 let size t = t.t_size
 let appended t = t.t_appended
+let records t = t.t_records
+
+let set_observer t obs =
+  Mutex.lock t.mutex;
+  t.t_observer <- obs;
+  Mutex.unlock t.mutex
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let m_records = Graql_obs.Metrics.counter "wal.records"
 let m_bytes = Graql_obs.Metrics.counter "wal.bytes"
@@ -261,8 +282,19 @@ let append t record =
       Graql_obs.Metrics.observe h_fsync_us ((t2 -. t1) *. 1e6);
       Graql_obs.Metrics.incr m_records;
       Graql_obs.Metrics.add m_bytes (Bytes.length framed);
+      let offset = t.t_size in
       t.t_size <- t.t_size + Bytes.length framed;
-      t.t_appended <- t.t_appended + 1)
+      t.t_appended <- t.t_appended + 1;
+      t.t_records <- t.t_records + 1;
+      (* The record is durable here; a replication primary ships exactly
+         these bytes. Called under the mutex, so observers see appends
+         and epoch advances in file order. *)
+      match t.t_observer with
+      | Some f ->
+          f (Ev_append
+               { epoch = t.t_epoch; offset; data = framed;
+                 records = t.t_records })
+      | None -> ())
 
 let advance t =
   Mutex.lock t.mutex;
@@ -278,8 +310,12 @@ let advance t =
       t.t_epoch <- epoch;
       t.t_path <- path;
       t.t_size <- size;
+      t.t_records <- 0;
       (* The old epoch's records live on in the checkpoint now. *)
       (try Sys.remove old_path with Sys_error _ -> ());
-      fsync_dir t.t_dir)
+      fsync_dir t.t_dir;
+      match t.t_observer with
+      | Some f -> f (Ev_advance { epoch })
+      | None -> ())
 
 let close t = close_out_noerr t.t_oc

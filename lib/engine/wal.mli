@@ -46,6 +46,15 @@ val encode_record : record -> bytes
 val decode_record : bytes -> record
 (** Raises {!Graql_ir.Wire.Corrupt} on a malformed payload. *)
 
+val header : epoch:int -> bytes
+(** The [header_size] bytes that begin an epoch's log file — a follower
+    mirroring the primary's stream writes this itself, so its local file
+    stays byte-identical to the primary's. *)
+
+val frame : bytes -> bytes
+(** [len u32le | crc u32le | payload] — the record framing, reused by
+    the replication protocol for its socket messages. *)
+
 (** {1 Appending} *)
 
 type t
@@ -66,6 +75,32 @@ val size : t -> int
 val appended : t -> int
 (** Records appended through this handle (not counting pre-existing
     ones). *)
+
+val records : t -> int
+(** Total records in the current epoch's file (pre-existing ones found
+    at open plus everything appended since). *)
+
+type event =
+  | Ev_append of { epoch : int; offset : int; data : bytes; records : int }
+      (** One framed record became durable: [data] is the exact file
+          bytes written at [offset]; [records] is the epoch total after
+          this append. *)
+  | Ev_advance of { epoch : int }
+      (** A checkpoint folded the previous epoch; appends now go to the
+          (empty) log of [epoch]. *)
+
+val set_observer : t -> (event -> unit) option -> unit
+(** Install the single observer (replication primary). It is called
+    under the log's mutex, {e after} the record is fsync'd, so it sees
+    events in exact file order — keep it quick, and never call back
+    into this log from inside it. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run [f] with the log's append mutex held: no append or advance (and
+    hence no observer event) can interleave. Used by the replication
+    primary to snapshot [epoch]/[size] and read the file consistently
+    while registering a new follower. Do not call {!append},
+    {!advance} or {!set_observer} from inside [f]. *)
 
 val append : t -> record -> unit
 (** Frame, write and [fsync] one record. Thread-safe; the record is

@@ -1,0 +1,457 @@
+module Db = Graql_engine.Db
+module Db_io = Graql_engine.Db_io
+module Wal = Graql_engine.Wal
+module Graql_error = Graql_engine.Graql_error
+module Metrics = Graql_obs.Metrics
+
+let io_error fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Graql_error.Error (Graql_error.Io msg)))
+    fmt
+
+let g_lag_records =
+  Metrics.gauge
+    ~help:"Primary log records this follower has not applied yet."
+    "repl.lag_records"
+
+let g_lag_bytes =
+  Metrics.gauge
+    ~help:"Primary log bytes not yet durable on this follower."
+    "repl.lag_bytes"
+
+let m_applied =
+  Metrics.counter ~help:"Replicated WAL records applied by this follower."
+    "repl.applied_records"
+
+let m_reconnects =
+  Metrics.counter ~help:"Follower reconnection attempts that succeeded."
+    "repl.connects"
+
+let default_max_lag () =
+  match
+    Option.bind (Sys.getenv_opt "GRAQL_REPL_MAX_LAG") int_of_string_opt
+  with
+  | Some n when n >= 0 -> n
+  | Some _ | None -> 1000
+
+type t = {
+  f_dir : string;
+  f_host : string;
+  f_port : int;
+  f_max_lag : int;
+  f_pool : Graql_parallel.Domain_pool.t option;
+  f_mu : Mutex.t;
+  mutable f_db : Db.t;
+  mutable f_epoch : int;
+  mutable f_offset : int;  (** durable bytes of the current epoch's file *)
+  mutable f_records : int;  (** records applied to [f_db] this epoch *)
+  mutable f_pending : Wal.record list;  (** mirrored but unapplied (paused) *)
+  mutable f_primary_offset : int;  (** primary file size after last chunk *)
+  mutable f_primary_records : int;  (** primary record count after last chunk *)
+  mutable f_oc : out_channel option;
+  mutable f_fd : Unix.file_descr option;
+  mutable f_connected : bool;
+  mutable f_connects : int;
+  mutable f_paused : bool;
+  mutable f_stop : bool;
+  mutable f_domain : unit Domain.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Local state helpers (callers hold [f_mu])                           *)
+
+let update_gauges t =
+  Metrics.set_gauge g_lag_records
+    (float_of_int (max 0 (t.f_primary_records - t.f_records)));
+  Metrics.set_gauge g_lag_bytes
+    (float_of_int (max 0 (t.f_primary_offset - t.f_offset)))
+
+let fsync_channel oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let close_oc t =
+  (match t.f_oc with Some oc -> close_out_noerr oc | None -> ());
+  t.f_oc <- None
+
+let wal_path t = Filename.concat t.f_dir (Wal.file_name ~epoch:t.f_epoch)
+
+let ensure_oc t =
+  match t.f_oc with
+  | Some oc -> oc
+  | None ->
+      let oc =
+        open_out_gen
+          [ Open_wronly; Open_append; Open_binary ]
+          0o644 (wal_path t)
+      in
+      t.f_oc <- Some oc;
+      oc
+
+(* Walk a chunk of raw log bytes — whole CRC-framed records by
+   construction — and decode each. Any damage means the stream (not our
+   file) is corrupt: raise and let the reconnect handshake resolve it. *)
+let records_of_chunk data =
+  let size = Bytes.length data in
+  let out = ref [] in
+  let pos = ref 0 in
+  while !pos < size do
+    let o = !pos in
+    if size - o < 8 then io_error "replication chunk ends mid-frame";
+    let len = Int32.to_int (Bytes.get_int32_le data o) land 0xFFFFFFFF in
+    if o + 8 + len > size then io_error "replication chunk ends mid-record";
+    let payload = Bytes.sub data (o + 8) len in
+    if Graql_util.Crc32.bytes payload <> Bytes.get_int32_le data (o + 4) then
+      io_error "replication chunk record CRC mismatch";
+    (match Wal.decode_record payload with
+    | r -> out := r :: !out
+    | exception Graql_ir.Wire.Corrupt msg ->
+        io_error "replication chunk carries an undecodable record: %s" msg);
+    pos := o + 8 + len
+  done;
+  List.rev !out
+
+let fresh_db t =
+  let db = Db.create ?pool:t.f_pool () in
+  Graql_engine.Ddl_exec.install db;
+  db
+
+(* Scan whatever log file the current epoch has on disk; absent file =
+   nothing mirrored yet (offset 0 tells the primary to resync us). *)
+let scan_local t =
+  let path = wal_path t in
+  if Sys.file_exists path then begin
+    let scan = Wal.scan_file path in
+    (* Drop a torn tail physically, not just logically: the mirror
+       appends at end-of-file, which must therefore BE the valid end. *)
+    if scan.Wal.s_torn > 0 then Wal.truncate_file path scan.Wal.s_valid_end;
+    t.f_offset <- scan.Wal.s_valid_end;
+    t.f_records <- List.length scan.Wal.s_records
+  end
+  else begin
+    t.f_offset <- 0;
+    t.f_records <- 0
+  end
+
+let recover_local t =
+  let db = fresh_db t in
+  let recovery = Db_io.recover db ~dir:t.f_dir in
+  t.f_db <- db;
+  t.f_epoch <- recovery.Db_io.rec_epoch;
+  t.f_pending <- [];
+  scan_local t;
+  t.f_primary_offset <- 0;
+  t.f_primary_records <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Message handlers (called from the replication domain, take [f_mu])  *)
+
+let apply_one t r =
+  Db_io.replay t.f_db r;
+  t.f_records <- t.f_records + 1;
+  Metrics.incr m_applied
+
+let handle_chunk t ~epoch ~offset ~records data =
+  Mutex.lock t.f_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.f_mu)
+    (fun () ->
+      if epoch <> t.f_epoch || offset <> t.f_offset then
+        io_error
+          "replication stream out of sync (chunk for epoch %d @%d, local \
+           epoch %d @%d)"
+          epoch offset t.f_epoch t.f_offset;
+      let rs = records_of_chunk data in
+      (* Mirror first: the bytes are durable here before we ack, so an
+         acked offset survives our own crash. *)
+      if Bytes.length data > 0 then begin
+        let oc = ensure_oc t in
+        output_bytes oc data;
+        fsync_channel oc
+      end;
+      t.f_offset <- t.f_offset + Bytes.length data;
+      t.f_primary_offset <- offset + Bytes.length data;
+      t.f_primary_records <- records;
+      if t.f_paused then t.f_pending <- t.f_pending @ rs
+      else List.iter (apply_one t) rs;
+      update_gauges t;
+      Repl.Ack { epoch = t.f_epoch; offset = t.f_offset })
+
+let handle_advance t ~epoch =
+  Mutex.lock t.f_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.f_mu)
+    (fun () ->
+      if epoch <> t.f_epoch + 1 then
+        io_error
+          "replication stream out of sync (advance to epoch %d, local epoch \
+           %d)"
+          epoch t.f_epoch;
+      (* The primary folded everything we were sent; a paused follower
+         must drain before mirroring the fold, or its checkpoint would
+         miss records. *)
+      List.iter (apply_one t) t.f_pending;
+      t.f_pending <- [];
+      close_oc t;
+      (* Same crash-safe order as [Db_io.checkpoint]: complete snapshot
+         (MANIFEST last, directory synced), then the new epoch's log,
+         then GC of the superseded epoch. *)
+      Db_io.export t.f_db
+        ~dir:(Filename.concat t.f_dir (Db_io.checkpoint_dir_name ~epoch));
+      let path = Filename.concat t.f_dir (Wal.file_name ~epoch) in
+      let oc = open_out_bin path in
+      output_bytes oc (Wal.header ~epoch);
+      fsync_channel oc;
+      Wal.fsync_dir t.f_dir;
+      Db_io.gc_superseded ~dir:t.f_dir ~epoch;
+      t.f_oc <- Some oc;
+      t.f_epoch <- epoch;
+      t.f_offset <- Wal.header_size;
+      t.f_records <- 0;
+      t.f_primary_offset <- Wal.header_size;
+      t.f_primary_records <- 0;
+      update_gauges t;
+      Repl.Ack { epoch; offset = t.f_offset })
+
+let rm_rf path =
+  let rec go p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> go (Filename.concat p n)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists path then try go path with Sys_error _ -> ()
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let handle_snapshot t ~epoch files =
+  Mutex.lock t.f_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.f_mu)
+    (fun () ->
+      close_oc t;
+      (* Wipe and reinstall. The primary orders each checkpoint's
+         MANIFEST after its data files, so a crash mid-install leaves a
+         manifest-less (ignored) directory, never a lying one. *)
+      Array.iter
+        (fun n -> rm_rf (Filename.concat t.f_dir n))
+        (if Sys.file_exists t.f_dir then Sys.readdir t.f_dir else [||]);
+      mkdir_p t.f_dir;
+      List.iter
+        (fun (name, contents) ->
+          let path = Filename.concat t.f_dir name in
+          mkdir_p (Filename.dirname path);
+          let oc = open_out_bin path in
+          output_string oc contents;
+          fsync_channel oc;
+          close_out_noerr oc)
+        files;
+      Wal.fsync_dir t.f_dir;
+      recover_local t;
+      if t.f_epoch <> epoch then
+        io_error "snapshot resync recovered epoch %d, primary sent %d"
+          t.f_epoch epoch;
+      t.f_primary_offset <- t.f_offset;
+      t.f_primary_records <- t.f_records;
+      update_gauges t;
+      Repl.Ack { epoch = t.f_epoch; offset = t.f_offset })
+
+(* ------------------------------------------------------------------ *)
+(* Connection loop                                                     *)
+
+(* The pool's fault-recovery discipline: capped exponential backoff,
+   deterministic (no jitter — chaos tests replay byte-for-byte). *)
+let backoff_delay n = Float.min 1.0 (0.05 *. (2.0 ** float_of_int (n - 1)))
+
+(* Sleep in short slices so [stop] never waits out a full backoff. *)
+let interruptible_sleep t d =
+  let slice = 0.05 in
+  let rec go left =
+    if left > 0.0 && not t.f_stop then begin
+      Unix.sleepf (Float.min slice left);
+      go (left -. slice)
+    end
+  in
+  go d
+
+let connect t =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_of_string t.f_host, t.f_port))
+  with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      raise e
+
+let session_loop t fd =
+  (* Handshake: tell the primary what we already hold. *)
+  let hello =
+    Mutex.lock t.f_mu;
+    let crc =
+      if t.f_offset = 0 then 0l
+      else begin
+        (match t.f_oc with Some oc -> flush oc | None -> ());
+        let ic = open_in_bin (wal_path t) in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            Graql_util.Crc32.string (really_input_string ic t.f_offset))
+      end
+    in
+    let m = Repl.Hello { epoch = t.f_epoch; offset = t.f_offset; crc } in
+    Mutex.unlock t.f_mu;
+    m
+  in
+  Repl.send_message fd hello;
+  Mutex.lock t.f_mu;
+  t.f_connected <- true;
+  t.f_connects <- t.f_connects + 1;
+  Mutex.unlock t.f_mu;
+  Metrics.incr m_reconnects;
+  let rec loop () =
+    match Repl.recv_message fd with
+    | None -> ()
+    | Some (Repl.Wal_chunk { epoch; offset; records; data }) ->
+        Repl.send_message fd (handle_chunk t ~epoch ~offset ~records data);
+        loop ()
+    | Some (Repl.Advance { epoch }) ->
+        Repl.send_message fd (handle_advance t ~epoch);
+        loop ()
+    | Some (Repl.Snapshot { epoch; files }) ->
+        Repl.send_message fd (handle_snapshot t ~epoch files);
+        loop ()
+    | Some (Repl.Hello _ | Repl.Ack _) ->
+        io_error "unexpected message from primary"
+  in
+  loop ()
+
+let run t =
+  let failures = ref 0 in
+  while not t.f_stop do
+    (match connect t with
+    | exception Unix.Unix_error (_, _, _) ->
+        incr failures;
+        interruptible_sleep t (backoff_delay !failures)
+    | fd ->
+        Mutex.lock t.f_mu;
+        t.f_fd <- Some fd;
+        Mutex.unlock t.f_mu;
+        (try
+           session_loop t fd;
+           (* Clean EOF: the primary went away; retry promptly. *)
+           failures := 1
+         with
+        | Graql_error.Error (Graql_error.Io _) | Unix.Unix_error (_, _, _) ->
+            incr failures);
+        Mutex.lock t.f_mu;
+        t.f_fd <- None;
+        t.f_connected <- false;
+        Mutex.unlock t.f_mu;
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        if not t.f_stop then interruptible_sleep t (backoff_delay !failures))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Public surface                                                      *)
+
+let start ?pool ?(host = "127.0.0.1") ?max_lag ~port ~dir () =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let t =
+    {
+      f_dir = dir;
+      f_host = host;
+      f_port = port;
+      f_max_lag =
+        (match max_lag with Some n -> n | None -> default_max_lag ());
+      f_pool = pool;
+      f_mu = Mutex.create ();
+      f_db = Db.create ?pool ();
+      f_epoch = 0;
+      f_offset = 0;
+      f_records = 0;
+      f_pending = [];
+      f_primary_offset = 0;
+      f_primary_records = 0;
+      f_oc = None;
+      f_fd = None;
+      f_connected = false;
+      f_connects = 0;
+      f_paused = false;
+      f_stop = false;
+      f_domain = None;
+    }
+  in
+  Mutex.lock t.f_mu;
+  recover_local t;
+  update_gauges t;
+  Mutex.unlock t.f_mu;
+  t.f_domain <- Some (Domain.spawn (fun () -> run t));
+  t
+
+let locked t f =
+  Mutex.lock t.f_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.f_mu) f
+
+let db t = locked t (fun () -> t.f_db)
+let epoch t = locked t (fun () -> t.f_epoch)
+let offset t = locked t (fun () -> t.f_offset)
+let records_applied t = locked t (fun () -> t.f_records)
+
+let lag_records t =
+  locked t (fun () -> max 0 (t.f_primary_records - t.f_records))
+
+let lag_bytes t =
+  locked t (fun () -> max 0 (t.f_primary_offset - t.f_offset))
+
+let connected t = locked t (fun () -> t.f_connected)
+let connects t = locked t (fun () -> t.f_connects)
+let is_ready t = lag_records t <= t.f_max_lag
+
+let pause t = locked t (fun () -> t.f_paused <- true)
+
+let resume t =
+  locked t (fun () ->
+      t.f_paused <- false;
+      List.iter (apply_one t) t.f_pending;
+      t.f_pending <- [];
+      update_gauges t)
+
+let status_json t =
+  locked t (fun () ->
+      Printf.sprintf
+        "{\"role\":\"follower\",\"primary\":%s,\"epoch\":%d,\"offset\":%d,\"records_applied\":%d,\"pending\":%d,\"primary_offset\":%d,\"primary_records\":%d,\"lag_records\":%d,\"lag_bytes\":%d,\"connected\":%b,\"connects\":%d,\"ready\":%b}"
+        (Graql_util.Json.quote (Printf.sprintf "%s:%d" t.f_host t.f_port))
+        t.f_epoch t.f_offset t.f_records
+        (List.length t.f_pending)
+        t.f_primary_offset t.f_primary_records
+        (max 0 (t.f_primary_records - t.f_records))
+        (max 0 (t.f_primary_offset - t.f_offset))
+        t.f_connected t.f_connects
+        (max 0 (t.f_primary_records - t.f_records) <= t.f_max_lag))
+
+let stop t =
+  let was = locked t (fun () ->
+      let was = t.f_stop in
+      t.f_stop <- true;
+      (match t.f_fd with
+      | Some fd -> (
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error (_, _, _) -> ())
+      | None -> ());
+      was)
+  in
+  if not was then begin
+    (match t.f_domain with Some d -> Domain.join d | None -> ());
+    locked t (fun () -> close_oc t)
+  end

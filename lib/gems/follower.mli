@@ -1,0 +1,83 @@
+(** Physical WAL-shipping replication, follower side (DESIGN.md §13).
+
+    A follower is a read-only replica in its own process: it recovers
+    its local data directory, connects to a {!Repl} primary, and from
+    then on mirrors the primary's log {e bytes} into its own
+    [wal-NNNNNN.log] (fsync before ack, so an acked byte is durable
+    here), applies each record to its in-memory database, folds its own
+    checkpoint when the primary's log epoch advances, and accepts a full
+    snapshot resync when it is too far gone to catch up from the file.
+
+    Reads against {!db} are snapshot-stale: they see every record the
+    follower has {e applied}, which trails the primary by the reported
+    lag. Lag has two axes:
+    - [lag_records] — records the primary has logged this epoch that
+      this follower has not yet applied (its state staleness; drives
+      readiness);
+    - [lag_bytes] — log bytes not yet durable locally (its durability
+      gap; zero whenever the mirror is caught up, even if application
+      is {!pause}d).
+
+    The connection loop retries forever with capped exponential backoff
+    (the {!Fault} recovery discipline), so a follower started before
+    its primary — or surviving a primary crash — converges as soon as
+    the primary (re)appears. *)
+
+type t
+
+val start :
+  ?pool:Graql_parallel.Domain_pool.t ->
+  ?host:string ->
+  ?max_lag:int ->
+  port:int ->
+  dir:string ->
+  unit ->
+  t
+(** Recover [dir] (creating it if missing), then connect to the primary
+    at [host] (default 127.0.0.1) : [port] on a dedicated domain and
+    replicate forever until {!stop}. [max_lag] bounds {!is_ready}
+    (default: [GRAQL_REPL_MAX_LAG], else 1000 records). Raises
+    [Graql_error.Error (Io _)] if the local directory is genuinely
+    corrupt. *)
+
+val db : t -> Graql_engine.Db.t
+(** The replica database — snapshot-stale reads. Replaced wholesale by
+    a snapshot resync; re-fetch rather than caching across calls. *)
+
+val epoch : t -> int
+val offset : t -> int
+(** Durable bytes of the current epoch's local log file. *)
+
+val records_applied : t -> int
+(** Records applied to {!db} in the current epoch. *)
+
+val lag_records : t -> int
+val lag_bytes : t -> int
+(** See the module header for the two axes. Both are 0 until the first
+    chunk arrives (a follower that has never connected reports no
+    lag — readiness gating starts with the stream). *)
+
+val connected : t -> bool
+val connects : t -> int
+(** Successful connections so far (≥ 2 means at least one reconnect). *)
+
+val is_ready : t -> bool
+(** [lag_records t <= max_lag] — the [/readyz] predicate. *)
+
+val pause : t -> unit
+(** Keep mirroring, fsyncing and acking chunks, but stop applying them
+    to {!db} (they buffer in order). Lag in records grows; lag in bytes
+    stays caught up. Test hook for lag/readiness behaviour. *)
+
+val resume : t -> unit
+(** Apply everything buffered by {!pause} and return to normal. *)
+
+val status_json : t -> string
+(** The [/replication] payload: role, epoch, offsets, applied/pending
+    record counts, lag, connection state. *)
+
+val stop : t -> unit
+(** Disconnect, join the replication domain, close the local log file.
+    Idempotent. {!db} stays usable, and the data directory is a valid
+    recovery source — promote the follower by opening a new durable
+    {!Session} (or a primary CLI) on the same directory. *)

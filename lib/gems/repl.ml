@@ -1,0 +1,575 @@
+module Wal = Graql_engine.Wal
+module Db_io = Graql_engine.Db_io
+module Graql_error = Graql_engine.Graql_error
+module Metrics = Graql_obs.Metrics
+module Crc32 = Graql_util.Crc32
+module Json = Graql_util.Json
+
+let io_error fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Graql_error.Error (Graql_error.Io msg)))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Socket framing: the WAL's record framing over a stream socket       *)
+
+let max_frame_bytes = 256 * 1024 * 1024
+
+let write_frame fd payload =
+  let b = Wal.frame payload in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception
+          Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN | Unix.EBADF), _, _)
+        -> io_error "replication peer closed the connection mid-write"
+  in
+  go 0
+
+(* Fill [buf] entirely. [`Eof] only when not a single byte arrived —
+   a clean close between frames; anything partial is damage. *)
+let read_exact ~what fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off >= len then `Ok
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 ->
+          if off = 0 then `Eof
+          else io_error "replication stream ended mid-%s (%d of %d bytes)"
+                 what off len
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          io_error "replication read timed out mid-%s" what
+      | exception
+          Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+          if off = 0 then `Eof
+          else io_error "replication connection reset mid-%s" what
+  in
+  go 0
+
+let read_frame fd =
+  let hdr = Bytes.create 8 in
+  match read_exact ~what:"frame header" fd hdr with
+  | `Eof -> None
+  | `Ok ->
+      let len = Int32.to_int (Bytes.get_int32_le hdr 0) land 0xFFFFFFFF in
+      if len > max_frame_bytes then
+        io_error "replication frame claims %d bytes (cap %d) — corrupt stream"
+          len max_frame_bytes;
+      let crc = Bytes.get_int32_le hdr 4 in
+      let payload = Bytes.create len in
+      (match read_exact ~what:"frame payload" fd payload with
+      | `Eof -> io_error "replication stream ended mid-frame payload"
+      | `Ok -> ());
+      if Crc32.bytes payload <> crc then
+        io_error "replication frame CRC mismatch — corrupt stream";
+      Some payload
+
+(* ------------------------------------------------------------------ *)
+(* Protocol messages                                                   *)
+
+type message =
+  | Hello of { epoch : int; offset : int; crc : int32 }
+  | Wal_chunk of { epoch : int; offset : int; records : int; data : bytes }
+  | Advance of { epoch : int }
+  | Snapshot of { epoch : int; files : (string * string) list }
+  | Ack of { epoch : int; offset : int }
+
+let tag_hello = 1
+let tag_chunk = 2
+let tag_advance = 3
+let tag_snapshot = 4
+let tag_ack = 5
+
+module Wire = Graql_ir.Wire
+
+let encode_message m =
+  let w = Wire.writer () in
+  (match m with
+  | Hello { epoch; offset; crc } ->
+      Wire.tag w tag_hello;
+      Wire.varint w epoch;
+      Wire.varint w offset;
+      Wire.zigzag w (Int32.to_int crc)
+  | Wal_chunk { epoch; offset; records; data } ->
+      Wire.tag w tag_chunk;
+      Wire.varint w epoch;
+      Wire.varint w offset;
+      Wire.varint w records;
+      Wire.string w (Bytes.to_string data)
+  | Advance { epoch } ->
+      Wire.tag w tag_advance;
+      Wire.varint w epoch
+  | Snapshot { epoch; files } ->
+      Wire.tag w tag_snapshot;
+      Wire.varint w epoch;
+      Wire.varint w (List.length files);
+      List.iter
+        (fun (name, contents) ->
+          Wire.string w name;
+          Wire.string w contents)
+        files
+  | Ack { epoch; offset } ->
+      Wire.tag w tag_ack;
+      Wire.varint w epoch;
+      Wire.varint w offset);
+  Wire.contents w
+
+let decode_message payload =
+  match
+    let r = Wire.reader payload in
+    let m =
+      match Wire.read_tag r with
+      | t when t = tag_hello ->
+          let epoch = Wire.read_varint r in
+          let offset = Wire.read_varint r in
+          let crc = Int32.of_int (Wire.read_zigzag r) in
+          Hello { epoch; offset; crc }
+      | t when t = tag_chunk ->
+          let epoch = Wire.read_varint r in
+          let offset = Wire.read_varint r in
+          let records = Wire.read_varint r in
+          let data = Bytes.of_string (Wire.read_string r) in
+          Wal_chunk { epoch; offset; records; data }
+      | t when t = tag_advance -> Advance { epoch = Wire.read_varint r }
+      | t when t = tag_snapshot ->
+          let epoch = Wire.read_varint r in
+          let n = Wire.read_varint r in
+          let files = ref [] in
+          for _ = 1 to n do
+            let name = Wire.read_string r in
+            let contents = Wire.read_string r in
+            files := (name, contents) :: !files
+          done;
+          Snapshot { epoch; files = List.rev !files }
+      | t when t = tag_ack ->
+          let epoch = Wire.read_varint r in
+          let offset = Wire.read_varint r in
+          Ack { epoch; offset }
+      | t ->
+          raise
+            (Wire.Corrupt (Printf.sprintf "unknown replication message tag %d" t))
+    in
+    if not (Wire.at_end r) then
+      raise (Wire.Corrupt "trailing bytes inside replication message");
+    m
+  with
+  | m -> m
+  | exception Wire.Corrupt msg -> io_error "replication message: %s" msg
+
+let send_message fd m = write_frame fd (encode_message m)
+
+let recv_message fd =
+  match read_frame fd with
+  | None -> None
+  | Some payload -> Some (decode_message payload)
+
+(* ------------------------------------------------------------------ *)
+(* Primary                                                             *)
+
+let m_chunks = Metrics.counter ~help:"WAL chunks shipped to followers." "repl.chunks"
+let m_ship_bytes =
+  Metrics.counter ~help:"WAL bytes shipped to followers." "repl.bytes"
+let m_snapshots =
+  Metrics.counter ~help:"Full snapshot resyncs served to followers."
+    "repl.snapshots"
+let m_kicks =
+  Metrics.counter
+    ~help:"Followers disconnected for overflowing their send queue."
+    "repl.queue_overflows"
+let g_followers =
+  Metrics.gauge ~help:"Currently connected replication followers."
+    "repl.followers"
+
+(* A stalled follower may queue this much before we cut it loose; it
+   reconnects and catches up from the file instead. *)
+let max_queue_bytes = 64 * 1024 * 1024
+
+type fo = {
+  fo_id : int;
+  fo_fd : Unix.file_descr;
+  fo_addr : string;
+  fo_q : message Queue.t;
+  fo_mu : Mutex.t;
+  fo_cv : Condition.t;
+  mutable fo_qbytes : int;
+  mutable fo_closed : bool;
+  mutable fo_exits : int;  (** sender+receiver domains done; 2 ⇒ close fd *)
+  mutable fo_acked_epoch : int;
+  mutable fo_acked_offset : int;
+}
+
+type primary = {
+  p_wal : Wal.t;
+  p_listen : Unix.file_descr;
+  p_port : int;
+  p_stop_r : Unix.file_descr;
+  p_stop_w : Unix.file_descr;
+  p_mu : Mutex.t;
+  mutable p_followers : fo list;
+  mutable p_next_id : int;
+  mutable p_domains : unit Domain.t list;
+  mutable p_accept : unit Domain.t option;
+  mutable p_stopped : bool;
+}
+
+let message_weight = function
+  | Wal_chunk { data; _ } -> 64 + Bytes.length data
+  | Snapshot { files; _ } ->
+      List.fold_left (fun a (n, c) -> a + String.length n + String.length c) 64
+        files
+  | Hello _ | Advance _ | Ack _ -> 64
+
+(* Called with [fo_mu] NOT held. Safe under the WAL mutex (observer
+   path): touches only this follower's own lock. *)
+let enqueue fo msg =
+  Mutex.lock fo.fo_mu;
+  (if not fo.fo_closed then
+     let w = message_weight msg in
+     if fo.fo_qbytes + w > max_queue_bytes then begin
+       (* Too far behind to buffer: cut it loose. The shutdown unblocks
+          its sender/receiver domains; on reconnect the handshake
+          catches it up from the file. *)
+       fo.fo_closed <- true;
+       Metrics.incr m_kicks;
+       try Unix.shutdown fo.fo_fd Unix.SHUTDOWN_ALL
+       with Unix.Unix_error (_, _, _) -> ()
+     end else begin
+       Queue.push msg fo.fo_q;
+       fo.fo_qbytes <- fo.fo_qbytes + w
+     end);
+  Condition.signal fo.fo_cv;
+  Mutex.unlock fo.fo_mu
+
+let mark_closed fo =
+  Mutex.lock fo.fo_mu;
+  if not fo.fo_closed then begin
+    fo.fo_closed <- true;
+    try Unix.shutdown fo.fo_fd Unix.SHUTDOWN_ALL
+    with Unix.Unix_error (_, _, _) -> ()
+  end;
+  Condition.signal fo.fo_cv;
+  Mutex.unlock fo.fo_mu
+
+let unregister p fo =
+  Mutex.lock p.p_mu;
+  if List.memq fo p.p_followers then begin
+    p.p_followers <- List.filter (fun f -> not (f == fo)) p.p_followers;
+    Metrics.set_gauge g_followers (float_of_int (List.length p.p_followers))
+  end;
+  Mutex.unlock p.p_mu
+
+(* Each follower has a sender and a receiver domain; whichever exits
+   last closes the descriptor (never while the other may still use it). *)
+let loop_exit p fo =
+  mark_closed fo;
+  unregister p fo;
+  Mutex.lock fo.fo_mu;
+  fo.fo_exits <- fo.fo_exits + 1;
+  let last = fo.fo_exits >= 2 in
+  Mutex.unlock fo.fo_mu;
+  if last then
+    try Unix.close fo.fo_fd with Unix.Unix_error (_, _, _) -> ()
+
+let sender_loop p fo =
+  let rec loop () =
+    Mutex.lock fo.fo_mu;
+    while Queue.is_empty fo.fo_q && not fo.fo_closed do
+      Condition.wait fo.fo_cv fo.fo_mu
+    done;
+    if fo.fo_closed && Queue.is_empty fo.fo_q then Mutex.unlock fo.fo_mu
+    else begin
+      let msg = Queue.pop fo.fo_q in
+      fo.fo_qbytes <- fo.fo_qbytes - message_weight msg;
+      Mutex.unlock fo.fo_mu;
+      match send_message fo.fo_fd msg with
+      | () ->
+          (match msg with
+          | Wal_chunk { data; _ } ->
+              Metrics.incr m_chunks;
+              Metrics.add m_ship_bytes (Bytes.length data)
+          | Snapshot _ -> Metrics.incr m_snapshots
+          | Hello _ | Advance _ | Ack _ -> ());
+          loop ()
+      | exception Graql_error.Error (Graql_error.Io _) -> ()
+    end
+  in
+  loop ();
+  loop_exit p fo
+
+let receiver_loop p fo =
+  let rec loop () =
+    match recv_message fo.fo_fd with
+    | Some (Ack { epoch; offset }) ->
+        Mutex.lock fo.fo_mu;
+        fo.fo_acked_epoch <- epoch;
+        fo.fo_acked_offset <- offset;
+        Mutex.unlock fo.fo_mu;
+        loop ()
+    | Some _ | None -> ()
+    | exception Graql_error.Error (Graql_error.Io _) -> ()
+  in
+  loop ();
+  loop_exit p fo
+
+let string_of_sockaddr = function
+  | Unix.ADDR_INET (a, p) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX s -> s
+
+let read_file_range path ~pos ~len =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      seek_in ic pos;
+      Bytes.of_string (really_input_string ic len))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The full-resync payload: the epoch's completed checkpoint directory
+   (when one exists — MANIFEST ordered last so a follower crash
+   mid-install leaves an ignorable, not corrupt-looking, directory)
+   followed by the first [size] bytes of the epoch's log. Read under
+   the WAL lock, so the log cannot grow or advance underneath us. *)
+let snapshot_files ~dir ~epoch ~size =
+  let ckpt =
+    let d = Filename.concat dir (Db_io.checkpoint_dir_name ~epoch) in
+    if Sys.file_exists (Filename.concat d Db_io.manifest_name) then
+      let names =
+        Sys.readdir d |> Array.to_list
+        |> List.filter (fun n -> n <> Db_io.manifest_name)
+        |> List.sort compare
+      in
+      List.map
+        (fun n ->
+          ( Filename.concat (Db_io.checkpoint_dir_name ~epoch) n,
+            read_file (Filename.concat d n) ))
+        (names @ [ Db_io.manifest_name ])
+    else []
+  in
+  let wal_file = Filename.concat dir (Wal.file_name ~epoch) in
+  ckpt
+  @ [ ( Wal.file_name ~epoch,
+        Bytes.to_string (read_file_range wal_file ~pos:0 ~len:size) ) ]
+
+let broadcast p ev =
+  let msg =
+    match ev with
+    | Wal.Ev_append { epoch; offset; data; records } ->
+        Wal_chunk { epoch; offset; records; data }
+    | Wal.Ev_advance { epoch } -> Advance { epoch }
+  in
+  Mutex.lock p.p_mu;
+  let fos = p.p_followers in
+  Mutex.unlock p.p_mu;
+  List.iter (fun fo -> enqueue fo msg) fos
+
+(* Handshake + registration. Runs on the accept domain; the [Wal.with_lock]
+   window pins epoch/size/records and reads the file consistently, and —
+   because observer events also fire under that lock — nothing can ship
+   between the catch-up chunk and the follower joining the broadcast
+   list. *)
+let register p fd addr =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+   with Unix.Unix_error (_, _, _) -> ());
+  match recv_message fd with
+  | Some (Hello { epoch; offset; crc }) ->
+      (* Acks may take arbitrarily long to arrive; no receive timeout
+         once registered. *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.0
+       with Unix.Unix_error (_, _, _) -> ());
+      let fo =
+        Mutex.lock p.p_mu;
+        let id = p.p_next_id in
+        p.p_next_id <- id + 1;
+        Mutex.unlock p.p_mu;
+        {
+          fo_id = id;
+          fo_fd = fd;
+          fo_addr = addr;
+          fo_q = Queue.create ();
+          fo_mu = Mutex.create ();
+          fo_cv = Condition.create ();
+          fo_qbytes = 0;
+          fo_closed = false;
+          fo_exits = 0;
+          fo_acked_epoch = epoch;
+          fo_acked_offset = offset;
+        }
+      in
+      Wal.with_lock p.p_wal (fun () ->
+          let pe = Wal.epoch p.p_wal in
+          let ps = Wal.size p.p_wal in
+          let pr = Wal.records p.p_wal in
+          (* Same epoch and a plausible offset are not enough: a
+             follower that lived through a different history (an
+             ex-primary rejoining after a failover) can present both.
+             The prefix CRC proves its bytes are OUR bytes; anything
+             else gets a full resync. *)
+          let prefix_matches () =
+            offset = Wal.header_size
+            || Crc32.bytes
+                 (read_file_range (Wal.path p.p_wal) ~pos:0 ~len:offset)
+               = crc
+          in
+          (if epoch = pe && offset >= Wal.header_size && offset <= ps
+              && prefix_matches () then
+             (* In-epoch catch-up from the file. An empty chunk still
+                tells the follower the primary's record count. *)
+             let data =
+               if offset = ps then Bytes.create 0
+               else
+                 read_file_range (Wal.path p.p_wal) ~pos:offset
+                   ~len:(ps - offset)
+             in
+             enqueue fo (Wal_chunk { epoch = pe; offset; records = pr; data })
+           else
+             enqueue fo
+               (Snapshot
+                  {
+                    epoch = pe;
+                    files =
+                      snapshot_files ~dir:(Wal.dir p.p_wal) ~epoch:pe ~size:ps;
+                  }));
+          Mutex.lock p.p_mu;
+          p.p_followers <- fo :: p.p_followers;
+          Metrics.set_gauge g_followers
+            (float_of_int (List.length p.p_followers));
+          Mutex.unlock p.p_mu);
+      let s = Domain.spawn (fun () -> sender_loop p fo) in
+      let r = Domain.spawn (fun () -> receiver_loop p fo) in
+      Mutex.lock p.p_mu;
+      p.p_domains <- s :: r :: p.p_domains;
+      Mutex.unlock p.p_mu
+  | Some _ | None ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+  | exception Graql_error.Error (Graql_error.Io _) ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+
+let accept_loop p =
+  let rec loop () =
+    match Unix.select [ p.p_listen; p.p_stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | readable, _, _ ->
+        if List.mem p.p_stop_r readable then ()
+        else begin
+          (match Unix.accept p.p_listen with
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | fd, addr -> register p fd (string_of_sockaddr addr));
+          loop ()
+        end
+  in
+  loop ()
+
+let start_primary ?(host = "127.0.0.1") ~port wal =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let p =
+    {
+      p_wal = wal;
+      p_listen = listen_fd;
+      p_port = bound_port;
+      p_stop_r = stop_r;
+      p_stop_w = stop_w;
+      p_mu = Mutex.create ();
+      p_followers = [];
+      p_next_id = 1;
+      p_domains = [];
+      p_accept = None;
+      p_stopped = false;
+    }
+  in
+  Wal.set_observer wal (Some (fun ev -> broadcast p ev));
+  p.p_accept <- Some (Domain.spawn (fun () -> accept_loop p));
+  p
+
+let primary_port p = p.p_port
+
+let follower_count p =
+  Mutex.lock p.p_mu;
+  let n = List.length p.p_followers in
+  Mutex.unlock p.p_mu;
+  n
+
+let min_acked p =
+  Mutex.lock p.p_mu;
+  let fos = p.p_followers in
+  Mutex.unlock p.p_mu;
+  List.fold_left
+    (fun acc fo ->
+      Mutex.lock fo.fo_mu;
+      let e = fo.fo_acked_epoch and o = fo.fo_acked_offset in
+      Mutex.unlock fo.fo_mu;
+      match acc with
+      | None -> Some (e, o)
+      | Some (be, bo) -> if (e, o) < (be, bo) then Some (e, o) else Some (be, bo))
+    None fos
+
+let status_json p =
+  let epoch, size, records =
+    Wal.with_lock p.p_wal (fun () ->
+        (Wal.epoch p.p_wal, Wal.size p.p_wal, Wal.records p.p_wal))
+  in
+  Mutex.lock p.p_mu;
+  let fos = p.p_followers in
+  Mutex.unlock p.p_mu;
+  let follower fo =
+    Mutex.lock fo.fo_mu;
+    let s =
+      Printf.sprintf
+        "{\"id\":%d,\"addr\":%s,\"acked_epoch\":%d,\"acked_offset\":%d,\"queued_bytes\":%d}"
+        fo.fo_id (Json.quote fo.fo_addr) fo.fo_acked_epoch fo.fo_acked_offset
+        fo.fo_qbytes
+    in
+    Mutex.unlock fo.fo_mu;
+    s
+  in
+  Printf.sprintf
+    "{\"role\":\"primary\",\"epoch\":%d,\"wal_bytes\":%d,\"wal_records\":%d,\"followers\":[%s]}"
+    epoch size records
+    (String.concat "," (List.map follower (List.rev fos)))
+
+let stop_primary p =
+  Mutex.lock p.p_mu;
+  let already = p.p_stopped in
+  p.p_stopped <- true;
+  Mutex.unlock p.p_mu;
+  if not already then begin
+    Wal.set_observer p.p_wal None;
+    (try ignore (Unix.write p.p_stop_w (Bytes.of_string "x") 0 1)
+     with Unix.Unix_error (_, _, _) -> ());
+    (match p.p_accept with Some d -> Domain.join d | None -> ());
+    Mutex.lock p.p_mu;
+    let fos = p.p_followers and doms = p.p_domains in
+    Mutex.unlock p.p_mu;
+    List.iter mark_closed fos;
+    List.iter Domain.join doms;
+    Metrics.set_gauge g_followers 0.0;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      [ p.p_listen; p.p_stop_r; p.p_stop_w ]
+  end

@@ -1,0 +1,103 @@
+(** Physical WAL-shipping replication, primary side (DESIGN.md §13).
+
+    A primary is a durable {!Session} (its {!Graql_engine.Wal}) plus a
+    listening socket. Each follower process connects, says which epoch
+    and byte offset it has ([Hello]), and from then on receives the
+    primary's log as raw file bytes ([Wal_chunk]) in exact append order
+    — the follower's [wal-NNNNNN.log] stays byte-identical to the
+    primary's. Checkpoints ship as an [Advance] marker (the follower
+    folds its own copy); a follower that is too far gone — different
+    epoch, or ahead of us after a failover — gets a full [Snapshot]
+    resync instead.
+
+    Replication is asynchronous: the primary acknowledges clients after
+    its {e own} fsync only, and tracks per-follower acknowledged offsets
+    purely for observability ([/replication], lag gauges). A follower
+    that stalls long enough to overflow its send queue is disconnected
+    and catches up from the file when it reconnects. *)
+
+(** {1 Socket framing}
+
+    Messages travel in the WAL's own record framing
+    ([len u32le | crc u32le | payload] — {!Graql_engine.Wal.frame}), so
+    a torn or corrupted message is detected exactly like a torn log
+    record. *)
+
+val max_frame_bytes : int
+(** Refuse frames larger than this (256 MiB) — a corrupt length field
+    must not turn into an allocation bomb. *)
+
+val write_frame : Unix.file_descr -> bytes -> unit
+(** Frame [payload] and write it whole, retrying partial writes and
+    [EINTR]. Raises [Graql_error.Error (Io _)] when the peer is gone
+    ([EPIPE], [ECONNRESET], …) — never a bare [Unix_error]. *)
+
+val read_frame : Unix.file_descr -> bytes option
+(** Read one complete frame, retrying short reads and [EINTR]. [None]
+    on a clean end-of-stream {e between} frames; raises
+    [Graql_error.Error (Io _)] on end-of-stream mid-frame, a CRC
+    mismatch, an oversized length, or a receive timeout. *)
+
+(** {1 Protocol messages} *)
+
+type message =
+  | Hello of { epoch : int; offset : int; crc : int32 }
+      (** follower → primary on connect: "my log file for [epoch] is
+          [offset] bytes long (records are durable up to there), and
+          its bytes checksum to [crc]". [offset = 0] means "I have
+          nothing". The CRC lets the primary reject a same-epoch,
+          plausible-offset follower whose {e history} diverged (an
+          ex-primary rejoining after failover) and snapshot it
+          instead. *)
+  | Wal_chunk of { epoch : int; offset : int; records : int; data : bytes }
+      (** primary → follower: the log file's bytes at [offset] are
+          [data] (whole framed records; possibly empty at handshake).
+          [records] is the primary's record count for the epoch after
+          this chunk — the follower's lag denominator. *)
+  | Advance of { epoch : int }
+      (** primary → follower: the previous epoch was folded into a
+          checkpoint; fold yours likewise and switch to [epoch]. *)
+  | Snapshot of { epoch : int; files : (string * string) list }
+      (** primary → follower: full resync. [files] are
+          directory-relative (checkpoint files first, [MANIFEST] before
+          the log file) — wipe your directory, write them, recover. *)
+  | Ack of { epoch : int; offset : int }
+      (** follower → primary: my file for [epoch] is durable up to
+          [offset]. *)
+
+val encode_message : message -> bytes
+val decode_message : bytes -> message
+(** Raises [Graql_error.Error (Io _)] on a malformed payload. *)
+
+val send_message : Unix.file_descr -> message -> unit
+val recv_message : Unix.file_descr -> message option
+(** {!write_frame} / {!read_frame} composed with the codec. *)
+
+(** {1 Primary} *)
+
+type primary
+
+val start_primary :
+  ?host:string -> port:int -> Graql_engine.Wal.t -> primary
+(** Listen on [host] (default 127.0.0.1) and [port] (0 picks an
+    ephemeral port), install the WAL observer, and serve followers on a
+    dedicated accept domain (plus a sender and a receiver domain per
+    connected follower). Raises [Unix.Unix_error] if the bind fails. *)
+
+val primary_port : primary -> int
+val follower_count : primary -> int
+
+val min_acked : primary -> (int * int) option
+(** [(epoch, offset)] of the least-caught-up connected follower —
+    [None] when none are connected. Offsets only compare within the
+    primary's current epoch. *)
+
+val status_json : primary -> string
+(** The [/replication] payload: role, epoch, log size/records, and one
+    entry per connected follower (id, peer address, acked epoch/offset,
+    queued bytes). *)
+
+val stop_primary : primary -> unit
+(** Remove the WAL observer, disconnect every follower, join all
+    domains, close the listener. Idempotent. The session and its WAL
+    are untouched. *)

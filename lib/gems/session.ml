@@ -92,6 +92,7 @@ let create ?pool ?(strict = true) ?faults ?(durability = Off)
   t
 
 let db t = t.db
+let wal t = t.wal
 let durability t = t.durability
 let last_recovery t = t.last_recovery
 

@@ -54,6 +54,12 @@ val create :
     that leaves it larger than this. *)
 
 val db : t -> Graql_engine.Db.t
+
+val wal : t -> Graql_engine.Wal.t option
+(** The live write-ahead log of a [Wal_dir] session ([None] otherwise
+    or after {!close}) — what a replication primary
+    ({!Repl.start_primary}) ships from. *)
+
 val durability : t -> durability
 
 val last_recovery : t -> Graql_engine.Db_io.recovery option

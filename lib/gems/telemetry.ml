@@ -8,6 +8,7 @@ module Db_io = Graql_engine.Db_io
 type t = {
   http : Http.t;
   ready_flag : bool Atomic.t;
+  repl : (unit -> string) option Atomic.t;
 }
 
 let recovery_summary session =
@@ -18,17 +19,28 @@ let recovery_summary session =
         r.Db_io.rec_truncated
   | None -> "recovery: none (volatile session)\n"
 
-let routes session ready_flag =
-  let get path handle = { Http.rt_meth = "GET"; rt_path = path; rt_handle = handle } in
-  let post path handle =
-    { Http.rt_meth = "POST"; rt_path = path; rt_handle = handle }
-  in
+let get path handle = { Http.rt_meth = "GET"; rt_path = path; rt_handle = handle }
+
+let post path handle =
+  { Http.rt_meth = "POST"; rt_path = path; rt_handle = handle }
+
+let metrics_route =
+  get "/metrics" (fun ~body:_ ->
+      Slo.update_gauges ();
+      Http.response
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (Metrics.to_prometheus ()))
+
+let replication_route repl =
+  get "/replication" (fun ~body:_ ->
+      match Atomic.get repl with
+      | Some status ->
+          Http.response ~content_type:"application/json" (status ())
+      | None -> Http.response ~status:404 "replication not configured\n")
+
+let routes session ready_flag repl =
   [
-    get "/metrics" (fun ~body:_ ->
-        Slo.update_gauges ();
-        Http.response
-          ~content_type:"text/plain; version=0.0.4; charset=utf-8"
-          (Metrics.to_prometheus ()));
+    metrics_route;
     get "/healthz" (fun ~body:_ -> Http.response "ok\n");
     get "/readyz" (fun ~body:_ ->
         if Atomic.get ready_flag then
@@ -47,14 +59,42 @@ let routes session ready_flag =
     post "/traces/stop" (fun ~body:_ ->
         Trace.disarm ();
         Http.response "tracing disarmed\n");
+    replication_route repl;
   ]
 
 let start ?host ?(ready = true) ~port session =
   let ready_flag = Atomic.make ready in
-  let http = Http.start ?host ~port (routes session ready_flag) in
-  { http; ready_flag }
+  let repl = Atomic.make None in
+  let http = Http.start ?host ~port (routes session ready_flag repl) in
+  { http; ready_flag; repl }
+
+(* A follower process has no Session — its surface is the metrics
+   registry plus its replication status, and readiness is lag-driven. *)
+let follower_routes follower repl =
+  [
+    metrics_route;
+    get "/healthz" (fun ~body:_ -> Http.response "ok\n");
+    get "/readyz" (fun ~body:_ ->
+        if Follower.is_ready follower then
+          Http.response
+            (Printf.sprintf "ready\nlag: %d record(s), %d byte(s)\n"
+               (Follower.lag_records follower)
+               (Follower.lag_bytes follower))
+        else
+          Http.response ~status:503
+            (Printf.sprintf "lagging: %d record(s) behind the primary\n"
+               (Follower.lag_records follower)));
+    replication_route repl;
+  ]
+
+let start_follower ?host ~port follower =
+  let ready_flag = Atomic.make true in
+  let repl = Atomic.make (Some (fun () -> Follower.status_json follower)) in
+  let http = Http.start ?host ~port (follower_routes follower repl) in
+  { http; ready_flag; repl }
 
 let port t = Http.port t.http
 let set_ready t v = Atomic.set t.ready_flag v
 let ready t = Atomic.get t.ready_flag
+let set_replication t status = Atomic.set t.repl status
 let stop t = Http.stop t.http

@@ -11,6 +11,9 @@
     - [GET /slowlog] — the slow-statement ring as JSON
     - [GET /traces] — Chrome-trace JSON of the span ring
     - [POST /traces/start], [POST /traces/stop] — arm / disarm tracing
+    - [GET /replication] — replication status JSON (404 until
+      {!set_replication} installs a provider; always live on a
+      {!start_follower} server)
 
     Unknown paths return 404 and wrong methods 405, exactly as
     {!Graql_obs.Http.start} routes them. *)
@@ -24,9 +27,22 @@ val start :
     session whose {!Session.create} returned has already replayed its
     WAL). Raises [Unix.Unix_error] if the bind fails. *)
 
+val start_follower : ?host:string -> port:int -> Follower.t -> t
+(** The follower-process variant: [/metrics], [/healthz], [/readyz]
+    and [/replication] only (there is no session to serve [/stats]
+    from). [/readyz] answers 200 while
+    {!Follower.is_ready} holds — i.e. replication lag is within
+    [GRAQL_REPL_MAX_LAG] — and 503 once the follower falls further
+    behind, so a load balancer stops routing stale reads to it. *)
+
 val port : t -> int
 val set_ready : t -> bool -> unit
 val ready : t -> bool
+
+val set_replication : t -> (unit -> string) option -> unit
+(** Install (or remove) the [/replication] payload provider — e.g.
+    [Some (fun () -> Repl.status_json primary)] once the session starts
+    replicating. *)
 
 val stop : t -> unit
 (** Shut the listener down and join its domain. Idempotent. *)

@@ -32,6 +32,7 @@ let reason_of = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 413 -> "Payload Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
@@ -40,9 +41,28 @@ let reason_of = function
 let max_head_bytes = 16 * 1024
 let max_body_bytes = 1024 * 1024
 
+(* A stalled or byte-dribbling client must not wedge the accept domain:
+   every read is bounded by a per-call socket timeout, and the whole
+   request read by a wall-clock deadline. *)
+exception Timed_out
+
+(* [read_bounded] retries [EINTR] (signals must not abort a request
+   mid-read) and turns a receive timeout — or blowing the request
+   deadline — into [Timed_out]. *)
+let read_bounded ~deadline fd chunk len =
+  let rec go () =
+    if Unix.gettimeofday () > deadline then raise Timed_out;
+    match Unix.read fd chunk 0 len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise Timed_out
+  in
+  go ()
+
 (* Read from [fd] until the blank line ending the header block; returns
    (head, leftover-bytes-already-read-past-it). *)
-let read_head fd =
+let read_head ~deadline fd =
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 1024 in
   let rec find_end () =
@@ -64,7 +84,7 @@ let read_head fd =
     | None ->
         if Buffer.length buf > max_head_bytes then None
         else begin
-          let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+          let n = read_bounded ~deadline fd chunk (Bytes.length chunk) in
           if n = 0 then None
           else begin
             Buffer.add_subbytes buf chunk 0 n;
@@ -87,7 +107,7 @@ let content_length head =
       | _ -> acc)
     None lines
 
-let read_body fd head leftover =
+let read_body ~deadline fd head leftover =
   match content_length head with
   | None | Some 0 -> Some ""
   | Some n when n > max_body_bytes -> None
@@ -99,7 +119,9 @@ let read_body fd head leftover =
         if Buffer.length buf >= n then
           Some (String.sub (Buffer.contents buf) 0 n)
         else
-          let got = Unix.read fd chunk 0 (min 4096 (n - Buffer.length buf)) in
+          let got =
+            read_bounded ~deadline fd chunk (min 4096 (n - Buffer.length buf))
+          in
           if got = 0 then None
           else begin
             Buffer.add_subbytes buf chunk 0 got;
@@ -108,13 +130,19 @@ let read_body fd head leftover =
       in
       fill ()
 
+(* A client that hung up mid-response (EPIPE with SIGPIPE ignored,
+   ECONNRESET): nothing left to tell it — drop the rest quietly rather
+   than kill the handler with an uncaught error. *)
 let write_all fd s =
   let b = Bytes.of_string s in
   let len = Bytes.length b in
   let rec go off =
     if off < len then
-      let n = Unix.write fd b off (len - off) in
-      go (off + n)
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
   in
   go 0
 
@@ -138,9 +166,12 @@ let route_request routes ~meth ~path ~body =
         response ~status:405 "method not allowed\n"
       else response ~status:404 "not found\n"
 
-let handle_connection routes fd =
-  match read_head fd with
+let handle_connection ~read_timeout_s routes fd =
+  let deadline = Unix.gettimeofday () +. read_timeout_s in
+  match read_head ~deadline fd with
   | None -> send fd (response ~status:400 "bad request\n")
+  | exception Timed_out ->
+      send fd (response ~status:408 "request read timed out\n")
   | Some (head, leftover) -> (
       let first_line =
         match String.index_opt head '\r' with
@@ -159,12 +190,14 @@ let handle_connection routes fd =
           if meth <> "GET" && meth <> "POST" then
             send fd (response ~status:405 "method not allowed\n")
           else (
-            match read_body fd head leftover with
+            match read_body ~deadline fd head leftover with
             | None -> send fd (response ~status:413 "payload too large\n")
-            | Some body -> send fd (route_request routes ~meth ~path ~body))
+            | Some body -> send fd (route_request routes ~meth ~path ~body)
+            | exception Timed_out ->
+                send fd (response ~status:408 "request read timed out\n"))
       | _ -> send fd (response ~status:400 "bad request\n"))
 
-let serve_loop t routes =
+let serve_loop t ~read_timeout_s routes =
   let rec loop () =
     match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
@@ -176,14 +209,23 @@ let serve_loop t routes =
           | fd, _ ->
               Metrics.incr m_requests;
               Atomic.incr t.served;
-              (try handle_connection routes fd with _ -> ());
+              (* A per-call receive timeout backs up the wall-clock
+                 deadline: a client that sends nothing at all wakes the
+                 read with EAGAIN instead of blocking forever. *)
+              (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout_s
+               with Unix.Unix_error (_, _, _) -> ());
+              (try handle_connection ~read_timeout_s routes fd
+               with _ -> ());
               (try Unix.close fd with Unix.Unix_error (_, _, _) -> ()));
           loop ()
         end
   in
   loop ()
 
-let start ?(host = "127.0.0.1") ~port routes =
+let start ?(host = "127.0.0.1") ?(read_timeout_s = 10.0) ~port routes =
+  (* Peers may vanish mid-write; we want EPIPE (handled in write_all),
+     not a process-killing signal. *)
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -209,7 +251,7 @@ let start ?(host = "127.0.0.1") ~port routes =
       stopped = false;
     }
   in
-  t.server <- Some (Domain.spawn (fun () -> serve_loop t routes));
+  t.server <- Some (Domain.spawn (fun () -> serve_loop t ~read_timeout_s routes));
   t
 
 let port t = t.bound_port

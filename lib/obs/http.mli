@@ -26,12 +26,16 @@ type route = {
 
 type t
 
-val start : ?host:string -> port:int -> route list -> t
+val start : ?host:string -> ?read_timeout_s:float -> port:int -> route list -> t
 (** Bind [host] (default 127.0.0.1) on [port] (0 picks an ephemeral
     port) and serve the routes on a freshly spawned domain. Unknown
     paths get 404; a known path with the wrong method gets 405; an
-    unreadable request gets 400. Raises [Unix.Unix_error] if the bind
-    fails (port in use, permission). *)
+    unreadable request gets 400; a client that stalls mid-request for
+    longer than [read_timeout_s] (default 10s, wall clock per request)
+    gets 408 — a byte-dribbling client cannot wedge the accept domain.
+    [SIGPIPE] is ignored process-wide so peers hanging up mid-response
+    surface as [EPIPE] (swallowed) rather than a fatal signal. Raises
+    [Unix.Unix_error] if the bind fails (port in use, permission). *)
 
 val port : t -> int
 (** The actually bound port (useful with [~port:0]). *)
