@@ -235,7 +235,11 @@ let start_replication replicate tel session =
           Option.iter
             (fun t ->
               Graql.Telemetry.set_replication t
-                (Some (fun () -> Graql.Repl.status_json p)))
+                (Some (fun () -> Graql.Repl.status_json p));
+              (* /readyz body: report followers lagging past
+                 GRAQL_REPL_MAX_LAG (status itself never flips). *)
+              Graql.Telemetry.set_replication_health t
+                (Some (fun () -> Graql.Repl.readyz_health p)))
             tel;
           Some p)
 
@@ -730,6 +734,22 @@ let repl_cmd =
       ret (const action $ domains_arg $ params_arg $ data_dir_arg $ wal_arg
            $ slow_ms_arg $ query_log_arg $ listen_arg))
 
+let parse_host_port target =
+  match String.rindex_opt target ':' with
+  | Some i -> (
+      let h = String.sub target 0 i in
+      let p = String.sub target (i + 1) (String.length target - i - 1) in
+      match int_of_string_opt p with
+      | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+      | None ->
+          Graql.Error.raise_error
+            (Graql.Error.Io
+               (Printf.sprintf "bad target %S (want HOST:PORT)" target)))
+  | None ->
+      Graql.Error.raise_error
+        (Graql.Error.Io
+           (Printf.sprintf "bad target %S (want HOST:PORT)" target))
+
 let follow_cmd =
   let target_arg =
     Arg.(
@@ -749,23 +769,7 @@ let follow_cmd =
   in
   let action target data_dir domains max_lag listen serve_ms =
     with_typed_errors @@ fun () ->
-    let host, port =
-      match String.rindex_opt target ':' with
-      | Some i -> (
-          let h = String.sub target 0 i in
-          let p = String.sub target (i + 1) (String.length target - i - 1) in
-          match int_of_string_opt p with
-          | Some p -> ((if h = "" then "127.0.0.1" else h), p)
-          | None ->
-              Graql.Error.raise_error
-                (Graql.Error.Io
-                   (Printf.sprintf "bad follow target %S (want HOST:PORT)"
-                      target)))
-      | None ->
-          Graql.Error.raise_error
-            (Graql.Error.Io
-               (Printf.sprintf "bad follow target %S (want HOST:PORT)" target))
-    in
+    let host, port = parse_host_port target in
     let dir = Option.value data_dir ~default:"graql-data" in
     let pool = Some (Graql.Domain_pool.create ?domains ()) in
     let follower = Graql.Follower.start ?pool ~host ?max_lag ~port ~dir () in
@@ -814,6 +818,256 @@ let follow_cmd =
     Term.(
       ret (const action $ target_arg $ data_dir_arg $ domains_arg
            $ max_lag_arg $ listen_arg $ serve_ms_arg))
+
+(* -- graql serve / graql connect: the IR wire server ----------------- *)
+
+let user_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let r = String.sub s (i + 1) (String.length s - i - 1) in
+        match String.lowercase_ascii r with
+        | "admin" -> Ok (name, Graql.Server.Admin)
+        | "analyst" -> Ok (name, Graql.Server.Analyst)
+        | _ ->
+            Error
+              (`Msg (Printf.sprintf "bad role %S (want admin or analyst)" r)))
+    | None -> Error (`Msg (Printf.sprintf "bad user %S (want NAME:ROLE)" s))
+  in
+  Arg.conv (parse, fun ppf (n, _) -> Format.fprintf ppf "%s" n)
+
+let serve_cmd =
+  let dc = Graql.Serve.default_config in
+  let port_arg =
+    Arg.(
+      value & opt int 7687
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port for the wire protocol (0 picks an ephemeral \
+                port; the actual address is printed to stderr).")
+  in
+  let users_arg =
+    Arg.(
+      value & opt_all user_conv []
+      & info [ "user" ] ~docv:"NAME:ROLE"
+          ~doc:"Register a user account (repeatable; role is admin or \
+                analyst). Default: admin:admin and analyst:analyst.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int dc.Graql.Serve.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Statements executing concurrently before new arrivals \
+                queue.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int dc.Graql.Serve.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Statements waiting for an execution slot before arrivals \
+                are shed with a typed error.")
+  in
+  let per_user_arg =
+    Arg.(
+      value & opt int dc.Graql.Serve.per_user_admitted
+      & info [ "per-user" ] ~docv:"N"
+          ~doc:"Per-user cap on queued plus executing statements.")
+  in
+  let max_connections_arg =
+    Arg.(
+      value & opt int dc.Graql.Serve.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent client connections before new ones are \
+                refused.")
+  in
+  let queue_wait_arg =
+    Arg.(
+      value & opt int dc.Graql.Serve.queue_wait_ms
+      & info [ "queue-wait-ms" ] ~docv:"MS"
+          ~doc:"Longest a statement waits for an execution slot before \
+                it is shed.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float dc.Graql.Serve.idle_timeout_s
+      & info [ "idle-timeout-s" ] ~docv:"S"
+          ~doc:"Allowed silence between statements before the connection \
+                is closed.")
+  in
+  let read_timeout_arg =
+    Arg.(
+      value & opt float dc.Graql.Serve.read_timeout_s
+      & info [ "read-timeout-s" ] ~docv:"S"
+          ~doc:"A started frame must arrive whole within this bound \
+                (reaps byte-dribbling clients).")
+  in
+  let action port users data_dir wal max_inflight max_queue per_user
+      max_connections queue_wait_ms default_deadline_ms idle_timeout_s
+      read_timeout_s slow_ms query_log listen =
+    with_typed_errors @@ fun () ->
+    setup_obs ?query_log ~trace_out:None ~slow_ms ();
+    (* Pool-less on purpose: statements already run concurrently, one
+       connection domain each, under the Db reader-writer lock. *)
+    let server =
+      Graql.Server.create ?durability:(durability_of ~wal data_dir) ()
+    in
+    let session = Graql.Server.session server in
+    report_recovery session;
+    let users =
+      if users = [] then
+        [ ("admin", Graql.Server.Admin); ("analyst", Graql.Server.Analyst) ]
+      else users
+    in
+    List.iter
+      (fun (name, role) -> Graql.Server.add_user server ~name ~role)
+      users;
+    let tel = start_telemetry listen session in
+    let config =
+      {
+        Graql.Serve.default_config with
+        Graql.Serve.port;
+        max_inflight;
+        max_queue;
+        per_user_admitted = per_user;
+        max_connections;
+        queue_wait_ms;
+        idle_timeout_s;
+        read_timeout_s;
+        default_deadline_ms =
+          Option.value default_deadline_ms ~default:0;
+      }
+    in
+    let sv = Graql.Serve.start ~config server in
+    Printf.eprintf "serving on 127.0.0.1:%d\n%!" (Graql.Serve.port sv);
+    telemetry_ready tel;
+    (* SIGINT/SIGTERM begin the drain; Serve.wait returns once draining
+       and Serve.stop joins every connection with its in-flight result
+       delivered — only then is the WAL closed. *)
+    let on_signal _ = Graql.Serve.request_shutdown sv in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Graql.Serve.wait sv;
+    Printf.eprintf "draining...\n%!";
+    Graql.Serve.stop sv;
+    finish_telemetry ~serve_ms:None tel;
+    Graql.Obs.Query_log.close ();
+    Graql.Session.close session;
+    Printf.eprintf "stopped\n%!";
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the database to concurrent network clients: compiled \
+             IR statements over TCP (WAL-style framing), per-user \
+             authentication, an admission controller that sheds load \
+             with typed retryable errors past its in-flight and queue \
+             bounds, and read statements running concurrently under the \
+             database's reader-writer epoch. SIGINT/SIGTERM drain \
+             in-flight statements before the WAL closes. Clients attach \
+             with $(b,graql connect HOST:PORT).")
+    Term.(
+      ret (const action $ port_arg $ users_arg $ data_dir_arg $ wal_arg
+           $ max_inflight_arg $ max_queue_arg $ per_user_arg
+           $ max_connections_arg $ queue_wait_arg $ deadline_arg
+           $ idle_timeout_arg $ read_timeout_arg $ slow_ms_arg
+           $ query_log_arg $ listen_arg))
+
+let connect_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HOST:PORT"
+          ~doc:"The server's wire address, as printed by $(b,graql serve).")
+  in
+  let script_arg =
+    Arg.(
+      value & pos 1 (some file) None
+      & info [] ~docv:"SCRIPT" ~doc:"GraQL script to run remotely.")
+  in
+  let exec_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "e"; "exec" ] ~docv:"SOURCE"
+          ~doc:"Run SOURCE instead of a script file.")
+  in
+  let user_arg =
+    Arg.(
+      value & opt string "admin"
+      & info [ "user" ] ~docv:"NAME" ~doc:"Connect as this user account.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"After running (or alone), ask the server to drain and \
+                stop (admin only).")
+  in
+  let action target script exec user shutdown deadline_ms =
+    with_typed_errors @@ fun () ->
+    let host, port = parse_host_port target in
+    let source =
+      match (exec, script) with
+      | Some src, _ -> Some src
+      | None, Some path -> Some (read_file path)
+      | None, None -> None
+    in
+    if source = None && not shutdown then
+      Graql.Error.raise_error
+        (Graql.Error.Io "nothing to do: give a SCRIPT, --exec or --shutdown");
+    let cl = Graql.Client.connect ~host ~port ~user () in
+    Fun.protect ~finally:(fun () -> Graql.Client.close cl) @@ fun () ->
+    let code =
+      match source with
+      | None -> 0
+      | Some src -> (
+          let reply =
+            Graql.Client.run ?deadline_ms:(Option.map Fun.id deadline_ms) cl
+              src
+          in
+          match reply with
+          | Graql.Client.Ok { epoch; wal_records; outcomes } ->
+              List.iter
+                (fun o ->
+                  print_endline o.Graql.Serve.Proto.ro_text;
+                  print_newline ())
+                outcomes;
+              Printf.eprintf "note: epoch %d, %d WAL record(s)\n%!" epoch
+                wal_records;
+              Graql.Client.reply_exit_code reply
+          | Graql.Client.Shed { reason; retry_after_ms } ->
+              Printf.eprintf
+                "graql: overloaded: %s (retry after %d ms)\n%!" reason
+                retry_after_ms;
+              Graql.Client.reply_exit_code reply
+          | Graql.Client.Failed { msg; _ } ->
+              Printf.eprintf "graql: %s\n%!" msg;
+              Graql.Client.reply_exit_code reply
+          | Graql.Client.Closing { msg } ->
+              Printf.eprintf "graql: server closing: %s\n%!" msg;
+              Graql.Client.reply_exit_code reply)
+    in
+    if shutdown then begin
+      match Graql.Client.shutdown cl with
+      | Graql.Client.Closing { msg } ->
+          Printf.eprintf "note: server acknowledged shutdown: %s\n%!" msg
+      | Graql.Client.Failed { msg; _ } ->
+          Printf.eprintf "graql: shutdown refused: %s\n%!" msg
+      | _ -> ()
+    end;
+    code
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Run a script against a $(b,graql serve) server: the script \
+             is parsed and compiled to binary IR locally, shipped over \
+             the wire, and executed remotely under the connecting user's \
+             role. Exit codes mirror $(b,graql run); a shed (overloaded) \
+             reply exits 8 after printing the typed reason and \
+             retry-after hint.")
+    Term.(
+      ret (const action $ target_arg $ script_arg $ exec_arg $ user_arg
+           $ shutdown_arg $ deadline_arg))
 
 let explain_cmd =
   let action script params domains data_dir =
@@ -921,6 +1175,6 @@ let main =
     (Cmd.info "graql" ~version:"1.0.0" ~exits
        ~doc:"GraQL attributed graph database (GEMS reproduction)")
     [ run_cmd; check_cmd; ir_cmd; gen_berlin_cmd; berlin_cmd; repl_cmd;
-      follow_cmd; explain_cmd; cluster_plan_cmd ]
+      follow_cmd; serve_cmd; connect_cmd; explain_cmd; cluster_plan_cmd ]
 
 let () = exit (Cmd.eval' main)

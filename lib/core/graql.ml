@@ -89,6 +89,8 @@ module Telemetry = Graql_gems.Telemetry
 module Fault = Graql_gems.Fault
 module Repl = Graql_gems.Repl
 module Follower = Graql_gems.Follower
+module Serve = Graql_gems.Serve
+module Client = Graql_gems.Client
 module Domain_pool = Graql_parallel.Domain_pool
 module Cancel = Graql_parallel.Cancel
 

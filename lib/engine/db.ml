@@ -43,6 +43,18 @@ type t = {
      here (fsync'd) before applying it. None = in-memory database. *)
   mutable wal : Wal.t option;
   mutex : Mutex.t;
+  (* Reader-writer epoch (serve-layer concurrency): read-only statements
+     hold the shared side and pin the epoch for their lifetime; mutating
+     statements hold the exclusive side (writer-preferring, so a stream
+     of readers cannot starve ingest) and bump the epoch on release. The
+     epoch counts completed write sections — two reads pinning the same
+     epoch observed the same database state. *)
+  rw_mu : Mutex.t;
+  rw_cv : Condition.t;
+  mutable rw_readers : int;
+  mutable rw_writer : bool;
+  mutable rw_waiting_writers : int;
+  mutable rw_epoch : int;
 }
 
 let create ?pool () =
@@ -61,6 +73,12 @@ let create ?pool () =
     pool;
     wal = None;
     mutex = Mutex.create ();
+    rw_mu = Mutex.create ();
+    rw_cv = Condition.create ();
+    rw_readers = 0;
+    rw_writer = false;
+    rw_waiting_writers = 0;
+    rw_epoch = 0;
   }
 
 let pool t = t.pool
@@ -220,3 +238,51 @@ let meta t =
 let lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* Reader-writer epoch                                                 *)
+
+let epoch t =
+  Mutex.lock t.rw_mu;
+  let e = t.rw_epoch in
+  Mutex.unlock t.rw_mu;
+  e
+
+let read_locked t f =
+  Mutex.lock t.rw_mu;
+  (* Writer preference: an arriving reader also yields to *waiting*
+     writers, so ingest cannot be starved by a read flood. *)
+  while t.rw_writer || t.rw_waiting_writers > 0 do
+    Condition.wait t.rw_cv t.rw_mu
+  done;
+  t.rw_readers <- t.rw_readers + 1;
+  let e = t.rw_epoch in
+  Mutex.unlock t.rw_mu;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.rw_mu;
+      t.rw_readers <- t.rw_readers - 1;
+      if t.rw_readers = 0 then Condition.broadcast t.rw_cv;
+      Mutex.unlock t.rw_mu)
+    (fun () -> (e, f ()))
+
+let write_locked t f =
+  Mutex.lock t.rw_mu;
+  t.rw_waiting_writers <- t.rw_waiting_writers + 1;
+  while t.rw_writer || t.rw_readers > 0 do
+    Condition.wait t.rw_cv t.rw_mu
+  done;
+  t.rw_waiting_writers <- t.rw_waiting_writers - 1;
+  t.rw_writer <- true;
+  Mutex.unlock t.rw_mu;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.rw_mu;
+      t.rw_writer <- false;
+      (* Bump unconditionally: a failed write may have partially
+         mutated state, so snapshots pinned before it must not be
+         considered equal to snapshots pinned after. *)
+      t.rw_epoch <- t.rw_epoch + 1;
+      Condition.broadcast t.rw_cv;
+      Mutex.unlock t.rw_mu)
+    f

@@ -97,3 +97,28 @@ val meta : t -> Graql_analysis.Meta.t
 
 val lock : t -> (unit -> 'a) -> 'a
 (** Serialize result registration during parallel statement execution. *)
+
+(** {2 Reader-writer epoch}
+
+    The serve layer's concurrency discipline (DESIGN.md §14): read-only
+    statements run concurrently under {!read_locked}; anything that
+    mutates state runs exclusively under {!write_locked}. The epoch
+    counts completed write sections — two reads that pinned the same
+    epoch observed identical database state, which is what lets the
+    overload chaos drill compare concurrent results against a
+    sequential replay of the accepted log. *)
+
+val read_locked : t -> (unit -> 'a) -> int * 'a
+(** Run [f] holding the shared (reader) side; no writer runs
+    concurrently. Returns the epoch pinned for [f]'s lifetime together
+    with [f]'s result. Readers yield to waiting writers
+    (writer-preferring), so a read flood cannot starve ingest. *)
+
+val write_locked : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the exclusive (writer) side: no reader or other
+    writer runs concurrently. The epoch is bumped on release, even if
+    [f] raises (a failed write may have partially mutated state). *)
+
+val epoch : t -> int
+(** The current epoch: the number of completed {!write_locked}
+    sections. *)

@@ -1,0 +1,106 @@
+module Graql_error = Graql_engine.Graql_error
+module Proto = Serve.Proto
+
+let io_error fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Graql_error.Error (Graql_error.Io msg)))
+    fmt
+
+type t = {
+  cl_fd : Unix.file_descr;
+  cl_role : string;
+  mutable cl_next_id : int;
+  mutable cl_closed : bool;
+}
+
+type reply =
+  | Ok of {
+      epoch : int;
+      wal_records : int;
+      outcomes : Proto.remote_outcome list;
+    }
+  | Shed of { reason : string; retry_after_ms : int }
+  | Failed of { code : int; msg : string }
+  | Closing of { msg : string }
+
+let send fd msg = Repl.write_frame fd (Proto.encode_client msg)
+
+let recv fd =
+  match Repl.read_frame fd with
+  | None -> io_error "server closed the connection"
+  | Some payload -> Proto.decode_server payload
+
+let connect ?(host = "127.0.0.1") ?(port = 7687) ~user () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     io_error "cannot connect to %s:%d: %s" host port (Unix.error_message e));
+  match
+    send fd (Proto.C_hello { user });
+    recv fd
+  with
+  | Proto.S_hello { role } ->
+      { cl_fd = fd; cl_role = role; cl_next_id = 1; cl_closed = false }
+  | Proto.S_error { msg; code; _ } ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      if code = Graql_error.exit_code (Graql_error.Denied "") then
+        Graql_error.raise_error (Graql_error.Denied msg)
+      else io_error "handshake refused: %s" msg
+  | Proto.S_shed { reason; _ } ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      io_error "server refused the connection: %s" reason
+  | _ ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      io_error "unexpected handshake reply"
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      raise e
+
+let role t = t.cl_role
+
+let reply_of_msg t expect_id = function
+  | Proto.S_result { id; epoch; wal_records; outcomes } when id = expect_id ->
+      ignore t;
+      Ok { epoch; wal_records; outcomes }
+  | Proto.S_error { id; code; msg } when id = expect_id || id = 0 ->
+      Failed { code; msg }
+  | Proto.S_shed { id; reason; retry_after_ms } when id = expect_id || id = 0
+    ->
+      Shed { reason; retry_after_ms }
+  | Proto.S_bye { msg } -> Closing { msg }
+  | _ -> io_error "reply for an unexpected statement id"
+
+let run_ir ?(deadline_ms = 0) t blob =
+  if t.cl_closed then io_error "client connection is closed";
+  let id = t.cl_next_id in
+  t.cl_next_id <- id + 1;
+  send t.cl_fd (Proto.C_stmt { id; deadline_ms; ir = blob });
+  reply_of_msg t id (recv t.cl_fd)
+
+let run ?deadline_ms t source =
+  let ast =
+    try Graql_lang.Parser.parse_script source
+    with Graql_lang.Loc.Syntax_error (loc, msg) ->
+      Graql_error.raise_error (Graql_error.Parse (loc, msg))
+  in
+  run_ir ?deadline_ms t (Graql_ir.Codec.encode_script ast)
+
+let shutdown t =
+  if t.cl_closed then io_error "client connection is closed";
+  send t.cl_fd Proto.C_shutdown;
+  reply_of_msg t 0 (recv t.cl_fd)
+
+let close t =
+  if not t.cl_closed then begin
+    t.cl_closed <- true;
+    try Unix.close t.cl_fd with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let reply_exit_code = function
+  | Ok { outcomes; _ } ->
+      List.fold_left
+        (fun acc o -> if acc = 0 then o.Proto.ro_code else acc)
+        0 outcomes
+  | Failed { code; _ } -> code
+  | Shed _ | Closing _ -> Graql_error.exit_code (Graql_error.Io "")

@@ -1,0 +1,50 @@
+(** Thin wire-protocol client for {!Serve}: parse and compile GraQL
+    locally (the paper's front-end role), ship the IR blob, receive
+    rendered results. One request is in flight per connection at a
+    time; admission control happens server-side and surfaces as typed
+    {!reply} values rather than exceptions, so an overloaded server is
+    an expected answer, not a failure. *)
+
+type t
+
+type reply =
+  | Ok of {
+      epoch : int;  (** database epoch the statement observed *)
+      wal_records : int;
+      outcomes : Serve.Proto.remote_outcome list;
+    }
+  | Shed of { reason : string; retry_after_ms : int }
+      (** admission control refused the statement; retry later *)
+  | Failed of { code : int; msg : string }
+      (** typed remote failure; [code] is the
+          {!Graql_engine.Graql_error.exit_code} of the class *)
+  | Closing of { msg : string }  (** server is draining this connection *)
+
+val connect :
+  ?host:string -> ?port:int -> user:string -> unit -> t
+(** Dial (default 127.0.0.1:7687), send the hello, await the server's.
+    Raises [Graql_error.Error (Denied _)] for an unknown user and
+    [Graql_error.Error (Io _)] on connect/protocol failure. *)
+
+val role : t -> string
+(** The role the server confirmed at handshake ("admin"/"analyst"). *)
+
+val run_ir : ?deadline_ms:int -> t -> bytes -> reply
+(** Ship one compiled script blob ({!Graql_ir.Codec.encode_script}).
+    Raises [Graql_error.Error (Io _)] if the connection dies. *)
+
+val run : ?deadline_ms:int -> t -> string -> reply
+(** Parse + compile GraQL source locally, then {!run_ir}. Parse errors
+    raise [Graql_error.Error (Parse _)] locally — they never reach the
+    server. *)
+
+val shutdown : t -> reply
+(** Ask the server to drain and stop (admin only). *)
+
+val close : t -> unit
+
+val reply_exit_code : reply -> int
+(** Map a reply onto the CLI's exit-code table: 0 for a fully
+    successful result, the failing outcome's code for partial
+    failures, the remote code for [Failed], and the Io code for
+    [Shed]/[Closing]. *)

@@ -183,6 +183,10 @@ let m_kicks =
   Metrics.counter
     ~help:"Followers disconnected for overflowing their send queue."
     "repl.queue_overflows"
+let m_disconnects reason =
+  Metrics.counter_l
+    ~help:"Followers disconnected by the primary, by reason."
+    "repl.disconnects" [ ("reason", reason) ]
 let g_followers =
   Metrics.gauge ~help:"Currently connected replication followers."
     "repl.followers"
@@ -235,9 +239,16 @@ let enqueue fo msg =
      if fo.fo_qbytes + w > max_queue_bytes then begin
        (* Too far behind to buffer: cut it loose. The shutdown unblocks
           its sender/receiver domains; on reconnect the handshake
-          catches it up from the file. *)
+          catches it up from the file. Never silent: an operator should
+          see a follower being kicked, and the disconnect counter makes
+          it scrapeable. *)
        fo.fo_closed <- true;
        Metrics.incr m_kicks;
+       Metrics.incr (m_disconnects "queue_overflow");
+       Printf.eprintf
+         "graql: warning: disconnecting follower %s: send queue overflow \
+          (%d bytes queued, cap %d)\n%!"
+         fo.fo_addr fo.fo_qbytes max_queue_bytes;
        try Unix.shutdown fo.fo_fd Unix.SHUTDOWN_ALL
        with Unix.Unix_error (_, _, _) -> ()
      end else begin
@@ -528,6 +539,60 @@ let min_acked p =
       | None -> Some (e, o)
       | Some (be, bo) -> if (e, o) < (be, bo) then Some (e, o) else Some (be, bo))
     None fos
+
+(* GRAQL_REPL_MAX_LAG (records, default 1000): the same threshold the
+   follower uses to flip its own /readyz. The primary only *reports*;
+   its readiness never depends on followers. *)
+let max_lag_records () =
+  match
+    Option.bind (Sys.getenv_opt "GRAQL_REPL_MAX_LAG") int_of_string_opt
+  with
+  | Some n when n >= 0 -> n
+  | Some _ | None -> 1000
+
+(* Acks carry a byte offset, not a record count, so lag in records is
+   estimated from the primary's own mean record size. An ex-epoch
+   follower is behind by everything. *)
+let readyz_health p =
+  let epoch, size, records =
+    Wal.with_lock p.p_wal (fun () ->
+        (Wal.epoch p.p_wal, Wal.size p.p_wal, Wal.records p.p_wal))
+  in
+  let max_lag = max_lag_records () in
+  let est_lag_records lag_bytes =
+    if records = 0 || size <= Wal.header_size then 0
+    else
+      let avg =
+        float_of_int (size - Wal.header_size) /. float_of_int records
+      in
+      int_of_float (ceil (float_of_int lag_bytes /. avg))
+  in
+  Mutex.lock p.p_mu;
+  let fos = p.p_followers in
+  Mutex.unlock p.p_mu;
+  let lagging =
+    List.filter_map
+      (fun fo ->
+        Mutex.lock fo.fo_mu;
+        let fe = fo.fo_acked_epoch and fof = fo.fo_acked_offset in
+        Mutex.unlock fo.fo_mu;
+        let lag =
+          if fe < epoch then records
+          else est_lag_records (max 0 (size - fof))
+        in
+        if lag > max_lag then Some (fo.fo_addr, lag) else None)
+      (List.rev fos)
+  in
+  match lagging with
+  | [] -> ""
+  | lagging ->
+      String.concat ""
+        (List.map
+           (fun (addr, lag) ->
+             Printf.sprintf
+               "replication: follower %s lagging ~%d record(s) (max %d)\n"
+               addr lag max_lag)
+           lagging)
 
 let status_json p =
   let epoch, size, records =

@@ -97,6 +97,14 @@ val status_json : primary -> string
     entry per connected follower (id, peer address, acked epoch/offset,
     queued bytes). *)
 
+val readyz_health : primary -> string
+(** Replication-health lines for the primary's [/readyz] *body*: one
+    line per connected follower whose acked position lags beyond
+    [GRAQL_REPL_MAX_LAG] records (default 1000; lag estimated from the
+    primary's mean WAL record size, since acks carry byte offsets).
+    Empty when everything is caught up. The primary's readiness status
+    never flips on follower lag — this is report-only. *)
+
 val stop_primary : primary -> unit
 (** Remove the WAL observer, disconnect every follower, join all
     domains, close the listener. Idempotent. The session and its WAL

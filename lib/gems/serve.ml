@@ -1,0 +1,851 @@
+module Ast = Graql_lang.Ast
+module Diag = Graql_analysis.Diag
+module Typecheck = Graql_analysis.Typecheck
+module Db = Graql_engine.Db
+module Wal = Graql_engine.Wal
+module Script_exec = Graql_engine.Script_exec
+module Graql_error = Graql_engine.Graql_error
+module Cancel = Graql_parallel.Cancel
+module Metrics = Graql_obs.Metrics
+module Query_log = Graql_obs.Query_log
+module Table = Graql_storage.Table
+module Subgraph = Graql_graph.Subgraph
+module Crc32 = Graql_util.Crc32
+module Wire = Graql_ir.Wire
+
+let io_error fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Graql_error.Error (Graql_error.Io msg)))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+
+module Proto = struct
+  type client_msg =
+    | C_hello of { user : string }
+    | C_stmt of { id : int; deadline_ms : int; ir : bytes }
+    | C_shutdown
+
+  type outcome_kind = K_table | K_subgraph | K_message | K_failed
+
+  type remote_outcome = {
+    ro_kind : outcome_kind;
+    ro_code : int;
+    ro_text : string;
+  }
+
+  type server_msg =
+    | S_hello of { role : string }
+    | S_result of {
+        id : int;
+        epoch : int;
+        wal_records : int;
+        outcomes : remote_outcome list;
+      }
+    | S_error of { id : int; code : int; msg : string }
+    | S_shed of { id : int; reason : string; retry_after_ms : int }
+    | S_bye of { msg : string }
+
+  (* Statements are small IR blobs (ingest references server-side files
+     rather than inlining data), so the inbound cap can be far below the
+     WAL's 256 MiB frame cap. *)
+  let max_frame_bytes = 64 * 1024 * 1024
+
+  let tag_hello = 1
+  let tag_stmt = 2
+  let tag_shutdown = 3
+  let tag_s_hello = 10
+  let tag_s_result = 11
+  let tag_s_error = 12
+  let tag_s_shed = 13
+  let tag_s_bye = 14
+
+  let kind_int = function
+    | K_table -> 0
+    | K_subgraph -> 1
+    | K_message -> 2
+    | K_failed -> 3
+
+  let kind_of_int = function
+    | 0 -> K_table
+    | 1 -> K_subgraph
+    | 2 -> K_message
+    | 3 -> K_failed
+    | n -> raise (Wire.Corrupt (Printf.sprintf "unknown outcome kind %d" n))
+
+  let encode_client m =
+    let w = Wire.writer () in
+    (match m with
+    | C_hello { user } ->
+        Wire.tag w tag_hello;
+        Wire.string w user
+    | C_stmt { id; deadline_ms; ir } ->
+        Wire.tag w tag_stmt;
+        Wire.varint w id;
+        Wire.varint w deadline_ms;
+        Wire.string w (Bytes.to_string ir)
+    | C_shutdown -> Wire.tag w tag_shutdown);
+    Wire.contents w
+
+  let encode_server m =
+    let w = Wire.writer () in
+    (match m with
+    | S_hello { role } ->
+        Wire.tag w tag_s_hello;
+        Wire.string w role
+    | S_result { id; epoch; wal_records; outcomes } ->
+        Wire.tag w tag_s_result;
+        Wire.varint w id;
+        Wire.varint w epoch;
+        Wire.varint w wal_records;
+        Wire.varint w (List.length outcomes);
+        List.iter
+          (fun o ->
+            Wire.varint w (kind_int o.ro_kind);
+            Wire.varint w o.ro_code;
+            Wire.string w o.ro_text)
+          outcomes
+    | S_error { id; code; msg } ->
+        Wire.tag w tag_s_error;
+        Wire.varint w id;
+        Wire.varint w code;
+        Wire.string w msg
+    | S_shed { id; reason; retry_after_ms } ->
+        Wire.tag w tag_s_shed;
+        Wire.varint w id;
+        Wire.string w reason;
+        Wire.varint w retry_after_ms
+    | S_bye { msg } ->
+        Wire.tag w tag_s_bye;
+        Wire.string w msg);
+    Wire.contents w
+
+  let decoding what payload f =
+    match
+      let r = Wire.reader payload in
+      let m = f r in
+      if not (Wire.at_end r) then
+        raise (Wire.Corrupt ("trailing bytes inside " ^ what));
+      m
+    with
+    | m -> m
+    | exception Wire.Corrupt msg -> io_error "%s: %s" what msg
+
+  let decode_client payload =
+    decoding "client message" payload (fun r ->
+        match Wire.read_tag r with
+        | t when t = tag_hello -> C_hello { user = Wire.read_string r }
+        | t when t = tag_stmt ->
+            let id = Wire.read_varint r in
+            let deadline_ms = Wire.read_varint r in
+            let ir = Bytes.of_string (Wire.read_string r) in
+            C_stmt { id; deadline_ms; ir }
+        | t when t = tag_shutdown -> C_shutdown
+        | t ->
+            raise
+              (Wire.Corrupt (Printf.sprintf "unknown client message tag %d" t)))
+
+  let decode_server payload =
+    decoding "server message" payload (fun r ->
+        match Wire.read_tag r with
+        | t when t = tag_s_hello -> S_hello { role = Wire.read_string r }
+        | t when t = tag_s_result ->
+            let id = Wire.read_varint r in
+            let epoch = Wire.read_varint r in
+            let wal_records = Wire.read_varint r in
+            let n = Wire.read_varint r in
+            let outcomes = ref [] in
+            for _ = 1 to n do
+              let ro_kind = kind_of_int (Wire.read_varint r) in
+              let ro_code = Wire.read_varint r in
+              let ro_text = Wire.read_string r in
+              outcomes := { ro_kind; ro_code; ro_text } :: !outcomes
+            done;
+            S_result { id; epoch; wal_records; outcomes = List.rev !outcomes }
+        | t when t = tag_s_error ->
+            let id = Wire.read_varint r in
+            let code = Wire.read_varint r in
+            let msg = Wire.read_string r in
+            S_error { id; code; msg }
+        | t when t = tag_s_shed ->
+            let id = Wire.read_varint r in
+            let reason = Wire.read_string r in
+            let retry_after_ms = Wire.read_varint r in
+            S_shed { id; reason; retry_after_ms }
+        | t when t = tag_s_bye -> S_bye { msg = Wire.read_string r }
+        | t ->
+            raise
+              (Wire.Corrupt (Printf.sprintf "unknown server message tag %d" t)))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let g_connections =
+  Metrics.gauge ~help:"Currently connected wire-protocol clients."
+    "serve.connections"
+
+let g_inflight =
+  Metrics.gauge ~help:"Statements currently executing." "serve.inflight"
+
+let g_queue_depth =
+  Metrics.gauge ~help:"Statements waiting for an execution slot."
+    "serve.queue_depth"
+
+let m_statements =
+  Metrics.counter ~help:"Statements executed by the wire server."
+    "serve.statements"
+
+let m_admitted =
+  Metrics.counter ~help:"Statements admitted past admission control."
+    "serve.admitted"
+
+let m_reaped =
+  Metrics.counter
+    ~help:"Connections reaped for dribbling a frame past the read deadline."
+    "serve.slow_client_reaps"
+
+let m_proto_errors =
+  Metrics.counter
+    ~help:"Connections dropped for torn, oversized or corrupt frames."
+    "serve.protocol_errors"
+
+let m_shed reason =
+  Metrics.counter_l
+    ~help:"Statements refused by admission control, by reason."
+    "serve.shed" [ ("reason", reason) ]
+
+let g_user_admitted user =
+  Metrics.gauge_l ~help:"Queued + executing statements per user."
+    "serve.user_admitted" [ ("user", user) ]
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type config = {
+  host : string;
+  port : int;
+  max_inflight : int;
+  max_queue : int;
+  per_user_admitted : int;
+  max_connections : int;
+  queue_wait_ms : int;
+  read_timeout_s : float;
+  idle_timeout_s : float;
+  default_deadline_ms : int;
+  retry_after_ms : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_inflight = 4;
+    max_queue = 16;
+    per_user_admitted = 8;
+    max_connections = 64;
+    queue_wait_ms = 1000;
+    read_timeout_s = 5.0;
+    idle_timeout_s = 60.0;
+    default_deadline_ms = 0;
+    retry_after_ms = 200;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+
+type conn_slot = { cs_dom : unit Domain.t; cs_done : bool Atomic.t }
+
+type t = {
+  sv_server : Server.t;
+  sv_session : Session.t;
+  sv_db : Db.t;
+  sv_cfg : config;
+  sv_listen : Unix.file_descr;
+  sv_port : int;
+  sv_stop_r : Unix.file_descr;
+  sv_stop_w : Unix.file_descr;
+  sv_mu : Mutex.t;
+  sv_cv : Condition.t;
+  mutable sv_inflight : int;
+  mutable sv_queued : int;
+  sv_user_adm : (string, int) Hashtbl.t;
+  mutable sv_conns : int;
+  mutable sv_slots : conn_slot list;
+  mutable sv_accept : unit Domain.t option;
+  mutable sv_janitor : unit Domain.t option;
+  sv_draining : bool Atomic.t;
+  sv_janitor_stop : bool Atomic.t;
+  mutable sv_stopped : bool;
+}
+
+let draining t = Atomic.get t.sv_draining
+
+(* ------------------------------------------------------------------ *)
+(* Bounded socket reads (the Http.read_bounded discipline, adapted to
+   frames): while *waiting* for the next statement a connection may be
+   silent up to the idle allowance — and must notice draining — but once
+   the first byte of a frame arrives, the whole frame must complete
+   within the read deadline, so a byte-dribbling client cannot hold a
+   connection (or an admission slot) hostage.                          *)
+
+exception Reaped of string
+exception Drained
+
+(* Poll granularity: SO_RCVTIMEO wakes blocked reads this often so the
+   deadline and the draining flag are both checked promptly. *)
+let poll_interval_s = 0.25
+
+let poll_read ~deadline ~abort ~what fd buf off len =
+  let rec go () =
+    match Unix.read fd buf off len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if abort () then raise Drained;
+        if Unix.gettimeofday () > deadline then raise (Reaped what);
+        go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+  in
+  go ()
+
+(* [None] on a clean close between frames; [Drained]/[Reaped] while
+   waiting; typed Io errors on torn, oversized or corrupt frames. *)
+let read_frame_bounded cfg ~abort fd =
+  let hdr = Bytes.create 8 in
+  let idle_deadline = Unix.gettimeofday () +. cfg.idle_timeout_s in
+  let n0 = poll_read ~deadline:idle_deadline ~abort ~what:"frame header" fd hdr 0 8 in
+  if n0 = 0 then None
+  else begin
+    let frame_deadline = Unix.gettimeofday () +. cfg.read_timeout_s in
+    let fill ~what buf off0 =
+      let rec go off =
+        if off < Bytes.length buf then begin
+          let n =
+            poll_read ~deadline:frame_deadline
+              ~abort:(fun () -> false)
+              ~what fd buf off
+              (Bytes.length buf - off)
+          in
+          if n = 0 then
+            io_error "connection closed mid-%s (%d of %d bytes)" what off
+              (Bytes.length buf);
+          go (off + n)
+        end
+      in
+      go off0
+    in
+    fill ~what:"frame header" hdr n0;
+    let len = Int32.to_int (Bytes.get_int32_le hdr 0) land 0xFFFFFFFF in
+    if len > Proto.max_frame_bytes then
+      io_error "frame claims %d bytes (cap %d)" len Proto.max_frame_bytes;
+    let crc = Bytes.get_int32_le hdr 4 in
+    let payload = Bytes.create len in
+    fill ~what:"frame payload" payload 0;
+    if Crc32.bytes payload <> crc then io_error "frame CRC mismatch";
+    Some payload
+  end
+
+(* Best-effort send: a peer that vanished mid-reply has nothing left to
+   hear; the WAL, not the socket, is the durability boundary. *)
+let send_safe fd msg =
+  try Repl.write_frame fd (Proto.encode_server msg)
+  with Graql_error.Error (Graql_error.Io _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+
+type admission = Admitted | Shed of string
+
+let user_admitted t user =
+  Option.value ~default:0 (Hashtbl.find_opt t.sv_user_adm user)
+
+let set_user_admitted t user n =
+  if n <= 0 then Hashtbl.remove t.sv_user_adm user
+  else Hashtbl.replace t.sv_user_adm user n;
+  Metrics.set_gauge (g_user_admitted user) (float_of_int (max 0 n))
+
+let update_gauges_locked t =
+  Metrics.set_gauge g_inflight (float_of_int t.sv_inflight);
+  Metrics.set_gauge g_queue_depth (float_of_int t.sv_queued)
+
+(* The admission state machine (DESIGN.md §14): quota check → free slot →
+   bounded queue with a wait deadline. OCaml's [Condition] has no timed
+   wait, so the janitor domain broadcasts [sv_cv] every poll tick and
+   waiters re-check their own deadline on wakeup. *)
+let admit t ~user =
+  if draining t then Shed "draining"
+  else begin
+    Mutex.lock t.sv_mu;
+    let cfg = t.sv_cfg in
+    let finish r =
+      update_gauges_locked t;
+      Mutex.unlock t.sv_mu;
+      r
+    in
+    if user_admitted t user >= cfg.per_user_admitted then
+      finish (Shed "user_quota")
+    else if t.sv_inflight < cfg.max_inflight then begin
+      t.sv_inflight <- t.sv_inflight + 1;
+      set_user_admitted t user (user_admitted t user + 1);
+      Metrics.incr m_admitted;
+      finish Admitted
+    end
+    else if t.sv_queued >= cfg.max_queue then finish (Shed "queue_full")
+    else begin
+      t.sv_queued <- t.sv_queued + 1;
+      set_user_admitted t user (user_admitted t user + 1);
+      update_gauges_locked t;
+      let deadline =
+        Unix.gettimeofday () +. (float_of_int cfg.queue_wait_ms /. 1000.)
+      in
+      let rec wait () =
+        if draining t then begin
+          t.sv_queued <- t.sv_queued - 1;
+          set_user_admitted t user (user_admitted t user - 1);
+          finish (Shed "draining")
+        end
+        else if t.sv_inflight < cfg.max_inflight then begin
+          t.sv_queued <- t.sv_queued - 1;
+          t.sv_inflight <- t.sv_inflight + 1;
+          Metrics.incr m_admitted;
+          finish Admitted
+        end
+        else if Unix.gettimeofday () > deadline then begin
+          t.sv_queued <- t.sv_queued - 1;
+          set_user_admitted t user (user_admitted t user - 1);
+          finish (Shed "queue_wait")
+        end
+        else begin
+          Condition.wait t.sv_cv t.sv_mu;
+          wait ()
+        end
+      in
+      wait ()
+    end
+  end
+
+let release t ~user =
+  Mutex.lock t.sv_mu;
+  t.sv_inflight <- t.sv_inflight - 1;
+  set_user_admitted t user (user_admitted t user - 1);
+  update_gauges_locked t;
+  Condition.broadcast t.sv_cv;
+  Mutex.unlock t.sv_mu
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+
+let render_outcome = function
+  | Script_exec.O_table tb ->
+      {
+        Proto.ro_kind = Proto.K_table;
+        ro_code = 0;
+        ro_text = Table.to_display_string tb;
+      }
+  | Script_exec.O_subgraph sg ->
+      { Proto.ro_kind = Proto.K_subgraph; ro_code = 0; ro_text = Subgraph.summary sg }
+  | Script_exec.O_message m ->
+      { Proto.ro_kind = Proto.K_message; ro_code = 0; ro_text = m }
+  | Script_exec.O_failed e ->
+      {
+        Proto.ro_kind = Proto.K_failed;
+        ro_code = Graql_error.exit_code e;
+        ro_text = Graql_error.to_string e;
+      }
+
+(* Concurrent-read safety is stricter than authorization-level
+   [Server.writes_data]: [set] and select-[into] don't write *data* but
+   do mutate session state (params, result tables, subgraphs), so only
+   a bare select may share the database with other readers. *)
+let read_only_stmt = function
+  | Ast.Select_graph { sg_into = Ast.Into_nothing; _ }
+  | Ast.Select_table { st_into = Ast.Into_nothing; _ } ->
+      true
+  | _ -> false
+
+let wal_records_now session =
+  match Session.wal session with Some w -> Wal.records w | None -> 0
+
+let typecheck_strict db ast =
+  let diags = Typecheck.check_script ~params:[] (Db.meta db) ast in
+  if Diag.has_errors diags then
+    Graql_error.raise_error (Graql_error.Analysis diags)
+
+(* Readers never build the lazy graph concurrently: it is rebuilt
+   eagerly at start and after every write, under the exclusive lock. *)
+let prebuild_graph db = try ignore (Db.graph db) with _ -> ()
+
+let execute t conn ~deadline_ms blob =
+  let db = t.sv_db in
+  let ast =
+    try Graql_ir.Codec.decode_script blob
+    with Graql_ir.Wire.Corrupt msg -> io_error "corrupt IR: %s" msg
+  in
+  (* All-or-nothing authorization before any side effect, as Server.run. *)
+  (match Server.role conn with
+  | Server.Admin -> ()
+  | Server.Analyst ->
+      List.iter
+        (fun stmt ->
+          if Server.writes_data stmt then
+            Graql_error.raise_error
+              (Graql_error.Denied
+                 (Printf.sprintf "user %S (analyst) may not run: %s"
+                    (Server.user conn)
+                    (Graql_lang.Pretty.stmt_to_string stmt))))
+        ast);
+  let cancel =
+    let ms =
+      if deadline_ms > 0 then deadline_ms else t.sv_cfg.default_deadline_ms
+    in
+    if ms > 0 then Some (Cancel.with_deadline_ms ms) else None
+  in
+  let exec () =
+    typecheck_strict db ast;
+    Script_exec.exec_script ~parallel:false ?cancel db ast
+  in
+  Metrics.incr m_statements;
+  if List.for_all read_only_stmt ast then
+    let epoch, (results, wr) =
+      Db.read_locked db (fun () ->
+          let results = exec () in
+          (results, wal_records_now t.sv_session))
+    in
+    (epoch, wr, results)
+  else
+    Db.write_locked db (fun () ->
+        let results = exec () in
+        let wr = wal_records_now t.sv_session in
+        prebuild_graph db;
+        Session.maybe_checkpoint t.sv_session;
+        (* The epoch this write creates: [write_locked] bumps on
+           release, so the post-write epoch is current + 1. *)
+        (Db.epoch db + 1, wr, results))
+
+let handle_stmt t conn fd ~id ~deadline_ms blob =
+  let user = Server.user conn in
+  match admit t ~user with
+  | Shed reason ->
+      Metrics.incr (m_shed reason);
+      send_safe fd
+        (Proto.S_shed { id; reason; retry_after_ms = t.sv_cfg.retry_after_ms })
+  | Admitted ->
+      Fun.protect
+        ~finally:(fun () -> release t ~user)
+        (fun () ->
+          match execute t conn ~deadline_ms blob with
+          | epoch, wal_records, results ->
+              send_safe fd
+                (Proto.S_result
+                   {
+                     id;
+                     epoch;
+                     wal_records;
+                     outcomes = List.map (fun (_, o) -> render_outcome o) results;
+                   })
+          | exception Graql_error.Error e ->
+              send_safe fd
+                (Proto.S_error
+                   {
+                     id;
+                     code = Graql_error.exit_code e;
+                     msg = Graql_error.to_string e;
+                   }))
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+
+let code_io = Graql_error.exit_code (Graql_error.Io "")
+let code_denied = Graql_error.exit_code (Graql_error.Denied "")
+
+let rec conn_loop t fd =
+  let cfg = t.sv_cfg in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO poll_interval_s
+   with Unix.Unix_error (_, _, _) -> ());
+  let abort () = draining t in
+  (* Handshake: the hello must arrive within the frame read deadline. *)
+  let hello_cfg = { cfg with idle_timeout_s = cfg.read_timeout_s } in
+  match
+    Option.map Proto.decode_client
+      (read_frame_bounded hello_cfg ~abort:(fun () -> false) fd)
+  with
+  | None -> ()
+  | Some (Proto.C_stmt _ | Proto.C_shutdown) ->
+      Metrics.incr m_proto_errors;
+      send_safe fd
+        (Proto.S_error
+           { id = 0; code = code_io; msg = "expected hello before statements" })
+  | exception Reaped _ ->
+      Metrics.incr m_reaped;
+      send_safe fd
+        (Proto.S_error { id = 0; code = code_io; msg = "hello read timed out" })
+  | exception Graql_error.Error (Graql_error.Io msg) ->
+      Metrics.incr m_proto_errors;
+      send_safe fd (Proto.S_error { id = 0; code = code_io; msg })
+  | Some (Proto.C_hello { user }) -> (
+      match Server.connect t.sv_server ~user with
+      | exception Server.Unknown_user u ->
+          send_safe fd
+            (Proto.S_error
+               {
+                 id = 0;
+                 code = code_denied;
+                 msg = Printf.sprintf "unknown user %S" u;
+               })
+      | conn ->
+          send_safe fd
+            (Proto.S_hello
+               {
+                 role =
+                   (match Server.role conn with
+                   | Server.Admin -> "admin"
+                   | Server.Analyst -> "analyst");
+               });
+          Query_log.set_domain_user (Some (Some user));
+          Fun.protect
+            ~finally:(fun () -> Query_log.set_domain_user None)
+            (fun () ->
+              let rec loop () =
+                match
+                  Option.map Proto.decode_client
+                    (read_frame_bounded cfg ~abort fd)
+                with
+                | None -> ()
+                | Some (Proto.C_hello _) ->
+                    Metrics.incr m_proto_errors;
+                    send_safe fd
+                      (Proto.S_error
+                         { id = 0; code = code_io; msg = "duplicate hello" })
+                | Some (Proto.C_stmt { id; deadline_ms; ir }) ->
+                    handle_stmt t conn fd ~id ~deadline_ms ir;
+                    loop ()
+                | Some Proto.C_shutdown ->
+                    if Server.role conn = Server.Admin then begin
+                      (* Drain first, ack second: once the admin sees
+                         the goodbye, no statement admitted after it
+                         may slip past the draining gate. *)
+                      request_shutdown t;
+                      send_safe fd (Proto.S_bye { msg = "draining" })
+                    end
+                    else begin
+                      send_safe fd
+                        (Proto.S_error
+                           {
+                             id = 0;
+                             code = code_denied;
+                             msg = "shutdown requires an admin account";
+                           });
+                      loop ()
+                    end
+                | exception Drained ->
+                    send_safe fd (Proto.S_bye { msg = "server draining" })
+                | exception Reaped what ->
+                    Metrics.incr m_reaped;
+                    send_safe fd
+                      (Proto.S_error
+                         {
+                           id = 0;
+                           code = code_io;
+                           msg = Printf.sprintf "%s read timed out" what;
+                         })
+                | exception Graql_error.Error (Graql_error.Io msg) ->
+                    Metrics.incr m_proto_errors;
+                    send_safe fd
+                      (Proto.S_error { id = 0; code = code_io; msg })
+              in
+              loop ()))
+
+and request_shutdown t =
+  if not (Atomic.exchange t.sv_draining true) then begin
+    (try ignore (Unix.write t.sv_stop_w (Bytes.of_string "x") 0 1)
+     with Unix.Unix_error (_, _, _) -> ());
+    (* No mutex here: this runs from the CLI's SIGTERM/SIGINT handler,
+       which fires at a poll point on whichever domain is running —
+       possibly one that already holds [sv_mu] (e.g. domain 0 inside
+       [wait]'s [Condition.wait]), where relocking raises and abandons
+       the mutex. Broadcasting without the mutex is allowed; a waiter
+       that misses this wakeup is caught by the janitor's next
+       periodic broadcast. *)
+    Condition.broadcast t.sv_cv
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Accept / janitor / lifecycle                                        *)
+
+let conn_finished t =
+  Mutex.lock t.sv_mu;
+  t.sv_conns <- t.sv_conns - 1;
+  Metrics.set_gauge g_connections (float_of_int t.sv_conns);
+  Mutex.unlock t.sv_mu
+
+let spawn_conn t fd =
+  let done_flag = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+            conn_finished t;
+            Atomic.set done_flag true)
+          (fun () -> try conn_loop t fd with _ -> ()))
+  in
+  Mutex.lock t.sv_mu;
+  t.sv_slots <- { cs_dom = dom; cs_done = done_flag } :: t.sv_slots;
+  Mutex.unlock t.sv_mu
+
+let accept_conn t fd =
+  Mutex.lock t.sv_mu;
+  let n = t.sv_conns in
+  let accepted = n < t.sv_cfg.max_connections in
+  if accepted then begin
+    t.sv_conns <- n + 1;
+    Metrics.set_gauge g_connections (float_of_int t.sv_conns)
+  end;
+  Mutex.unlock t.sv_mu;
+  if not accepted then begin
+    (* Typed refusal, not a silent RST: the client sees why. *)
+    Metrics.incr (m_shed "connections");
+    send_safe fd
+      (Proto.S_shed
+         {
+           id = 0;
+           reason = "connections";
+           retry_after_ms = t.sv_cfg.retry_after_ms;
+         });
+    try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+  end
+  else spawn_conn t fd
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.select [ t.sv_listen; t.sv_stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | readable, _, _ ->
+        if List.mem t.sv_stop_r readable then ()
+        else begin
+          (match Unix.accept t.sv_listen with
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | fd, _ -> accept_conn t fd);
+          loop ()
+        end
+  in
+  loop ()
+
+(* The janitor backs two things [Condition] alone cannot: queue waiters
+   re-check their deadline on its periodic broadcast, and finished
+   connection domains are joined promptly so the runtime's domain slots
+   are recycled on a long-lived server. *)
+let janitor_loop t =
+  let rec loop () =
+    if Atomic.get t.sv_janitor_stop then ()
+    else begin
+      Unix.sleepf (poll_interval_s /. 5.);
+      Mutex.lock t.sv_mu;
+      Condition.broadcast t.sv_cv;
+      let finished, live =
+        List.partition (fun c -> Atomic.get c.cs_done) t.sv_slots
+      in
+      t.sv_slots <- live;
+      Mutex.unlock t.sv_mu;
+      List.iter (fun c -> Domain.join c.cs_dom) finished;
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(config = default_config) server =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let session = Server.session server in
+  let db = Session.db session in
+  prebuild_graph db;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      sv_server = server;
+      sv_session = session;
+      sv_db = db;
+      sv_cfg = config;
+      sv_listen = listen_fd;
+      sv_port = bound_port;
+      sv_stop_r = stop_r;
+      sv_stop_w = stop_w;
+      sv_mu = Mutex.create ();
+      sv_cv = Condition.create ();
+      sv_inflight = 0;
+      sv_queued = 0;
+      sv_user_adm = Hashtbl.create 8;
+      sv_conns = 0;
+      sv_slots = [];
+      sv_accept = None;
+      sv_janitor = None;
+      sv_draining = Atomic.make false;
+      sv_janitor_stop = Atomic.make false;
+      sv_stopped = false;
+    }
+  in
+  t.sv_accept <- Some (Domain.spawn (fun () -> accept_loop t));
+  t.sv_janitor <- Some (Domain.spawn (fun () -> janitor_loop t));
+  t
+
+let port t = t.sv_port
+
+let connections t =
+  Mutex.lock t.sv_mu;
+  let n = t.sv_conns in
+  Mutex.unlock t.sv_mu;
+  n
+
+let wait t =
+  Mutex.lock t.sv_mu;
+  while not (draining t) do
+    Condition.wait t.sv_cv t.sv_mu
+  done;
+  Mutex.unlock t.sv_mu
+
+let stop t =
+  if not t.sv_stopped then begin
+    t.sv_stopped <- true;
+    request_shutdown t;
+    (match t.sv_accept with Some d -> Domain.join d | None -> ());
+    t.sv_accept <- None;
+    (try Unix.close t.sv_listen with Unix.Unix_error (_, _, _) -> ());
+    (* Connections notice draining within one poll tick, finish any
+       in-flight statement, deliver its result, say goodbye and exit. *)
+    let rec drain_conns () =
+      Mutex.lock t.sv_mu;
+      let slots = t.sv_slots in
+      t.sv_slots <- [];
+      Mutex.unlock t.sv_mu;
+      match slots with
+      | [] -> ()
+      | slots ->
+          List.iter (fun c -> Domain.join c.cs_dom) slots;
+          drain_conns ()
+    in
+    drain_conns ();
+    Atomic.set t.sv_janitor_stop true;
+    (match t.sv_janitor with Some d -> Domain.join d | None -> ());
+    t.sv_janitor <- None;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      [ t.sv_stop_r; t.sv_stop_w ];
+    Metrics.set_gauge g_connections 0.0;
+    Metrics.set_gauge g_inflight 0.0;
+    Metrics.set_gauge g_queue_depth 0.0
+  end

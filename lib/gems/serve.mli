@@ -1,0 +1,125 @@
+(** The GEMS wire server (DESIGN.md §14): many concurrent clients speak
+    compiled {!Graql_ir} statements over TCP, framed exactly like WAL
+    records ([len | crc32 | payload], {!Graql_engine.Wal.frame}).
+
+    Concurrency discipline: read-only statements (selects with no [into]
+    clause) run concurrently under {!Graql_engine.Db.read_locked},
+    pinning the database epoch for the statement's lifetime; everything
+    else — DDL, ingest, [set], select-into — runs exclusively under
+    {!Graql_engine.Db.write_locked} with the WAL, so the accepted write
+    log is totally ordered and a sequential replay of it reproduces
+    every result byte-for-byte.
+
+    Overload behaviour is bounded and typed: an admission controller
+    enforces a global in-flight cap, a bounded wait queue with a wait
+    deadline, and per-user quotas; saturation answers with a typed
+    [S_shed] (reason + retry-after) instead of queueing unboundedly.
+    Slow or byte-dribbling clients are reaped by per-frame read
+    deadlines (the {!Graql_obs.Http.read_bounded} discipline); a
+    graceful shutdown drains in-flight statements — every acknowledged
+    result was durably logged — before the owner closes the WAL. *)
+
+(** {2 Wire protocol} *)
+
+module Proto : sig
+  type client_msg =
+    | C_hello of { user : string }
+    | C_stmt of { id : int; deadline_ms : int; ir : bytes }
+        (** [deadline_ms = 0] means no deadline; [ir] is a compiled
+            script blob ({!Graql_ir.Codec.encode_script}) *)
+    | C_shutdown  (** admin-only: drain and stop the server *)
+
+  type outcome_kind = K_table | K_subgraph | K_message | K_failed
+
+  type remote_outcome = {
+    ro_kind : outcome_kind;
+    ro_code : int;  (** {!Graql_engine.Graql_error.exit_code} for
+                        [K_failed]; 0 otherwise *)
+    ro_text : string;  (** rendered table / subgraph summary / message /
+                           error string *)
+  }
+
+  type server_msg =
+    | S_hello of { role : string }
+    | S_result of {
+        id : int;
+        epoch : int;  (** database epoch the statement observed (reads:
+                          pinned epoch; writes: the epoch the write
+                          created) *)
+        wal_records : int;  (** WAL records present when the statement
+                                completed (0 without durability) *)
+        outcomes : remote_outcome list;
+      }
+    | S_error of { id : int; code : int; msg : string }
+        (** statement- or connection-level typed failure; [code] is the
+            {!Graql_engine.Graql_error.exit_code} of the class *)
+    | S_shed of { id : int; reason : string; retry_after_ms : int }
+        (** admission refused: ["user_quota"], ["queue_full"],
+            ["queue_wait"], ["draining"] or ["connections"] *)
+    | S_bye of { msg : string }  (** server closing this connection *)
+
+  val max_frame_bytes : int
+  (** Inbound client frames larger than this are refused with a typed
+      [S_error] and the connection closed (the stream cannot be
+      resynchronized). *)
+
+  val encode_client : client_msg -> bytes
+  val decode_client : bytes -> client_msg
+  val encode_server : server_msg -> bytes
+  val decode_server : bytes -> server_msg
+  (** Decoders raise [Graql_error.Error (Io _)] on corrupt payloads. *)
+end
+
+(** {2 Server} *)
+
+type config = {
+  host : string;  (** default "127.0.0.1" *)
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  max_inflight : int;  (** statements executing concurrently *)
+  max_queue : int;  (** statements waiting for an execution slot *)
+  per_user_admitted : int;
+      (** per-user cap on queued + executing statements *)
+  max_connections : int;
+  queue_wait_ms : int;  (** max wait for a slot before a typed shed *)
+  read_timeout_s : float;
+      (** a started frame must complete within this bound (slowloris
+          reaping) *)
+  idle_timeout_s : float;  (** allowed silence between statements *)
+  default_deadline_ms : int;
+      (** applied to statements that carry none; 0 = unlimited *)
+  retry_after_ms : int;  (** hint stamped into [S_shed] replies *)
+}
+
+val default_config : config
+(** [max_inflight = 4], [max_queue = 16], [per_user_admitted = 8],
+    [max_connections = 64], [queue_wait_ms = 1000],
+    [read_timeout_s = 5.], [idle_timeout_s = 60.], no default deadline,
+    [retry_after_ms = 200]. *)
+
+type t
+
+val start : ?config:config -> Server.t -> t
+(** Bind, pre-build the graph (so concurrent readers never race on the
+    lazy build), and spawn the accept domain. User accounts must be
+    registered ({!Server.add_user}) before [start]; the server reads
+    them concurrently. *)
+
+val port : t -> int
+val connections : t -> int
+
+val request_shutdown : t -> unit
+(** Begin draining: new statements are shed with reason ["draining"],
+    idle connections are told [S_bye], in-flight statements run to
+    completion and their results are delivered. Idempotent;
+    non-blocking. *)
+
+val wait : t -> unit
+(** Block until {!request_shutdown} is called (by a signal handler,
+    an admin [C_shutdown], or another domain). *)
+
+val stop : t -> unit
+(** {!request_shutdown}, then join every connection (delivering
+    in-flight results), the accept domain and the admission janitor,
+    and close the listening socket. The session/WAL are NOT closed —
+    the owner closes the WAL after [stop] returns, so nothing
+    acknowledged can be lost. Idempotent. *)

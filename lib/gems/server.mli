@@ -36,6 +36,12 @@ val connect : t -> user:string -> connection
 val user : connection -> string
 val role : connection -> role
 
+val writes_data : Graql_lang.Ast.stmt -> bool
+(** The authorization-level write classifier: DDL and ingest write data;
+    selects and parameter bindings do not. (The serve layer's
+    concurrency classifier is stricter — [set] and select-[into] mutate
+    session state even though they don't write data.) *)
+
 val run :
   ?loader:(string -> string) ->
   ?deadline_ms:int ->

@@ -71,6 +71,12 @@ val checkpoint : t -> bool
     ({!Graql_engine.Db_io.checkpoint}). Returns [false] (and does
     nothing) for a session without durability. *)
 
+val maybe_checkpoint : t -> unit
+(** Checkpoint iff the WAL has outgrown the session's threshold. Callers
+    owning their own concurrency discipline (the serve layer runs this
+    under its exclusive write lock, between statements) use this instead
+    of {!run_script}'s built-in between-script policy. *)
+
 val close : t -> unit
 (** Detach and close the WAL (no-op when [Off]). The directory can then
     be recovered by a new session. *)

@@ -9,6 +9,10 @@ type t = {
   http : Http.t;
   ready_flag : bool Atomic.t;
   repl : (unit -> string) option Atomic.t;
+  (* Extra /readyz body lines from the replication layer (lagging
+     followers). Report-only: a primary's ready *status* never depends
+     on its followers. *)
+  repl_health : (unit -> string) option Atomic.t;
 }
 
 let recovery_summary session =
@@ -38,13 +42,20 @@ let replication_route repl =
           Http.response ~content_type:"application/json" (status ())
       | None -> Http.response ~status:404 "replication not configured\n")
 
-let routes session ready_flag repl =
+let health_summary repl_health =
+  match Atomic.get repl_health with
+  | Some f -> ( try f () with _ -> "")
+  | None -> ""
+
+let routes session ready_flag repl repl_health =
   [
     metrics_route;
     get "/healthz" (fun ~body:_ -> Http.response "ok\n");
     get "/readyz" (fun ~body:_ ->
         if Atomic.get ready_flag then
-          Http.response ("ready\n" ^ recovery_summary session)
+          Http.response
+            ("ready\n" ^ recovery_summary session
+           ^ health_summary repl_health)
         else Http.response ~status:503 "starting\n");
     get "/stats" (fun ~body:_ ->
         Http.response (Session.stats_tables ~full:true session));
@@ -65,8 +76,11 @@ let routes session ready_flag repl =
 let start ?host ?(ready = true) ~port session =
   let ready_flag = Atomic.make ready in
   let repl = Atomic.make None in
-  let http = Http.start ?host ~port (routes session ready_flag repl) in
-  { http; ready_flag; repl }
+  let repl_health = Atomic.make None in
+  let http =
+    Http.start ?host ~port (routes session ready_flag repl repl_health)
+  in
+  { http; ready_flag; repl; repl_health }
 
 (* A follower process has no Session — its surface is the metrics
    registry plus its replication status, and readiness is lag-driven. *)
@@ -91,10 +105,11 @@ let start_follower ?host ~port follower =
   let ready_flag = Atomic.make true in
   let repl = Atomic.make (Some (fun () -> Follower.status_json follower)) in
   let http = Http.start ?host ~port (follower_routes follower repl) in
-  { http; ready_flag; repl }
+  { http; ready_flag; repl; repl_health = Atomic.make None }
 
 let port t = Http.port t.http
 let set_ready t v = Atomic.set t.ready_flag v
 let ready t = Atomic.get t.ready_flag
 let set_replication t status = Atomic.set t.repl status
+let set_replication_health t f = Atomic.set t.repl_health f
 let stop t = Http.stop t.http

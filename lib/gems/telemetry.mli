@@ -44,5 +44,11 @@ val set_replication : t -> (unit -> string) option -> unit
     [Some (fun () -> Repl.status_json primary)] once the session starts
     replicating. *)
 
+val set_replication_health : t -> (unit -> string) option -> unit
+(** Install (or remove) a provider of extra [/readyz] body lines — e.g.
+    [Some (fun () -> Repl.readyz_health primary)], which reports
+    followers lagging beyond [GRAQL_REPL_MAX_LAG]. Report-only: the
+    readiness *status* never flips on follower lag. *)
+
 val stop : t -> unit
 (** Shut the listener down and join its domain. Idempotent. *)

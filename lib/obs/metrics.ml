@@ -20,7 +20,9 @@ type cell = {
 
 type metric = {
   m_id : int;
-  m_name : string;
+  m_name : string; (* full registry key, labels included *)
+  m_base : string; (* name without the label suffix *)
+  m_labels : (string * string) list; (* [] for unlabeled metrics *)
   m_kind : kind;
   mutable m_help : string option;
   m_cells : cell list Atomic.t;
@@ -40,16 +42,42 @@ let kind_name = function
   | K_gauge -> "gauge"
   | K_histogram -> "histogram"
 
-let find_or_create ?help name kind =
+(* Exposition-format escaping for label values: backslash, double-quote
+   and newline. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let find_or_create ?help ?(labels = []) name kind =
+  let key = name ^ render_labels labels in
   Mutex.lock registry_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock registry_mutex)
     (fun () ->
-      match Hashtbl.find_opt registry name with
+      match Hashtbl.find_opt registry key with
       | Some m ->
           if m.m_kind <> kind then
             invalid_arg
-              (Printf.sprintf "Metrics: %S is a %s, not a %s" name
+              (Printf.sprintf "Metrics: %S is a %s, not a %s" key
                  (kind_name m.m_kind) (kind_name kind));
           if m.m_help = None then m.m_help <- help;
           m
@@ -57,19 +85,24 @@ let find_or_create ?help name kind =
           let m =
             {
               m_id = Atomic.fetch_and_add next_id 1;
-              m_name = name;
+              m_name = key;
+              m_base = name;
+              m_labels = labels;
               m_kind = kind;
               m_help = help;
               m_cells = Atomic.make [];
               m_gauge = Atomic.make 0.0;
             }
           in
-          Hashtbl.add registry name m;
+          Hashtbl.add registry key m;
           m)
 
 let counter ?help name = find_or_create ?help name K_counter
 let gauge ?help name = find_or_create ?help name K_gauge
 let histogram ?help name = find_or_create ?help name K_histogram
+
+let counter_l ?help name labels = find_or_create ?help ~labels name K_counter
+let gauge_l ?help name labels = find_or_create ?help ~labels name K_gauge
 
 (* The per-domain cell table. The DLS value dies with its domain; the
    cells it pointed to live on in each metric's list, so nothing a dead
@@ -223,48 +256,45 @@ let escape_help s =
     s;
   Buffer.contents buf
 
-let escape_label_value s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 let version = "1.0.0"
 let start_time = Unix.gettimeofday ()
 let uptime_seconds () = Unix.gettimeofday () -. start_time
 
 let to_prometheus () =
   let buf = Buffer.create 1024 in
+  (* TYPE/HELP must appear once per metric family: labeled series of the
+     same family share their header lines (the sort on full names keeps
+     series of one family adjacent). *)
+  let seen_families : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let help n = function
     | Some text ->
         Buffer.add_string buf
           (Printf.sprintf "# HELP %s %s\n" n (escape_help text))
     | None -> ()
   in
+  let header family kind m =
+    if not (Hashtbl.mem seen_families family) then begin
+      Hashtbl.add seen_families family ();
+      help family m.m_help;
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family kind)
+    end
+  in
   List.iter
     (fun m ->
-      let n = promname m.m_name in
+      let n = promname m.m_base in
+      let lbl = render_labels m.m_labels in
       match m.m_kind with
       | K_counter ->
-          help (n ^ "_total") m.m_help;
+          header (n ^ "_total") "counter" m;
           Buffer.add_string buf
-            (Printf.sprintf "# TYPE %s_total counter\n%s_total %d\n" n n
-               (counter_value m))
+            (Printf.sprintf "%s_total%s %d\n" n lbl (counter_value m))
       | K_gauge ->
-          help n m.m_help;
+          header n "gauge" m;
           Buffer.add_string buf
-            (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n
-               (fmt_float (gauge_value m)))
+            (Printf.sprintf "%s%s %s\n" n lbl (fmt_float (gauge_value m)))
       | K_histogram ->
           let h = hist_of m in
-          help n m.m_help;
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+          header n "histogram" m;
           let cum = ref 0 in
           List.iter
             (fun (le, c) ->

@@ -32,9 +32,20 @@ val incr : counter -> unit
 val add : counter -> int -> unit
 val counter_value : counter -> int
 
+val counter_l : ?help:string -> string -> (string * string) list -> counter
+(** Labeled counter series: [counter_l "serve.shed_total"
+    [("reason", "queue_full")]] registers a distinct counter whose
+    Prometheus line is [graql_serve_shed_total{reason="queue_full"}].
+    Series of the same family share one [# TYPE]/[# HELP] header. In
+    {!snapshot} the counter appears under its full key, labels
+    included. *)
+
 val gauge : ?help:string -> string -> gauge
 val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
+
+val gauge_l : ?help:string -> string -> (string * string) list -> gauge
+(** Labeled gauge series; see {!counter_l}. *)
 
 val histogram : ?help:string -> string -> histogram
 (** Log-scale histogram: bucket [i] counts observations in

@@ -34,8 +34,19 @@ let env_read = ref false
 let env_var = "GRAQL_QUERY_LOG"
 
 let user : string option ref = ref None
+
+(* Per-domain override: the serve layer runs one connection per domain,
+   each with its own authenticated user; a process-global ref would let
+   concurrent connections clobber each other's attribution. The global
+   [set_user] remains the default for single-session embedders. *)
+let dls_user : string option option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 let set_user u = user := u
-let current_user () = !user
+let set_domain_user u = Domain.DLS.set dls_user u
+
+let current_user () =
+  match Domain.DLS.get dls_user with Some u -> u | None -> !user
 
 let locked f =
   Mutex.lock mutex;

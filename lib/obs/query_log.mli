@@ -53,7 +53,14 @@ val json_of_record : record -> string
 
 val set_user : string option -> unit
 (** Ambient user stamped into subsequent records (the GEMS server sets
-    it around each connection's script). *)
+    it around each connection's script). Process-global default; see
+    {!set_domain_user} for concurrent servers. *)
+
+val set_domain_user : string option option -> unit
+(** Per-domain override of the ambient user: [Some u] makes this domain
+    attribute records to [u] regardless of the global default; [None]
+    restores the global default. The serve layer runs one connection per
+    domain and sets this at authentication time. *)
 
 val current_user : unit -> string option
 
