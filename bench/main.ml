@@ -1232,6 +1232,121 @@ let sweep_regex_depth () =
   print_endline
     (Graql_util.Text_table.render ~header:[ "{n}"; "time(ms)" ] rows)
 
+(* SNB deep traversals (DESIGN.md §15): the Kleene-star workload through
+   the memoized-closure regex path and through the product-automaton
+   engine, every answer checked against the CSV oracles before timing.
+   Backing data for BENCH_snb.json (--json mode). *)
+let sweep_snb ?(json = false) () =
+  print_endline
+    "\n== SNB deep traversals: memoized closure vs product automaton ==";
+  let scale = 6 in
+  let s = Graql.create_session () in
+  Graql.Snb.Gen.ingest_all ~scale s;
+  let d = Graql.Session.db s in
+  let _ = Graql.Db.graph d in
+  let person = Graql.Snb.Reference.hub_person ~scale () in
+  let comment, _ = Graql.Snb.Reference.deepest_comment ~scale () in
+  (* Endpoint ids of the final step, the unit the oracles speak. *)
+  let endpoints path =
+    let res =
+      Graql.Path_exec.run_multipath ~db:d
+        ~params:(fun _ -> None)
+        ~mode:Graql.Path_exec.Keep_all ~edges_needed:false
+        (Graql.Ast.M_path path)
+    in
+    match res.Graql.Path_exec.comps with
+    | [ c ] ->
+        let col = Array.length c.Graql.Path_exec.slots - 1 in
+        let u = res.Graql.Path_exec.universe in
+        List.sort_uniq compare
+          (Array.to_list
+             (Array.map
+                (fun row ->
+                  let cell = row.(col) in
+                  Graql.Vset.key_string
+                    (Graql.Pack.vset_of u cell)
+                    (Graql.Pack.id cell))
+                c.Graql.Path_exec.rows))
+    | _ -> []
+  in
+  let with_engine automaton f =
+    let saved = !Graql.Path_exec.use_automaton in
+    Graql.Path_exec.use_automaton := automaton;
+    Fun.protect
+      ~finally:(fun () -> Graql.Path_exec.use_automaton := saved)
+      f
+  in
+  let queries =
+    [
+      ( "knows_plus",
+        Graql.Snb.Queries.path_knows_plus ~person,
+        Graql.Snb.Reference.knows_plus ~scale ~person () );
+      ( "knows_star",
+        Graql.Snb.Queries.path_knows_star ~person,
+        Graql.Snb.Reference.knows_star ~scale ~person () );
+      ( "knows_knows_plus",
+        Graql.Snb.Queries.path_knows_knows_plus ~person,
+        Graql.Snb.Reference.knows_knows_plus ~scale ~person () );
+      ( "reply_chain4",
+        Graql.Snb.Queries.path_reply_chain ~comment ~n:4,
+        Graql.Snb.Reference.reply_chain ~scale ~comment ~n:4 () );
+      ( "thread_root",
+        Graql.Snb.Queries.path_thread_root ~comment,
+        Graql.Snb.Reference.thread_root_posts ~scale ~comment () );
+    ]
+  in
+  let entries =
+    List.map
+      (fun (name, path, oracle) ->
+        let closure_ans = with_engine false (fun () -> endpoints path) in
+        let rpq_ans = with_engine true (fun () -> endpoints path) in
+        if closure_ans <> oracle then
+          failwith (Printf.sprintf "snb %s: closure answer != oracle" name);
+        if rpq_ans <> oracle then
+          failwith (Printf.sprintf "snb %s: automaton answer != oracle" name);
+        let closure =
+          with_engine false (fun () ->
+              time_best (fun () -> ignore (endpoints path)))
+        in
+        let rpq =
+          with_engine true (fun () ->
+              time_best (fun () -> ignore (endpoints path)))
+        in
+        (name, closure, rpq))
+      queries
+  in
+  print_endline
+    (Graql_util.Text_table.render
+       ~header:[ "traversal"; "closure(ms)"; "automaton(ms)"; "speedup" ]
+       (List.map
+          (fun (name, closure, rpq) ->
+            [
+              name;
+              ms closure;
+              ms rpq;
+              Printf.sprintf "%.1fx" (closure /. rpq);
+            ])
+          entries));
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i (name, closure, rpq) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  {\"name\": %S, \"scale\": %d, \"closure_ms\": %.3f, \
+              \"rpq_ms\": %.3f, \"speedup\": %.2f}"
+             name scale (closure *. 1000.0) (rpq *. 1000.0) (closure /. rpq)))
+      entries;
+    Buffer.add_string buf "\n]\n";
+    let oc = open_out "BENCH_snb.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_snb.json (%d entries)\n" (List.length entries)
+  end;
+  entries
+
 (* Observability sweep: run the Berlin figure queries with tracing armed
    and report the per-stage latency histograms the instrumentation
    collected, plus the tracing overhead (traced vs. untraced wall time
@@ -1381,6 +1496,7 @@ let row_change r =
 (* The current sweep results, computed at most once per gate run even
    when several baseline files map to the same sweep. *)
 let current_join = lazy (sweep_join_parallel ())
+let current_snb = lazy (sweep_snb ())
 let current_recovery = lazy (sweep_recovery ())
 let current_obs = lazy (sweep_obs ())
 let current_scan = lazy (sweep_scan ())
@@ -1410,6 +1526,31 @@ let check_join baseline =
                     Printf.sprintf "join:%s/domains=%d mean_ms" name domains;
                   ck_base = base_ms;
                   ck_cur = mean *. 1000.0;
+                  ck_higher_better = false;
+                }
+          | None -> None)
+      | _ -> None)
+    (Option.value (Json.to_list baseline) ~default:[])
+
+(* The SNB sweep gates the automaton engine's latency per traversal; the
+   closure timings are recorded for the speedup story, not gated (the
+   closure path is the frozen reference implementation). *)
+let check_snb baseline =
+  let current = Lazy.force current_snb in
+  List.filter_map
+    (fun entry ->
+      match
+        ( Option.bind (Json.member "name" entry) Json.to_string_opt,
+          num_field entry "rpq_ms" )
+      with
+      | Some name, Some base_ms -> (
+          match List.find_opt (fun (n, _, _) -> n = name) current with
+          | Some (_, _, rpq) ->
+              Some
+                {
+                  ck_metric = Printf.sprintf "snb:%s rpq_ms" name;
+                  ck_base = base_ms;
+                  ck_cur = rpq *. 1000.0;
                   ck_higher_better = false;
                 }
           | None -> None)
@@ -1555,6 +1696,8 @@ let classify_baseline json =
       Some `Scan
   | Json.Arr (first :: _) when Json.member "clients" first <> None ->
       Some `Serve
+  | Json.Arr (first :: _) when Json.member "rpq_ms" first <> None ->
+      Some `Snb
   | Json.Arr (first :: _) when Json.member "domains" first <> None ->
       Some `Join
   | _ -> None
@@ -1591,6 +1734,7 @@ let run_check baselines =
               | Some `Obs -> check_obs json
               | Some `Scan -> check_scan json
               | Some `Serve -> check_serve json
+              | Some `Snb -> check_snb json
               | None ->
                   Printf.eprintf
                     "bench: warning: baseline %s has an unknown shape, \
@@ -1633,7 +1777,7 @@ let run_check baselines =
 let default_baselines =
   [
     "BENCH_join.json"; "BENCH_recovery.json"; "BENCH_obs.json";
-    "BENCH_scan.json"; "BENCH_serve.json";
+    "BENCH_scan.json"; "BENCH_serve.json"; "BENCH_snb.json";
   ]
 
 let () =
@@ -1654,13 +1798,13 @@ let () =
     exit (run_check baselines)
   end;
   if List.mem "--json" argv then begin
-    (* Machine-readable sweeps only: BENCH_join.json + BENCH_recovery.json
-       + BENCH_obs.json + BENCH_scan.json. *)
+    (* Machine-readable sweeps only: one BENCH_*.json per gated sweep. *)
     ignore (sweep_join_parallel ~json:true ());
     ignore (sweep_recovery ~json:true ());
     ignore (sweep_obs ~json:true ());
     ignore (sweep_scan ~json:true ());
     ignore (sweep_serve ~json:true ());
+    ignore (sweep_snb ~json:true ());
     exit 0
   end;
   run_bechamel ();
@@ -1679,5 +1823,6 @@ let () =
   sweep_fast_pred ();
   sweep_selective_maintenance ();
   sweep_regex_depth ();
+  ignore (sweep_snb ());
   ignore (sweep_obs ());
   print_endline "\ndone."

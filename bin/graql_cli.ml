@@ -1,5 +1,5 @@
 (* The GraQL command-line client: the simplest of the GEMS "clients"
-   (Sec. III). Subcommands: run, check, ir, gen-berlin, berlin, repl.
+   (Sec. III). Subcommands: run, check, ir, gen-berlin, berlin, snb, repl.
 
    Failures exit with the stable per-category codes of
    [Graql.Error.exit_code]: 2 parse, 3 analysis, 4 execution, 5 exhausted
@@ -586,6 +586,102 @@ let berlin_cmd =
            $ params_arg $ stats_arg $ deadline_arg $ fault_seed_arg
            $ metrics_dump_arg $ trace_out_arg $ slow_ms_arg $ query_log_arg
            $ listen_arg $ serve_ms_arg))
+
+let snb_cmd =
+  let query_arg =
+    Arg.(
+      value & opt string "q_knows_plus"
+      & info [ "query" ] ~docv:"NAME"
+          ~doc:"One of: q_knows_plus, q_knows_star_posts, q_fof_posts, \
+                q_knows_knows_plus, q_reply_chain4, q_thread_root, \
+                q_moderator_reach, all.")
+  in
+  let closure_arg =
+    Arg.(
+      value & flag
+      & info [ "closure" ]
+          ~doc:"Evaluate path regexes with the memoized-closure reference \
+                path instead of the product-automaton engine.")
+  in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"EXPLAIN ANALYZE each query instead of printing its rows: \
+                per-automaton-state estimated vs actual frontier sizes and \
+                per-operator wall times.")
+  in
+  let action scale seed query domains params closure profile deadline_ms
+      fault_seed
+      metrics_dump trace_out slow_ms query_log listen serve_ms =
+    with_typed_errors @@ fun () ->
+    setup_obs ?query_log ~trace_out ~slow_ms ();
+    Graql.Path_exec.use_automaton := not closure;
+    let session = make_session ?domains ?fault_seed ~params () in
+    let tel = start_telemetry listen session in
+    Graql.Snb.Gen.ingest_all ~seed ~scale session;
+    telemetry_ready tel;
+    let db = Graql.Session.db session in
+    (* Sensible defaults for the workload parameters when not provided:
+       the hub person and the deepest reply chain are where the star
+       traversals have something to chew on. *)
+    let default name value =
+      if Graql.Db.find_param db name = None then
+        Graql.Db.set_param db name value
+    in
+    default "Person1"
+      (Graql.Value.Str (Graql.Snb.Reference.hub_person ~seed ~scale ()));
+    default "Comment1"
+      (Graql.Value.Str
+         (fst (Graql.Snb.Reference.deepest_comment ~seed ~scale ())));
+    default "Forum1" (Graql.Value.Str "fo0");
+    let queries =
+      if query = "all" then Graql.Snb.Queries.all
+      else
+        match List.assoc_opt query Graql.Snb.Queries.all with
+        | Some q -> [ (query, q) ]
+        | None -> []
+    in
+    if queries = [] then
+      Graql.Error.raise_error
+        (Graql.Error.Analysis
+           [
+             {
+               Graql.Diag.severity = Graql.Diag.Error;
+               loc = Graql.Loc.dummy;
+               message = Printf.sprintf "unknown query %S" query;
+             };
+           ])
+    else begin
+      let code = ref 0 in
+      List.iter
+        (fun (name, q) ->
+          Printf.printf "--- %s ---\n" name;
+          if profile then
+            List.iter
+              (fun report ->
+                print_endline (Graql.Profile_exec.render report))
+              (Graql.Session.profile session q)
+          else begin
+            let results = Graql.run ?deadline_ms session q in
+            print_outcomes results;
+            if !code = 0 then code := outcomes_exit_code results
+          end)
+        queries;
+      finish_obs ~trace_out ~metrics_dump;
+      finish_telemetry ~serve_ms tel;
+      Graql.Obs.Query_log.close ();
+      !code
+    end
+  in
+  Cmd.v
+    (Cmd.info "snb"
+       ~doc:"Generate, load and query the SNB deep-traversal scenario")
+    Term.(
+      ret (const action $ scale_arg $ seed_arg $ query_arg $ domains_arg
+           $ params_arg $ closure_arg $ profile_arg $ deadline_arg
+           $ fault_seed_arg $ metrics_dump_arg $ trace_out_arg $ slow_ms_arg
+           $ query_log_arg $ listen_arg $ serve_ms_arg))
 
 (* repl `stats;` / `stats full;`: the metrics registry as text tables.
    The default view hides the scheduling-variant series (sched.*,
@@ -1174,7 +1270,8 @@ let main =
   Cmd.group
     (Cmd.info "graql" ~version:"1.0.0" ~exits
        ~doc:"GraQL attributed graph database (GEMS reproduction)")
-    [ run_cmd; check_cmd; ir_cmd; gen_berlin_cmd; berlin_cmd; repl_cmd;
-      follow_cmd; serve_cmd; connect_cmd; explain_cmd; cluster_plan_cmd ]
+    [ run_cmd; check_cmd; ir_cmd; gen_berlin_cmd; berlin_cmd; snb_cmd;
+      repl_cmd; follow_cmd; serve_cmd; connect_cmd; explain_cmd;
+      cluster_plan_cmd ]
 
 let () = exit (Cmd.eval' main)

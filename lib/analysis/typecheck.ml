@@ -707,10 +707,18 @@ let rec check_path ctx env (p : Ast.path) : step_info =
               warn ctx loc "{0} repetition: this group never traverses"
           | _ -> ());
           List.fold_left
-            (fun left ((e : Ast.estep), v) ->
+            (fun left ((e : Ast.estep), (v : Ast.vstep)) ->
               (if e.Ast.e_label <> None then
                  err ctx e.Ast.e_loc
                    "labels are not supported inside path regexes");
+              (if v.Ast.v_label <> None then
+                 err ctx v.Ast.v_loc
+                   "labels are not supported inside path regexes");
+              (match v.Ast.v_kind with
+              | Ast.V_seeded _ ->
+                  err ctx v.Ast.v_loc
+                    "subgraph seeds are not allowed inside regexes"
+              | _ -> ());
               let right = check_vstep ctx env v in
               check_estep ctx env e ~left ~right;
               right)

@@ -58,6 +58,8 @@ module Ir = Graql_ir.Codec
 module Db = Graql_engine.Db
 module Script_exec = Graql_engine.Script_exec
 module Path_exec = Graql_engine.Path_exec
+module Pack = Graql_engine.Pack
+module Rpq = Graql_engine.Rpq
 module Ddl_exec = Graql_engine.Ddl_exec
 module Explain = Graql_engine.Explain
 module Table_plan = Graql_engine.Table_plan
@@ -100,6 +102,14 @@ module Berlin = struct
   module Gen = Graql_berlin.Berlin_gen
   module Queries = Graql_berlin.Berlin_queries
   module Reference = Graql_berlin.Berlin_reference
+end
+
+(* -- SNB deep-traversal workload ------------------------------------ *)
+module Snb = struct
+  module Schema_ddl = Graql_snb.Snb_schema
+  module Gen = Graql_snb.Snb_gen
+  module Queries = Graql_snb.Snb_queries
+  module Reference = Graql_snb.Snb_reference
 end
 
 type outcome = Script_exec.outcome =

@@ -135,40 +135,80 @@ let step_stats u (e : Ast.estep) ~from_types ~(to_spec : Ast.vstep) =
   let dir = match e.Ast.e_dir with Ast.Out -> "-->" | Ast.In -> "<--" in
   (Printf.sprintf "%s %s %s" dir names targets, fanout)
 
-let reverse_if_needed ~db ~params p =
-  match Path_exec.chosen_direction p ~db ~params with
-  | `Forward -> (`Forward, p)
-  | `Backward ->
-      (* Mirror the executor: explain the reversed path. *)
-      let flip (e : Ast.estep) =
-        {
-          e with
-          Ast.e_dir = (match e.Ast.e_dir with Ast.Out -> Ast.In | Ast.In -> Ast.Out);
-        }
-      in
-      let steps =
-        List.map
-          (function
-            | Ast.Seg_step (e, v) -> (e, v)
-            | Ast.Seg_regex _ -> assert false)
-          p.Ast.segments
-      in
-      let vertices = p.Ast.head :: List.map snd steps in
-      let edges = List.map fst steps in
-      let rev_vertices = List.rev vertices in
-      let rev_edges = List.rev_map flip edges in
-      (match rev_vertices with
-      | [] -> (`Forward, p)
-      | head :: rest ->
-          let segments = List.map2 (fun e v -> Ast.Seg_step (e, v)) rev_edges rest in
-          (`Backward, { Ast.head; segments }))
+(* Per-automaton-state plan rows for a regex segment: one row per state,
+   in state order, with the arriving atom's fanout chained from the
+   feeding state and capped by the landing type's cardinality (a frontier
+   can never exceed the vertex set it lives in — this is what makes star
+   estimates saturate instead of diverging). The executor's profiler
+   emits per-state actual rows under the same labels, so EXPLAIN ANALYZE
+   aligns est vs actual per state. *)
+let regex_state_steps u ~incoming (xr : Path_exec.xregex) =
+  let infos =
+    Rpq.shape ~body:xr.Path_exec.xr_body ~op:xr.Path_exec.xr_op
+      ~reversed:xr.Path_exec.xr_reversed
+  in
+  let n = Array.length infos in
+  let total_vertices =
+    float_of_int
+      (Array.fold_left (fun acc vs -> acc + Vset.size vs) 0 u.Pack.vtypes)
+  in
+  let cap_of (vo : Ast.vstep option) =
+    match vo with
+    | Some { Ast.v_kind = Ast.V_named t; _ } -> (
+        match Pack.vtype_index u t with
+        | Some ti -> float_of_int (Vset.size u.Pack.vtypes.(ti))
+        | None -> total_vertices)
+    | _ -> total_vertices
+  in
+  let est = Array.make n incoming in
+  let order =
+    (* states chain by index; reversed automata feed from the higher
+       index (the forward successor) *)
+    if xr.Path_exec.xr_reversed then List.init n (fun i -> n - 1 - i)
+    else List.init n Fun.id
+  in
+  let fanouts = Array.make n 0.0 in
+  List.iter
+    (fun s ->
+      match infos.(s).Rpq.si_estep with
+      | None -> est.(s) <- incoming
+      | Some e ->
+          let to_spec =
+            match infos.(s).Rpq.si_vstep with
+            | Some v -> v
+            | None ->
+                {
+                  Ast.v_kind = Ast.V_any;
+                  v_label = None;
+                  v_cond = None;
+                  v_loc = xr.Path_exec.xr_loc;
+                }
+          in
+          let _, fanout = step_stats u e ~from_types:None ~to_spec in
+          fanouts.(s) <- fanout;
+          let prev =
+            if xr.Path_exec.xr_reversed then
+              if s + 1 < n then est.(s + 1) else incoming
+            else if s > 0 then est.(s - 1)
+            else incoming
+          in
+          est.(s) <- Float.min (prev *. fanout) (cap_of infos.(s).Rpq.si_vstep))
+    order;
+  List.init n (fun s ->
+      {
+        sp_label = infos.(s).Rpq.si_label;
+        sp_fanout = fanouts.(s);
+        sp_estimate = est.(s);
+      })
 
-let explain_path ~db ~params (p : Ast.path) =
+let explain_path ~db ~params ?(edges_needed = true) (p : Ast.path) =
   let u = Pack.universe (Db.graph db) in
-  let direction, p = reverse_if_needed ~db ~params p in
-  let seed, seed_est = seed_of ~db u p.Ast.head ~params in
+  let plan = Path_exec.plan_path ~db ~params ~edges_needed p in
+  let direction = if plan.Path_exec.px_reversed then `Backward else `Forward in
+  let head = plan.Path_exec.px_head in
+  let seed, seed_est = seed_of ~db u head ~params in
   let head_types =
-    match p.Ast.head.Ast.v_kind with
+    match head.Ast.v_kind with
     | Ast.V_named n when Pack.vtype_index u n <> None -> Some [ norm n ]
     | Ast.V_seeded (_, vt) -> Some [ norm vt ]
     | _ -> None
@@ -177,9 +217,9 @@ let explain_path ~db ~params (p : Ast.path) =
   let est = ref seed_est in
   let types = ref head_types in
   List.iter
-    (fun seg ->
-      match seg with
-      | Ast.Seg_step (e, v) ->
+    (fun xs ->
+      match xs with
+      | Path_exec.X_step (e, v) ->
           let label, fanout = step_stats u e ~from_types:!types ~to_spec:v in
           let sel = match v.Ast.v_cond with Some _ -> cond_selectivity | None -> 1.0 in
           est := !est *. fanout *. sel;
@@ -189,9 +229,17 @@ let explain_path ~db ~params (p : Ast.path) =
             | Ast.V_named n when Pack.vtype_index u n <> None -> Some [ norm n ]
             | Ast.V_seeded (_, vt) -> Some [ norm vt ]
             | _ -> None)
-      | Ast.Seg_regex (body, op, _) ->
-          (* Crude: a closure step can reach anything; report the body
-             fan-out and stop refining types. *)
+      | Path_exec.X_regex xr ->
+          let body = xr.Path_exec.xr_body and op = xr.Path_exec.xr_op in
+          (* One row per automaton state, then the segment summary row —
+             mirroring the executor's per-state profile samples followed
+             by the step timer's summary sample. *)
+          let state_rows =
+            if !Path_exec.use_automaton then
+              regex_state_steps u ~incoming:!est xr
+            else []
+          in
+          steps := List.rev_append state_rows !steps;
           let fanout =
             List.fold_left
               (fun acc (e, v) ->
@@ -214,14 +262,25 @@ let explain_path ~db ~params (p : Ast.path) =
             }
             :: !steps;
           types := None)
-    p.Ast.segments;
+    plan.Path_exec.px_steps;
   { pl_direction = direction; pl_seed = seed; pl_seed_estimate = seed_est;
     pl_steps = List.rev !steps }
 
-let rec explain_multipath ~db ~params = function
-  | Ast.M_path p -> [ explain_path ~db ~params p ]
+let rec explain_multipath ~db ~params ?(edges_needed = true) = function
+  | Ast.M_path p -> [ explain_path ~db ~params ~edges_needed p ]
   | Ast.M_and (a, b) | Ast.M_or (a, b) ->
-      explain_multipath ~db ~params a @ explain_multipath ~db ~params b
+      explain_multipath ~db ~params ~edges_needed a
+      @ explain_multipath ~db ~params ~edges_needed b
+
+(* Whether a graph-select statement's output can observe the edges
+   traversed inside regex segments: only [into subgraph] with a [*]
+   target materializes them ([Results.to_subgraph]). Everything else can
+   skip edge-noting and lets the planner reverse regex paths. *)
+let edges_needed_of_select (sg : Ast.select_graph) =
+  match sg.Ast.sg_into with
+  | Ast.Into_subgraph _ ->
+      List.exists (fun t -> t = Ast.T_star) sg.Ast.sg_targets
+  | Ast.Into_table _ | Ast.Into_nothing -> false
 
 let seed_string = function
   | Seed_key_lookup v -> Printf.sprintf "key index lookup (= %s)" v

@@ -27,11 +27,29 @@ type plan = {
 }
 
 val explain_path :
-  db:Db.t -> params:(string -> Value.t option) -> Ast.path -> plan
+  db:Db.t ->
+  params:(string -> Value.t option) ->
+  ?edges_needed:bool ->
+  Ast.path ->
+  plan
+(** Renders exactly the plan {!Path_exec.plan_path} would execute —
+    direction, reversal rewrite, and (when the automaton engine is on)
+    one row per automaton state for every regex segment, followed by the
+    segment summary row. [edges_needed] (default [true]) must match what
+    the executor will be told; it gates regex-path reversal. *)
 
 val explain_multipath :
-  db:Db.t -> params:(string -> Value.t option) -> Ast.multipath -> plan list
+  db:Db.t ->
+  params:(string -> Value.t option) ->
+  ?edges_needed:bool ->
+  Ast.multipath ->
+  plan list
 (** One plan per simple path, left to right. *)
+
+val edges_needed_of_select : Ast.select_graph -> bool
+(** Whether this statement's output can observe regex-traversed edges:
+    only [into subgraph] with a [*] target. Callers pass the result as
+    [edges_needed] to both the executor and the explainer. *)
 
 val seed_string : seed_strategy -> string
 val to_string : plan -> string

@@ -33,6 +33,38 @@ exception Exec_error of Loc.t * string
 let error loc fmt = Printf.ksprintf (fun msg -> raise (Exec_error (loc, msg))) fmt
 let norm = String.lowercase_ascii
 
+(* Regex segments default to the product-automaton engine ([Rpq]); the
+   closure evaluator below is kept verbatim as the reference
+   implementation and for A/B benchmarking. *)
+let use_automaton = ref true
+
+(* Experimental: determinize the NFA by subset construction. Only applies
+   when the query does not capture traversed edges. *)
+let rpq_determinize = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Planned paths: the execution form after direction choice. Reversing a
+   regex segment cannot be a pure AST rewrite — the vertex preceding the
+   regex becomes a filter on the reversed evaluation's endpoints — so the
+   planner emits these explicit steps, shared with EXPLAIN. *)
+
+type xregex = {
+  xr_body : (Ast.estep * Ast.vstep) list;
+  xr_op : Ast.rx_op;
+  xr_loc : Loc.t;
+  xr_reversed : bool;
+  xr_exit : Ast.vstep option;
+      (* reversed only: the forward pre-regex vertex, applied to endpoints *)
+}
+
+type xstep = X_step of Ast.estep * Ast.vstep | X_regex of xregex
+
+type path_plan = {
+  px_head : Ast.vstep;
+  px_steps : xstep list;
+  px_reversed : bool;
+}
+
 (* ------------------------------------------------------------------ *)
 (* Execution state for one path                                        *)
 
@@ -45,6 +77,8 @@ type pstate = {
   u : Pack.universe;
   mode : mode;
   max_cells : int;
+  edges_needed : bool;
+      (* whether the query output can observe regex-traversed edges *)
   env : env;
   mutable slots : slot list;
   mutable rows : int array list;
@@ -762,6 +796,81 @@ let expand_regex st (body : (Ast.estep * Ast.vstep) list) (op : Ast.rx_op) loc =
   check_budget st loc;
   retain st
 
+(* The automaton route: compile the group body once, then run product BFS
+   per distinct frontier cell (memoized like the closure route). Endpoint
+   sets, row order and noted edges are byte-identical to [expand_regex]. *)
+let expand_regex_nfa st (xr : xregex) =
+  let a =
+    try
+      Rpq.compile ~params:st.params ~u:st.u ~reversed:xr.xr_reversed
+        ?exit_vstep:xr.xr_exit ~body:xr.xr_body ~op:xr.xr_op ~loc:xr.xr_loc ()
+    with Rpq.Rpq_error (loc, msg) -> error loc "%s" msg
+  in
+  let a =
+    if !rpq_determinize && (not xr.xr_reversed) && not st.edges_needed then
+      Rpq.determinize a
+    else a
+  in
+  let nst = Rpq.nstates a in
+  let stats = Array.make nst 0 in
+  let note =
+    if st.edges_needed && not xr.xr_reversed then
+      Some (fun e -> Hashtbl.replace st.regex_edges e ())
+    else None
+  in
+  let pool = Db.pool st.db in
+  let memo : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let reach start =
+    match Hashtbl.find_opt memo start with
+    | Some cached -> cached
+    | None ->
+        let r = Rpq.eval a ?pool ~stats ?note ~start () in
+        Hashtbl.replace memo start r;
+        r
+  in
+  let sp =
+    Trace.begin_span ~cat:"rpq"
+      ~args:
+        [
+          ("states", string_of_int nst);
+          ("reversed", string_of_bool xr.xr_reversed);
+        ]
+      "rpq.eval"
+  in
+  let new_rows = ref [] in
+  List.iter
+    (fun row ->
+      let cur = row.(Array.length row - 1) in
+      List.iter
+        (fun endpoint ->
+          let n = Array.length row in
+          let row' = Array.make (n + 1) 0 in
+          Array.blit row 0 row' 0 n;
+          row'.(n) <- endpoint;
+          new_rows := row' :: !new_rows)
+        (reach cur))
+    st.rows;
+  Trace.end_span sp;
+  (* Per-state visited sizes become profile rows, in the same order as
+     EXPLAIN's per-state plan rows (the segment summary row follows from
+     the caller's step timer). *)
+  (match Profile.current () with
+  | Some c ->
+      let infos = Rpq.states a in
+      Array.iteri
+        (fun s rows ->
+          Profile.note_step c ~label:infos.(s).Rpq.si_label ~rows ~ms:0.)
+        stats
+  | None -> ());
+  let k = st.vstep_count in
+  st.slots <-
+    st.slots
+    @ [ { s_kind = `V; s_label = None; s_type_name = None; s_step = st.step_code_v k } ];
+  st.rows <- List.rev !new_rows;
+  st.vstep_count <- k + 1;
+  check_budget st xr.xr_loc;
+  retain st
+
 (* ------------------------------------------------------------------ *)
 (* Planner: direction choice (Sec. III-B)                              *)
 
@@ -864,13 +973,136 @@ let reverse_path (p : Ast.path) : Ast.path =
       in
       { Ast.head; segments }
 
-let chosen_direction (p : Ast.path) ~db ~params =
+(* A regex path can only run tail-first when (a) the reversed automaton's
+   endpoint filters are expressible — the vertex before each regex is
+   [ ] or a known vertex type — and (b) the path actually ends in a
+   concrete step to seed from. *)
+let regex_reversible ~u (p : Ast.path) =
+  let ok_prev = function
+    | None -> true (* anonymous regex endpoint *)
+    | Some (v : Ast.vstep) -> (
+        match v.Ast.v_kind with
+        | Ast.V_any -> v.Ast.v_cond = None
+        | Ast.V_named n -> Pack.vtype_index u n <> None
+        | Ast.V_seeded _ -> false)
+  in
+  (match List.rev p.Ast.segments with
+  | Ast.Seg_step _ :: _ -> true
+  | _ -> false)
+  &&
+  let prev = ref (Some p.Ast.head) in
+  List.for_all
+    (fun seg ->
+      let ok =
+        match seg with Ast.Seg_regex _ -> ok_prev !prev | Ast.Seg_step _ -> true
+      in
+      (prev :=
+         match seg with
+         | Ast.Seg_step (_, v) -> Some v
+         | Ast.Seg_regex _ -> None);
+      ok)
+    p.Ast.segments
+
+let chosen_direction ?(edges_needed = true) (p : Ast.path) ~db ~params =
   let u = Pack.universe (Db.graph db) in
-  if path_has_labels p || path_has_regex p then `Forward
+  let regex_ok =
+    (not (path_has_regex p))
+    || (!use_automaton && (not edges_needed) && regex_reversible ~u p)
+  in
+  if path_has_labels p || not regex_ok then `Forward
   else
     let head_est = estimate_seed ~db ~params u p.Ast.head in
     let tail_est = estimate_seed ~db ~params u (last_vstep p) in
     if tail_est < head_est then `Backward else `Forward
+
+let plan_path ~db ~params ?(auto_reverse = true) ?(edges_needed = true)
+    (p : Ast.path) : path_plan =
+  let reversed =
+    auto_reverse && chosen_direction ~edges_needed p ~db ~params = `Backward
+  in
+  if not reversed then
+    {
+      px_head = p.Ast.head;
+      px_steps =
+        List.map
+          (function
+            | Ast.Seg_step (e, v) -> X_step (e, v)
+            | Ast.Seg_regex (body, op, loc) ->
+                X_regex
+                  {
+                    xr_body = body;
+                    xr_op = op;
+                    xr_loc = loc;
+                    xr_reversed = false;
+                    xr_exit = None;
+                  })
+          p.Ast.segments;
+      px_reversed = false;
+    }
+  else if not (path_has_regex p) then
+    let q = reverse_path p in
+    {
+      px_head = q.Ast.head;
+      px_steps =
+        List.map
+          (function
+            | Ast.Seg_step (e, v) -> X_step (e, v)
+            | Ast.Seg_regex _ -> assert false)
+          q.Ast.segments;
+      px_reversed = true;
+    }
+  else begin
+    let flip (e : Ast.estep) =
+      {
+        e with
+        Ast.e_dir =
+          (match e.Ast.e_dir with Ast.Out -> Ast.In | Ast.In -> Ast.Out);
+      }
+    in
+    let segs = Array.of_list p.Ast.segments in
+    let n = Array.length segs in
+    (* landing i = the vertex after segment i; None = anonymous regex
+       endpoint. landing (-1) = the head. *)
+    let landing i =
+      if i < 0 then Some p.Ast.head
+      else
+        match segs.(i) with
+        | Ast.Seg_step (_, v) -> Some v
+        | Ast.Seg_regex _ -> None
+    in
+    let any_at loc =
+      { Ast.v_kind = Ast.V_any; v_label = None; v_cond = None; v_loc = loc }
+    in
+    let head =
+      match landing (n - 1) with
+      | Some v -> v
+      | None -> assert false (* guarded by regex_reversible *)
+    in
+    let steps = ref [] in
+    for i = 0 to n - 1 do
+      let xs =
+        match segs.(i) with
+        | Ast.Seg_step (e, _) ->
+            let dst =
+              match landing (i - 1) with
+              | Some v -> v
+              | None -> any_at e.Ast.e_loc
+            in
+            X_step (flip e, dst)
+        | Ast.Seg_regex (body, op, loc) ->
+            X_regex
+              {
+                xr_body = body;
+                xr_op = op;
+                xr_loc = loc;
+                xr_reversed = true;
+                xr_exit = landing (i - 1);
+              }
+      in
+      steps := xs :: !steps
+    done;
+    { px_head = head; px_steps = !steps; px_reversed = true }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Path / multipath orchestration                                      *)
@@ -908,13 +1140,15 @@ let seg_label = function
         | Ast.Rx_plus -> "+"
         | Ast.Rx_count n -> Printf.sprintf "{%d}" n)
 
+let xstep_label = function
+  | X_step (e, v) -> seg_label (Ast.Seg_step (e, v))
+  | X_regex xr -> seg_label (Ast.Seg_regex (xr.xr_body, xr.xr_op, xr.xr_loc))
+
 let run_path ~db ~params ~u ~mode ~max_cells ~env ~regex_edges ~auto_reverse
-    (p : Ast.path) : component * (string, bool) Hashtbl.t =
+    ~edges_needed (p : Ast.path) : component * (string, bool) Hashtbl.t =
   let n = vstep_count_of_path p - 1 in
-  let reversed =
-    auto_reverse && chosen_direction p ~db ~params = `Backward
-  in
-  let p = if reversed then reverse_path p else p in
+  let plan = plan_path ~db ~params ~auto_reverse ~edges_needed p in
+  let reversed = plan.px_reversed in
   let step_code_v k = if reversed then 2 * (n - k) else 2 * k in
   let step_code_e k = if reversed then (2 * (n - k)) + 1 else (2 * k) - 1 in
   let st =
@@ -924,6 +1158,7 @@ let run_path ~db ~params ~u ~mode ~max_cells ~env ~regex_edges ~auto_reverse
       u;
       mode;
       max_cells;
+      edges_needed;
       env;
       slots = [];
       rows = [];
@@ -950,15 +1185,15 @@ let run_path ~db ~params ~u ~mode ~max_cells ~env ~regex_edges ~auto_reverse
     | None -> ())
   in
   (* Head *)
-  timed_step ~label:("seed " ^ vstep_name p.Ast.head) ~span_name:"path.seed"
+  timed_step ~label:("seed " ^ vstep_name plan.px_head) ~span_name:"path.seed"
     (fun () ->
-      let seeds, declared, ref_label = head_seeds st p.Ast.head in
+      let seeds, declared, ref_label = head_seeds st plan.px_head in
       st.slots <-
         [
           {
             s_kind = `V;
             s_label =
-              (match label_of_vstep p.Ast.head with
+              (match label_of_vstep plan.px_head with
               | Some l -> Some l
               | None -> ref_label);
             s_type_name = declared;
@@ -967,17 +1202,19 @@ let run_path ~db ~params ~u ~mode ~max_cells ~env ~regex_edges ~auto_reverse
         ];
       st.rows <- List.map (fun cell -> [| cell |]) seeds;
       st.vstep_count <- 1;
-      register_label st p.Ast.head;
+      register_label st plan.px_head;
       retain st;
       Metrics.add m_seed_rows (List.length st.rows));
   List.iter
-    (fun seg ->
-      timed_step ~label:(seg_label seg) ~span_name:"path.step" (fun () ->
+    (fun xs ->
+      timed_step ~label:(xstep_label xs) ~span_name:"path.step" (fun () ->
           Metrics.incr m_steps;
-          match seg with
-          | Ast.Seg_step (e, v) -> expand_step st e v
-          | Ast.Seg_regex (body, op, loc) -> expand_regex st body op loc))
-    p.Ast.segments;
+          match xs with
+          | X_step (e, v) -> expand_step st e v
+          | X_regex xr ->
+              if !use_automaton then expand_regex_nfa st xr
+              else expand_regex st xr.xr_body xr.xr_op xr.xr_loc))
+    plan.px_steps;
   ( { slots = Array.of_list st.slots; rows = Array.of_list st.rows },
     st.label_kinds )
 
@@ -1037,14 +1274,14 @@ let mp_loc = function
   | Ast.M_and _ | Ast.M_or _ -> Loc.dummy
 
 let run_multipath ~db ~params ~mode ?(auto_reverse = true)
-    ?(max_cells = default_max_cells) mp =
+    ?(edges_needed = true) ?(max_cells = default_max_cells) mp =
   let u = Pack.universe (Db.graph db) in
   let regex_edges = Hashtbl.create 16 in
   let rec go env = function
     | Ast.M_path p ->
         let comp, _ =
           run_path ~db ~params ~u ~mode ~max_cells ~env ~regex_edges
-            ~auto_reverse p
+            ~auto_reverse ~edges_needed p
         in
         [ comp ]
     | Ast.M_and (a, b) -> (

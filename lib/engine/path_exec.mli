@@ -53,11 +53,22 @@ exception Exec_error of Graql_lang.Loc.t * string
 
 val default_max_cells : int
 
+val use_automaton : bool ref
+(** When true (the default), regex segments run on the {!Rpq}
+    product-automaton engine; when false, on the original memoized-closure
+    evaluator (kept as the reference implementation). Results are
+    byte-identical either way. *)
+
+val rpq_determinize : bool ref
+(** Experimental: determinize regex automata by subset construction when
+    the query cannot observe traversed edges. Default false. *)
+
 val run_multipath :
   db:Db.t ->
   params:(string -> Value.t option) ->
   mode:mode ->
   ?auto_reverse:bool ->
+  ?edges_needed:bool ->
   ?max_cells:int ->
   Ast.multipath ->
   result
@@ -65,8 +76,49 @@ val run_multipath :
     reject these earlier) and when the binding relation exceeds
     [max_cells] (default {!default_max_cells}) — the paper's "large
     intermediate results" are surfaced as a diagnosable failure instead of
-    memory exhaustion. [auto_reverse] defaults to [true]. *)
+    memory exhaustion. [auto_reverse] defaults to [true]. [edges_needed]
+    (default [true], the conservative choice) tells the planner whether
+    the statement's output can observe regex-traversed edges; only
+    [select ... into subgraph] with a [*] target can, and passing [false]
+    both skips edge-noting work and lets the planner reverse regex
+    paths. *)
 
-val chosen_direction : Ast.path -> db:Db.t -> params:(string -> Value.t option)
-  -> [ `Forward | `Backward ]
+(* ------------------------------------------------------------------ *)
+(* Planned paths (shared with EXPLAIN)                                 *)
+
+type xregex = {
+  xr_body : (Ast.estep * Ast.vstep) list;
+  xr_op : Ast.rx_op;
+  xr_loc : Graql_lang.Loc.t;
+  xr_reversed : bool;
+  xr_exit : Ast.vstep option;
+      (** reversed only: the forward pre-regex vertex, applied as an
+          endpoint filter *)
+}
+
+type xstep = X_step of Ast.estep * Ast.vstep | X_regex of xregex
+
+type path_plan = {
+  px_head : Ast.vstep;
+  px_steps : xstep list;
+  px_reversed : bool;
+}
+
+val plan_path :
+  db:Db.t ->
+  params:(string -> Value.t option) ->
+  ?auto_reverse:bool ->
+  ?edges_needed:bool ->
+  Ast.path ->
+  path_plan
+(** Direction choice plus the reversal rewrite, as one reusable planning
+    step — the executor runs exactly this plan and EXPLAIN renders it, so
+    the two can never disagree about orientation. *)
+
+val chosen_direction :
+  ?edges_needed:bool ->
+  Ast.path ->
+  db:Db.t ->
+  params:(string -> Value.t option) ->
+  [ `Forward | `Backward ]
 (** Planner decision exposure, for tests and the planner-ablation bench. *)

@@ -51,7 +51,10 @@ let zip_path plan samples =
 let plans_of_stmt db stmt =
   match stmt with
   | Ast.Select_graph sg -> (
-      try Explain.explain_multipath ~db ~params:(Db.find_param db) sg.Ast.sg_path
+      try
+        Explain.explain_multipath ~db ~params:(Db.find_param db)
+          ~edges_needed:(Explain.edges_needed_of_select sg)
+          sg.Ast.sg_path
       with _ -> [])
   | _ -> []
 

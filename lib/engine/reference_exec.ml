@@ -29,7 +29,6 @@ let run_path ~db ~params (p : Ast.path) =
           | _ -> None);
     }
   in
-  ignore no_slots;
   let row_of (partial : partial) nmatched =
     (* Step_cond reads label slots by position within the row array. *)
     let arr = Array.make nmatched 0 in
@@ -177,12 +176,185 @@ let run_path ~db ~params (p : Ast.path) =
     register_label v vstep_idx;
     List.rev !out
   in
+  (* Naive fixpoint for a regex segment. One complete body traversal of a
+     cell set chains full-edge-scan expansions of each atom; [*] closes
+     over rounds and keeps the start, [+] runs one round then closes,
+     [{n}] runs exactly [n] rounds. Conditions inside the group cannot see
+     label slots (same rule as the engines), so they compile with an empty
+     slot lookup and evaluate against an empty row. *)
+  let regex (partials : partial list) (body : (Ast.estep * Ast.vstep) list)
+      (op : Ast.rx_op) : partial list =
+    List.iter
+      (fun ((e : Ast.estep), (v : Ast.vstep)) ->
+        if e.Ast.e_label <> None || v.Ast.v_label <> None then
+          raise (Unsupported "labels inside regexes");
+        match v.Ast.v_kind with
+        | Ast.V_seeded _ -> raise (Unsupported "seeded steps")
+        | _ -> ())
+      body;
+    let expand_atom ((e : Ast.estep), (v : Ast.vstep))
+        (cells : (int, unit) Hashtbl.t) =
+      let target =
+        match v.Ast.v_kind with
+        | Ast.V_any -> None
+        | Ast.V_named n -> (
+            match Pack.vtype_index u n with
+            | Some t -> Some t
+            | None -> raise (Unsupported (Printf.sprintf "unknown step %S" n)))
+        | Ast.V_seeded _ -> assert false
+      in
+      (* Per-landing-type vertex condition cache: [None] entry = compile
+         failure on an unconstrained [ ] landing, which rejects that type
+         (the engines behave the same way). *)
+      let vcache : (int, Step_cond.t option) Hashtbl.t = Hashtbl.create 4 in
+      let vertex_ok cell =
+        match v.Ast.v_cond with
+        | None -> true
+        | Some cond -> (
+            let tidx = Pack.tidx cell in
+            let compiled =
+              match Hashtbl.find_opt vcache tidx with
+              | Some c -> c
+              | None ->
+                  let self_names =
+                    match v.Ast.v_kind with Ast.V_named n -> [ n ] | _ -> []
+                  in
+                  let c =
+                    try
+                      Some
+                        (Step_cond.compile_vertex ~params ~universe:u
+                           ~slots:no_slots ~self_names
+                           ~vset:u.Pack.vtypes.(tidx) cond)
+                    with Compile_expr.Compile_error _ when target = None ->
+                      None
+                  in
+                  Hashtbl.replace vcache tidx c;
+                  c
+            in
+            match compiled with
+            | None -> false
+            | Some c ->
+                Step_cond.eval_vertex c ~row:[||] ~vertex:(Pack.id cell))
+      in
+      let out = Hashtbl.create 16 in
+      Array.iter
+        (fun eset ->
+          let name_ok =
+            match e.Ast.e_kind with
+            | Ast.E_named n -> norm n = norm (Eset.name eset)
+            | Ast.E_any -> true
+          in
+          if name_ok then
+            match
+              ( Pack.vtype_index u (Eset.src_type eset),
+                Pack.vtype_index u (Eset.dst_type eset) )
+            with
+            | Some st, Some dt ->
+                let ec =
+                  match e.Ast.e_cond with
+                  | None -> None
+                  | Some cond ->
+                      Some
+                        (Step_cond.compile_edge ~params ~universe:u
+                           ~slots:no_slots
+                           ~self_names:
+                             (match e.Ast.e_kind with
+                             | Ast.E_named n -> [ n ]
+                             | Ast.E_any -> [])
+                           ~eset cond)
+                in
+                for eid = 0 to Eset.size eset - 1 do
+                  let scell = Pack.pack ~tidx:st ~id:(Eset.src eset eid) in
+                  let dcell = Pack.pack ~tidx:dt ~id:(Eset.dst eset eid) in
+                  let from_cell, to_cell =
+                    match e.Ast.e_dir with
+                    | Ast.Out -> (scell, dcell)
+                    | Ast.In -> (dcell, scell)
+                  in
+                  if
+                    Hashtbl.mem cells from_cell
+                    && (match target with
+                       | None -> true
+                       | Some t -> Pack.tidx to_cell = t)
+                    && (match ec with
+                       | None -> true
+                       | Some c -> Step_cond.eval_edge c ~row:[||] ~edge:eid)
+                    && vertex_ok to_cell
+                  then Hashtbl.replace out to_cell ()
+                done
+            | _ -> ())
+        u.Pack.etypes;
+      out
+    in
+    let round cells = List.fold_left (fun cur a -> expand_atom a cur) cells body in
+    let singleton c =
+      let h = Hashtbl.create 4 in
+      Hashtbl.replace h c ();
+      h
+    in
+    let closure_into reached frontier =
+      (* BFS over the "one complete traversal" relation. *)
+      let front = ref frontier in
+      while Hashtbl.length !front > 0 do
+        let next = round !front in
+        let fresh = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun c () ->
+            if not (Hashtbl.mem reached c) then begin
+              Hashtbl.replace reached c ();
+              Hashtbl.replace fresh c ()
+            end)
+          next;
+        front := fresh
+      done
+    in
+    let eval_from start =
+      match op with
+      | Ast.Rx_count n when n < 0 ->
+          raise (Unsupported "negative repetition count")
+      | Ast.Rx_count n ->
+          let cur = ref (singleton start) in
+          for _ = 1 to n do
+            cur := round !cur
+          done;
+          !cur
+      | Ast.Rx_star ->
+          let reached = singleton start in
+          closure_into reached (singleton start);
+          reached
+      | Ast.Rx_plus ->
+          let first = round (singleton start) in
+          let reached = Hashtbl.copy first in
+          closure_into reached first;
+          reached
+    in
+    let memo : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+    let out = ref [] in
+    List.iter
+      (fun partial ->
+        let cur = List.hd partial in
+        let ends =
+          match Hashtbl.find_opt memo cur with
+          | Some e -> e
+          | None ->
+              let set = eval_from cur in
+              let e =
+                Hashtbl.fold (fun c () acc -> c :: acc) set []
+                |> List.sort compare
+              in
+              Hashtbl.replace memo cur e;
+              e
+        in
+        List.iter (fun c -> out := (c :: partial) :: !out) ends)
+      partials;
+    List.rev !out
+  in
   let final =
     List.fold_left
       (fun (partials, idx) seg ->
         match seg with
         | Ast.Seg_step (e, v) -> (step partials idx e v, idx + 1)
-        | Ast.Seg_regex _ -> raise (Unsupported "regex segments"))
+        | Ast.Seg_regex (body, op, _) -> (regex partials body op, idx + 1))
       (partials, 1) p.Ast.segments
     |> fst
   in

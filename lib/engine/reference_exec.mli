@@ -4,8 +4,9 @@
     oracle the optimized executor is property-tested against: no edge
     indices (adjacency by scanning the whole edge array), no planner, no
     projection/dedup, no parallelism. Supports named and [ ] steps in both
-    directions, vertex/edge conditions, and set/element-wise labels — the
-    full single-path language minus regexes and subgraph seeds.
+    directions, vertex/edge conditions, set/element-wise labels, and path
+    regexes (evaluated as a naive fixpoint over full-edge-scan rounds) —
+    the full single-path language minus subgraph seeds.
 
     Complexity is O(paths × edges) per step; use on small graphs only. *)
 
@@ -21,5 +22,6 @@ val run_path :
   int array list
 (** All match tuples, bag semantics. Each tuple holds the packed vertex
     cell of every vertex step, in lexical path order (edges contribute
-    multiplicity but are not reported). Raises {!Unsupported} on regex
-    segments or seeded steps. *)
+    multiplicity but are not reported; a regex segment contributes one
+    endpoint slot). Raises {!Unsupported} on seeded steps and on labels
+    inside regex bodies. *)

@@ -100,7 +100,11 @@ let mode_of_graph_select (sg : Ast.select_graph) =
 let exec_select_graph db (sg : Ast.select_graph) =
   let params = params_of db in
   let mode = mode_of_graph_select sg in
-  let res = Path_exec.run_multipath ~db ~params ~mode sg.Ast.sg_path in
+  let res =
+    Path_exec.run_multipath ~db ~params ~mode
+      ~edges_needed:(Explain.edges_needed_of_select sg)
+      sg.Ast.sg_path
+  in
   match sg.Ast.sg_into with
   | Ast.Into_subgraph name ->
       let sub =

@@ -1,0 +1,198 @@
+module Rng = Graql_util.Rng
+module Date = Graql_storage.Date
+
+type counts = {
+  n_people : int;
+  n_forums : int;
+  n_posts : int;
+  n_comments : int;
+  n_knows : int;
+  n_likes : int;
+}
+
+let counts ~scale =
+  let scale = max 1 scale in
+  let p = 40 * scale in
+  {
+    n_people = p;
+    n_forums = max 4 (p / 10);
+    n_posts = p * 3;
+    n_comments = p * 9;
+    n_knows = 0 (* filled by generation: skewed and deduped *);
+    n_likes = p * 6;
+  }
+
+let countries =
+  [| "US"; "IT"; "FR"; "DE"; "CN"; "CA"; "JP"; "UK"; "ES"; "RU" |]
+
+let first_names =
+  [|
+    "ada"; "bela"; "carl"; "dana"; "emil"; "fehi"; "gori"; "hana"; "ivan";
+    "jun"; "kofi"; "lena"; "mira"; "nils"; "otto"; "pia";
+  |]
+
+let last_names =
+  [|
+    "stone"; "reed"; "vala"; "wolfe"; "iker"; "moss"; "nagy"; "ochoa";
+    "patel"; "quist"; "roca"; "sato"; "toma"; "unger"; "voss"; "wirth";
+  |]
+
+let d2010 = Date.of_ymd 2010 1 1
+let d2012_end = Date.of_ymd 2012 12 31
+
+let date_between rng lo hi = Date.to_string (Rng.int_in rng lo hi)
+
+let doc header rows =
+  let buf = Buffer.create (1024 * (1 + List.length rows)) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun fields ->
+      Buffer.add_string buf (String.concat "," fields);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let csv_files ?(seed = 42) ~scale () =
+  let c = counts ~scale in
+  let rng = Rng.make seed in
+  let r_people = Rng.split rng in
+  let r_knows = Rng.split rng in
+  let r_forums = Rng.split rng in
+  let r_posts = Rng.split rng in
+  let r_comments = Rng.split rng in
+  let r_likes = Rng.split rng in
+
+  let people =
+    List.init c.n_people (fun i ->
+        [
+          Printf.sprintf "u%d" i;
+          Rng.pick r_people first_names;
+          Rng.pick r_people last_names;
+          Rng.pick r_people countries;
+          date_between r_people d2010 d2012_end;
+        ])
+  in
+  (* The knows network: every person draws a handful of acquaintances with
+     Zipf-skewed targets, so low-id people become hubs and the degree
+     distribution is power-law-ish. Self-edges and duplicates are dropped;
+     the graph is directed (LDBC stores knows both ways, we keep the raw
+     direction and let queries traverse either). *)
+  let knows =
+    List.concat
+      (List.init c.n_people (fun i ->
+           let d = 1 + Rng.zipf r_knows ~n:12 ~s:0.7 in
+           let seen = Hashtbl.create 8 in
+           let rec pick k acc =
+             if k = 0 then acc
+             else
+               let t = Rng.zipf r_knows ~n:c.n_people ~s:0.8 in
+               if t = i || Hashtbl.mem seen t then pick (k - 1) acc
+               else begin
+                 Hashtbl.replace seen t ();
+                 pick (k - 1)
+                   ([
+                      Printf.sprintf "u%d" i;
+                      Printf.sprintf "u%d" t;
+                      date_between r_knows d2010 d2012_end;
+                    ]
+                   :: acc)
+               end
+           in
+           List.rev (pick d [])))
+  in
+  let forums =
+    List.init c.n_forums (fun i ->
+        [
+          Printf.sprintf "fo%d" i;
+          Printf.sprintf "forum-%d" i;
+          Printf.sprintf "u%d" (Rng.zipf r_forums ~n:c.n_people ~s:0.8);
+          date_between r_forums d2010 d2012_end;
+        ])
+  in
+  let posts =
+    List.init c.n_posts (fun i ->
+        [
+          Printf.sprintf "po%d" i;
+          Printf.sprintf "fo%d" (Rng.zipf r_posts ~n:c.n_forums ~s:0.6);
+          Printf.sprintf "u%d" (Rng.zipf r_posts ~n:c.n_people ~s:0.8);
+          Rng.pick r_posts countries;
+          date_between r_posts d2010 d2012_end;
+        ])
+  in
+  (* Comments: 70% extend an existing discussion by replying to a recent
+     comment — this produces long reply chains (the deep traversals the
+     [replyOfComment] regex queries exercise) — the rest start a thread
+     under a post. *)
+  let comments =
+    List.init c.n_comments (fun i ->
+        let chained = i > 0 && Rng.float r_comments 1.0 < 0.7 in
+        let reply_post, reply_comment =
+          if chained then
+            let back = 1 + Rng.int r_comments (min i 3) in
+            ("", Printf.sprintf "c%d" (i - back))
+          else
+            (Printf.sprintf "po%d" (Rng.zipf r_comments ~n:c.n_posts ~s:0.7), "")
+        in
+        [
+          Printf.sprintf "c%d" i;
+          Printf.sprintf "u%d" (Rng.zipf r_comments ~n:c.n_people ~s:0.8);
+          reply_post;
+          reply_comment;
+          date_between r_comments d2010 d2012_end;
+        ])
+  in
+  let likes =
+    let seen = Hashtbl.create c.n_likes in
+    let rec pick k acc =
+      if k = 0 then acc
+      else
+        let p = Rng.zipf r_likes ~n:c.n_people ~s:0.7 in
+        let po = Rng.zipf r_likes ~n:c.n_posts ~s:0.9 in
+        if Hashtbl.mem seen (p, po) then pick (k - 1) acc
+        else begin
+          Hashtbl.replace seen (p, po) ();
+          pick (k - 1)
+            ([
+               Printf.sprintf "u%d" p;
+               Printf.sprintf "po%d" po;
+               date_between r_likes d2010 d2012_end;
+             ]
+            :: acc)
+        end
+    in
+    List.rev (pick c.n_likes [])
+  in
+  [
+    ("people.csv", doc "id,firstName,lastName,country,creationDate" people);
+    ("knows.csv", doc "src,dst,creationDate" knows);
+    ("forums.csv", doc "id,title,moderator,creationDate" forums);
+    ("posts.csv", doc "id,forum,author,country,creationDate" posts);
+    ( "comments.csv",
+      doc "id,author,replyOfPost,replyOfComment,creationDate" comments );
+    ("likes.csv", doc "person,post,creationDate" likes);
+  ]
+
+let table_files =
+  [
+    ("People", "people.csv");
+    ("KnowsRel", "knows.csv");
+    ("Forums", "forums.csv");
+    ("Posts", "posts.csv");
+    ("Comments", "comments.csv");
+    ("LikesRel", "likes.csv");
+  ]
+
+let loader ?seed ~scale () =
+  let files = csv_files ?seed ~scale () in
+  fun name ->
+    match List.assoc_opt (String.lowercase_ascii name) files with
+    | Some doc -> doc
+    | None -> raise (Sys_error (Printf.sprintf "no generated file %S" name))
+
+let ingest_all ?seed ~scale session =
+  let loader = loader ?seed ~scale () in
+  let script =
+    Snb_schema.full_ddl ^ "\n" ^ Snb_schema.ingest_script table_files
+  in
+  ignore (Graql_gems.Session.run_script ~loader session script)

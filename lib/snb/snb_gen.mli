@@ -1,0 +1,30 @@
+(** Deterministic SNB-style data generator: people with Zipf-skewed
+    [knows] degrees (low ids are hubs), forums with posts, deep comment
+    reply chains (70% of comments extend a recent chain), and skewed
+    likes. Everything is a pure function of [seed] and [scale]; scale 1 ≈
+    40 people, 120 posts, 360 comments. *)
+
+type counts = {
+  n_people : int;
+  n_forums : int;
+  n_posts : int;
+  n_comments : int;
+  n_knows : int;  (** 0: skewed and deduped, count fixed by generation *)
+  n_likes : int;
+}
+
+val counts : scale:int -> counts
+val countries : string array
+
+val csv_files : ?seed:int -> scale:int -> unit -> (string * string) list
+(** [(filename, csv document)] per table, filenames [<table>.csv]
+    lowercased. *)
+
+val table_files : (string * string) list
+(** [(table name, filename)] pairs in ingest order. *)
+
+val loader : ?seed:int -> scale:int -> unit -> string -> string
+
+val ingest_all : ?seed:int -> scale:int -> Graql_gems.Session.t -> unit
+(** Install the SNB schema and ingest a generated dataset through the
+    normal GraQL pipeline. *)

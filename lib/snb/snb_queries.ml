@@ -1,0 +1,136 @@
+module Ast = Graql_lang.Ast
+module Loc = Graql_lang.Loc
+
+(* ------------------------------------------------------------------ *)
+(* Script texts (end-to-end through the session pipeline)              *)
+
+(* IC-style friends-of-friends closure: everyone reachable over one or
+   more [knows] hops. *)
+let q_knows_plus =
+  {|
+select * from graph
+  Person (id = %Person1%) ( --knows--> Person )+
+into subgraph knowsPlus
+|}
+
+(* Reachable circle plus everything they wrote: a Kleene star followed by
+   plain steps. *)
+let q_knows_star_posts =
+  {|
+select * from graph
+  Person (id = %Person1%) ( --knows--> Person )* <--hasCreator-- Post
+into subgraph circlePosts
+|}
+
+(* Two-hop friends' posts without a regex — exercises the fixed deep
+   traversal path. *)
+let q_fof_posts =
+  {|
+select Post.id from graph
+  Person (id = %Person1%) --knows--> Person --knows--> Person
+  <--hasCreator-- Post
+into table FofPosts
+|}
+
+(* Even-distance closure: a two-atom group body under +, the query class
+   where the product automaton beats per-path closure enumeration. *)
+let q_knows_knows_plus =
+  {|
+select * from graph
+  Person (id = %Person1%) ( --knows--> Person --knows--> Person )+
+into subgraph evenKnows
+|}
+
+(* Walk a reply chain upward exactly four comments. *)
+let q_reply_chain4 =
+  {|
+select * from graph
+  Comment (id = %Comment1%) ( --replyOfComment--> Comment ){4}
+into subgraph chain4
+|}
+
+(* Climb to the thread root, whatever the depth, and land on the post. *)
+let q_thread_root =
+  {|
+select * from graph
+  Comment (id = %Comment1%) ( --replyOfComment--> Comment )* --replyOfPost--> Post
+into subgraph threadRoot
+|}
+
+(* The moderator's social reach. *)
+let q_moderator_reach =
+  {|
+select * from graph
+  Forum (id = %Forum1%) --hasModerator--> Person ( --knows--> Person )+
+into subgraph modReach
+|}
+
+let all =
+  [
+    ("q_knows_plus", q_knows_plus);
+    ("q_knows_star_posts", q_knows_star_posts);
+    ("q_fof_posts", q_fof_posts);
+    ("q_knows_knows_plus", q_knows_knows_plus);
+    ("q_reply_chain4", q_reply_chain4);
+    ("q_thread_root", q_thread_root);
+    ("q_moderator_reach", q_moderator_reach);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* AST builders (direct [Path_exec.run_multipath] harnesses: the bench  *)
+(* and parity tests need regex endpoints as row columns, which script   *)
+(* output targets cannot name)                                          *)
+
+let v ?cond name =
+  { Ast.v_kind = Ast.V_named name; v_label = None; v_cond = cond;
+    v_loc = Loc.dummy }
+
+let key_eq name value =
+  v name
+    ~cond:
+      (Ast.E_binop
+         ( Ast.Eq,
+           Ast.E_attr (None, "id", Loc.dummy),
+           Ast.E_lit (Ast.L_string value, Loc.dummy),
+           Loc.dummy ))
+
+let e ?(dir = Ast.Out) name =
+  { Ast.e_kind = Ast.E_named name; e_dir = dir; e_label = None;
+    e_cond = None; e_loc = Loc.dummy }
+
+let regex_path ~head_type ~start ~body ~op =
+  {
+    Ast.head = key_eq head_type start;
+    segments = [ Ast.Seg_regex (body, op, Loc.dummy) ];
+  }
+
+let path_knows_plus ~person =
+  regex_path ~head_type:"Person" ~start:person
+    ~body:[ (e "knows", v "Person") ]
+    ~op:Ast.Rx_plus
+
+let path_knows_star ~person =
+  regex_path ~head_type:"Person" ~start:person
+    ~body:[ (e "knows", v "Person") ]
+    ~op:Ast.Rx_star
+
+let path_knows_knows_plus ~person =
+  regex_path ~head_type:"Person" ~start:person
+    ~body:[ (e "knows", v "Person"); (e "knows", v "Person") ]
+    ~op:Ast.Rx_plus
+
+let path_reply_chain ~comment ~n =
+  regex_path ~head_type:"Comment" ~start:comment
+    ~body:[ (e "replyOfComment", v "Comment") ]
+    ~op:(Ast.Rx_count n)
+
+let path_thread_root ~comment =
+  {
+    Ast.head = key_eq "Comment" comment;
+    segments =
+      [
+        Ast.Seg_regex
+          ([ (e "replyOfComment", v "Comment") ], Ast.Rx_star, Loc.dummy);
+        Ast.Seg_step (e "replyOfPost", v "Post");
+      ];
+  }

@@ -1,0 +1,35 @@
+(** The SNB-style deep-traversal query set: script texts for end-to-end
+    runs (regex results captured as subgraphs — regex endpoints are
+    anonymous steps, so table output cannot name them) and AST builders
+    for harnesses that drive {!Graql_engine.Path_exec.run_multipath}
+    directly and read endpoint columns. *)
+
+module Ast = Graql_lang.Ast
+
+val q_knows_plus : string
+val q_knows_star_posts : string
+val q_fof_posts : string
+val q_knows_knows_plus : string
+val q_reply_chain4 : string
+val q_thread_root : string
+val q_moderator_reach : string
+
+val all : (string * string) list
+(** [(name, script)] for every query above. Parameters: [%Person1%],
+    [%Comment1%], [%Forum1%]. *)
+
+val path_knows_plus : person:string -> Ast.path
+(** [( --knows--> Person )+] from one person. *)
+
+val path_knows_star : person:string -> Ast.path
+(** [( --knows--> Person )*] from one person. *)
+
+val path_knows_knows_plus : person:string -> Ast.path
+(** [( --knows--> Person --knows--> Person )+]: even-distance closure,
+    the two-atom body where closure enumeration is combinatorial. *)
+
+val path_reply_chain : comment:string -> n:int -> Ast.path
+(** [( --replyOfComment--> Comment ){n}]. *)
+
+val path_thread_root : comment:string -> Ast.path
+(** [( --replyOfComment--> Comment )* --replyOfPost--> Post]. *)

@@ -1,0 +1,150 @@
+module Csv = Graql_storage.Csv
+
+let rows ?seed ~scale file =
+  let files = Snb_gen.csv_files ?seed ~scale () in
+  match Csv.parse_string (List.assoc file files) with
+  | _header :: rows -> rows
+  | [] -> []
+
+let field row i = List.nth row i
+
+(* ------------------------------------------------------------------ *)
+(* Adjacency from the raw CSV text                                     *)
+
+let knows_adj ?seed ~scale () =
+  let adj : (string, string list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      let s = field r 0 and d = field r 1 in
+      Hashtbl.replace adj s
+        (d :: Option.value ~default:[] (Hashtbl.find_opt adj s)))
+    (rows ?seed ~scale "knows.csv");
+  adj
+
+let comment_parent ?seed ~scale () =
+  let parent = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      let c = field r 0 and p = field r 3 in
+      if p <> "" then Hashtbl.replace parent c p)
+    (rows ?seed ~scale "comments.csv");
+  parent
+
+let comment_post ?seed ~scale () =
+  let post = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      let c = field r 0 and p = field r 2 in
+      if p <> "" then Hashtbl.replace post c p)
+    (rows ?seed ~scale "comments.csv");
+  post
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoints over a "one complete traversal" relation                   *)
+
+let neighbors adj v = Option.value ~default:[] (Hashtbl.find_opt adj v)
+
+(* Closure of [round] from the given frontier; [reached] accumulates. *)
+let closure ~round reached frontier =
+  let front = ref frontier in
+  while !front <> [] do
+    let next = List.sort_uniq compare (List.concat_map round !front) in
+    let fresh =
+      List.filter
+        (fun v ->
+          if Hashtbl.mem reached v then false
+          else begin
+            Hashtbl.replace reached v ();
+            true
+          end)
+        next
+    in
+    front := fresh
+  done
+
+let to_sorted reached =
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) reached [])
+
+let knows_plus ?seed ~scale ~person () =
+  let adj = knows_adj ?seed ~scale () in
+  let reached = Hashtbl.create 64 in
+  let first = List.sort_uniq compare (neighbors adj person) in
+  List.iter (fun v -> Hashtbl.replace reached v ()) first;
+  closure ~round:(neighbors adj) reached first;
+  to_sorted reached
+
+let knows_star ?seed ~scale ~person () =
+  let adj = knows_adj ?seed ~scale () in
+  let reached = Hashtbl.create 64 in
+  Hashtbl.replace reached person ();
+  closure ~round:(neighbors adj) reached [ person ];
+  to_sorted reached
+
+let knows_knows_plus ?seed ~scale ~person () =
+  let adj = knows_adj ?seed ~scale () in
+  let round v = List.concat_map (neighbors adj) (neighbors adj v) in
+  let reached = Hashtbl.create 64 in
+  let first = List.sort_uniq compare (round person) in
+  List.iter (fun v -> Hashtbl.replace reached v ()) first;
+  closure ~round reached first;
+  to_sorted reached
+
+let reply_chain ?seed ~scale ~comment ~n () =
+  let parent = comment_parent ?seed ~scale () in
+  let level = ref [ comment ] in
+  for _ = 1 to n do
+    level :=
+      List.sort_uniq compare
+        (List.filter_map (Hashtbl.find_opt parent) !level)
+  done;
+  List.sort compare !level
+
+let thread_root_posts ?seed ~scale ~comment () =
+  let parent = comment_parent ?seed ~scale () in
+  let post = comment_post ?seed ~scale () in
+  let reached = Hashtbl.create 16 in
+  Hashtbl.replace reached comment ();
+  closure
+    ~round:(fun v -> Option.to_list (Hashtbl.find_opt parent v))
+    reached [ comment ];
+  List.sort_uniq compare
+    (List.filter_map (Hashtbl.find_opt post) (to_sorted reached))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic interesting starting points                            *)
+
+let hub_person ?seed ~scale () =
+  let adj = knows_adj ?seed ~scale () in
+  let best = ref ("u0", -1) in
+  Hashtbl.iter
+    (fun p ds ->
+      let d = List.length ds in
+      let bp, bd = !best in
+      if d > bd || (d = bd && p < bp) then best := (p, d))
+    adj;
+  fst !best
+
+let deepest_comment ?seed ~scale () =
+  let parent = comment_parent ?seed ~scale () in
+  let depth = Hashtbl.create 256 in
+  let rec depth_of c =
+    match Hashtbl.find_opt depth c with
+    | Some d -> d
+    | None ->
+        let d =
+          match Hashtbl.find_opt parent c with
+          | Some p -> 1 + depth_of p
+          | None -> 0
+        in
+        Hashtbl.replace depth c d;
+        d
+  in
+  let best = ref ("c0", -1) in
+  List.iter
+    (fun r ->
+      let c = field r 0 in
+      let d = depth_of c in
+      let bc, bd = !best in
+      if d > bd || (d = bd && c < bc) then best := (c, d))
+    (rows ?seed ~scale "comments.csv");
+  !best

@@ -1,0 +1,34 @@
+(** Independent oracles for the SNB traversal queries, computed straight
+    from the generated CSV text with plain OCaml data structures — no
+    engine code involved. All results are sorted string-id lists. *)
+
+val knows_plus :
+  ?seed:int -> scale:int -> person:string -> unit -> string list
+(** Everyone reachable from [person] over ≥1 [knows] hops (includes
+    [person] itself only when it lies on a cycle). *)
+
+val knows_star :
+  ?seed:int -> scale:int -> person:string -> unit -> string list
+(** As {!knows_plus} but always including [person] (zero hops). *)
+
+val knows_knows_plus :
+  ?seed:int -> scale:int -> person:string -> unit -> string list
+(** Closure of the two-hop relation: everyone at even [knows] distance
+    ≥ 2 composable hops from [person]. *)
+
+val reply_chain :
+  ?seed:int -> scale:int -> comment:string -> n:int -> unit -> string list
+(** Comments exactly [n] [replyOfComment] hops above [comment]. *)
+
+val thread_root_posts :
+  ?seed:int -> scale:int -> comment:string -> unit -> string list
+(** Posts reachable by climbing [replyOfComment]* then one
+    [replyOfPost]. *)
+
+val hub_person : ?seed:int -> scale:int -> unit -> string
+(** The person with the largest [knows] out-degree (ties by id) — a
+    deterministic non-trivial %Person1%. *)
+
+val deepest_comment : ?seed:int -> scale:int -> unit -> string * int
+(** The comment with the longest chain to its thread root, with that
+    depth — a deterministic %Comment1% for chain queries. *)

@@ -1,0 +1,104 @@
+(* An LDBC-SNB-style social network: people who know each other, forums
+   holding posts, deep comment reply chains, and likes. Table and vertex
+   names deliberately avoid the Berlin scenario's (People vs Persons,
+   Person vs PersonVtx) so both can coexist in one process. *)
+let tables_ddl =
+  {|
+create table People(
+  id varchar(10),
+  firstName varchar(10),
+  lastName varchar(10),
+  country varchar(10),
+  creationDate date
+)
+
+create table KnowsRel(
+  src varchar(10), // People.id
+  dst varchar(10), // People.id
+  creationDate date
+)
+
+create table Forums(
+  id varchar(10),
+  title varchar(20),
+  moderator varchar(10), // People.id
+  creationDate date
+)
+
+create table Posts(
+  id varchar(10),
+  forum varchar(10), // Forums.id
+  author varchar(10), // People.id
+  country varchar(10),
+  creationDate date
+)
+
+create table Comments(
+  id varchar(10),
+  author varchar(10), // People.id
+  replyOfPost varchar(10), // Posts.id, or empty for chained replies
+  replyOfComment varchar(10), // Comments.id, or empty for root replies
+  creationDate date
+)
+
+create table LikesRel(
+  person varchar(10), // People.id
+  post varchar(10), // Posts.id
+  creationDate date
+)
+|}
+
+let vertices_ddl =
+  {|
+create vertex Person(id) from table People
+create vertex Forum(id) from table Forums
+create vertex Post(id) from table Posts
+create vertex Comment(id) from table Comments
+|}
+
+let edges_ddl =
+  {|
+create edge knows with
+vertices (Person as A, Person as B)
+from table KnowsRel
+where KnowsRel.src = A.id
+and KnowsRel.dst = B.id
+
+create edge hasModerator with
+vertices (Forum, Person)
+where Forum.moderator = Person.id
+
+create edge containerOf with
+vertices (Forum, Post)
+where Post.forum = Forum.id
+
+create edge hasCreator with
+vertices (Post, Person)
+where Post.author = Person.id
+
+create edge commentCreator with
+vertices (Comment, Person)
+where Comment.author = Person.id
+
+create edge replyOfPost with
+vertices (Comment, Post)
+where Comment.replyOfPost = Post.id
+
+create edge replyOfComment with
+vertices (Comment as A, Comment as B)
+where A.replyOfComment = B.id
+
+create edge likes with
+vertices (Person, Post)
+from table LikesRel
+where LikesRel.person = Person.id
+and LikesRel.post = Post.id
+|}
+
+let full_ddl = String.concat "\n" [ tables_ddl; vertices_ddl; edges_ddl ]
+
+let ingest_script files =
+  String.concat "\n"
+    (List.map
+       (fun (table, file) -> Printf.sprintf "ingest table %s %s" table file)
+       files)

@@ -1,0 +1,12 @@
+(** DDL for the SNB-style deep-traversal scenario: People with a skewed
+    [knows] network, Forums moderated by people and holding Posts, deep
+    Comment reply chains ([replyOfComment] is a same-type edge), and
+    person-to-post [likes]. Every entity carries a [creationDate]. *)
+
+val tables_ddl : string
+val vertices_ddl : string
+val edges_ddl : string
+val full_ddl : string
+
+val ingest_script : (string * string) list -> string
+(** [(table, filename)] pairs to ingest statements, in order. *)
