@@ -1422,6 +1422,49 @@ let sweep_obs ?(json = false) () =
     "query mix untraced %s ms, traced %s ms (%.2fx overhead)\n"
     (ms untraced_mean) (ms traced_mean)
     (traced_mean /. untraced_mean);
+  (* Traced-serve overhead: the same read statement over the wire
+     protocol, with tracing off vs. every statement carrying a fresh
+     trace id (client span, traceparent on the frame, server admission /
+     executor spans, exemplars). DESIGN.md §16 budgets this end-to-end
+     cost at 1.5x; --check enforces it from the baseline. *)
+  let serve_untraced, serve_traced =
+    let ir =
+      Graql.Ir.encode_script
+        (Graql.Parser.parse_script
+           "select vendor, count(*) as n from table Offers group by vendor")
+    in
+    let server = serve_bench_server () in
+    let sv = Graql.Serve.start server in
+    Fun.protect
+      ~finally:(fun () ->
+        Graql.Serve.stop sv;
+        Graql.Session.close (Graql.Server.session server))
+      (fun () ->
+        let cl =
+          Graql.Client.connect ~port:(Graql.Serve.port sv) ~user:"bench" ()
+        in
+        Fun.protect ~finally:(fun () -> Graql.Client.close cl) @@ fun () ->
+        let stmts = 40 in
+        let pass () =
+          for _ = 1 to stmts do
+            match Graql.Client.run_ir cl ir with
+            | Graql.Client.Ok _ -> ()
+            | _ -> failwith "obs sweep: serve statement failed"
+          done
+        in
+        pass () (* warm: connection, typecheck, first scan *);
+        Graql.Obs.Trace.disarm ();
+        let untraced = time_best ~reps:10 pass in
+        Graql.Obs.Trace.arm ();
+        let traced = time_best ~reps:10 pass in
+        Graql.Obs.Trace.disarm ();
+        (untraced, traced))
+  in
+  Printf.printf
+    "serve mix (%s) untraced %s ms, traced %s ms (%.2fx overhead, budget \
+     1.50x)\n"
+    "40 stmts over the wire" (ms serve_untraced) (ms serve_traced)
+    (serve_traced /. serve_untraced);
   if json then begin
     let buf = Buffer.create 512 in
     Buffer.add_string buf "{\n  \"stages\": [\n";
@@ -1437,17 +1480,21 @@ let sweep_obs ?(json = false) () =
     Buffer.add_string buf
       (Printf.sprintf
          "\n  ],\n  \"overhead\": {\"untraced_ms\": %.3f, \"traced_ms\": \
-          %.3f, \"ratio\": %.3f}\n}\n"
+          %.3f, \"ratio\": %.3f},\n  \"serve_overhead\": {\"untraced_ms\": \
+          %.3f, \"traced_ms\": %.3f, \"ratio\": %.3f, \"budget\": 1.5}\n}\n"
          (untraced_mean *. 1000.0)
          (traced_mean *. 1000.0)
-         (traced_mean /. untraced_mean));
+         (traced_mean /. untraced_mean)
+         (serve_untraced *. 1000.0)
+         (serve_traced *. 1000.0)
+         (serve_traced /. serve_untraced));
     let oc = open_out "BENCH_obs.json" in
     output_string oc (Buffer.contents buf);
     close_out oc;
     Printf.printf "wrote BENCH_obs.json (%d stages)\n"
       (List.length stage_stats)
   end;
-  (stage_stats, untraced_mean, traced_mean)
+  (stage_stats, untraced_mean, traced_mean, serve_untraced, serve_traced)
 
 (* ------------------------------------------------------------------ *)
 (* Regression gate: bench --check [BASELINE.json ...]                  *)
@@ -1606,21 +1653,67 @@ let check_recovery baseline =
     (Option.value (Json.to_list baseline) ~default:[])
 
 let check_obs baseline =
-  let _, untraced, traced = Lazy.force current_obs in
-  match
-    Option.bind (Json.member "overhead" baseline) (fun o ->
-        num_field o "ratio")
-  with
-  | Some base_ratio ->
-      [
-        {
-          ck_metric = "obs:tracing overhead ratio";
-          ck_base = base_ratio;
-          ck_cur = traced /. untraced;
-          ck_higher_better = false;
-        };
-      ]
-  | None -> []
+  let _, untraced, traced, serve_untraced, serve_traced =
+    Lazy.force current_obs
+  in
+  let local =
+    match
+      Option.bind (Json.member "overhead" baseline) (fun o ->
+          num_field o "ratio")
+    with
+    | Some base_ratio ->
+        [
+          {
+            ck_metric = "obs:tracing overhead ratio";
+            ck_base = base_ratio;
+            ck_cur = traced /. untraced;
+            ck_higher_better = false;
+          };
+        ]
+    | None -> []
+  in
+  let serve =
+    match Json.member "serve_overhead" baseline with
+    | Some o ->
+        let cur = serve_traced /. serve_untraced in
+        let vs_base =
+          match num_field o "ratio" with
+          | Some base_ratio ->
+              [
+                {
+                  ck_metric = "obs:traced-serve overhead ratio";
+                  (* A sub-1.0 baseline means the traced pass happened
+                     to beat the untraced one — wire-latency noise, not
+                     a real negative cost. Clamp so drift is judged
+                     against parity, not against a lucky run. *)
+                  ck_base = Float.max base_ratio 1.0;
+                  ck_cur = cur;
+                  ck_higher_better = false;
+                };
+              ]
+          | None -> []
+        in
+        (* The 1.5x budget is absolute, not drift-relative: scale the
+           row's base so [row_regressed]'s (1 + tolerance) slack lands
+           exactly on the budget — the gate fails iff cur > budget. *)
+        let vs_budget =
+          match num_field o "budget" with
+          | Some budget when budget > 0.0 ->
+              [
+                {
+                  ck_metric =
+                    Printf.sprintf "obs:traced-serve budget %.2fx" budget;
+                  ck_base = budget /. (1.0 +. check_tolerance ());
+                  ck_cur = cur;
+                  ck_higher_better = false;
+                };
+              ]
+          | _ -> []
+        in
+        vs_base @ vs_budget
+    | None -> []
+  in
+  local @ serve
 
 let check_scan baseline =
   let current = Lazy.force current_scan in

@@ -172,10 +172,10 @@ let finish_telemetry ~serve_ms tel =
       | _ -> ());
       Graql.Telemetry.stop t
 
-let finish_obs ~trace_out ~metrics_dump =
+let finish_obs ?(trace_role = "cli") ~trace_out ~metrics_dump () =
   (match trace_out with
   | Some path ->
-      Graql.Obs.Trace.write_chrome_json path;
+      Graql.Obs.Trace.write_chrome_json ~role:trace_role path;
       Printf.eprintf "note: wrote %d trace event(s) to %s\n%!"
         (List.length (Graql.Obs.Trace.events ()))
         path
@@ -369,7 +369,7 @@ let run_cmd =
             Graql.Db_io.export (Graql.Session.db session) ~dir;
             Printf.printf "exported database to %s/\n" dir
         | None -> ());
-        finish_obs ~trace_out ~metrics_dump;
+        finish_obs ~trace_out ~metrics_dump ();
         (* --serve-ms also extends replication: followers keep draining
            the stream until the grace expires. *)
         (match primary with
@@ -573,7 +573,7 @@ let berlin_cmd =
           print_outcomes results;
           if !code = 0 then code := outcomes_exit_code results)
         queries;
-      finish_obs ~trace_out ~metrics_dump;
+      finish_obs ~trace_out ~metrics_dump ();
       finish_telemetry ~serve_ms tel;
       Graql.Obs.Query_log.close ();
       !code
@@ -668,7 +668,7 @@ let snb_cmd =
             if !code = 0 then code := outcomes_exit_code results
           end)
         queries;
-      finish_obs ~trace_out ~metrics_dump;
+      finish_obs ~trace_out ~metrics_dump ();
       finish_telemetry ~serve_ms tel;
       Graql.Obs.Query_log.close ();
       !code
@@ -999,7 +999,7 @@ let serve_cmd =
   in
   let action port users data_dir wal max_inflight max_queue per_user
       max_connections queue_wait_ms default_deadline_ms idle_timeout_s
-      read_timeout_s slow_ms query_log listen =
+      read_timeout_s slow_ms query_log listen replicate =
     with_typed_errors @@ fun () ->
     setup_obs ?query_log ~trace_out:None ~slow_ms ();
     (* Pool-less on purpose: statements already run concurrently, one
@@ -1018,6 +1018,7 @@ let serve_cmd =
       (fun (name, role) -> Graql.Server.add_user server ~name ~role)
       users;
     let tel = start_telemetry listen session in
+    let primary = start_replication replicate tel session in
     let config =
       {
         Graql.Serve.default_config with
@@ -1045,6 +1046,7 @@ let serve_cmd =
     Graql.Serve.wait sv;
     Printf.eprintf "draining...\n%!";
     Graql.Serve.stop sv;
+    Option.iter Graql.Repl.stop_primary primary;
     finish_telemetry ~serve_ms:None tel;
     Graql.Obs.Query_log.close ();
     Graql.Session.close session;
@@ -1066,7 +1068,7 @@ let serve_cmd =
            $ max_inflight_arg $ max_queue_arg $ per_user_arg
            $ max_connections_arg $ queue_wait_arg $ deadline_arg
            $ idle_timeout_arg $ read_timeout_arg $ slow_ms_arg
-           $ query_log_arg $ listen_arg))
+           $ query_log_arg $ listen_arg $ replicate_arg))
 
 let connect_cmd =
   let target_arg =
@@ -1099,7 +1101,7 @@ let connect_cmd =
           ~doc:"After running (or alone), ask the server to drain and \
                 stop (admin only).")
   in
-  let action target script exec user shutdown deadline_ms =
+  let action target script exec user shutdown deadline_ms trace_out =
     with_typed_errors @@ fun () ->
     let host, port = parse_host_port target in
     let source =
@@ -1111,6 +1113,7 @@ let connect_cmd =
     if source = None && not shutdown then
       Graql.Error.raise_error
         (Graql.Error.Io "nothing to do: give a SCRIPT, --exec or --shutdown");
+    if trace_out <> None then Graql.Obs.Trace.arm ();
     let cl = Graql.Client.connect ~host ~port ~user () in
     Fun.protect ~finally:(fun () -> Graql.Client.close cl) @@ fun () ->
     let code =
@@ -1151,6 +1154,7 @@ let connect_cmd =
           Printf.eprintf "graql: shutdown refused: %s\n%!" msg
       | _ -> ()
     end;
+    finish_obs ~trace_role:"client" ~trace_out ~metrics_dump:None ();
     code
   in
   Cmd.v
@@ -1160,10 +1164,14 @@ let connect_cmd =
              the wire, and executed remotely under the connecting user's \
              role. Exit codes mirror $(b,graql run); a shed (overloaded) \
              reply exits 8 after printing the typed reason and \
-             retry-after hint.")
+             retry-after hint. With $(b,--trace-out) each statement \
+             carries a fresh 128-bit trace id over the wire, so the \
+             client dump can be $(b,graql trace-merge)d with the \
+             server's and followers' $(b,/traces) dumps into one \
+             stitched Perfetto view.")
     Term.(
       ret (const action $ target_arg $ script_arg $ exec_arg $ user_arg
-           $ shutdown_arg $ deadline_arg))
+           $ shutdown_arg $ deadline_arg $ trace_out_arg))
 
 let explain_cmd =
   let action script params domains data_dir =
@@ -1254,6 +1262,41 @@ let cluster_plan_cmd =
     Term.(
       ret (const action $ scale_arg $ seed_arg $ nodes_arg $ mem_arg $ shards_arg))
 
+let trace_merge_cmd =
+  let dumps_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"DUMP"
+          ~doc:"Chrome-trace JSON dumps to merge — [--trace-out] files \
+                and saved [GET /traces] bodies, one per process.")
+  in
+  let output_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the merged dump to FILE instead of stdout.")
+  in
+  let action dumps output =
+    with_typed_errors @@ fun () ->
+    let merged = Graql.Obs.Trace.merge_dumps (List.map read_file dumps) in
+    (match output with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc merged;
+        close_out oc;
+        Printf.eprintf "note: merged %d dump(s) into %s\n%!"
+          (List.length dumps) path
+    | None -> print_string merged);
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:"Splice per-process Chrome-trace dumps (client --trace-out, \
+             server and follower /traces) into one JSON array loadable \
+             in Perfetto: each process keeps its own pid lane, and spans \
+             of one statement share a trace id across lanes.")
+    Term.(ret (const action $ dumps_arg $ output_arg))
+
 let exits =
   Cmd.Exit.defaults
   @ [
@@ -1271,7 +1314,7 @@ let main =
     (Cmd.info "graql" ~version:"1.0.0" ~exits
        ~doc:"GraQL attributed graph database (GEMS reproduction)")
     [ run_cmd; check_cmd; ir_cmd; gen_berlin_cmd; berlin_cmd; snb_cmd;
-      repl_cmd; follow_cmd; serve_cmd; connect_cmd; explain_cmd;
-      cluster_plan_cmd ]
+      repl_cmd; follow_cmd; serve_cmd; connect_cmd; trace_merge_cmd;
+      explain_cmd; cluster_plan_cmd ]
 
 let () = exit (Cmd.eval' main)

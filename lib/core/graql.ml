@@ -77,6 +77,8 @@ module Obs = struct
   module Slow_log = Graql_obs.Slow_log
   module Slo = Graql_obs.Slo
   module Query_log = Graql_obs.Query_log
+  module Ledger = Graql_obs.Ledger
+  module Redact = Graql_obs.Redact
   module Http = Graql_obs.Http
 end
 

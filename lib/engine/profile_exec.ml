@@ -2,6 +2,7 @@ module Ast = Graql_lang.Ast
 module Pretty = Graql_lang.Pretty
 module Text_table = Graql_util.Text_table
 module Profile = Graql_obs.Profile
+module Ledger = Graql_obs.Ledger
 
 type row = {
   pr_label : string;
@@ -16,6 +17,7 @@ type report = {
   r_ms : float;
   r_paths : (Explain.plan option * row list) list;
   r_ops : row list;
+  r_ledger : Ledger.t;
 }
 
 (* Planner estimates for one path, positionally aligned with the
@@ -99,6 +101,7 @@ let profile_stmt ?loader db stmt =
   let plans = plans_of_stmt db stmt in
   let op_ests = op_estimates_of_stmt db stmt in
   let coll = Profile.create () in
+  let lg0 = Ledger.start () in
   let t0 = Unix.gettimeofday () in
   let outcome =
     Profile.with_collector coll (fun () ->
@@ -111,6 +114,12 @@ let profile_stmt ?loader db stmt =
             | None -> raise e))
   in
   let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let rows_out =
+    match outcome with
+    | Script_exec.O_table t -> Graql_storage.Table.nrows t
+    | _ -> 0
+  in
+  let ledger = Ledger.finish ~rows_out lg0 in
   let sampled = Profile.paths coll in
   (* Pad whichever side is shorter: a failed path leaves no samples, a
      cross-path label reference leaves no plan. *)
@@ -127,6 +136,7 @@ let profile_stmt ?loader db stmt =
     r_ms = ms;
     r_paths = pair plans sampled;
     r_ops = attach_op_estimates op_ests (Profile.ops coll);
+    r_ledger = ledger;
   }
 
 let profile_script ?loader db script =
@@ -223,7 +233,8 @@ let render report =
     report.r_paths;
   if report.r_ops <> [] then add_block buf (op_table report.r_ops);
   Buffer.add_string buf
-    (Printf.sprintf "outcome: %s\ntotal: %.2f ms\n"
+    (Printf.sprintf "outcome: %s\nresources: %s\ntotal: %.2f ms\n"
        (outcome_string report.r_outcome)
+       (Ledger.summary report.r_ledger)
        report.r_ms);
   Buffer.contents buf

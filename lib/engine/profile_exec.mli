@@ -26,6 +26,9 @@ type report = {
       (** per simple path, in execution order; the first row of each
           path is the seed *)
   r_ops : row list;  (** relational operators, in execution order *)
+  r_ledger : Graql_obs.Ledger.t;
+      (** per-statement resource accounting (rows/bytes scanned, GC
+          words, pool wait/run, retries) captured around the run *)
 }
 
 val profile_stmt : ?loader:(string -> string) -> Db.t -> Ast.stmt -> report
@@ -39,5 +42,5 @@ val profile_script :
 
 val render : report -> string
 (** Human-readable report: per-path step tables with estimated and
-    actual frontier sizes, the operator table, outcome, and total
-    time. *)
+    actual frontier sizes, the operator table, outcome, the resource
+    ledger line, and total time. *)

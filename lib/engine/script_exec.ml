@@ -11,6 +11,7 @@ module Trace = Graql_obs.Trace
 module Slow_log = Graql_obs.Slow_log
 module Slo = Graql_obs.Slo
 module Query_log = Graql_obs.Query_log
+module Ledger = Graql_obs.Ledger
 
 type outcome =
   | O_table of Table.t
@@ -348,12 +349,32 @@ let span_summary stmt_span_id =
     (Hashtbl.fold (fun name (count, ms) acc -> (name, count, ms) :: acc) tbl [])
 
 let exec_stmt_outcome ~loader ?cancel db ~index stmt =
+  (* Every traced statement runs under a trace id: an ambient one when a
+     remote caller (serve, replication) propagated a traceparent, a
+     fresh root id otherwise — so WAL records, pool spans and log lines
+     produced below all stitch to the same id. *)
+  let trace =
+    if not (Trace.is_armed ()) then Trace.current_trace ()
+    else
+      match Trace.current_trace () with
+      | "" -> Trace.new_trace_id ()
+      | t -> t
+  in
+  Trace.with_trace trace @@ fun () ->
   let sp =
     Trace.begin_span ~cat:"script"
       ~args:[ ("index", string_of_int index) ]
       ("stmt:" ^ Ast.stmt_kind stmt)
   in
   let query_log = Query_log.enabled () in
+  let slow_threshold = Slow_log.threshold_ms () in
+  (* The resource ledger is delta-based and not free (Gc.quick_stat +
+     a dozen counter folds, twice); capture it only when something
+     will carry it — a query-log line or a slow-log entry. *)
+  let ledger0 =
+    if query_log || slow_threshold <> None then Some (Ledger.start ())
+    else None
+  in
   let retries0, failovers0 =
     if query_log then
       ( Metrics.counter_value c_fault_retries
@@ -379,18 +400,26 @@ let exec_stmt_outcome ~loader ?cancel db ~index stmt =
   in
   let ms = (Unix.gettimeofday () -. t0) *. 1000. in
   Trace.end_span sp;
+  let ledger =
+    Option.map
+      (fun s -> Ledger.finish ~rows_out:(rows_of_outcome outcome) s)
+      ledger0
+  in
   Metrics.incr m_stmts;
   (match outcome with O_failed _ -> Metrics.incr m_failed | _ -> ());
-  Metrics.observe h_stmt_us (ms *. 1000.);
+  Metrics.observe ~exemplar:trace h_stmt_us (ms *. 1000.);
   let class_ = stmt_class stmt in
-  Metrics.observe (class_hist class_) (ms *. 1000.);
+  Metrics.observe ~exemplar:trace (class_hist class_) (ms *. 1000.);
   Slo.note ~class_ ms;
-  (match Slow_log.threshold_ms () with
+  (match slow_threshold with
   | Some th when ms >= th ->
       Slow_log.note
+        ?user:(Query_log.current_user ())
+        ~trace ?ledger
         ~stmt:(Graql_lang.Pretty.stmt_to_string stmt)
         ~ms
         ~spans:(span_summary (Trace.span_id sp))
+        ()
   | Some _ | None -> ());
   if query_log then begin
     (* Dispatch retries for this very statement happen before its body
@@ -414,6 +443,7 @@ let exec_stmt_outcome ~loader ?cancel db ~index stmt =
         Query_log.r_id = Query_log.next_id ();
         r_ts = t0;
         r_user = Query_log.current_user ();
+        r_trace = trace;
         r_kind = Ast.stmt_kind stmt;
         r_ms = ms;
         r_rows = rows_of_outcome outcome;
@@ -421,6 +451,7 @@ let exec_stmt_outcome ~loader ?cancel db ~index stmt =
         r_retries = max 0 retries;
         r_failovers = max 0 failovers;
         r_error = error;
+        r_ledger = ledger;
       }
   end;
   outcome

@@ -11,6 +11,7 @@ module Aggregate = Graql_relational.Aggregate
 module Metrics = Graql_obs.Metrics
 module Trace = Graql_obs.Trace
 module Profile = Graql_obs.Profile
+module Ledger = Graql_obs.Ledger
 
 exception Table_error of Loc.t * string
 
@@ -48,6 +49,10 @@ let observed ?detail op f =
   Trace.end_span sp;
   let rows = Table.nrows t in
   Metrics.add (rows_counter op) rows;
+  (* Scanned-bytes estimate for the resource ledger; only while a
+     ledger bracket is open (approx_bytes walks dictionary heaps). *)
+  if op = "scan" && Ledger.capturing () then
+    Ledger.note_scan_bytes (Table.approx_bytes t);
   Metrics.observe h_op_us (ms *. 1000.);
   (match Profile.current () with
   | Some c -> Profile.note_op c ~label ~rows ~ms

@@ -23,7 +23,7 @@ let io_error fmt =
 let tag_stmt = 1
 let tag_ingest = 2
 
-let encode_record r =
+let encode_record_traced ~trace r =
   let w = Wire.writer () in
   (match r with
   | R_stmt stmt ->
@@ -34,9 +34,15 @@ let encode_record r =
       Wire.string w table;
       Wire.string w file;
       Wire.string w doc);
+  (* Trailing trace-id annotation (DESIGN.md §16). Written only for
+     traced statements, so untraced logs stay byte-identical to the
+     unannotated format and old logs decode unchanged. *)
+  if trace <> "" then Wire.string w trace;
   Wire.contents w
 
-let decode_record payload =
+let encode_record r = encode_record_traced ~trace:"" r
+
+let decode_record_traced payload =
   let r = Wire.reader payload in
   let record =
     match Wire.read_tag r with
@@ -51,9 +57,12 @@ let decode_record payload =
         R_ingest { table; file; doc }
     | t -> raise (Wire.Corrupt (Printf.sprintf "unknown WAL record tag %d" t))
   in
+  let trace = if Wire.at_end r then "" else Wire.read_string r in
   if not (Wire.at_end r) then
     raise (Wire.Corrupt "trailing bytes inside WAL record");
-  record
+  (record, trace)
+
+let decode_record payload = fst (decode_record_traced payload)
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
@@ -265,7 +274,11 @@ let h_append_us = Graql_obs.Metrics.histogram "wal.append_us"
 let h_fsync_us = Graql_obs.Metrics.histogram "wal.fsync_us"
 
 let append t record =
-  let framed = frame (encode_record record) in
+  (* The ambient trace id (set by the executing statement) rides along
+     in the record annotation, so a follower replaying shipped bytes can
+     tag its apply spans with the originating statement's trace. *)
+  let trace = Graql_obs.Trace.current_trace () in
+  let framed = frame (encode_record_traced ~trace record) in
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
@@ -275,11 +288,16 @@ let append t record =
       output_bytes t.t_oc framed;
       (* Durable before the engine applies (or acks) the operation. *)
       let t1 = Unix.gettimeofday () in
+      let fsp =
+        Graql_obs.Trace.with_parent (Graql_obs.Trace.span_id sp) @@ fun () ->
+        Graql_obs.Trace.begin_span ~cat:"wal" "wal.fsync"
+      in
       fsync_channel t.t_oc;
       let t2 = Unix.gettimeofday () in
+      Graql_obs.Trace.end_span fsp;
       Graql_obs.Trace.end_span sp;
-      Graql_obs.Metrics.observe h_append_us ((t2 -. t0) *. 1e6);
-      Graql_obs.Metrics.observe h_fsync_us ((t2 -. t1) *. 1e6);
+      Graql_obs.Metrics.observe ~exemplar:trace h_append_us ((t2 -. t0) *. 1e6);
+      Graql_obs.Metrics.observe ~exemplar:trace h_fsync_us ((t2 -. t1) *. 1e6);
       Graql_obs.Metrics.incr m_records;
       Graql_obs.Metrics.add m_bytes (Bytes.length framed);
       let offset = t.t_size in

@@ -46,6 +46,16 @@ val encode_record : record -> bytes
 val decode_record : bytes -> record
 (** Raises {!Graql_ir.Wire.Corrupt} on a malformed payload. *)
 
+val encode_record_traced : trace:string -> record -> bytes
+(** Like {!encode_record} but, when [trace] is non-empty, appends the
+    trace id as a trailing annotation (DESIGN.md §16). With [trace = ""]
+    the bytes are identical to {!encode_record}, so untraced logs keep
+    the unannotated format. *)
+
+val decode_record_traced : bytes -> record * string
+(** Decode a payload together with its trace-id annotation ([""] when
+    absent). {!decode_record} is [fst] of this. *)
+
 val header : epoch:int -> bytes
 (** The [header_size] bytes that begin an epoch's log file — a follower
     mirroring the primary's stream writes this itself, so its local file

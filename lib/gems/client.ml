@@ -1,4 +1,5 @@
 module Graql_error = Graql_engine.Graql_error
+module Trace = Graql_obs.Trace
 module Proto = Serve.Proto
 
 let io_error fmt =
@@ -71,20 +72,42 @@ let reply_of_msg t expect_id = function
   | Proto.S_bye { msg } -> Closing { msg }
   | _ -> io_error "reply for an unexpected statement id"
 
-let run_ir ?(deadline_ms = 0) t blob =
+let run_ir ?(deadline_ms = 0) ?trace t blob =
   if t.cl_closed then io_error "client connection is closed";
   let id = t.cl_next_id in
   t.cl_next_id <- id + 1;
-  send t.cl_fd (Proto.C_stmt { id; deadline_ms; ir = blob });
+  (* The client is the trace root: with tracing armed, every statement
+     gets a (fresh or ambient) trace id and a client.stmt span whose id
+     rides to the server as the traceparent, so the server-side spans
+     stitch beneath it. Untraced, both fields stay empty/zero and the
+     frame bytes are unchanged. *)
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None ->
+        let ambient = Trace.current_trace () in
+        if ambient = "" && Trace.is_armed () then Trace.new_trace_id ()
+        else ambient
+  in
+  Trace.with_trace trace @@ fun () ->
+  let sp =
+    Trace.begin_span ~cat:"client"
+      ~args:[ ("stmt_id", string_of_int id) ]
+      "client.stmt"
+  in
+  Fun.protect ~finally:(fun () -> Trace.end_span sp) @@ fun () ->
+  send t.cl_fd
+    (Proto.C_stmt
+       { id; deadline_ms; ir = blob; trace; parent_span = Trace.span_id sp });
   reply_of_msg t id (recv t.cl_fd)
 
-let run ?deadline_ms t source =
+let run ?deadline_ms ?trace t source =
   let ast =
     try Graql_lang.Parser.parse_script source
     with Graql_lang.Loc.Syntax_error (loc, msg) ->
       Graql_error.raise_error (Graql_error.Parse (loc, msg))
   in
-  run_ir ?deadline_ms t (Graql_ir.Codec.encode_script ast)
+  run_ir ?deadline_ms ?trace t (Graql_ir.Codec.encode_script ast)
 
 let shutdown t =
   if t.cl_closed then io_error "client connection is closed";

@@ -29,11 +29,15 @@ val connect :
 val role : t -> string
 (** The role the server confirmed at handshake ("admin"/"analyst"). *)
 
-val run_ir : ?deadline_ms:int -> t -> bytes -> reply
+val run_ir : ?deadline_ms:int -> ?trace:string -> t -> bytes -> reply
 (** Ship one compiled script blob ({!Graql_ir.Codec.encode_script}).
-    Raises [Graql_error.Error (Io _)] if the connection dies. *)
+    With tracing armed the statement becomes a trace root: a fresh (or
+    ambient, or [?trace]-supplied) trace id plus a [client.stmt] span
+    whose id is sent as the traceparent, so server/WAL/follower spans
+    stitch beneath it (DESIGN.md §16). Raises
+    [Graql_error.Error (Io _)] if the connection dies. *)
 
-val run : ?deadline_ms:int -> t -> string -> reply
+val run : ?deadline_ms:int -> ?trace:string -> t -> string -> reply
 (** Parse + compile GraQL source locally, then {!run_ir}. Parse errors
     raise [Graql_error.Error (Parse _)] locally — they never reach the
     server. *)

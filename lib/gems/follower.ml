@@ -3,6 +3,7 @@ module Db_io = Graql_engine.Db_io
 module Wal = Graql_engine.Wal
 module Graql_error = Graql_engine.Graql_error
 module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
 
 let io_error fmt =
   Printf.ksprintf
@@ -45,7 +46,9 @@ type t = {
   mutable f_epoch : int;
   mutable f_offset : int;  (** durable bytes of the current epoch's file *)
   mutable f_records : int;  (** records applied to [f_db] this epoch *)
-  mutable f_pending : Wal.record list;  (** mirrored but unapplied (paused) *)
+  mutable f_pending : (Wal.record * string) list;
+      (** mirrored but unapplied (paused), with each record's trace-id
+          annotation *)
   mutable f_primary_offset : int;  (** primary file size after last chunk *)
   mutable f_primary_records : int;  (** primary record count after last chunk *)
   mutable f_oc : out_channel option;
@@ -89,8 +92,10 @@ let ensure_oc t =
       oc
 
 (* Walk a chunk of raw log bytes — whole CRC-framed records by
-   construction — and decode each. Any damage means the stream (not our
-   file) is corrupt: raise and let the reconnect handshake resolve it. *)
+   construction — and decode each together with its trace-id annotation
+   (DESIGN.md §16), so apply spans land in the originating statement's
+   trace. Any damage means the stream (not our file) is corrupt: raise
+   and let the reconnect handshake resolve it. *)
 let records_of_chunk data =
   let size = Bytes.length data in
   let out = ref [] in
@@ -103,7 +108,7 @@ let records_of_chunk data =
     let payload = Bytes.sub data (o + 8) len in
     if Graql_util.Crc32.bytes payload <> Bytes.get_int32_le data (o + 4) then
       io_error "replication chunk record CRC mismatch";
-    (match Wal.decode_record payload with
+    (match Wal.decode_record_traced payload with
     | r -> out := r :: !out
     | exception Graql_ir.Wire.Corrupt msg ->
         io_error "replication chunk carries an undecodable record: %s" msg);
@@ -146,7 +151,9 @@ let recover_local t =
 (* ------------------------------------------------------------------ *)
 (* Message handlers (called from the replication domain, take [f_mu])  *)
 
-let apply_one t r =
+let apply_one t (r, trace) =
+  Trace.with_trace trace @@ fun () ->
+  Trace.with_span ~cat:"repl" "repl.apply" @@ fun () ->
   Db_io.replay t.f_db r;
   t.f_records <- t.f_records + 1;
   Metrics.incr m_applied
@@ -163,8 +170,17 @@ let handle_chunk t ~epoch ~offset ~records data =
           epoch offset t.f_epoch t.f_offset;
       let rs = records_of_chunk data in
       (* Mirror first: the bytes are durable here before we ack, so an
-         acked offset survives our own crash. *)
+         acked offset survives our own crash. The mirror span is tagged
+         with the chunk's (first) trace so a remote statement's
+         durability hop shows up in its stitched trace. *)
       if Bytes.length data > 0 then begin
+        let chunk_trace =
+          match List.find_opt (fun (_, tr) -> tr <> "") rs with
+          | Some (_, tr) -> tr
+          | None -> ""
+        in
+        Trace.with_trace chunk_trace @@ fun () ->
+        Trace.with_span ~cat:"repl" "repl.mirror" @@ fun () ->
         let oc = ensure_oc t in
         output_bytes oc data;
         fsync_channel oc

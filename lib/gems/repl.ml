@@ -2,6 +2,7 @@ module Wal = Graql_engine.Wal
 module Db_io = Graql_engine.Db_io
 module Graql_error = Graql_engine.Graql_error
 module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
 module Crc32 = Graql_util.Crc32
 module Json = Graql_util.Json
 
@@ -207,6 +208,9 @@ type fo = {
   mutable fo_exits : int;  (** sender+receiver domains done; 2 ⇒ close fd *)
   mutable fo_acked_epoch : int;
   mutable fo_acked_offset : int;
+  mutable fo_last_trace : string;
+      (** trace id of the last statement whose chunk was queued — the
+          ack that follows is stitched into that trace *)
 }
 
 type primary = {
@@ -321,7 +325,15 @@ let receiver_loop p fo =
         Mutex.lock fo.fo_mu;
         fo.fo_acked_epoch <- epoch;
         fo.fo_acked_offset <- offset;
+        let trace = fo.fo_last_trace in
         Mutex.unlock fo.fo_mu;
+        (* Instant marker in the shipped statement's trace: the ack's
+           arrival closes the durability loop for that statement. *)
+        Trace.with_trace trace (fun () ->
+            Trace.with_span ~cat:"repl"
+              ~args:[ ("offset", string_of_int offset) ]
+              "repl.ack"
+              (fun () -> ()));
         loop ()
     | Some _ | None -> ()
     | exception Graql_error.Error (Graql_error.Io _) -> ()
@@ -374,6 +386,10 @@ let snapshot_files ~dir ~epoch ~size =
   @ [ ( Wal.file_name ~epoch,
         Bytes.to_string (read_file_range wal_file ~pos:0 ~len:size) ) ]
 
+(* Runs on the executing statement's domain (WAL observer, under the
+   log mutex), so the ambient trace id is the statement's: the ship
+   span lands in its trace, and the id is remembered per follower so
+   the matching ack (on the receiver domain) can be stitched too. *)
 let broadcast p ev =
   let msg =
     match ev with
@@ -381,10 +397,18 @@ let broadcast p ev =
         Wal_chunk { epoch; offset; records; data }
     | Wal.Ev_advance { epoch } -> Advance { epoch }
   in
+  Trace.with_span ~cat:"repl" "repl.ship" @@ fun () ->
+  let trace = Trace.current_trace () in
   Mutex.lock p.p_mu;
   let fos = p.p_followers in
   Mutex.unlock p.p_mu;
-  List.iter (fun fo -> enqueue fo msg) fos
+  List.iter
+    (fun fo ->
+      Mutex.lock fo.fo_mu;
+      fo.fo_last_trace <- trace;
+      Mutex.unlock fo.fo_mu;
+      enqueue fo msg)
+    fos
 
 (* Handshake + registration. Runs on the accept domain; the [Wal.with_lock]
    window pins epoch/size/records and reads the file consistently, and —
@@ -417,6 +441,7 @@ let register p fd addr =
           fo_exits = 0;
           fo_acked_epoch = epoch;
           fo_acked_offset = offset;
+          fo_last_trace = "";
         }
       in
       Wal.with_lock p.p_wal (fun () ->

@@ -7,6 +7,7 @@ module Script_exec = Graql_engine.Script_exec
 module Graql_error = Graql_engine.Graql_error
 module Cancel = Graql_parallel.Cancel
 module Metrics = Graql_obs.Metrics
+module Trace = Graql_obs.Trace
 module Query_log = Graql_obs.Query_log
 module Table = Graql_storage.Table
 module Subgraph = Graql_graph.Subgraph
@@ -24,7 +25,13 @@ let io_error fmt =
 module Proto = struct
   type client_msg =
     | C_hello of { user : string }
-    | C_stmt of { id : int; deadline_ms : int; ir : bytes }
+    | C_stmt of {
+        id : int;
+        deadline_ms : int;
+        ir : bytes;
+        trace : string;
+        parent_span : int;
+      }
     | C_shutdown
 
   type outcome_kind = K_table | K_subgraph | K_message | K_failed
@@ -80,11 +87,19 @@ module Proto = struct
     | C_hello { user } ->
         Wire.tag w tag_hello;
         Wire.string w user
-    | C_stmt { id; deadline_ms; ir } ->
+    | C_stmt { id; deadline_ms; ir; trace; parent_span } ->
         Wire.tag w tag_stmt;
         Wire.varint w id;
         Wire.varint w deadline_ms;
-        Wire.string w (Bytes.to_string ir)
+        Wire.string w (Bytes.to_string ir);
+        (* Traceparent rides as optional trailing fields: untraced
+           statements keep the original frame bytes, and an old server
+           decoding a traced frame would reject it loudly rather than
+           misparse it. *)
+        if trace <> "" || parent_span <> 0 then begin
+          Wire.string w trace;
+          Wire.varint w parent_span
+        end
     | C_shutdown -> Wire.tag w tag_shutdown);
     Wire.contents w
 
@@ -140,7 +155,13 @@ module Proto = struct
             let id = Wire.read_varint r in
             let deadline_ms = Wire.read_varint r in
             let ir = Bytes.of_string (Wire.read_string r) in
-            C_stmt { id; deadline_ms; ir }
+            let trace, parent_span =
+              if Wire.at_end r then ("", 0)
+              else
+                let trace = Wire.read_string r in
+                (trace, Wire.read_varint r)
+            in
+            C_stmt { id; deadline_ms; ir; trace; parent_span }
         | t when t = tag_shutdown -> C_shutdown
         | t ->
             raise
@@ -524,9 +545,17 @@ let execute t conn ~deadline_ms blob =
            release, so the post-write epoch is current + 1. *)
         (Db.epoch db + 1, wr, results))
 
-let handle_stmt t conn fd ~id ~deadline_ms blob =
+let handle_stmt t conn fd ~id ~deadline_ms ~trace ~parent blob =
   let user = Server.user conn in
-  match admit t ~user with
+  (* Adopt the client's traceparent for everything this statement does
+     on the server side: the admission wait, the executor (whose stmt
+     span then inherits the trace id), the WAL append and the record
+     annotation replication ships to followers. *)
+  Trace.with_context ~trace ~parent @@ fun () ->
+  match
+    Trace.with_span ~cat:"serve" ~args:[ ("user", user) ] "serve.admit"
+      (fun () -> admit t ~user)
+  with
   | Shed reason ->
       Metrics.incr (m_shed reason);
       send_safe fd
@@ -535,7 +564,10 @@ let handle_stmt t conn fd ~id ~deadline_ms blob =
       Fun.protect
         ~finally:(fun () -> release t ~user)
         (fun () ->
-          match execute t conn ~deadline_ms blob with
+          match
+            Trace.with_span ~cat:"serve" "serve.stmt" (fun () ->
+                execute t conn ~deadline_ms blob)
+          with
           | epoch, wal_records, results ->
               send_safe fd
                 (Proto.S_result
@@ -618,8 +650,10 @@ let rec conn_loop t fd =
                     send_safe fd
                       (Proto.S_error
                          { id = 0; code = code_io; msg = "duplicate hello" })
-                | Some (Proto.C_stmt { id; deadline_ms; ir }) ->
-                    handle_stmt t conn fd ~id ~deadline_ms ir;
+                | Some (Proto.C_stmt { id; deadline_ms; ir; trace; parent_span })
+                  ->
+                    handle_stmt t conn fd ~id ~deadline_ms ~trace
+                      ~parent:parent_span ir;
                     loop ()
                 | Some Proto.C_shutdown ->
                     if Server.role conn = Server.Admin then begin

@@ -24,9 +24,20 @@
 module Proto : sig
   type client_msg =
     | C_hello of { user : string }
-    | C_stmt of { id : int; deadline_ms : int; ir : bytes }
+    | C_stmt of {
+        id : int;
+        deadline_ms : int;
+        ir : bytes;
+        trace : string;
+        parent_span : int;
+      }
         (** [deadline_ms = 0] means no deadline; [ir] is a compiled
-            script blob ({!Graql_ir.Codec.encode_script}) *)
+            script blob ({!Graql_ir.Codec.encode_script}). [trace] /
+            [parent_span] are the traceparent (DESIGN.md §16): the
+            client's 128-bit trace id (hex; [""] = untraced) and the
+            span to stitch the server's work beneath. They ride as
+            optional trailing wire fields, so untraced statements keep
+            the original frame bytes. *)
     | C_shutdown  (** admin-only: drain and stop the server *)
 
   type outcome_kind = K_table | K_subgraph | K_message | K_failed

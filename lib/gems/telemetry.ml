@@ -29,66 +29,79 @@ let post path handle =
   { Http.rt_meth = "POST"; rt_path = path; rt_handle = handle }
 
 let metrics_route =
-  get "/metrics" (fun ~body:_ ->
+  get "/metrics" (fun ~query:_ ~body:_ ->
       Slo.update_gauges ();
+      (* Fold the trace ring's drop count / capacity into the registry
+         right before exposition, so the scrape always sees them. *)
+      Trace.update_metrics ();
       Http.response
         ~content_type:"text/plain; version=0.0.4; charset=utf-8"
         (Metrics.to_prometheus ()))
 
 let replication_route repl =
-  get "/replication" (fun ~body:_ ->
+  get "/replication" (fun ~query:_ ~body:_ ->
       match Atomic.get repl with
       | Some status ->
           Http.response ~content_type:"application/json" (status ())
       | None -> Http.response ~status:404 "replication not configured\n")
+
+(* The trace surface, shared by every role: a Chrome-trace dump of the
+   ring ([?trace_id=] filters to one stitched trace) tagged with this
+   process's pid and role for merged Perfetto views, plus arm/disarm. *)
+let trace_routes ~role =
+  [
+    get "/traces" (fun ~query ~body:_ ->
+        let trace_id = List.assoc_opt "trace_id" query in
+        Http.response ~content_type:"application/json"
+          (Trace.to_chrome_json ?trace_id ~role ()));
+    post "/traces/start" (fun ~query:_ ~body:_ ->
+        Trace.arm ();
+        Http.response "tracing armed\n");
+    post "/traces/stop" (fun ~query:_ ~body:_ ->
+        Trace.disarm ();
+        Http.response "tracing disarmed\n");
+  ]
 
 let health_summary repl_health =
   match Atomic.get repl_health with
   | Some f -> ( try f () with _ -> "")
   | None -> ""
 
-let routes session ready_flag repl repl_health =
+let routes ~role session ready_flag repl repl_health =
   [
     metrics_route;
-    get "/healthz" (fun ~body:_ -> Http.response "ok\n");
-    get "/readyz" (fun ~body:_ ->
+    get "/healthz" (fun ~query:_ ~body:_ -> Http.response "ok\n");
+    get "/readyz" (fun ~query:_ ~body:_ ->
         if Atomic.get ready_flag then
           Http.response
             ("ready\n" ^ recovery_summary session
            ^ health_summary repl_health)
         else Http.response ~status:503 "starting\n");
-    get "/stats" (fun ~body:_ ->
+    get "/stats" (fun ~query:_ ~body:_ ->
         Http.response (Session.stats_tables ~full:true session));
-    get "/slowlog" (fun ~body:_ ->
+    get "/slowlog" (fun ~query:_ ~body:_ ->
         Http.response ~content_type:"application/json" (Slow_log.to_json ()));
-    get "/traces" (fun ~body:_ ->
-        Http.response ~content_type:"application/json"
-          (Trace.to_chrome_json ()));
-    post "/traces/start" (fun ~body:_ ->
-        Trace.arm ();
-        Http.response "tracing armed\n");
-    post "/traces/stop" (fun ~body:_ ->
-        Trace.disarm ();
-        Http.response "tracing disarmed\n");
     replication_route repl;
   ]
+  @ trace_routes ~role
 
-let start ?host ?(ready = true) ~port session =
+let start ?host ?(ready = true) ?(role = "server") ~port session =
   let ready_flag = Atomic.make ready in
   let repl = Atomic.make None in
   let repl_health = Atomic.make None in
   let http =
-    Http.start ?host ~port (routes session ready_flag repl repl_health)
+    Http.start ?host ~port (routes ~role session ready_flag repl repl_health)
   in
   { http; ready_flag; repl; repl_health }
 
 (* A follower process has no Session — its surface is the metrics
-   registry plus its replication status, and readiness is lag-driven. *)
+   registry plus its replication status and trace ring, and readiness
+   is lag-driven. *)
 let follower_routes follower repl =
   [
     metrics_route;
-    get "/healthz" (fun ~body:_ -> Http.response "ok\n");
-    get "/readyz" (fun ~body:_ ->
+    get "/healthz" (fun ~query:_ ~body:_ -> Http.response "ok\n");
+    get "/readyz" (fun ~query:_ ~body:_ ->
         if Follower.is_ready follower then
           Http.response
             (Printf.sprintf "ready\nlag: %d record(s), %d byte(s)\n"
@@ -100,6 +113,7 @@ let follower_routes follower repl =
                (Follower.lag_records follower)));
     replication_route repl;
   ]
+  @ trace_routes ~role:"follower"
 
 let start_follower ?host ~port follower =
   let ready_flag = Atomic.make true in
@@ -109,7 +123,7 @@ let start_follower ?host ~port follower =
 
 let port t = Http.port t.http
 let set_ready t v = Atomic.set t.ready_flag v
-let ready t = Atomic.get t.ready_flag
 let set_replication t status = Atomic.set t.repl status
 let set_replication_health t f = Atomic.set t.repl_health f
+let ready t = Atomic.get t.ready_flag
 let stop t = Http.stop t.http

@@ -9,7 +9,9 @@
       recovery summary
     - [GET /stats] — {!Session.stats_tables} (full)
     - [GET /slowlog] — the slow-statement ring as JSON
-    - [GET /traces] — Chrome-trace JSON of the span ring
+    - [GET /traces] — Chrome-trace JSON of the span ring, tagged with
+      this process's pid and role; [?trace_id=<hex>] filters to one
+      stitched trace (DESIGN.md §16)
     - [POST /traces/start], [POST /traces/stop] — arm / disarm tracing
     - [GET /replication] — replication status JSON (404 until
       {!set_replication} installs a provider; always live on a
@@ -21,16 +23,19 @@
 type t
 
 val start :
-  ?host:string -> ?ready:bool -> port:int -> Session.t -> t
+  ?host:string -> ?ready:bool -> ?role:string -> port:int -> Session.t -> t
 (** Bind and serve (port 0 picks an ephemeral port — read it back with
     {!port}). [ready] is the initial readiness (default [true]: a
     session whose {!Session.create} returned has already replayed its
-    WAL). Raises [Unix.Unix_error] if the bind fails. *)
+    WAL). [role] (default ["server"]) labels this process's lane in
+    [/traces] dumps merged across processes. Raises [Unix.Unix_error]
+    if the bind fails. *)
 
 val start_follower : ?host:string -> port:int -> Follower.t -> t
-(** The follower-process variant: [/metrics], [/healthz], [/readyz]
-    and [/replication] only (there is no session to serve [/stats]
-    from). [/readyz] answers 200 while
+(** The follower-process variant: [/metrics], [/healthz], [/readyz],
+    [/replication] and the [/traces] surface (role ["follower"]) only —
+    there is no session to serve [/stats] from. [/readyz] answers 200
+    while
     {!Follower.is_ready} holds — i.e. replication lag is within
     [GRAQL_REPL_MAX_LAG] — and 503 once the follower falls further
     behind, so a load balancer stops routing stale reads to it. *)

@@ -11,8 +11,49 @@ let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
 type route = {
   rt_meth : string;
   rt_path : string;
-  rt_handle : body:string -> response;
+  rt_handle : query:(string * string) list -> body:string -> response;
 }
+
+(* -- query strings --------------------------------------------------- *)
+
+let percent_decode s =
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> -1
+  in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n && hex s.[!i + 1] >= 0 && hex s.[!i + 2] >= 0 ->
+        Buffer.add_char buf
+          (Char.chr ((hex s.[!i + 1] * 16) + hex s.[!i + 2]));
+        i := !i + 2
+    | '+' -> Buffer.add_char buf ' '
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_query qs =
+  if qs = "" then []
+  else
+    List.filter_map
+      (fun kv ->
+        if kv = "" then None
+        else
+          match String.index_opt kv '=' with
+          | Some i ->
+              Some
+                ( percent_decode (String.sub kv 0 i),
+                  percent_decode
+                    (String.sub kv (i + 1) (String.length kv - i - 1)) )
+          | None -> Some (percent_decode kv, ""))
+      (String.split_on_char '&' qs)
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -154,11 +195,11 @@ let send fd resp =
        resp.status (reason_of resp.status) resp.content_type
        (String.length resp.body) resp.body)
 
-let route_request routes ~meth ~path ~body =
+let route_request routes ~meth ~path ~query ~body =
   match
     List.find_opt (fun r -> r.rt_path = path && r.rt_meth = meth) routes
   with
-  | Some r -> ( try r.rt_handle ~body with e -> (
+  | Some r -> ( try r.rt_handle ~query ~body with e -> (
       Metrics.incr m_errors;
       response ~status:500 ("handler error: " ^ Printexc.to_string e ^ "\n")))
   | None ->
@@ -181,18 +222,24 @@ let handle_connection ~read_timeout_s routes fd =
       match String.split_on_char ' ' first_line with
       | [ meth; target; version ]
         when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
-          (* Strip any query string: the endpoints take no parameters. *)
-          let path =
+          (* Split the query string off and hand it to the handler as
+             decoded key/value pairs (e.g. [/traces?trace_id=...]). *)
+          let path, query =
             match String.index_opt target '?' with
-            | Some i -> String.sub target 0 i
-            | None -> target
+            | Some i ->
+                ( String.sub target 0 i,
+                  parse_query
+                    (String.sub target (i + 1) (String.length target - i - 1))
+                )
+            | None -> (target, [])
           in
           if meth <> "GET" && meth <> "POST" then
             send fd (response ~status:405 "method not allowed\n")
           else (
             match read_body ~deadline fd head leftover with
             | None -> send fd (response ~status:413 "payload too large\n")
-            | Some body -> send fd (route_request routes ~meth ~path ~body)
+            | Some body ->
+                send fd (route_request routes ~meth ~path ~query ~body)
             | exception Timed_out ->
                 send fd (response ~status:408 "request read timed out\n"))
       | _ -> send fd (response ~status:400 "bad request\n"))

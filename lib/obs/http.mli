@@ -20,9 +20,16 @@ val response : ?status:int -> ?content_type:string -> string -> response
 
 type route = {
   rt_meth : string;  (** "GET" or "POST" *)
-  rt_path : string;  (** exact match, e.g. "/metrics" *)
-  rt_handle : body:string -> response;
+  rt_path : string;  (** exact match, e.g. "/metrics"; the query string
+                         is split off before matching *)
+  rt_handle : query:(string * string) list -> body:string -> response;
+      (** [query] holds the percent-decoded [?k=v&...] pairs in request
+          order ([[]] when there is no query string) *)
 }
+
+val parse_query : string -> (string * string) list
+(** Decode a raw query string ("a=1&b=x%20y") into key/value pairs.
+    Exposed for tests. *)
 
 type t
 

@@ -27,6 +27,9 @@ type metric = {
   mutable m_help : string option;
   m_cells : cell list Atomic.t;
   m_gauge : float Atomic.t; (* gauges are a single cold atomic *)
+  m_exemplar : (float * string * float) option Atomic.t;
+      (* histogram exemplar: (value, trace id, wall-clock set time) of
+         the slowest recently traced observation *)
 }
 
 type counter = metric
@@ -92,6 +95,7 @@ let find_or_create ?help ?(labels = []) name kind =
               m_help = help;
               m_cells = Atomic.make [];
               m_gauge = Atomic.make 0.0;
+              m_exemplar = Atomic.make None;
             }
           in
           Hashtbl.add registry key m;
@@ -155,11 +159,45 @@ let bucket_of v =
     let b = if m = 0.5 then e - 1 else e in
     min (nbuckets - 1) b
 
-let observe m v =
+(* Exemplar slot policy: keep the slowest traced observation, but let a
+   stale champion (older than a minute) be displaced by any fresh traced
+   sample — "the trace id of the slowest *recent* observation". *)
+let exemplar_max_age_s = 60.0
+
+let observe ?(exemplar = "") m v =
   let c = cell_of m in
   c.c_count <- c.c_count + 1;
   c.c_sum <- c.c_sum +. v;
-  c.c_buckets.(bucket_of v) <- c.c_buckets.(bucket_of v) + 1
+  c.c_buckets.(bucket_of v) <- c.c_buckets.(bucket_of v) + 1;
+  if exemplar <> "" then begin
+    let now = Unix.gettimeofday () in
+    let rec update () =
+      let cur = Atomic.get m.m_exemplar in
+      let replace =
+        match cur with
+        | None -> true
+        | Some (ev, _, ets) -> v >= ev || now -. ets > exemplar_max_age_s
+      in
+      if
+        replace
+        && not (Atomic.compare_and_set m.m_exemplar cur (Some (v, exemplar, now)))
+      then update ()
+    in
+    update ()
+  end
+
+let exemplar m =
+  match Atomic.get m.m_exemplar with
+  | Some (v, trace, _) -> Some (v, trace)
+  | None -> None
+
+(* Cheap single-histogram reads for per-statement delta accounting
+   (the ledger): fold the cells without building a full snapshot. *)
+let hist_sum m =
+  List.fold_left (fun acc c -> acc +. c.c_sum) 0.0 (Atomic.get m.m_cells)
+
+let hist_count m =
+  List.fold_left (fun acc c -> acc + c.c_count) 0 (Atomic.get m.m_cells)
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
@@ -295,17 +333,33 @@ let to_prometheus () =
       | K_histogram ->
           let h = hist_of m in
           header n "histogram" m;
+          (* OpenMetrics exemplar: the bucket line whose range contains
+             the stored sample grows an " # {trace_id=...} value" tail,
+             linking the histogram to the trace of its slowest recent
+             observation. Emitted at most once per histogram. *)
+          let ex = Atomic.get m.m_exemplar in
+          let ex_attached = ref false in
+          let exemplar_tail le =
+            match ex with
+            | Some (v, trace, _)
+              when (not !ex_attached) && (v <= le || le = infinity) ->
+                ex_attached := true;
+                Printf.sprintf " # {trace_id=\"%s\"} %s"
+                  (escape_label_value trace) (fmt_float v)
+            | _ -> ""
+          in
           let cum = ref 0 in
           List.iter
             (fun (le, c) ->
               cum := !cum + c;
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d%s\n" n
                    (escape_label_value (fmt_float le))
-                   !cum))
+                   !cum (exemplar_tail le)))
             h.h_buckets;
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count);
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d%s\n" n h.h_count
+               (exemplar_tail infinity));
           Buffer.add_string buf
             (Printf.sprintf "%s_sum %s\n" n (fmt_float h.h_sum));
           Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.h_count))
@@ -331,6 +385,7 @@ let reset () =
   List.iter
     (fun m ->
       Atomic.set m.m_gauge 0.0;
+      Atomic.set m.m_exemplar None;
       List.iter
         (fun c ->
           c.c_count <- 0;

@@ -52,7 +52,20 @@ val histogram : ?help:string -> string -> histogram
     [(2^(i-1), 2^i]]; values ≤ 1 land in bucket 0. Suited to
     microsecond latencies (last bucket ≈ 6 days). *)
 
-val observe : histogram -> float -> unit
+val observe : ?exemplar:string -> histogram -> float -> unit
+(** Record one observation. A non-empty [exemplar] (a trace id) makes
+    the observation a candidate for the histogram's exemplar slot: the
+    slot keeps the slowest traced observation, except that a champion
+    older than a minute is displaced by any fresh traced sample. *)
+
+val exemplar : histogram -> (float * string) option
+(** The stored exemplar, as (observed value, trace id). *)
+
+val hist_sum : histogram -> float
+val hist_count : histogram -> int
+(** Single-histogram reads (sum of observed values / observation
+    count) without the cost of a full {!snapshot} — the ledger's
+    before/after delta primitives. *)
 
 type hist_snapshot = {
   h_count : int;
@@ -78,7 +91,9 @@ val to_prometheus : unit -> string
     '_'); histograms are emitted with cumulative [_bucket{le=...}]
     series plus [_sum] and [_count]. [# HELP] text and label values are
     escaped per the exposition format (backslash, double-quote,
-    newline). The dump
+    newline). A histogram with an {!exemplar} appends the OpenMetrics
+    [# {trace_id="..."} value] tail to the bucket line containing the
+    exemplar's value. The dump
     always ends with [graql_build_info] (version and OCaml release as
     labels, value 1) and [graql_uptime_seconds]. *)
 

@@ -12,6 +12,7 @@ type record = {
   r_id : int;
   r_ts : float;
   r_user : string option;
+  r_trace : string;
   r_kind : string;
   r_ms : float;
   r_rows : int;
@@ -19,6 +20,7 @@ type record = {
   r_retries : int;
   r_failovers : int;
   r_error : string option;
+  r_ledger : Ledger.t option;
 }
 
 let id_counter = Atomic.make 0
@@ -116,15 +118,26 @@ let json_of_record r =
   (match r.r_user with
   | Some u -> Buffer.add_string buf (Printf.sprintf "\"user\": %s, " (Json.quote u))
   | None -> ());
+  if r.r_trace <> "" then
+    Buffer.add_string buf
+      (Printf.sprintf "\"trace_id\": %s, " (Json.quote r.r_trace));
   Buffer.add_string buf
     (Printf.sprintf
        "\"stmt\": %s, \"wall_ms\": %.3f, \"rows\": %d, \"outcome\": %s, \
         \"retries\": %d, \"failovers\": %d"
-       (Json.quote r.r_kind) r.r_ms r.r_rows
+       (Json.quote (Redact.statement r.r_kind))
+       r.r_ms r.r_rows
        (Json.quote (outcome_name r.r_outcome))
        r.r_retries r.r_failovers);
   (match r.r_error with
-  | Some e -> Buffer.add_string buf (Printf.sprintf ", \"error\": %s" (Json.quote e))
+  | Some e ->
+      Buffer.add_string buf
+        (Printf.sprintf ", \"error\": %s" (Json.quote (Redact.statement e)))
+  | None -> ());
+  (match r.r_ledger with
+  | Some lg ->
+      Buffer.add_string buf
+        (Printf.sprintf ", \"ledger\": %s" (Ledger.to_json lg))
   | None -> ());
   Buffer.add_char buf '}';
   Buffer.contents buf

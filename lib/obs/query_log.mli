@@ -17,6 +17,7 @@ type record = {
   r_id : int;  (** monotonically assigned, process-wide *)
   r_ts : float;  (** wall clock, seconds since the epoch *)
   r_user : string option;
+  r_trace : string;  (** trace id; "" = untraced (field omitted) *)
   r_kind : string;  (** statement operation label, e.g. "ingest:Offers" *)
   r_ms : float;
   r_rows : int;
@@ -24,6 +25,8 @@ type record = {
   r_retries : int;
   r_failovers : int;
   r_error : string option;  (** present iff failed/timeout *)
+  r_ledger : Ledger.t option;
+      (** per-statement resource accounting, when captured *)
 }
 
 val next_id : unit -> int
@@ -49,7 +52,10 @@ val log : record -> unit
 (** Serialize and emit, if enabled. Thread-safe. *)
 
 val json_of_record : record -> string
-(** The JSON object for one record, without a trailing newline. *)
+(** The JSON object for one record, without a trailing newline. A
+    non-empty [r_trace] becomes a ["trace_id"] field and a captured
+    ledger a nested ["ledger"] object; statement and error text pass
+    through {!Redact.statement} ([GRAQL_LOG_REDACT]). *)
 
 val set_user : string option -> unit
 (** Ambient user stamped into subsequent records (the GEMS server sets

@@ -1,0 +1,51 @@
+(* Log redaction (DESIGN.md §16): statement text reaches the slow log
+   and the query log verbatim, literals included — and literals are
+   where user data lives ('alice', 'US'). With GRAQL_LOG_REDACT set,
+   every quoted literal is elided to '?' before the text is logged; the
+   statement shape stays readable, the payload does not travel.
+
+   The scan mirrors the lexer's literal rules: single or double quotes,
+   a doubled quote escaping itself SQL-style. An unterminated literal
+   redacts to the end of the text (never leak on a truncation). *)
+
+let enabled_env =
+  match Sys.getenv_opt "GRAQL_LOG_REDACT" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
+let enabled = ref enabled_env
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let redact_string s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '\'' || c = '"' then begin
+      (* Skip the literal body, honoring doubled-quote escapes. *)
+      Buffer.add_char buf c;
+      Buffer.add_char buf '?';
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if s.[!i] = c then
+          if !i + 1 < n && s.[!i + 1] = c then i := !i + 2
+          else begin
+            Buffer.add_char buf c;
+            incr i;
+            closed := true
+          end
+        else incr i
+      done
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let statement s = if !enabled then redact_string s else s

@@ -1,0 +1,20 @@
+(** Statement-text redaction for logs (DESIGN.md §16).
+
+    Quoted string literals are where user data lives in a statement;
+    with [GRAQL_LOG_REDACT=1] (read at load) every literal is elided to
+    ['?'] before statement text reaches the slow log or the query log.
+    The statement shape stays readable; the payload does not travel. *)
+
+val statement : string -> string
+(** The text to log: verbatim when redaction is off, literals elided
+    to ['?'] when it is on. Honors single and double quotes and the
+    SQL-style doubled-quote escape; an unterminated literal is elided
+    to the end of the text. *)
+
+val redact_string : string -> string
+(** Unconditional redaction (what {!statement} applies when enabled). *)
+
+val is_enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Override the environment default (tests). *)

@@ -1,7 +1,10 @@
 type entry = {
   e_stmt : string;
+  e_user : string option;
+  e_trace : string;
   e_ms : float;
   e_spans : (string * int * float) list; (* name, count, total ms *)
+  e_ledger : Ledger.t option;
 }
 
 let mutex = Mutex.create ()
@@ -56,8 +59,11 @@ let set_threshold_ms t =
 
 let set_sink s = locked (fun () -> sink := s)
 
-let note ~stmt ~ms ~spans =
-  let entry = { e_stmt = stmt; e_ms = ms; e_spans = spans } in
+let note ?user ?(trace = "") ?ledger ~stmt ~ms ~spans () =
+  let entry =
+    { e_stmt = Redact.statement stmt; e_user = user; e_trace = trace;
+      e_ms = ms; e_spans = spans; e_ledger = ledger }
+  in
   let s =
     locked (fun () ->
         entries_rev := entry :: !entries_rev;
@@ -94,19 +100,41 @@ let to_string e =
                l)
         ^ "]"
   in
-  Printf.sprintf "slow statement (%.1f ms): %s%s" e.e_ms
-    (truncate_stmt e.e_stmt) spans
+  let who = match e.e_user with Some u -> " user=" ^ u | None -> "" in
+  let tr = if e.e_trace = "" then "" else " trace=" ^ e.e_trace in
+  let resources =
+    match e.e_ledger with
+    | Some lg -> "\n  resources: " ^ Ledger.summary lg
+    | None -> ""
+  in
+  Printf.sprintf "slow statement (%.1f ms)%s%s: %s%s%s" e.e_ms who tr
+    (truncate_stmt e.e_stmt) spans resources
 
 let entry_to_json e =
   let module Json = Graql_util.Json in
-  Printf.sprintf "{\"stmt\": %s, \"wall_ms\": %.3f, \"spans\": [%s]}"
-    (Json.quote e.e_stmt) e.e_ms
+  let user =
+    match e.e_user with
+    | Some u -> Printf.sprintf "\"user\": %s, " (Json.quote u)
+    | None -> ""
+  in
+  let trace =
+    if e.e_trace = "" then ""
+    else Printf.sprintf "\"trace_id\": %s, " (Json.quote e.e_trace)
+  in
+  let ledger =
+    match e.e_ledger with
+    | Some lg -> Printf.sprintf ", \"ledger\": %s" (Ledger.to_json lg)
+    | None -> ""
+  in
+  Printf.sprintf "{%s%s\"stmt\": %s, \"wall_ms\": %.3f, \"spans\": [%s]%s}"
+    user trace (Json.quote e.e_stmt) e.e_ms
     (String.concat ", "
        (List.map
           (fun (name, count, ms) ->
             Printf.sprintf "{\"name\": %s, \"count\": %d, \"ms\": %.3f}"
               (Json.quote name) count ms)
           e.e_spans))
+    ledger
 
 let to_json () =
   "[" ^ String.concat ",\n " (List.map entry_to_json (entries ())) ^ "]\n"

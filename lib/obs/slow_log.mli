@@ -4,10 +4,15 @@
     Enabling it arms {!Trace} so the span summaries have data. *)
 
 type entry = {
-  e_stmt : string;  (** pretty-printed statement *)
+  e_stmt : string;
+      (** pretty-printed statement, after {!Redact.statement} *)
+  e_user : string option;
+  e_trace : string;  (** trace id; "" = untraced *)
   e_ms : float;
   e_spans : (string * int * float) list;
       (** per child-span name: (name, count, total ms), slowest first *)
+  e_ledger : Ledger.t option;
+      (** per-statement resource accounting, when captured *)
 }
 
 val threshold_ms : unit -> float option
@@ -29,8 +34,16 @@ val set_sink : (entry -> unit) option -> unit
     printer. *)
 
 val note :
-  stmt:string -> ms:float -> spans:(string * int * float) list -> unit
-(** Record an entry (engine use; keeps the most recent 256). *)
+  ?user:string ->
+  ?trace:string ->
+  ?ledger:Ledger.t ->
+  stmt:string ->
+  ms:float ->
+  spans:(string * int * float) list ->
+  unit ->
+  unit
+(** Record an entry (engine use; keeps the most recent 256). The
+    statement text is redacted per [GRAQL_LOG_REDACT] before storage. *)
 
 val entries : unit -> entry list
 (** Recorded entries, oldest first. *)

@@ -3,6 +3,7 @@ type event = {
   ev_parent : int;
   ev_name : string;
   ev_cat : string;
+  ev_trace : string;
   ev_ts_us : float;
   ev_dur_us : float;
   ev_dom : int;
@@ -14,13 +15,14 @@ type span = {
   sp_parent : int;
   sp_name : string;
   sp_cat : string;
+  sp_trace : string;
   sp_args : (string * string) list;
   sp_start : float;
 }
 
 let null_span =
-  { sp_id = 0; sp_parent = 0; sp_name = ""; sp_cat = ""; sp_args = [];
-    sp_start = 0.0 }
+  { sp_id = 0; sp_parent = 0; sp_name = ""; sp_cat = ""; sp_trace = "";
+    sp_args = []; sp_start = 0.0 }
 
 let armed = Atomic.make false
 let next_id = Atomic.make 1
@@ -63,12 +65,65 @@ let dropped () =
   let cap = Array.length !ring in
   if cap = 0 then 0 else max 0 (Atomic.get cursor - cap)
 
+let capacity () =
+  let cap = Array.length !ring in
+  if cap = 0 then default_capacity else cap
+
+(* Silent trace loss is an operational fact worth a scrape line: the
+   cumulative drop count and the ring size it is relative to. Called by
+   the /metrics handlers right before exposition. *)
+let m_dropped = Metrics.counter "trace.dropped" ~help:"Trace ring events lost to wrap-around"
+let g_capacity = Metrics.gauge "trace.ring_capacity" ~help:"Trace ring slot count"
+
+let update_metrics () =
+  Metrics.set_gauge g_capacity (float_of_int (capacity ()));
+  let d = dropped () in
+  let seen = Metrics.counter_value m_dropped in
+  if d > seen then Metrics.add m_dropped (d - seen)
+
 (* Timestamps are microseconds since module load: small enough to render
    nicely in trace viewers, monotone as long as the wall clock is. *)
 let t0 = Unix.gettimeofday ()
 let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
 
 let parent_key = Domain.DLS.new_key (fun () -> 0)
+let trace_key = Domain.DLS.new_key (fun () -> "")
+
+(* -- trace ids ------------------------------------------------------- *)
+(* 128-bit ids as 32 lowercase hex chars ("" = untraced), produced by a
+   splitmix64 walk over a CAS-advanced seed: two mixed outputs per id,
+   no lock on the hot path, unique across domains, and distinct across
+   processes because the seed folds in the pid and start time. *)
+
+let id_seed =
+  Atomic.make
+    (Int64.logxor
+       (Int64.of_float (Unix.gettimeofday () *. 1e6))
+       (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9e3779b97f4a7c15L))
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let next64 () =
+  let rec go () =
+    let cur = Atomic.get id_seed in
+    let nxt = Int64.add cur 0x9e3779b97f4a7c15L in
+    if Atomic.compare_and_set id_seed cur nxt then mix64 nxt else go ()
+  in
+  go ()
+
+let new_trace_id () = Printf.sprintf "%016Lx%016Lx" (next64 ()) (next64 ())
+
+let current_trace () = Domain.DLS.get trace_key
+
+let with_trace trace f =
+  let old = Domain.DLS.get trace_key in
+  Domain.DLS.set trace_key trace;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set trace_key old) f
 
 let span_id sp = sp.sp_id
 
@@ -80,6 +135,7 @@ let begin_span ?(cat = "") ?(args = []) name =
       sp_parent = Domain.DLS.get parent_key;
       sp_name = name;
       sp_cat = cat;
+      sp_trace = Domain.DLS.get trace_key;
       sp_args = args;
       sp_start = now_us ();
     }
@@ -93,6 +149,7 @@ let end_span sp =
         ev_parent = sp.sp_parent;
         ev_name = sp.sp_name;
         ev_cat = sp.sp_cat;
+        ev_trace = sp.sp_trace;
         ev_ts_us = sp.sp_start;
         ev_dur_us = now -. sp.sp_start;
         ev_dom = (Domain.self () :> int);
@@ -127,6 +184,20 @@ let with_parent id f =
   Domain.DLS.set parent_key id;
   Fun.protect ~finally:(fun () -> Domain.DLS.set parent_key old) f
 
+(* The receiving half of propagation: adopt a remote statement's trace
+   id and parent span id as this domain's ambient context, so spans
+   recorded under [f] stitch beneath the remote caller's span. *)
+let with_context ~trace ~parent f =
+  let old_trace = Domain.DLS.get trace_key in
+  let old_parent = Domain.DLS.get parent_key in
+  Domain.DLS.set trace_key trace;
+  Domain.DLS.set parent_key parent;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set trace_key old_trace;
+      Domain.DLS.set parent_key old_parent)
+    f
+
 let events () =
   let r = !ring in
   let out = ref [] in
@@ -134,6 +205,9 @@ let events () =
   List.sort (fun a b -> compare a.ev_ts_us b.ev_ts_us) !out
 
 let children id = List.filter (fun ev -> ev.ev_parent = id) (events ())
+
+let events_of_trace trace =
+  List.filter (fun ev -> ev.ev_trace = trace) (events ())
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace JSON                                                   *)
@@ -154,21 +228,42 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_chrome_json () =
+let to_chrome_json ?trace_id ?role () =
+  let pid = Unix.getpid () in
+  let evs =
+    match trace_id with
+    | Some tr -> events_of_trace tr
+    | None -> events ()
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[";
-  List.iteri
-    (fun i ev ->
-      if i > 0 then Buffer.add_string buf ",";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf "," in
+  (* A process_name metadata event labels this process's lane in the
+     merged Perfetto view ("primary", "follower", "server", ...). *)
+  (match role with
+  | Some r ->
+      sep ();
       Buffer.add_string buf
         (Printf.sprintf
-           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{"
+           "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+            \"args\":{\"name\":\"%s\"}}"
+           pid (json_escape r))
+  | None -> ());
+  List.iter
+    (fun ev ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{"
            (json_escape ev.ev_name)
            (json_escape (if ev.ev_cat = "" then "graql" else ev.ev_cat))
-           ev.ev_ts_us ev.ev_dur_us ev.ev_dom);
+           ev.ev_ts_us ev.ev_dur_us pid ev.ev_dom);
       let args =
         [ ("id", string_of_int ev.ev_id);
           ("parent", string_of_int ev.ev_parent) ]
+        @ (if ev.ev_trace = "" then [] else [ ("trace_id", ev.ev_trace) ])
         @ ev.ev_args
       in
       List.iteri
@@ -178,11 +273,31 @@ let to_chrome_json () =
             (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
         args;
       Buffer.add_string buf "}}")
-    (events ());
+    evs;
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
 
-let write_chrome_json path =
+(* Concatenate several Chrome-trace dumps (one per process) into one
+   array an operator loads whole in Perfetto: strip each dump's outer
+   brackets and splice the bodies. Tolerates whitespace and empty
+   dumps; anything without both brackets is skipped. *)
+let merge_dumps dumps =
+  let body s =
+    match (String.index_opt s '[', String.rindex_opt s ']') with
+    | Some i, Some j when j > i -> String.trim (String.sub s (i + 1) (j - i - 1))
+    | _ -> ""
+  in
+  let bodies = List.filter (fun b -> b <> "") (List.map body dumps) in
+  "[\n" ^ String.concat ",\n" bodies ^ "\n]\n"
+
+let write_chrome_json ?trace_id ?role path =
   let oc = open_out_bin path in
-  output_string oc (to_chrome_json ());
+  output_string oc (to_chrome_json ?trace_id ?role ());
   close_out oc
+
+(* GRAQL_TRACE=1 arms tracing at load — the knob a spawned server or
+   follower process needs when no CLI flag reaches it. *)
+let () =
+  match Sys.getenv_opt "GRAQL_TRACE" with
+  | Some ("1" | "true" | "on") -> arm ()
+  | _ -> ()

@@ -1,4 +1,5 @@
-(** Lightweight tracing spans (DESIGN.md §10).
+(** Lightweight tracing spans with distributed trace ids (DESIGN.md
+    §10, §16).
 
     Spans are begin/end pairs with parent linkage and wall-clock
     timestamps, recorded into a fixed-size in-memory ring buffer when
@@ -9,7 +10,15 @@
     Parent linkage is ambient: {!with_span} makes its span the parent of
     any span begun inside the callback on the same domain, and
     {!with_parent} carries a span id across a domain hop (the pool task
-    closure runs it on whichever worker picks the task up). *)
+    closure runs it on whichever worker picks the task up).
+
+    Trace ids are the cross-process half: 128-bit ids rendered as 32
+    lowercase hex characters ("" = untraced). {!with_trace} makes an id
+    ambient on a domain; every span begun while it is set is stamped
+    with it, and {!with_context} adopts both a remote trace id and a
+    remote parent span id — the receiving side of a traceparent carried
+    over a wire protocol. Setting [GRAQL_TRACE=1] arms tracing at
+    module load (the knob for spawned server/follower processes). *)
 
 val arm : unit -> unit
 (** Start recording. Idempotent; does not clear previously recorded
@@ -35,6 +44,8 @@ val null_span : span
 
 val begin_span :
   ?cat:string -> ?args:(string * string) list -> string -> span
+(** Open a span. The ambient parent span id and trace id of the calling
+    domain are captured at this point. *)
 
 val end_span : span -> unit
 (** Record the completed span. Must be called on the domain that began
@@ -55,11 +66,30 @@ val current_parent : unit -> int
 (** The ambient parent span id on this domain (0 = none). Capture it at
     task-submission time to hand to {!with_parent} on a worker. *)
 
+(** {2 Trace ids} *)
+
+val new_trace_id : unit -> string
+(** A fresh 128-bit trace id: 32 lowercase hex characters, unique
+    across domains and (with overwhelming probability) across
+    processes. *)
+
+val current_trace : unit -> string
+(** The ambient trace id on this domain ("" = none). *)
+
+val with_trace : string -> (unit -> 'a) -> 'a
+(** Make a trace id ambient for the callback: spans begun inside are
+    stamped with it. *)
+
+val with_context : trace:string -> parent:int -> (unit -> 'a) -> 'a
+(** Adopt a remote statement's traceparent — trace id and parent span
+    id — as this domain's ambient context for the callback. *)
+
 type event = {
   ev_id : int;
   ev_parent : int;  (** 0 = no parent *)
   ev_name : string;
   ev_cat : string;
+  ev_trace : string;  (** trace id, "" = untraced *)
   ev_ts_us : float;  (** start, microseconds since process start *)
   ev_dur_us : float;
   ev_dom : int;  (** domain that completed the span *)
@@ -72,13 +102,31 @@ val events : unit -> event list
 val children : int -> event list
 (** Recorded events whose parent is the given span id. *)
 
+val events_of_trace : string -> event list
+(** Recorded events stamped with the given trace id, in
+    start-timestamp order. *)
+
 val dropped : unit -> int
 (** Events overwritten by ring wrap-around since the last {!clear}. *)
 
-val to_chrome_json : unit -> string
-(** A JSON array of Chrome-trace complete events ([ph:"X"]); [tid] is
-    the recording domain's id, span id and parent are carried in
-    [args]. *)
+val capacity : unit -> int
+(** The ring's slot count (the default even before first use). *)
 
-val write_chrome_json : string -> unit
+val update_metrics : unit -> unit
+(** Refresh [trace.ring_capacity] (gauge) and [trace.dropped] (counter)
+    in the metrics registry from the ring's current state — call before
+    an exposition so silent trace loss is visible on /metrics. *)
+
+val to_chrome_json : ?trace_id:string -> ?role:string -> unit -> string
+(** A JSON array of Chrome-trace complete events ([ph:"X"]); [pid] is
+    the real process id, [tid] the recording domain's id; span id,
+    parent and trace id are carried in [args]. [trace_id] restricts the
+    dump to one trace; [role] prepends a [process_name] metadata event
+    labeling this process's lane in a merged Perfetto view. *)
+
+val merge_dumps : string list -> string
+(** Splice several Chrome-trace dumps (one per process, each exported
+    with a distinct [role]) into one loadable JSON array. *)
+
+val write_chrome_json : ?trace_id:string -> ?role:string -> string -> unit
 (** Write {!to_chrome_json} to a file. *)

@@ -212,19 +212,24 @@ let run_tasks t tasks =
     in
     let label = current_label () in
     let parent = Graql_obs.Trace.current_parent () in
+    (* Trace context crosses the domain hop with the task: worker spans
+       stitch into the submitting statement's trace, and the wait/run
+       histograms carry its id as an exemplar. *)
+    let trace = Graql_obs.Trace.current_trace () in
     let submitted = Unix.gettimeofday () in
     let wrap index task () =
       (try
          check_cancel t;
          let started = Unix.gettimeofday () in
-         Graql_obs.Metrics.observe h_wait_us ((started -. submitted) *. 1e6);
+         Graql_obs.Metrics.observe ~exemplar:trace h_wait_us
+           ((started -. submitted) *. 1e6);
          Graql_obs.Metrics.incr m_tasks;
          Fun.protect
            ~finally:(fun () ->
-             Graql_obs.Metrics.observe h_run_us
+             Graql_obs.Metrics.observe ~exemplar:trace h_run_us
                ((Unix.gettimeofday () -. started) *. 1e6))
            (fun () ->
-             Graql_obs.Trace.with_parent parent (fun () ->
+             Graql_obs.Trace.with_context ~trace ~parent (fun () ->
                  Graql_obs.Trace.with_span ~cat:"pool"
                    ~args:[ ("label", label) ]
                    "pool.task"

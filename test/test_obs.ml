@@ -465,7 +465,7 @@ let test_slow_log_json () =
       Slow_log.clear ())
     (fun () ->
       Slow_log.note ~stmt:"select \"quoted\"" ~ms:1.5
-        ~spans:[ ("path.step", 3, 0.75) ];
+        ~spans:[ ("path.step", 3, 0.75) ] ();
       match Graql_util.Json.parse (Slow_log.to_json ()) with
       | Ok (Graql_util.Json.Arr [ entry ]) ->
           check "stmt survives JSON round trip" true
@@ -642,6 +642,179 @@ let test_collector_scoping () =
   | [ op ] -> check "op recorded" true (op.Profile.sa_label = "join")
   | _ -> Alcotest.fail "expected exactly one op"
 
+(* ---------- distributed tracing, ledger, redaction (DESIGN.md §16) -- *)
+
+module Ledger = Graql_obs.Ledger
+module Redact = Graql_obs.Redact
+module Query_log = Graql_obs.Query_log
+module Http = Graql_obs.Http
+
+let contains hay needle =
+  let nl = String.length needle and tl = String.length hay in
+  let rec go i = i + nl <= tl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_trace_ids () =
+  Trace.clear ();
+  Trace.arm ();
+  Fun.protect ~finally:(fun () -> Trace.disarm ()) @@ fun () ->
+  let t1 = Trace.new_trace_id () in
+  let t2 = Trace.new_trace_id () in
+  check_int "trace id is 32 chars" 32 (String.length t1);
+  String.iter
+    (fun c ->
+      check "trace id is lowercase hex" true
+        (match c with '0' .. '9' | 'a' .. 'f' -> true | _ -> false))
+    t1;
+  check "trace ids are unique" true (t1 <> t2);
+  check "no ambient trace by default" true (Trace.current_trace () = "");
+  Trace.with_trace t1 (fun () ->
+      check "with_trace sets the ambient id" true (Trace.current_trace () = t1);
+      Trace.with_span ~cat:"test" "one" (fun () ->
+          Trace.with_span ~cat:"test" "one.child" (fun () -> ())));
+  Trace.with_trace t2 (fun () ->
+      Trace.with_span ~cat:"test" "two" (fun () -> ()));
+  Trace.with_span ~cat:"test" "untraced" (fun () -> ());
+  let of1 = Trace.events_of_trace t1 in
+  check_int "trace 1 has its two spans" 2 (List.length of1);
+  check "all filtered events carry the id" true
+    (List.for_all (fun e -> e.Trace.ev_trace = t1) of1);
+  (* Remote-context adoption: the receiving side of a traceparent. *)
+  Trace.with_context ~trace:t2 ~parent:4242 (fun () ->
+      Trace.with_span ~cat:"test" "adopted" (fun () -> ()));
+  let adopted =
+    List.find
+      (fun e -> e.Trace.ev_name = "adopted")
+      (Trace.events_of_trace t2)
+  in
+  check_int "adopted span hangs off the remote parent" 4242
+    adopted.Trace.ev_parent;
+  (* Filtered per-role dumps merge into one parseable array. *)
+  let dump1 = Trace.to_chrome_json ~trace_id:t1 ~role:"server" () in
+  check "filtered dump keeps the trace" true (contains dump1 "one.child");
+  check "filtered dump drops other traces" false (contains dump1 "\"two\"");
+  let merged =
+    Trace.merge_dumps
+      [ dump1; Trace.to_chrome_json ~trace_id:t2 ~role:"follower" () ]
+  in
+  check "merged dump parses as JSON" true (json_parse (String.trim merged));
+  check "merged dump keeps both role labels" true
+    (contains merged "\"server\"" && contains merged "\"follower\"")
+
+let test_trace_drop_metrics () =
+  Trace.set_capacity 8;
+  Trace.arm ();
+  for i = 0 to 19 do
+    Trace.with_span ~cat:"test" (Printf.sprintf "d%d" i) (fun () -> ())
+  done;
+  Trace.disarm ();
+  Trace.update_metrics ();
+  let prom = Metrics.to_prometheus () in
+  check "ring capacity gauge exposed" true
+    (contains prom "graql_trace_ring_capacity 8");
+  check "dropped counter exposed" true
+    (contains prom "graql_trace_dropped_total 12");
+  (* The counter is delta-fed: re-exposing without new drops must not
+     double-count. *)
+  Trace.update_metrics ();
+  check "dropped counter is not double-counted" true
+    (contains (Metrics.to_prometheus ()) "graql_trace_dropped_total 12");
+  Trace.set_capacity 65536
+
+let test_exemplar_exposition () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.exemplar_us" in
+  let tid = Trace.new_trace_id () in
+  Metrics.observe ~exemplar:tid h 100.0;
+  Metrics.observe h 3.0 (* untraced: must not displace the exemplar *);
+  let prom = Metrics.to_prometheus () in
+  check "exemplar tail on a bucket line" true
+    (contains prom (Printf.sprintf " # {trace_id=\"%s\"} 100" tid));
+  (* At most one exemplar per histogram exposition. *)
+  let occurrences =
+    let re = "# {trace_id=" in
+    let n = ref 0 in
+    for i = 0 to String.length prom - String.length re do
+      if String.sub prom i (String.length re) = re then incr n
+    done;
+    !n
+  in
+  check_int "exactly one exemplar tail" 1 occurrences;
+  check "exposition still parses as prometheus text" true
+    (contains prom "graql_test_exemplar_us_count 2")
+
+let test_redaction () =
+  Redact.set_enabled false;
+  Fun.protect ~finally:(fun () -> Redact.set_enabled false) @@ fun () ->
+  let stmt = "select name from table T where city = 'Palo Alto'" in
+  check "redaction off: verbatim" true (Redact.statement stmt = stmt);
+  Redact.set_enabled true;
+  check "single-quoted literal elided" true
+    (Redact.statement stmt
+    = "select name from table T where city = '?'");
+  check "double quotes too" true
+    (Redact.statement {|set %x% = "secret"|} = {|set %x% = "?"|});
+  check "doubled-quote escape stays inside the literal" true
+    (Redact.statement "where a = 'it''s' and b = 2"
+    = "where a = '?' and b = 2");
+  check "unterminated literal elided to the end" true
+    (Redact.statement "where a = 'oops" = "where a = '?");
+  (* The query log passes statement text through redaction. *)
+  let line =
+    Query_log.json_of_record
+      {
+        Query_log.r_id = 7;
+        r_ts = 0.0;
+        r_user = Some "alice";
+        r_trace = "cafe0000cafe0000cafe0000cafe0000";
+        r_kind = "select:'secret'";
+        r_ms = 1.5;
+        r_rows = 3;
+        r_outcome = Query_log.Ok;
+        r_retries = 0;
+        r_failovers = 0;
+        r_error = None;
+        r_ledger = None;
+      }
+  in
+  check "query-log line is JSON" true (json_parse line);
+  check "query-log line carries the user" true
+    (contains line "\"user\": \"alice\"");
+  check "query-log line carries the trace id" true
+    (contains line "\"trace_id\": \"cafe0000cafe0000cafe0000cafe0000\"");
+  check "query-log statement text is redacted" true
+    (contains line "select:'?'" && not (contains line "secret"))
+
+let test_parse_query () =
+  Alcotest.(check (list (pair string string)))
+    "empty" [] (Http.parse_query "");
+  Alcotest.(check (list (pair string string)))
+    "pairs, percent and plus decoding, bare keys"
+    [ ("trace_id", "abc123"); ("q", "a b+c"); ("flag", "") ]
+    (Http.parse_query "trace_id=abc123&q=a%20b%2Bc&flag")
+
+let test_ledger_capture () =
+  Metrics.reset ();
+  check "not capturing by default" false (Ledger.capturing ());
+  Ledger.note_scan_bytes 9999 (* ignored: no bracket open *);
+  let snap = Ledger.start () in
+  check "capturing inside a bracket" true (Ledger.capturing ());
+  let rows = Metrics.counter "table.scan_rows" in
+  Metrics.add rows 123;
+  Ledger.note_scan_bytes 4096;
+  let lg = Ledger.finish ~rows_out:7 snap in
+  check "bracket closed" false (Ledger.capturing ());
+  check_int "scan rows attributed" 123 lg.Ledger.lg_rows_scanned;
+  check_int "scan bytes attributed" 4096 lg.Ledger.lg_bytes_scanned;
+  check_int "rows out pass through" 7 lg.Ledger.lg_rows_out;
+  check "allocation words recorded" true (lg.Ledger.lg_minor_words >= 0.0);
+  let js = Ledger.to_json lg in
+  check "ledger json parses" true (json_parse js);
+  check "ledger json carries rows_scanned" true
+    (contains js "\"rows_scanned\":123");
+  check "summary mentions the scan" true
+    (contains (Ledger.summary lg) "123")
+
 let () =
   Alcotest.run "obs"
     [
@@ -700,4 +873,16 @@ let () =
         ] );
       ( "cli",
         [ Alcotest.test_case "dump flags" `Slow test_cli_dump_flags ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "trace ids, filtering, merged dumps" `Quick
+            test_trace_ids;
+          Alcotest.test_case "drop counter and capacity gauge" `Quick
+            test_trace_drop_metrics;
+          Alcotest.test_case "openmetrics exemplars" `Quick
+            test_exemplar_exposition;
+          Alcotest.test_case "log redaction" `Quick test_redaction;
+          Alcotest.test_case "query-string parsing" `Quick test_parse_query;
+          Alcotest.test_case "resource ledger" `Quick test_ledger_capture;
+        ] );
     ]

@@ -30,6 +30,8 @@ module Berlin_schema = Graql_berlin.Berlin_schema
 module Berlin_gen = Graql_berlin.Berlin_gen
 module Value = Graql_storage.Value
 module Rng = Graql_util.Rng
+module Trace = Graql_obs.Trace
+module Json = Graql_util.Json
 
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
@@ -490,7 +492,11 @@ let spawn_primary ~pdir ~port ~log script =
               not (String.length kv >= 22
                    && String.sub kv 0 22 = "GRAQL_CHECKPOINT_BYTES"))
             (Array.to_seq (Unix.environment ()))))
-      [| "GRAQL_CHECKPOINT_BYTES=1073741824" |]
+      [| "GRAQL_CHECKPOINT_BYTES=1073741824";
+         (* Arm tracing in the primary process: every statement gets a
+            trace id, and WAL records ship it to the follower — the
+            chaos rounds then assert the ids survive kills/failover. *)
+         "GRAQL_TRACE=1" |]
   in
   let pid =
     Unix.create_process_env graql_bin
@@ -568,10 +574,17 @@ let test_chaos_kill_the_primary () =
   write_file (Filename.concat pdir "again.graql") "set %restarted% = 1\n";
   write_file (Filename.concat pdir "orphan.graql") "set %orphan% = 1\n";
   let fdir = Filename.concat base "follower" in
+  (* Trace the whole drill: the primary process runs with GRAQL_TRACE=1
+     (statement trace ids ride its WAL records), and arming this
+     process's ring makes the follower record [repl.apply] spans under
+     those ids — crossing both the wire and the SIGKILL. *)
+  Trace.clear ();
+  Trace.arm ();
   let f = Follower.start ~port ~dir:fdir () in
   let live_pid = ref None in
   Fun.protect
     ~finally:(fun () ->
+      Trace.disarm ();
       Option.iter kill_and_reap !live_pid;
       Follower.stop f)
   @@ fun () ->
@@ -655,7 +668,56 @@ let test_chaos_kill_the_primary () =
     (digest (Session.db promoted))
     (digest (Follower.db f2));
   check_str "their log files converge too" (read_file (wal0 fdir))
-    (read_file (wal0 pdir))
+    (read_file (wal0 pdir));
+  (* -------- satellite: trace continuity across the kill --------
+     Statements the SIGKILLed primary traced were applied here under
+     the trace ids its WAL records carried. After the failover, one
+     such id must still yield a parseable merged Chrome-trace dump
+     whose events all carry that single id. *)
+  let traced_applies =
+    List.filter
+      (fun e -> e.Trace.ev_name = "repl.apply" && e.Trace.ev_trace <> "")
+      (Trace.events ())
+  in
+  if traced_applies = [] then begin
+    let evs = Trace.events () in
+    let applies =
+      List.filter (fun e -> e.Trace.ev_name = "repl.apply") evs
+    in
+    Alcotest.failf
+      "no traced repl.apply: %d events total, %d repl.apply, names: %s"
+      (List.length evs) (List.length applies)
+      (String.concat ","
+         (List.sort_uniq compare (List.map (fun e -> e.Trace.ev_name) evs)))
+  end;
+  let tid = (List.hd traced_applies).Trace.ev_trace in
+  let merged =
+    Trace.merge_dumps
+      [
+        Trace.to_chrome_json ~trace_id:tid ~role:"follower" ();
+        Trace.to_chrome_json ~trace_id:tid ~role:"promoted-primary" ();
+      ]
+  in
+  let doc =
+    match Json.parse merged with
+    | Ok doc -> doc
+    | Error msg -> Alcotest.failf "merged trace dump unparseable: %s" msg
+  in
+  let entries = Option.value (Json.to_list doc) ~default:[] in
+  check_bool "merged dump has events" true (entries <> []);
+  let stamped = ref 0 in
+  List.iter
+    (fun ev ->
+      match
+        Option.bind (Json.member "args" ev) (fun a -> Json.member "trace_id" a)
+      with
+      | Some t ->
+          incr stamped;
+          check_str "every merged event carries the one trace id" tid
+            (Option.value (Json.to_string_opt t) ~default:"")
+      | None -> () (* process_name metadata rows carry no trace id *))
+    entries;
+  check_bool "the merged dump contains the traced spans" true (!stamped > 0)
 
 let () =
   Alcotest.run "repl"

@@ -157,8 +157,24 @@ let test_proto_codec () =
   let client_msgs =
     [
       Proto.C_hello { user = "alice" };
-      Proto.C_stmt { id = 7; deadline_ms = 250; ir = Bytes.of_string "\x00\xff\x01ir" };
-      Proto.C_stmt { id = 0; deadline_ms = 0; ir = Bytes.create 0 };
+      Proto.C_stmt
+        {
+          id = 7;
+          deadline_ms = 250;
+          ir = Bytes.of_string "\x00\xff\x01ir";
+          trace = "";
+          parent_span = 0;
+        };
+      Proto.C_stmt
+        { id = 0; deadline_ms = 0; ir = Bytes.create 0; trace = ""; parent_span = 0 };
+      Proto.C_stmt
+        {
+          id = 11;
+          deadline_ms = 0;
+          ir = Bytes.of_string "ir";
+          trace = "0123456789abcdef0123456789abcdef";
+          parent_span = 42;
+        };
       Proto.C_shutdown;
     ]
   in
@@ -277,7 +293,9 @@ let test_raw_dribbled_statement () =
   let ir = Graql_ir.Codec.encode_script
       (Graql_lang.Parser.parse_script "set %dribble% = 42")
   in
-  drip (Proto.encode_client (Proto.C_stmt { id = 5; deadline_ms = 0; ir }));
+  drip
+    (Proto.encode_client
+       (Proto.C_stmt { id = 5; deadline_ms = 0; ir; trace = ""; parent_span = 0 }));
   match recv_server fd with
   | Some (Proto.S_result { id; outcomes; _ }) ->
       check_int "statement id echoed" 5 id;
@@ -903,6 +921,110 @@ let test_overload_chaos () =
   check_bool "the post-drain write left no trace" true
     (Db.find_param rdb "too_late" = None)
 
+(* ====================================================================
+   Distributed tracing acceptance (DESIGN.md §16): one statement issued
+   through the wire client against a replicating primary yields ONE
+   trace id stitching client → admission → executor → WAL fsync →
+   follower apply. Everything runs in-process here, so all five layers
+   record into the same ring and parentage is directly checkable; the
+   cross-process version of the same assertion (separate rings merged
+   with [trace-merge]) lives in the CI trace-propagation job and the
+   replication chaos drill. *)
+
+module Follower = Graql_gems.Follower
+module Trace = Graql_obs.Trace
+
+let test_trace_stitching () =
+  with_temp_dir @@ fun base ->
+  let pdir = Filename.concat base "primary" in
+  let server = Server.create ~durability:(Session.Wal_dir pdir) () in
+  List.iter
+    (fun (name, role) -> Server.add_user server ~name ~role)
+    default_users;
+  let session = Server.session server in
+  let wal = Option.get (Session.wal session) in
+  let p = Repl.start_primary ~port:0 wal in
+  let f = Follower.start ~port:(Repl.primary_port p)
+      ~dir:(Filename.concat base "follower") () in
+  let sv = Serve.start ~config:Serve.default_config server in
+  Trace.clear ();
+  Trace.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disarm ();
+      Follower.stop f;
+      Repl.stop_primary p;
+      Serve.stop sv;
+      Session.close session)
+  @@ fun () ->
+  let cl = Client.connect ~port:(Serve.port sv) ~user:"admin" () in
+  Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+  let trace = Trace.new_trace_id () in
+  ignore (expect_ok "traced stmt" (Client.run ~trace cl "set %traced% = 1"));
+  wait_until "the traced record to reach the follower" (fun () ->
+      Follower.offset f = Wal.size wal && Follower.lag_records f = 0);
+  let evs = Trace.events_of_trace trace in
+  let find name =
+    match List.find_opt (fun e -> e.Trace.ev_name = name) evs with
+    | Some e -> e
+    | None ->
+        Alcotest.failf "span %S missing from trace %s (got: %s)" name trace
+          (String.concat ", "
+             (List.map (fun e -> e.Trace.ev_name) evs))
+  in
+  let client = find "client.stmt" in
+  let admit = find "serve.admit" in
+  let stmt = find "serve.stmt" in
+  let exec =
+    match
+      List.find_opt
+        (fun e ->
+          String.length e.Trace.ev_name > 5
+          && String.sub e.Trace.ev_name 0 5 = "stmt:")
+        evs
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "executor stmt:* span missing from the trace"
+  in
+  let append = find "wal.append" in
+  let fsync = find "wal.fsync" in
+  let apply = find "repl.apply" in
+  ignore (find "repl.ship");
+  (* Parentage: the client span is the root; admission and execution
+     hang off it; the fsync is a child of the append, which happened
+     inside the executor's statement span. The follower's apply span
+     has no in-ring parent (its parent lives across the "wire") but
+     carries the same trace id — that is what stitches the lanes. *)
+  check_int "client.stmt is the root" 0 client.Trace.ev_parent;
+  check_int "serve.admit hangs off the client span" client.Trace.ev_id
+    admit.Trace.ev_parent;
+  check_int "serve.stmt hangs off the client span" client.Trace.ev_id
+    stmt.Trace.ev_parent;
+  check_int "wal.fsync is a child of wal.append" append.Trace.ev_id
+    fsync.Trace.ev_parent;
+  check_str "executor span carries the trace id" trace exec.Trace.ev_trace;
+  check_str "follower apply carries the trace id" trace apply.Trace.ev_trace;
+  (* The stitched dump: every span of this statement — and only this
+     statement — is in the filtered Chrome-trace export, trace-id-tagged
+     and role-labeled for the merged Perfetto view. *)
+  let dump = Trace.to_chrome_json ~trace_id:trace ~role:"server" () in
+  List.iter
+    (fun name ->
+      check_bool (Printf.sprintf "dump has %s" name) true
+        (let re = Printf.sprintf "\"name\":\"%s\"" name in
+         let rec scan i =
+           i + String.length re <= String.length dump
+           && (String.sub dump i (String.length re) = re || scan (i + 1))
+         in
+         scan 0))
+    [ "client.stmt"; "serve.admit"; "serve.stmt"; "wal.fsync"; "repl.apply";
+      "process_name" ];
+  (* An untraced control statement must not leak into the trace. *)
+  ignore (expect_ok "untraced stmt" (Client.run ~trace:"" cl "set %plain% = 2"));
+  let evs' = Trace.events_of_trace trace in
+  check_int "the untraced statement added nothing to the trace"
+    (List.length evs) (List.length evs')
+
 let () =
   Alcotest.run "serve"
     [
@@ -949,5 +1071,10 @@ let () =
       ( "chaos",
         [
           Alcotest.test_case "overload drill" `Quick test_overload_chaos;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "one trace id stitches client to follower"
+            `Quick test_trace_stitching;
         ] );
     ]
